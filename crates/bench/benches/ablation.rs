@@ -1,0 +1,143 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * linking-variables vs hybrid-weights translation of non-ESA
+//!   concurrency (§3.3.2's performance/expressiveness trade-off);
+//! * cost-ordered value selection (greedy warm start) on/off;
+//! * independent-component decomposition on/off;
+//! * generic solver vs Appendix C heuristic makespan gap (Table 3's 7%).
+
+use cornet_bench::{add_composition, base_intent, ran_nodes, ran_with};
+use cornet_planner::{
+    heuristic_schedule, plan, translate, ConstraintRule, GroupStrategy, HeuristicConfig,
+    PlanOptions, TranslateOptions,
+};
+use cornet_solver::{solve, SolverConfig};
+use cornet_types::{ConflictTable, Granularity};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn budget() -> SolverConfig {
+    SolverConfig { max_nodes: 60_000, time_limit: Duration::from_secs(2), ..Default::default() }
+}
+
+/// Linking vs hybrid strategy for market-level concurrency.
+fn bench_group_strategy(c: &mut Criterion) {
+    let net = ran_with(7, 300);
+    let nodes = ran_nodes(&net);
+    let mut intent = base_intent(25);
+    intent.constraints.push(ConstraintRule::Concurrency {
+        base_attribute: "market".into(),
+        aggregate_attribute: None,
+        operator: "<=".into(),
+        granularity: Granularity::daily(),
+        default_capacity: 3,
+    });
+    add_composition(&mut intent, 1);
+    let mut group = c.benchmark_group("ablation_group_strategy");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("linking_vars", GroupStrategy::LinkingVars),
+        ("hybrid_weights", GroupStrategy::HybridWeights),
+    ] {
+        group.bench_function(label, |b| {
+            let opts = PlanOptions {
+                translate: TranslateOptions { strategy, ..Default::default() },
+                solver: budget(),
+                ..Default::default()
+            };
+            b.iter(|| plan(&intent, &net.inventory, &net.topology, &nodes, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Warm start (cost-ordered values) on/off.
+fn bench_warm_start(c: &mut Criterion) {
+    let net = ran_with(7, 300);
+    let nodes = ran_nodes(&net);
+    let mut intent = base_intent(25);
+    add_composition(&mut intent, 1);
+    let translation =
+        translate(&intent, &net.inventory, &net.topology, &nodes, &TranslateOptions::default())
+            .unwrap();
+    let mut group = c.benchmark_group("ablation_warm_start");
+    group.sample_size(10);
+    for (label, cost_order) in [("cost_ordered", true), ("value_ordered", false)] {
+        let cfg = SolverConfig { cost_value_order: cost_order, ..budget() };
+        group.bench_function(label, |b| b.iter(|| solve(&translation.model, &cfg)));
+    }
+    group.finish();
+}
+
+/// Decomposition on/off for a per-EMS-separable intent.
+fn bench_decomposition(c: &mut Criterion) {
+    let net = ran_with(7, 400);
+    let nodes = ran_nodes(&net);
+    let intent = base_intent(25); // per-EMS concurrency only → separable
+    let mut group = c.benchmark_group("ablation_decomposition");
+    group.sample_size(10);
+    for (label, decompose) in [("monolithic", false), ("parallel_components", true)] {
+        let opts = PlanOptions { decompose, solver: budget(), ..Default::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| plan(&intent, &net.inventory, &net.topology, &nodes, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Makespan comparison printed once (criterion measures time; the 7%
+/// quality figure is printed to stderr for EXPERIMENTS.md).
+fn bench_solver_vs_heuristic(c: &mut Criterion) {
+    let net = ran_with(11, 600);
+    let nodes = ran_nodes(&net);
+    let mut intent = base_intent(25);
+    add_composition(&mut intent, 1);
+    let window = intent.window().unwrap();
+    let ems_count = net.inventory.distinct_values("ems").len() as i64;
+    let hcfg = HeuristicConfig { slot_capacity: 25 * ems_count, iterations: 8, seed: 5 };
+
+    let generic = plan(
+        &intent,
+        &net.inventory,
+        &net.topology,
+        &nodes,
+        &PlanOptions { solver: budget(), ..Default::default() },
+    )
+    .unwrap();
+    let hs = heuristic_schedule(&net.inventory, &nodes, &ConflictTable::new(), &window, &hcfg);
+    eprintln!(
+        "[makespan] generic solver: {} slots; heuristic: {} slots; overhead {:+.1}%",
+        generic.makespan(),
+        hs.makespan().map(|s| s.0).unwrap_or(0),
+        (generic.makespan() as f64 / hs.makespan().map(|s| s.0).unwrap_or(1) as f64 - 1.0)
+            * 100.0
+    );
+
+    let mut group = c.benchmark_group("solver_vs_heuristic_time");
+    group.sample_size(10);
+    group.bench_function("generic_solver", |b| {
+        b.iter(|| {
+            plan(
+                &intent,
+                &net.inventory,
+                &net.topology,
+                &nodes,
+                &PlanOptions { solver: budget(), ..Default::default() },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("custom_heuristic", |b| {
+        b.iter(|| heuristic_schedule(&net.inventory, &nodes, &ConflictTable::new(), &window, &hcfg))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_group_strategy,
+    bench_warm_start,
+    bench_decomposition,
+    bench_solver_vs_heuristic
+);
+criterion_main!(benches);

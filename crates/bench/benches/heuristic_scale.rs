@@ -1,0 +1,55 @@
+//! Appendix C / §5.2 benchmark: the custom heuristic's schedule discovery
+//! time at 10K–100K nodes ("for a network size of 100K, CORNET takes only
+//! a few minutes" — our simulator substrate is much faster, but the
+//! scaling curve is the reproducible shape).
+
+use cornet_bench::{ran_nodes, ran_with};
+use cornet_planner::{heuristic_schedule, HeuristicConfig};
+use cornet_types::{ConflictEntry, ConflictTable, SchedulingWindow, SimTime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_heuristic_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristic_discovery_time");
+    group.sample_size(10);
+    for target in [10_000usize, 30_000, 100_000] {
+        let net = ran_with(13, target);
+        let nodes = ran_nodes(&net);
+        let window = SchedulingWindow::daily(SimTime::from_ymd_hm(2020, 7, 1, 0, 0), 70);
+        let capacity = (nodes.len() / 55).max(200) as i64;
+        let cfg = HeuristicConfig { slot_capacity: capacity, iterations: 6, seed: 9 };
+        group.bench_with_input(BenchmarkId::from_parameter(target), &target, |b, _| {
+            b.iter(|| {
+                heuristic_schedule(&net.inventory, &nodes, &ConflictTable::new(), &window, &cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_heuristic_with_conflicts(c: &mut Criterion) {
+    // Conflict pressure: every 20th node is busy for the first week.
+    let net = ran_with(13, 30_000);
+    let nodes = ran_nodes(&net);
+    let mut conflicts = ConflictTable::new();
+    for &n in nodes.iter().step_by(20) {
+        conflicts.add(
+            n,
+            ConflictEntry {
+                start: SimTime::from_ymd_hm(2020, 7, 1, 0, 0),
+                end: SimTime::from_ymd_hm(2020, 7, 7, 23, 59),
+                tickets: vec!["CHG".into()],
+            },
+        );
+    }
+    let window = SchedulingWindow::daily(SimTime::from_ymd_hm(2020, 7, 1, 0, 0), 70);
+    let cfg = HeuristicConfig { slot_capacity: 600, iterations: 6, seed: 9 };
+    let mut group = c.benchmark_group("heuristic_conflict_pressure");
+    group.sample_size(10);
+    group.bench_function("30k_nodes_5pct_busy", |b| {
+        b.iter(|| heuristic_schedule(&net.inventory, &nodes, &conflicts, &window, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristic_scale, bench_heuristic_with_conflicts);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! §4.2 benchmark: schedule discovery time vs instance count and vs
+//! constraint composition.
+//!
+//! Paper findings to reproduce in shape: (a) discovery time grows with
+//! instances (200 → 1000); (b) localize and uniformity dramatically
+//! increase discovery time; (c) consistency shrinks the model and speeds
+//! discovery ~4×.
+
+use cornet_bench::{add_composition, base_intent, composition_name, ran_nodes, ran_with};
+use cornet_planner::{plan, PlanOptions};
+use cornet_solver::SolverConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn options() -> PlanOptions {
+    PlanOptions {
+        solver: SolverConfig {
+            max_nodes: 60_000,
+            time_limit: Duration::from_secs(2),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// (a) instance scaling at the consistency composition.
+fn bench_instance_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery_time_vs_instances");
+    group.sample_size(10);
+    for target in [200usize, 400, 600, 800, 1000] {
+        let net = ran_with(7, target);
+        let nodes = ran_nodes(&net);
+        let mut intent = base_intent(25);
+        add_composition(&mut intent, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(target), &target, |b, _| {
+            b.iter(|| {
+                plan(&intent, &net.inventory, &net.topology, &nodes, &options()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// (b) composition sweep at 400 nodes: the 8 constraint combinations.
+fn bench_compositions(c: &mut Criterion) {
+    let net = ran_with(7, 400);
+    let nodes = ran_nodes(&net);
+    let mut group = c.benchmark_group("discovery_time_vs_composition");
+    group.sample_size(10);
+    for mask in 0..8u32 {
+        let mut intent = base_intent(25);
+        add_composition(&mut intent, mask);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(composition_name(mask)),
+            &mask,
+            |b, _| {
+                b.iter(|| {
+                    plan(&intent, &net.inventory, &net.topology, &nodes, &options()).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// (c) consistency contraction on/off — the 4× model-shrink claim.
+fn bench_consistency_contraction(c: &mut Criterion) {
+    let net = ran_with(7, 400);
+    let nodes = ran_nodes(&net);
+    let mut intent = base_intent(25);
+    add_composition(&mut intent, 1);
+    let mut group = c.benchmark_group("consistency_contraction");
+    group.sample_size(10);
+    group.bench_function("contracted", |b| {
+        b.iter(|| plan(&intent, &net.inventory, &net.topology, &nodes, &options()).unwrap())
+    });
+    group.bench_function("expanded_same_value", |b| {
+        let opts = PlanOptions {
+            translate: cornet_planner::TranslateOptions {
+                contract_consistency: false,
+                ..Default::default()
+            },
+            ..options()
+        };
+        b.iter(|| plan(&intent, &net.inventory, &net.topology, &nodes, &opts).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_instance_scaling,
+    bench_compositions,
+    bench_consistency_contraction
+);
+criterion_main!(benches);

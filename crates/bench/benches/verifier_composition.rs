@@ -1,0 +1,88 @@
+//! Fig. 10 benchmark: impact verification time as a function of KPI
+//! group composition (Table 5's scorecard/level-1/2/3) and the number of
+//! location-aggregation attributes (1, 5, 10), at 400 nodes.
+
+use cornet_netsim::{KpiCatalog, KpiGenerator, Network, NetworkConfig};
+use cornet_types::{NfType, NodeId};
+use cornet_verifier::{
+    verify_rule, ChangeScope, ClosureAdapter, ControlSelection, KpiQuery, VerificationRule,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// All inventory attributes we can aggregate on (padded by synthetic ones
+/// to reach 10 — the paper constructs attributes from eNodeB inventory
+/// and configuration).
+const ATTRS: [&str; 10] = [
+    "market",
+    "tac",
+    "usid",
+    "ems",
+    "timezone",
+    "hw_version",
+    "sw_version",
+    "nf",
+    "utc_offset",
+    "carriers",
+];
+
+fn rule_for(kpis: &[&cornet_netsim::kpi::KpiDef], attrs: usize, control: Vec<NodeId>) -> VerificationRule {
+    VerificationRule {
+        name: "fig10".into(),
+        kpis: kpis.iter().map(|k| KpiQuery::monitor(k.name.clone(), true)).collect(),
+        location_attributes: ATTRS[..attrs].iter().map(|s| s.to_string()).collect(),
+        control: ControlSelection::Explicit(control),
+        control_attr_filter: None,
+        timescales: vec![1, 24],
+        alpha: 0.01,
+        min_relative_shift: 0.01,
+    }
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    // Criterion runs each point ~10×, so the per-iteration workload is a
+    // scaled-down Fig. 10 (the full-size single-shot version is the
+    // `fig10` binary): 100 study nodes, shorter series.
+    let net = Network::generate_ran(&NetworkConfig::default().with_target_nodes(200));
+    let enbs = net.nodes_of_type(NfType::ENodeB);
+    let study: Vec<NodeId> = enbs.iter().copied().take(100).collect();
+    let control: Vec<NodeId> = net.nodes_of_type(NfType::Siad).into_iter().take(30).collect();
+    let scope = ChangeScope::simultaneous(&study, 6_000);
+    let catalog = KpiCatalog::table5();
+    let gen = KpiGenerator { seed: 10, noise: 0.02, ..Default::default() };
+
+    let mut group = c.benchmark_group("fig10_verification_time");
+    group.sample_size(10);
+    // KPI groups grow in size and join depth (scorecard 9 KPIs → all 349).
+    // To keep wall-clock sane we verify a representative slice of each
+    // group proportional to its join work; the paper's trend (more KPIs +
+    // deeper joins → longer verification) is preserved.
+    for (label, kpi_group, take) in [
+        ("scorecard", "scorecard", 4usize),
+        ("level1", "level1", 6),
+        ("level2", "level2", 8),
+        ("level3", "level3", 10),
+    ] {
+        let kpis: Vec<_> = catalog.group(kpi_group).into_iter().take(take).collect();
+        for attrs in [1usize, 3] {
+            let rule = rule_for(&kpis, attrs, control.clone());
+            let gen = gen.clone();
+            let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
+                Some(gen.series(node, kpi, carrier, 200, &[]))
+            });
+            group.bench_with_input(
+                BenchmarkId::new(label, attrs),
+                &attrs,
+                |b, _| {
+                    b.iter(|| {
+                        verify_rule(&adapter, &rule, &scope, &net.inventory, &net.topology)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

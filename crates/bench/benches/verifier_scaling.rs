@@ -1,0 +1,59 @@
+//! Fig. 11 benchmark: impact verification time as a function of node
+//! count (400 → 6400) and location-attribute composition.
+
+use cornet_netsim::{KpiGenerator, Network, NetworkConfig};
+use cornet_types::{NfType, NodeId};
+use cornet_verifier::{
+    verify_rule, ChangeScope, ClosureAdapter, ControlSelection, KpiQuery, VerificationRule,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_verification_time_vs_nodes");
+    group.sample_size(10);
+    for nodes_n in [200usize, 800, 3200] {
+        let net = Network::generate_ran(
+            &NetworkConfig { seed: 3, ..Default::default() }.with_target_nodes(nodes_n + 200),
+        );
+        let enbs = net.nodes_of_type(NfType::ENodeB);
+        let study: Vec<NodeId> = enbs.iter().copied().take(nodes_n).collect();
+        let control: Vec<NodeId> =
+            net.nodes_of_type(NfType::Siad).into_iter().take(100).collect();
+        let scope = ChangeScope::simultaneous(&study, 6_000);
+        for attrs in [1usize, 3] {
+            let attr_names: Vec<String> = ["market", "tac", "ems", "hw_version", "timezone"]
+                [..attrs]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let rule = VerificationRule {
+                name: "fig11".into(),
+                kpis: (0..2).map(|i| KpiQuery::monitor(format!("kpi{i}"), true)).collect(),
+                location_attributes: attr_names,
+                control: ControlSelection::Explicit(control.clone()),
+                control_attr_filter: None,
+                timescales: vec![1, 24],
+                alpha: 0.01,
+                min_relative_shift: 0.01,
+            };
+            let gen = KpiGenerator { seed: 11, noise: 0.02, ..Default::default() };
+            let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
+                Some(gen.series(node, kpi, carrier, 200, &[]))
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("{attrs}attrs"), nodes_n),
+                &nodes_n,
+                |b, _| {
+                    b.iter(|| {
+                        verify_rule(&adapter, &rule, &scope, &net.inventory, &net.topology)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 1: network-wide staggered deployment of a software upgrade across
+//! 4G eNodeBs — FFA trickle, assessment, crawl/walk ramp, run phase.
+
+use cornet_bench::bar;
+use cornet_netsim::changelog::{rollout_curve, RolloutConfig, RolloutPlanner};
+
+fn main() {
+    let total = 60_000;
+    let curve = rollout_curve(&RolloutConfig::default(), RolloutPlanner::Cornet, total);
+    println!("Fig. 1 — staggered deployment of {total} eNodeBs ({} slots)\n", curve.len());
+    println!("{:>5}  {:>7}  progress", "slot", "done");
+    for (i, f) in curve.iter().enumerate() {
+        // Print every slot early (the interesting FFA/crawl region), then
+        // every 4th.
+        if i < 16 || i % 4 == 0 || *f >= 1.0 {
+            println!("{:>5}  {:>6.1}%  {}", i + 1, f * 100.0, bar(*f, 50));
+        }
+        if *f >= 1.0 {
+            break;
+        }
+    }
+    println!("\nphases: slots 1-8 FFA + assessment, 9-14 crawl/walk, then run");
+}

@@ -1,0 +1,17 @@
+//! Fig. 13: location-aggregation attribute combinations selected across
+//! impact-verification queries (dynamic composition of attributes).
+
+use cornet_bench::bar;
+use cornet_netsim::usage::location_attribute_usage;
+
+fn main() {
+    let total = 20_000;
+    let usage = location_attribute_usage(13, total);
+    let max = usage.iter().map(|(_, c)| *c).max().unwrap() as f64;
+    println!("Fig. 13 — location-aggregation attributes across {total} impact queries\n");
+    for (name, count) in &usage {
+        println!("{:>32}  {:>6}  {}", name, count, bar(*count as f64 / max, 40));
+    }
+    println!("\npaper: time-aligned aggregate and per-(e/g)NodeB dominate; carrier frequency,");
+    println!("hardware version (BB/DU) and market are the top configuration attributes");
+}

@@ -1,0 +1,77 @@
+//! Fig. 2: diverse KPI values across carrier frequencies (CF-1..CF-5),
+//! with a day-28 level change — upward for CF-3, downward for CF-1 and
+//! CF-2 — invisible in the all-carrier aggregate.
+
+use cornet_netsim::{ImpactKind, InjectedImpact, KpiGenerator};
+use cornet_stats::detect_level_shifts;
+use cornet_stats::series::AggFn;
+use cornet_types::NodeId;
+
+fn main() {
+    let node = NodeId(17);
+    let kpi = "dl_throughput";
+    let day28_minute = 28 * 24 * 60;
+    let mk = |carrier: usize, magnitude: f64| InjectedImpact {
+        node,
+        kpi: kpi.into(),
+        carrier: Some(carrier),
+        at_minute: day28_minute,
+        kind: ImpactKind::LevelShift,
+        magnitude,
+    };
+    // CF-3 improves; CF-1 and CF-2 degrade (Fig. 2's day-28 event).
+    let impacts = vec![mk(2, 0.25), mk(0, -0.18), mk(1, -0.15)];
+    let gen = KpiGenerator { seed: 2, noise: 0.03, ..Default::default() };
+
+    println!("Fig. 2 — per-carrier daily dl throughput, 60 days, change on day 28\n");
+    let mut all_carriers = Vec::new();
+    for cf in 0..5 {
+        let hourly = gen.series(node, kpi, Some(cf), 60 * 24, &impacts);
+        let daily = hourly.resample(24, AggFn::Mean);
+        all_carriers.push(daily.values.clone());
+        let pre = daily.values[..28].iter().sum::<f64>() / 28.0;
+        let post = daily.values[28..].iter().sum::<f64>() / (daily.values.len() - 28) as f64;
+        // Keep only practically relevant shifts (≥ 3% of the level) and
+        // report the strongest.
+        let mut shifts: Vec<_> = detect_level_shifts(&daily.values, 4, 5.0)
+            .into_iter()
+            .filter(|s| s.delta.abs() >= 0.03 * pre)
+            .collect();
+        shifts.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        let event = shifts
+            .first()
+            .map(|s| {
+                format!(
+                    "{} level change at day {} (Δ {:+.1})",
+                    if s.is_upward() { "UPWARD" } else { "DOWNWARD" },
+                    s.index,
+                    s.delta
+                )
+            })
+            .unwrap_or_else(|| "no level change".into());
+        println!("  CF-{}: pre {:7.1}  post {:7.1}   {event}", cf + 1, pre, post);
+    }
+
+    // The combined view: averaging across carriers mostly cancels the
+    // mixed-direction shifts — the paper's warning.
+    let combined: Vec<f64> = (0..60)
+        .map(|d| all_carriers.iter().map(|c| c[d]).sum::<f64>() / 5.0)
+        .collect();
+    let combined_mean = combined.iter().sum::<f64>() / combined.len() as f64;
+    let combined_shifts: Vec<_> = detect_level_shifts(&combined, 4, 5.0)
+        .into_iter()
+        .filter(|s| s.delta.abs() >= 0.03 * combined_mean)
+        .collect();
+    println!(
+        "\n  combined CF 1-5: {}",
+        if combined_shifts.is_empty() {
+            "no level change detected — per-carrier impacts masked".to_string()
+        } else {
+            format!(
+                "level change at day {} (Δ {:+.1}) — much weaker than per-carrier",
+                combined_shifts[0].index, combined_shifts[0].delta
+            )
+        }
+    );
+    println!("\npaper: day-28 upward change on CF-3, downward on CF-1/CF-2; higher CF → higher throughput");
+}

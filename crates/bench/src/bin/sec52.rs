@@ -1,0 +1,49 @@
+//! §5.2: operational efficiency of schedule planning — a 100K-node
+//! network scheduled "in a few minutes" in one request, versus the
+//! pre-CORNET manual batch process (~1 hour per batch), yielding ≈88.6%
+//! human time savings.
+
+use cornet_bench::{header, ran_nodes, ran_with, row};
+use cornet_netsim::usage::human_time_savings_pct;
+use cornet_planner::{heuristic_schedule, HeuristicConfig};
+use cornet_types::{ConflictTable, SchedulingWindow, SimTime};
+use std::time::Instant;
+
+fn main() {
+    println!("§5.2 — whole-network schedule discovery with the Appendix C heuristic\n");
+    header(&["nodes", "slots", "discovery time", "makespan", "leftovers"]);
+    let mut last_minutes = 0.0;
+    for target in [10_000usize, 30_000, 100_000] {
+        let net = ran_with(13, target);
+        let nodes = ran_nodes(&net);
+        let window = SchedulingWindow::daily(SimTime::from_ymd_hm(2020, 7, 1, 0, 0), 70);
+        let capacity = (nodes.len() / 55).max(200) as i64;
+        let started = Instant::now();
+        let schedule = heuristic_schedule(
+            &net.inventory,
+            &nodes,
+            &ConflictTable::new(),
+            &window,
+            &HeuristicConfig { slot_capacity: capacity, iterations: 6, seed: 9 },
+        );
+        let elapsed = started.elapsed();
+        last_minutes = elapsed.as_secs_f64() / 60.0;
+        row(&[
+            nodes.len().to_string(),
+            "70".into(),
+            format!("{elapsed:?}"),
+            schedule.makespan().map(|s| s.0).unwrap_or(0).to_string(),
+            schedule.leftovers.len().to_string(),
+        ]);
+    }
+
+    // Human time savings: ~30 manual one-hour batch rounds before CORNET
+    // vs one automated request.
+    let manual_batches = 30;
+    let cornet_minutes = last_minutes.max(2.0); // include review time
+    let savings = human_time_savings_pct(manual_batches, cornet_minutes);
+    println!(
+        "\nhuman time: {manual_batches} manual batches × 60 min vs ~{cornet_minutes:.1} min with CORNET → {savings:.1}% saving"
+    );
+    println!("paper: 100K nodes in a few minutes; 88.6% average human time savings");
+}

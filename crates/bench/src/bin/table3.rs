@@ -1,0 +1,30 @@
+//! Table 3: code re-use improvements and loss in efficiency with CORNET
+//! compared to custom solutions.
+//!
+//! Paper: designer/orchestrator 42% / 0; schedule planner 91% / 7%;
+//! impact verifier 83% / 0.
+
+use cornet_bench::{header, row};
+use cornet_catalog::builtin_catalog;
+use cornet_core::table3;
+
+fn main() {
+    let cat = builtin_catalog();
+    println!("Table 3 — code re-use and efficiency loss\n");
+    header(&["Component", "Custom modules", "CORNET modules", "Code re-use", "Loss in efficiency"]);
+    for r in table3(&cat) {
+        row(&[
+            r.name.clone(),
+            r.custom_modules.to_string(),
+            r.cornet_modules.to_string(),
+            format!("{:.0}%", r.reuse_pct),
+            if r.efficiency_loss == 0.0 {
+                "0".into()
+            } else {
+                format!("{:.0}%", r.efficiency_loss * 100.0)
+            },
+        ]);
+    }
+    println!("\npaper: 42% / 0 · 91% / 7% · 83% / 0");
+    println!("(the 7% makespan loss is measured by `cargo bench -p cornet-bench --bench ablation`)");
+}

@@ -1,0 +1,28 @@
+//! Table 4: CORNET's yearly verification usage for 4G/5G changes — FFA
+//! trials, certification rate, roll-out sizes, roll-backs.
+
+use cornet_bench::{header, row};
+use cornet_netsim::usage::verification_usage;
+
+fn main() {
+    println!("Table 4 — yearly verification usage\n");
+    header(&[
+        "Change type",
+        "# FFA",
+        "Nodes/FFA",
+        "# certified roll-outs",
+        "Nodes/roll-out",
+        "Rolled back",
+    ]);
+    for r in verification_usage(3) {
+        row(&[
+            r.change_type.to_string(),
+            format!("~{}", r.ffa_count),
+            format!("O({})", r.nodes_per_ffa),
+            format!("~{}", r.certified_rollouts),
+            format!("O({}K)", r.nodes_per_rollout / 1000),
+            format!("<{}", r.rolled_back + 1),
+        ]);
+    }
+    println!("\npaper: ~160/~200 FFAs, O(100) nodes each, ~10% certified, O(10K) roll-outs, <2 roll-backs");
+}

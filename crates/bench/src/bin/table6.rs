@@ -1,0 +1,28 @@
+//! Table 6: duration of change activities (maintenance windows) with and
+//! without CORNET's short-reservation policy — construction work's mean
+//! and variance collapse once long blanket reservations stop.
+
+use cornet_bench::{header, row};
+use cornet_netsim::changelog::{change_mix, generate_change_log, ChangeLogConfig};
+use cornet_types::SimTime;
+
+fn main() {
+    let start = SimTime::from_ymd_hm(2018, 1, 1, 0, 0);
+    let with = generate_change_log(&ChangeLogConfig::table1(8, true), 60_000, 120_000, start);
+    let without = generate_change_log(&ChangeLogConfig::table1(8, false), 60_000, 120_000, start);
+    let mix_with = change_mix(&with);
+    let mix_without = change_mix(&without);
+
+    println!("Table 6 — change durations with vs without CORNET (maintenance windows)\n");
+    header(&["Change type", "Avg with", "σ with", "Avg without", "σ without"]);
+    for (a, b) in mix_with.iter().zip(&mix_without) {
+        row(&[
+            a.change_type.to_string(),
+            format!("{:.2}", a.avg_duration),
+            format!("{:.2}", a.std_duration),
+            format!("{:.2}", b.avg_duration),
+            format!("{:.2}", b.std_duration),
+        ]);
+    }
+    println!("\npaper: construction 3.78/19.09 with vs 4.06/36.91 without; software/config/re-tuning ~unchanged");
+}

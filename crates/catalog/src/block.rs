@@ -1,0 +1,176 @@
+//! Building-block metadata.
+//!
+//! A building block (BB) "is defined using an input/output parameter list,
+//! and has a REST API. Its meta-data (API location, input/output parameter
+//! definitions) is stored in our catalog" (§3.1).
+
+use cornet_types::ParamType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Change-management phase a building block belongs to (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Phase {
+    /// Design and orchestration of change workflows.
+    DesignOrchestration,
+    /// Change schedule planning.
+    SchedulePlanning,
+    /// Change impact verification.
+    ImpactVerification,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::DesignOrchestration => "design_orchestration",
+            Phase::SchedulePlanning => "schedule_planning",
+            Phase::ImpactVerification => "impact_verification",
+        })
+    }
+}
+
+/// One named, typed parameter of a building block.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamSpec {
+    /// Parameter name, e.g. `"node"` or `"software_version"`.
+    pub name: String,
+    /// Static type used for composition checking in the designer.
+    pub ty: ParamType,
+}
+
+impl ParamSpec {
+    /// Construct a parameter spec.
+    pub fn new(name: impl Into<String>, ty: ParamType) -> Self {
+        Self { name: name.into(), ty }
+    }
+}
+
+/// REST endpoint descriptor — the "API location" of a block.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RestEndpoint {
+    /// HTTP method (the catalog only needs POST/GET in practice).
+    pub method: String,
+    /// URL path template, e.g. `"/bb/health_check"`.
+    pub path: String,
+}
+
+impl RestEndpoint {
+    /// Standard endpoint under `/bb/{name}`.
+    pub fn for_block(name: &str) -> Self {
+        Self { method: "POST".into(), path: format!("/bb/{name}") }
+    }
+}
+
+/// Technology a concrete implementation of a block uses (§3.2 lists
+/// Ansible, NetConf, Chef, Python, vendor CLIs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RunnerKind {
+    /// Ansible playbook.
+    Ansible,
+    /// NETCONF operations.
+    NetConf,
+    /// Chef recipe.
+    Chef,
+    /// Python script.
+    Python,
+    /// Vendor command-line script.
+    VendorCli,
+    /// Native analytic capability (NF-agnostic data analytics).
+    Native,
+}
+
+/// Catalog entry describing one building block.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BlockSpec {
+    /// Unique block name, e.g. `"health_check"`.
+    pub name: String,
+    /// Phase the block serves.
+    pub phase: Phase,
+    /// One-line description (Table 2's "Function" column).
+    pub function: String,
+    /// Whether one implementation serves every network-function type.
+    pub nf_agnostic: bool,
+    /// Input parameters.
+    pub inputs: Vec<ParamSpec>,
+    /// Output parameters.
+    pub outputs: Vec<ParamSpec>,
+    /// REST API location.
+    pub endpoint: RestEndpoint,
+}
+
+impl BlockSpec {
+    /// Construct a spec with the conventional endpoint.
+    pub fn new(
+        name: impl Into<String>,
+        phase: Phase,
+        function: impl Into<String>,
+        nf_agnostic: bool,
+    ) -> Self {
+        let name = name.into();
+        let endpoint = RestEndpoint::for_block(&name);
+        Self {
+            name,
+            phase,
+            function: function.into(),
+            nf_agnostic,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            endpoint,
+        }
+    }
+
+    /// Builder-style input parameter.
+    pub fn input(mut self, name: &str, ty: ParamType) -> Self {
+        self.inputs.push(ParamSpec::new(name, ty));
+        self
+    }
+
+    /// Builder-style output parameter.
+    pub fn output(mut self, name: &str, ty: ParamType) -> Self {
+        self.outputs.push(ParamSpec::new(name, ty));
+        self
+    }
+
+    /// Look up an output parameter's type.
+    pub fn output_type(&self, name: &str) -> Option<ParamType> {
+        self.outputs.iter().find(|p| p.name == name).map(|p| p.ty)
+    }
+
+    /// Look up an input parameter's type.
+    pub fn input_type(&self, name: &str) -> Option<ParamType> {
+        self.inputs.iter().find(|p| p.name == name).map(|p| p.ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let b = BlockSpec::new("health_check", Phase::DesignOrchestration, "verify status", false)
+            .input("node", ParamType::String)
+            .output("healthy", ParamType::Bool);
+        assert_eq!(b.endpoint.path, "/bb/health_check");
+        assert_eq!(b.endpoint.method, "POST");
+        assert_eq!(b.input_type("node"), Some(ParamType::String));
+        assert_eq!(b.output_type("healthy"), Some(ParamType::Bool));
+        assert_eq!(b.output_type("nope"), None);
+    }
+
+    #[test]
+    fn phase_display() {
+        assert_eq!(Phase::SchedulePlanning.to_string(), "schedule_planning");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let b = BlockSpec::new("x", Phase::ImpactVerification, "f", true)
+            .input("a", ParamType::Int);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: BlockSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

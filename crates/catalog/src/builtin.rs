@@ -1,0 +1,201 @@
+//! The built-in catalog — Table 2 of the paper, block for block.
+//!
+//! Nineteen building blocks across the three phases, with the NF-agnostic
+//! flags exactly as published. The parameter lists are our design (the
+//! paper shows only names and functions); they are what the workflow
+//! designer's parameter-flow validation checks against.
+
+use crate::block::{BlockSpec, Phase};
+use crate::registry::Catalog;
+use cornet_types::ParamType as T;
+
+/// Build the catalog of Table 2.
+pub fn builtin_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    use Phase::*;
+
+    // --- Design and orchestration ---
+    cat.register(
+        BlockSpec::new("health_check", DesignOrchestration, "Verify live and operational status", false)
+            .input("node", T::String)
+            .output("healthy", T::Bool)
+            .output("status_detail", T::Map),
+    );
+    cat.register(
+        BlockSpec::new("conflict_check", DesignOrchestration, "Ensure no conflicting activities", true)
+            .input("node", T::String)
+            .input("window_start", T::String)
+            .input("window_end", T::String)
+            .output("conflict_free", T::Bool),
+    );
+    cat.register(
+        BlockSpec::new("traffic_redirect", DesignOrchestration, "Migrate traffic away before the change", false)
+            .input("node", T::String)
+            .output("redirected", T::Bool),
+    );
+    cat.register(
+        BlockSpec::new("software_upgrade", DesignOrchestration, "Implementation of the upgrade", false)
+            .input("node", T::String)
+            .input("software_version", T::String)
+            .output("upgraded", T::Bool)
+            .output("previous_version", T::String),
+    );
+    cat.register(
+        BlockSpec::new("config_change", DesignOrchestration, "Implementation of the config change", false)
+            .input("node", T::String)
+            .input("config", T::Map)
+            .output("applied", T::Bool)
+            .output("previous_config", T::Map),
+    );
+    cat.register(
+        BlockSpec::new("pre_post_comparison", DesignOrchestration, "Compare before and after the change", true)
+            .input("node", T::String)
+            .output("passed", T::Bool)
+            .output("report", T::Map),
+    );
+    cat.register(
+        BlockSpec::new("traffic_restore", DesignOrchestration, "Bring traffic back after the change", false)
+            .input("node", T::String)
+            .output("restored", T::Bool),
+    );
+    cat.register(
+        BlockSpec::new("roll_back", DesignOrchestration, "Restore to the previous version", false)
+            .input("node", T::String)
+            .input("previous_version", T::String)
+            .output("rolled_back", T::Bool),
+    );
+
+    // --- Schedule planning ---
+    cat.register(
+        BlockSpec::new("detect_conflicts", SchedulePlanning, "Identify conflicting changes", true)
+            .input("nodes", T::List)
+            .input("intent", T::Map)
+            .output("conflict_table", T::Map),
+    );
+    cat.register(
+        BlockSpec::new("extract_topology", SchedulePlanning, "Identify dependent nodes", true)
+            .input("nodes", T::List)
+            .output("topology", T::Map),
+    );
+    cat.register(
+        BlockSpec::new("extract_inventory", SchedulePlanning, "Identify attributes for constraints", false)
+            .input("nodes", T::List)
+            .output("inventory", T::Map),
+    );
+    cat.register(
+        BlockSpec::new("model_translation", SchedulePlanning, "Intent to low-level constraint templates", true)
+            .input("intent", T::Map)
+            .input("inventory", T::Map)
+            .input("nodes", T::List)
+            .output("model", T::String),
+    );
+    cat.register(
+        BlockSpec::new("optimization_solver", SchedulePlanning, "Discover schedule", true)
+            .input("model", T::String)
+            .input("intent", T::Map)
+            .output("schedule", T::Map)
+            .output("makespan", T::Int)
+            .output("leftovers", T::Int),
+    );
+
+    // --- Impact verification ---
+    cat.register(
+        BlockSpec::new("change_scope", ImpactVerification, "Identify scope of change", true)
+            .input("tickets", T::List)
+            .output("nodes", T::List)
+            .output("change_times", T::Map),
+    );
+    cat.register(
+        BlockSpec::new("extract_kpi", ImpactVerification, "Collect data for pre/post", false)
+            .input("nodes", T::List)
+            .input("kpi_names", T::List)
+            .output("kpi_data", T::Map),
+    );
+    cat.register(
+        BlockSpec::new("extract_topology_verify", ImpactVerification, "Identify nodes for relative comparison", true)
+            .input("nodes", T::List)
+            .output("control_candidates", T::List),
+    );
+    cat.register(
+        BlockSpec::new("extract_inventory_verify", ImpactVerification, "Identify attributes for aggregation", false)
+            .input("nodes", T::List)
+            .output("attributes", T::Map),
+    );
+    cat.register(
+        BlockSpec::new("aggregate_kpi", ImpactVerification, "Aggregate across attributes", true)
+            .input("kpi_data", T::Map)
+            .input("attributes", T::Map)
+            .output("aggregated", T::Map),
+    );
+    cat.register(
+        BlockSpec::new("impact_detection", ImpactVerification, "Statistical comparison of KPI", true)
+            .input("aggregated", T::Map)
+            .output("impacts", T::List)
+            .output("verdict", T::String),
+    );
+
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_all_nineteen_blocks_of_table2() {
+        let cat = builtin_catalog();
+        assert_eq!(cat.len(), 19);
+    }
+
+    #[test]
+    fn nf_agnostic_flags_match_table2() {
+        let cat = builtin_catalog();
+        // ✗ in Table 2:
+        for name in [
+            "health_check",
+            "traffic_redirect",
+            "software_upgrade",
+            "config_change",
+            "traffic_restore",
+            "roll_back",
+            "extract_inventory",
+            "extract_kpi",
+            "extract_inventory_verify",
+        ] {
+            assert!(!cat.get(name).unwrap().nf_agnostic, "{name} must be NF-specific");
+        }
+        // ✓ in Table 2:
+        for name in [
+            "conflict_check",
+            "pre_post_comparison",
+            "detect_conflicts",
+            "extract_topology",
+            "model_translation",
+            "optimization_solver",
+            "change_scope",
+            "extract_topology_verify",
+            "aggregate_kpi",
+            "impact_detection",
+        ] {
+            assert!(cat.get(name).unwrap().nf_agnostic, "{name} must be NF-agnostic");
+        }
+    }
+
+    #[test]
+    fn phase_partition_matches_table2() {
+        let cat = builtin_catalog();
+        assert_eq!(cat.blocks_in_phase(Phase::DesignOrchestration).count(), 8);
+        assert_eq!(cat.blocks_in_phase(Phase::SchedulePlanning).count(), 5);
+        assert_eq!(cat.blocks_in_phase(Phase::ImpactVerification).count(), 6);
+    }
+
+    #[test]
+    fn upgrade_outputs_feed_rollback_inputs() {
+        // The designer stitches software_upgrade → roll_back; their
+        // parameter types must line up.
+        let cat = builtin_catalog();
+        let up = cat.get("software_upgrade").unwrap();
+        let rb = cat.get("roll_back").unwrap();
+        assert_eq!(up.output_type("previous_version"), rb.input_type("previous_version"));
+    }
+}

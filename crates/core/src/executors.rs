@@ -1,0 +1,184 @@
+//! Executor bindings from catalog blocks to the simulated VNF testbed.
+//!
+//! In production these are Ansible playbooks and vendor CLI scripts behind
+//! each block's REST endpoint (§4.1); here each binding drives
+//! `cornet_netsim::Testbed`, whose observable state (software version,
+//! health, traffic position) is exactly what those scripts touch. The
+//! §4.1 correctness check — "we verified that the software versions were
+//! successfully updated" — runs against this state.
+
+use cornet_netsim::Testbed;
+use cornet_orchestrator::executor::{require_str, ExecutorRegistry, GlobalState};
+use cornet_types::ParamValue;
+use std::collections::BTreeMap;
+
+/// Build an executor registry over a shared testbed. Covers the design &
+/// orchestration blocks of Table 2; the analytics blocks (pre/post
+/// comparison and friends) are NF-agnostic native capabilities.
+pub fn testbed_registry(testbed: Testbed) -> ExecutorRegistry {
+    let mut reg = ExecutorRegistry::new();
+
+    let tb = testbed.clone();
+    reg.register("health_check", move |state: &mut GlobalState| {
+        let node = require_str(state, "node")?;
+        let healthy = tb.health_check(&node)?;
+        state.insert("healthy".into(), ParamValue::from(healthy));
+        // The catalog spec promises a status_detail map; downstream
+        // NF-agnostic blocks may consume it.
+        let mut detail = BTreeMap::new();
+        if let Some(vnf) = tb.state(&node) {
+            detail.insert("sw_version".to_string(), ParamValue::from(vnf.sw_version));
+            detail.insert(
+                "traffic_redirected".to_string(),
+                ParamValue::from(vnf.traffic_redirected),
+            );
+        }
+        state.insert("status_detail".into(), ParamValue::Map(detail));
+        Ok(())
+    });
+
+    let tb = testbed.clone();
+    reg.register("software_upgrade", move |state: &mut GlobalState| {
+        let node = require_str(state, "node")?;
+        let version = require_str(state, "software_version")?;
+        let previous = tb.software_upgrade(&node, &version)?;
+        state.insert("previous_version".into(), ParamValue::from(previous));
+        state.insert("upgraded".into(), ParamValue::from(true));
+        Ok(())
+    });
+
+    let tb = testbed.clone();
+    reg.register("roll_back", move |state: &mut GlobalState| {
+        let node = require_str(state, "node")?;
+        let previous = require_str(state, "previous_version")?;
+        tb.roll_back(&node, &previous)?;
+        state.insert("rolled_back".into(), ParamValue::from(true));
+        Ok(())
+    });
+
+    let tb = testbed.clone();
+    reg.register("traffic_redirect", move |state: &mut GlobalState| {
+        let node = require_str(state, "node")?;
+        tb.traffic_redirect(&node)?;
+        state.insert("redirected".into(), ParamValue::from(true));
+        Ok(())
+    });
+
+    let tb = testbed.clone();
+    reg.register("traffic_restore", move |state: &mut GlobalState| {
+        let node = require_str(state, "node")?;
+        tb.traffic_restore(&node)?;
+        state.insert("restored".into(), ParamValue::from(true));
+        Ok(())
+    });
+
+    let tb = testbed.clone();
+    reg.register("config_change", move |state: &mut GlobalState| {
+        let node = require_str(state, "node")?;
+        let changes: BTreeMap<String, String> = state
+            .get("config")
+            .and_then(|v| v.as_map())
+            .map(|m| {
+                m.iter()
+                    .filter_map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_owned())))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let previous = tb.config_change(&node, &changes)?;
+        state.insert(
+            "previous_config".into(),
+            ParamValue::Map(
+                previous.into_iter().map(|(k, v)| (k, ParamValue::from(v))).collect(),
+            ),
+        );
+        state.insert("applied".into(), ParamValue::from(true));
+        Ok(())
+    });
+
+    let tb = testbed;
+    reg.register("pre_post_comparison", move |state: &mut GlobalState| {
+        // Cheap health-based pre/post gate; deep KPI verification runs in
+        // the verifier out of band. A post-change unhealthy node fails.
+        let node = require_str(state, "node")?;
+        let healthy = tb.health_check(&node)?;
+        let mut report = BTreeMap::new();
+        report.insert("healthy_after".to_string(), ParamValue::from(healthy));
+        if let Some(s) = tb.state(&node) {
+            report.insert("sw_version".to_string(), ParamValue::from(s.sw_version));
+            report.insert("reboots".to_string(), ParamValue::Int(s.reboots as i64));
+        }
+        state.insert("report".into(), ParamValue::Map(report));
+        state.insert("passed".into(), ParamValue::from(healthy));
+        Ok(())
+    });
+
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_catalog::builtin_catalog;
+    use cornet_netsim::TestbedConfig;
+    use cornet_orchestrator::{Engine, InstanceStatus};
+    use cornet_types::NfType;
+    use cornet_workflow::builtin::software_upgrade_workflow;
+
+    fn setup() -> (Testbed, ExecutorRegistry) {
+        let tb = Testbed::new(TestbedConfig::default());
+        tb.instantiate("vce-0001", NfType::VceRouter, "16.9");
+        let reg = testbed_registry(tb.clone());
+        (tb, reg)
+    }
+
+    fn inputs(node: &str, version: &str) -> GlobalState {
+        let mut g = GlobalState::new();
+        g.insert("node".into(), ParamValue::from(node));
+        g.insert("software_version".into(), ParamValue::from(version));
+        g
+    }
+
+    #[test]
+    fn fig4_workflow_upgrades_real_testbed_state() {
+        let (tb, reg) = setup();
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let mut engine = Engine::new(wf, reg, inputs("vce-0001", "17.3"));
+        assert_eq!(engine.run().unwrap(), &InstanceStatus::Completed);
+        // The §4.1 verification: the version on the instance changed.
+        assert_eq!(tb.state("vce-0001").unwrap().sw_version, "17.3");
+    }
+
+    #[test]
+    fn unhealthy_instance_short_circuits() {
+        let (tb, reg) = setup();
+        tb.set_healthy("vce-0001", false);
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let mut engine = Engine::new(wf, reg, inputs("vce-0001", "17.3"));
+        assert_eq!(engine.run().unwrap(), &InstanceStatus::Completed);
+        assert_eq!(tb.state("vce-0001").unwrap().sw_version, "16.9", "untouched");
+    }
+
+    #[test]
+    fn config_change_records_previous_values() {
+        let (tb, reg) = setup();
+        let mut state = inputs("vce-0001", "-");
+        let mut cfg = BTreeMap::new();
+        cfg.insert("mtu".to_string(), ParamValue::from("9000"));
+        state.insert("config".into(), ParamValue::Map(cfg));
+        reg.execute("config_change", &mut state).unwrap();
+        assert_eq!(tb.state("vce-0001").unwrap().config["mtu"], "9000");
+        assert_eq!(state["applied"], ParamValue::from(true));
+    }
+
+    #[test]
+    fn traffic_cycle_via_registry() {
+        let (tb, reg) = setup();
+        let mut state = inputs("vce-0001", "-");
+        reg.execute("traffic_redirect", &mut state).unwrap();
+        assert!(tb.state("vce-0001").unwrap().traffic_redirected);
+        reg.execute("traffic_restore", &mut state).unwrap();
+        assert!(!tb.state("vce-0001").unwrap().traffic_redirected);
+    }
+}

@@ -1,0 +1,33 @@
+//! # cornet-netsim
+//!
+//! Substrate simulator standing in for the production artifacts CORNET ran
+//! against at AT&T: the cellular/transport network hierarchy with its
+//! inventory and topology databases, the OpenStack testbed of virtualized
+//! network functions, the KPI data feeds, the three-year change logs, and
+//! the operations-team usage patterns behind the experience figures.
+//!
+//! Everything is generated from a seed (`rand::rngs::StdRng`) so every
+//! experiment in `EXPERIMENTS.md` is exactly reproducible.
+//!
+//! * [`network`] — timezone → market → TAC → USID → (eNodeB, gNodeB) radio
+//!   hierarchy with EMS and SIAD assignments, plus the VPN / SDWAN / VoLTE
+//!   cloud topologies of Appendix A;
+//! * [`testbed`] — stateful VNF instances with fault injection, mutated by
+//!   the orchestrator's building-block executors;
+//! * [`kpi`] — seasonal KPI synthesis with injectable ground-truth impacts
+//!   and the 349-equation KPI catalog of Table 5;
+//! * [`changelog`] — Table 1 change-mix generation and staggered roll-out
+//!   curves (Figs 1, 5; Table 6);
+//! * [`usage`] — operations usage-pattern generators (Figs 6, 12–14,
+//!   Table 4).
+
+pub mod changelog;
+pub mod kpi;
+pub mod network;
+pub mod rng;
+pub mod testbed;
+pub mod usage;
+
+pub use kpi::{ImpactKind, InjectedImpact, KpiCatalog, KpiGenerator};
+pub use network::{Network, NetworkConfig};
+pub use testbed::{Testbed, TestbedConfig, VnfState};

@@ -1,0 +1,301 @@
+//! The change dispatcher (§3.4).
+//!
+//! "After the change schedule plan … is acknowledged by the operations
+//! teams, it is sent to the dispatcher along with the corresponding change
+//! workflow. The dispatcher automatically invokes the change orchestrator
+//! at the specific time for the scheduled instances." Instances of one
+//! slot run concurrently up to a limit; as an instance finishes, the next
+//! is triggered.
+
+use crate::engine::{Engine, InstanceStatus};
+use crate::executor::{ExecutorRegistry, GlobalState};
+use cornet_types::{NodeId, Result, Schedule, Timeslot};
+use cornet_workflow::WarArtifact;
+use std::collections::BTreeMap;
+
+/// Result of one workflow instance run by the dispatcher.
+#[derive(Clone, Debug)]
+pub struct InstanceReport {
+    /// Node the change ran on.
+    pub node: NodeId,
+    /// Slot the instance was dispatched in.
+    pub slot: Timeslot,
+    /// Final status.
+    pub status: InstanceStatus,
+    /// Blocks executed, with status (block name, success flag).
+    pub blocks: Vec<(String, bool)>,
+}
+
+/// Aggregated dispatch outcome.
+#[derive(Clone, Debug, Default)]
+pub struct DispatchReport {
+    /// Per-instance results in dispatch order.
+    pub instances: Vec<InstanceReport>,
+}
+
+impl DispatchReport {
+    /// Instances that completed a start→end flow.
+    pub fn completed(&self) -> usize {
+        self.instances.iter().filter(|i| i.status == InstanceStatus::Completed).count()
+    }
+
+    /// Instances that failed, with the offending block.
+    pub fn failures(&self) -> Vec<(&InstanceReport, &str)> {
+        self.instances
+            .iter()
+            .filter_map(|i| match &i.status {
+                InstanceStatus::Failed(block) => Some((i, block.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Dispatches workflow instances according to a schedule.
+pub struct Dispatcher {
+    war: WarArtifact,
+    registry: ExecutorRegistry,
+    /// Maximum concurrent instances per slot wave.
+    pub concurrency: usize,
+}
+
+impl Dispatcher {
+    /// Create a dispatcher for one deployed workflow.
+    pub fn new(war: WarArtifact, registry: ExecutorRegistry, concurrency: usize) -> Self {
+        Dispatcher { war, registry, concurrency: concurrency.max(1) }
+    }
+
+    /// Execute the schedule slot by slot. `inputs_for` supplies each
+    /// node's workflow input state (node name, target version, …).
+    pub fn run(
+        &self,
+        schedule: &Schedule,
+        inputs_for: impl Fn(NodeId) -> GlobalState + Sync,
+    ) -> Result<DispatchReport> {
+        self.run_gated(schedule, inputs_for, |_, _| true).map(|(report, _)| report)
+    }
+
+    /// Execute the schedule slot by slot with a go/no-go gate between
+    /// slots: after each slot completes, `gate(slot, report_so_far)` is
+    /// consulted; `false` halts the roll-out ("a decision is made to halt
+    /// the roll-out to the rest of the network", §2.1). Returns the
+    /// partial report and the slot the halt happened after, if any.
+    pub fn run_gated(
+        &self,
+        schedule: &Schedule,
+        inputs_for: impl Fn(NodeId) -> GlobalState + Sync,
+        mut gate: impl FnMut(Timeslot, &DispatchReport) -> bool,
+    ) -> Result<(DispatchReport, Option<Timeslot>)> {
+        // Group nodes by slot, preserving slot order.
+        let mut by_slot: BTreeMap<Timeslot, Vec<NodeId>> = BTreeMap::new();
+        for (&node, &slot) in &schedule.assignments {
+            by_slot.entry(slot).or_default().push(node);
+        }
+        // Unpack the WAR once; instances clone the in-memory graph instead
+        // of re-deserializing JSON per instance.
+        let workflow = self.war.unpack()?;
+        let mut report = DispatchReport::default();
+        for (slot, nodes) in by_slot {
+            // Waves of at most `concurrency` instances.
+            for wave in nodes.chunks(self.concurrency) {
+                let mut wave_reports: Vec<Option<InstanceReport>> = vec![None; wave.len()];
+                crossbeam::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for &node in wave {
+                        let registry = self.registry.clone();
+                        let workflow = &workflow;
+                        let inputs = inputs_for(node);
+                        handles.push(scope.spawn(move |_| -> InstanceReport {
+                            // Engine-level errors (corrupt WAR, missing
+                            // decision variable, dangling edge) must not
+                            // vanish from the report — they become failed
+                            // instances so fall-out analysis sees them.
+                            let run = || -> Result<(InstanceStatus, Vec<(String, bool)>)> {
+                                let mut engine =
+                                    Engine::new(workflow.clone(), registry, inputs);
+                                let status = engine.run()?.clone();
+                                let blocks = engine
+                                    .log()
+                                    .iter()
+                                    .map(|b| {
+                                        (
+                                            b.block.clone(),
+                                            b.status == crate::engine::BlockStatus::Success,
+                                        )
+                                    })
+                                    .collect();
+                                Ok((status, blocks))
+                            };
+                            match run() {
+                                Ok((status, blocks)) => {
+                                    InstanceReport { node, slot, status, blocks }
+                                }
+                                Err(e) => InstanceReport {
+                                    node,
+                                    slot,
+                                    status: InstanceStatus::Failed(format!("engine: {e}")),
+                                    blocks: Vec::new(),
+                                },
+                            }
+                        }));
+                    }
+                    for (i, h) in handles.into_iter().enumerate() {
+                        wave_reports[i] = Some(h.join().expect("instance thread panicked"));
+                    }
+                })
+                .expect("crossbeam scope failed");
+                report.instances.extend(wave_reports.into_iter().flatten());
+            }
+            if !gate(slot, &report) {
+                return Ok((report, Some(slot)));
+            }
+        }
+        Ok((report, None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_catalog::builtin_catalog;
+    use cornet_types::ParamValue;
+    use cornet_workflow::builtin::software_upgrade_workflow;
+
+    fn happy_registry() -> ExecutorRegistry {
+        let mut reg = ExecutorRegistry::new();
+        reg.register("health_check", |s| {
+            s.insert("healthy".into(), ParamValue::from(true));
+            Ok(())
+        });
+        reg.register("software_upgrade", |s| {
+            s.insert("previous_version".into(), ParamValue::from("old"));
+            Ok(())
+        });
+        reg.register("pre_post_comparison", |s| {
+            s.insert("passed".into(), ParamValue::from(true));
+            Ok(())
+        });
+        reg.register("roll_back", |_| Ok(()));
+        reg
+    }
+
+    fn schedule(n: u32, per_slot: u32) -> Schedule {
+        let mut s = Schedule::default();
+        for i in 0..n {
+            s.assignments.insert(NodeId(i), Timeslot(i / per_slot + 1));
+        }
+        s
+    }
+
+    fn inputs(node: NodeId) -> GlobalState {
+        let mut g = GlobalState::new();
+        g.insert("node".into(), ParamValue::from(format!("node-{node}")));
+        g.insert("software_version".into(), ParamValue::from("20.1"));
+        g
+    }
+
+    #[test]
+    fn dispatches_all_instances() {
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        let d = Dispatcher::new(war, happy_registry(), 3);
+        let report = d.run(&schedule(10, 4), inputs).unwrap();
+        assert_eq!(report.instances.len(), 10);
+        assert_eq!(report.completed(), 10);
+        assert!(report.failures().is_empty());
+    }
+
+    #[test]
+    fn slot_order_is_respected() {
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        let d = Dispatcher::new(war, happy_registry(), 2);
+        let report = d.run(&schedule(9, 3), inputs).unwrap();
+        let slots: Vec<u32> = report.instances.iter().map(|i| i.slot.0).collect();
+        let mut sorted = slots.clone();
+        sorted.sort();
+        assert_eq!(slots, sorted, "instances dispatched slot by slot");
+    }
+
+    #[test]
+    fn failures_are_attributed() {
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        let mut reg = happy_registry();
+        reg.register("software_upgrade", |s| {
+            let node = crate::executor::require_str(s, "node")?;
+            if node.ends_with('3') {
+                return Err(cornet_types::CornetError::ExecutionFailed(
+                    "ssh connectivity lost".into(),
+                ));
+            }
+            s.insert("previous_version".into(), ParamValue::from("old"));
+            Ok(())
+        });
+        let d = Dispatcher::new(war, reg, 4);
+        let report = d.run(&schedule(10, 5), inputs).unwrap();
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0.node, NodeId(3));
+        assert_eq!(failures[0].1, "software_upgrade");
+        assert_eq!(report.completed(), 9);
+    }
+
+    #[test]
+    fn engine_errors_become_failed_instances() {
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        // A health_check that never sets `healthy` makes the decision
+        // gateway error out at engine level.
+        let mut reg = ExecutorRegistry::new();
+        reg.register("health_check", |_| Ok(()));
+        let d = Dispatcher::new(war, reg, 2);
+        let report = d.run(&schedule(3, 3), inputs).unwrap();
+        assert_eq!(report.instances.len(), 3, "errored instances are not dropped");
+        assert_eq!(report.completed(), 0);
+        assert!(report
+            .instances
+            .iter()
+            .all(|i| matches!(&i.status, InstanceStatus::Failed(m) if m.starts_with("engine:"))));
+    }
+
+    #[test]
+    fn gate_halts_remaining_slots() {
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        let d = Dispatcher::new(war, happy_registry(), 4);
+        // 12 nodes over 4 slots; gate says no after slot 2.
+        let (report, halted_at) = d
+            .run_gated(&schedule(12, 3), inputs, |slot, _| slot.0 < 2)
+            .unwrap();
+        assert_eq!(halted_at, Some(Timeslot(2)));
+        assert_eq!(report.instances.len(), 6, "slots 1 and 2 only");
+        assert!(report.instances.iter().all(|i| i.slot.0 <= 2));
+    }
+
+    #[test]
+    fn gate_sees_cumulative_report() {
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        let d = Dispatcher::new(war, happy_registry(), 4);
+        let mut seen = Vec::new();
+        let (_, halted) = d
+            .run_gated(&schedule(9, 3), inputs, |slot, report| {
+                seen.push((slot.0, report.instances.len()));
+                true
+            })
+            .unwrap();
+        assert_eq!(halted, None);
+        assert_eq!(seen, vec![(1, 3), (2, 6), (3, 9)]);
+    }
+
+    #[test]
+    fn concurrency_floor_is_one() {
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        let d = Dispatcher::new(war, happy_registry(), 0);
+        assert_eq!(d.concurrency, 1);
+        let report = d.run(&schedule(3, 3), inputs).unwrap();
+        assert_eq!(report.completed(), 3);
+    }
+}

@@ -1,0 +1,410 @@
+//! The workflow execution engine.
+//!
+//! Token semantics over a validated workflow graph: start → tasks /
+//! decisions → end. Each building block executes atomically; its status
+//! and wall-clock duration are logged ("we enhanced the Camunda-based
+//! workflow orchestrator to automatically log the status of execution for
+//! each building block along with the time taken", §3.4). A [`PauseHandle`]
+//! lets operations halt between blocks and resume after troubleshooting.
+
+use crate::executor::{ExecutorRegistry, GlobalState};
+use cornet_types::{CornetError, ParamValue, Result};
+use cornet_workflow::{NodeKind, WarArtifact, WfNodeId, Workflow};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of one building-block execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockStatus {
+    /// The block completed successfully.
+    Success,
+    /// The block returned an error (the offending block for fall-out
+    /// analysis).
+    Failed,
+}
+
+/// One row of the fine-grained execution log.
+#[derive(Clone, Debug)]
+pub struct BlockExecution {
+    /// Block name.
+    pub block: String,
+    /// Execution status.
+    pub status: BlockStatus,
+    /// Wall-clock execution time.
+    pub duration: Duration,
+    /// Error detail when failed.
+    pub error: Option<String>,
+}
+
+/// Status of a workflow instance.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InstanceStatus {
+    /// Not yet started or mid-flight.
+    Running,
+    /// Halted by a pause request; resumable.
+    Paused,
+    /// Reached an end node — "completed through at least one start to end
+    /// flow".
+    Completed,
+    /// A block failed; carries the block name.
+    Failed(String),
+}
+
+/// Shared pause flag; clone freely across threads.
+#[derive(Clone, Default)]
+pub struct PauseHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl PauseHandle {
+    /// Create an un-paused handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request a pause; takes effect at the next block boundary (blocks
+    /// are atomic).
+    pub fn pause(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Clear the pause request.
+    pub fn resume(&self) {
+        self.flag.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether a pause is requested.
+    pub fn is_paused(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Executes one workflow instance.
+pub struct Engine {
+    workflow: Workflow,
+    registry: ExecutorRegistry,
+    state: GlobalState,
+    position: Option<WfNodeId>,
+    status: InstanceStatus,
+    log: Vec<BlockExecution>,
+    pause: PauseHandle,
+}
+
+impl Engine {
+    /// Create an engine over an already-validated workflow.
+    pub fn new(workflow: Workflow, registry: ExecutorRegistry, inputs: GlobalState) -> Self {
+        let position = workflow.start();
+        Engine {
+            workflow,
+            registry,
+            state: inputs,
+            position,
+            status: InstanceStatus::Running,
+            log: Vec::new(),
+            pause: PauseHandle::new(),
+        }
+    }
+
+    /// Create an engine by unpacking a deployed WAR artifact — the
+    /// dispatcher's invocation path ("the change workflow execution is
+    /// invoked by the orchestrator using the REST API information stored
+    /// in the workflow meta-data").
+    pub fn from_war(war: &WarArtifact, registry: ExecutorRegistry, inputs: GlobalState) -> Result<Self> {
+        Ok(Self::new(war.unpack()?, registry, inputs))
+    }
+
+    /// The pause handle for this instance.
+    pub fn pause_handle(&self) -> PauseHandle {
+        self.pause.clone()
+    }
+
+    /// Current status.
+    pub fn status(&self) -> &InstanceStatus {
+        &self.status
+    }
+
+    /// The execution log so far.
+    pub fn log(&self) -> &[BlockExecution] {
+        &self.log
+    }
+
+    /// Read a variable from the instance's global state.
+    pub fn state_var(&self, key: &str) -> Option<&ParamValue> {
+        self.state.get(key)
+    }
+
+    /// The full global state (for end-of-run output extraction).
+    pub fn state(&self) -> &GlobalState {
+        &self.state
+    }
+
+    /// Execute a single node and advance the token. Returns the new status.
+    pub fn step(&mut self) -> Result<&InstanceStatus> {
+        if self.status == InstanceStatus::Paused {
+            return Err(CornetError::InvalidState(
+                "instance is paused; call resume() first".into(),
+            ));
+        }
+        if self.status != InstanceStatus::Running {
+            return Err(CornetError::InvalidState(format!(
+                "instance already finished: {:?}",
+                self.status
+            )));
+        }
+        let Some(pos) = self.position else {
+            self.status = InstanceStatus::Failed("no start node".into());
+            return Ok(&self.status);
+        };
+        let node = self.workflow.node(pos).clone();
+        match &node.kind {
+            NodeKind::Start => {
+                self.advance(pos, None)?;
+            }
+            NodeKind::End => {
+                self.status = InstanceStatus::Completed;
+            }
+            NodeKind::Task { block } => {
+                let started = Instant::now();
+                let result = self.registry.execute(block, &mut self.state);
+                let duration = started.elapsed();
+                match result {
+                    Ok(()) => {
+                        self.log.push(BlockExecution {
+                            block: block.clone(),
+                            status: BlockStatus::Success,
+                            duration,
+                            error: None,
+                        });
+                        self.advance(pos, None)?;
+                    }
+                    Err(e) => {
+                        self.log.push(BlockExecution {
+                            block: block.clone(),
+                            status: BlockStatus::Failed,
+                            duration,
+                            error: Some(e.to_string()),
+                        });
+                        self.status = InstanceStatus::Failed(block.clone());
+                    }
+                }
+            }
+            NodeKind::Decision { variable } => {
+                let value = self
+                    .state
+                    .get(variable)
+                    .and_then(|v| v.as_bool())
+                    .ok_or_else(|| {
+                        CornetError::ExecutionFailed(format!(
+                            "decision variable '{variable}' is not a bool in state"
+                        ))
+                    })?;
+                self.advance(pos, Some(value))?;
+            }
+        }
+        Ok(&self.status)
+    }
+
+    fn advance(&mut self, from: WfNodeId, guard: Option<bool>) -> Result<()> {
+        let next = self
+            .workflow
+            .out_edges(from)
+            .find(|e| e.guard == guard)
+            .map(|e| e.to)
+            .ok_or_else(|| {
+                CornetError::InvalidWorkflow(format!(
+                    "no outgoing edge with guard {guard:?} from '{}'",
+                    self.workflow.node(from).label
+                ))
+            })?;
+        self.position = Some(next);
+        Ok(())
+    }
+
+    /// Run until completion, failure, or a pause request. Pause requests
+    /// are honored between blocks — never mid-block (atomicity, §3.4).
+    ///
+    /// Engine-level errors (missing decision variable, dangling edge) are
+    /// both returned AND recorded in the instance status, so fall-out
+    /// analysis never sees an errored instance stuck at `Running`.
+    pub fn run(&mut self) -> Result<&InstanceStatus> {
+        while self.status == InstanceStatus::Running {
+            if self.pause.is_paused() {
+                self.status = InstanceStatus::Paused;
+                break;
+            }
+            if let Err(e) = self.step() {
+                self.status = InstanceStatus::Failed(format!("engine: {e}"));
+                return Err(e);
+            }
+        }
+        Ok(&self.status)
+    }
+
+    /// Resume a paused instance and keep running.
+    pub fn resume(&mut self) -> Result<&InstanceStatus> {
+        if self.status != InstanceStatus::Paused {
+            return Err(CornetError::InvalidState("instance is not paused".into()));
+        }
+        self.pause.resume();
+        self.status = InstanceStatus::Running;
+        self.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_catalog::builtin_catalog;
+    use cornet_workflow::builtin::software_upgrade_workflow;
+    use cornet_workflow::Designer;
+    use cornet_types::ParamType;
+
+    /// Executors that simulate a happy-path upgrade in state only.
+    fn happy_registry() -> ExecutorRegistry {
+        let mut reg = ExecutorRegistry::new();
+        reg.register("health_check", |s| {
+            s.insert("healthy".into(), ParamValue::from(true));
+            Ok(())
+        });
+        reg.register("software_upgrade", |s| {
+            s.insert("previous_version".into(), ParamValue::from("19.3"));
+            s.insert("upgraded".into(), ParamValue::from(true));
+            Ok(())
+        });
+        reg.register("pre_post_comparison", |s| {
+            s.insert("passed".into(), ParamValue::from(true));
+            Ok(())
+        });
+        reg.register("roll_back", |s| {
+            s.insert("rolled_back".into(), ParamValue::from(true));
+            Ok(())
+        });
+        reg
+    }
+
+    fn inputs() -> GlobalState {
+        let mut g = GlobalState::new();
+        g.insert("node".into(), ParamValue::from("enb-1"));
+        g.insert("software_version".into(), ParamValue::from("20.1"));
+        g
+    }
+
+    #[test]
+    fn happy_path_completes_without_rollback() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let mut engine = Engine::new(wf, happy_registry(), inputs());
+        assert_eq!(engine.run().unwrap(), &InstanceStatus::Completed);
+        let blocks: Vec<&str> = engine.log().iter().map(|b| b.block.as_str()).collect();
+        assert_eq!(blocks, vec!["health_check", "software_upgrade", "pre_post_comparison"]);
+        assert!(engine.log().iter().all(|b| b.status == BlockStatus::Success));
+    }
+
+    #[test]
+    fn failed_comparison_triggers_rollback() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let mut reg = happy_registry();
+        reg.register("pre_post_comparison", |s| {
+            s.insert("passed".into(), ParamValue::from(false));
+            Ok(())
+        });
+        let mut engine = Engine::new(wf, reg, inputs());
+        assert_eq!(engine.run().unwrap(), &InstanceStatus::Completed);
+        let blocks: Vec<&str> = engine.log().iter().map(|b| b.block.as_str()).collect();
+        assert!(blocks.contains(&"roll_back"), "{blocks:?}");
+    }
+
+    #[test]
+    fn unhealthy_node_ends_early() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let mut reg = happy_registry();
+        reg.register("health_check", |s| {
+            s.insert("healthy".into(), ParamValue::from(false));
+            Ok(())
+        });
+        let mut engine = Engine::new(wf, reg, inputs());
+        assert_eq!(engine.run().unwrap(), &InstanceStatus::Completed);
+        assert_eq!(engine.log().len(), 1, "only the health check ran");
+    }
+
+    #[test]
+    fn block_failure_identifies_offender() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let mut reg = happy_registry();
+        reg.register("software_upgrade", |_| {
+            Err(CornetError::ExecutionFailed("ssh connectivity lost".into()))
+        });
+        let mut engine = Engine::new(wf, reg, inputs());
+        let status = engine.run().unwrap().clone();
+        assert_eq!(status, InstanceStatus::Failed("software_upgrade".into()));
+        let failed = engine.log().last().unwrap();
+        assert_eq!(failed.status, BlockStatus::Failed);
+        assert!(failed.error.as_deref().unwrap().contains("ssh"));
+    }
+
+    #[test]
+    fn pause_between_blocks_and_resume() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let mut engine = Engine::new(wf, happy_registry(), inputs());
+        let handle = engine.pause_handle();
+        // Pause immediately: the run loop must halt before any block.
+        handle.pause();
+        assert_eq!(engine.run().unwrap(), &InstanceStatus::Paused);
+        assert!(engine.log().is_empty());
+        // step() while paused is an error.
+        assert!(engine.step().is_err());
+        // Resume finishes the flow.
+        assert_eq!(engine.resume().unwrap(), &InstanceStatus::Completed);
+        assert_eq!(engine.log().len(), 3);
+    }
+
+    #[test]
+    fn finished_instance_rejects_further_steps() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let mut engine = Engine::new(wf, happy_registry(), inputs());
+        engine.run().unwrap();
+        assert!(engine.step().is_err());
+        assert!(engine.resume().is_err());
+    }
+
+    #[test]
+    fn decision_without_variable_fails_loudly() {
+        let cat = builtin_catalog();
+        let mut d = Designer::new(&cat, "bad");
+        d.input("node", ParamType::String);
+        let start = d.start();
+        let hc = d.task("health_check").unwrap();
+        let dec = d.decision("healthy");
+        let e1 = d.end();
+        let e2 = d.end();
+        d.connect(start, hc).connect(hc, dec);
+        d.connect_if(dec, e1, true).connect_if(dec, e2, false);
+        let wf = d.build();
+        // health_check executor that does NOT set `healthy`.
+        let mut reg = ExecutorRegistry::new();
+        reg.register("health_check", |_| Ok(()));
+        let mut engine = Engine::new(wf, reg, inputs());
+        let err = engine.run();
+        assert!(err.is_err(), "decision on unset variable must error");
+        assert!(
+            matches!(engine.status(), InstanceStatus::Failed(m) if m.starts_with("engine:")),
+            "status records the engine-level failure: {:?}",
+            engine.status()
+        );
+    }
+
+    #[test]
+    fn from_war_round_trip() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let war = WarArtifact::package(&wf, &cat).unwrap();
+        let mut engine = Engine::from_war(&war, happy_registry(), inputs()).unwrap();
+        assert_eq!(engine.run().unwrap(), &InstanceStatus::Completed);
+    }
+}

@@ -1,0 +1,196 @@
+//! Event-driven composition — the alternative design §3.2 contrasts with
+//! workflows.
+//!
+//! "An alternate design strategy to workflow-based change composition is
+//! to use event-driven (or, policy-based) composition of changes where
+//! building blocks are invoked based on events triggered by other building
+//! blocks. … In the future, we plan to quantitatively compare the
+//! approaches." We implement that alternative so the comparison can run:
+//! blocks subscribe to events (optionally guarded on state), execute, and
+//! emit follow-up events; the bus drains to quiescence.
+
+use crate::executor::{ExecutorRegistry, GlobalState};
+use cornet_types::Result;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+type Guard = dyn Fn(&GlobalState) -> bool + Send + Sync;
+
+/// One subscription: when `event` fires and `guard` passes, run `block`
+/// and then emit `emits`.
+struct Subscription {
+    event: String,
+    guard: Option<Arc<Guard>>,
+    block: String,
+    emits: Option<String>,
+}
+
+/// A message-driven composition of building blocks.
+pub struct EventBus {
+    registry: ExecutorRegistry,
+    subscriptions: Vec<Subscription>,
+    /// Trace of (event, block) firings, for comparison with workflow logs.
+    pub trace: Vec<(String, String)>,
+}
+
+impl EventBus {
+    /// Create a bus over an executor registry.
+    pub fn new(registry: ExecutorRegistry) -> Self {
+        EventBus { registry, subscriptions: Vec::new(), trace: Vec::new() }
+    }
+
+    /// Subscribe a block to an event.
+    pub fn subscribe(&mut self, event: &str, block: &str, emits: Option<&str>) {
+        self.subscriptions.push(Subscription {
+            event: event.to_owned(),
+            guard: None,
+            block: block.to_owned(),
+            emits: emits.map(str::to_owned),
+        });
+    }
+
+    /// Subscribe with a guard over the shared state (the event-driven
+    /// equivalent of a decision gateway).
+    pub fn subscribe_if<F>(&mut self, event: &str, guard: F, block: &str, emits: Option<&str>)
+    where
+        F: Fn(&GlobalState) -> bool + Send + Sync + 'static,
+    {
+        self.subscriptions.push(Subscription {
+            event: event.to_owned(),
+            guard: Some(Arc::new(guard)),
+            block: block.to_owned(),
+            emits: emits.map(str::to_owned),
+        });
+    }
+
+    /// Publish an event and drain the bus to quiescence. Returns the
+    /// number of block executions. `max_steps` bounds runaway cascades.
+    pub fn publish(
+        &mut self,
+        event: &str,
+        state: &mut GlobalState,
+        max_steps: usize,
+    ) -> Result<usize> {
+        let mut queue: VecDeque<String> = VecDeque::from([event.to_owned()]);
+        let mut executed = 0usize;
+        while let Some(ev) = queue.pop_front() {
+            if executed >= max_steps {
+                return Err(cornet_types::CornetError::ExecutionFailed(format!(
+                    "event cascade exceeded {max_steps} steps — loop in policy composition?"
+                )));
+            }
+            // Collect matching subscriptions first (borrow rules).
+            let matches: Vec<(String, Option<String>)> = self
+                .subscriptions
+                .iter()
+                .filter(|s| s.event == ev && s.guard.as_ref().is_none_or(|g| g(state)))
+                .map(|s| (s.block.clone(), s.emits.clone()))
+                .collect();
+            for (block, emits) in matches {
+                self.registry.execute(&block, state)?;
+                self.trace.push((ev.clone(), block));
+                executed += 1;
+                if let Some(next) = emits {
+                    queue.push_back(next);
+                }
+            }
+        }
+        Ok(executed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_types::ParamValue;
+
+    fn registry() -> ExecutorRegistry {
+        let mut reg = ExecutorRegistry::new();
+        reg.register("health_check", |s| {
+            s.insert("healthy".into(), ParamValue::from(true));
+            Ok(())
+        });
+        reg.register("software_upgrade", |s| {
+            s.insert("previous_version".into(), ParamValue::from("old"));
+            Ok(())
+        });
+        reg.register("pre_post_comparison", |s| {
+            s.insert("passed".into(), ParamValue::from(true));
+            Ok(())
+        });
+        reg.register("roll_back", |_| Ok(()));
+        reg
+    }
+
+    /// The Fig. 4 flow expressed as events instead of a workflow graph.
+    fn fig4_bus() -> EventBus {
+        let mut bus = EventBus::new(registry());
+        bus.subscribe("change.requested", "health_check", Some("health.checked"));
+        bus.subscribe_if(
+            "health.checked",
+            |s| s.get("healthy").and_then(|v| v.as_bool()) == Some(true),
+            "software_upgrade",
+            Some("upgrade.done"),
+        );
+        bus.subscribe("upgrade.done", "pre_post_comparison", Some("comparison.done"));
+        bus.subscribe_if(
+            "comparison.done",
+            |s| s.get("passed").and_then(|v| v.as_bool()) == Some(false),
+            "roll_back",
+            None,
+        );
+        bus
+    }
+
+    #[test]
+    fn event_flow_mirrors_workflow_happy_path() {
+        let mut bus = fig4_bus();
+        let mut state = GlobalState::new();
+        state.insert("node".into(), ParamValue::from("enb-1"));
+        let n = bus.publish("change.requested", &mut state, 100).unwrap();
+        assert_eq!(n, 3, "health check, upgrade, comparison; no roll-back");
+        let blocks: Vec<&str> = bus.trace.iter().map(|(_, b)| b.as_str()).collect();
+        assert_eq!(blocks, vec!["health_check", "software_upgrade", "pre_post_comparison"]);
+    }
+
+    #[test]
+    fn guard_blocks_unhealthy_upgrade() {
+        let mut bus = fig4_bus();
+        // Override: health check reports unhealthy.
+        let mut reg = registry();
+        reg.register("health_check", |s| {
+            s.insert("healthy".into(), ParamValue::from(false));
+            Ok(())
+        });
+        bus.registry = reg;
+        let mut state = GlobalState::new();
+        let n = bus.publish("change.requested", &mut state, 100).unwrap();
+        assert_eq!(n, 1, "only the health check fires");
+    }
+
+    #[test]
+    fn failed_comparison_triggers_rollback_event() {
+        let mut bus = fig4_bus();
+        let mut reg = registry();
+        reg.register("pre_post_comparison", |s| {
+            s.insert("passed".into(), ParamValue::from(false));
+            Ok(())
+        });
+        bus.registry = reg;
+        let mut state = GlobalState::new();
+        let n = bus.publish("change.requested", &mut state, 100).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(bus.trace.last().unwrap().1, "roll_back");
+    }
+
+    #[test]
+    fn runaway_cascade_is_capped() {
+        let mut reg = ExecutorRegistry::new();
+        reg.register("ping", |_| Ok(()));
+        let mut bus = EventBus::new(reg);
+        bus.subscribe("tick", "ping", Some("tock"));
+        bus.subscribe("tock", "ping", Some("tick"));
+        let mut state = GlobalState::new();
+        assert!(bus.publish("tick", &mut state, 50).is_err(), "loop detected");
+    }
+}

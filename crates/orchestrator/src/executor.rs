@@ -1,0 +1,124 @@
+//! Building-block executors and the workflow global state.
+//!
+//! The catalog stores *metadata*; at run time the orchestrator resolves a
+//! block name to an executor — in production an Ansible playbook or vendor
+//! CLI behind the block's REST endpoint, here any `Fn(&mut GlobalState)`.
+//! Executors communicate exclusively through the instance's global state
+//! ("we capture the variables using global state information within the
+//! graph", §3.2).
+
+use cornet_types::{CornetError, ParamValue, Result};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The shared variable state of one workflow instance.
+pub type GlobalState = BTreeMap<String, ParamValue>;
+
+/// Type-erased block implementation.
+type BlockFn = dyn Fn(&mut GlobalState) -> Result<()> + Send + Sync;
+
+/// Registry binding block names to executable implementations.
+#[derive(Clone, Default)]
+pub struct ExecutorRegistry {
+    blocks: BTreeMap<String, Arc<BlockFn>>,
+}
+
+impl ExecutorRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an implementation for a block name (replaces any previous
+    /// binding).
+    pub fn register<F>(&mut self, block: &str, f: F)
+    where
+        F: Fn(&mut GlobalState) -> Result<()> + Send + Sync + 'static,
+    {
+        self.blocks.insert(block.to_owned(), Arc::new(f));
+    }
+
+    /// Whether a block has an implementation.
+    pub fn has(&self, block: &str) -> bool {
+        self.blocks.contains_key(block)
+    }
+
+    /// Execute a block against an instance's global state.
+    pub fn execute(&self, block: &str, state: &mut GlobalState) -> Result<()> {
+        let f = self.blocks.get(block).ok_or_else(|| {
+            CornetError::ExecutionFailed(format!("no executor registered for block '{block}'"))
+        })?;
+        f(state)
+    }
+
+    /// Names of registered blocks.
+    pub fn block_names(&self) -> Vec<&str> {
+        self.blocks.keys().map(String::as_str).collect()
+    }
+}
+
+/// Fetch a required string input from the state.
+pub fn require_str(state: &GlobalState, key: &str) -> Result<String> {
+    state
+        .get(key)
+        .and_then(|v| v.as_str())
+        .map(str::to_owned)
+        .ok_or_else(|| CornetError::ExecutionFailed(format!("missing string input '{key}'")))
+}
+
+/// Fetch a required boolean input from the state.
+pub fn require_bool(state: &GlobalState, key: &str) -> Result<bool> {
+    state
+        .get(key)
+        .and_then(|v| v.as_bool())
+        .ok_or_else(|| CornetError::ExecutionFailed(format!("missing bool input '{key}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_execute() {
+        let mut reg = ExecutorRegistry::new();
+        reg.register("double", |state| {
+            let x = state.get("x").and_then(|v| v.as_i64()).unwrap_or(0);
+            state.insert("x".into(), ParamValue::Int(x * 2));
+            Ok(())
+        });
+        assert!(reg.has("double"));
+        let mut state = GlobalState::new();
+        state.insert("x".into(), ParamValue::Int(21));
+        reg.execute("double", &mut state).unwrap();
+        assert_eq!(state["x"], ParamValue::Int(42));
+    }
+
+    #[test]
+    fn missing_executor_is_an_error() {
+        let reg = ExecutorRegistry::new();
+        let mut state = GlobalState::new();
+        assert!(matches!(
+            reg.execute("ghost", &mut state),
+            Err(CornetError::ExecutionFailed(_))
+        ));
+    }
+
+    #[test]
+    fn require_helpers() {
+        let mut state = GlobalState::new();
+        state.insert("node".into(), ParamValue::from("enb-1"));
+        state.insert("ok".into(), ParamValue::from(true));
+        assert_eq!(require_str(&state, "node").unwrap(), "enb-1");
+        assert!(require_bool(&state, "ok").unwrap());
+        assert!(require_str(&state, "missing").is_err());
+        assert!(require_bool(&state, "node").is_err(), "wrong type");
+    }
+
+    #[test]
+    fn registry_is_cloneable_and_shared() {
+        let mut reg = ExecutorRegistry::new();
+        reg.register("noop", |_| Ok(()));
+        let reg2 = reg.clone();
+        assert!(reg2.has("noop"));
+    }
+}

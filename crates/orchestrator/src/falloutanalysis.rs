@@ -1,0 +1,156 @@
+//! Post-hoc fall-out analysis over dispatch reports.
+//!
+//! "Our fine-grained logging thus enables the network operations teams to
+//! identify the offending building blocks based on their status of
+//! execution across multiple change workflows. Such post-hoc analysis of
+//! the workflow execution is often important to troubleshoot unsuccessful
+//! change executions" (§3.4).
+
+use crate::dispatcher::DispatchReport;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Aggregated execution statistics for one building block.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct BlockStats {
+    /// Successful executions.
+    pub successes: usize,
+    /// Failed executions (the block was the offender).
+    pub failures: usize,
+}
+
+impl BlockStats {
+    /// Failure rate in `[0, 1]`; 0 for never-executed blocks.
+    pub fn failure_rate(&self) -> f64 {
+        let total = self.successes + self.failures;
+        if total == 0 {
+            0.0
+        } else {
+            self.failures as f64 / total as f64
+        }
+    }
+}
+
+/// Fall-out summary across one or more dispatch reports.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct FalloutAnalysis {
+    /// Per-block execution statistics.
+    pub per_block: BTreeMap<String, BlockStats>,
+    /// Total workflow instances analyzed.
+    pub instances: usize,
+    /// Instances that completed a start→end flow.
+    pub completed: usize,
+}
+
+impl FalloutAnalysis {
+    /// Aggregate one or more dispatch reports.
+    pub fn from_reports<'a>(reports: impl IntoIterator<Item = &'a DispatchReport>) -> Self {
+        let mut analysis = FalloutAnalysis::default();
+        for report in reports {
+            analysis.instances += report.instances.len();
+            analysis.completed += report.completed();
+            for instance in &report.instances {
+                for (block, success) in &instance.blocks {
+                    let stats = analysis.per_block.entry(block.clone()).or_default();
+                    if *success {
+                        stats.successes += 1;
+                    } else {
+                        stats.failures += 1;
+                    }
+                }
+            }
+        }
+        analysis
+    }
+
+    /// Blocks ordered by failure count descending — the troubleshooting
+    /// starting point.
+    pub fn offenders(&self) -> Vec<(&str, &BlockStats)> {
+        let mut v: Vec<(&str, &BlockStats)> = self
+            .per_block
+            .iter()
+            .filter(|(_, s)| s.failures > 0)
+            .map(|(b, s)| (b.as_str(), s))
+            .collect();
+        v.sort_by(|a, b| b.1.failures.cmp(&a.1.failures).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Overall completion rate.
+    pub fn completion_rate(&self) -> f64 {
+        if self.instances == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.instances as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatcher::InstanceReport;
+    use crate::engine::InstanceStatus;
+    use cornet_types::{NodeId, Timeslot};
+
+    type Entry = (u32, Vec<(&'static str, bool)>, InstanceStatus);
+
+    fn report(entries: Vec<Entry>) -> DispatchReport {
+        DispatchReport {
+            instances: entries
+                .into_iter()
+                .map(|(node, blocks, status)| InstanceReport {
+                    node: NodeId(node),
+                    slot: Timeslot(1),
+                    status,
+                    blocks: blocks.into_iter().map(|(b, s)| (b.to_string(), s)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn aggregates_across_reports() {
+        let r1 = report(vec![
+            (0, vec![("health_check", true), ("software_upgrade", true)], InstanceStatus::Completed),
+            (1, vec![("health_check", true), ("software_upgrade", false)],
+             InstanceStatus::Failed("software_upgrade".into())),
+        ]);
+        let r2 = report(vec![(
+            2,
+            vec![("health_check", false)],
+            InstanceStatus::Failed("health_check".into()),
+        )]);
+        let a = FalloutAnalysis::from_reports([&r1, &r2]);
+        assert_eq!(a.instances, 3);
+        assert_eq!(a.completed, 1);
+        assert!((a.completion_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.per_block["health_check"].successes, 2);
+        assert_eq!(a.per_block["health_check"].failures, 1);
+        assert_eq!(a.per_block["software_upgrade"].failures, 1);
+    }
+
+    #[test]
+    fn offenders_sorted_by_failures() {
+        let r = report(vec![
+            (0, vec![("a", false)], InstanceStatus::Failed("a".into())),
+            (1, vec![("a", false)], InstanceStatus::Failed("a".into())),
+            (2, vec![("b", false)], InstanceStatus::Failed("b".into())),
+            (3, vec![("c", true)], InstanceStatus::Completed),
+        ]);
+        let a = FalloutAnalysis::from_reports([&r]);
+        let offenders = a.offenders();
+        assert_eq!(offenders.len(), 2, "c never failed");
+        assert_eq!(offenders[0].0, "a");
+        assert_eq!(offenders[0].1.failures, 2);
+        assert_eq!(offenders[1].0, "b");
+    }
+
+    #[test]
+    fn failure_rate_handles_empty() {
+        let s = BlockStats::default();
+        assert_eq!(s.failure_rate(), 0.0);
+        let a = FalloutAnalysis::default();
+        assert_eq!(a.completion_rate(), 1.0);
+    }
+}

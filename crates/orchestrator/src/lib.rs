@@ -1,0 +1,26 @@
+//! # cornet-orchestrator
+//!
+//! The change workflow orchestrator (§3.4) — the workspace's stand-in for
+//! Camunda. It executes validated workflows deployed as WAR artifacts:
+//! token semantics from start to end, building blocks invoked through a
+//! pluggable executor registry, per-block status and timing logged for
+//! fall-out troubleshooting, pause/resume with atomic block execution, and
+//! a dispatcher that launches instances per timeslot under a concurrency
+//! limit.
+//!
+//! The paper's remark in §3.2 contrasts workflow-driven composition with
+//! event-driven composition; [`events`] implements the event-driven
+//! executor so the "future work" comparison can actually be run (see the
+//! `orchestrator_modes` bench).
+
+pub mod dispatcher;
+pub mod engine;
+pub mod events;
+pub mod falloutanalysis;
+pub mod executor;
+
+pub use dispatcher::{DispatchReport, Dispatcher};
+pub use engine::{BlockExecution, BlockStatus, Engine, InstanceStatus, PauseHandle};
+pub use events::EventBus;
+pub use falloutanalysis::{BlockStats, FalloutAnalysis};
+pub use executor::{ExecutorRegistry, GlobalState};

@@ -1,0 +1,230 @@
+//! Independent sub-problem decomposition (§3.3.3 idea (b)).
+//!
+//! "We divide the changes into sets that have no dependencies with respect
+//! to constraints. Then, we can solve in parallel and combine their
+//! solutions." We compute connected components of the variable–constraint
+//! graph; each component becomes a standalone sub-model solved on its own
+//! thread (crossbeam scoped threads), and the assignments merge back.
+//!
+//! Decomposition helps exactly when the intent's coupling constraints are
+//! per-group (e.g. concurrency per EMS or per pool) — a global capacity or
+//! a localize rule connects everything into one component, and the paper's
+//! answer to that case is the timezone-sequenced heuristic instead.
+
+use cornet_model::{Constraint, Model, Objective, VarId};
+use cornet_solver::{solve, Outcome, SearchStats, SolverConfig};
+
+/// Union–find over variable indices.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        // Iterative with path halving: wide constraints build long parent
+        // chains, and a recursive find would both be O(n) and risk stack
+        // overflow at 100K-variable models.
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Connected components of the variable–constraint graph, each sorted.
+pub fn var_components(model: &Model) -> Vec<Vec<usize>> {
+    let n = model.var_count();
+    let mut dsu = Dsu::new(n);
+    for c in &model.constraints {
+        let vars = c.vars();
+        for pair in vars.windows(2) {
+            dsu.union(pair[0].index(), pair[1].index());
+        }
+    }
+    let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for v in 0..n {
+        let root = dsu.find(v);
+        by_root.entry(root).or_default().push(v);
+    }
+    by_root.into_values().collect()
+}
+
+/// Extract the sub-model induced by `vars` (which must be closed under
+/// constraint adjacency, i.e. a union of components).
+fn sub_model(model: &Model, vars: &[usize]) -> Model {
+    let mut remap = vec![usize::MAX; model.var_count()];
+    let mut sub = Model::new(format!("{}#sub", model.name));
+    for (new_idx, &old) in vars.iter().enumerate() {
+        remap[old] = new_idx;
+        let v = &model.vars[old];
+        sub.add_var(v.name.clone(), v.lo, v.hi);
+    }
+    let map_var = |v: VarId| VarId(remap[v.index()] as u32);
+    for c in &model.constraints {
+        let cvars = c.vars();
+        if cvars.is_empty() || remap[cvars[0].index()] == usize::MAX {
+            continue;
+        }
+        let mut c2 = c.clone();
+        match &mut c2 {
+            Constraint::Capacity { vars, .. }
+            | Constraint::DistinctGroups { vars, .. }
+            | Constraint::SameValue { vars, .. }
+            | Constraint::MaxSpread { vars, .. }
+            | Constraint::NonInterleaved { vars, .. } => {
+                for v in vars.iter_mut() {
+                    *v = map_var(*v);
+                }
+            }
+            Constraint::ForbiddenValue { var, .. } => *var = map_var(*var),
+            Constraint::Linear { terms, .. } => {
+                for t in terms.iter_mut() {
+                    t.var = map_var(t.var);
+                }
+            }
+        }
+        sub.add_constraint(c2);
+    }
+    let mut objective = Objective::default();
+    for (&var, cost) in &model.objective.terms {
+        if remap[var.index()] != usize::MAX {
+            objective.terms.insert(map_var(var), cost.clone());
+        }
+    }
+    sub.objective = objective;
+    sub
+}
+
+/// Solve a model by components, in parallel. Returns the merged outcome,
+/// assignment, summed stats, and component count. Infeasible components
+/// leave their variables at 0 (unscheduled) and degrade the outcome.
+pub fn solve_components(
+    model: &Model,
+    config: &SolverConfig,
+) -> (Outcome, Vec<i64>, SearchStats, usize) {
+    let comps = var_components(model);
+    if comps.len() <= 1 {
+        let r = solve(model, config);
+        return match r.best {
+            Some(sol) => (r.outcome, sol.assignment, r.stats, 1),
+            None => (r.outcome, vec![0; model.var_count()], r.stats, 1),
+        };
+    }
+    let subs: Vec<Model> = comps.iter().map(|c| sub_model(model, c)).collect();
+    let mut results: Vec<Option<cornet_solver::SolveResult>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> =
+            subs.iter().map(|m| scope.spawn(move |_| solve(m, config))).collect();
+        results = handles.into_iter().map(|h| Some(h.join().expect("solver panicked"))).collect();
+    })
+    .expect("crossbeam scope failed");
+
+    let mut assignment = vec![0i64; model.var_count()];
+    let mut stats = SearchStats::default();
+    let mut outcome = Outcome::Optimal;
+    for (comp, result) in comps.iter().zip(results) {
+        let r = result.expect("result present");
+        stats.nodes += r.stats.nodes;
+        stats.backtracks += r.stats.backtracks;
+        stats.solutions += r.stats.solutions;
+        stats.elapsed += r.stats.elapsed;
+        match (&r.best, r.outcome) {
+            (Some(sol), oc) => {
+                for (&old, &val) in comp.iter().zip(&sol.assignment) {
+                    assignment[old] = val;
+                }
+                if oc != Outcome::Optimal && outcome == Outcome::Optimal {
+                    outcome = Outcome::Feasible;
+                }
+            }
+            (None, _) => outcome = Outcome::Feasible,
+        }
+    }
+    (outcome, assignment, stats, comps.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_model::ModelBuilder;
+
+    fn two_component_model() -> Model {
+        let mut b = ModelBuilder::new("t", 4);
+        let vs = b.slot_vars("X", 4);
+        b.capacity("capA", vs[..2].to_vec(), vec![1, 1], 1);
+        b.capacity("capB", vs[2..].to_vec(), vec![1, 1], 1);
+        b.require_scheduled(&vs);
+        b.completion_objective(&vs, &[1; 4], 100);
+        b.build()
+    }
+
+    #[test]
+    fn components_found() {
+        let m = two_component_model();
+        let comps = var_components(&m);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1]);
+        assert_eq!(comps[1], vec![2, 3]);
+    }
+
+    #[test]
+    fn global_constraint_is_one_component() {
+        let mut b = ModelBuilder::new("t", 4);
+        let vs = b.slot_vars("X", 4);
+        b.capacity("global", vs.clone(), vec![1; 4], 2);
+        let m = b.build();
+        assert_eq!(var_components(&m).len(), 1);
+    }
+
+    #[test]
+    fn parallel_solve_matches_monolithic() {
+        let m = two_component_model();
+        let cfg = SolverConfig::default();
+        let mono = solve(&m, &cfg);
+        let (outcome, assignment, _, n) = solve_components(&m, &cfg);
+        assert_eq!(n, 2);
+        assert_eq!(outcome, Outcome::Optimal);
+        assert!(m.check(&assignment).is_ok());
+        assert_eq!(m.cost(&assignment), mono.solution().cost);
+    }
+
+    #[test]
+    fn unconstrained_vars_form_singletons() {
+        let mut b = ModelBuilder::new("t", 2);
+        b.slot_vars("X", 3);
+        let m = b.build();
+        assert_eq!(var_components(&m).len(), 3);
+        let (outcome, assignment, _, n) = solve_components(&m, &SolverConfig::default());
+        assert_eq!(n, 3);
+        assert_eq!(outcome, Outcome::Optimal);
+        assert_eq!(assignment.len(), 3);
+    }
+
+    #[test]
+    fn infeasible_component_degrades_gracefully() {
+        let mut b = ModelBuilder::new("t", 1);
+        let vs = b.slot_vars("X", 3);
+        // Component A: 2 vars, 1 slot, cap 1, both must schedule → infeasible.
+        b.capacity("capA", vs[..2].to_vec(), vec![1, 1], 1);
+        b.require_scheduled(&vs[..2]);
+        // Component B: fine.
+        b.capacity("capB", vs[2..].to_vec(), vec![1], 1);
+        let m = b.build();
+        let (outcome, assignment, _, n) = solve_components(&m, &SolverConfig::default());
+        assert_eq!(n, 2);
+        assert_eq!(outcome, Outcome::Feasible, "degraded, not crashed");
+        assert_eq!(assignment.len(), 3);
+    }
+}

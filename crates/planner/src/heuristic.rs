@@ -1,0 +1,466 @@
+//! Appendix C: the custom local-search heuristic for eNodeB/gNodeB
+//! scheduling at the scale generic solvers cannot reach (tens to hundreds
+//! of thousands of nodes).
+//!
+//! Faithful to Algorithm 1: timezones are sorted by UTC offset and
+//! scheduled sequentially; within a timezone the search repeatedly draws a
+//! market permutation, walks markets in order (localize), schedules whole
+//! USIDs at a time (consistency), sorts TACs by conflicts-then-size
+//! ("schedule less-conflicting large TACs as soon as possible"), respects
+//! per-slot capacity, and keeps the lexicographically best
+//! ⟨conflicts, weighted-completion-time⟩ schedule. Nodes that do not fit
+//! inside the window become leftovers for a later request.
+
+use crate::intent::parse_display_id;
+use cornet_types::{
+    ConflictTable, Inventory, NodeId, Schedule, SchedulingWindow, SimTime, Timeslot,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Heuristic configuration.
+#[derive(Clone, Debug)]
+pub struct HeuristicConfig {
+    /// RNG seed for market permutations.
+    pub seed: u64,
+    /// Capacity per timeslot, in nodes.
+    pub slot_capacity: i64,
+    /// Market permutations tried per timezone (the paper's wall-clock
+    /// stopping criterion, made deterministic).
+    pub iterations: usize,
+}
+
+impl Default for HeuristicConfig {
+    fn default() -> Self {
+        HeuristicConfig { seed: 1, slot_capacity: 200, iterations: 8 }
+    }
+}
+
+/// Hierarchy extracted from the inventory for the nodes in scope.
+struct Instance {
+    /// Timezones sorted by UTC offset descending (east → west).
+    timezones: Vec<TzGroup>,
+}
+
+struct TzGroup {
+    markets: Vec<MarketGroup>,
+}
+
+struct MarketGroup {
+    tacs: Vec<TacGroup>,
+}
+
+struct TacGroup {
+    /// USIDs as atomic node bundles.
+    usids: Vec<Vec<NodeId>>,
+    /// Total node count.
+    size: usize,
+}
+
+fn build_instance(inventory: &Inventory, nodes: &[NodeId]) -> Instance {
+    // tz → market → tac → usid → nodes, all BTreeMaps for determinism.
+    type UsidMap = BTreeMap<String, Vec<NodeId>>;
+    type TacMap = BTreeMap<String, UsidMap>;
+    type MarketMap = BTreeMap<String, TacMap>;
+    let mut tree: BTreeMap<i64, MarketMap> = BTreeMap::new();
+    for &n in nodes {
+        let tz = inventory
+            .attr_of(n, "utc_offset")
+            .and_then(|v| v.as_f64())
+            .map_or(0, |v| (v * 1000.0).round() as i64);
+        let market = inventory.group_key_of(n, "market").unwrap_or_else(|| "-".into());
+        let tac = inventory.group_key_of(n, "tac").unwrap_or_else(|| "-".into());
+        let usid = inventory.group_key_of(n, "usid").unwrap_or_else(|| n.to_string());
+        tree.entry(tz)
+            .or_default()
+            .entry(market)
+            .or_default()
+            .entry(tac)
+            .or_default()
+            .entry(usid)
+            .or_default()
+            .push(n);
+    }
+    // Descending offset: the east coast schedules first.
+    let timezones = tree
+        .into_iter()
+        .rev()
+        .map(|(_, markets)| TzGroup {
+            markets: markets
+                .into_values()
+                .map(|tacs| MarketGroup {
+                    tacs: tacs
+                        .into_values()
+                        .map(|usids| {
+                            let usids: Vec<Vec<NodeId>> = usids.into_values().collect();
+                            let size = usids.iter().map(Vec::len).sum();
+                            TacGroup { usids, size }
+                        })
+                        .collect(),
+                })
+                .collect(),
+        })
+        .collect();
+    Instance { timezones }
+}
+
+/// Sparse per-node conflict counts by usable-slot index.
+fn conflict_index(
+    conflicts: &ConflictTable,
+    window: &SchedulingWindow,
+    slots: &[Timeslot],
+) -> BTreeMap<NodeId, Vec<usize>> {
+    let mut map = BTreeMap::new();
+    for node in conflicts.nodes() {
+        let per_slot: Vec<usize> = slots
+            .iter()
+            .map(|&s| {
+                let (start, end) = window.slot_period(s);
+                conflicts.conflicts_in(node, start, end)
+            })
+            .collect();
+        if per_slot.iter().any(|c| *c > 0) {
+            map.insert(node, per_slot);
+        }
+    }
+    map
+}
+
+struct Attempt {
+    /// node → usable-slot index.
+    assignments: Vec<(NodeId, usize)>,
+    leftovers: Vec<NodeId>,
+    conflicts: usize,
+    wtct: u64,
+}
+
+/// One construction pass for a fixed market permutation (Algorithm 1
+/// lines 4–20).
+#[allow(clippy::too_many_arguments)]
+fn construct(
+    markets: &[&MarketGroup],
+    start_slot: usize,
+    remaining: &[i64],
+    conflict_idx: &BTreeMap<NodeId, Vec<usize>>,
+    n_slots: usize,
+) -> (Attempt, Vec<i64>) {
+    let mut cap = remaining.to_vec();
+    let mut attempt =
+        Attempt { assignments: Vec::new(), leftovers: Vec::new(), conflicts: 0, wtct: 0 };
+    let mut curr = start_slot;
+    let mut out_of_slots = false;
+
+    let tac_conflicts = |tac: &TacGroup, slot: usize| -> usize {
+        tac.usids
+            .iter()
+            .flatten()
+            .filter_map(|n| conflict_idx.get(n).map(|v| v[slot]))
+            .sum()
+    };
+
+    for market in markets {
+        if out_of_slots {
+            for tac in &market.tacs {
+                attempt.leftovers.extend(tac.usids.iter().flatten().copied());
+            }
+            continue;
+        }
+        // Remaining TACs of this market, by index.
+        let mut rem: Vec<usize> = (0..market.tacs.len()).collect();
+        // Per-TAC set of unscheduled USID indices.
+        let mut rem_usids: Vec<Vec<usize>> =
+            market.tacs.iter().map(|t| (0..t.usids.len()).collect()).collect();
+        while !rem.is_empty() {
+            if curr >= n_slots {
+                for &ti in &rem {
+                    for &ui in &rem_usids[ti] {
+                        attempt.leftovers.extend(market.tacs[ti].usids[ui].iter().copied());
+                    }
+                }
+                out_of_slots = true;
+                break;
+            }
+            if cap[curr] == 0 {
+                curr += 1;
+                continue;
+            }
+            // Sort by conflicts on the current slot, then by size descending.
+            rem.sort_by_key(|&ti| {
+                (tac_conflicts(&market.tacs[ti], curr), usize::MAX - market.tacs[ti].size)
+            });
+            let mut progress = false;
+            for &ti in &rem.clone() {
+                let tac = &market.tacs[ti];
+                rem_usids[ti].retain(|&ui| {
+                    let usid = &tac.usids[ui];
+                    if cap[curr] >= usid.len() as i64 {
+                        cap[curr] -= usid.len() as i64;
+                        for &n in usid {
+                            attempt.assignments.push((n, curr));
+                            if let Some(v) = conflict_idx.get(&n) {
+                                attempt.conflicts += v[curr];
+                            }
+                        }
+                        attempt.wtct += (curr as u64 + 1) * usid.len() as u64;
+                        progress = true;
+                        false // scheduled: drop from remaining
+                    } else {
+                        true
+                    }
+                });
+            }
+            rem.retain(|&ti| !rem_usids[ti].is_empty());
+            if !progress {
+                // Slot has spare capacity but no USID fits — move on.
+                curr += 1;
+            }
+        }
+    }
+    (attempt, cap)
+}
+
+/// Run Algorithm 1 over `nodes` inside `window`.
+pub fn heuristic_schedule(
+    inventory: &Inventory,
+    nodes: &[NodeId],
+    conflicts: &ConflictTable,
+    window: &SchedulingWindow,
+    config: &HeuristicConfig,
+) -> Schedule {
+    let slots = window.usable_slots();
+    let n_slots = slots.len();
+    let mut schedule = Schedule::default();
+    if n_slots == 0 {
+        schedule.leftovers = nodes.to_vec();
+        return schedule;
+    }
+    let instance = build_instance(inventory, nodes);
+    let conflict_idx = conflict_index(conflicts, window, &slots);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut remaining = vec![config.slot_capacity; n_slots];
+    let mut start_slot = 0usize;
+
+    for tz in &instance.timezones {
+        let mut best: Option<(Attempt, Vec<i64>)> = None;
+        for _ in 0..config.iterations.max(1) {
+            let mut perm: Vec<&MarketGroup> = tz.markets.iter().collect();
+            perm.shuffle(&mut rng);
+            let (attempt, cap) =
+                construct(&perm, start_slot, &remaining, &conflict_idx, n_slots);
+            let better = match &best {
+                None => true,
+                Some((b, _)) => {
+                    (attempt.conflicts, attempt.leftovers.len(), attempt.wtct)
+                        < (b.conflicts, b.leftovers.len(), b.wtct)
+                }
+            };
+            if better {
+                best = Some((attempt, cap));
+            }
+        }
+        let (attempt, cap) = best.expect("at least one iteration ran");
+        for (n, slot_idx) in &attempt.assignments {
+            schedule.assignments.insert(*n, slots[*slot_idx]);
+        }
+        schedule.leftovers.extend(attempt.leftovers);
+        schedule.conflicts += attempt.conflicts;
+        remaining = cap;
+        // Next timezone starts at the last slot that still has spare
+        // capacity among the slots we touched (Algorithm 1's
+        // start_timeslot bookkeeping) — adjacent-timezone border sharing.
+        let last_used = last_used_slot(&schedule, &slots);
+        start_slot = remaining
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(i, c)| **c > 0 && *i <= last_used)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+    }
+    schedule
+}
+
+fn last_used_slot(schedule: &Schedule, slots: &[Timeslot]) -> usize {
+    schedule
+        .makespan()
+        .and_then(|m| slots.iter().position(|s| *s == m))
+        .unwrap_or(0)
+}
+
+/// Convenience: build a conflict table from display-id keyed periods (the
+/// intent JSON's `conflict_table` shape) — used by benches.
+pub fn conflict_table_from_pairs(
+    pairs: &[(&str, SimTime, SimTime)],
+) -> cornet_types::Result<ConflictTable> {
+    let mut ct = ConflictTable::new();
+    for (id, start, end) in pairs {
+        ct.add(
+            parse_display_id(id)?,
+            cornet_types::ConflictEntry {
+                start: *start,
+                end: *end,
+                tickets: vec![format!("CHG-{id}")],
+            },
+        );
+    }
+    Ok(ct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_types::{Attributes, NfType};
+
+    /// 2 timezones × 2 markets × 2 TACs × 3 USIDs × 2 nodes = 48 nodes.
+    fn ran_inventory() -> Inventory {
+        let mut inv = Inventory::new();
+        for tz in 0..2 {
+            for m in 0..2 {
+                for t in 0..2 {
+                    for u in 0..3 {
+                        for n in 0..2 {
+                            inv.push(
+                                format!("n-{tz}{m}{t}{u}{n}"),
+                                if n == 0 { NfType::ENodeB } else { NfType::GNodeB },
+                                Attributes::new()
+                                    .with("utc_offset", -5.0 - tz as f64)
+                                    .with("market", format!("TZ{tz}-M{m}"))
+                                    .with("tac", format!("TZ{tz}-M{m}-T{t}"))
+                                    .with("usid", format!("TZ{tz}-M{m}-T{t}-U{u}")),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        inv
+    }
+
+    fn window(days: u32) -> SchedulingWindow {
+        SchedulingWindow::daily(SimTime::from_ymd_hm(2020, 7, 1, 0, 0), days)
+    }
+
+    #[test]
+    fn schedules_everything_with_room() {
+        let inv = ran_inventory();
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let cfg = HeuristicConfig { slot_capacity: 12, iterations: 4, seed: 1 };
+        let s = heuristic_schedule(&inv, &nodes, &ConflictTable::new(), &window(10), &cfg);
+        assert_eq!(s.scheduled_count(), 48);
+        assert!(s.leftovers.is_empty());
+        assert_eq!(s.conflicts, 0);
+    }
+
+    #[test]
+    fn respects_slot_capacity() {
+        let inv = ran_inventory();
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let cfg = HeuristicConfig { slot_capacity: 6, iterations: 2, seed: 1 };
+        let s = heuristic_schedule(&inv, &nodes, &ConflictTable::new(), &window(20), &cfg);
+        let mut per_slot: BTreeMap<Timeslot, usize> = BTreeMap::new();
+        for slot in s.assignments.values() {
+            *per_slot.entry(*slot).or_default() += 1;
+        }
+        assert!(per_slot.values().all(|&c| c <= 6), "{per_slot:?}");
+        assert_eq!(s.scheduled_count(), 48);
+    }
+
+    #[test]
+    fn usids_stay_atomic() {
+        let inv = ran_inventory();
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let cfg = HeuristicConfig { slot_capacity: 7, iterations: 3, seed: 2 };
+        let s = heuristic_schedule(&inv, &nodes, &ConflictTable::new(), &window(20), &cfg);
+        for pair in nodes.chunks(2) {
+            // Consecutive node pairs share a USID by construction.
+            assert_eq!(
+                s.assignments.get(&pair[0]),
+                s.assignments.get(&pair[1]),
+                "USID split across slots"
+            );
+        }
+    }
+
+    #[test]
+    fn window_overflow_creates_leftovers() {
+        let inv = ran_inventory();
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let cfg = HeuristicConfig { slot_capacity: 10, iterations: 2, seed: 1 };
+        let s = heuristic_schedule(&inv, &nodes, &ConflictTable::new(), &window(2), &cfg);
+        assert!(s.scheduled_count() <= 20);
+        assert_eq!(s.scheduled_count() + s.leftovers.len(), 48);
+        assert!(!s.leftovers.is_empty());
+    }
+
+    #[test]
+    fn conflicts_steer_tac_ordering() {
+        let inv = ran_inventory();
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        // Make the first TAC's nodes busy on day 1.
+        let mut ct = ConflictTable::new();
+        for &n in &nodes[..6] {
+            ct.add(
+                n,
+                cornet_types::ConflictEntry {
+                    start: SimTime::from_ymd_hm(2020, 7, 1, 0, 0),
+                    end: SimTime::from_ymd_hm(2020, 7, 1, 23, 59),
+                    tickets: vec!["BUSY".into()],
+                },
+            );
+        }
+        let cfg = HeuristicConfig { slot_capacity: 8, iterations: 6, seed: 3 };
+        let s = heuristic_schedule(&inv, &nodes, &ct, &window(15), &cfg);
+        assert_eq!(s.conflicts, 0, "heuristic avoids the busy day");
+        assert_eq!(s.scheduled_count(), 48);
+    }
+
+    #[test]
+    fn timezones_schedule_east_before_west() {
+        let inv = ran_inventory();
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let cfg = HeuristicConfig { slot_capacity: 6, iterations: 2, seed: 1 };
+        let s = heuristic_schedule(&inv, &nodes, &ConflictTable::new(), &window(20), &cfg);
+        let avg_slot = |tz: f64| {
+            let slots: Vec<u32> = nodes
+                .iter()
+                .filter(|n| {
+                    inv.attr_of(**n, "utc_offset").unwrap().as_f64().unwrap() == tz
+                })
+                .filter_map(|n| s.assignments.get(n).map(|t| t.0))
+                .collect();
+            slots.iter().sum::<u32>() as f64 / slots.len() as f64
+        };
+        assert!(avg_slot(-5.0) < avg_slot(-6.0), "east first");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let inv = ran_inventory();
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let cfg = HeuristicConfig { slot_capacity: 9, iterations: 4, seed: 7 };
+        let a = heuristic_schedule(&inv, &nodes, &ConflictTable::new(), &window(12), &cfg);
+        let b = heuristic_schedule(&inv, &nodes, &ConflictTable::new(), &window(12), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_window_all_leftover() {
+        let inv = ran_inventory();
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let w = SchedulingWindow::daily(SimTime::from_ymd_hm(2020, 7, 1, 0, 0), 1)
+            .exclude(
+                SimTime::from_ymd_hm(2020, 7, 1, 0, 0),
+                SimTime::from_ymd_hm(2020, 7, 1, 23, 59),
+            );
+        let s = heuristic_schedule(
+            &inv,
+            &nodes,
+            &ConflictTable::new(),
+            &w,
+            &HeuristicConfig::default(),
+        );
+        assert_eq!(s.leftovers.len(), 48);
+    }
+}

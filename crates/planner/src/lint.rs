@@ -1,0 +1,448 @@
+//! Intent linting — the §6 "high-level intent completeness" problem.
+//!
+//! "For new intents, it takes some level of mathematical sophistication to
+//! translate network operator's intent … and guarantee that they indeed
+//! capture network operators' intent." The linter closes part of that gap
+//! mechanically: before translation it checks an intent against the
+//! inventory for contradictions, vacuous rules, and capacity shortfalls
+//! that would otherwise surface as mysterious infeasibility or silently
+//! empty schedules, and explains each finding in operator language.
+
+use crate::intent::{ConstraintRule, PlanIntent};
+use cornet_types::{Inventory, NodeId, Result};
+use serde::Serialize;
+
+/// Severity of a lint finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum LintLevel {
+    /// The intent cannot produce a meaningful plan.
+    Error,
+    /// The intent will plan, but probably not the way the operator thinks.
+    Warning,
+}
+
+/// One lint finding with an operator-facing explanation.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct LintFinding {
+    /// Severity.
+    pub level: LintLevel,
+    /// Short machine-readable code, e.g. `"capacity-below-group"`.
+    pub code: String,
+    /// Human explanation with concrete numbers.
+    pub message: String,
+}
+
+/// Lint report for one intent over a node scope.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct LintReport {
+    /// Findings, errors first.
+    pub findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    /// True when no error-level findings exist.
+    pub fn is_plannable(&self) -> bool {
+        self.findings.iter().all(|f| f.level != LintLevel::Error)
+    }
+
+    fn error(&mut self, code: &str, message: String) {
+        self.findings.push(LintFinding { level: LintLevel::Error, code: code.into(), message });
+    }
+
+    fn warn(&mut self, code: &str, message: String) {
+        self.findings.push(LintFinding {
+            level: LintLevel::Warning,
+            code: code.into(),
+            message,
+        });
+    }
+}
+
+/// Lint an intent against the inventory and node scope.
+pub fn lint(intent: &PlanIntent, inventory: &Inventory, nodes: &[NodeId]) -> Result<LintReport> {
+    let mut report = LintReport::default();
+    let window = intent.window()?;
+    let usable = window.usable_slots();
+
+    // --- window sanity.
+    if usable.is_empty() {
+        report.error(
+            "window-fully-excluded",
+            "every slot of the scheduling window falls inside an excluded period".into(),
+        );
+    } else if usable.len() < window.raw_slot_count() as usize / 2 {
+        report.warn(
+            "window-mostly-excluded",
+            format!(
+                "only {} of {} slots are usable after exclusions",
+                usable.len(),
+                window.raw_slot_count()
+            ),
+        );
+    }
+    if window.maintenance.duration_minutes() == 0 {
+        report.error(
+            "empty-maintenance-window",
+            "the maintenance window has zero duration; no change can execute".into(),
+        );
+    }
+
+    // --- rule-by-rule checks.
+    let mut total_capacity_per_slot: Option<i64> = None;
+    let mut has_capacity_rule = false;
+    let mut largest_consistency_group = 0usize;
+    let mut consistency_attr = String::new();
+
+    for rule in &intent.constraints {
+        match rule {
+            ConstraintRule::Concurrency {
+                base_attribute,
+                aggregate_attribute,
+                granularity,
+                default_capacity,
+                ..
+            } => {
+                has_capacity_rule = true;
+                if *default_capacity <= 0 {
+                    report.error(
+                        "non-positive-capacity",
+                        format!(
+                            "concurrency on '{base_attribute}' has capacity {default_capacity}; nothing can be scheduled"
+                        ),
+                    );
+                }
+                if granularity.minutes() < window.granularity.minutes() {
+                    report.warn(
+                        "sub-slot-granularity",
+                        format!(
+                            "concurrency granularity ({} min) is finer than the timeslot ({} min); it will be applied per slot",
+                            granularity.minutes(),
+                            window.granularity.minutes()
+                        ),
+                    );
+                }
+                let check_attr = |attr: &str, report: &mut LintReport| {
+                    if attr != "common_id"
+                        && inventory.group_by(nodes, attr).group_count() == 0
+                        && !nodes.is_empty()
+                    {
+                        report.error(
+                            "unknown-attribute",
+                            format!("attribute '{attr}' is absent from every node in scope"),
+                        );
+                    }
+                };
+                check_attr(base_attribute, &mut report);
+                if let Some(agg) = aggregate_attribute {
+                    check_attr(agg, &mut report);
+                }
+                // Estimate total per-slot throughput for the shortfall check.
+                let slots_per_granule =
+                    (granularity.minutes() / window.granularity.minutes()).max(1) as i64;
+                // Round the per-slot throughput UP: a weekly cap of 5 over
+                // daily slots still admits up to 5 in some single slot, and
+                // flooring to 0 would raise false shortfall errors.
+                let per_slot = if base_attribute == &intent.schedulable_attribute {
+                    match aggregate_attribute {
+                        Some(agg) => {
+                            let groups = inventory.group_by(nodes, agg).group_count().max(1);
+                            ((default_capacity + slots_per_granule - 1) / slots_per_granule) * groups as i64
+                        }
+                        None => (default_capacity + slots_per_granule - 1) / slots_per_granule,
+                    }
+                } else {
+                    i64::MAX // distinct-group caps don't bound node throughput directly
+                };
+                total_capacity_per_slot = Some(match total_capacity_per_slot {
+                    Some(c) => c.min(per_slot),
+                    None => per_slot,
+                });
+            }
+            ConstraintRule::Consistency { attribute } => {
+                let groups = inventory.group_by(nodes, attribute);
+                if groups.group_count() == 0 && !nodes.is_empty() {
+                    report.error(
+                        "unknown-attribute",
+                        format!("consistency attribute '{attribute}' is absent from the scope"),
+                    );
+                } else {
+                    let largest =
+                        groups.members().iter().map(Vec::len).max().unwrap_or(0);
+                    if largest > largest_consistency_group {
+                        largest_consistency_group = largest;
+                        consistency_attr = attribute.clone();
+                    }
+                    if groups.group_count() == nodes.len() {
+                        report.warn(
+                            "vacuous-consistency",
+                            format!(
+                                "every node has a distinct '{attribute}'; the consistency rule groups nothing"
+                            ),
+                        );
+                    }
+                }
+            }
+            ConstraintRule::Uniformity { attribute, value } => {
+                // Sample evenly across the scope — node ids are often
+                // sorted by geography, so a prefix sample would see one
+                // timezone only.
+                let stride = (nodes.len() / 64).max(1);
+                let vals: Vec<f64> = nodes
+                    .iter()
+                    .step_by(stride)
+                    .filter_map(|&n| inventory.attr_of(n, attribute).and_then(|v| v.as_f64()))
+                    .collect();
+                if vals.is_empty() && !nodes.is_empty() {
+                    report.error(
+                        "non-numeric-uniformity",
+                        format!(
+                            "uniformity needs a numeric attribute; '{attribute}' is categorical or absent"
+                        ),
+                    );
+                } else if *value < 0.0 {
+                    report.error(
+                        "negative-uniformity-distance",
+                        format!("uniformity distance {value} is negative"),
+                    );
+                } else if !vals.is_empty() {
+                    let (lo, hi) = vals
+                        .iter()
+                        .fold((f64::MAX, f64::MIN), |(l, h), v| (l.min(*v), h.max(*v)));
+                    if hi - lo <= *value {
+                        report.warn(
+                            "vacuous-uniformity",
+                            format!(
+                                "all '{attribute}' values span {:.2} ≤ allowed {value}; the rule constrains nothing",
+                                hi - lo
+                            ),
+                        );
+                    }
+                }
+            }
+            ConstraintRule::Localize { attribute } => {
+                let groups = inventory.group_by(nodes, attribute);
+                if groups.group_count() == 0 && !nodes.is_empty() {
+                    report.error(
+                        "unknown-attribute",
+                        format!("localize attribute '{attribute}' is absent from the scope"),
+                    );
+                } else if groups.group_count() <= 1 {
+                    report.warn(
+                        "vacuous-localize",
+                        format!(
+                            "scope has {} group(s) of '{attribute}'; localize needs at least two to matter",
+                            groups.group_count()
+                        ),
+                    );
+                }
+            }
+            ConstraintRule::ConflictHandling { .. } | ConstraintRule::ConflictScope { .. } => {}
+        }
+    }
+
+    // --- capacity shortfall: can the window even hold the scope?
+    if let Some(per_slot) = total_capacity_per_slot {
+        if per_slot != i64::MAX {
+            let total = per_slot.saturating_mul(usable.len() as i64);
+            if (nodes.len() as i64) > total {
+                report.error(
+                    "window-capacity-shortfall",
+                    format!(
+                        "{} nodes in scope but the window holds at most {} ({} usable slots × {} per slot); expect leftovers",
+                        nodes.len(),
+                        total,
+                        usable.len(),
+                        per_slot
+                    ),
+                );
+            }
+            if largest_consistency_group as i64 > per_slot {
+                report.error(
+                    "capacity-below-group",
+                    format!(
+                        "largest '{consistency_attr}' consistency group has {largest_consistency_group} nodes but per-slot capacity is {per_slot}; the group can never be scheduled together"
+                    ),
+                );
+            }
+        }
+    } else if !has_capacity_rule {
+        report.warn(
+            "no-concurrency-rule",
+            "no concurrency rule: the whole scope may be scheduled into a single slot".into(),
+        );
+    }
+
+    // --- frozen elements that match nothing.
+    for f in &intent.frozen_elements {
+        let matches_any = nodes.iter().any(|&n| {
+            f.selector.iter().all(|(key, value)| {
+                inventory.group_key_of(n, key).as_deref() == Some(value.as_str())
+            }) && !f.selector.is_empty()
+        });
+        if !matches_any {
+            report.warn(
+                "frozen-matches-nothing",
+                format!("frozen element {:?} matches no node in scope", f.selector),
+            );
+        }
+    }
+
+    report.findings.sort_by_key(|f| match f.level {
+        LintLevel::Error => 0,
+        LintLevel::Warning => 1,
+    });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_types::{Attributes, NfType};
+
+    fn inventory() -> Inventory {
+        let mut inv = Inventory::new();
+        for i in 0..8 {
+            inv.push(
+                format!("n{i}"),
+                NfType::ENodeB,
+                Attributes::new()
+                    .with("market", if i < 4 { "NYC" } else { "DFW" })
+                    .with("utc_offset", if i < 4 { -5.0 } else { -6.0 })
+                    .with("usid", format!("U{}", i / 2)),
+            );
+        }
+        inv
+    }
+
+    fn intent(json_constraints: &str) -> PlanIntent {
+        PlanIntent::from_json(&format!(
+            r#"{{
+            "scheduling_window": {{"start": "2020-07-01 00:00:00",
+                                   "end": "2020-07-04 23:59:00",
+                                   "granularity": {{"metric": "day", "value": 1}}}},
+            "maintenance_window": {{"start": "0:00", "end": "6:00"}},
+            "schedulable_attribute": "common_id",
+            "conflict_attribute": "common_id",
+            "constraints": [{json_constraints}]
+        }}"#
+        ))
+        .unwrap()
+    }
+
+    fn nodes() -> Vec<NodeId> {
+        (0..8).map(NodeId).collect()
+    }
+
+    const CAP2: &str = r#"{"name": "concurrency", "base_attribute": "common_id",
+        "operator": "<=", "granularity": {"metric": "day", "value": 1},
+        "default_capacity": 2}"#;
+
+    #[test]
+    fn clean_intent_passes() {
+        let it = intent(CAP2);
+        let r = lint(&it, &inventory(), &nodes()).unwrap();
+        assert!(r.is_plannable(), "{:?}", r.findings);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn capacity_shortfall_detected() {
+        // 8 nodes, 4 slots × capacity 1 = 4 places.
+        let it = intent(
+            r#"{"name": "concurrency", "base_attribute": "common_id",
+                "operator": "<=", "granularity": {"metric": "day", "value": 1},
+                "default_capacity": 1}"#,
+        );
+        let r = lint(&it, &inventory(), &nodes()).unwrap();
+        assert!(!r.is_plannable());
+        assert!(r.findings.iter().any(|f| f.code == "window-capacity-shortfall"));
+    }
+
+    #[test]
+    fn consistency_group_exceeding_capacity() {
+        let it = intent(&format!(
+            r#"{}, {{"name": "consistency", "attribute": "usid"}}"#,
+            r#"{"name": "concurrency", "base_attribute": "common_id",
+                "operator": "<=", "granularity": {"metric": "day", "value": 1},
+                "default_capacity": 1}"#
+        ));
+        let r = lint(&it, &inventory(), &nodes()).unwrap();
+        assert!(r.findings.iter().any(|f| f.code == "capacity-below-group"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn unknown_attribute_is_error() {
+        let it = intent(
+            r#"{"name": "localize", "attribute": "region_code"}"#,
+        );
+        let r = lint(&it, &inventory(), &nodes()).unwrap();
+        assert!(!r.is_plannable());
+        assert!(r.findings.iter().any(|f| f.code == "unknown-attribute"));
+    }
+
+    #[test]
+    fn categorical_uniformity_is_error() {
+        let it = intent(r#"{"name": "uniformity", "attribute": "market", "value": 1}"#);
+        let r = lint(&it, &inventory(), &nodes()).unwrap();
+        assert!(r.findings.iter().any(|f| f.code == "non-numeric-uniformity"));
+    }
+
+    #[test]
+    fn vacuous_rules_warn() {
+        let it = intent(&format!(
+            r#"{CAP2}, {{"name": "uniformity", "attribute": "utc_offset", "value": 10}},
+               {{"name": "localize", "attribute": "nf_type"}}"#
+        ));
+        let r = lint(&it, &inventory(), &nodes()).unwrap();
+        assert!(r.is_plannable());
+        assert!(r.findings.iter().any(|f| f.code == "vacuous-uniformity"));
+        assert!(r.findings.iter().any(|f| f.code == "vacuous-localize"));
+    }
+
+    #[test]
+    fn fully_excluded_window_is_error() {
+        let mut it = intent(CAP2);
+        it.excluded_periods.push(crate::intent::PeriodSpec {
+            start: "2020-07-01 00:00:00".into(),
+            end: "2020-07-04 23:59:00".into(),
+        });
+        let r = lint(&it, &inventory(), &nodes()).unwrap();
+        assert!(r.findings.iter().any(|f| f.code == "window-fully-excluded"));
+    }
+
+    #[test]
+    fn frozen_matching_nothing_warns() {
+        let mut it = intent(CAP2);
+        it.frozen_elements.push(crate::intent::FrozenElement {
+            start: None,
+            end: None,
+            selector: [("market".to_string(), "SEA".to_string())].into(),
+        });
+        let r = lint(&it, &inventory(), &nodes()).unwrap();
+        assert!(r.findings.iter().any(|f| f.code == "frozen-matches-nothing"));
+    }
+
+    #[test]
+    fn missing_concurrency_warns() {
+        let it = intent(r#"{"name": "conflict_handling", "value": "zero-tolerance"}"#);
+        let r = lint(&it, &inventory(), &nodes()).unwrap();
+        assert!(r.is_plannable());
+        assert!(r.findings.iter().any(|f| f.code == "no-concurrency-rule"));
+    }
+
+    #[test]
+    fn errors_sort_before_warnings() {
+        let it = intent(&format!(
+            r#"{{"name": "uniformity", "attribute": "market", "value": 1}}, {CAP2}"#
+        ));
+        let mut it = it;
+        it.frozen_elements.push(crate::intent::FrozenElement {
+            start: None,
+            end: None,
+            selector: [("market".to_string(), "SEA".to_string())].into(),
+        });
+        let r = lint(&it, &inventory(), &nodes()).unwrap();
+        assert!(r.findings.len() >= 2);
+        assert_eq!(r.findings[0].level, LintLevel::Error);
+    }
+}

@@ -1,0 +1,272 @@
+//! End-to-end planning facade: translate → (decompose) → solve → decode.
+//!
+//! This is the "schedule planning workflow" of §4.2 — the NF-agnostic
+//! composition of extract-inventory, extract-topology, detect-conflicts,
+//! model-translation and optimization-solver building blocks, callable as
+//! one function. It reports both the *schedule quality* (makespan,
+//! conflicts) and the *discovery time* the paper's evaluation measures.
+
+use crate::decompose::solve_components;
+use crate::intent::PlanIntent;
+use crate::translate::{translate, TranslateOptions, Translation};
+use cornet_model::ModelStats;
+use cornet_solver::{solve, Outcome, SearchStats, SolverConfig};
+use cornet_types::{Inventory, NodeId, Result, Schedule, Topology};
+use std::time::{Duration, Instant};
+
+/// Options for one planning run.
+#[derive(Clone, Debug, Default)]
+pub struct PlanOptions {
+    /// Translation strategy knobs.
+    pub translate: TranslateOptions,
+    /// Solver budgets.
+    pub solver: SolverConfig,
+    /// Split the model into independent components and solve them in
+    /// parallel (§3.3.3 idea (b)).
+    pub decompose: bool,
+}
+
+/// Outcome of a planning run.
+#[derive(Clone, Debug)]
+pub struct PlanResult {
+    /// The discovered schedule.
+    pub schedule: Schedule,
+    /// Solver outcome (optimality/feasibility).
+    pub outcome: Outcome,
+    /// Statistics of the generated model.
+    pub model_stats: ModelStats,
+    /// Search statistics (summed over components when decomposed).
+    pub search_stats: SearchStats,
+    /// Wall-clock schedule discovery time (translation + solving) — the
+    /// §4.2 metric.
+    pub discovery_time: Duration,
+    /// Number of independent components solved.
+    pub components: usize,
+}
+
+impl PlanResult {
+    /// Makespan in slots (0 when nothing scheduled).
+    pub fn makespan(&self) -> u32 {
+        self.schedule.makespan().map_or(0, |s| s.0)
+    }
+}
+
+/// Discover a schedule for `nodes` under `intent`.
+pub fn plan(
+    intent: &PlanIntent,
+    inventory: &Inventory,
+    topology: &Topology,
+    nodes: &[NodeId],
+    options: &PlanOptions,
+) -> Result<PlanResult> {
+    let started = Instant::now();
+    let translation: Translation =
+        translate(intent, inventory, topology, nodes, &options.translate)?;
+    let model_stats = translation.model.stats();
+    let conflicts = intent.conflicts()?;
+
+    let (outcome, assignment, search_stats, components) = if options.decompose {
+        solve_components(&translation.model, &options.solver)
+    } else {
+        let r = solve(&translation.model, &options.solver);
+        match r.best {
+            Some(sol) => (r.outcome, sol.assignment, r.stats, 1),
+            None => {
+                return Err(cornet_types::CornetError::Infeasible(format!(
+                    "no schedule under the given intent ({:?})",
+                    r.outcome
+                )))
+            }
+        }
+    };
+
+    let schedule = translation.decode(&assignment, &conflicts);
+    Ok(PlanResult {
+        schedule,
+        outcome,
+        model_stats,
+        search_stats,
+        discovery_time: started.elapsed(),
+        components,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_types::{Attributes, NfType, Timeslot};
+
+    fn inventory(n: usize) -> Inventory {
+        let mut inv = Inventory::new();
+        for i in 0..n {
+            let market = if i % 2 == 0 { "NYC" } else { "DFW" };
+            let tz = if i % 2 == 0 { -5.0 } else { -6.0 };
+            inv.push(
+                format!("n{i}"),
+                NfType::ENodeB,
+                Attributes::new()
+                    .with("market", market)
+                    .with("utc_offset", tz)
+                    .with("ems", format!("EMS-{}", i % 2)),
+            );
+        }
+        inv
+    }
+
+    fn base_intent(cap: i64) -> PlanIntent {
+        PlanIntent::from_json(&format!(
+            r#"{{
+            "scheduling_window": {{"start": "2020-07-01 00:00:00",
+                                   "end": "2020-07-10 23:59:00",
+                                   "granularity": {{"metric": "day", "value": 1}}}},
+            "maintenance_window": {{"start": "0:00", "end": "6:00"}},
+            "schedulable_attribute": "common_id",
+            "conflict_attribute": "common_id",
+            "constraints": [
+                {{"name": "concurrency", "base_attribute": "common_id",
+                  "operator": "<=", "granularity": {{"metric": "day", "value": 1}},
+                  "default_capacity": {cap}}}
+            ]
+        }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn plans_and_respects_capacity() {
+        let inv = inventory(6);
+        let topo = Topology::with_capacity(6);
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let r = plan(&base_intent(2), &inv, &topo, &nodes, &PlanOptions::default()).unwrap();
+        assert_eq!(r.schedule.scheduled_count(), 6);
+        assert_eq!(r.outcome, Outcome::Optimal);
+        assert_eq!(r.makespan(), 3, "6 nodes at 2/slot");
+        for slot in 1..=3 {
+            assert!(r.schedule.nodes_in_slot(Timeslot(slot)).len() <= 2);
+        }
+        assert!(r.discovery_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn per_ems_concurrency_decomposes() {
+        let inv = inventory(8);
+        let topo = Topology::with_capacity(8);
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let mut intent = base_intent(4);
+        // Replace global concurrency with a per-EMS one → two components.
+        intent.constraints = vec![crate::intent::ConstraintRule::Concurrency {
+            base_attribute: "common_id".into(),
+            aggregate_attribute: Some("ems".into()),
+            operator: "<=".into(),
+            granularity: cornet_types::Granularity::daily(),
+            default_capacity: 2,
+        }];
+        let opts = PlanOptions { decompose: true, ..Default::default() };
+        let r = plan(&intent, &inv, &topo, &nodes, &opts).unwrap();
+        assert_eq!(r.components, 2, "per-EMS capacity separates the model");
+        assert_eq!(r.schedule.scheduled_count(), 8);
+        assert_eq!(r.makespan(), 2, "4 per EMS at 2/slot");
+    }
+
+    #[test]
+    fn decomposed_equals_monolithic_cost() {
+        let inv = inventory(8);
+        let topo = Topology::with_capacity(8);
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let mut intent = base_intent(4);
+        intent.constraints = vec![crate::intent::ConstraintRule::Concurrency {
+            base_attribute: "common_id".into(),
+            aggregate_attribute: Some("ems".into()),
+            operator: "<=".into(),
+            granularity: cornet_types::Granularity::daily(),
+            default_capacity: 2,
+        }];
+        let mono = plan(&intent, &inv, &topo, &nodes, &PlanOptions::default()).unwrap();
+        let deco = plan(
+            &intent,
+            &inv,
+            &topo,
+            &nodes,
+            &PlanOptions { decompose: true, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(
+            mono.schedule.weighted_completion_time(),
+            deco.schedule.weighted_completion_time()
+        );
+    }
+
+    #[test]
+    fn infeasible_window_is_reported() {
+        let inv = inventory(4);
+        let topo = Topology::with_capacity(4);
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let mut intent = base_intent(1);
+        // 1-day window, capacity 1, 4 nodes, zero tolerance doesn't force
+        // scheduling — so this is feasible with leftovers, not infeasible.
+        intent.scheduling_window.end = "2020-07-01 23:59:00".into();
+        let r = plan(&intent, &inv, &topo, &nodes, &PlanOptions::default()).unwrap();
+        assert_eq!(r.schedule.scheduled_count(), 1);
+        assert_eq!(r.schedule.leftovers.len(), 3, "window too small → leftovers");
+    }
+
+    #[test]
+    fn full_composition_solves() {
+        // Concurrency + consistency + uniformity + localize together (the
+        // §4.2 exhaustive-composition experiment's richest point).
+        let mut inv = Inventory::new();
+        for i in 0..8 {
+            let market = ["NYC", "DFW"][i / 4];
+            let tz = [-5.0, -6.0][i / 4];
+            inv.push(
+                format!("n{i}"),
+                NfType::ENodeB,
+                Attributes::new()
+                    .with("market", market)
+                    .with("utc_offset", tz)
+                    .with("usid", format!("U{}", i / 2)),
+            );
+        }
+        let topo = Topology::with_capacity(8);
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let intent = PlanIntent::from_json(
+            r#"{
+            "scheduling_window": {"start": "2020-07-01 00:00:00",
+                                   "end": "2020-07-12 23:59:00",
+                                   "granularity": {"metric": "day", "value": 1}},
+            "maintenance_window": {"start": "0:00", "end": "6:00"},
+            "schedulable_attribute": "common_id",
+            "conflict_attribute": "common_id",
+            "constraints": [
+                {"name": "conflict_handling", "value": "zero-tolerance"},
+                {"name": "concurrency", "base_attribute": "common_id",
+                 "operator": "<=", "granularity": {"metric": "day", "value": 1},
+                 "default_capacity": 2},
+                {"name": "consistency", "attribute": "usid"},
+                {"name": "uniformity", "attribute": "utc_offset", "value": 0.5},
+                {"name": "localize", "attribute": "market"}
+            ]
+        }"#,
+        )
+        .unwrap();
+        let r = plan(&intent, &inv, &topo, &nodes, &PlanOptions::default()).unwrap();
+        assert_eq!(r.schedule.scheduled_count(), 8);
+        // Consistency: USID pairs share a slot.
+        for p in 0..4 {
+            assert_eq!(
+                r.schedule.assignments[&NodeId(2 * p)],
+                r.schedule.assignments[&NodeId(2 * p + 1)]
+            );
+        }
+        // Uniformity: NYC (−5) and DFW (−6) never share a slot.
+        for (n, slot) in &r.schedule.assignments {
+            for (m, slot2) in &r.schedule.assignments {
+                if slot == slot2 {
+                    let tz_n = inv.attr_of(*n, "utc_offset").unwrap().as_f64().unwrap();
+                    let tz_m = inv.attr_of(*m, "utc_offset").unwrap().as_f64().unwrap();
+                    assert!((tz_n - tz_m).abs() <= 0.5);
+                }
+            }
+        }
+    }
+}

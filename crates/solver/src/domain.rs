@@ -1,0 +1,186 @@
+//! Bitset domains over small non-negative integer values.
+//!
+//! Slot-assignment variables range over `0..=T` with `T` at most a few
+//! thousand, so a fixed-width bitset gives O(words) intersection and O(1)
+//! membership — the operations propagation hammers on.
+
+/// A set of values in `0..=max_value`, stored as a bitset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitDomain {
+    words: Vec<u64>,
+    size: u32,
+}
+
+impl BitDomain {
+    /// Full domain `lo..=hi` inside universe `0..=max_value`.
+    pub fn new(lo: i64, hi: i64, max_value: i64) -> Self {
+        assert!(lo >= 0 && hi <= max_value, "domain outside universe");
+        let nwords = (max_value as usize + 64) / 64;
+        let mut d = BitDomain { words: vec![0; nwords], size: 0 };
+        for v in lo..=hi {
+            d.insert(v);
+        }
+        d
+    }
+
+    #[inline]
+    fn slot(v: i64) -> (usize, u64) {
+        ((v as usize) / 64, 1u64 << ((v as usize) % 64))
+    }
+
+    /// Insert a value (no-op if present).
+    pub fn insert(&mut self, v: i64) {
+        let (w, m) = Self::slot(v);
+        if self.words[w] & m == 0 {
+            self.words[w] |= m;
+            self.size += 1;
+        }
+    }
+
+    /// Remove a value. Returns true if it was present.
+    pub fn remove(&mut self, v: i64) -> bool {
+        let (w, m) = Self::slot(v);
+        if w < self.words.len() && self.words[w] & m != 0 {
+            self.words[w] &= !m;
+            self.size -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: i64) -> bool {
+        if v < 0 {
+            return false;
+        }
+        let (w, m) = Self::slot(v);
+        w < self.words.len() && self.words[w] & m != 0
+    }
+
+    /// Number of values in the domain.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.size
+    }
+
+    /// True when the domain is empty (dead end).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// True when exactly one value remains.
+    #[inline]
+    pub fn is_fixed(&self) -> bool {
+        self.size == 1
+    }
+
+    /// Smallest value, or `None` when empty.
+    pub fn min(&self) -> Option<i64> {
+        for (w, word) in self.words.iter().enumerate() {
+            if *word != 0 {
+                return Some((w * 64 + word.trailing_zeros() as usize) as i64);
+            }
+        }
+        None
+    }
+
+    /// Largest value, or `None` when empty.
+    pub fn max(&self) -> Option<i64> {
+        for (w, word) in self.words.iter().enumerate().rev() {
+            if *word != 0 {
+                return Some((w * 64 + 63 - word.leading_zeros() as usize) as i64);
+            }
+        }
+        None
+    }
+
+    /// The single remaining value of a fixed domain.
+    pub fn fixed_value(&self) -> Option<i64> {
+        if self.is_fixed() {
+            self.min()
+        } else {
+            None
+        }
+    }
+
+    /// Iterate over values in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, word)| {
+            let mut bits = *word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some((w * 64 + b) as i64)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_query() {
+        let d = BitDomain::new(0, 5, 10);
+        assert_eq!(d.len(), 6);
+        assert!(d.contains(0));
+        assert!(d.contains(5));
+        assert!(!d.contains(6));
+        assert!(!d.contains(-1));
+        assert_eq!(d.min(), Some(0));
+        assert_eq!(d.max(), Some(5));
+    }
+
+    #[test]
+    fn remove_and_fixed() {
+        let mut d = BitDomain::new(1, 3, 10);
+        assert!(d.remove(2));
+        assert!(!d.remove(2), "double remove is a no-op");
+        assert_eq!(d.len(), 2);
+        assert!(d.remove(1));
+        assert!(d.is_fixed());
+        assert_eq!(d.fixed_value(), Some(3));
+        assert!(d.remove(3));
+        assert!(d.is_empty());
+        assert_eq!(d.min(), None);
+        assert_eq!(d.max(), None);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut d = BitDomain::new(0, 130, 200);
+        d.remove(64);
+        d.remove(65);
+        let vals: Vec<i64> = d.iter().collect();
+        assert_eq!(vals.len(), 129);
+        assert_eq!(vals[0], 0);
+        assert_eq!(vals[63], 63);
+        assert_eq!(vals[64], 66, "gap skipped");
+        assert_eq!(*vals.last().unwrap(), 130);
+    }
+
+    #[test]
+    fn cross_word_min_max() {
+        let mut d = BitDomain::new(100, 150, 200);
+        assert_eq!(d.min(), Some(100));
+        assert_eq!(d.max(), Some(150));
+        d.remove(100);
+        d.remove(150);
+        assert_eq!(d.min(), Some(101));
+        assert_eq!(d.max(), Some(149));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_panics() {
+        BitDomain::new(0, 20, 10);
+    }
+}

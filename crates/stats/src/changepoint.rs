@@ -1,0 +1,140 @@
+//! Level-shift (changepoint) detection on KPI series.
+//!
+//! Fig. 2 of the paper shows upward/downward *level changes* in per-carrier
+//! throughput on the day a change lands. We detect such shifts with a
+//! simple two-window median comparison scanned across the series: at each
+//! candidate index, compare the medians of the trailing and leading windows
+//! and flag points where the gap exceeds `threshold × MAD` of the trailing
+//! window. Adjacent detections are merged, keeping the strongest.
+
+use crate::descriptive::{mad, median};
+
+/// A detected level shift.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelShift {
+    /// Index of the first sample *after* the shift.
+    pub index: usize,
+    /// Post-window median minus pre-window median.
+    pub delta: f64,
+    /// |delta| in units of the pre-window MAD (detection strength).
+    pub score: f64,
+}
+
+impl LevelShift {
+    /// Whether the KPI moved up at the shift.
+    pub fn is_upward(&self) -> bool {
+        self.delta > 0.0
+    }
+}
+
+/// Scan `xs` for level shifts using symmetric windows of `window` samples.
+///
+/// `threshold` is in robust sigma units (pre-window MAD); 4–6 is a sensible
+/// range for daily KPIs. Returns shifts sorted by index. Series shorter
+/// than `2 × window` yield no detections.
+pub fn detect_level_shifts(xs: &[f64], window: usize, threshold: f64) -> Vec<LevelShift> {
+    assert!(window >= 2, "window must be at least 2");
+    if xs.len() < 2 * window {
+        return Vec::new();
+    }
+    let mut raw = Vec::new();
+    for i in window..=(xs.len() - window) {
+        let pre: Vec<f64> = xs[i - window..i].iter().copied().filter(|v| !v.is_nan()).collect();
+        let post: Vec<f64> = xs[i..i + window].iter().copied().filter(|v| !v.is_nan()).collect();
+        if pre.len() < 2 || post.len() < 2 {
+            continue;
+        }
+        let delta = median(&post) - median(&pre);
+        // Floor the scale so perfectly flat windows don't divide by zero.
+        let scale = mad(&pre).max(1e-9 * median(&pre).abs()).max(1e-12);
+        let score = delta.abs() / scale;
+        if score >= threshold {
+            raw.push(LevelShift { index: i, delta, score });
+        }
+    }
+    // Merge runs of adjacent candidate indices, keeping the strongest.
+    let mut merged: Vec<LevelShift> = Vec::new();
+    for shift in raw {
+        match merged.last_mut() {
+            Some(last) if shift.index <= last.index + window => {
+                if shift.score > last.score {
+                    *last = shift;
+                }
+            }
+            _ => merged.push(shift),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_series(level_a: f64, level_b: f64, n_a: usize, n_b: usize) -> Vec<f64> {
+        let mut v = Vec::new();
+        for i in 0..n_a {
+            v.push(level_a + ((i % 3) as f64 - 1.0) * 0.05);
+        }
+        for i in 0..n_b {
+            v.push(level_b + ((i % 3) as f64 - 1.0) * 0.05);
+        }
+        v
+    }
+
+    #[test]
+    fn detects_upward_step() {
+        let xs = step_series(10.0, 12.0, 20, 20);
+        let shifts = detect_level_shifts(&xs, 5, 5.0);
+        assert_eq!(shifts.len(), 1, "one step → one detection, got {shifts:?}");
+        let s = shifts[0];
+        assert!(s.is_upward());
+        assert!((s.index as i64 - 20).unsigned_abs() <= 2, "index {} near 20", s.index);
+        assert!((s.delta - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn detects_downward_step() {
+        let xs = step_series(12.0, 9.0, 15, 15);
+        let shifts = detect_level_shifts(&xs, 5, 5.0);
+        assert_eq!(shifts.len(), 1);
+        assert!(!shifts[0].is_upward());
+    }
+
+    #[test]
+    fn flat_series_yields_nothing() {
+        let xs = step_series(10.0, 10.0, 20, 20);
+        assert!(detect_level_shifts(&xs, 5, 5.0).is_empty());
+    }
+
+    #[test]
+    fn short_series_yields_nothing() {
+        assert!(detect_level_shifts(&[1.0, 2.0, 3.0], 5, 5.0).is_empty());
+    }
+
+    #[test]
+    fn tolerates_missing_samples() {
+        let mut xs = step_series(10.0, 13.0, 20, 20);
+        xs[7] = f64::NAN;
+        xs[25] = f64::NAN;
+        let shifts = detect_level_shifts(&xs, 5, 5.0);
+        assert_eq!(shifts.len(), 1);
+        assert!(shifts[0].is_upward());
+    }
+
+    #[test]
+    fn two_separated_steps() {
+        let mut xs = step_series(10.0, 14.0, 25, 25);
+        xs.extend(step_series(7.0, 7.0, 25, 0));
+        let shifts = detect_level_shifts(&xs, 5, 5.0);
+        assert_eq!(shifts.len(), 2, "{shifts:?}");
+        assert!(shifts[0].is_upward());
+        assert!(!shifts[1].is_upward());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 2")]
+    fn tiny_window_panics() {
+        detect_level_shifts(&[1.0; 10], 1, 3.0);
+    }
+}

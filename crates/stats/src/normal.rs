@@ -1,0 +1,72 @@
+//! Standard normal distribution helpers.
+//!
+//! The rank tests in [`crate::rank`] use large-sample normal approximations,
+//! so all we need is an accurate CDF. We use the Abramowitz & Stegun 7.1.26
+//! rational approximation of `erf` (max absolute error ≈ 1.5e-7), which is
+//! far below the decision thresholds used for go/no-go calls.
+
+/// Error function approximation (A&S 7.1.26).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// CDF of the standard normal distribution.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Two-sided p-value for a standard-normal test statistic.
+pub fn two_sided_p(z: f64) -> f64 {
+    if z.is_nan() {
+        return f64::NAN;
+    }
+    (2.0 * (1.0 - normal_cdf(z.abs()))).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_known_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.9750021).abs() < 1e-4);
+        assert!((normal_cdf(-1.96) - 0.0249979).abs() < 1e-4);
+        assert!((normal_cdf(3.0) - 0.9986501).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        for z in [0.1, 0.7, 1.3, 2.2, 4.0] {
+            assert!((normal_cdf(z) + normal_cdf(-z) - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn two_sided_p_values() {
+        assert!((two_sided_p(1.96) - 0.05).abs() < 1e-3);
+        assert!((two_sided_p(0.0) - 1.0).abs() < 1e-7);
+        assert!(two_sided_p(10.0) < 1e-9);
+        assert!(two_sided_p(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn p_monotone_in_abs_z() {
+        let mut prev = 1.0;
+        for i in 0..50 {
+            let p = two_sided_p(i as f64 * 0.1);
+            assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+    }
+}

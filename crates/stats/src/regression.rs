@@ -1,0 +1,158 @@
+//! Robust regression between study and control KPI series.
+//!
+//! The verifier "creates a robust regression model between the study
+//! group (S) and control group (C) KPI time-series for the interval before
+//! the change, S = βC" (§3.5.2), then predicts the post-change study series
+//! from the post-change control series. Two estimators are provided:
+//!
+//! * [`ratio_regression`] — the paper's through-origin model `S = βC`, with
+//!   β estimated as the median of pointwise ratios (resistant to outliers);
+//! * [`theil_sen`] — the classical Theil–Sen line `S = α + βC` (median of
+//!   pairwise slopes), useful when KPIs have an additive offset.
+
+use crate::descriptive::median;
+
+/// A fitted robust linear relation `y ≈ intercept + slope · x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RobustFit {
+    /// Intercept α (zero for the through-origin ratio model).
+    pub intercept: f64,
+    /// Slope β.
+    pub slope: f64,
+}
+
+impl RobustFit {
+    /// Predict y for a single x.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Predict a whole series.
+    pub fn predict_series(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.predict(x)).collect()
+    }
+
+    /// Median absolute residual of the fit on `(xs, ys)` — a robust
+    /// goodness-of-fit figure the verifier can threshold on.
+    pub fn median_abs_residual(&self, xs: &[f64], ys: &[f64]) -> f64 {
+        assert_eq!(xs.len(), ys.len());
+        let resid: Vec<f64> = xs.iter().zip(ys).map(|(&x, &y)| (y - self.predict(x)).abs()).collect();
+        median(&resid)
+    }
+}
+
+/// Through-origin robust ratio regression `S = βC` (§3.5.2).
+///
+/// β is the median of the pointwise ratios `s_i / c_i`, skipping pairs with
+/// `c_i == 0`. Falls back to β = 1 when no usable pair exists (identical
+/// prediction — the verifier then compares raw series).
+pub fn ratio_regression(control: &[f64], study: &[f64]) -> RobustFit {
+    assert_eq!(control.len(), study.len(), "series length mismatch");
+    let ratios: Vec<f64> = control
+        .iter()
+        .zip(study)
+        .filter(|(&c, _)| c != 0.0)
+        .map(|(&c, &s)| s / c)
+        .filter(|r| r.is_finite())
+        .collect();
+    let slope = if ratios.is_empty() { 1.0 } else { median(&ratios) };
+    RobustFit { intercept: 0.0, slope }
+}
+
+/// Theil–Sen estimator: slope = median of pairwise slopes, intercept =
+/// median of `y_i − slope · x_i`.
+///
+/// O(n²) pairs; verifier series are per-node daily/hourly KPIs (tens to a
+/// few hundred points), so this is comfortably fast.
+pub fn theil_sen(xs: &[f64], ys: &[f64]) -> RobustFit {
+    assert_eq!(xs.len(), ys.len(), "series length mismatch");
+    let n = xs.len();
+    let mut slopes = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[j] - xs[i];
+            if dx != 0.0 {
+                slopes.push((ys[j] - ys[i]) / dx);
+            }
+        }
+    }
+    if slopes.is_empty() {
+        // Degenerate x: fall back to a flat line through the median of y.
+        return RobustFit { intercept: median(ys), slope: 0.0 };
+    }
+    let slope = median(&slopes);
+    let intercepts: Vec<f64> = xs.iter().zip(ys).map(|(&x, &y)| y - slope * x).collect();
+    RobustFit { intercept: median(&intercepts), slope }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_recovers_exact_proportionality() {
+        let c = [10.0, 20.0, 30.0, 40.0];
+        let s: Vec<f64> = c.iter().map(|x| 1.5 * x).collect();
+        let fit = ratio_regression(&c, &s);
+        assert!((fit.slope - 1.5).abs() < 1e-12);
+        assert_eq!(fit.intercept, 0.0);
+        assert!((fit.predict(100.0) - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_resists_outliers() {
+        let c = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let mut s: Vec<f64> = c.iter().map(|x| 2.0 * x).collect();
+        s[2] = 900.0; // corrupted measurement
+        let fit = ratio_regression(&c, &s);
+        assert!((fit.slope - 2.0).abs() < 1e-9, "median ratio shrugs off one outlier");
+    }
+
+    #[test]
+    fn ratio_skips_zero_controls() {
+        let c = [0.0, 10.0, 20.0];
+        let s = [5.0, 30.0, 60.0];
+        let fit = ratio_regression(&c, &s);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_all_zero_controls_falls_back() {
+        let fit = ratio_regression(&[0.0, 0.0], &[1.0, 2.0]);
+        assert_eq!(fit.slope, 1.0);
+    }
+
+    #[test]
+    fn theil_sen_recovers_line() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 0.5 * x).collect();
+        let fit = theil_sen(&xs, &ys);
+        assert!((fit.slope - 0.5).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theil_sen_resists_outliers() {
+        let xs: Vec<f64> = (0..21).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x).collect();
+        ys[5] = -500.0;
+        ys[15] = 700.0;
+        let fit = theil_sen(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 0.05, "slope {} should stay near 2", fit.slope);
+    }
+
+    #[test]
+    fn theil_sen_degenerate_x() {
+        let fit = theil_sen(&[1.0, 1.0, 1.0], &[4.0, 5.0, 6.0]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+    }
+
+    #[test]
+    fn median_abs_residual_zero_on_perfect_fit() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        let fit = ratio_regression(&xs, &ys);
+        assert_eq!(fit.median_abs_residual(&xs, &ys), 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Workspace-wide error type.
+//!
+//! CORNET components fail for a small number of reasons — malformed intent,
+//! unknown attributes, workflow validation failures, infeasible models,
+//! execution fall-outs — and every crate reports them through this enum so
+//! callers compose phases without per-crate error plumbing.
+
+use std::fmt;
+
+/// Error type shared across the CORNET workspace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CornetError {
+    /// Text or JSON input could not be parsed.
+    Parse(String),
+    /// An intent referenced an attribute, node, or block that does not exist.
+    UnknownReference(String),
+    /// A workflow failed structural validation (e.g. zombie blocks, §3.2).
+    InvalidWorkflow(String),
+    /// An intent is self-contradictory or unsupported.
+    InvalidIntent(String),
+    /// The generated model admits no solution under zero conflict tolerance.
+    Infeasible(String),
+    /// A building block failed during orchestration.
+    ExecutionFailed(String),
+    /// An operation was attempted in the wrong state (e.g. resuming a
+    /// workflow instance that is not paused).
+    InvalidState(String),
+    /// Input data failed an integrity check (§5.3: missing measurements,
+    /// inconsistent topology snapshots).
+    DataIntegrity(String),
+}
+
+impl fmt::Display for CornetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CornetError::Parse(m) => write!(f, "parse error: {m}"),
+            CornetError::UnknownReference(m) => write!(f, "unknown reference: {m}"),
+            CornetError::InvalidWorkflow(m) => write!(f, "invalid workflow: {m}"),
+            CornetError::InvalidIntent(m) => write!(f, "invalid intent: {m}"),
+            CornetError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            CornetError::ExecutionFailed(m) => write!(f, "execution failed: {m}"),
+            CornetError::InvalidState(m) => write!(f, "invalid state: {m}"),
+            CornetError::DataIntegrity(m) => write!(f, "data integrity: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CornetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = CornetError::InvalidWorkflow("zombie block 'roll-back'".into());
+        let s = e.to_string();
+        assert!(s.contains("invalid workflow"));
+        assert!(s.contains("zombie block"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&CornetError::Parse("x".into()));
+    }
+}

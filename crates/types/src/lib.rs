@@ -1,0 +1,32 @@
+//! # cornet-types
+//!
+//! Shared vocabulary for the CORNET workspace: identifiers, attribute maps,
+//! inventory records, network topology, simulated time, and change-management
+//! domain types (change types, tickets, conflict tables).
+//!
+//! Every other crate in the workspace builds on these types, so this crate
+//! deliberately has no dependency on the rest of CORNET and only depends on
+//! `serde` for interchange (the paper's user-facing intent API is JSON).
+
+pub mod attr;
+pub mod change;
+pub mod error;
+pub mod id;
+pub mod inventory;
+pub mod nf;
+pub mod param;
+pub mod time;
+pub mod topology;
+
+pub use attr::{AttrKey, AttrValue, Attributes};
+pub use change::{ChangeRequest, ChangeTicket, ChangeType, ConflictEntry, ConflictTable, Schedule};
+pub use error::CornetError;
+pub use id::NodeId;
+pub use inventory::{Inventory, InventoryRecord};
+pub use nf::NfType;
+pub use param::{ParamType, ParamValue};
+pub use time::{Granularity, MaintenanceWindow, SchedulingWindow, SimTime, TimeUnit, Timeslot};
+pub use topology::{ServiceChain, Topology};
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, CornetError>;

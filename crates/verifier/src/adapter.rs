@@ -1,0 +1,50 @@
+//! Data adapters: the verifier's view of KPI feeds.
+//!
+//! "We create multiple data adapters to support collecting data from
+//! multiple sources" (§3.5.1). The verifier only needs one operation —
+//! fetch the series of a (node, KPI, carrier) stream — so the adapter is a
+//! single-method trait. Production adapters would front vendor counters
+//! or a data lake; tests and experiments use [`ClosureAdapter`] over the
+//! netsim KPI synthesizer.
+
+use cornet_stats::TimeSeries;
+use cornet_types::NodeId;
+
+/// Source of KPI time-series.
+pub trait DataAdapter: Sync {
+    /// Fetch the series for a node's KPI, optionally confined to one
+    /// carrier frequency. `None` when the feed has no such stream — the
+    /// analytics must tolerate missing data (§5.3).
+    fn series(&self, node: NodeId, kpi: &str, carrier: Option<usize>) -> Option<TimeSeries>;
+}
+
+/// Adapter from a closure.
+pub struct ClosureAdapter<F>(pub F);
+
+impl<F> DataAdapter for ClosureAdapter<F>
+where
+    F: Fn(NodeId, &str, Option<usize>) -> Option<TimeSeries> + Sync,
+{
+    fn series(&self, node: NodeId, kpi: &str, carrier: Option<usize>) -> Option<TimeSeries> {
+        (self.0)(node, kpi, carrier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_adapter_delegates() {
+        let adapter = ClosureAdapter(|node: NodeId, kpi: &str, _carrier: Option<usize>| {
+            if kpi == "known" {
+                Some(TimeSeries::new(0, 60, vec![node.0 as f64]))
+            } else {
+                None
+            }
+        });
+        assert!(adapter.series(NodeId(1), "known", None).is_some());
+        assert!(adapter.series(NodeId(1), "unknown", None).is_none());
+        assert_eq!(adapter.series(NodeId(7), "known", None).unwrap().values, vec![7.0]);
+    }
+}

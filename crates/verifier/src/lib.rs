@@ -1,0 +1,33 @@
+//! # cornet-verifier
+//!
+//! The change impact verifier (§3.5): composable verification rules over
+//! KPI time-series, study/control comparison with robust statistics, and
+//! multi-timescale detection of unexpected impacts, time-aligned across
+//! staggered roll-outs.
+//!
+//! * [`adapter`] — data adapters abstracting the KPI feeds;
+//! * [`control`] — control-group derivation from topology and inventory
+//!   (1st/2nd-tier neighbors, same-hardware, Fig. 14's criteria);
+//! * [`rules`] — verification-rule composition: KPI sets, expected
+//!   impacts, location-aggregation attributes, timescales;
+//! * [`analysis`] — the §3.5.2 statistical core: per-node alignment and
+//!   normalization, robust regression `S = βC`, prediction, and the
+//!   robust rank-order test;
+//! * [`verify`] — the verifier facade producing per-KPI, per-location
+//!   verdicts and a go/no-go summary.
+
+pub mod adapter;
+pub mod analysis;
+pub mod control;
+pub mod equation;
+pub mod integrity;
+pub mod rules;
+pub mod verify;
+
+pub use adapter::{ClosureAdapter, DataAdapter};
+pub use analysis::{analyze_kpi, AnalysisOptions, ChangeScope, ImpactVerdict, KpiAnalysis};
+pub use control::{derive_control_group, ControlSelection};
+pub use equation::Equation;
+pub use integrity::{monitor_feeds, FeedAlert, IntegrityConfig};
+pub use rules::{Expectation, KpiQuery, VerificationRule};
+pub use verify::{verify_rule, GoNoGo, VerificationReport};

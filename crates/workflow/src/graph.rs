@@ -1,0 +1,210 @@
+//! The workflow graph structure.
+//!
+//! "The building blocks serve as the nodes and the connections between
+//! pairs of blocks serve as the edges of the graph" (§3.2). Decisions are
+//! exclusive gateways branching on a boolean variable in the workflow's
+//! global state; variables flow between blocks through that state.
+
+use cornet_types::ParamType;
+use serde::{Deserialize, Serialize};
+
+/// Node handle inside one workflow.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Vector index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a workflow node does.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Entry point (exactly one per workflow).
+    Start,
+    /// Terminal point (at least one per workflow).
+    End,
+    /// Execute a building block from the catalog.
+    Task {
+        /// Catalog block name.
+        block: String,
+    },
+    /// Exclusive gateway branching on a boolean global-state variable.
+    Decision {
+        /// Variable consulted for the branch.
+        variable: String,
+    },
+}
+
+/// One node of the workflow graph.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkflowNode {
+    /// Handle of the node.
+    pub id: NodeId,
+    /// Display label (defaults to the block name for tasks).
+    pub label: String,
+    /// Node behaviour.
+    pub kind: NodeKind,
+}
+
+/// Directed edge; decision out-edges carry a boolean guard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkflowEdge {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Guard: `Some(true)` = "yes" branch, `Some(false)` = "no" branch,
+    /// `None` = unconditional.
+    pub guard: Option<bool>,
+}
+
+/// Declared parameter of the workflow itself (its start inputs / end
+/// outputs), e.g. Fig. 4's `(node, software_version) → status`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkflowParam {
+    /// Parameter name in the global state.
+    pub name: String,
+    /// Parameter type.
+    pub ty: ParamType,
+}
+
+/// A change workflow (the paper's MOP as a graph).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    /// Workflow name, e.g. `"software_upgrade_v2"`.
+    pub name: String,
+    /// Nodes in insertion order; `NodeId` indexes this vector.
+    pub nodes: Vec<WorkflowNode>,
+    /// Directed edges.
+    pub edges: Vec<WorkflowEdge>,
+    /// Input parameters the dispatcher must supply.
+    pub inputs: Vec<WorkflowParam>,
+    /// Output parameters the workflow promises to produce.
+    pub outputs: Vec<WorkflowParam>,
+}
+
+impl Workflow {
+    /// Empty workflow with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Workflow { name: name.into(), ..Default::default() }
+    }
+
+    /// Append a node.
+    pub fn add_node(&mut self, label: impl Into<String>, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(WorkflowNode { id, label: label.into(), kind });
+        id
+    }
+
+    /// Append an edge.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, guard: Option<bool>) {
+        self.edges.push(WorkflowEdge { from, to, guard });
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &WorkflowNode {
+        &self.nodes[id.index()]
+    }
+
+    /// The unique start node, if the workflow has exactly one.
+    pub fn start(&self) -> Option<NodeId> {
+        let mut starts = self.nodes.iter().filter(|n| n.kind == NodeKind::Start);
+        match (starts.next(), starts.next()) {
+            (Some(s), None) => Some(s.id),
+            _ => None,
+        }
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = &WorkflowEdge> {
+        self.edges.iter().filter(move |e| e.from == id)
+    }
+
+    /// Incoming edges of a node.
+    pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = &WorkflowEdge> {
+        self.edges.iter().filter(move |e| e.to == id)
+    }
+
+    /// Names of catalog blocks used by the workflow, in node order.
+    pub fn blocks(&self) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.kind {
+                NodeKind::Task { block } => Some(block.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Nodes reachable from the start by BFS (guards ignored).
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let Some(start) = self.start() else { return seen };
+        let mut queue = std::collections::VecDeque::from([start]);
+        seen[start.index()] = true;
+        while let Some(cur) = queue.pop_front() {
+            for e in self.out_edges(cur) {
+                if !seen[e.to.index()] {
+                    seen[e.to.index()] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_graph() {
+        let mut wf = Workflow::new("t");
+        let s = wf.add_node("start", NodeKind::Start);
+        let t = wf.add_node("hc", NodeKind::Task { block: "health_check".into() });
+        let e = wf.add_node("end", NodeKind::End);
+        wf.add_edge(s, t, None);
+        wf.add_edge(t, e, None);
+        assert_eq!(wf.start(), Some(s));
+        assert_eq!(wf.out_edges(t).count(), 1);
+        assert_eq!(wf.in_edges(t).count(), 1);
+        assert_eq!(wf.blocks(), vec!["health_check"]);
+    }
+
+    #[test]
+    fn two_starts_is_ambiguous() {
+        let mut wf = Workflow::new("t");
+        wf.add_node("s1", NodeKind::Start);
+        wf.add_node("s2", NodeKind::Start);
+        assert_eq!(wf.start(), None);
+    }
+
+    #[test]
+    fn reachability_skips_orphans() {
+        let mut wf = Workflow::new("t");
+        let s = wf.add_node("start", NodeKind::Start);
+        let a = wf.add_node("a", NodeKind::Task { block: "x".into() });
+        let orphan = wf.add_node("zombie", NodeKind::Task { block: "y".into() });
+        let e = wf.add_node("end", NodeKind::End);
+        wf.add_edge(s, a, None);
+        wf.add_edge(a, e, None);
+        let r = wf.reachable();
+        assert!(r[s.index()] && r[a.index()] && r[e.index()]);
+        assert!(!r[orphan.index()]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut wf = Workflow::new("t");
+        let s = wf.add_node("start", NodeKind::Start);
+        let d = wf.add_node("ok?", NodeKind::Decision { variable: "healthy".into() });
+        wf.add_edge(s, d, None);
+        let json = serde_json::to_string(&wf).unwrap();
+        let back: Workflow = serde_json::from_str(&json).unwrap();
+        assert_eq!(wf, back);
+    }
+}

@@ -1,0 +1,399 @@
+//! Workflow verification before deployment (§3.2).
+//!
+//! "We propose a verification step where we ensure that there are no zombie
+//! building blocks (i.e., no incoming or outgoing edge to another building
+//! block or decision block or start/end)." Beyond the paper's zombie check
+//! we validate structural sanity (one start, ≥1 end, reachability, decision
+//! branch completeness) and *parameter flow*: every task input must be
+//! producible from the workflow inputs or an upstream block's outputs —
+//! the "proper propagation of parameter values" challenge of §3.1.
+
+use crate::graph::{NodeKind, Workflow};
+use cornet_catalog::Catalog;
+use cornet_types::{CornetError, ParamType, Result};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Outcome of validating one workflow.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ValidationReport {
+    /// Hard errors; a workflow with any error cannot be deployed.
+    pub errors: Vec<String>,
+    /// Non-fatal observations (e.g. an output never produced).
+    pub warnings: Vec<String>,
+}
+
+impl ValidationReport {
+    /// True when the workflow may be deployed.
+    pub fn is_valid(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Validate a workflow against a catalog. Returns the report; use
+/// [`require_valid`] for a hard pass/fail.
+pub fn validate(wf: &Workflow, catalog: &Catalog) -> ValidationReport {
+    let mut rep = ValidationReport::default();
+
+    // --- referential integrity: every edge endpoint must name a real
+    //     node, or the later passes would index out of bounds.
+    for e in &wf.edges {
+        for id in [e.from, e.to] {
+            if id.index() >= wf.nodes.len() {
+                rep.errors.push(format!("edge references unknown node {id:?}"));
+            }
+        }
+    }
+    if !rep.errors.is_empty() {
+        return rep;
+    }
+
+    // --- structural checks ---
+    let starts = wf.nodes.iter().filter(|n| n.kind == NodeKind::Start).count();
+    if starts != 1 {
+        rep.errors.push(format!("workflow must have exactly one start node, found {starts}"));
+    }
+    let ends = wf.nodes.iter().filter(|n| n.kind == NodeKind::End).count();
+    if ends == 0 {
+        rep.errors.push("workflow has no end node".into());
+    }
+
+    // Zombie detection: every task/decision node needs an incoming and an
+    // outgoing edge.
+    for n in &wf.nodes {
+        let ins = wf.in_edges(n.id).count();
+        let outs = wf.out_edges(n.id).count();
+        match n.kind {
+            NodeKind::Start => {
+                if outs == 0 {
+                    rep.errors.push("start node has no outgoing edge".into());
+                }
+                if ins > 0 {
+                    rep.errors.push("start node must not have incoming edges".into());
+                }
+            }
+            NodeKind::End => {
+                if ins == 0 {
+                    rep.errors.push(format!("end node '{}' is unreachable (zombie)", n.label));
+                }
+                if outs > 0 {
+                    rep.errors.push(format!("end node '{}' has outgoing edges", n.label));
+                }
+            }
+            NodeKind::Task { .. } | NodeKind::Decision { .. } => {
+                if ins == 0 || outs == 0 {
+                    rep.errors.push(format!(
+                        "zombie block '{}': incoming={ins}, outgoing={outs}",
+                        n.label
+                    ));
+                }
+            }
+        }
+    }
+
+    // Decision gateways need both branches wired.
+    for n in &wf.nodes {
+        if let NodeKind::Decision { variable } = &n.kind {
+            let mut guards: Vec<Option<bool>> = wf.out_edges(n.id).map(|e| e.guard).collect();
+            guards.sort();
+            if !guards.contains(&Some(true)) || !guards.contains(&Some(false)) {
+                rep.errors.push(format!(
+                    "decision '{}' on variable '{variable}' must have both a yes and a no branch"
+                , n.label));
+            }
+        }
+    }
+
+    // Edges from decisions must be guarded; others must not be.
+    for e in &wf.edges {
+        let is_decision = matches!(wf.node(e.from).kind, NodeKind::Decision { .. });
+        if is_decision && e.guard.is_none() {
+            rep.errors.push(format!("unguarded edge out of decision '{}'", wf.node(e.from).label));
+        }
+        if !is_decision && e.guard.is_some() {
+            rep.errors.push(format!("guarded edge out of non-decision '{}'", wf.node(e.from).label));
+        }
+    }
+
+    // Reachability.
+    if starts == 1 {
+        let reach = wf.reachable();
+        for n in &wf.nodes {
+            if !reach[n.id.index()] {
+                rep.errors.push(format!("node '{}' is unreachable from start", n.label));
+            }
+        }
+    }
+
+    // Unknown blocks.
+    for block in wf.blocks() {
+        if catalog.get(block).is_none() {
+            rep.errors.push(format!("unknown building block '{block}'"));
+        }
+    }
+
+    if rep.errors.is_empty() {
+        check_parameter_flow(wf, catalog, &mut rep);
+    }
+    rep
+}
+
+/// Validate and convert a failing report into a [`CornetError`].
+pub fn require_valid(wf: &Workflow, catalog: &Catalog) -> Result<()> {
+    let rep = validate(wf, catalog);
+    if rep.is_valid() {
+        Ok(())
+    } else {
+        Err(CornetError::InvalidWorkflow(rep.errors.join("; ")))
+    }
+}
+
+/// Walk the graph from start; at each task, every input parameter must be
+/// available (correct name and type) in the accumulated global state of at
+/// least the variables guaranteed on *some* path — matching the paper's
+/// shared-global-state semantics.
+fn check_parameter_flow(wf: &Workflow, catalog: &Catalog, rep: &mut ValidationReport) {
+    let Some(start) = wf.start() else { return };
+    // Optimistic data-flow: a variable is "available" at node N if produced
+    // on any path from start to N. Iterate to fixpoint over the DAG-ish
+    // graph (cycles — retry loops — converge because state only grows).
+    let n = wf.nodes.len();
+    let mut avail: Vec<BTreeMap<String, ParamType>> = vec![BTreeMap::new(); n];
+    let base: BTreeMap<String, ParamType> =
+        wf.inputs.iter().map(|p| (p.name.clone(), p.ty)).collect();
+    avail[start.index()] = base;
+    let mut queue: VecDeque<_> = VecDeque::from([start]);
+    let mut visited_edges = BTreeSet::new();
+    while let Some(cur) = queue.pop_front() {
+        // State after executing this node.
+        let mut after = avail[cur.index()].clone();
+        if let NodeKind::Task { block } = &wf.node(cur).kind {
+            if let Some(spec) = catalog.get(block) {
+                for out in &spec.outputs {
+                    after.insert(out.name.clone(), out.ty);
+                }
+            }
+        }
+        for e in wf.out_edges(cur) {
+            let changed = {
+                let target = &mut avail[e.to.index()];
+                let before = target.len();
+                for (k, v) in &after {
+                    target.entry(k.clone()).or_insert(*v);
+                }
+                target.len() != before
+            };
+            if changed || visited_edges.insert((e.from, e.to)) {
+                queue.push_back(e.to);
+            }
+        }
+    }
+
+    for node in &wf.nodes {
+        match &node.kind {
+            NodeKind::Task { block } => {
+                let Some(spec) = catalog.get(block) else { continue };
+                for input in &spec.inputs {
+                    match avail[node.id.index()].get(&input.name) {
+                        None => rep.errors.push(format!(
+                            "block '{}' input '{}' is never produced upstream",
+                            node.label, input.name
+                        )),
+                        Some(ty) if *ty != input.ty => rep.errors.push(format!(
+                            "block '{}' input '{}' has type {:?} upstream but expects {:?}",
+                            node.label, input.name, ty, input.ty
+                        )),
+                        _ => {}
+                    }
+                }
+            }
+            NodeKind::Decision { variable } => {
+                match avail[node.id.index()].get(variable) {
+                    None => rep.errors.push(format!(
+                        "decision '{}' reads variable '{variable}' that is never produced",
+                        node.label
+                    )),
+                    Some(ParamType::Bool) => {}
+                    Some(ty) => rep.errors.push(format!(
+                        "decision '{}' variable '{variable}' must be bool, found {ty:?}",
+                        node.label
+                    )),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Declared workflow outputs should be producible somewhere.
+    let mut all_produced: BTreeMap<String, ParamType> =
+        wf.inputs.iter().map(|p| (p.name.clone(), p.ty)).collect();
+    for block in wf.blocks() {
+        if let Some(spec) = catalog.get(block) {
+            for out in &spec.outputs {
+                all_produced.insert(out.name.clone(), out.ty);
+            }
+        }
+    }
+    for out in &wf.outputs {
+        if !all_produced.contains_key(&out.name) {
+            rep.warnings.push(format!(
+                "declared workflow output '{}' is never produced by any block",
+                out.name
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designer::Designer;
+    use cornet_catalog::builtin_catalog;
+    use cornet_types::ParamType;
+
+    fn upgrade_workflow() -> Workflow {
+        // Fig. 4: start → health_check → healthy? →(yes) software_upgrade
+        // → pre_post_comparison → passed? →(no) roll_back → end.
+        let cat = builtin_catalog();
+        let mut d = Designer::new(&cat, "fig4");
+        d.input("node", ParamType::String);
+        d.input("software_version", ParamType::String);
+        let start = d.start();
+        let hc = d.task("health_check").unwrap();
+        let dec1 = d.decision("healthy");
+        let up = d.task("software_upgrade").unwrap();
+        let cmp = d.task("pre_post_comparison").unwrap();
+        let dec2 = d.decision("passed");
+        let rb = d.task("roll_back").unwrap();
+        let end_ok = d.end();
+        let end_fail = d.end();
+        d.connect(start, hc)
+            .connect(hc, dec1)
+            .connect_if(dec1, up, true)
+            .connect_if(dec1, end_fail, false)
+            .connect(up, cmp)
+            .connect(cmp, dec2)
+            .connect_if(dec2, end_ok, true)
+            .connect_if(dec2, rb, false)
+            .connect(rb, end_ok);
+        d.build()
+    }
+
+    #[test]
+    fn fig4_workflow_is_valid() {
+        let cat = builtin_catalog();
+        let rep = validate(&upgrade_workflow(), &cat);
+        assert!(rep.is_valid(), "errors: {:?}", rep.errors);
+    }
+
+    #[test]
+    fn zombie_block_detected() {
+        let cat = builtin_catalog();
+        let mut wf = upgrade_workflow();
+        // Add a task with no edges at all — the paper's zombie.
+        wf.add_node("zombie", NodeKind::Task { block: "traffic_redirect".into() });
+        let rep = validate(&wf, &cat);
+        assert!(!rep.is_valid());
+        assert!(rep.errors.iter().any(|e| e.contains("zombie")), "{:?}", rep.errors);
+    }
+
+    #[test]
+    fn dangling_edge_reported_not_panicking() {
+        let cat = builtin_catalog();
+        let mut wf = upgrade_workflow();
+        wf.add_edge(crate::graph::NodeId(0), crate::graph::NodeId(999), None);
+        let rep = validate(&wf, &cat);
+        assert!(!rep.is_valid());
+        assert!(rep.errors.iter().any(|e| e.contains("unknown node")), "{:?}", rep.errors);
+    }
+
+    #[test]
+    fn missing_no_branch_detected() {
+        let cat = builtin_catalog();
+        let mut d = Designer::new(&cat, "halfdec");
+        d.input("node", ParamType::String);
+        let start = d.start();
+        let hc = d.task("health_check").unwrap();
+        let dec = d.decision("healthy");
+        let end = d.end();
+        d.connect(start, hc).connect(hc, dec).connect_if(dec, end, true);
+        let rep = validate(&d.build(), &cat);
+        assert!(rep.errors.iter().any(|e| e.contains("yes and a no")), "{:?}", rep.errors);
+    }
+
+    #[test]
+    fn missing_parameter_detected() {
+        let cat = builtin_catalog();
+        let mut d = Designer::new(&cat, "noparam");
+        // software_upgrade needs node + software_version; provide neither.
+        let start = d.start();
+        let up = d.task("software_upgrade").unwrap();
+        let end = d.end();
+        d.connect(start, up).connect(up, end);
+        let rep = validate(&d.build(), &cat);
+        assert!(
+            rep.errors.iter().any(|e| e.contains("never produced upstream")),
+            "{:?}",
+            rep.errors
+        );
+    }
+
+    #[test]
+    fn rollback_before_upgrade_is_rejected() {
+        // roll_back consumes previous_version, which only software_upgrade
+        // produces — ordering matters.
+        let cat = builtin_catalog();
+        let mut d = Designer::new(&cat, "misorder");
+        d.input("node", ParamType::String);
+        d.input("software_version", ParamType::String);
+        let start = d.start();
+        let rb = d.task("roll_back").unwrap();
+        let up = d.task("software_upgrade").unwrap();
+        let end = d.end();
+        d.connect(start, rb).connect(rb, up).connect(up, end);
+        let rep = validate(&d.build(), &cat);
+        assert!(
+            rep.errors.iter().any(|e| e.contains("previous_version")),
+            "{:?}",
+            rep.errors
+        );
+    }
+
+    #[test]
+    fn decision_on_non_bool_rejected() {
+        let cat = builtin_catalog();
+        let mut d = Designer::new(&cat, "badvar");
+        d.input("node", ParamType::String);
+        let start = d.start();
+        let hc = d.task("health_check").unwrap();
+        let dec = d.decision("node"); // node is a String
+        let e1 = d.end();
+        let e2 = d.end();
+        d.connect(start, hc).connect(hc, dec);
+        d.connect_if(dec, e1, true).connect_if(dec, e2, false);
+        let rep = validate(&d.build(), &cat);
+        assert!(rep.errors.iter().any(|e| e.contains("must be bool")), "{:?}", rep.errors);
+    }
+
+    #[test]
+    fn undeclared_output_warns() {
+        let cat = builtin_catalog();
+        let mut d = Designer::new(&cat, "out");
+        d.input("node", ParamType::String);
+        d.output("mystery", ParamType::String);
+        let start = d.start();
+        let hc = d.task("health_check").unwrap();
+        let end = d.end();
+        d.connect(start, hc).connect(hc, end);
+        let rep = validate(&d.build(), &cat);
+        assert!(rep.is_valid());
+        assert!(rep.warnings.iter().any(|w| w.contains("mystery")));
+    }
+
+    #[test]
+    fn require_valid_converts_to_error() {
+        let cat = builtin_catalog();
+        let wf = Workflow::new("empty");
+        assert!(require_valid(&wf, &cat).is_err());
+        assert!(require_valid(&upgrade_workflow(), &cat).is_ok());
+    }
+}

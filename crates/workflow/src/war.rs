@@ -1,0 +1,128 @@
+//! WAR artifact generation.
+//!
+//! "We take the BPMN graphical layout with building blocks captured using
+//! the corresponding REST APIs and then dynamically create the WAR file
+//! which is the meta-code stitching of the different building blocks into a
+//! workflow. … The WAR can then be referenced using a dynamically generated
+//! REST API for the newly created change workflow" (§3.2).
+//!
+//! Our WAR is a manifest (workflow name, version digest, block → endpoint
+//! table, the REST path for invoking the workflow) plus the serialized
+//! graph, packed into bytes — the artifact the orchestrator deploys.
+
+use crate::graph::Workflow;
+use crate::validate::require_valid;
+use bytes::Bytes;
+use cornet_catalog::Catalog;
+use cornet_types::{CornetError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Manifest describing one deployable workflow artifact.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WarManifest {
+    /// Workflow name.
+    pub workflow: String,
+    /// Content digest of the serialized workflow (FNV-1a, hex).
+    pub digest: String,
+    /// REST path registered for launching this workflow.
+    pub rest_api: String,
+    /// Block name → REST endpoint path used during execution.
+    pub block_endpoints: BTreeMap<String, String>,
+}
+
+/// A packaged workflow: manifest + serialized graph bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WarArtifact {
+    /// Deployment manifest.
+    pub manifest: WarManifest,
+    /// Serialized workflow payload.
+    pub payload: Bytes,
+}
+
+/// 64-bit FNV-1a — content digest for WAR versioning. Collision-resistant
+/// enough for artifact identity inside one deployment, with zero deps.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+impl WarArtifact {
+    /// Validate and package a workflow. Fails if the workflow does not
+    /// pass [`crate::validate::validate`] — unverified workflows never
+    /// reach the orchestrator.
+    pub fn package(wf: &Workflow, catalog: &Catalog) -> Result<WarArtifact> {
+        require_valid(wf, catalog)?;
+        let payload = serde_json::to_vec(wf)
+            .map_err(|e| CornetError::Parse(format!("workflow serialization failed: {e}")))?;
+        let digest = format!("{:016x}", fnv1a(&payload));
+        let block_endpoints = wf
+            .blocks()
+            .iter()
+            .filter_map(|b| catalog.get(b).map(|s| (s.name.clone(), s.endpoint.path.clone())))
+            .collect();
+        let manifest = WarManifest {
+            workflow: wf.name.clone(),
+            rest_api: format!("/wf/{}/{digest}", wf.name),
+            digest,
+            block_endpoints,
+        };
+        Ok(WarArtifact { manifest, payload: Bytes::from(payload) })
+    }
+
+    /// Unpack the workflow graph from the artifact.
+    pub fn unpack(&self) -> Result<Workflow> {
+        serde_json::from_slice(&self.payload)
+            .map_err(|e| CornetError::Parse(format!("corrupt WAR payload: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::software_upgrade_workflow;
+    use cornet_catalog::builtin_catalog;
+
+    #[test]
+    fn package_and_unpack_round_trip() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let war = WarArtifact::package(&wf, &cat).unwrap();
+        assert_eq!(war.unpack().unwrap(), wf);
+        assert!(war.manifest.rest_api.starts_with("/wf/software_upgrade/"));
+        assert!(war.manifest.block_endpoints.contains_key("software_upgrade"));
+        assert_eq!(war.manifest.block_endpoints["health_check"], "/bb/health_check");
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let cat = builtin_catalog();
+        let wf1 = software_upgrade_workflow(&cat);
+        let mut wf2 = wf1.clone();
+        wf2.name = "software_upgrade_v2".into();
+        let d1 = WarArtifact::package(&wf1, &cat).unwrap().manifest.digest;
+        let d2 = WarArtifact::package(&wf2, &cat).unwrap().manifest.digest;
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn invalid_workflow_refuses_to_package() {
+        let cat = builtin_catalog();
+        let wf = Workflow::new("broken");
+        assert!(WarArtifact::package(&wf, &cat).is_err());
+    }
+
+    #[test]
+    fn packaging_is_deterministic() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let a = WarArtifact::package(&wf, &cat).unwrap();
+        let b = WarArtifact::package(&wf, &cat).unwrap();
+        assert_eq!(a.manifest.digest, b.manifest.digest);
+        assert_eq!(a.payload, b.payload);
+    }
+}

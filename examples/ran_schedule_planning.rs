@@ -1,0 +1,144 @@
+//! 4G/5G RAN schedule planning at two scales:
+//!
+//! * a few hundred eNodeBs through the *generic* intent → MiniZinc-style
+//!   model → CP solver pipeline (§3.3, §4.2), printing the model shape and
+//!   an excerpt of the emitted MiniZinc;
+//! * tens of thousands of nodes through the Appendix C custom heuristic,
+//!   with consistency (co-sited 4G/5G together), timezone sequencing, and
+//!   conflict avoidance.
+//!
+//! Run with: `cargo run --release --example ran_schedule_planning`
+
+use cornet::netsim::{Network, NetworkConfig};
+use cornet::planner::{
+    heuristic_schedule, plan, translate, HeuristicConfig, PlanIntent, PlanOptions,
+    TranslateOptions,
+};
+use cornet::types::{ConflictEntry, ConflictTable, NfType, NodeId, SimTime};
+use std::time::Instant;
+
+const INTENT: &str = r#"{
+    "scheduling_window": {"start": "2020-07-01 00:00:00",
+                           "end": "2020-07-28 23:59:00",
+                           "granularity": {"metric": "day", "value": 1}},
+    "maintenance_window": {"start": "0:00", "end": "6:00"},
+    "excluded_periods": [
+        {"start": "2020-07-04 00:00:00", "end": "2020-07-05 23:59:00"}
+    ],
+    "schedulable_attribute": "common_id",
+    "conflict_attribute": "common_id",
+    "constraints": [
+        {"name": "conflict_handling", "value": "zero-tolerance"},
+        {"name": "concurrency", "base_attribute": "common_id",
+         "aggregate_attribute": "ems", "operator": "<=",
+         "granularity": {"metric": "day", "value": 1},
+         "default_capacity": 12},
+        {"name": "consistency", "attribute": "usid"},
+        {"name": "uniformity", "attribute": "utc_offset", "value": 1}
+    ]
+}"#;
+
+fn ran_nodes(net: &Network) -> Vec<NodeId> {
+    let mut nodes = net.nodes_of_type(NfType::ENodeB);
+    nodes.extend(net.nodes_of_type(NfType::GNodeB));
+    nodes.sort();
+    nodes
+}
+
+fn main() {
+    // ---------- generic pipeline on a few hundred nodes ----------
+    let small = Network::generate_ran(&NetworkConfig {
+        markets_per_tz: 1,
+        tacs_per_market: 3,
+        usids_per_tac: 8,
+        ..Default::default()
+    });
+    let nodes = ran_nodes(&small);
+    println!("=== generic solver pipeline: {} RAN nodes ===", nodes.len());
+
+    let intent = PlanIntent::from_json(INTENT).expect("intent parses");
+    let translation = translate(
+        &intent,
+        &small.inventory,
+        &small.topology,
+        &nodes,
+        &TranslateOptions::default(),
+    )
+    .expect("intent translates");
+    let stats = translation.model.stats();
+    println!(
+        "model: {} vars (after consistency contraction from {} nodes), {} constraints {:?}",
+        stats.vars,
+        nodes.len(),
+        stats.constraints,
+        stats.by_kind
+    );
+    let mzn = translation.model.to_minizinc();
+    println!("\nMiniZinc excerpt ({} lines total):", mzn.lines().count());
+    for line in mzn.lines().take(8) {
+        println!("  {line}");
+    }
+    println!("  ...");
+
+    let options = PlanOptions {
+        solver: cornet::solver::SolverConfig {
+            time_limit: std::time::Duration::from_secs(5),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let result =
+        plan(&intent, &small.inventory, &small.topology, &nodes, &options).expect("plan found");
+    println!(
+        "\nschedule: {} nodes over {} slots (makespan), {:?} ({} search nodes, {:?})",
+        result.schedule.scheduled_count(),
+        result.makespan(),
+        result.outcome,
+        result.search_stats.nodes,
+        result.discovery_time,
+    );
+
+    // ---------- Appendix C heuristic at 20K+ nodes ----------
+    let big = Network::generate_ran(&NetworkConfig::default().with_target_nodes(20_000));
+    let big_nodes = ran_nodes(&big);
+    println!("\n=== Appendix C heuristic: {} RAN nodes ===", big_nodes.len());
+
+    // Busy periods for a random slice of nodes (ticketed work elsewhere).
+    let mut conflicts = ConflictTable::new();
+    for &n in big_nodes.iter().step_by(37) {
+        conflicts.add(
+            n,
+            ConflictEntry {
+                start: SimTime::from_ymd_hm(2020, 7, 2, 0, 0),
+                end: SimTime::from_ymd_hm(2020, 7, 6, 23, 59),
+                tickets: vec![format!("CHG-{n}")],
+            },
+        );
+    }
+    let window = intent.window().unwrap();
+    let started = Instant::now();
+    let schedule = heuristic_schedule(
+        &big.inventory,
+        &big_nodes,
+        &conflicts,
+        &window,
+        &HeuristicConfig { slot_capacity: 900, iterations: 6, seed: 4 },
+    );
+    let elapsed = started.elapsed();
+    println!(
+        "heuristic: {} scheduled, {} leftovers, {} conflicts, makespan {:?}, wtct {}, in {elapsed:?}",
+        schedule.scheduled_count(),
+        schedule.leftovers.len(),
+        schedule.conflicts,
+        schedule.makespan().map(|s| s.0).unwrap_or(0),
+        schedule.weighted_completion_time(),
+    );
+
+    // Per-slot load profile (first 10 slots).
+    println!("\nper-slot load (first 10 slots):");
+    for slot_idx in 0..10u32 {
+        let slot = cornet::types::Timeslot(slot_idx + 1);
+        let count = schedule.nodes_in_slot(slot).len();
+        println!("  slot {:2}: {:5} nodes  {}", slot.0, count, "#".repeat(count / 25));
+    }
+}

@@ -1,0 +1,174 @@
+//! The complete §2.1 change-management flow in one run: FFA trial →
+//! verification → certification → network-wide roll-out with in-flight
+//! go/no-go gates — including the §2.2 scenario where the FFA looks clean
+//! but the wider population degrades, forcing a mid-roll-out halt.
+//!
+//! Run with: `cargo run --release --example staged_rollout`
+
+use cornet::core::{staged_rollout, testbed_registry, Cornet, RolloutOutcome, RolloutPlan};
+use cornet::netsim::{ImpactKind, InjectedImpact, KpiGenerator, Network, NetworkConfig, Testbed, TestbedConfig};
+use cornet::orchestrator::{FalloutAnalysis, GlobalState};
+use cornet::types::{NfType, NodeId, ParamValue, Schedule, Timeslot};
+use cornet::verifier::{ClosureAdapter, ControlSelection, Expectation, KpiQuery, VerificationRule};
+use cornet::workflow::builtin::software_upgrade_workflow;
+
+fn build_cornet() -> (Cornet, Vec<NodeId>, Testbed) {
+    let net = Network::generate_ran(&NetworkConfig {
+        markets_per_tz: 1,
+        tacs_per_market: 2,
+        usids_per_tac: 5,
+        gnb_probability: 0.0,
+        ..Default::default()
+    });
+    let enbs = net.nodes_of_type(NfType::ENodeB);
+    let testbed = Testbed::new(TestbedConfig::default());
+    for &n in &enbs {
+        let rec = net.inventory.record(n);
+        testbed.instantiate(&rec.name, rec.nf_type, "19.3");
+    }
+    let cornet = Cornet::new(
+        net.inventory.clone(),
+        net.topology.clone(),
+        testbed_registry(testbed.clone()),
+    );
+    (cornet, enbs, testbed)
+}
+
+fn schedules(enbs: &[NodeId]) -> (Schedule, Schedule) {
+    let mut ffa = Schedule::default();
+    for &n in &enbs[..3] {
+        ffa.assignments.insert(n, Timeslot(1));
+    }
+    let mut network = Schedule::default();
+    for (i, &n) in enbs[3..].iter().enumerate() {
+        network.assignments.insert(n, Timeslot(i as u32 / 8 + 1));
+    }
+    (ffa, network)
+}
+
+fn run_scenario(name: &str, cornet: &Cornet, enbs: &[NodeId], magnitudes: Vec<(NodeId, f64)>) {
+    println!("\n=== scenario: {name} ===");
+    let impacts: Vec<InjectedImpact> = magnitudes
+        .iter()
+        .map(|&(n, magnitude)| InjectedImpact {
+            node: n,
+            kpi: "thr".into(),
+            carrier: None,
+            at_minute: 10_000,
+            kind: ImpactKind::LevelShift,
+            magnitude,
+        })
+        .collect();
+    let gen = KpiGenerator { seed: 61, noise: 0.02, ..Default::default() };
+    let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
+        Some(gen.series(node, kpi, carrier, 500, &impacts))
+    });
+    let controls: Vec<NodeId> = cornet
+        .inventory
+        .iter()
+        .filter(|r| r.nf_type == NfType::Siad)
+        .map(|r| r.id)
+        .collect();
+    let rule = VerificationRule {
+        name: "sw-20.1".into(),
+        kpis: vec![KpiQuery::expecting("thr", true, Expectation::Improve)],
+        location_attributes: vec!["market".into()],
+        control: ControlSelection::Explicit(controls),
+        control_attr_filter: None,
+        timescales: vec![1, 24],
+        alpha: 0.01,
+        min_relative_shift: 0.01,
+    };
+    let war = cornet
+        .deploy_workflow(&software_upgrade_workflow(&cornet.catalog))
+        .expect("workflow deploys");
+    let (ffa, network) = schedules(enbs);
+    let inv = cornet.inventory.clone();
+    let report = staged_rollout(
+        cornet,
+        RolloutPlan { war: &war, ffa, network, rule: &rule, concurrency: 4, gate_every: 1 },
+        &adapter,
+        |_slot| 10_000,
+        move |node| {
+            let mut g = GlobalState::new();
+            g.insert("node".into(), ParamValue::from(inv.record(node).name.clone()));
+            g.insert("software_version".into(), ParamValue::from("20.1"));
+            g
+        },
+    )
+    .expect("roll-out runs");
+
+    println!("FFA: {} instances, decision {:?}", report.ffa.instances.len(), report.ffa_decision);
+    println!(
+        "network phase: {} instances executed, outcome {:?}",
+        report.network.instances.len(),
+        report.outcome
+    );
+    match report.outcome {
+        RolloutOutcome::Completed => println!("→ whole network upgraded"),
+        RolloutOutcome::Halted { after_slot } => println!(
+            "→ halted after slot {after_slot}; {} nodes spared pending root-cause analysis",
+            enbs.len() - 3 - report.network.instances.len()
+        ),
+        RolloutOutcome::NotCertified => println!("→ FFA not certified; network untouched"),
+    }
+    let fallout = FalloutAnalysis::from_reports([&report.ffa, &report.network]);
+    println!(
+        "fall-out analysis: {:.0}% completion, offenders: {:?}",
+        fallout.completion_rate() * 100.0,
+        fallout.offenders().iter().map(|(b, s)| format!("{b}×{}", s.failures)).collect::<Vec<_>>()
+    );
+}
+
+fn main() {
+    // Scenario 1: good change — improves everywhere, roll-out completes.
+    let (cornet, enbs, testbed) = build_cornet();
+    run_scenario(
+        "clean improvement",
+        &cornet,
+        &enbs,
+        enbs.iter().map(|&n| (n, 0.2)).collect(),
+    );
+    let upgraded = enbs
+        .iter()
+        .filter(|&&n| {
+            testbed.state(&cornet.inventory.record(n).name).unwrap().sw_version == "20.1"
+        })
+        .count();
+    println!("testbed check: {upgraded}/{} on 20.1", enbs.len());
+
+    // Scenario 2: bad change — FFA itself degrades, never certified.
+    let (cornet, enbs, testbed) = build_cornet();
+    run_scenario(
+        "regression caught at FFA",
+        &cornet,
+        &enbs,
+        enbs.iter().map(|&n| (n, -0.3)).collect(),
+    );
+    let upgraded = enbs
+        .iter()
+        .filter(|&&n| {
+            testbed.state(&cornet.inventory.record(n).name).unwrap().sw_version == "20.1"
+        })
+        .count();
+    println!("testbed check: only {upgraded}/{} touched (the FFA slice)", enbs.len());
+
+    // Scenario 3: the §2.2 trap — FFA nodes improve, the rest degrade.
+    let (cornet, enbs, testbed) = build_cornet();
+    run_scenario(
+        "latent degradation halts mid-roll-out",
+        &cornet,
+        &enbs,
+        enbs.iter()
+            .enumerate()
+            .map(|(i, &n)| (n, if i < 3 { 0.2 } else { -0.3 }))
+            .collect(),
+    );
+    let upgraded = enbs
+        .iter()
+        .filter(|&&n| {
+            testbed.state(&cornet.inventory.record(n).name).unwrap().sw_version == "20.1"
+        })
+        .count();
+    println!("testbed check: {upgraded}/{} upgraded before the halt", enbs.len());
+}

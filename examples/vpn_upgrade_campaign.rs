@@ -1,0 +1,147 @@
+//! The §5.1 VPN story: upgrade a fleet of vCE routers with the
+//! two-workflow pattern — a non-disruptive download/install pass across
+//! everyone, then (days later) a disruptive activate/verify pass planned
+//! around host conflicts, with SSH fault injection and manual fall-out
+//! handling.
+//!
+//! Run with: `cargo run --example vpn_upgrade_campaign`
+
+use cornet::core::{testbed_registry, Cornet};
+use cornet::netsim::{Network, Testbed, TestbedConfig};
+use cornet::orchestrator::GlobalState;
+use cornet::planner::PlanOptions;
+use cornet::types::{NfType, NodeId, ParamValue};
+use cornet::workflow::builtin::{vce_activate_workflow, vce_download_workflow};
+
+const PLAN_INTENT: &str = r#"{
+    "scheduling_window": {"start": "2020-07-06 00:00:00",
+                           "end": "2020-07-13 23:59:00",
+                           "granularity": {"metric": "day", "value": 1}},
+    "maintenance_window": {"start": "0:00", "end": "6:00"},
+    "schedulable_attribute": "common_id",
+    "conflict_attribute": "common_id",
+    "constraints": [
+        {"name": "conflict_handling", "value": "zero-tolerance"},
+        {"name": "conflict_scope", "value": "service_chain"},
+        {"name": "concurrency", "base_attribute": "common_id",
+         "operator": "<=", "granularity": {"metric": "day", "value": 1},
+         "default_capacity": 8}
+    ]
+}"#;
+
+fn inputs_for(name: &str, version: &str, previous: Option<&str>) -> GlobalState {
+    let mut g = GlobalState::new();
+    g.insert("node".into(), ParamValue::from(name));
+    g.insert("software_version".into(), ParamValue::from(version));
+    if let Some(p) = previous {
+        g.insert("previous_version".into(), ParamValue::from(p));
+    }
+    g
+}
+
+fn main() {
+    // A VPN cloud: 48 vCE routers on shared physical servers.
+    let net = Network::generate_cloud(7, 48, 2);
+    let vces: Vec<NodeId> = net.nodes_of_type(NfType::VceRouter);
+    println!("VPN cloud: {} vCE routers on {} servers", vces.len(),
+        net.nodes_of_type(NfType::PhysicalServer).len());
+
+    // Testbed with a 2% management-plane (SSH) failure rate — §5.1's
+    // observed production failure mode.
+    let testbed = Testbed::new(TestbedConfig { seed: 17, ssh_failure_rate: 0.02, unhealthy_rate: 0.0 });
+    for &v in &vces {
+        testbed.instantiate(&net.inventory.record(v).name, NfType::VceRouter, "16.9");
+    }
+    let cornet = Cornet::new(
+        net.inventory.clone(),
+        net.topology.clone(),
+        testbed_registry(testbed.clone()),
+    );
+
+    // --- pass 1: download & install everywhere (non-disruptive, no
+    //     scheduling constraints beyond a nightly batch).
+    let w1 = cornet.deploy_workflow(&vce_download_workflow(&cornet.catalog)).unwrap();
+    let mut install_schedule = cornet::types::Schedule::default();
+    for (i, &v) in vces.iter().enumerate() {
+        install_schedule
+            .assignments
+            .insert(v, cornet::types::Timeslot(i as u32 / 16 + 1));
+    }
+    let inv = cornet.inventory.clone();
+    let r1 = cornet
+        .dispatch(&w1, &install_schedule, 8, |n| {
+            inputs_for(&inv.record(n).name, "17.3", None)
+        })
+        .unwrap();
+    println!(
+        "\npass 1 (download/install): {}/{} completed, {} fall-outs",
+        r1.completed(),
+        vces.len(),
+        r1.failures().len()
+    );
+    for (instance, block) in r1.failures() {
+        println!(
+            "  fall-out on {} at block '{block}' — handled manually (out-of-band access)",
+            inv.record(instance.node).name
+        );
+        // §5.1: "the fall-out at the time had to be dealt with manually."
+        testbed
+            .software_upgrade(&inv.record(instance.node).name, "17.3")
+            .ok();
+    }
+
+    // --- pass 2, days later: activate & verify, planned with zero
+    //     tolerance against host/service-chain conflicts.
+    let plan = cornet
+        .plan_from_json(
+            PLAN_INTENT,
+            &vces,
+            &PlanOptions {
+                solver: cornet::solver::SolverConfig {
+                    time_limit: std::time::Duration::from_secs(3),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    println!(
+        "\npass 2 plan: {} scheduled over {} nights, {} conflicts, discovered in {:?}",
+        plan.schedule.scheduled_count(),
+        plan.makespan(),
+        plan.schedule.conflicts,
+        plan.discovery_time
+    );
+
+    let w2 = cornet.deploy_workflow(&vce_activate_workflow(&cornet.catalog)).unwrap();
+    let r2 = cornet
+        .dispatch(&w2, &plan.schedule, 8, |n| {
+            inputs_for(&inv.record(n).name, "17.3", Some("16.9"))
+        })
+        .unwrap();
+    println!(
+        "pass 2 (activate/verify): {}/{} completed, {} fall-outs",
+        r2.completed(),
+        plan.schedule.scheduled_count(),
+        r2.failures().len()
+    );
+
+    // Campaign summary: how many routers ended on the new image.
+    let on_target = vces
+        .iter()
+        .filter(|&&v| {
+            testbed.state(&inv.record(v).name).map(|s| s.sw_version == "17.3").unwrap_or(false)
+        })
+        .count();
+    println!("\ncampaign result: {on_target}/{} vCEs on 17.3", vces.len());
+    let redirected = vces
+        .iter()
+        .filter(|&&v| {
+            testbed
+                .state(&inv.record(v).name)
+                .map(|s| s.traffic_redirected)
+                .unwrap_or(false)
+        })
+        .count();
+    println!("traffic still redirected (needs manual restore): {redirected}");
+}

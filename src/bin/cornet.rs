@@ -1,0 +1,342 @@
+//! `cornet` — command-line front end to the composition framework.
+//!
+//! ```text
+//! cornet catalog                      list the building-block catalog
+//! cornet workflows                    list & validate the built-in workflows
+//! cornet lint  --intent F [--network SPEC]   lint a JSON intent
+//! cornet plan  --intent F [--network SPEC] [--heuristic] [--emit-mzn F]
+//! cornet demo                         run a miniature end-to-end cycle
+//! ```
+//!
+//! `SPEC` is `ran:<nodes>` (default `ran:200`) or `cloud:<vces>`.
+
+use cornet::catalog::builtin_catalog;
+use cornet::netsim::{Network, NetworkConfig};
+use cornet::planner::{
+    heuristic_schedule, lint, plan, HeuristicConfig, PlanIntent, PlanOptions,
+};
+use cornet::types::{ConflictTable, NfType, NodeId};
+use cornet::workflow::{validate, WarArtifact};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cornet <catalog|workflows|lint|plan|demo> [options]\n\
+         \n\
+         options:\n\
+           --intent <file>     JSON intent (Listing 1 format)\n\
+           --network <spec>    ran:<nodes> | cloud:<vces>   (default ran:200)\n\
+           --heuristic         use the Appendix C heuristic instead of the solver\n\
+           --emit-mzn <file>   write the generated MiniZinc model\n\
+           --time-limit <s>    solver budget in seconds (default 5)"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> BTreeMap<String, String> {
+    let mut flags = BTreeMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = if it.peek().is_some_and(|n| !n.starts_with("--")) {
+                it.next().unwrap().clone()
+            } else {
+                "true".to_string()
+            };
+            flags.insert(name.to_string(), value);
+        }
+    }
+    flags
+}
+
+fn build_network(spec: &str) -> Result<Network, String> {
+    let (kind, size) = spec.split_once(':').unwrap_or((spec, "200"));
+    let size: usize = size.parse().map_err(|_| format!("bad network size in {spec:?}"))?;
+    match kind {
+        "ran" => Ok(Network::generate_ran(&NetworkConfig::default().with_target_nodes(size))),
+        "cloud" => Ok(Network::generate_cloud(1, size, 3)),
+        other => Err(format!("unknown network kind {other:?} (want ran: or cloud:)")),
+    }
+}
+
+fn scope_nodes(net: &Network) -> Vec<NodeId> {
+    let mut nodes = net.nodes_of_type(NfType::ENodeB);
+    nodes.extend(net.nodes_of_type(NfType::GNodeB));
+    if nodes.is_empty() {
+        nodes = net.nodes_of_type(NfType::VceRouter);
+    }
+    nodes.sort();
+    nodes
+}
+
+fn load_intent(flags: &BTreeMap<String, String>) -> Result<PlanIntent, String> {
+    let path = flags.get("intent").ok_or("--intent <file> is required")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    PlanIntent::from_json(&json).map_err(|e| e.to_string())
+}
+
+fn cmd_catalog() -> ExitCode {
+    let cat = builtin_catalog();
+    println!("{:<28} {:<22} {:<3} function", "block", "phase", "agn");
+    for b in cat.iter() {
+        println!(
+            "{:<28} {:<22} {:<3} {}",
+            b.name,
+            b.phase.to_string(),
+            if b.nf_agnostic { "✓" } else { "✗" },
+            b.function
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_workflows() -> ExitCode {
+    use cornet::workflow::builtin::*;
+    let cat = builtin_catalog();
+    for wf in [
+        software_upgrade_workflow(&cat),
+        config_change_workflow(&cat),
+        vce_download_workflow(&cat),
+        vce_activate_workflow(&cat),
+        sdwan_upgrade_workflow(&cat),
+        schedule_planning_workflow(&cat),
+        impact_verification_workflow(&cat),
+    ] {
+        let rep = validate(&wf, &cat);
+        let war = WarArtifact::package(&wf, &cat);
+        println!(
+            "{:<26} nodes={:<2} blocks={:<2} valid={} rest={}",
+            wf.name,
+            wf.nodes.len(),
+            wf.blocks().len(),
+            rep.is_valid(),
+            war.map(|w| w.manifest.rest_api).unwrap_or_else(|e| format!("({e})")),
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_lint(flags: &BTreeMap<String, String>) -> ExitCode {
+    let intent = match load_intent(flags) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let net = match build_network(flags.get("network").map(String::as_str).unwrap_or("ran:200")) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let nodes = scope_nodes(&net);
+    match lint(&intent, &net.inventory, &nodes) {
+        Ok(report) => {
+            if report.findings.is_empty() {
+                println!("intent is clean ({} nodes in scope)", nodes.len());
+            }
+            for f in &report.findings {
+                println!("{:?}: [{}] {}", f.level, f.code, f.message);
+            }
+            if report.is_plannable() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_plan(flags: &BTreeMap<String, String>) -> ExitCode {
+    let intent = match load_intent(flags) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let net = match build_network(flags.get("network").map(String::as_str).unwrap_or("ran:200")) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let nodes = scope_nodes(&net);
+
+    // Lint first — the paper's adoption lesson: surprises at plan time
+    // erode operator trust. A lint failure is itself a refusal: planning
+    // an unlintable intent would bypass the safety gate.
+    match lint(&intent, &net.inventory, &nodes) {
+        Ok(report) => {
+            for f in &report.findings {
+                eprintln!("lint {:?}: [{}] {}", f.level, f.code, f.message);
+            }
+            if !report.is_plannable() {
+                eprintln!("refusing to plan: fix the errors above");
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("refusing to plan: lint failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if flags.contains_key("heuristic") {
+        let window = match intent.window() {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let conflicts = intent.conflicts().unwrap_or_else(|_| ConflictTable::new());
+        // Respect the intent's plain concurrency capacity when present,
+        // instead of the heuristic's built-in default.
+        let slot_capacity = intent
+            .plain_concurrency_capacity()
+            .unwrap_or(HeuristicConfig::default().slot_capacity);
+        let schedule = heuristic_schedule(
+            &net.inventory,
+            &nodes,
+            &conflicts,
+            &window,
+            &HeuristicConfig { slot_capacity, ..Default::default() },
+        );
+        println!(
+            "heuristic schedule: {} scheduled, {} leftovers, {} conflicts, makespan {}",
+            schedule.scheduled_count(),
+            schedule.leftovers.len(),
+            schedule.conflicts,
+            schedule.makespan().map(|s| s.0).unwrap_or(0),
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let secs: u64 = flags.get("time-limit").and_then(|s| s.parse().ok()).unwrap_or(5);
+    let options = PlanOptions {
+        solver: cornet::solver::SolverConfig {
+            time_limit: std::time::Duration::from_secs(secs),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    match plan(&intent, &net.inventory, &net.topology, &nodes, &options) {
+        Ok(result) => {
+            println!(
+                "schedule: {} scheduled, {} leftovers, {} conflicts, makespan {}, {:?}, discovered in {:?}",
+                result.schedule.scheduled_count(),
+                result.schedule.leftovers.len(),
+                result.schedule.conflicts,
+                result.makespan(),
+                result.outcome,
+                result.discovery_time,
+            );
+            if let Some(path) = flags.get("emit-mzn") {
+                match cornet::planner::translate(
+                    &intent,
+                    &net.inventory,
+                    &net.topology,
+                    &nodes,
+                    &Default::default(),
+                ) {
+                    Ok(t) => {
+                        if let Err(e) = std::fs::write(path, t.model.to_minizinc()) {
+                            eprintln!("writing {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("MiniZinc model written to {path}");
+                    }
+                    Err(e) => eprintln!("translation for --emit-mzn failed: {e}"),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("planning failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_demo() -> ExitCode {
+    use cornet::core::{testbed_registry, Cornet};
+    use cornet::netsim::{Testbed, TestbedConfig};
+    use cornet::orchestrator::GlobalState;
+    use cornet::types::ParamValue;
+    use cornet::workflow::builtin::software_upgrade_workflow;
+
+    let net = Network::generate_cloud(1, 6, 1);
+    let tb = Testbed::new(TestbedConfig::default());
+    let vces: Vec<NodeId> = net
+        .inventory
+        .iter()
+        .filter(|r| r.nf_type == NfType::VceRouter)
+        .map(|r| {
+            tb.instantiate(&r.name, r.nf_type, "16.9");
+            r.id
+        })
+        .collect();
+    let cornet = Cornet::new(net.inventory.clone(), net.topology, testbed_registry(tb.clone()));
+    let war = cornet
+        .deploy_workflow(&software_upgrade_workflow(&cornet.catalog))
+        .expect("builtin workflow deploys");
+    let intent = r#"{
+        "scheduling_window": {"start": "2020-07-01 00:00:00",
+                               "end": "2020-07-05 23:59:00",
+                               "granularity": {"metric": "day", "value": 1}},
+        "maintenance_window": {"start": "0:00", "end": "6:00"},
+        "schedulable_attribute": "common_id",
+        "conflict_attribute": "common_id",
+        "constraints": [
+            {"name": "concurrency", "base_attribute": "common_id",
+             "operator": "<=", "granularity": {"metric": "day", "value": 1},
+             "default_capacity": 2}
+        ]
+    }"#;
+    let result = cornet
+        .plan_from_json(intent, &vces, &PlanOptions::default())
+        .expect("demo intent plans");
+    println!(
+        "planned {} vCEs over {} nights",
+        result.schedule.scheduled_count(),
+        result.makespan()
+    );
+    let inv = &cornet.inventory;
+    let report = cornet
+        .dispatch(&war, &result.schedule, 2, |node| {
+            let mut g = GlobalState::new();
+            g.insert("node".into(), ParamValue::from(inv.record(node).name.clone()));
+            g.insert("software_version".into(), ParamValue::from("17.3"));
+            g
+        })
+        .expect("dispatch runs");
+    println!("executed {} workflow instances, {} completed", report.instances.len(), report.completed());
+    for &v in &vces {
+        let name = &cornet.inventory.record(v).name;
+        println!("  {name}: {}", tb.state(name).unwrap().sw_version);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "catalog" => cmd_catalog(),
+        "workflows" => cmd_workflows(),
+        "lint" => cmd_lint(&flags),
+        "plan" => cmd_plan(&flags),
+        "demo" => cmd_demo(),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,39 @@
+//! # CORNET — a composition framework for change management
+//!
+//! Umbrella crate for the CORNET workspace, a from-scratch Rust
+//! reproduction of *"A Composition Framework for Change Management"*
+//! (Mahimkar, Andrade, Sinha, Rana — SIGCOMM 2021).
+//!
+//! The interesting code lives in the member crates; this crate re-exports
+//! them for the runnable examples in `examples/` and the cross-crate
+//! integration tests in `tests/`:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`types`] | shared vocabulary (ids, attributes, time, inventory, topology) |
+//! | [`netsim`] | network/KPI/change-log/usage simulators |
+//! | [`stats`] | robust statistics substrate |
+//! | [`model`] | constraint-model IR + MiniZinc emission |
+//! | [`solver`] | propagation + branch-and-bound CP solver |
+//! | [`catalog`] | building-block catalog (Table 2) |
+//! | [`workflow`] | BPMN-like designer, validation, WAR packaging |
+//! | [`orchestrator`] | execution engine, dispatcher, event-driven alternative |
+//! | [`planner`] | intent → model translation, decomposition, Appendix C heuristic |
+//! | [`verifier`] | impact verification (rules, control groups, analysis) |
+//! | [`core`] | the `Cornet` facade + reuse accounting |
+//!
+//! Start with `examples/quickstart.rs`.
+
+pub use cornet_catalog as catalog;
+pub use cornet_core as core;
+pub use cornet_model as model;
+pub use cornet_netsim as netsim;
+pub use cornet_orchestrator as orchestrator;
+pub use cornet_planner as planner;
+pub use cornet_solver as solver;
+pub use cornet_stats as stats;
+pub use cornet_types as types;
+pub use cornet_verifier as verifier;
+pub use cornet_workflow as workflow;
+
+pub use cornet_core::Cornet;

@@ -1,0 +1,152 @@
+//! The §2.3 evolution hazard, reproduced end to end:
+//!
+//! "Key performance indicators need to be updated whenever there is a
+//! change in the underlying counters across software releases (e.g., new
+//! failure cause code for voice calls introduced with the new software
+//! version). If the new cause codes are not accounted for during the
+//! network change roll-out, then any degradations caused by the new codes
+//! would not be captured in the pre/post-impact comparisons."
+//!
+//! We synthesize cause-code counters where a software upgrade both shifts
+//! failures to a *new* cause code and increases them. A verifier armed
+//! with the stale KPI equation sees an improvement; the updated equation
+//! (Fig. 6's "KPIs created or modified") reveals the degradation.
+
+use cornet::stats::TimeSeries;
+use cornet::types::NodeId;
+use cornet::verifier::{
+    analyze_kpi, AnalysisOptions, ChangeScope, ClosureAdapter, Equation, ImpactVerdict,
+};
+use std::collections::BTreeMap;
+
+const CHANGE_MINUTE: u64 = 6_000;
+const SAMPLES: usize = 200;
+const STEP: u64 = 60;
+
+/// Deterministic wiggle so the rank test has realistic variation.
+fn wiggle(k: u64, node: NodeId, salt: u64) -> f64 {
+    (((k * 2654435761 + node.0 as u64 * 97 + salt * 13) % 100) as f64 / 100.0 - 0.5) * 2.0
+}
+
+/// Synthesize one counter stream for a node.
+///
+/// * `attempts` — flat at ~1000;
+/// * `drop_radio`, `drop_handover` — the legacy cause codes: ~10 each
+///   before the change; after the change on study nodes they *improve*
+///   (drop to ~6) because the new software reclassifies those failures …
+/// * `drop_timer_new` — the new cause code: zero before the change,
+///   ~25 after it on study nodes (a real regression hiding under a new
+///   label).
+fn counter_series(node: NodeId, counter: &str, is_study: bool) -> TimeSeries {
+    let values: Vec<f64> = (0..SAMPLES as u64)
+        .map(|k| {
+            let minute = k * STEP;
+            let post = is_study && minute >= CHANGE_MINUTE;
+            match counter {
+                "attempts" => 1000.0 + wiggle(k, node, 1) * 20.0,
+                "drop_radio" | "drop_handover" => {
+                    let base = if post { 6.0 } else { 10.0 };
+                    (base + wiggle(k, node, 2)).max(0.0)
+                }
+                "drop_timer_new" => {
+                    if post {
+                        (25.0 + wiggle(k, node, 3) * 2.0).max(0.0)
+                    } else {
+                        0.0
+                    }
+                }
+                _ => f64::NAN,
+            }
+        })
+        .collect();
+    TimeSeries::new(0, STEP, values)
+}
+
+/// Adapter that evaluates a KPI *equation* over the counter feeds — the
+/// §3.5.1 pipeline where data adapters + KPI equations produce the series
+/// the statistics consume.
+fn equation_adapter(
+    equation: Equation,
+) -> impl cornet::verifier::DataAdapter {
+    ClosureAdapter(move |node: NodeId, _kpi: &str, _carrier: Option<usize>| {
+        let is_study = node.0 < 100;
+        let counters: BTreeMap<String, TimeSeries> = equation
+            .counters()
+            .iter()
+            .map(|c| (c.to_string(), counter_series(node, c, is_study)))
+            .collect();
+        equation.evaluate(&counters).ok()
+    })
+}
+
+fn scope() -> ChangeScope {
+    ChangeScope::simultaneous(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)], CHANGE_MINUTE)
+}
+
+fn controls() -> Vec<NodeId> {
+    (100..108).map(NodeId).collect()
+}
+
+/// Drop rate is downward-good: fewer drops per attempt is better.
+fn analyze(equation_src: &str) -> ImpactVerdict {
+    let eq = Equation::parse(equation_src).expect("equation parses");
+    let adapter = equation_adapter(eq);
+    analyze_kpi(
+        &adapter,
+        "voice_drop_rate",
+        None,
+        false, // upward_good = false
+        &scope(),
+        &controls(),
+        &AnalysisOptions::default(),
+    )
+    .expect("analysis runs")
+    .verdict
+}
+
+#[test]
+fn stale_equation_misses_the_regression() {
+    // The 19.x-era equation: only the legacy cause codes. After the
+    // upgrade those *fall* (reclassified), so the stale KPI reports an
+    // improvement — exactly the blind spot the paper warns about.
+    let verdict = analyze("100 * (drop_radio + drop_handover) / attempts");
+    assert_eq!(verdict, ImpactVerdict::Improvement, "stale equation sees only the good news");
+}
+
+#[test]
+fn updated_equation_catches_the_regression() {
+    // The 20.x-era equation adds the new cause code: total drops went from
+    // ~20 to ~37 per 1000 — a degradation the verifier must flag.
+    let verdict =
+        analyze("100 * (drop_radio + drop_handover + drop_timer_new) / attempts");
+    assert_eq!(verdict, ImpactVerdict::Degradation, "updated equation reveals the regression");
+}
+
+#[test]
+fn new_cause_code_alone_localizes_the_regression() {
+    // Slicing the KPI to just the new code attributes the entire shift —
+    // the diagnostic step after the updated scorecard flags the roll-out.
+    // A born-zero KPI cannot be ratio-normalized (its pre-change median is
+    // zero), so the diagnostic form adds a +1 smoothing term — the same
+    // trick the Table 5 equations use (`max(ctr_den, 1)`).
+    let verdict = analyze("100 * (1 + drop_timer_new) / attempts");
+    assert_eq!(verdict, ImpactVerdict::Degradation);
+}
+
+#[test]
+fn born_zero_kpi_fails_loudly_not_silently() {
+    // Without smoothing, the analytics must refuse (zero pre-change
+    // baseline) rather than fabricate a verdict.
+    let eq = Equation::parse("100 * drop_timer_new / attempts").unwrap();
+    let adapter = equation_adapter(eq);
+    let err = analyze_kpi(
+        &adapter,
+        "voice_drop_rate",
+        None,
+        false,
+        &scope(),
+        &controls(),
+        &AnalysisOptions::default(),
+    );
+    assert!(err.is_err(), "zero-baseline KPI must be a data-integrity error");
+}

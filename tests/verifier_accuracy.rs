@@ -1,0 +1,159 @@
+//! Integration test reproducing §4.3's accuracy experiment: 60 labeled
+//! change impacts across staggered roll-outs, each injected into the KPI
+//! synthesizer as ground truth; CORNET's verifier must identify all 60 as
+//! labeled ("Our change impact verifier in CORNET accurately identified
+//! all the 60 impacts as expected by the operations teams").
+
+use cornet::netsim::{ImpactKind, InjectedImpact, KpiGenerator, Network, NetworkConfig};
+use cornet::types::{NfType, NodeId};
+use cornet::verifier::{
+    analyze_kpi, AnalysisOptions, ChangeScope, ClosureAdapter, ImpactVerdict,
+};
+
+struct LabeledCase {
+    kpi: String,
+    /// +1 improvement, -1 degradation, 0 none (ground-truth label).
+    label: i8,
+    scope: ChangeScope,
+    impacts: Vec<InjectedImpact>,
+}
+
+/// Build 60 labeled cases: 20 upward shifts, 20 downward, 20 no-ops,
+/// across different KPIs, staggered change times, and magnitudes.
+fn labeled_cases(study: &[NodeId]) -> Vec<LabeledCase> {
+    let mut cases = Vec::new();
+    for i in 0..60 {
+        let kpi = format!("kpi_{i:02}");
+        let label: i8 = match i % 3 {
+            0 => 1,
+            1 => -1,
+            _ => 0,
+        };
+        // Staggered roll-out: each study node changes a few hours apart.
+        let base_minute = 6_000 + (i as u64 % 7) * 120;
+        let scope = ChangeScope {
+            changes: study
+                .iter()
+                .enumerate()
+                .map(|(k, &n)| (n, base_minute + k as u64 * 180))
+                .collect(),
+        };
+        let magnitude = match label {
+            1 => 0.15 + (i as f64 % 5.0) * 0.05,
+            -1 => -(0.15 + (i as f64 % 5.0) * 0.05),
+            _ => 0.0,
+        };
+        let impacts = if label == 0 {
+            Vec::new()
+        } else {
+            scope
+                .changes
+                .iter()
+                .map(|(&n, &minute)| InjectedImpact {
+                    node: n,
+                    kpi: kpi.clone(),
+                    carrier: None,
+                    at_minute: minute,
+                    kind: ImpactKind::LevelShift,
+                    magnitude,
+                })
+                .collect()
+        };
+        cases.push(LabeledCase { kpi, label, scope, impacts });
+    }
+    cases
+}
+
+#[test]
+fn all_sixty_labeled_impacts_identified() {
+    let net = Network::generate_ran(&NetworkConfig::default());
+    let enbs = net.nodes_of_type(NfType::ENodeB);
+    let study: Vec<NodeId> = enbs[..8].to_vec();
+    let control: Vec<NodeId> = enbs[8..20].to_vec();
+
+    let generator = KpiGenerator { seed: 42, noise: 0.02, ..Default::default() };
+    let cases = labeled_cases(&study);
+    // The labeled impacts are ±15% and larger; a 5% practical-significance
+    // floor (the knob operations teams tune per rule) separates them from
+    // the ~1.5% diurnal-alignment artifacts of heavily staggered scopes.
+    let options = AnalysisOptions { min_relative_shift: 0.05, ..Default::default() };
+
+    let mut correct = 0;
+    let mut wrong = Vec::new();
+    for case in &cases {
+        let gen = generator.clone();
+        let impacts = case.impacts.clone();
+        let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
+            Some(gen.series(node, kpi, carrier, 250, &impacts))
+        });
+        let analysis =
+            analyze_kpi(&adapter, &case.kpi, None, true, &case.scope, &control, &options)
+                .expect("analysis runs");
+        let expected = match case.label {
+            1 => ImpactVerdict::Improvement,
+            -1 => ImpactVerdict::Degradation,
+            _ => ImpactVerdict::NoImpact,
+        };
+        if analysis.verdict == expected {
+            correct += 1;
+        } else {
+            wrong.push(format!(
+                "{}: label {} got {:?} (p={:.4}, shift={:+.3})",
+                case.kpi, case.label, analysis.verdict, analysis.p_value, analysis.relative_shift
+            ));
+        }
+    }
+    assert_eq!(correct, 60, "misclassified: {wrong:#?}");
+}
+
+#[test]
+fn per_carrier_impact_visible_only_at_carrier_granularity() {
+    // Fig. 2's lesson: aggregating across carriers can hide per-carrier
+    // level changes. A level shift confined to CF-3 must be detected at
+    // carrier granularity and attributed to that carrier.
+    let study: Vec<NodeId> = (0..6).map(NodeId).collect();
+    let control: Vec<NodeId> = (100..112).map(NodeId).collect();
+    let scope = ChangeScope::simultaneous(&study, 6_000);
+    let impacts: Vec<InjectedImpact> = study
+        .iter()
+        .map(|&n| InjectedImpact {
+            node: n,
+            kpi: "dl_throughput".into(),
+            carrier: Some(2),
+            at_minute: 6_000,
+            kind: ImpactKind::LevelShift,
+            magnitude: -0.3,
+        })
+        .collect();
+    let gen = KpiGenerator { seed: 7, noise: 0.02, ..Default::default() };
+    let adapter = {
+        let gen = gen.clone();
+        let impacts = impacts.clone();
+        ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
+            Some(gen.series(node, kpi, carrier, 250, &impacts))
+        })
+    };
+    let options = AnalysisOptions::default();
+    let hit = analyze_kpi(
+        &adapter,
+        "dl_throughput",
+        Some(2),
+        true,
+        &scope,
+        &control,
+        &options,
+    )
+    .unwrap();
+    assert_eq!(hit.verdict, ImpactVerdict::Degradation, "CF-3 view sees the hit");
+    let spared = analyze_kpi(
+        &adapter,
+        "dl_throughput",
+        Some(4),
+        true,
+        &scope,
+        &control,
+        &options,
+    )
+    .unwrap();
+    assert_eq!(spared.verdict, ImpactVerdict::NoImpact, "CF-5 view is clean");
+}
