@@ -17,7 +17,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 fn budget() -> SolverConfig {
-    SolverConfig { max_nodes: 60_000, time_limit: Duration::from_secs(2), ..Default::default() }
+    SolverConfig {
+        max_nodes: 60_000,
+        time_limit: Duration::from_secs(2),
+        ..Default::default()
+    }
 }
 
 /// Linking vs hybrid strategy for market-level concurrency.
@@ -41,7 +45,10 @@ fn bench_group_strategy(c: &mut Criterion) {
     ] {
         group.bench_function(label, |b| {
             let opts = PlanOptions {
-                translate: TranslateOptions { strategy, ..Default::default() },
+                translate: TranslateOptions {
+                    strategy,
+                    ..Default::default()
+                },
                 solver: budget(),
                 ..Default::default()
             };
@@ -57,13 +64,21 @@ fn bench_warm_start(c: &mut Criterion) {
     let nodes = ran_nodes(&net);
     let mut intent = base_intent(25);
     add_composition(&mut intent, 1);
-    let translation =
-        translate(&intent, &net.inventory, &net.topology, &nodes, &TranslateOptions::default())
-            .unwrap();
+    let translation = translate(
+        &intent,
+        &net.inventory,
+        &net.topology,
+        &nodes,
+        &TranslateOptions::default(),
+    )
+    .unwrap();
     let mut group = c.benchmark_group("ablation_warm_start");
     group.sample_size(10);
     for (label, cost_order) in [("cost_ordered", true), ("value_ordered", false)] {
-        let cfg = SolverConfig { cost_value_order: cost_order, ..budget() };
+        let cfg = SolverConfig {
+            cost_value_order: cost_order,
+            ..budget()
+        };
         group.bench_function(label, |b| b.iter(|| solve(&translation.model, &cfg)));
     }
     group.finish();
@@ -77,7 +92,11 @@ fn bench_decomposition(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_decomposition");
     group.sample_size(10);
     for (label, decompose) in [("monolithic", false), ("parallel_components", true)] {
-        let opts = PlanOptions { decompose, solver: budget(), ..Default::default() };
+        let opts = PlanOptions {
+            decompose,
+            solver: budget(),
+            ..Default::default()
+        };
         group.bench_function(label, |b| {
             b.iter(|| plan(&intent, &net.inventory, &net.topology, &nodes, &opts).unwrap())
         });
@@ -94,23 +113,35 @@ fn bench_solver_vs_heuristic(c: &mut Criterion) {
     add_composition(&mut intent, 1);
     let window = intent.window().unwrap();
     let ems_count = net.inventory.distinct_values("ems").len() as i64;
-    let hcfg = HeuristicConfig { slot_capacity: 25 * ems_count, iterations: 8, seed: 5 };
+    let hcfg = HeuristicConfig {
+        slot_capacity: 25 * ems_count,
+        iterations: 8,
+        seed: 5,
+    };
 
     let generic = plan(
         &intent,
         &net.inventory,
         &net.topology,
         &nodes,
-        &PlanOptions { solver: budget(), ..Default::default() },
+        &PlanOptions {
+            solver: budget(),
+            ..Default::default()
+        },
     )
     .unwrap();
-    let hs = heuristic_schedule(&net.inventory, &nodes, &ConflictTable::new(), &window, &hcfg);
+    let hs = heuristic_schedule(
+        &net.inventory,
+        &nodes,
+        &ConflictTable::new(),
+        &window,
+        &hcfg,
+    );
     eprintln!(
         "[makespan] generic solver: {} slots; heuristic: {} slots; overhead {:+.1}%",
         generic.makespan(),
         hs.makespan().map(|s| s.0).unwrap_or(0),
-        (generic.makespan() as f64 / hs.makespan().map(|s| s.0).unwrap_or(1) as f64 - 1.0)
-            * 100.0
+        (generic.makespan() as f64 / hs.makespan().map(|s| s.0).unwrap_or(1) as f64 - 1.0) * 100.0
     );
 
     let mut group = c.benchmark_group("solver_vs_heuristic_time");
@@ -122,13 +153,24 @@ fn bench_solver_vs_heuristic(c: &mut Criterion) {
                 &net.inventory,
                 &net.topology,
                 &nodes,
-                &PlanOptions { solver: budget(), ..Default::default() },
+                &PlanOptions {
+                    solver: budget(),
+                    ..Default::default()
+                },
             )
             .unwrap()
         })
     });
     group.bench_function("custom_heuristic", |b| {
-        b.iter(|| heuristic_schedule(&net.inventory, &nodes, &ConflictTable::new(), &window, &hcfg))
+        b.iter(|| {
+            heuristic_schedule(
+                &net.inventory,
+                &nodes,
+                &ConflictTable::new(),
+                &window,
+                &hcfg,
+            )
+        })
     });
     group.finish();
 }

@@ -16,7 +16,11 @@ fn bench_heuristic_scale(c: &mut Criterion) {
         let nodes = ran_nodes(&net);
         let window = SchedulingWindow::daily(SimTime::from_ymd_hm(2020, 7, 1, 0, 0), 70);
         let capacity = (nodes.len() / 55).max(200) as i64;
-        let cfg = HeuristicConfig { slot_capacity: capacity, iterations: 6, seed: 9 };
+        let cfg = HeuristicConfig {
+            slot_capacity: capacity,
+            iterations: 6,
+            seed: 9,
+        };
         group.bench_with_input(BenchmarkId::from_parameter(target), &target, |b, _| {
             b.iter(|| {
                 heuristic_schedule(&net.inventory, &nodes, &ConflictTable::new(), &window, &cfg)
@@ -42,7 +46,11 @@ fn bench_heuristic_with_conflicts(c: &mut Criterion) {
         );
     }
     let window = SchedulingWindow::daily(SimTime::from_ymd_hm(2020, 7, 1, 0, 0), 70);
-    let cfg = HeuristicConfig { slot_capacity: 600, iterations: 6, seed: 9 };
+    let cfg = HeuristicConfig {
+        slot_capacity: 600,
+        iterations: 6,
+        seed: 9,
+    };
     let mut group = c.benchmark_group("heuristic_conflict_pressure");
     group.sample_size(10);
     group.bench_function("30k_nodes_5pct_busy", |b| {
@@ -51,5 +59,9 @@ fn bench_heuristic_with_conflicts(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_heuristic_scale, bench_heuristic_with_conflicts);
+criterion_group!(
+    benches,
+    bench_heuristic_scale,
+    bench_heuristic_with_conflicts
+);
 criterion_main!(benches);

@@ -33,9 +33,7 @@ fn bench_instance_scaling(c: &mut Criterion) {
         let mut intent = base_intent(25);
         add_composition(&mut intent, 1);
         group.bench_with_input(BenchmarkId::from_parameter(target), &target, |b, _| {
-            b.iter(|| {
-                plan(&intent, &net.inventory, &net.topology, &nodes, &options()).unwrap()
-            })
+            b.iter(|| plan(&intent, &net.inventory, &net.topology, &nodes, &options()).unwrap())
         });
     }
     group.finish();
@@ -54,9 +52,7 @@ fn bench_compositions(c: &mut Criterion) {
             BenchmarkId::from_parameter(composition_name(mask)),
             &mask,
             |b, _| {
-                b.iter(|| {
-                    plan(&intent, &net.inventory, &net.topology, &nodes, &options()).unwrap()
-                })
+                b.iter(|| plan(&intent, &net.inventory, &net.topology, &nodes, &options()).unwrap())
             },
         );
     }

@@ -25,10 +25,17 @@ const ATTRS: [&str; 10] = [
     "carriers",
 ];
 
-fn rule_for(kpis: &[&cornet_netsim::kpi::KpiDef], attrs: usize, control: Vec<NodeId>) -> VerificationRule {
+fn rule_for(
+    kpis: &[&cornet_netsim::kpi::KpiDef],
+    attrs: usize,
+    control: Vec<NodeId>,
+) -> VerificationRule {
     VerificationRule {
         name: "fig10".into(),
-        kpis: kpis.iter().map(|k| KpiQuery::monitor(k.name.clone(), true)).collect(),
+        kpis: kpis
+            .iter()
+            .map(|k| KpiQuery::monitor(k.name.clone(), true))
+            .collect(),
         location_attributes: ATTRS[..attrs].iter().map(|s| s.to_string()).collect(),
         control: ControlSelection::Explicit(control),
         control_attr_filter: None,
@@ -45,10 +52,18 @@ fn bench_fig10(c: &mut Criterion) {
     let net = Network::generate_ran(&NetworkConfig::default().with_target_nodes(200));
     let enbs = net.nodes_of_type(NfType::ENodeB);
     let study: Vec<NodeId> = enbs.iter().copied().take(100).collect();
-    let control: Vec<NodeId> = net.nodes_of_type(NfType::Siad).into_iter().take(30).collect();
+    let control: Vec<NodeId> = net
+        .nodes_of_type(NfType::Siad)
+        .into_iter()
+        .take(30)
+        .collect();
     let scope = ChangeScope::simultaneous(&study, 6_000);
     let catalog = KpiCatalog::table5();
-    let gen = KpiGenerator { seed: 10, noise: 0.02, ..Default::default() };
+    let gen = KpiGenerator {
+        seed: 10,
+        noise: 0.02,
+        ..Default::default()
+    };
 
     let mut group = c.benchmark_group("fig10_verification_time");
     group.sample_size(10);
@@ -69,16 +84,11 @@ fn bench_fig10(c: &mut Criterion) {
             let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
                 Some(gen.series(node, kpi, carrier, 200, &[]))
             });
-            group.bench_with_input(
-                BenchmarkId::new(label, attrs),
-                &attrs,
-                |b, _| {
-                    b.iter(|| {
-                        verify_rule(&adapter, &rule, &scope, &net.inventory, &net.topology)
-                            .unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, attrs), &attrs, |b, _| {
+                b.iter(|| {
+                    verify_rule(&adapter, &rule, &scope, &net.inventory, &net.topology).unwrap()
+                })
+            });
         }
     }
     group.finish();

@@ -13,12 +13,19 @@ fn bench_fig11(c: &mut Criterion) {
     group.sample_size(10);
     for nodes_n in [200usize, 800, 3200] {
         let net = Network::generate_ran(
-            &NetworkConfig { seed: 3, ..Default::default() }.with_target_nodes(nodes_n + 200),
+            &NetworkConfig {
+                seed: 3,
+                ..Default::default()
+            }
+            .with_target_nodes(nodes_n + 200),
         );
         let enbs = net.nodes_of_type(NfType::ENodeB);
         let study: Vec<NodeId> = enbs.iter().copied().take(nodes_n).collect();
-        let control: Vec<NodeId> =
-            net.nodes_of_type(NfType::Siad).into_iter().take(100).collect();
+        let control: Vec<NodeId> = net
+            .nodes_of_type(NfType::Siad)
+            .into_iter()
+            .take(100)
+            .collect();
         let scope = ChangeScope::simultaneous(&study, 6_000);
         for attrs in [1usize, 3] {
             let attr_names: Vec<String> = ["market", "tac", "ems", "hw_version", "timezone"]
@@ -28,7 +35,9 @@ fn bench_fig11(c: &mut Criterion) {
                 .collect();
             let rule = VerificationRule {
                 name: "fig11".into(),
-                kpis: (0..2).map(|i| KpiQuery::monitor(format!("kpi{i}"), true)).collect(),
+                kpis: (0..2)
+                    .map(|i| KpiQuery::monitor(format!("kpi{i}"), true))
+                    .collect(),
                 location_attributes: attr_names,
                 control: ControlSelection::Explicit(control.clone()),
                 control_attr_filter: None,
@@ -36,7 +45,11 @@ fn bench_fig11(c: &mut Criterion) {
                 alpha: 0.01,
                 min_relative_shift: 0.01,
             };
-            let gen = KpiGenerator { seed: 11, noise: 0.02, ..Default::default() };
+            let gen = KpiGenerator {
+                seed: 11,
+                noise: 0.02,
+                ..Default::default()
+            };
             let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
                 Some(gen.series(node, kpi, carrier, 200, &[]))
             });
@@ -45,8 +58,7 @@ fn bench_fig11(c: &mut Criterion) {
                 &nodes_n,
                 |b, _| {
                     b.iter(|| {
-                        verify_rule(&adapter, &rule, &scope, &net.inventory, &net.topology)
-                            .unwrap()
+                        verify_rule(&adapter, &rule, &scope, &net.inventory, &net.topology).unwrap()
                     })
                 },
             );

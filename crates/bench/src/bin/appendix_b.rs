@@ -78,7 +78,10 @@ fn main() {
             &inv,
             &topo,
             &nodes,
-            &TranslateOptions { strategy, ..Default::default() },
+            &TranslateOptions {
+                strategy,
+                ..Default::default()
+            },
         )
         .expect("translates");
         let stats = t.model.stats();
@@ -90,9 +93,15 @@ fn main() {
 
     let t = translate(&intent, &inv, &topo, &nodes, &TranslateOptions::default()).unwrap();
     let mzn = t.model.to_minizinc();
-    println!("\n% ------- generated MiniZinc ({} lines; first 60 shown) -------", mzn.lines().count());
+    println!(
+        "\n% ------- generated MiniZinc ({} lines; first 60 shown) -------",
+        mzn.lines().count()
+    );
     for line in mzn.lines().take(60) {
         println!("{line}");
     }
-    println!("% ... ({} more lines)", mzn.lines().count().saturating_sub(60));
+    println!(
+        "% ... ({} more lines)",
+        mzn.lines().count().saturating_sub(60)
+    );
 }

@@ -7,7 +7,10 @@ use cornet_netsim::changelog::{rollout_curve, RolloutConfig, RolloutPlanner};
 fn main() {
     let total = 60_000;
     let curve = rollout_curve(&RolloutConfig::default(), RolloutPlanner::Cornet, total);
-    println!("Fig. 1 — staggered deployment of {total} eNodeBs ({} slots)\n", curve.len());
+    println!(
+        "Fig. 1 — staggered deployment of {total} eNodeBs ({} slots)\n",
+        curve.len()
+    );
     println!("{:>5}  {:>7}  progress", "slot", "done");
     for (i, f) in curve.iter().enumerate() {
         // Print every slot early (the interesting FFA/crawl region), then

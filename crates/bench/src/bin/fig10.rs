@@ -11,31 +11,67 @@ use cornet_verifier::{
 };
 
 const ATTRS: [&str; 10] = [
-    "market", "tac", "usid", "ems", "timezone", "hw_version", "sw_version", "nf", "utc_offset",
+    "market",
+    "tac",
+    "usid",
+    "ems",
+    "timezone",
+    "hw_version",
+    "sw_version",
+    "nf",
+    "utc_offset",
     "carriers",
 ];
 
 fn main() {
     let net = Network::generate_ran(&NetworkConfig::default().with_target_nodes(500));
-    let study: Vec<NodeId> =
-        net.nodes_of_type(NfType::ENodeB).into_iter().take(400).collect();
-    let control: Vec<NodeId> = net.nodes_of_type(NfType::Siad).into_iter().take(60).collect();
+    let study: Vec<NodeId> = net
+        .nodes_of_type(NfType::ENodeB)
+        .into_iter()
+        .take(400)
+        .collect();
+    let control: Vec<NodeId> = net
+        .nodes_of_type(NfType::Siad)
+        .into_iter()
+        .take(60)
+        .collect();
     let scope = ChangeScope::simultaneous(&study, 20_000);
     let catalog = KpiCatalog::table5();
-    let gen = KpiGenerator { seed: 10, noise: 0.02, ..Default::default() };
+    let gen = KpiGenerator {
+        seed: 10,
+        noise: 0.02,
+        ..Default::default()
+    };
 
     println!("Fig. 10 — verification time vs KPI group × #location attributes (400 nodes)\n");
-    header(&["KPI group", "KPIs used", "join work", "1 attr", "5 attrs", "10 attrs"]);
-    for (group, take) in
-        [("scorecard", 9usize), ("level1", 16), ("level2", 24), ("level3", 32)]
-    {
+    header(&[
+        "KPI group",
+        "KPIs used",
+        "join work",
+        "1 attr",
+        "5 attrs",
+        "10 attrs",
+    ]);
+    for (group, take) in [
+        ("scorecard", 9usize),
+        ("level1", 16),
+        ("level2", 24),
+        ("level3", 32),
+    ] {
         let kpis: Vec<_> = catalog.group(group).into_iter().take(take).collect();
         let join_work = catalog.join_work(&kpis);
-        let mut cells = vec![group.to_string(), kpis.len().to_string(), join_work.to_string()];
+        let mut cells = vec![
+            group.to_string(),
+            kpis.len().to_string(),
+            join_work.to_string(),
+        ];
         for attrs in [1usize, 5, 10] {
             let rule = VerificationRule {
                 name: "fig10".into(),
-                kpis: kpis.iter().map(|k| KpiQuery::monitor(k.name.clone(), true)).collect(),
+                kpis: kpis
+                    .iter()
+                    .map(|k| KpiQuery::monitor(k.name.clone(), true))
+                    .collect(),
                 location_attributes: ATTRS[..attrs].iter().map(|s| s.to_string()).collect(),
                 control: ControlSelection::Explicit(control.clone()),
                 control_attr_filter: None,
@@ -44,10 +80,9 @@ fn main() {
                 min_relative_shift: 0.01,
             };
             let gen = gen.clone();
-            let adapter =
-                ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
-                    Some(gen.series(node, kpi, carrier, 400, &[]))
-                });
+            let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
+                Some(gen.series(node, kpi, carrier, 400, &[]))
+            });
             let report =
                 verify_rule(&adapter, &rule, &scope, &net.inventory, &net.topology).unwrap();
             cells.push(format!("{:?}", report.duration));

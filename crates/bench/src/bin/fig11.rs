@@ -13,18 +13,30 @@ fn main() {
     header(&["nodes", "1 attr", "5 attrs"]);
     for nodes_n in [400usize, 800, 1600, 3200, 6400] {
         let net = Network::generate_ran(
-            &NetworkConfig { seed: 3, ..Default::default() }.with_target_nodes(nodes_n + 200),
+            &NetworkConfig {
+                seed: 3,
+                ..Default::default()
+            }
+            .with_target_nodes(nodes_n + 200),
         );
-        let study: Vec<NodeId> =
-            net.nodes_of_type(NfType::ENodeB).into_iter().take(nodes_n).collect();
-        let control: Vec<NodeId> =
-            net.nodes_of_type(NfType::Siad).into_iter().take(100).collect();
+        let study: Vec<NodeId> = net
+            .nodes_of_type(NfType::ENodeB)
+            .into_iter()
+            .take(nodes_n)
+            .collect();
+        let control: Vec<NodeId> = net
+            .nodes_of_type(NfType::Siad)
+            .into_iter()
+            .take(100)
+            .collect();
         let scope = ChangeScope::simultaneous(&study, 20_000);
         let mut cells = vec![study.len().to_string()];
         for attrs in [1usize, 5] {
             let rule = VerificationRule {
                 name: "fig11".into(),
-                kpis: (0..4).map(|i| KpiQuery::monitor(format!("kpi{i}"), true)).collect(),
+                kpis: (0..4)
+                    .map(|i| KpiQuery::monitor(format!("kpi{i}"), true))
+                    .collect(),
                 location_attributes: ["market", "tac", "ems", "hw_version", "timezone"][..attrs]
                     .iter()
                     .map(|s| s.to_string())
@@ -35,11 +47,14 @@ fn main() {
                 alpha: 0.01,
                 min_relative_shift: 0.01,
             };
-            let gen = KpiGenerator { seed: 11, noise: 0.02, ..Default::default() };
-            let adapter =
-                ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
-                    Some(gen.series(node, kpi, carrier, 400, &[]))
-                });
+            let gen = KpiGenerator {
+                seed: 11,
+                noise: 0.02,
+                ..Default::default()
+            };
+            let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
+                Some(gen.series(node, kpi, carrier, 400, &[]))
+            });
             let report =
                 verify_rule(&adapter, &rule, &scope, &net.inventory, &net.topology).unwrap();
             cells.push(format!("{:?}", report.duration));

@@ -11,7 +11,12 @@ fn main() {
     let max = hist.iter().map(|(_, c)| *c).max().unwrap() as f64;
     println!("Fig. 12 — requested change duration across {total} scheduling queries\n");
     for (windows, count) in &hist {
-        println!("{:>3} MW  {:>5}  {}", windows, count, bar(*count as f64 / max, 45));
+        println!(
+            "{:>3} MW  {:>5}  {}",
+            windows,
+            count,
+            bar(*count as f64 / max, 45)
+        );
     }
     let single = hist[0].1;
     println!(

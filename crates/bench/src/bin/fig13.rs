@@ -10,7 +10,12 @@ fn main() {
     let max = usage.iter().map(|(_, c)| *c).max().unwrap() as f64;
     println!("Fig. 13 — location-aggregation attributes across {total} impact queries\n");
     for (name, count) in &usage {
-        println!("{:>32}  {:>6}  {}", name, count, bar(*count as f64 / max, 40));
+        println!(
+            "{:>32}  {:>6}  {}",
+            name,
+            count,
+            bar(*count as f64 / max, 40)
+        );
     }
     println!("\npaper: time-aligned aggregate and per-(e/g)NodeB dominate; carrier frequency,");
     println!("hardware version (BB/DU) and market are the top configuration attributes");

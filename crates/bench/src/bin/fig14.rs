@@ -14,18 +14,30 @@ fn main() {
     let max = usage.iter().map(|(_, c)| *c).max().unwrap() as f64;
     println!("Fig. 14 — control-group selection across {total} impact queries\n");
     for (name, count) in &usage {
-        println!("{:>26}  {:>6}  {}", name, count, bar(*count as f64 / max, 40));
+        println!(
+            "{:>26}  {:>6}  {}",
+            name,
+            count,
+            bar(*count as f64 / max, 40)
+        );
     }
 
     // Live derivation on a generated RAN.
     let net = Network::generate_ran(&NetworkConfig::default());
-    let study: Vec<_> = net.nodes_of_type(NfType::ENodeB).into_iter().take(10).collect();
+    let study: Vec<_> = net
+        .nodes_of_type(NfType::ENodeB)
+        .into_iter()
+        .take(10)
+        .collect();
     println!("\ncontrol-group sizes for a 10-eNodeB study group on a generated RAN:");
     for (name, sel) in [
         ("1st tier", ControlSelection::FirstTier),
         ("2nd tier", ControlSelection::SecondTier),
         ("2nd minus 1st", ControlSelection::SecondMinusFirst),
-        ("same hw_version", ControlSelection::SameAttribute("hw_version".into())),
+        (
+            "same hw_version",
+            ControlSelection::SameAttribute("hw_version".into()),
+        ),
     ] {
         let group = derive_control_group(&sel, &study, &net.topology, &net.inventory, None);
         println!("  {name:>16}: {} control nodes", group.len());

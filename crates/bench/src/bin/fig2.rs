@@ -21,7 +21,11 @@ fn main() {
     };
     // CF-3 improves; CF-1 and CF-2 degrade (Fig. 2's day-28 event).
     let impacts = vec![mk(2, 0.25), mk(0, -0.18), mk(1, -0.15)];
-    let gen = KpiGenerator { seed: 2, noise: 0.03, ..Default::default() };
+    let gen = KpiGenerator {
+        seed: 2,
+        noise: 0.03,
+        ..Default::default()
+    };
 
     println!("Fig. 2 — per-carrier daily dl throughput, 60 days, change on day 28\n");
     let mut all_carriers = Vec::new();
@@ -49,7 +53,12 @@ fn main() {
                 )
             })
             .unwrap_or_else(|| "no level change".into());
-        println!("  CF-{}: pre {:7.1}  post {:7.1}   {event}", cf + 1, pre, post);
+        println!(
+            "  CF-{}: pre {:7.1}  post {:7.1}   {event}",
+            cf + 1,
+            pre,
+            post
+        );
     }
 
     // The combined view: averaging across carriers mostly cancels the

@@ -16,14 +16,25 @@ fn main() {
     let curves: Vec<(&str, Vec<f64>)> = cases
         .iter()
         .map(|(name, planner, seed)| {
-            let cfg = RolloutConfig { seed: *seed, run_rate: 600, ..Default::default() };
+            let cfg = RolloutConfig {
+                seed: *seed,
+                run_rate: 600,
+                ..Default::default()
+            };
             (*name, rollout_curve(&cfg, *planner, total))
         })
         .collect();
     let max_len = curves.iter().map(|(_, c)| c.len()).max().unwrap();
 
     println!("Fig. 5 — deployment progress (X normalized to the slowest roll-out)\n");
-    println!("{:>6}  {}", "time", curves.iter().map(|(n, _)| format!("{n:>14}")).collect::<String>());
+    println!(
+        "{:>6}  {}",
+        "time",
+        curves
+            .iter()
+            .map(|(n, _)| format!("{n:>14}"))
+            .collect::<String>()
+    );
     for step in (0..max_len).step_by(max_len / 20) {
         let t = step as f64 / max_len as f64;
         print!("{:>5.2}  ", t);
@@ -35,10 +46,18 @@ fn main() {
     }
 
     println!("\ncompletion (slots, normalized to slowest):");
-    let slowest = curves.iter().map(|(_, c)| rollout_windows(c)).max().unwrap() as f64;
+    let slowest = curves
+        .iter()
+        .map(|(_, c)| rollout_windows(c))
+        .max()
+        .unwrap() as f64;
     for (name, c) in &curves {
         let w = rollout_windows(c);
-        println!("  {name:>14}: {:>5.2}  {}", w as f64 / slowest, bar(w as f64 / slowest, 40));
+        println!(
+            "  {name:>14}: {:>5.2}  {}",
+            w as f64 / slowest,
+            bar(w as f64 / slowest, 40)
+        );
     }
     println!("\npaper: CORNET roll-outs finish substantially earlier; manual tails are long (stragglers)");
 }

@@ -7,10 +7,18 @@ use cornet_netsim::usage::kpi_activity_timeline;
 
 fn main() {
     let timeline = kpi_activity_timeline(6);
-    let max = timeline.iter().map(|m| m.created_or_modified).max().unwrap() as f64;
+    let max = timeline
+        .iter()
+        .map(|m| m.created_or_modified)
+        .max()
+        .unwrap() as f64;
     println!("Fig. 6 — KPI definitions created/modified per month\n");
     for m in &timeline {
-        let marker = if m.label == "2019-09" { "  ← 5G preparation begins" } else { "" };
+        let marker = if m.label == "2019-09" {
+            "  ← 5G preparation begins"
+        } else {
+            ""
+        };
         println!(
             "{}  {:>4}  {}{}",
             m.label,

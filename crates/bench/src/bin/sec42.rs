@@ -9,7 +9,9 @@
 //! This binary prints a compact sweep; the full statistical version runs
 //! under Criterion (`--bench planner_scaling`).
 
-use cornet_bench::{add_composition, base_intent, composition_name, header, ran_nodes, ran_with, row};
+use cornet_bench::{
+    add_composition, base_intent, composition_name, header, ran_nodes, ran_with, row,
+};
 use cornet_planner::{heuristic_schedule, plan, HeuristicConfig, PlanOptions};
 use cornet_solver::SolverConfig;
 use cornet_types::ConflictTable;
@@ -36,7 +38,13 @@ fn main() {
     // improving until the budget, but the incumbent stabilizes much
     // earlier — that is the moment the schedule is discovered.
     println!("§4.2(a) — discovery time vs instance count (composition: consistency)\n");
-    header(&["nodes", "model vars", "time to best schedule", "makespan", "outcome"]);
+    header(&[
+        "nodes",
+        "model vars",
+        "time to best schedule",
+        "makespan",
+        "outcome",
+    ]);
     for target in [200, 400, 600, 800, 1000] {
         let net = ran_with(7, target);
         let nodes = ran_nodes(&net);
@@ -57,7 +65,13 @@ fn main() {
     // search orderings, which is where the paper observes the dramatic
     // slowdown.
     println!("\n§4.2(b) — time to proven optimum vs composition (~34 nodes)\n");
-    header(&["composition", "vars", "search nodes", "time to optimum", "outcome"]);
+    header(&[
+        "composition",
+        "vars",
+        "search nodes",
+        "time to optimum",
+        "outcome",
+    ]);
     let small = cornet_netsim::Network::generate_ran(&cornet_netsim::NetworkConfig {
         markets_per_tz: 1,
         tacs_per_market: 1,
@@ -76,7 +90,14 @@ fn main() {
             },
             ..Default::default()
         };
-        let r = plan(&intent, &small.inventory, &small.topology, &small_nodes, &opts).unwrap();
+        let r = plan(
+            &intent,
+            &small.inventory,
+            &small.topology,
+            &small_nodes,
+            &opts,
+        )
+        .unwrap();
         row(&[
             composition_name(mask),
             r.model_stats.vars.to_string(),
@@ -118,7 +139,12 @@ fn main() {
 
     // --- generic solver vs custom heuristic makespan.
     println!("\n§4.2 — generic CORNET solver vs Appendix C heuristic (makespan)\n");
-    header(&["nodes", "solver makespan", "heuristic makespan", "solver overhead"]);
+    header(&[
+        "nodes",
+        "solver makespan",
+        "heuristic makespan",
+        "solver overhead",
+    ]);
     for target in [200, 600, 1000] {
         let net = ran_with(11, target);
         let nodes = ran_nodes(&net);
@@ -133,7 +159,11 @@ fn main() {
             &nodes,
             &ConflictTable::new(),
             &intent.window().unwrap(),
-            &HeuristicConfig { slot_capacity: EMS_CAPACITY * ems_count, iterations: 8, seed: 5 },
+            &HeuristicConfig {
+                slot_capacity: EMS_CAPACITY * ems_count,
+                iterations: 8,
+                seed: 5,
+            },
         );
         let sm = generic.makespan() as f64;
         let hm = hs.makespan().map(|s| s.0).unwrap_or(0) as f64;

@@ -15,7 +15,10 @@ fn main() {
     let r = scenario.row(&cat);
     println!("§4.3 — verifier module accounting\n");
     header(&["", "modules"]);
-    row(&["custom (per NF × per composition)".into(), r.custom_modules.to_string()]);
+    row(&[
+        "custom (per NF × per composition)".into(),
+        r.custom_modules.to_string(),
+    ]);
     row(&["CORNET".into(), r.cornet_modules.to_string()]);
     row(&["code re-use".into(), format!("{:.0}%", r.reuse_pct)]);
     println!("\npaper: 63 vs 11 → 83%\n");
@@ -23,8 +26,15 @@ fn main() {
     // --- 60 labeled impacts.
     let study: Vec<NodeId> = (0..8).map(NodeId).collect();
     let control: Vec<NodeId> = (100..116).map(NodeId).collect();
-    let generator = KpiGenerator { seed: 42, noise: 0.02, ..Default::default() };
-    let options = AnalysisOptions { min_relative_shift: 0.05, ..Default::default() };
+    let generator = KpiGenerator {
+        seed: 42,
+        noise: 0.02,
+        ..Default::default()
+    };
+    let options = AnalysisOptions {
+        min_relative_shift: 0.05,
+        ..Default::default()
+    };
 
     let mut correct = 0;
     let mut total = 0;
@@ -60,8 +70,7 @@ fn main() {
         let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
             Some(gen.series(node, kpi, carrier, 250, &impacts))
         });
-        let analysis =
-            analyze_kpi(&adapter, &kpi, None, true, &scope, &control, &options).unwrap();
+        let analysis = analyze_kpi(&adapter, &kpi, None, true, &scope, &control, &options).unwrap();
         let expected = match label {
             1 => ImpactVerdict::Improvement,
             -1 => ImpactVerdict::Degradation,

@@ -24,7 +24,11 @@ fn main() {
             &nodes,
             &ConflictTable::new(),
             &window,
-            &HeuristicConfig { slot_capacity: capacity, iterations: 6, seed: 9 },
+            &HeuristicConfig {
+                slot_capacity: capacity,
+                iterations: 6,
+                seed: 9,
+            },
         );
         let elapsed = started.elapsed();
         last_minutes = elapsed.as_secs_f64() / 60.0;

@@ -23,7 +23,10 @@ fn main() {
     // whole network; re-tuning and construction are continuous programs.
     let rollout = |run_rate: usize| {
         let curve = rollout_curve(
-            &RolloutConfig { run_rate, ..Default::default() },
+            &RolloutConfig {
+                run_rate,
+                ..Default::default()
+            },
             RolloutPlanner::Cornet,
             nodes,
         );
@@ -31,7 +34,12 @@ fn main() {
     };
 
     println!("Table 1 — change mix over {activities} activities on {nodes} nodes\n");
-    header(&["Change type", "Change activities", "Avg. duration/node (MW)", "Avg. roll-out (60K+ nodes)"]);
+    header(&[
+        "Change type",
+        "Change activities",
+        "Avg. duration/node (MW)",
+        "Avg. roll-out (60K+ nodes)",
+    ]);
     for r in &mix {
         let rollout_str = match r.change_type {
             ChangeType::SoftwareUpgrade => format!("{}", rollout(1150)),

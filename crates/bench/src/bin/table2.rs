@@ -13,9 +13,16 @@ fn main() {
             block.phase.to_string(),
             block.name.clone(),
             block.function.clone(),
-            if block.nf_agnostic { "✓".into() } else { "✗".into() },
+            if block.nf_agnostic {
+                "✓".into()
+            } else {
+                "✗".into()
+            },
         ]);
     }
     let agnostic = cat.iter().filter(|b| b.nf_agnostic).count();
-    println!("\n{agnostic}/{} blocks are NF-agnostic (paper: 10/19)", cat.len());
+    println!(
+        "\n{agnostic}/{} blocks are NF-agnostic (paper: 10/19)",
+        cat.len()
+    );
 }

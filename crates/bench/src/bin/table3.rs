@@ -11,7 +11,13 @@ use cornet_core::table3;
 fn main() {
     let cat = builtin_catalog();
     println!("Table 3 — code re-use and efficiency loss\n");
-    header(&["Component", "Custom modules", "CORNET modules", "Code re-use", "Loss in efficiency"]);
+    header(&[
+        "Component",
+        "Custom modules",
+        "CORNET modules",
+        "Code re-use",
+        "Loss in efficiency",
+    ]);
     for r in table3(&cat) {
         row(&[
             r.name.clone(),
@@ -26,5 +32,7 @@ fn main() {
         ]);
     }
     println!("\npaper: 42% / 0 · 91% / 7% · 83% / 0");
-    println!("(the 7% makespan loss is measured by `cargo bench -p cornet-bench --bench ablation`)");
+    println!(
+        "(the 7% makespan loss is measured by `cargo bench -p cornet-bench --bench ablation`)"
+    );
 }

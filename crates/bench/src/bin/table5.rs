@@ -7,8 +7,20 @@ use cornet_netsim::KpiCatalog;
 fn main() {
     let cat = KpiCatalog::table5();
     println!("Table 5 — KPI groups and join structure\n");
-    header(&["KPI group", "KPIs", "Tables", "No join", "2-way join", "3-way join"]);
-    let joins = |g: &str, w: usize| cat.group_tables(g).iter().filter(|t| t.join_width == w).count();
+    header(&[
+        "KPI group",
+        "KPIs",
+        "Tables",
+        "No join",
+        "2-way join",
+        "3-way join",
+    ]);
+    let joins = |g: &str, w: usize| {
+        cat.group_tables(g)
+            .iter()
+            .filter(|t| t.join_width == w)
+            .count()
+    };
     for group in ["scorecard", "level1", "level2", "level3"] {
         row(&[
             group.to_string(),
@@ -28,5 +40,7 @@ fn main() {
         all(2).to_string(),
         all(3).to_string(),
     ]);
-    println!("\npaper: 9/6 · 58/17 · 123/14 · 159/17 · all 349/48 (40 no-join, 7 two-way, 1 three-way)");
+    println!(
+        "\npaper: 9/6 · 58/17 · 123/14 · 159/17 · all 349/48 (40 no-join, 7 two-way, 1 three-way)"
+    );
 }

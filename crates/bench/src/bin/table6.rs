@@ -14,7 +14,13 @@ fn main() {
     let mix_without = change_mix(&without);
 
     println!("Table 6 — change durations with vs without CORNET (maintenance windows)\n");
-    header(&["Change type", "Avg with", "σ with", "Avg without", "σ without"]);
+    header(&[
+        "Change type",
+        "Avg with",
+        "σ with",
+        "Avg without",
+        "σ without",
+    ]);
     for (a, b) in mix_with.iter().zip(&mix_without) {
         row(&[
             a.change_type.to_string(),

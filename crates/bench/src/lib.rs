@@ -17,7 +17,11 @@ use cornet_types::{Granularity, NodeId};
 
 /// A RAN sized to approximately `target` nodes, deterministic in `seed`.
 pub fn ran_with(seed: u64, target: usize) -> Network {
-    let cfg = NetworkConfig { seed, ..Default::default() }.with_target_nodes(target);
+    let cfg = NetworkConfig {
+        seed,
+        ..Default::default()
+    }
+    .with_target_nodes(target);
     Network::generate_ran(&cfg)
 }
 
@@ -55,15 +59,20 @@ pub fn base_intent(ems_capacity: i64) -> PlanIntent {
 /// 1 = consistency(usid), 2 = uniformity(utc_offset ≤ 1), 4 = localize(market).
 pub fn add_composition(intent: &mut PlanIntent, mask: u32) {
     if mask & 1 != 0 {
-        intent.constraints.push(ConstraintRule::Consistency { attribute: "usid".into() });
+        intent.constraints.push(ConstraintRule::Consistency {
+            attribute: "usid".into(),
+        });
     }
     if mask & 2 != 0 {
-        intent
-            .constraints
-            .push(ConstraintRule::Uniformity { attribute: "utc_offset".into(), value: 1.0 });
+        intent.constraints.push(ConstraintRule::Uniformity {
+            attribute: "utc_offset".into(),
+            value: 1.0,
+        });
     }
     if mask & 4 != 0 {
-        intent.constraints.push(ConstraintRule::Localize { attribute: "market".into() });
+        intent.constraints.push(ConstraintRule::Localize {
+            attribute: "market".into(),
+        });
     }
 }
 
@@ -93,7 +102,10 @@ pub fn row(cells: &[String]) {
 /// Print a markdown-ish header with separator.
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Render a simple ASCII sparkline bar for a 0..=1 fraction.

@@ -42,7 +42,10 @@ pub struct ParamSpec {
 impl ParamSpec {
     /// Construct a parameter spec.
     pub fn new(name: impl Into<String>, ty: ParamType) -> Self {
-        Self { name: name.into(), ty }
+        Self {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -58,7 +61,10 @@ pub struct RestEndpoint {
 impl RestEndpoint {
     /// Standard endpoint under `/bb/{name}`.
     pub fn for_block(name: &str) -> Self {
-        Self { method: "POST".into(), path: format!("/bb/{name}") }
+        Self {
+            method: "POST".into(),
+            path: format!("/bb/{name}"),
+        }
     }
 }
 
@@ -150,9 +156,14 @@ mod tests {
 
     #[test]
     fn builder_and_lookup() {
-        let b = BlockSpec::new("health_check", Phase::DesignOrchestration, "verify status", false)
-            .input("node", ParamType::String)
-            .output("healthy", ParamType::Bool);
+        let b = BlockSpec::new(
+            "health_check",
+            Phase::DesignOrchestration,
+            "verify status",
+            false,
+        )
+        .input("node", ParamType::String)
+        .output("healthy", ParamType::Bool);
         assert_eq!(b.endpoint.path, "/bb/health_check");
         assert_eq!(b.endpoint.method, "POST");
         assert_eq!(b.input_type("node"), Some(ParamType::String));
@@ -167,8 +178,8 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let b = BlockSpec::new("x", Phase::ImpactVerification, "f", true)
-            .input("a", ParamType::Int);
+        let b =
+            BlockSpec::new("x", Phase::ImpactVerification, "f", true).input("a", ParamType::Int);
         let json = serde_json::to_string(&b).unwrap();
         let back: BlockSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(b, back);

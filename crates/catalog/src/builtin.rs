@@ -16,122 +16,217 @@ pub fn builtin_catalog() -> Catalog {
 
     // --- Design and orchestration ---
     cat.register(
-        BlockSpec::new("health_check", DesignOrchestration, "Verify live and operational status", false)
-            .input("node", T::String)
-            .output("healthy", T::Bool)
-            .output("status_detail", T::Map),
+        BlockSpec::new(
+            "health_check",
+            DesignOrchestration,
+            "Verify live and operational status",
+            false,
+        )
+        .input("node", T::String)
+        .output("healthy", T::Bool)
+        .output("status_detail", T::Map),
     );
     cat.register(
-        BlockSpec::new("conflict_check", DesignOrchestration, "Ensure no conflicting activities", true)
-            .input("node", T::String)
-            .input("window_start", T::String)
-            .input("window_end", T::String)
-            .output("conflict_free", T::Bool),
+        BlockSpec::new(
+            "conflict_check",
+            DesignOrchestration,
+            "Ensure no conflicting activities",
+            true,
+        )
+        .input("node", T::String)
+        .input("window_start", T::String)
+        .input("window_end", T::String)
+        .output("conflict_free", T::Bool),
     );
     cat.register(
-        BlockSpec::new("traffic_redirect", DesignOrchestration, "Migrate traffic away before the change", false)
-            .input("node", T::String)
-            .output("redirected", T::Bool),
+        BlockSpec::new(
+            "traffic_redirect",
+            DesignOrchestration,
+            "Migrate traffic away before the change",
+            false,
+        )
+        .input("node", T::String)
+        .output("redirected", T::Bool),
     );
     cat.register(
-        BlockSpec::new("software_upgrade", DesignOrchestration, "Implementation of the upgrade", false)
-            .input("node", T::String)
-            .input("software_version", T::String)
-            .output("upgraded", T::Bool)
-            .output("previous_version", T::String),
+        BlockSpec::new(
+            "software_upgrade",
+            DesignOrchestration,
+            "Implementation of the upgrade",
+            false,
+        )
+        .input("node", T::String)
+        .input("software_version", T::String)
+        .output("upgraded", T::Bool)
+        .output("previous_version", T::String),
     );
     cat.register(
-        BlockSpec::new("config_change", DesignOrchestration, "Implementation of the config change", false)
-            .input("node", T::String)
-            .input("config", T::Map)
-            .output("applied", T::Bool)
-            .output("previous_config", T::Map),
+        BlockSpec::new(
+            "config_change",
+            DesignOrchestration,
+            "Implementation of the config change",
+            false,
+        )
+        .input("node", T::String)
+        .input("config", T::Map)
+        .output("applied", T::Bool)
+        .output("previous_config", T::Map),
     );
     cat.register(
-        BlockSpec::new("pre_post_comparison", DesignOrchestration, "Compare before and after the change", true)
-            .input("node", T::String)
-            .output("passed", T::Bool)
-            .output("report", T::Map),
+        BlockSpec::new(
+            "pre_post_comparison",
+            DesignOrchestration,
+            "Compare before and after the change",
+            true,
+        )
+        .input("node", T::String)
+        .output("passed", T::Bool)
+        .output("report", T::Map),
     );
     cat.register(
-        BlockSpec::new("traffic_restore", DesignOrchestration, "Bring traffic back after the change", false)
-            .input("node", T::String)
-            .output("restored", T::Bool),
+        BlockSpec::new(
+            "traffic_restore",
+            DesignOrchestration,
+            "Bring traffic back after the change",
+            false,
+        )
+        .input("node", T::String)
+        .output("restored", T::Bool),
     );
     cat.register(
-        BlockSpec::new("roll_back", DesignOrchestration, "Restore to the previous version", false)
-            .input("node", T::String)
-            .input("previous_version", T::String)
-            .output("rolled_back", T::Bool),
+        BlockSpec::new(
+            "roll_back",
+            DesignOrchestration,
+            "Restore to the previous version",
+            false,
+        )
+        .input("node", T::String)
+        .input("previous_version", T::String)
+        .output("rolled_back", T::Bool),
     );
 
     // --- Schedule planning ---
     cat.register(
-        BlockSpec::new("detect_conflicts", SchedulePlanning, "Identify conflicting changes", true)
-            .input("nodes", T::List)
-            .input("intent", T::Map)
-            .output("conflict_table", T::Map),
+        BlockSpec::new(
+            "detect_conflicts",
+            SchedulePlanning,
+            "Identify conflicting changes",
+            true,
+        )
+        .input("nodes", T::List)
+        .input("intent", T::Map)
+        .output("conflict_table", T::Map),
     );
     cat.register(
-        BlockSpec::new("extract_topology", SchedulePlanning, "Identify dependent nodes", true)
-            .input("nodes", T::List)
-            .output("topology", T::Map),
+        BlockSpec::new(
+            "extract_topology",
+            SchedulePlanning,
+            "Identify dependent nodes",
+            true,
+        )
+        .input("nodes", T::List)
+        .output("topology", T::Map),
     );
     cat.register(
-        BlockSpec::new("extract_inventory", SchedulePlanning, "Identify attributes for constraints", false)
-            .input("nodes", T::List)
-            .output("inventory", T::Map),
+        BlockSpec::new(
+            "extract_inventory",
+            SchedulePlanning,
+            "Identify attributes for constraints",
+            false,
+        )
+        .input("nodes", T::List)
+        .output("inventory", T::Map),
     );
     cat.register(
-        BlockSpec::new("model_translation", SchedulePlanning, "Intent to low-level constraint templates", true)
-            .input("intent", T::Map)
-            .input("inventory", T::Map)
-            .input("nodes", T::List)
-            .output("model", T::String),
+        BlockSpec::new(
+            "model_translation",
+            SchedulePlanning,
+            "Intent to low-level constraint templates",
+            true,
+        )
+        .input("intent", T::Map)
+        .input("inventory", T::Map)
+        .input("nodes", T::List)
+        .output("model", T::String),
     );
     cat.register(
-        BlockSpec::new("optimization_solver", SchedulePlanning, "Discover schedule", true)
-            .input("model", T::String)
-            .input("intent", T::Map)
-            .output("schedule", T::Map)
-            .output("makespan", T::Int)
-            .output("leftovers", T::Int),
+        BlockSpec::new(
+            "optimization_solver",
+            SchedulePlanning,
+            "Discover schedule",
+            true,
+        )
+        .input("model", T::String)
+        .input("intent", T::Map)
+        .output("schedule", T::Map)
+        .output("makespan", T::Int)
+        .output("leftovers", T::Int),
     );
 
     // --- Impact verification ---
     cat.register(
-        BlockSpec::new("change_scope", ImpactVerification, "Identify scope of change", true)
-            .input("tickets", T::List)
-            .output("nodes", T::List)
-            .output("change_times", T::Map),
+        BlockSpec::new(
+            "change_scope",
+            ImpactVerification,
+            "Identify scope of change",
+            true,
+        )
+        .input("tickets", T::List)
+        .output("nodes", T::List)
+        .output("change_times", T::Map),
     );
     cat.register(
-        BlockSpec::new("extract_kpi", ImpactVerification, "Collect data for pre/post", false)
-            .input("nodes", T::List)
-            .input("kpi_names", T::List)
-            .output("kpi_data", T::Map),
+        BlockSpec::new(
+            "extract_kpi",
+            ImpactVerification,
+            "Collect data for pre/post",
+            false,
+        )
+        .input("nodes", T::List)
+        .input("kpi_names", T::List)
+        .output("kpi_data", T::Map),
     );
     cat.register(
-        BlockSpec::new("extract_topology_verify", ImpactVerification, "Identify nodes for relative comparison", true)
-            .input("nodes", T::List)
-            .output("control_candidates", T::List),
+        BlockSpec::new(
+            "extract_topology_verify",
+            ImpactVerification,
+            "Identify nodes for relative comparison",
+            true,
+        )
+        .input("nodes", T::List)
+        .output("control_candidates", T::List),
     );
     cat.register(
-        BlockSpec::new("extract_inventory_verify", ImpactVerification, "Identify attributes for aggregation", false)
-            .input("nodes", T::List)
-            .output("attributes", T::Map),
+        BlockSpec::new(
+            "extract_inventory_verify",
+            ImpactVerification,
+            "Identify attributes for aggregation",
+            false,
+        )
+        .input("nodes", T::List)
+        .output("attributes", T::Map),
     );
     cat.register(
-        BlockSpec::new("aggregate_kpi", ImpactVerification, "Aggregate across attributes", true)
-            .input("kpi_data", T::Map)
-            .input("attributes", T::Map)
-            .output("aggregated", T::Map),
+        BlockSpec::new(
+            "aggregate_kpi",
+            ImpactVerification,
+            "Aggregate across attributes",
+            true,
+        )
+        .input("kpi_data", T::Map)
+        .input("attributes", T::Map)
+        .output("aggregated", T::Map),
     );
     cat.register(
-        BlockSpec::new("impact_detection", ImpactVerification, "Statistical comparison of KPI", true)
-            .input("aggregated", T::Map)
-            .output("impacts", T::List)
-            .output("verdict", T::String),
+        BlockSpec::new(
+            "impact_detection",
+            ImpactVerification,
+            "Statistical comparison of KPI",
+            true,
+        )
+        .input("aggregated", T::Map)
+        .output("impacts", T::List)
+        .output("verdict", T::String),
     );
 
     cat
@@ -162,7 +257,10 @@ mod tests {
             "extract_kpi",
             "extract_inventory_verify",
         ] {
-            assert!(!cat.get(name).unwrap().nf_agnostic, "{name} must be NF-specific");
+            assert!(
+                !cat.get(name).unwrap().nf_agnostic,
+                "{name} must be NF-specific"
+            );
         }
         // ✓ in Table 2:
         for name in [
@@ -177,7 +275,10 @@ mod tests {
             "aggregate_kpi",
             "impact_detection",
         ] {
-            assert!(cat.get(name).unwrap().nf_agnostic, "{name} must be NF-agnostic");
+            assert!(
+                cat.get(name).unwrap().nf_agnostic,
+                "{name} must be NF-agnostic"
+            );
         }
     }
 
@@ -196,6 +297,9 @@ mod tests {
         let cat = builtin_catalog();
         let up = cat.get("software_upgrade").unwrap();
         let rb = cat.get("roll_back").unwrap();
-        assert_eq!(up.output_type("previous_version"), rb.input_type("previous_version"));
+        assert_eq!(
+            up.output_type("previous_version"),
+            rb.input_type("previous_version")
+        );
     }
 }

@@ -75,7 +75,10 @@ impl Catalog {
         nf_type: Option<NfType>,
         runner: RunnerKind,
     ) -> Result<(), String> {
-        let spec = self.blocks.get(block).ok_or_else(|| format!("unknown block '{block}'"))?;
+        let spec = self
+            .blocks
+            .get(block)
+            .ok_or_else(|| format!("unknown block '{block}'"))?;
         match (spec.nf_agnostic, nf_type) {
             (true, Some(t)) => {
                 return Err(format!(
@@ -83,7 +86,9 @@ impl Catalog {
                 ))
             }
             (false, None) => {
-                return Err(format!("block '{block}' is NF-specific; an NF type is required"))
+                return Err(format!(
+                    "block '{block}' is NF-specific; an NF type is required"
+                ))
             }
             _ => {}
         }
@@ -92,9 +97,15 @@ impl Catalog {
             .iter()
             .any(|i| i.block == block && i.nf_type == nf_type);
         if dup {
-            return Err(format!("duplicate implementation for '{block}' / {nf_type:?}"));
+            return Err(format!(
+                "duplicate implementation for '{block}' / {nf_type:?}"
+            ));
         }
-        self.implementations.push(Implementation { block: block.into(), nf_type, runner });
+        self.implementations.push(Implementation {
+            block: block.into(),
+            nf_type,
+            runner,
+        });
         Ok(())
     }
 
@@ -138,33 +149,59 @@ mod tests {
     fn implementation_rules() {
         let mut cat = builtin_catalog();
         // NF-agnostic block takes exactly one None implementation.
-        cat.add_implementation("pre_post_comparison", None, RunnerKind::Native).unwrap();
+        cat.add_implementation("pre_post_comparison", None, RunnerKind::Native)
+            .unwrap();
         assert!(cat
-            .add_implementation("pre_post_comparison", Some(NfType::ENodeB), RunnerKind::Native)
+            .add_implementation(
+                "pre_post_comparison",
+                Some(NfType::ENodeB),
+                RunnerKind::Native
+            )
             .is_err());
         assert!(
-            cat.add_implementation("pre_post_comparison", None, RunnerKind::Native).is_err(),
+            cat.add_implementation("pre_post_comparison", None, RunnerKind::Native)
+                .is_err(),
             "duplicate rejected"
         );
         // NF-specific block needs a type.
-        assert!(cat.add_implementation("software_upgrade", None, RunnerKind::Ansible).is_err());
-        cat.add_implementation("software_upgrade", Some(NfType::VceRouter), RunnerKind::VendorCli)
-            .unwrap();
-        cat.add_implementation("software_upgrade", Some(NfType::VGateway), RunnerKind::Ansible)
-            .unwrap();
+        assert!(cat
+            .add_implementation("software_upgrade", None, RunnerKind::Ansible)
+            .is_err());
+        cat.add_implementation(
+            "software_upgrade",
+            Some(NfType::VceRouter),
+            RunnerKind::VendorCli,
+        )
+        .unwrap();
+        cat.add_implementation(
+            "software_upgrade",
+            Some(NfType::VGateway),
+            RunnerKind::Ansible,
+        )
+        .unwrap();
         assert_eq!(cat.implementations().len(), 3);
     }
 
     #[test]
     fn implementation_lookup_prefers_any_match() {
         let mut cat = builtin_catalog();
-        cat.add_implementation("health_check", Some(NfType::VceRouter), RunnerKind::VendorCli)
+        cat.add_implementation(
+            "health_check",
+            Some(NfType::VceRouter),
+            RunnerKind::VendorCli,
+        )
+        .unwrap();
+        cat.add_implementation("pre_post_comparison", None, RunnerKind::Native)
             .unwrap();
-        cat.add_implementation("pre_post_comparison", None, RunnerKind::Native).unwrap();
-        assert!(cat.implementation_for("health_check", NfType::VceRouter).is_some());
-        assert!(cat.implementation_for("health_check", NfType::Portal).is_none());
+        assert!(cat
+            .implementation_for("health_check", NfType::VceRouter)
+            .is_some());
+        assert!(cat
+            .implementation_for("health_check", NfType::Portal)
+            .is_none());
         assert!(
-            cat.implementation_for("pre_post_comparison", NfType::Portal).is_some(),
+            cat.implementation_for("pre_post_comparison", NfType::Portal)
+                .is_some(),
             "agnostic implementation serves every NF"
         );
     }
@@ -172,7 +209,9 @@ mod tests {
     #[test]
     fn unknown_block_rejected() {
         let mut cat = Catalog::new();
-        assert!(cat.add_implementation("ghost", None, RunnerKind::Native).is_err());
+        assert!(cat
+            .add_implementation("ghost", None, RunnerKind::Native)
+            .is_err());
     }
 
     #[test]

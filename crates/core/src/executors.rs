@@ -88,7 +88,10 @@ pub fn testbed_registry(testbed: Testbed) -> ExecutorRegistry {
         state.insert(
             "previous_config".into(),
             ParamValue::Map(
-                previous.into_iter().map(|(k, v)| (k, ParamValue::from(v))).collect(),
+                previous
+                    .into_iter()
+                    .map(|(k, v)| (k, ParamValue::from(v)))
+                    .collect(),
             ),
         );
         state.insert("applied".into(), ParamValue::from(true));
@@ -157,7 +160,11 @@ mod tests {
         let wf = software_upgrade_workflow(&cat);
         let mut engine = Engine::new(wf, reg, inputs("vce-0001", "17.3"));
         assert_eq!(engine.run().unwrap(), &InstanceStatus::Completed);
-        assert_eq!(tb.state("vce-0001").unwrap().sw_version, "16.9", "untouched");
+        assert_eq!(
+            tb.state("vce-0001").unwrap().sw_version,
+            "16.9",
+            "untouched"
+        );
     }
 
     #[test]

@@ -42,7 +42,12 @@ fn read_nodes(state: &GlobalState, key: &str) -> Result<Vec<NodeId>> {
 fn write_nodes(state: &mut GlobalState, key: &str, nodes: &[NodeId]) {
     state.insert(
         key.to_owned(),
-        ParamValue::List(nodes.iter().map(|n| ParamValue::from(n.to_string())).collect()),
+        ParamValue::List(
+            nodes
+                .iter()
+                .map(|n| ParamValue::from(n.to_string()))
+                .collect(),
+        ),
     );
 }
 
@@ -98,12 +103,23 @@ pub fn planning_registry(
         let in_scope: std::collections::BTreeSet<NodeId> = nodes.iter().copied().collect();
         let dependent_pairs = nodes
             .iter()
-            .map(|&n| topo.neighbors(n).iter().filter(|nb| in_scope.contains(nb)).count())
+            .map(|&n| {
+                topo.neighbors(n)
+                    .iter()
+                    .filter(|nb| in_scope.contains(nb))
+                    .count()
+            })
             .sum::<usize>()
             / 2;
         let mut m = BTreeMap::new();
-        m.insert("dependent_pairs".to_string(), ParamValue::Int(dependent_pairs as i64));
-        m.insert("chains".to_string(), ParamValue::Int(topo.chains().len() as i64));
+        m.insert(
+            "dependent_pairs".to_string(),
+            ParamValue::Int(dependent_pairs as i64),
+        );
+        m.insert(
+            "chains".to_string(),
+            ParamValue::Int(topo.chains().len() as i64),
+        );
         state.insert("topology".into(), ParamValue::Map(m));
         Ok(())
     });
@@ -115,7 +131,10 @@ pub fn planning_registry(
         for attr in ["market", "tac", "usid", "ems", "timezone", "hw_version"] {
             let groups = inv.group_by(&nodes, attr);
             if groups.group_count() > 0 {
-                m.insert(attr.to_string(), ParamValue::Int(groups.group_count() as i64));
+                m.insert(
+                    attr.to_string(),
+                    ParamValue::Int(groups.group_count() as i64),
+                );
             }
         }
         state.insert("inventory".into(), ParamValue::Map(m));
@@ -128,9 +147,11 @@ pub fn planning_registry(
     reg.register("model_translation", move |state: &mut GlobalState| {
         let intent = read_intent(state)?;
         let nodes = read_nodes(state, "nodes")?;
-        let translation =
-            translate(&intent, &inv, &topo, &nodes, &TranslateOptions::default())?;
-        state.insert("model".into(), ParamValue::from(translation.model.to_minizinc()));
+        let translation = translate(&intent, &inv, &topo, &nodes, &TranslateOptions::default())?;
+        state.insert(
+            "model".into(),
+            ParamValue::from(translation.model.to_minizinc()),
+        );
         *pend.lock() = Some(translation);
         Ok(())
     });
@@ -139,13 +160,13 @@ pub fn planning_registry(
     reg.register("optimization_solver", move |state: &mut GlobalState| {
         let intent = read_intent(state)?;
         let translation = pend.lock().take().ok_or_else(|| {
-            CornetError::ExecutionFailed(
-                "optimization_solver ran before model_translation".into(),
-            )
+            CornetError::ExecutionFailed("optimization_solver ran before model_translation".into())
         })?;
         let result = solve(&translation.model, &solver_config);
         let Some(best) = result.best else {
-            return Err(CornetError::Infeasible("no schedule under the intent".into()));
+            return Err(CornetError::Infeasible(
+                "no schedule under the intent".into(),
+            ));
         };
         let schedule = translation.decode(&best.assignment, &intent.conflicts()?);
         let mut m = BTreeMap::new();
@@ -207,7 +228,9 @@ pub fn verification_registry(
             }
         }
         if scope.changes.is_empty() {
-            return Err(CornetError::ExecutionFailed("tickets resolve to no nodes".into()));
+            return Err(CornetError::ExecutionFailed(
+                "tickets resolve to no nodes".into(),
+            ));
         }
         let nodes = scope.nodes();
         write_nodes(state, "nodes", &nodes);
@@ -233,8 +256,10 @@ pub fn verification_registry(
             let kpi = k
                 .as_str()
                 .ok_or_else(|| CornetError::ExecutionFailed("non-string KPI name".into()))?;
-            let present =
-                nodes.iter().filter(|&&n| ad.series(n, kpi, None).is_some()).count();
+            let present = nodes
+                .iter()
+                .filter(|&&n| ad.series(n, kpi, None).is_some())
+                .count();
             if present == 0 {
                 return Err(CornetError::DataIntegrity(format!(
                     "no data feed carries KPI '{kpi}' for the scope"
@@ -266,16 +291,19 @@ pub fn verification_registry(
 
     let inv = inventory.clone();
     let r = rule.clone();
-    reg.register("extract_inventory_verify", move |state: &mut GlobalState| {
-        let nodes = read_nodes(state, "nodes")?;
-        let mut m = BTreeMap::new();
-        for attr in &r.location_attributes {
-            let groups = inv.group_by(&nodes, attr);
-            m.insert(attr.clone(), ParamValue::Int(groups.group_count() as i64));
-        }
-        state.insert("attributes".into(), ParamValue::Map(m));
-        Ok(())
-    });
+    reg.register(
+        "extract_inventory_verify",
+        move |state: &mut GlobalState| {
+            let nodes = read_nodes(state, "nodes")?;
+            let mut m = BTreeMap::new();
+            for attr in &r.location_attributes {
+                let groups = inv.group_by(&nodes, attr);
+                m.insert(attr.clone(), ParamValue::Int(groups.group_count() as i64));
+            }
+            state.insert("attributes".into(), ParamValue::Map(m));
+            Ok(())
+        },
+    );
 
     let r = rule.clone();
     reg.register("aggregate_kpi", move |state: &mut GlobalState| {
@@ -286,8 +314,7 @@ pub fn verification_registry(
             .and_then(|v| v.as_map())
             .cloned()
             .unwrap_or_default();
-        let location_groups: i64 =
-            attributes.values().filter_map(|v| v.as_i64()).sum();
+        let location_groups: i64 = attributes.values().filter_map(|v| v.as_i64()).sum();
         let mut m = BTreeMap::new();
         for q in &r.kpis {
             m.insert(q.kpi.clone(), ParamValue::Int(1 + location_groups));
@@ -403,10 +430,19 @@ mod tests {
             ]
         );
         // The schedule landed in the state: 12 eNodeBs at 3/slot → 4 slots.
-        let schedule = engine.state_var("schedule").and_then(|v| v.as_map()).unwrap();
+        let schedule = engine
+            .state_var("schedule")
+            .and_then(|v| v.as_map())
+            .unwrap();
         assert_eq!(schedule.len(), enbs.len());
-        assert_eq!(engine.state_var("makespan").and_then(|v| v.as_i64()), Some(4));
-        assert_eq!(engine.state_var("leftovers").and_then(|v| v.as_i64()), Some(0));
+        assert_eq!(
+            engine.state_var("makespan").and_then(|v| v.as_i64()),
+            Some(4)
+        );
+        assert_eq!(
+            engine.state_var("leftovers").and_then(|v| v.as_i64()),
+            Some(0)
+        );
         let model = engine.state_var("model").and_then(|v| v.as_str()).unwrap();
         assert!(model.contains("COMMON_ID_SCHEDULED"));
     }
@@ -421,7 +457,10 @@ mod tests {
         );
         let mut state = planning_inputs(&net.nodes_of_type(NfType::ENodeB));
         let err = reg.execute("optimization_solver", &mut state);
-        assert!(err.is_err(), "running the solver without a model must fail loudly");
+        assert!(
+            err.is_err(),
+            "running the solver without a model must fail loudly"
+        );
     }
 
     #[test]
@@ -441,7 +480,11 @@ mod tests {
                 magnitude: 0.3,
             })
             .collect();
-        let gen = KpiGenerator { seed: 33, noise: 0.02, ..Default::default() };
+        let gen = KpiGenerator {
+            seed: 33,
+            noise: 0.02,
+            ..Default::default()
+        };
         let adapter = Arc::new(ClosureAdapter(
             move |node: NodeId, kpi: &str, carrier: Option<usize>| {
                 Some(gen.series(node, kpi, carrier, 500, &impacts))
@@ -482,8 +525,14 @@ mod tests {
         );
         let mut engine = Engine::new(wf, reg, state);
         assert_eq!(engine.run().unwrap(), &InstanceStatus::Completed);
-        assert_eq!(engine.state_var("verdict").and_then(|v| v.as_str()), Some("go"));
-        let impacts_out = engine.state_var("impacts").and_then(|v| v.as_list()).unwrap();
+        assert_eq!(
+            engine.state_var("verdict").and_then(|v| v.as_str()),
+            Some("go")
+        );
+        let impacts_out = engine
+            .state_var("impacts")
+            .and_then(|v| v.as_list())
+            .unwrap();
         assert_eq!(impacts_out.len(), 1);
         assert!(impacts_out[0].as_str().unwrap().contains("Improvement"));
     }
@@ -501,7 +550,10 @@ mod tests {
         let cat = builtin_catalog();
         let wf = impact_verification_workflow(&cat);
         let mut state = GlobalState::new();
-        state.insert("tickets".into(), ParamValue::List(vec![ParamValue::from("GHOST")]));
+        state.insert(
+            "tickets".into(),
+            ParamValue::List(vec![ParamValue::from("GHOST")]),
+        );
         state.insert("kpi_names".into(), ParamValue::List(vec![]));
         let mut engine = Engine::new(wf, reg, state);
         let status = engine.run().unwrap().clone();

@@ -109,7 +109,11 @@ impl ReuseScenario {
     /// workflow per NF type per composition.
     pub fn custom_modules(&self, catalog: &Catalog) -> usize {
         let blocks: Vec<&str> = self.blocks.iter().map(String::as_str).collect();
-        let block_multiplier = if self.blocks_per_composition { self.workflow_variants } else { 1 };
+        let block_multiplier = if self.blocks_per_composition {
+            self.workflow_variants
+        } else {
+            1
+        };
         catalog.modules_custom(&blocks, self.nf_count) * block_multiplier
             + self.nf_count * self.workflow_variants
     }

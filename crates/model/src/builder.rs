@@ -21,7 +21,10 @@ impl ModelBuilder {
     /// Start a model with `slots` available timeslots.
     pub fn new(name: impl Into<String>, slots: u32) -> Self {
         assert!(slots > 0, "a schedule needs at least one slot");
-        Self { model: Model::new(name), slots: slots as i64 }
+        Self {
+            model: Model::new(name),
+            slots: slots as i64,
+        }
     }
 
     /// Number of timeslots.
@@ -36,7 +39,9 @@ impl ModelBuilder {
 
     /// Add `n` slot-assignment variables named `{prefix}[i]`.
     pub fn slot_vars(&mut self, prefix: &str, n: usize) -> Vec<VarId> {
-        (0..n).map(|i| self.slot_var(format!("{prefix}[{i}]"))).collect()
+        (0..n)
+            .map(|i| self.slot_var(format!("{prefix}[{i}]")))
+            .collect()
     }
 
     /// Require every variable to be scheduled (exclude value 0).
@@ -45,7 +50,8 @@ impl ModelBuilder {
     /// "every node must land inside the window or the plan is infeasible".
     pub fn require_scheduled(&mut self, vars: &[VarId]) {
         for &v in vars {
-            self.model.add_constraint(Constraint::forbidden_value("must_schedule", v, 0));
+            self.model
+                .add_constraint(Constraint::forbidden_value("must_schedule", v, 0));
         }
     }
 
@@ -126,7 +132,11 @@ impl ModelBuilder {
         value_granules: Vec<i64>,
     ) {
         assert_eq!(vars.len(), weights.len());
-        assert_eq!(value_granules.len(), self.slots as usize, "one granule per slot value");
+        assert_eq!(
+            value_granules.len(),
+            self.slots as usize,
+            "one granule per slot value"
+        );
         self.model.add_constraint(Constraint::Capacity {
             label: label.into(),
             vars,
@@ -157,7 +167,10 @@ impl ModelBuilder {
 
     /// Force variables equal (consistency template).
     pub fn same_value(&mut self, label: impl Into<String>, vars: Vec<VarId>) {
-        self.model.add_constraint(Constraint::SameValue { label: label.into(), vars });
+        self.model.add_constraint(Constraint::SameValue {
+            label: label.into(),
+            vars,
+        });
     }
 
     /// Bound the metric spread within each slot (uniformity template).
@@ -195,7 +208,8 @@ impl ModelBuilder {
 
     /// Forbid one value of one variable (frozen element / busy slot).
     pub fn forbid(&mut self, label: impl Into<String>, var: VarId, value: i64) {
-        self.model.add_constraint(Constraint::forbidden_value(label, var, value));
+        self.model
+            .add_constraint(Constraint::forbidden_value(label, var, value));
     }
 
     /// Generic linear constraint (dense translation strategy, Eq. 4).
@@ -208,7 +222,10 @@ impl ModelBuilder {
     ) {
         self.model.add_constraint(Constraint::Linear {
             label: label.into(),
-            terms: terms.into_iter().map(|(coeff, var)| LinTerm { coeff, var }).collect(),
+            terms: terms
+                .into_iter()
+                .map(|(coeff, var)| LinTerm { coeff, var })
+                .collect(),
             cmp,
             rhs,
         });
@@ -216,11 +233,18 @@ impl ModelBuilder {
 
     /// Completion-time pressure: each scheduled slot `t` costs `weight · t`,
     /// and staying unscheduled costs `weight · unscheduled_penalty`.
-    pub fn completion_objective(&mut self, vars: &[VarId], weights: &[i64], unscheduled_penalty: i64) {
+    pub fn completion_objective(
+        &mut self,
+        vars: &[VarId],
+        weights: &[i64],
+        unscheduled_penalty: i64,
+    ) {
         assert_eq!(vars.len(), weights.len());
         for (&v, &w) in vars.iter().zip(weights) {
             self.model.objective.add_slope(v, w);
-            self.model.objective.add_value_cost(v, 0, w * unscheduled_penalty);
+            self.model
+                .objective
+                .add_value_cost(v, 0, w * unscheduled_penalty);
         }
     }
 
@@ -300,7 +324,10 @@ mod tests {
         b.capacity_blocked("weekly", vs, vec![1, 1], 1, 7);
         let m = b.build();
         assert!(m.check(&[1, 5]).is_err(), "slots 1 and 5 share week 0");
-        assert!(m.check(&[1, 8]).is_ok(), "slots 1 and 8 are different weeks");
+        assert!(
+            m.check(&[1, 8]).is_ok(),
+            "slots 1 and 8 are different weeks"
+        );
         assert!(m.check(&[7, 8]).is_ok(), "week boundary at slot 7/8");
     }
 }

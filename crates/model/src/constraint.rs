@@ -152,7 +152,11 @@ pub enum Constraint {
 impl Constraint {
     /// Convenience constructor for [`Constraint::ForbiddenValue`].
     pub fn forbidden_value(label: impl Into<String>, var: VarId, value: i64) -> Self {
-        Constraint::ForbiddenValue { label: label.into(), var, value }
+        Constraint::ForbiddenValue {
+            label: label.into(),
+            var,
+            value,
+        }
     }
 
     /// Provenance label of the constraint.
@@ -185,7 +189,13 @@ impl Constraint {
     pub fn check(&self, a: &[i64]) -> Result<(), String> {
         match self {
             Constraint::Capacity {
-                vars, weights, default_cap, slot_caps, block, value_granules, ..
+                vars,
+                weights,
+                default_cap,
+                slot_caps,
+                block,
+                value_granules,
+                ..
             } => {
                 let block = (*block).max(1);
                 let granule = |val: i64| -> i64 {
@@ -209,7 +219,12 @@ impl Constraint {
                 }
                 Ok(())
             }
-            Constraint::DistinctGroups { vars, group_of, cap, .. } => {
+            Constraint::DistinctGroups {
+                vars,
+                group_of,
+                cap,
+                ..
+            } => {
                 let mut groups: BTreeMap<i64, std::collections::BTreeSet<usize>> = BTreeMap::new();
                 for (v, g) in vars.iter().zip(group_of) {
                     let val = a[v.index()];
@@ -233,17 +248,18 @@ impl Constraint {
                     let v0 = a[first.index()];
                     for v in it {
                         if a[v.index()] != v0 {
-                            return Err(format!(
-                                "values differ: {} vs {}",
-                                v0,
-                                a[v.index()]
-                            ));
+                            return Err(format!("values differ: {} vs {}", v0, a[v.index()]));
                         }
                     }
                 }
                 Ok(())
             }
-            Constraint::MaxSpread { vars, metric_milli, max_distance_milli, .. } => {
+            Constraint::MaxSpread {
+                vars,
+                metric_milli,
+                max_distance_milli,
+                ..
+            } => {
                 let mut range: BTreeMap<i64, (i64, i64)> = BTreeMap::new();
                 for (v, m) in vars.iter().zip(metric_milli) {
                     let val = a[v.index()];
@@ -300,7 +316,9 @@ impl Constraint {
                     Ok(())
                 }
             }
-            Constraint::Linear { terms, cmp, rhs, .. } => {
+            Constraint::Linear {
+                terms, cmp, rhs, ..
+            } => {
                 let lhs: i64 = terms.iter().map(|t| t.coeff * a[t.var.index()]).sum();
                 if cmp.holds(lhs, *rhs) {
                     Ok(())
@@ -368,7 +386,10 @@ mod tests {
 
     #[test]
     fn same_value() {
-        let c = Constraint::SameValue { label: "usid".into(), vars: vars(3) };
+        let c = Constraint::SameValue {
+            label: "usid".into(),
+            vars: vars(3),
+        };
         assert!(c.check(&[4, 4, 4]).is_ok());
         assert!(c.check(&[4, 4, 5]).is_err());
     }
@@ -384,7 +405,10 @@ mod tests {
         };
         assert!(c.check(&[1, 1, 2]).is_ok(), "-5 and -6 are adjacent");
         assert!(c.check(&[1, 2, 1]).is_err(), "-5 and -8 are 3 apart");
-        assert!(c.check(&[1, 0, 1]).is_err(), "unscheduled var doesn't rescue spread");
+        assert!(
+            c.check(&[1, 0, 1]).is_err(),
+            "unscheduled var doesn't rescue spread"
+        );
     }
 
     #[test]
@@ -395,14 +419,23 @@ mod tests {
             group_of: vec![0, 0, 1, 1],
         };
         assert!(c.check(&[1, 2, 3, 4]).is_ok());
-        assert!(c.check(&[1, 3, 2, 4]).is_err(), "group1 slot2 inside group0 [1,3]");
-        assert!(c.check(&[1, 2, 2, 3]).is_ok(), "shared boundary slot allowed");
+        assert!(
+            c.check(&[1, 3, 2, 4]).is_err(),
+            "group1 slot2 inside group0 [1,3]"
+        );
+        assert!(
+            c.check(&[1, 2, 2, 3]).is_ok(),
+            "shared boundary slot allowed"
+        );
         assert!(c.check(&[0, 0, 1, 2]).is_ok(), "empty group ignored");
     }
 
     #[test]
     fn linear_ops() {
-        let t = |coeff, var| LinTerm { coeff, var: VarId(var) };
+        let t = |coeff, var| LinTerm {
+            coeff,
+            var: VarId(var),
+        };
         let c = Constraint::Linear {
             label: "lin".into(),
             terms: vec![t(2, 0), t(-1, 1)],

@@ -78,14 +78,21 @@ pub struct Model {
 impl Model {
     /// Empty model with a name.
     pub fn new(name: impl Into<String>) -> Self {
-        Model { name: name.into(), ..Default::default() }
+        Model {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Add a variable with domain `lo..=hi` and return its handle.
     pub fn add_var(&mut self, name: impl Into<String>, lo: i64, hi: i64) -> VarId {
         assert!(lo <= hi, "empty initial domain");
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(IntVar { name: name.into(), lo, hi });
+        self.vars.push(IntVar {
+            name: name.into(),
+            lo,
+            hi,
+        });
         id
     }
 
@@ -128,7 +135,8 @@ impl Model {
             }
         }
         for c in &self.constraints {
-            c.check(assignment).map_err(|e| format!("constraint '{}': {e}", c.label()))?;
+            c.check(assignment)
+                .map_err(|e| format!("constraint '{}': {e}", c.label()))?;
         }
         Ok(())
     }

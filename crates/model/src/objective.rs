@@ -51,7 +51,13 @@ impl Objective {
 
     /// Add a one-off cost for a specific value of a variable (accumulates).
     pub fn add_value_cost(&mut self, var: VarId, value: i64, cost: i64) {
-        *self.terms.entry(var).or_default().table.entry(value).or_default() += cost;
+        *self
+            .terms
+            .entry(var)
+            .or_default()
+            .table
+            .entry(value)
+            .or_default() += cost;
     }
 
     /// Cost of one variable taking one value.
@@ -86,7 +92,10 @@ mod tests {
 
     #[test]
     fn total_cost() {
-        let mut o = Objective { constant: 10, ..Default::default() };
+        let mut o = Objective {
+            constant: 10,
+            ..Default::default()
+        };
         o.add_slope(VarId(0), 1);
         o.add_slope(VarId(1), 1);
         o.add_value_cost(VarId(1), 0, 1000); // unscheduled penalty

@@ -55,26 +55,48 @@ impl ChangeLogConfig {
     /// ~37 without).
     pub fn table1(seed: u64, with_cornet: bool) -> Self {
         #[allow(clippy::type_complexity)]
-        let t = |ct,
-                 share,
-                 body: f64,
-                 cornet: (f64, (f64, f64)),
-                 manual: (f64, (f64, f64))| {
+        let t = |ct, share, body: f64, cornet: (f64, (f64, f64)), manual: (f64, (f64, f64))| {
             let (tail_weight, tail_mult) = if with_cornet { cornet } else { manual };
-            ChangeTypeProfile { change_type: ct, share, body_mean: body, tail_weight, tail_mult }
+            ChangeTypeProfile {
+                change_type: ct,
+                share,
+                body_mean: body,
+                tail_weight,
+                tail_mult,
+            }
         };
         ChangeLogConfig {
             seed,
             with_cornet,
             profiles: vec![
-                t(ChangeType::SoftwareUpgrade, 24.67, 1.5,
-                  (0.020, (5.0, 25.0)), (0.025, (5.0, 25.0))),
-                t(ChangeType::ConfigChange, 65.82, 1.05,
-                  (0.015, (5.0, 25.0)), (0.022, (5.0, 25.0))),
-                t(ChangeType::NodeRetuning, 1.14, 2.5,
-                  (0.020, (8.0, 22.0)), (0.025, (10.0, 25.0))),
-                t(ChangeType::ConstructionWork, 8.37, 2.6,
-                  (0.010, (16.0, 76.0)), (0.004, (40.0, 240.0))),
+                t(
+                    ChangeType::SoftwareUpgrade,
+                    24.67,
+                    1.5,
+                    (0.020, (5.0, 25.0)),
+                    (0.025, (5.0, 25.0)),
+                ),
+                t(
+                    ChangeType::ConfigChange,
+                    65.82,
+                    1.05,
+                    (0.015, (5.0, 25.0)),
+                    (0.022, (5.0, 25.0)),
+                ),
+                t(
+                    ChangeType::NodeRetuning,
+                    1.14,
+                    2.5,
+                    (0.020, (8.0, 22.0)),
+                    (0.025, (10.0, 25.0)),
+                ),
+                t(
+                    ChangeType::ConstructionWork,
+                    8.37,
+                    2.6,
+                    (0.010, (16.0, 76.0)),
+                    (0.004, (40.0, 240.0)),
+                ),
             ],
         }
     }
@@ -137,7 +159,11 @@ pub fn change_mix(log: &[ChangeTicket]) -> Vec<ChangeMixRow> {
                 .filter(|t| t.change_type == ct)
                 .map(|t| t.duration_windows as f64)
                 .collect();
-            let avg = if durations.is_empty() { 0.0 } else { cornet_stats::mean(&durations) };
+            let avg = if durations.is_empty() {
+                0.0
+            } else {
+                cornet_stats::mean(&durations)
+            };
             let sd = cornet_stats::std_dev(&durations);
             ChangeMixRow {
                 change_type: ct,
@@ -176,7 +202,13 @@ pub struct RolloutConfig {
 
 impl Default for RolloutConfig {
     fn default() -> Self {
-        RolloutConfig { seed: 1, ffa_nodes: 150, ffa_slots: 8, crawl_slots: 6, run_rate: 1200 }
+        RolloutConfig {
+            seed: 1,
+            ffa_nodes: 150,
+            ffa_slots: 8,
+            crawl_slots: 6,
+            run_rate: 1200,
+        }
     }
 }
 
@@ -231,7 +263,10 @@ pub fn rollout_curve(config: &RolloutConfig, planner: RolloutPlanner, total: usi
 /// Average network-wide roll-out windows implied by a curve — Table 1's
 /// third column (slots until 100%).
 pub fn rollout_windows(curve: &[f64]) -> usize {
-    curve.iter().position(|f| *f >= 1.0).map_or(curve.len(), |p| p + 1)
+    curve
+        .iter()
+        .position(|f| *f >= 1.0)
+        .map_or(curve.len(), |p| p + 1)
 }
 
 #[cfg(test)]
@@ -259,7 +294,12 @@ mod tests {
         let cfg = ChangeLogConfig::table1(7, true);
         let log = generate_change_log(&cfg, 60_000, 50_000, start());
         let mix = change_mix(&log);
-        let avg = |ct: ChangeType| mix.iter().find(|r| r.change_type == ct).unwrap().avg_duration;
+        let avg = |ct: ChangeType| {
+            mix.iter()
+                .find(|r| r.change_type == ct)
+                .unwrap()
+                .avg_duration
+        };
         assert!(avg(ChangeType::NodeRetuning) > avg(ChangeType::SoftwareUpgrade));
         assert!(avg(ChangeType::ConstructionWork) > avg(ChangeType::ConfigChange));
     }
@@ -267,8 +307,7 @@ mod tests {
     #[test]
     fn cornet_policy_shrinks_construction_variance() {
         // Table 6: σ(construction) 19.09 with CORNET vs 36.91 without.
-        let with =
-            generate_change_log(&ChangeLogConfig::table1(3, true), 10_000, 120_000, start());
+        let with = generate_change_log(&ChangeLogConfig::table1(3, true), 10_000, 120_000, start());
         let without =
             generate_change_log(&ChangeLogConfig::table1(3, false), 10_000, 120_000, start());
         let sd = |log: &[ChangeTicket]| {
@@ -309,13 +348,19 @@ mod tests {
         );
         // Tail: slots spent above 93% completion.
         let tail = |c: &[f64]| c.iter().filter(|f| **f >= 0.93 && **f < 1.0).count();
-        assert!(tail(&cornet) * 3 < tail(&manual), "manual tail should dominate");
+        assert!(
+            tail(&cornet) * 3 < tail(&manual),
+            "manual tail should dominate"
+        );
     }
 
     #[test]
     fn software_upgrade_rollout_near_table1_scale() {
         // Table 1: 60K+ nodes in ~63 maintenance windows.
-        let cfg = RolloutConfig { run_rate: 1200, ..Default::default() };
+        let cfg = RolloutConfig {
+            run_rate: 1200,
+            ..Default::default()
+        };
         let curve = rollout_curve(&cfg, RolloutPlanner::Cornet, 60_000);
         let w = rollout_windows(&curve);
         assert!((40..=90).contains(&w), "got {w} windows");

@@ -61,7 +61,12 @@ pub struct KpiGenerator {
 
 impl Default for KpiGenerator {
     fn default() -> Self {
-        KpiGenerator { seed: 1, start_minute: 0, step_minutes: 60, noise: 0.03 }
+        KpiGenerator {
+            seed: 1,
+            start_minute: 0,
+            step_minutes: 60,
+            noise: 0.03,
+        }
     }
 }
 
@@ -107,9 +112,7 @@ impl KpiGenerator {
         let relevant: Vec<&InjectedImpact> = impacts
             .iter()
             .filter(|i| {
-                i.node == node
-                    && i.kpi == kpi
-                    && (i.carrier.is_none() || i.carrier == carrier)
+                i.node == node && i.kpi == kpi && (i.carrier.is_none() || i.carrier == carrier)
             })
             .collect();
         let mut values = Vec::with_capacity(len);
@@ -195,9 +198,15 @@ impl KpiCatalog {
     pub fn table5() -> Self {
         // Distinct tables, owned by the three detail levels (48 total).
         let owned: [(&str, &[usize]); 3] = [
-            ("level1", &[1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2]),
+            (
+                "level1",
+                &[1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2],
+            ),
             ("level2", &[1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 3]),
-            ("level3", &[1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2]),
+            (
+                "level3",
+                &[1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2],
+            ),
         ];
         let mut cat = KpiCatalog::default();
         let mut table_idx = 0;
@@ -215,7 +224,12 @@ impl KpiCatalog {
                 table_idx += 1;
             }
         }
-        let kpi_counts = [("scorecard", 9usize), ("level1", 58), ("level2", 123), ("level3", 159)];
+        let kpi_counts = [
+            ("scorecard", 9usize),
+            ("level1", 58),
+            ("level2", 123),
+            ("level3", 159),
+        ];
         for (group, kpi_count) in kpi_counts {
             // Scorecard KPIs reference level-1's first six (no-join) tables.
             let (first, cycle) = if group == "scorecard" {
@@ -288,7 +302,10 @@ mod tests {
 
     #[test]
     fn level_shift_lands_at_change_time() {
-        let g = KpiGenerator { noise: 0.01, ..Default::default() };
+        let g = KpiGenerator {
+            noise: 0.01,
+            ..Default::default()
+        };
         let imp = InjectedImpact {
             node: NodeId(1),
             kpi: "drop_rate".to_string(),
@@ -305,7 +322,10 @@ mod tests {
 
     #[test]
     fn carrier_confined_impact_spares_other_carriers() {
-        let g = KpiGenerator { noise: 0.01, ..Default::default() };
+        let g = KpiGenerator {
+            noise: 0.01,
+            ..Default::default()
+        };
         let imp = InjectedImpact {
             node: NodeId(2),
             kpi: "thr".into(),
@@ -316,15 +336,19 @@ mod tests {
         };
         let hit = g.series(NodeId(2), "thr", Some(2), 100, std::slice::from_ref(&imp));
         let spared = g.series(NodeId(2), "thr", Some(1), 100, std::slice::from_ref(&imp));
-        let drop =
-            |s: &TimeSeries| s.values[60..].iter().sum::<f64>() / s.values[..40].iter().sum::<f64>();
+        let drop = |s: &TimeSeries| {
+            s.values[60..].iter().sum::<f64>() / s.values[..40].iter().sum::<f64>()
+        };
         assert!(drop(&hit) < 0.9);
         assert!(drop(&spared) > 0.9);
     }
 
     #[test]
     fn ramp_grows_over_time() {
-        let g = KpiGenerator { noise: 0.0, ..Default::default() };
+        let g = KpiGenerator {
+            noise: 0.0,
+            ..Default::default()
+        };
         let imp = InjectedImpact {
             node: NodeId(1),
             kpi: "mem".into(),
@@ -339,7 +363,10 @@ mod tests {
 
     #[test]
     fn transient_spike_reverts() {
-        let g = KpiGenerator { noise: 0.0, ..Default::default() };
+        let g = KpiGenerator {
+            noise: 0.0,
+            ..Default::default()
+        };
         let imp = InjectedImpact {
             node: NodeId(1),
             kpi: "alarms".into(),
@@ -366,19 +393,40 @@ mod tests {
         assert_eq!(count("level3"), 159);
         // Per-row "Tables" column counts tables the group *references*.
         let joins = |g: &str, w: usize| {
-            cat.group_tables(g).iter().filter(|t| t.join_width == w).count()
+            cat.group_tables(g)
+                .iter()
+                .filter(|t| t.join_width == w)
+                .count()
         };
-        assert_eq!((joins("scorecard", 1), joins("scorecard", 2), joins("scorecard", 3)), (6, 0, 0));
-        assert_eq!((joins("level1", 1), joins("level1", 2), joins("level1", 3)), (14, 3, 0));
-        assert_eq!((joins("level2", 1), joins("level2", 2), joins("level2", 3)), (10, 3, 1));
-        assert_eq!((joins("level3", 1), joins("level3", 2), joins("level3", 3)), (16, 1, 0));
+        assert_eq!(
+            (
+                joins("scorecard", 1),
+                joins("scorecard", 2),
+                joins("scorecard", 3)
+            ),
+            (6, 0, 0)
+        );
+        assert_eq!(
+            (joins("level1", 1), joins("level1", 2), joins("level1", 3)),
+            (14, 3, 0)
+        );
+        assert_eq!(
+            (joins("level2", 1), joins("level2", 2), joins("level2", 3)),
+            (10, 3, 1)
+        );
+        assert_eq!(
+            (joins("level3", 1), joins("level3", 2), joins("level3", 3)),
+            (16, 1, 0)
+        );
         // The "All" row: 48 distinct tables = 40 no-join + 7 two-way + 1 three-way.
         let all = |w: usize| cat.tables.iter().filter(|t| t.join_width == w).count();
         assert_eq!((all(1), all(2), all(3)), (40, 7, 1));
         // Sharing: per-row sums exceed the distinct total by the 6 shared
         // scorecard/level-1 tables (54 vs 48).
-        let row_sum: usize =
-            ["scorecard", "level1", "level2", "level3"].iter().map(|g| cat.group_tables(g).len()).sum();
+        let row_sum: usize = ["scorecard", "level1", "level2", "level3"]
+            .iter()
+            .map(|g| cat.group_tables(g).len())
+            .sum();
         assert_eq!(row_sum, 54);
     }
 

@@ -103,17 +103,12 @@ impl Network {
                     for _ in 0..config.usids_per_tac {
                         let usid = format!("U{usid_counter:06}");
                         usid_counter += 1;
-                        let ems = format!(
-                            "EMS-{}-{}",
-                            tz_idx,
-                            rng.random_range(0..config.ems_per_tz)
-                        );
-                        let hw = config.hw_versions
-                            [rng.random_range(0..config.hw_versions.len())]
-                        .clone();
-                        let sw = config.sw_versions
-                            [rng.random_range(0..config.sw_versions.len())]
-                        .clone();
+                        let ems =
+                            format!("EMS-{}-{}", tz_idx, rng.random_range(0..config.ems_per_tz));
+                        let hw = config.hw_versions[rng.random_range(0..config.hw_versions.len())]
+                            .clone();
+                        let sw = config.sw_versions[rng.random_range(0..config.sw_versions.len())]
+                            .clone();
 
                         let base_attrs = |nf: &str| {
                             Attributes::new()
@@ -137,8 +132,7 @@ impl Network {
                         let enb = inventory.push(
                             format!("enb-{usid}"),
                             NfType::ENodeB,
-                            base_attrs("enodeb")
-                                .with("carriers", config.carriers_per_enb as i64),
+                            base_attrs("enodeb").with("carriers", config.carriers_per_enb as i64),
                         );
                         // Backhaul: SIADs of a TAC form a chain, so
                         // multi-hop neighborhoods (2nd-tier control
@@ -163,7 +157,10 @@ impl Network {
                 }
             }
         }
-        Network { inventory, topology }
+        Network {
+            inventory,
+            topology,
+        }
     }
 
     /// Generate the Appendix A cloud services: `vce_count` vCE routers
@@ -179,7 +176,9 @@ impl Network {
         let pe = inventory.push(
             "core-pe-0",
             NfType::CoreRouter,
-            Attributes::new().with("service", "vpn").with("zone", "core"),
+            Attributes::new()
+                .with("service", "vpn")
+                .with("zone", "core"),
         );
         for i in 0..vce_count {
             // One physical server hosts a handful of vCEs (cross-layer
@@ -188,11 +187,16 @@ impl Network {
                 inventory.push(
                     format!("server-vpn-{:04}", i / 4),
                     NfType::PhysicalServer,
-                    Attributes::new().with("service", "vpn").with("zone", "cloud"),
+                    Attributes::new()
+                        .with("service", "vpn")
+                        .with("zone", "cloud"),
                 );
             }
             let host_name = format!("server-vpn-{:04}", i / 4);
-            let host = inventory.find_by_name(&host_name).expect("host just created").id;
+            let host = inventory
+                .find_by_name(&host_name)
+                .expect("host just created")
+                .id;
             let vce = inventory.push(
                 format!("vce-{i:04}"),
                 NfType::VceRouter,
@@ -212,12 +216,16 @@ impl Network {
             let server = inventory.push(
                 format!("server-sdwan-{z:02}"),
                 NfType::PhysicalServer,
-                Attributes::new().with("service", "sdwan").with("zone", zone.as_str()),
+                Attributes::new()
+                    .with("service", "sdwan")
+                    .with("zone", zone.as_str()),
             );
             let tor = inventory.push(
                 format!("tor-{z:02}"),
                 NfType::TransportSwitch,
-                Attributes::new().with("service", "sdwan").with("zone", zone.as_str()),
+                Attributes::new()
+                    .with("service", "sdwan")
+                    .with("zone", zone.as_str()),
             );
             let mk = |name: String, nf, host: &str| {
                 Attributes::new()
@@ -226,12 +234,15 @@ impl Network {
                     .with("host", host)
                     .with("sw_version", "3.2")
                     .with("name", name)
-                    .with("nf", match nf {
-                        NfType::VGateway => "vgw",
-                        NfType::Portal => "portal",
-                        NfType::Vvig => "vvig",
-                        _ => "other",
-                    })
+                    .with(
+                        "nf",
+                        match nf {
+                            NfType::VGateway => "vgw",
+                            NfType::Portal => "portal",
+                            NfType::Vvig => "vvig",
+                            _ => "other",
+                        },
+                    )
             };
             let host_name = format!("server-sdwan-{z:02}");
             let vgw = inventory.push(
@@ -258,7 +269,9 @@ impl Network {
                 let cpe = inventory.push(
                     format!("cpe-{z:02}-{c:02}"),
                     NfType::Cpe,
-                    Attributes::new().with("service", "sdwan").with("zone", zone.as_str()),
+                    Attributes::new()
+                        .with("service", "sdwan")
+                        .with("zone", zone.as_str()),
                 );
                 topology.add_chain(format!("sdwan-chain-{z}-{c}"), vec![cpe, vgw, vvig]);
             }
@@ -268,7 +281,9 @@ impl Network {
         let core_server = inventory.push(
             "server-volte-00",
             NfType::PhysicalServer,
-            Attributes::new().with("service", "volte").with("zone", "core"),
+            Attributes::new()
+                .with("service", "volte")
+                .with("zone", "core"),
         );
         for (name, nf) in [("vcom-00", NfType::Vcom), ("vrar-00", NfType::Vrar)] {
             let v = inventory.push(
@@ -283,12 +298,19 @@ impl Network {
             topology.add_edge(core_server, v);
         }
 
-        Network { inventory, topology }
+        Network {
+            inventory,
+            topology,
+        }
     }
 
     /// All node ids of a given NF type.
     pub fn nodes_of_type(&self, nf: NfType) -> Vec<NodeId> {
-        self.inventory.iter().filter(|r| r.nf_type == nf).map(|r| r.id).collect()
+        self.inventory
+            .iter()
+            .filter(|r| r.nf_type == nf)
+            .map(|r| r.id)
+            .collect()
     }
 
     /// All radio access nodes (eNodeB + gNodeB), sorted — the standard
@@ -344,8 +366,14 @@ mod tests {
         assert_eq!(net.nodes_of_type(NfType::Siad).len(), usids);
         assert_eq!(net.nodes_of_type(NfType::ENodeB).len(), usids);
         let gnbs = net.nodes_of_type(NfType::GNodeB).len();
-        assert!(gnbs > 0 && gnbs < usids, "gNodeBs are a strict subset of sites");
-        assert_eq!(net.inventory.distinct_values("market").len(), 4 * cfg.markets_per_tz);
+        assert!(
+            gnbs > 0 && gnbs < usids,
+            "gNodeBs are a strict subset of sites"
+        );
+        assert_eq!(
+            net.inventory.distinct_values("market").len(),
+            4 * cfg.markets_per_tz
+        );
     }
 
     #[test]

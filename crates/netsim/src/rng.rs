@@ -82,8 +82,9 @@ mod tests {
     #[test]
     fn heavy_tail_is_nonnegative_and_heavy() {
         let mut rng = seeded(9);
-        let xs: Vec<f64> =
-            (0..5_000).map(|_| heavy_tail_duration(&mut rng, 3.0, 0.1)).collect();
+        let xs: Vec<f64> = (0..5_000)
+            .map(|_| heavy_tail_duration(&mut rng, 3.0, 0.1))
+            .collect();
         assert!(xs.iter().all(|x| *x > 0.0));
         let max = xs.iter().cloned().fold(0.0, f64::max);
         assert!(max > 10.0, "tail should produce large values, max {max}");

@@ -36,7 +36,11 @@ pub struct EventBus {
 impl EventBus {
     /// Create a bus over an executor registry.
     pub fn new(registry: ExecutorRegistry) -> Self {
-        EventBus { registry, subscriptions: Vec::new(), trace: Vec::new() }
+        EventBus {
+            registry,
+            subscriptions: Vec::new(),
+            trace: Vec::new(),
+        }
     }
 
     /// Subscribe a block to an event.
@@ -132,7 +136,11 @@ mod tests {
             "software_upgrade",
             Some("upgrade.done"),
         );
-        bus.subscribe("upgrade.done", "pre_post_comparison", Some("comparison.done"));
+        bus.subscribe(
+            "upgrade.done",
+            "pre_post_comparison",
+            Some("comparison.done"),
+        );
         bus.subscribe_if(
             "comparison.done",
             |s| s.get("passed").and_then(|v| v.as_bool()) == Some(false),
@@ -150,7 +158,10 @@ mod tests {
         let n = bus.publish("change.requested", &mut state, 100).unwrap();
         assert_eq!(n, 3, "health check, upgrade, comparison; no roll-back");
         let blocks: Vec<&str> = bus.trace.iter().map(|(_, b)| b.as_str()).collect();
-        assert_eq!(blocks, vec!["health_check", "software_upgrade", "pre_post_comparison"]);
+        assert_eq!(
+            blocks,
+            vec!["health_check", "software_upgrade", "pre_post_comparison"]
+        );
     }
 
     #[test]
@@ -191,6 +202,9 @@ mod tests {
         bus.subscribe("tick", "ping", Some("tock"));
         bus.subscribe("tock", "ping", Some("tick"));
         let mut state = GlobalState::new();
-        assert!(bus.publish("tick", &mut state, 50).is_err(), "loop detected");
+        assert!(
+            bus.publish("tick", &mut state, 50).is_err(),
+            "loop detected"
+        );
     }
 }

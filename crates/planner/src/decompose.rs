@@ -21,7 +21,9 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Dsu { parent: (0..n).collect() }
+        Dsu {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -125,9 +127,14 @@ pub fn solve_components(
     let subs: Vec<Model> = comps.iter().map(|c| sub_model(model, c)).collect();
     let mut results: Vec<Option<cornet_solver::SolveResult>> = Vec::new();
     crossbeam::scope(|scope| {
-        let handles: Vec<_> =
-            subs.iter().map(|m| scope.spawn(move |_| solve(m, config))).collect();
-        results = handles.into_iter().map(|h| Some(h.join().expect("solver panicked"))).collect();
+        let handles: Vec<_> = subs
+            .iter()
+            .map(|m| scope.spawn(move |_| solve(m, config)))
+            .collect();
+        results = handles
+            .into_iter()
+            .map(|h| Some(h.join().expect("solver panicked")))
+            .collect();
     })
     .expect("crossbeam scope failed");
 

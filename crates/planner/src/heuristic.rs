@@ -34,7 +34,11 @@ pub struct HeuristicConfig {
 
 impl Default for HeuristicConfig {
     fn default() -> Self {
-        HeuristicConfig { seed: 1, slot_capacity: 200, iterations: 8 }
+        HeuristicConfig {
+            seed: 1,
+            slot_capacity: 200,
+            iterations: 8,
+        }
     }
 }
 
@@ -70,9 +74,15 @@ fn build_instance(inventory: &Inventory, nodes: &[NodeId]) -> Instance {
             .attr_of(n, "utc_offset")
             .and_then(|v| v.as_f64())
             .map_or(0, |v| (v * 1000.0).round() as i64);
-        let market = inventory.group_key_of(n, "market").unwrap_or_else(|| "-".into());
-        let tac = inventory.group_key_of(n, "tac").unwrap_or_else(|| "-".into());
-        let usid = inventory.group_key_of(n, "usid").unwrap_or_else(|| n.to_string());
+        let market = inventory
+            .group_key_of(n, "market")
+            .unwrap_or_else(|| "-".into());
+        let tac = inventory
+            .group_key_of(n, "tac")
+            .unwrap_or_else(|| "-".into());
+        let usid = inventory
+            .group_key_of(n, "usid")
+            .unwrap_or_else(|| n.to_string());
         tree.entry(tz)
             .or_default()
             .entry(market)
@@ -147,8 +157,12 @@ fn construct(
     n_slots: usize,
 ) -> (Attempt, Vec<i64>) {
     let mut cap = remaining.to_vec();
-    let mut attempt =
-        Attempt { assignments: Vec::new(), leftovers: Vec::new(), conflicts: 0, wtct: 0 };
+    let mut attempt = Attempt {
+        assignments: Vec::new(),
+        leftovers: Vec::new(),
+        conflicts: 0,
+        wtct: 0,
+    };
     let mut curr = start_slot;
     let mut out_of_slots = false;
 
@@ -163,20 +177,27 @@ fn construct(
     for market in markets {
         if out_of_slots {
             for tac in &market.tacs {
-                attempt.leftovers.extend(tac.usids.iter().flatten().copied());
+                attempt
+                    .leftovers
+                    .extend(tac.usids.iter().flatten().copied());
             }
             continue;
         }
         // Remaining TACs of this market, by index.
         let mut rem: Vec<usize> = (0..market.tacs.len()).collect();
         // Per-TAC set of unscheduled USID indices.
-        let mut rem_usids: Vec<Vec<usize>> =
-            market.tacs.iter().map(|t| (0..t.usids.len()).collect()).collect();
+        let mut rem_usids: Vec<Vec<usize>> = market
+            .tacs
+            .iter()
+            .map(|t| (0..t.usids.len()).collect())
+            .collect();
         while !rem.is_empty() {
             if curr >= n_slots {
                 for &ti in &rem {
                     for &ui in &rem_usids[ti] {
-                        attempt.leftovers.extend(market.tacs[ti].usids[ui].iter().copied());
+                        attempt
+                            .leftovers
+                            .extend(market.tacs[ti].usids[ui].iter().copied());
                     }
                 }
                 out_of_slots = true;
@@ -188,7 +209,10 @@ fn construct(
             }
             // Sort by conflicts on the current slot, then by size descending.
             rem.sort_by_key(|&ti| {
-                (tac_conflicts(&market.tacs[ti], curr), usize::MAX - market.tacs[ti].size)
+                (
+                    tac_conflicts(&market.tacs[ti], curr),
+                    usize::MAX - market.tacs[ti].size,
+                )
             });
             let mut progress = false;
             for &ti in &rem.clone() {
@@ -247,8 +271,7 @@ pub fn heuristic_schedule(
         for _ in 0..config.iterations.max(1) {
             let mut perm: Vec<&MarketGroup> = tz.markets.iter().collect();
             perm.shuffle(&mut rng);
-            let (attempt, cap) =
-                construct(&perm, start_slot, &remaining, &conflict_idx, n_slots);
+            let (attempt, cap) = construct(&perm, start_slot, &remaining, &conflict_idx, n_slots);
             let better = match &best {
                 None => true,
                 Some((b, _)) => {
@@ -323,7 +346,11 @@ mod tests {
                         for n in 0..2 {
                             inv.push(
                                 format!("n-{tz}{m}{t}{u}{n}"),
-                                if n == 0 { NfType::ENodeB } else { NfType::GNodeB },
+                                if n == 0 {
+                                    NfType::ENodeB
+                                } else {
+                                    NfType::GNodeB
+                                },
                                 Attributes::new()
                                     .with("utc_offset", -5.0 - tz as f64)
                                     .with("market", format!("TZ{tz}-M{m}"))
@@ -346,7 +373,11 @@ mod tests {
     fn schedules_everything_with_room() {
         let inv = ran_inventory();
         let nodes: Vec<NodeId> = inv.ids().collect();
-        let cfg = HeuristicConfig { slot_capacity: 12, iterations: 4, seed: 1 };
+        let cfg = HeuristicConfig {
+            slot_capacity: 12,
+            iterations: 4,
+            seed: 1,
+        };
         let s = heuristic_schedule(&inv, &nodes, &ConflictTable::new(), &window(10), &cfg);
         assert_eq!(s.scheduled_count(), 48);
         assert!(s.leftovers.is_empty());
@@ -357,7 +388,11 @@ mod tests {
     fn respects_slot_capacity() {
         let inv = ran_inventory();
         let nodes: Vec<NodeId> = inv.ids().collect();
-        let cfg = HeuristicConfig { slot_capacity: 6, iterations: 2, seed: 1 };
+        let cfg = HeuristicConfig {
+            slot_capacity: 6,
+            iterations: 2,
+            seed: 1,
+        };
         let s = heuristic_schedule(&inv, &nodes, &ConflictTable::new(), &window(20), &cfg);
         let mut per_slot: BTreeMap<Timeslot, usize> = BTreeMap::new();
         for slot in s.assignments.values() {
@@ -371,7 +406,11 @@ mod tests {
     fn usids_stay_atomic() {
         let inv = ran_inventory();
         let nodes: Vec<NodeId> = inv.ids().collect();
-        let cfg = HeuristicConfig { slot_capacity: 7, iterations: 3, seed: 2 };
+        let cfg = HeuristicConfig {
+            slot_capacity: 7,
+            iterations: 3,
+            seed: 2,
+        };
         let s = heuristic_schedule(&inv, &nodes, &ConflictTable::new(), &window(20), &cfg);
         for pair in nodes.chunks(2) {
             // Consecutive node pairs share a USID by construction.
@@ -387,7 +426,11 @@ mod tests {
     fn window_overflow_creates_leftovers() {
         let inv = ran_inventory();
         let nodes: Vec<NodeId> = inv.ids().collect();
-        let cfg = HeuristicConfig { slot_capacity: 10, iterations: 2, seed: 1 };
+        let cfg = HeuristicConfig {
+            slot_capacity: 10,
+            iterations: 2,
+            seed: 1,
+        };
         let s = heuristic_schedule(&inv, &nodes, &ConflictTable::new(), &window(2), &cfg);
         assert!(s.scheduled_count() <= 20);
         assert_eq!(s.scheduled_count() + s.leftovers.len(), 48);
@@ -410,7 +453,11 @@ mod tests {
                 },
             );
         }
-        let cfg = HeuristicConfig { slot_capacity: 8, iterations: 6, seed: 3 };
+        let cfg = HeuristicConfig {
+            slot_capacity: 8,
+            iterations: 6,
+            seed: 3,
+        };
         let s = heuristic_schedule(&inv, &nodes, &ct, &window(15), &cfg);
         assert_eq!(s.conflicts, 0, "heuristic avoids the busy day");
         assert_eq!(s.scheduled_count(), 48);
@@ -420,14 +467,16 @@ mod tests {
     fn timezones_schedule_east_before_west() {
         let inv = ran_inventory();
         let nodes: Vec<NodeId> = inv.ids().collect();
-        let cfg = HeuristicConfig { slot_capacity: 6, iterations: 2, seed: 1 };
+        let cfg = HeuristicConfig {
+            slot_capacity: 6,
+            iterations: 2,
+            seed: 1,
+        };
         let s = heuristic_schedule(&inv, &nodes, &ConflictTable::new(), &window(20), &cfg);
         let avg_slot = |tz: f64| {
             let slots: Vec<u32> = nodes
                 .iter()
-                .filter(|n| {
-                    inv.attr_of(**n, "utc_offset").unwrap().as_f64().unwrap() == tz
-                })
+                .filter(|n| inv.attr_of(**n, "utc_offset").unwrap().as_f64().unwrap() == tz)
                 .filter_map(|n| s.assignments.get(n).map(|t| t.0))
                 .collect();
             slots.iter().sum::<u32>() as f64 / slots.len() as f64
@@ -439,7 +488,11 @@ mod tests {
     fn deterministic_under_seed() {
         let inv = ran_inventory();
         let nodes: Vec<NodeId> = inv.ids().collect();
-        let cfg = HeuristicConfig { slot_capacity: 9, iterations: 4, seed: 7 };
+        let cfg = HeuristicConfig {
+            slot_capacity: 9,
+            iterations: 4,
+            seed: 7,
+        };
         let a = heuristic_schedule(&inv, &nodes, &ConflictTable::new(), &window(12), &cfg);
         let b = heuristic_schedule(&inv, &nodes, &ConflictTable::new(), &window(12), &cfg);
         assert_eq!(a, b);
@@ -449,11 +502,10 @@ mod tests {
     fn empty_window_all_leftover() {
         let inv = ran_inventory();
         let nodes: Vec<NodeId> = inv.ids().collect();
-        let w = SchedulingWindow::daily(SimTime::from_ymd_hm(2020, 7, 1, 0, 0), 1)
-            .exclude(
-                SimTime::from_ymd_hm(2020, 7, 1, 0, 0),
-                SimTime::from_ymd_hm(2020, 7, 1, 23, 59),
-            );
+        let w = SchedulingWindow::daily(SimTime::from_ymd_hm(2020, 7, 1, 0, 0), 1).exclude(
+            SimTime::from_ymd_hm(2020, 7, 1, 0, 0),
+            SimTime::from_ymd_hm(2020, 7, 1, 23, 59),
+        );
         let s = heuristic_schedule(
             &inv,
             &nodes,

@@ -166,8 +166,7 @@ pub struct PlanIntent {
 impl PlanIntent {
     /// Parse the JSON intent API.
     pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json)
-            .map_err(|e| CornetError::Parse(format!("intent JSON: {e}")))
+        serde_json::from_str(json).map_err(|e| CornetError::Parse(format!("intent JSON: {e}")))
     }
 
     /// Resolve the scheduling window into typed form.
@@ -175,16 +174,22 @@ impl PlanIntent {
         let start = SimTime::parse(&self.scheduling_window.start)?;
         let end = SimTime::parse(&self.scheduling_window.end)?;
         if end < start {
-            return Err(CornetError::InvalidIntent("scheduling window ends before it starts".into()));
+            return Err(CornetError::InvalidIntent(
+                "scheduling window ends before it starts".into(),
+            ));
         }
         let parse_hm = |s: &str| -> Result<u32> {
             let (h, m) = s
                 .split_once(':')
                 .ok_or_else(|| CornetError::Parse(format!("bad time-of-day {s:?}")))?;
-            let h: u32 =
-                h.trim().parse().map_err(|_| CornetError::Parse(format!("bad hour {s:?}")))?;
-            let m: u32 =
-                m.trim().parse().map_err(|_| CornetError::Parse(format!("bad minute {s:?}")))?;
+            let h: u32 = h
+                .trim()
+                .parse()
+                .map_err(|_| CornetError::Parse(format!("bad hour {s:?}")))?;
+            let m: u32 = m
+                .trim()
+                .parse()
+                .map_err(|_| CornetError::Parse(format!("bad minute {s:?}")))?;
             Ok(h * 60 + m)
         };
         let mw_start = parse_hm(&self.maintenance_window.start)?;
@@ -209,7 +214,10 @@ impl PlanIntent {
             start,
             end,
             granularity: self.scheduling_window.granularity,
-            maintenance: MaintenanceWindow { start_minute: mw_start, end_minute: mw_end },
+            maintenance: MaintenanceWindow {
+                start_minute: mw_start,
+                end_minute: mw_end,
+            },
             excluded,
         })
     }
@@ -381,8 +389,11 @@ mod tests {
             .filter(|c| matches!(c, ConstraintRule::Concurrency { .. }))
             .collect();
         assert_eq!(concurrency.len(), 3);
-        if let ConstraintRule::Concurrency { aggregate_attribute, default_capacity, .. } =
-            concurrency[2]
+        if let ConstraintRule::Concurrency {
+            aggregate_attribute,
+            default_capacity,
+            ..
+        } = concurrency[2]
         {
             assert_eq!(aggregate_attribute.as_deref(), Some("pool_id"));
             assert_eq!(*default_capacity, 10);

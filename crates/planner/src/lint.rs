@@ -46,7 +46,11 @@ impl LintReport {
     }
 
     fn error(&mut self, code: &str, message: String) {
-        self.findings.push(LintFinding { level: LintLevel::Error, code: code.into(), message });
+        self.findings.push(LintFinding {
+            level: LintLevel::Error,
+            code: code.into(),
+            message,
+        });
     }
 
     fn warn(&mut self, code: &str, message: String) {
@@ -146,7 +150,8 @@ pub fn lint(intent: &PlanIntent, inventory: &Inventory, nodes: &[NodeId]) -> Res
                     match aggregate_attribute {
                         Some(agg) => {
                             let groups = inventory.group_by(nodes, agg).group_count().max(1);
-                            ((default_capacity + slots_per_granule - 1) / slots_per_granule) * groups as i64
+                            ((default_capacity + slots_per_granule - 1) / slots_per_granule)
+                                * groups as i64
                         }
                         None => (default_capacity + slots_per_granule - 1) / slots_per_granule,
                     }
@@ -166,8 +171,7 @@ pub fn lint(intent: &PlanIntent, inventory: &Inventory, nodes: &[NodeId]) -> Res
                         format!("consistency attribute '{attribute}' is absent from the scope"),
                     );
                 } else {
-                    let largest =
-                        groups.members().iter().map(Vec::len).max().unwrap_or(0);
+                    let largest = groups.members().iter().map(Vec::len).max().unwrap_or(0);
                     if largest > largest_consistency_group {
                         largest_consistency_group = largest;
                         consistency_attr = attribute.clone();
@@ -355,7 +359,10 @@ mod tests {
         );
         let r = lint(&it, &inventory(), &nodes()).unwrap();
         assert!(!r.is_plannable());
-        assert!(r.findings.iter().any(|f| f.code == "window-capacity-shortfall"));
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.code == "window-capacity-shortfall"));
     }
 
     #[test]
@@ -367,14 +374,16 @@ mod tests {
                 "default_capacity": 1}"#
         ));
         let r = lint(&it, &inventory(), &nodes()).unwrap();
-        assert!(r.findings.iter().any(|f| f.code == "capacity-below-group"), "{:?}", r.findings);
+        assert!(
+            r.findings.iter().any(|f| f.code == "capacity-below-group"),
+            "{:?}",
+            r.findings
+        );
     }
 
     #[test]
     fn unknown_attribute_is_error() {
-        let it = intent(
-            r#"{"name": "localize", "attribute": "region_code"}"#,
-        );
+        let it = intent(r#"{"name": "localize", "attribute": "region_code"}"#);
         let r = lint(&it, &inventory(), &nodes()).unwrap();
         assert!(!r.is_plannable());
         assert!(r.findings.iter().any(|f| f.code == "unknown-attribute"));
@@ -384,7 +393,10 @@ mod tests {
     fn categorical_uniformity_is_error() {
         let it = intent(r#"{"name": "uniformity", "attribute": "market", "value": 1}"#);
         let r = lint(&it, &inventory(), &nodes()).unwrap();
-        assert!(r.findings.iter().any(|f| f.code == "non-numeric-uniformity"));
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.code == "non-numeric-uniformity"));
     }
 
     #[test]
@@ -419,7 +431,10 @@ mod tests {
             selector: [("market".to_string(), "SEA".to_string())].into(),
         });
         let r = lint(&it, &inventory(), &nodes()).unwrap();
-        assert!(r.findings.iter().any(|f| f.code == "frozen-matches-nothing"));
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.code == "frozen-matches-nothing"));
     }
 
     #[test]

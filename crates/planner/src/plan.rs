@@ -137,7 +137,14 @@ mod tests {
         let inv = inventory(6);
         let topo = Topology::with_capacity(6);
         let nodes: Vec<NodeId> = inv.ids().collect();
-        let r = plan(&base_intent(2), &inv, &topo, &nodes, &PlanOptions::default()).unwrap();
+        let r = plan(
+            &base_intent(2),
+            &inv,
+            &topo,
+            &nodes,
+            &PlanOptions::default(),
+        )
+        .unwrap();
         assert_eq!(r.schedule.scheduled_count(), 6);
         assert_eq!(r.outcome, Outcome::Optimal);
         assert_eq!(r.makespan(), 3, "6 nodes at 2/slot");
@@ -161,7 +168,10 @@ mod tests {
             granularity: cornet_types::Granularity::daily(),
             default_capacity: 2,
         }];
-        let opts = PlanOptions { decompose: true, ..Default::default() };
+        let opts = PlanOptions {
+            decompose: true,
+            ..Default::default()
+        };
         let r = plan(&intent, &inv, &topo, &nodes, &opts).unwrap();
         assert_eq!(r.components, 2, "per-EMS capacity separates the model");
         assert_eq!(r.schedule.scheduled_count(), 8);
@@ -187,7 +197,10 @@ mod tests {
             &inv,
             &topo,
             &nodes,
-            &PlanOptions { decompose: true, ..Default::default() },
+            &PlanOptions {
+                decompose: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(
@@ -207,7 +220,11 @@ mod tests {
         intent.scheduling_window.end = "2020-07-01 23:59:00".into();
         let r = plan(&intent, &inv, &topo, &nodes, &PlanOptions::default()).unwrap();
         assert_eq!(r.schedule.scheduled_count(), 1);
-        assert_eq!(r.schedule.leftovers.len(), 3, "window too small → leftovers");
+        assert_eq!(
+            r.schedule.leftovers.len(),
+            3,
+            "window too small → leftovers"
+        );
     }
 
     #[test]

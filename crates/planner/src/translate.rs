@@ -50,7 +50,10 @@ pub struct TranslateOptions {
 
 impl Default for TranslateOptions {
     fn default() -> Self {
-        TranslateOptions { strategy: GroupStrategy::LinkingVars, contract_consistency: true }
+        TranslateOptions {
+            strategy: GroupStrategy::LinkingVars,
+            contract_consistency: true,
+        }
     }
 }
 
@@ -98,9 +101,7 @@ impl Translation {
         schedule.leftovers.extend(self.frozen_out.iter().copied());
         schedule
     }
-
 }
-
 
 /// Attribute grouping over *units*: every member of a unit must agree on
 /// the attribute, otherwise the intent is contradictory — a consistency
@@ -263,7 +264,10 @@ pub fn translate(
     let units: Vec<Unit> = unit_nodes
         .iter()
         .zip(&vars)
-        .map(|(nodes, &var)| Unit { nodes: nodes.clone(), var })
+        .map(|(nodes, &var)| Unit {
+            nodes: nodes.clone(),
+            var,
+        })
         .collect();
 
     for positions in same_value_groups {
@@ -277,7 +281,10 @@ pub fn translate(
     // holidays are excluded (§3.3.2's differing-granularity complication).
     let slot_minutes = window.granularity.minutes();
     let calendar_granules = |block: i64| -> Vec<i64> {
-        slots.iter().map(|slot| (slot.0 as i64 - 1) / block).collect()
+        slots
+            .iter()
+            .map(|slot| (slot.0 as i64 - 1) / block)
+            .collect()
     };
 
     // --- constraint rules.
@@ -333,8 +340,7 @@ pub fn translate(
                             }
                             let label = format!("concurrency[{base_attribute} per {agg}]");
                             let pvars: Vec<_> = positions.iter().map(|&p| vars[p]).collect();
-                            let pweights: Vec<_> =
-                                positions.iter().map(|&p| weights[p]).collect();
+                            let pweights: Vec<_> = positions.iter().map(|&p| weights[p]).collect();
                             if block > 1 {
                                 b.capacity_with_granules(
                                     label,
@@ -431,11 +437,15 @@ pub fn translate(
                         })?;
                     metric.push(v);
                 }
-                b.max_spread(format!("uniformity[{attribute}]"), vars.clone(), &metric, *value);
+                b.max_spread(
+                    format!("uniformity[{attribute}]"),
+                    vars.clone(),
+                    &metric,
+                    *value,
+                );
             }
             ConstraintRule::Localize { attribute } => {
-                let (_, membership) =
-                    unit_groups(inventory, &unit_nodes, attribute, "localize")?;
+                let (_, membership) = unit_groups(inventory, &unit_nodes, attribute, "localize")?;
                 let (pvars, pgroups): (Vec<VarId>, Vec<usize>) = vars
                     .iter()
                     .zip(&membership)
@@ -504,7 +514,13 @@ pub fn translate(
         }
     }
 
-    Ok(Translation { model: b.build(), units, slots, window, frozen_out })
+    Ok(Translation {
+        model: b.build(),
+        units,
+        slots,
+        window,
+        frozen_out,
+    })
 }
 
 #[cfg(test)]
@@ -560,8 +576,14 @@ mod tests {
     #[test]
     fn basic_translation_shape() {
         let (inv, topo) = inventory4();
-        let t = translate(&intent(""), &inv, &topo, &all_nodes(), &TranslateOptions::default())
-            .unwrap();
+        let t = translate(
+            &intent(""),
+            &inv,
+            &topo,
+            &all_nodes(),
+            &TranslateOptions::default(),
+        )
+        .unwrap();
         assert_eq!(t.units.len(), 4);
         assert_eq!(t.slots.len(), 5);
         assert_eq!(t.model.var_count(), 4);
@@ -589,7 +611,10 @@ mod tests {
             &inv,
             &topo,
             &all_nodes(),
-            &TranslateOptions { contract_consistency: false, ..Default::default() },
+            &TranslateOptions {
+                contract_consistency: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(expanded.units.len(), 4);
@@ -602,16 +627,24 @@ mod tests {
         let rule = r#", {"name": "concurrency", "base_attribute": "market",
                          "operator": "<=", "granularity": {"metric": "day", "value": 1},
                          "default_capacity": 1}"#;
-        let linking =
-            translate(&intent(rule), &inv, &topo, &all_nodes(), &TranslateOptions::default())
-                .unwrap();
+        let linking = translate(
+            &intent(rule),
+            &inv,
+            &topo,
+            &all_nodes(),
+            &TranslateOptions::default(),
+        )
+        .unwrap();
         assert_eq!(linking.model.stats().by_kind["distinct_groups"], 1);
         let hybrid = translate(
             &intent(rule),
             &inv,
             &topo,
             &all_nodes(),
-            &TranslateOptions { strategy: GroupStrategy::HybridWeights, ..Default::default() },
+            &TranslateOptions {
+                strategy: GroupStrategy::HybridWeights,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(hybrid.model.stats().by_kind["capacity"], 2, "base + hybrid");
@@ -626,8 +659,7 @@ mod tests {
             end: None,
             selector: [("common_id".to_string(), "id000002".to_string())].into(),
         });
-        let t =
-            translate(&it, &inv, &topo, &all_nodes(), &TranslateOptions::default()).unwrap();
+        let t = translate(&it, &inv, &topo, &all_nodes(), &TranslateOptions::default()).unwrap();
         assert_eq!(t.units.len(), 3);
         assert_eq!(t.frozen_out, vec![NodeId(2)]);
         // Decoding reports the frozen node as a leftover.
@@ -645,8 +677,7 @@ mod tests {
             end: None,
             selector: [("market".to_string(), "NYC".to_string())].into(),
         });
-        let t =
-            translate(&it, &inv, &topo, &all_nodes(), &TranslateOptions::default()).unwrap();
+        let t = translate(&it, &inv, &topo, &all_nodes(), &TranslateOptions::default()).unwrap();
         assert_eq!(t.frozen_out.len(), 2, "both NYC nodes frozen");
     }
 
@@ -662,9 +693,14 @@ mod tests {
                 tickets: vec!["CHG1".into()],
             }],
         );
-        let t =
-            translate(&it, &inv, &topo, &all_nodes(), &TranslateOptions::default()).unwrap();
-        let forbids = t.model.stats().by_kind.get("forbidden_value").copied().unwrap_or(0);
+        let t = translate(&it, &inv, &topo, &all_nodes(), &TranslateOptions::default()).unwrap();
+        let forbids = t
+            .model
+            .stats()
+            .by_kind
+            .get("forbidden_value")
+            .copied()
+            .unwrap_or(0);
         assert_eq!(forbids, 2, "slots 1 and 2 forbidden for node 0");
         // Solve: node 0 must land on slot ≥ 3 or stay unscheduled.
         let solved = cornet_solver::solve(&t.model, &cornet_solver::SolverConfig::default());
@@ -689,15 +725,17 @@ mod tests {
                 tickets: vec!["CHG1".into()],
             }],
         );
-        let t =
-            translate(&it, &inv, &topo, &all_nodes(), &TranslateOptions::default()).unwrap();
+        let t = translate(&it, &inv, &topo, &all_nodes(), &TranslateOptions::default()).unwrap();
         assert_eq!(t.model.stats().by_kind.get("forbidden_value"), None);
         let solved = cornet_solver::solve(&t.model, &cornet_solver::SolverConfig::default());
         let schedule = t.decode(&solved.solution().assignment, &it.conflicts().unwrap());
         // Every slot conflicts for node 0; minimize-conflicts tolerance
         // still schedules it ("schedule as many nodes as possible"),
         // taking exactly one priced conflict.
-        assert!(schedule.assignments.contains_key(&NodeId(0)), "node 0 must be scheduled");
+        assert!(
+            schedule.assignments.contains_key(&NodeId(0)),
+            "node 0 must be scheduled"
+        );
         assert_eq!(schedule.conflicts, 1, "one minimal conflict accepted");
         assert!(schedule.leftovers.is_empty());
     }
@@ -715,8 +753,7 @@ mod tests {
             granularity: cornet_types::Granularity::daily(),
             default_capacity: 2,
         }];
-        let t =
-            translate(&it, &inv, &topo, &all_nodes(), &TranslateOptions::default()).unwrap();
+        let t = translate(&it, &inv, &topo, &all_nodes(), &TranslateOptions::default()).unwrap();
         assert_eq!(t.units.len(), 2, "NYC and DFW groups");
         assert_eq!(t.units[0].nodes.len(), 2);
     }
@@ -749,16 +786,28 @@ mod tests {
         }"#,
         )
         .unwrap();
-        let t = translate(&it, &inv, &topo, &[NodeId(0), NodeId(1)], &TranslateOptions::default())
-            .unwrap();
+        let t = translate(
+            &it,
+            &inv,
+            &topo,
+            &[NodeId(0), NodeId(1)],
+            &TranslateOptions::default(),
+        )
+        .unwrap();
         assert_eq!(t.slots.len(), 11);
         // Values 4 (calendar slot 4, week 0) and 5 (calendar slot 8, week 1)
         // together are fine; values 4 and 1 (both week 0) violate.
         let mut ok = vec![0i64; 2];
         ok[0] = 4;
         ok[1] = 5;
-        assert!(t.model.check(&ok).is_ok(), "different calendar weeks must coexist");
-        assert!(t.model.check(&[4, 1]).is_err(), "same calendar week exceeds cap 1");
+        assert!(
+            t.model.check(&ok).is_ok(),
+            "different calendar weeks must coexist"
+        );
+        assert!(
+            t.model.check(&[4, 1]).is_err(),
+            "same calendar week exceeds cap 1"
+        );
     }
 
     #[test]
@@ -816,8 +865,14 @@ mod tests {
         let rule = r#", {"name": "concurrency", "base_attribute": "common_id",
                          "operator": "<=", "granularity": {"metric": "week", "value": 1},
                          "default_capacity": 3}"#;
-        let t = translate(&intent(rule), &inv, &topo, &all_nodes(), &TranslateOptions::default())
-            .unwrap();
+        let t = translate(
+            &intent(rule),
+            &inv,
+            &topo,
+            &all_nodes(),
+            &TranslateOptions::default(),
+        )
+        .unwrap();
         // The weekly rule must appear as a second capacity constraint with
         // calendar-aligned granules (value-set membership in the emission).
         assert_eq!(t.model.stats().by_kind["capacity"], 2);

@@ -16,7 +16,10 @@ impl BitDomain {
     pub fn new(lo: i64, hi: i64, max_value: i64) -> Self {
         assert!(lo >= 0 && hi <= max_value, "domain outside universe");
         let nwords = (max_value as usize + 64) / 64;
-        let mut d = BitDomain { words: vec![0; nwords], size: 0 };
+        let mut d = BitDomain {
+            words: vec![0; nwords],
+            size: 0,
+        };
         for v in lo..=hi {
             d.insert(v);
         }

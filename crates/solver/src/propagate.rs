@@ -27,7 +27,10 @@ impl Propagation {
                 }
             }
         }
-        Propagation { watchers, n_constraints: model.constraints.len() }
+        Propagation {
+            watchers,
+            n_constraints: model.constraints.len(),
+        }
     }
 
     /// Run all propagators to fixpoint. On entry every constraint is
@@ -99,7 +102,13 @@ fn intervals_conflict(a: (i64, i64), b: (i64, i64)) -> bool {
 fn propagate_one(c: &Constraint, state: &mut State) -> Result<(), Conflict> {
     match c {
         Constraint::Capacity {
-            vars, weights, default_cap, slot_caps, block, value_granules, ..
+            vars,
+            weights,
+            default_cap,
+            slot_caps,
+            block,
+            value_granules,
+            ..
         } => {
             let block = (*block).max(1);
             let max_slot = vars
@@ -125,8 +134,7 @@ fn propagate_one(c: &Constraint, state: &mut State) -> Result<(), Conflict> {
                     }
                 }
             }
-            let cap_of =
-                |granule: i64| slot_caps.get(&granule).copied().unwrap_or(*default_cap);
+            let cap_of = |granule: i64| slot_caps.get(&granule).copied().unwrap_or(*default_cap);
             for (granule, l) in load.iter().enumerate() {
                 if *l > cap_of(granule as i64) {
                     return Err(Conflict);
@@ -153,7 +161,12 @@ fn propagate_one(c: &Constraint, state: &mut State) -> Result<(), Conflict> {
             }
             Ok(())
         }
-        Constraint::DistinctGroups { vars, group_of, cap, .. } => {
+        Constraint::DistinctGroups {
+            vars,
+            group_of,
+            cap,
+            ..
+        } => {
             use std::collections::BTreeMap;
             use std::collections::BTreeSet;
             let mut groups_at: BTreeMap<i64, BTreeSet<usize>> = BTreeMap::new();
@@ -209,7 +222,12 @@ fn propagate_one(c: &Constraint, state: &mut State) -> Result<(), Conflict> {
             }
             Ok(())
         }
-        Constraint::MaxSpread { vars, metric_milli, max_distance_milli, .. } => {
+        Constraint::MaxSpread {
+            vars,
+            metric_milli,
+            max_distance_milli,
+            ..
+        } => {
             use std::collections::BTreeMap;
             let mut range: BTreeMap<i64, (i64, i64)> = BTreeMap::new();
             for (v, m) in vars.iter().zip(metric_milli) {
@@ -236,9 +254,9 @@ fn propagate_one(c: &Constraint, state: &mut State) -> Result<(), Conflict> {
                     .iter()
                     .filter(|&val| {
                         val > 0
-                            && range.get(&val).is_some_and(|(lo, hi)| {
-                                hi.max(m) - lo.min(m) > *max_distance_milli
-                            })
+                            && range
+                                .get(&val)
+                                .is_some_and(|(lo, hi)| hi.max(m) - lo.min(m) > *max_distance_milli)
                     })
                     .collect();
                 for val in to_remove {
@@ -291,9 +309,8 @@ fn propagate_one(c: &Constraint, state: &mut State) -> Result<(), Conflict> {
                         } else {
                             (own.0.min(val), own.1.max(val))
                         };
-                        used.iter().any(|(og, oiv)| {
-                            *og != *g && intervals_conflict(new_iv, *oiv)
-                        })
+                        used.iter()
+                            .any(|(og, oiv)| *og != *g && intervals_conflict(new_iv, *oiv))
                     })
                     .collect();
                 for val in to_remove {
@@ -309,7 +326,9 @@ fn propagate_one(c: &Constraint, state: &mut State) -> Result<(), Conflict> {
             }
             Ok(())
         }
-        Constraint::Linear { terms, cmp, rhs, .. } => {
+        Constraint::Linear {
+            terms, cmp, rhs, ..
+        } => {
             // Value-level bounds filtering on Σ coeff·x ⋈ rhs.
             fn min_contrib(state: &State, coeff: i64, vi: usize) -> i64 {
                 let d = state.domain(vi);
@@ -327,10 +346,14 @@ fn propagate_one(c: &Constraint, state: &mut State) -> Result<(), Conflict> {
                     coeff * d.min().unwrap_or(0)
                 }
             }
-            let min_act: i64 =
-                terms.iter().map(|t| min_contrib(state, t.coeff, t.var.index())).sum();
-            let max_act: i64 =
-                terms.iter().map(|t| max_contrib(state, t.coeff, t.var.index())).sum();
+            let min_act: i64 = terms
+                .iter()
+                .map(|t| min_contrib(state, t.coeff, t.var.index()))
+                .sum();
+            let max_act: i64 = terms
+                .iter()
+                .map(|t| max_contrib(state, t.coeff, t.var.index()))
+                .sum();
             let check_le = matches!(cmp, CmpOp::Le | CmpOp::Eq);
             let check_ge = matches!(cmp, CmpOp::Ge | CmpOp::Eq);
             if check_le && min_act > *rhs {
@@ -466,7 +489,12 @@ mod tests {
     fn linear_bounds_filter() {
         let mut b = ModelBuilder::new("t", 5);
         let vs = b.slot_vars("X", 2);
-        b.linear("lin", vec![(1, vs[0]), (1, vs[1])], cornet_model::CmpOp::Le, 3);
+        b.linear(
+            "lin",
+            vec![(1, vs[0]), (1, vs[1])],
+            cornet_model::CmpOp::Le,
+            3,
+        );
         let m = b.build();
         let mut s = State::new(&m);
         s.fix(0, 3).unwrap();

@@ -136,9 +136,7 @@ impl<'a> Searcher<'a> {
             return true;
         }
         // Check the clock only every 1024 nodes; Instant::now is not free.
-        if self.stats.nodes.is_multiple_of(1024)
-            && self.start.elapsed() >= self.config.time_limit
-        {
+        if self.stats.nodes.is_multiple_of(1024) && self.start.elapsed() >= self.config.time_limit {
             self.aborted = true;
             return true;
         }
@@ -200,7 +198,9 @@ impl<'a> Searcher<'a> {
             self.state.clear_changed();
             let feasible = self.state.fix(var, v).is_ok() && {
                 let seeds = self.state.take_changed();
-                self.prop.propagate_from(self.model, &mut self.state, &seeds).is_ok()
+                self.prop
+                    .propagate_from(self.model, &mut self.state, &seeds)
+                    .is_ok()
             };
             if feasible {
                 self.search(branch_lb);
@@ -236,7 +236,11 @@ pub fn solve(model: &Model, config: &SolverConfig) -> SolveResult {
             panic!("solver produced an invalid solution: {e}");
         }
     }
-    SolveResult { outcome, best: s.best, stats: s.stats }
+    SolveResult {
+        outcome,
+        best: s.best,
+        stats: s.stats,
+    }
 }
 
 #[cfg(test)]
@@ -389,7 +393,10 @@ mod tests {
         b.require_scheduled(&vs);
         b.completion_objective(&vs, &[1; 12], 100);
         let m = b.build();
-        let tight = SolverConfig { max_nodes: 50, ..Default::default() };
+        let tight = SolverConfig {
+            max_nodes: 50,
+            ..Default::default()
+        };
         let r = solve(&m, &tight);
         assert!(r.stats.nodes <= 51);
         assert!(matches!(r.outcome, Outcome::Feasible | Outcome::Unknown));
@@ -403,7 +410,10 @@ mod tests {
         b.require_scheduled(&vs);
         b.completion_objective(&vs, &[1; 3], 100);
         let m = b.build();
-        let no_warm = SolverConfig { cost_value_order: false, ..Default::default() };
+        let no_warm = SolverConfig {
+            cost_value_order: false,
+            ..Default::default()
+        };
         let r = solve(&m, &no_warm);
         assert_eq!(r.outcome, Outcome::Optimal);
         assert_eq!(r.solution().cost, 6);

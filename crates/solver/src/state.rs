@@ -24,9 +24,16 @@ impl State {
     /// Initial state with full domains from the model.
     pub fn new(model: &Model) -> Self {
         let max_value = model.vars.iter().map(|v| v.hi).max().unwrap_or(0);
-        let domains =
-            model.vars.iter().map(|v| BitDomain::new(v.lo, v.hi, max_value)).collect();
-        State { domains, trail: Vec::new(), changed: Vec::new() }
+        let domains = model
+            .vars
+            .iter()
+            .map(|v| BitDomain::new(v.lo, v.hi, max_value))
+            .collect();
+        State {
+            domains,
+            trail: Vec::new(),
+            changed: Vec::new(),
+        }
     }
 
     /// Borrow a variable's domain.
@@ -103,7 +110,10 @@ impl State {
     pub fn assignment(&self) -> Vec<i64> {
         self.domains
             .iter()
-            .map(|d| d.fixed_value().expect("assignment requested on unfixed state"))
+            .map(|d| {
+                d.fixed_value()
+                    .expect("assignment requested on unfixed state")
+            })
             .collect()
     }
 }

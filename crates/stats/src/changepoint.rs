@@ -39,8 +39,16 @@ pub fn detect_level_shifts(xs: &[f64], window: usize, threshold: f64) -> Vec<Lev
     }
     let mut raw = Vec::new();
     for i in window..=(xs.len() - window) {
-        let pre: Vec<f64> = xs[i - window..i].iter().copied().filter(|v| !v.is_nan()).collect();
-        let post: Vec<f64> = xs[i..i + window].iter().copied().filter(|v| !v.is_nan()).collect();
+        let pre: Vec<f64> = xs[i - window..i]
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .collect();
+        let post: Vec<f64> = xs[i..i + window]
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .collect();
         if pre.len() < 2 || post.len() < 2 {
             continue;
         }
@@ -49,7 +57,11 @@ pub fn detect_level_shifts(xs: &[f64], window: usize, threshold: f64) -> Vec<Lev
         let scale = mad(&pre).max(1e-9 * median(&pre).abs()).max(1e-12);
         let score = delta.abs() / scale;
         if score >= threshold {
-            raw.push(LevelShift { index: i, delta, score });
+            raw.push(LevelShift {
+                index: i,
+                delta,
+                score,
+            });
         }
     }
     // Merge runs of adjacent candidate indices, keeping the strongest.
@@ -89,7 +101,11 @@ mod tests {
         assert_eq!(shifts.len(), 1, "one step → one detection, got {shifts:?}");
         let s = shifts[0];
         assert!(s.is_upward());
-        assert!((s.index as i64 - 20).unsigned_abs() <= 2, "index {} near 20", s.index);
+        assert!(
+            (s.index as i64 - 20).unsigned_abs() <= 2,
+            "index {} near 20",
+            s.index
+        );
         assert!((s.delta - 2.0).abs() < 0.2);
     }
 

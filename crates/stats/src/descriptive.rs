@@ -120,7 +120,10 @@ mod tests {
     fn mad_is_robust_to_outliers() {
         let clean = [10.0, 10.1, 9.9, 10.2, 9.8];
         let dirty = [10.0, 10.1, 9.9, 10.2, 1000.0];
-        assert!((mad(&clean) - mad(&dirty)).abs() < 0.2, "MAD should shrug off one outlier");
+        assert!(
+            (mad(&clean) - mad(&dirty)).abs() < 0.2,
+            "MAD should shrug off one outlier"
+        );
         assert!(std_dev(&dirty) > 100.0, "sd blows up, motivating MAD");
     }
 }

@@ -48,7 +48,12 @@ impl RankTestResult {
         } else {
             Direction::Down
         };
-        RankTestResult { z, p_value: two_sided_p(z), median_diff: md, direction }
+        RankTestResult {
+            z,
+            p_value: two_sided_p(z),
+            median_diff: md,
+            direction,
+        }
     }
 
     fn degenerate(xs: &[f64], ys: &[f64]) -> Self {
@@ -115,7 +120,11 @@ pub fn robust_rank_order(xs: &[f64], ys: &[f64]) -> RankTestResult {
 fn midranks(pooled: &[f64]) -> Vec<f64> {
     let n = pooled.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| pooled[a].partial_cmp(&pooled[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        pooled[a]
+            .partial_cmp(&pooled[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -188,7 +197,11 @@ mod tests {
         let xs: Vec<f64> = (0..30).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
         let ys: Vec<f64> = (0..30).map(|i| 12.0 + (i % 5) as f64 * 0.1).collect();
         let r = robust_rank_order(&ys, &xs);
-        assert!(r.significant(0.01), "clear +2 shift must be significant, got p={}", r.p_value);
+        assert!(
+            r.significant(0.01),
+            "clear +2 shift must be significant, got p={}",
+            r.p_value
+        );
         assert_eq!(r.direction, Direction::Up);
         let m = mann_whitney_u(&ys, &xs);
         assert!(m.significant(0.01));
@@ -208,11 +221,18 @@ mod tests {
     fn unequal_variance_still_behaves() {
         // FP test's raison d'être: one noisy sample, one tight sample,
         // same median — should NOT flag a difference.
-        let tight: Vec<f64> = (0..40).map(|i| 10.0 + ((i % 3) as f64 - 1.0) * 0.01).collect();
-        let noisy: Vec<f64> =
-            (0..40).map(|i| 10.0 + ((i % 9) as f64 - 4.0) * 2.0).collect();
+        let tight: Vec<f64> = (0..40)
+            .map(|i| 10.0 + ((i % 3) as f64 - 1.0) * 0.01)
+            .collect();
+        let noisy: Vec<f64> = (0..40)
+            .map(|i| 10.0 + ((i % 9) as f64 - 4.0) * 2.0)
+            .collect();
         let r = robust_rank_order(&tight, &noisy);
-        assert!(!r.significant(0.01), "equal medians, unequal variance: p={}", r.p_value);
+        assert!(
+            !r.significant(0.01),
+            "equal medians, unequal variance: p={}",
+            r.p_value
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ impl RobustFit {
     /// goodness-of-fit figure the verifier can threshold on.
     pub fn median_abs_residual(&self, xs: &[f64], ys: &[f64]) -> f64 {
         assert_eq!(xs.len(), ys.len());
-        let resid: Vec<f64> = xs.iter().zip(ys).map(|(&x, &y)| (y - self.predict(x)).abs()).collect();
+        let resid: Vec<f64> = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| (y - self.predict(x)).abs())
+            .collect();
         median(&resid)
     }
 }
@@ -55,8 +59,15 @@ pub fn ratio_regression(control: &[f64], study: &[f64]) -> RobustFit {
         .map(|(&c, &s)| s / c)
         .filter(|r| r.is_finite())
         .collect();
-    let slope = if ratios.is_empty() { 1.0 } else { median(&ratios) };
-    RobustFit { intercept: 0.0, slope }
+    let slope = if ratios.is_empty() {
+        1.0
+    } else {
+        median(&ratios)
+    };
+    RobustFit {
+        intercept: 0.0,
+        slope,
+    }
 }
 
 /// Theil–Sen estimator: slope = median of pairwise slopes, intercept =
@@ -78,11 +89,17 @@ pub fn theil_sen(xs: &[f64], ys: &[f64]) -> RobustFit {
     }
     if slopes.is_empty() {
         // Degenerate x: fall back to a flat line through the median of y.
-        return RobustFit { intercept: median(ys), slope: 0.0 };
+        return RobustFit {
+            intercept: median(ys),
+            slope: 0.0,
+        };
     }
     let slope = median(&slopes);
     let intercepts: Vec<f64> = xs.iter().zip(ys).map(|(&x, &y)| y - slope * x).collect();
-    RobustFit { intercept: median(&intercepts), slope }
+    RobustFit {
+        intercept: median(&intercepts),
+        slope,
+    }
 }
 
 #[cfg(test)]
@@ -105,7 +122,10 @@ mod tests {
         let mut s: Vec<f64> = c.iter().map(|x| 2.0 * x).collect();
         s[2] = 900.0; // corrupted measurement
         let fit = ratio_regression(&c, &s);
-        assert!((fit.slope - 2.0).abs() < 1e-9, "median ratio shrugs off one outlier");
+        assert!(
+            (fit.slope - 2.0).abs() < 1e-9,
+            "median ratio shrugs off one outlier"
+        );
     }
 
     #[test]
@@ -138,7 +158,11 @@ mod tests {
         ys[5] = -500.0;
         ys[15] = 700.0;
         let fit = theil_sen(&xs, &ys);
-        assert!((fit.slope - 2.0).abs() < 0.05, "slope {} should stay near 2", fit.slope);
+        assert!(
+            (fit.slope - 2.0).abs() < 0.05,
+            "slope {} should stay near 2",
+            fit.slope
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ impl TimeSeries {
     /// Construct a series; `step_minutes` must be nonzero.
     pub fn new(start_minute: u64, step_minutes: u64, values: Vec<f64>) -> Self {
         assert!(step_minutes > 0, "step must be nonzero");
-        Self { start_minute, step_minutes, values }
+        Self {
+            start_minute,
+            step_minutes,
+            values,
+        }
     }
 
     /// Number of samples.
@@ -108,7 +112,10 @@ impl TimeSeries {
     /// Mercury-style alignment: after shifting, series from nodes changed on
     /// different days can be overlaid on a common relative axis.
     pub fn align_at(&self, event_minute: u64) -> (Vec<f64>, Vec<f64>) {
-        (self.before(event_minute).to_vec(), self.after(event_minute).to_vec())
+        (
+            self.before(event_minute).to_vec(),
+            self.after(event_minute).to_vec(),
+        )
     }
 
     /// Normalize by the median of the pre-`event_minute` samples, so KPIs
@@ -116,14 +123,22 @@ impl TimeSeries {
     ///
     /// Returns `None` when the pre-period median is zero or undefined.
     pub fn normalize_at(&self, event_minute: u64) -> Option<TimeSeries> {
-        let pre: Vec<f64> =
-            self.before(event_minute).iter().copied().filter(|v| !v.is_nan()).collect();
+        let pre: Vec<f64> = self
+            .before(event_minute)
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .collect();
         let m = crate::descriptive::median(&pre);
         if !m.is_finite() || m == 0.0 {
             return None;
         }
         let values = self.values.iter().map(|v| v / m).collect();
-        Some(TimeSeries::new(self.start_minute, self.step_minutes, values))
+        Some(TimeSeries::new(
+            self.start_minute,
+            self.step_minutes,
+            values,
+        ))
     }
 
     /// Fraction of samples that are missing (NaN).
@@ -157,7 +172,11 @@ pub fn merge(series: &[&TimeSeries], agg: AggFn) -> Option<TimeSeries> {
         bucket.extend(series.iter().map(|s| s.values[i]));
         values.push(agg.apply(&bucket));
     }
-    Some(TimeSeries::new(first.start_minute, first.step_minutes, values))
+    Some(TimeSeries::new(
+        first.start_minute,
+        first.step_minutes,
+        values,
+    ))
 }
 
 #[cfg(test)]

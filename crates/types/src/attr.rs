@@ -149,7 +149,9 @@ mod tests {
     #[test]
     fn set_get_and_group_key() {
         let mut a = Attributes::new();
-        a.set("market", "NYC").set("pool_id", 7i64).set("utc_offset", -5.0);
+        a.set("market", "NYC")
+            .set("pool_id", 7i64)
+            .set("utc_offset", -5.0);
         assert_eq!(a.get("market"), Some(&AttrValue::Str("NYC".into())));
         assert_eq!(a.group_key("pool_id").as_deref(), Some("7"));
         assert_eq!(a.group_key("utc_offset").as_deref(), Some("-5.0000"));
@@ -165,7 +167,10 @@ mod tests {
 
     #[test]
     fn deterministic_iteration_order() {
-        let a = Attributes::new().with("z", 1i64).with("a", 2i64).with("m", 3i64);
+        let a = Attributes::new()
+            .with("z", 1i64)
+            .with("a", 2i64)
+            .with("m", 3i64);
         let keys: Vec<_> = a.iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(keys, ["a", "m", "z"]);
     }

@@ -37,7 +37,10 @@ impl ChangeType {
     /// Whether the change requires humans on site (drives the long-duration
     /// behaviour of re-tuning and construction in Table 1 / Table 6).
     pub fn requires_site_visit(self) -> bool {
-        matches!(self, ChangeType::NodeRetuning | ChangeType::ConstructionWork)
+        matches!(
+            self,
+            ChangeType::NodeRetuning | ChangeType::ConstructionWork
+        )
     }
 
     /// Short name used in reports.
@@ -74,7 +77,12 @@ pub struct ChangeRequest {
 impl ChangeRequest {
     /// Construct a single-window change request.
     pub fn new(ticket: impl Into<String>, change_type: ChangeType, nodes: Vec<NodeId>) -> Self {
-        Self { ticket: ticket.into(), change_type, nodes, duration_windows: 1 }
+        Self {
+            ticket: ticket.into(),
+            change_type,
+            nodes,
+            duration_windows: 1,
+        }
     }
 
     /// Builder-style override of the per-node duration.
@@ -200,7 +208,11 @@ impl Schedule {
 
     /// Nodes assigned to a given slot, in id order.
     pub fn nodes_in_slot(&self, slot: Timeslot) -> Vec<NodeId> {
-        self.assignments.iter().filter(|(_, s)| **s == slot).map(|(n, _)| *n).collect()
+        self.assignments
+            .iter()
+            .filter(|(_, s)| **s == slot)
+            .map(|(n, _)| *n)
+            .collect()
     }
 }
 
@@ -214,7 +226,11 @@ mod tests {
 
     #[test]
     fn conflict_overlap() {
-        let e = ConflictEntry { start: t(1), end: t(4), tickets: vec!["A".into()] };
+        let e = ConflictEntry {
+            start: t(1),
+            end: t(4),
+            tickets: vec!["A".into()],
+        };
         assert!(e.overlaps(t(4), t(6)));
         assert!(e.overlaps(t(2), t(3)));
         assert!(!e.overlaps(t(5), t(6)));
@@ -225,9 +241,20 @@ mod tests {
         let mut ct = ConflictTable::new();
         ct.add(
             NodeId(1),
-            ConflictEntry { start: t(3), end: t(5), tickets: vec!["A".into(), "B".into()] },
+            ConflictEntry {
+                start: t(3),
+                end: t(5),
+                tickets: vec!["A".into(), "B".into()],
+            },
         );
-        ct.add(NodeId(1), ConflictEntry { start: t(7), end: t(15), tickets: vec!["C".into()] });
+        ct.add(
+            NodeId(1),
+            ConflictEntry {
+                start: t(7),
+                end: t(15),
+                tickets: vec!["C".into()],
+            },
+        );
         assert_eq!(ct.conflicts_in(NodeId(1), t(4), t(4)), 2);
         assert_eq!(ct.conflicts_in(NodeId(1), t(6), t(6)), 0);
         assert_eq!(ct.conflicts_in(NodeId(1), t(4), t(8)), 3);

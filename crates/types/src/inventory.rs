@@ -29,7 +29,12 @@ pub struct InventoryRecord {
 impl InventoryRecord {
     /// Construct a record; attributes can be added afterwards via `attrs`.
     pub fn new(id: NodeId, name: impl Into<String>, nf_type: NfType) -> Self {
-        Self { id, name: name.into(), nf_type, attrs: Attributes::new() }
+        Self {
+            id,
+            name: name.into(),
+            nf_type,
+            attrs: Attributes::new(),
+        }
     }
 }
 
@@ -46,14 +51,14 @@ impl Inventory {
     }
 
     /// Append a record, assigning it the next dense [`NodeId`].
-    pub fn push(
-        &mut self,
-        name: impl Into<String>,
-        nf_type: NfType,
-        attrs: Attributes,
-    ) -> NodeId {
+    pub fn push(&mut self, name: impl Into<String>, nf_type: NfType, attrs: Attributes) -> NodeId {
         let id = NodeId(self.records.len() as u32);
-        self.records.push(InventoryRecord { id, name: name.into(), nf_type, attrs });
+        self.records.push(InventoryRecord {
+            id,
+            name: name.into(),
+            nf_type,
+            attrs,
+        });
         id
     }
 
@@ -133,7 +138,11 @@ impl Inventory {
                 None => membership.push(None),
             }
         }
-        AttributeGroups { key: key.to_owned(), values, membership }
+        AttributeGroups {
+            key: key.to_owned(),
+            values,
+            membership,
+        }
     }
 
     /// Distinct values of an attribute across the whole inventory.
@@ -190,7 +199,9 @@ mod tests {
             inv.push(
                 name,
                 NfType::ENodeB,
-                Attributes::new().with("market", market).with("utc_offset", tz),
+                Attributes::new()
+                    .with("market", market)
+                    .with("utc_offset", tz),
             );
         }
         inv
@@ -207,8 +218,14 @@ mod tests {
     #[test]
     fn virtual_attributes() {
         let inv = sample();
-        assert_eq!(inv.attr_of(NodeId(0), "common_id"), Some(AttrValue::Str("id000000".into())));
-        assert_eq!(inv.attr_of(NodeId(0), "nf_type"), Some(AttrValue::Str("enodeb".into())));
+        assert_eq!(
+            inv.attr_of(NodeId(0), "common_id"),
+            Some(AttrValue::Str("id000000".into()))
+        );
+        assert_eq!(
+            inv.attr_of(NodeId(0), "nf_type"),
+            Some(AttrValue::Str("enodeb".into()))
+        );
     }
 
     #[test]

@@ -142,7 +142,10 @@ mod tests {
 
     #[test]
     fn serde_snake_case() {
-        assert_eq!(serde_json::to_string(&NfType::VceRouter).unwrap(), "\"vce_router\"");
+        assert_eq!(
+            serde_json::to_string(&NfType::VceRouter).unwrap(),
+            "\"vce_router\""
+        );
         let t: NfType = serde_json::from_str("\"g_node_b\"").unwrap_or(NfType::GNodeB);
         assert_eq!(t, NfType::GNodeB);
     }

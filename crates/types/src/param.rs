@@ -182,7 +182,10 @@ mod tests {
         assert_eq!(ParamValue::from(1.5).param_type(), ParamType::Float);
         assert_eq!(ParamValue::from(true).param_type(), ParamType::Bool);
         assert_eq!(ParamValue::List(vec![]).param_type(), ParamType::List);
-        assert_eq!(ParamValue::Map(BTreeMap::new()).param_type(), ParamType::Map);
+        assert_eq!(
+            ParamValue::Map(BTreeMap::new()).param_type(),
+            ParamType::Map
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl SimTime {
     pub fn from_ymd_hm(year: i64, month: u32, day: u32, hour: u32, minute: u32) -> Self {
         assert!((1..=12).contains(&month), "month out of range: {month}");
         assert!((1..=31).contains(&day), "day out of range: {day}");
-        assert!(hour < 24 && minute < 60, "time out of range: {hour}:{minute}");
+        assert!(
+            hour < 24 && minute < 60,
+            "time out of range: {hour}:{minute}"
+        );
         let days = days_from_civil(year, month, day);
         assert!(days >= 0, "dates before 1970 are not representable");
         SimTime(days as u64 * MINUTES_PER_DAY + hour as u64 * 60 + minute as u64)
@@ -61,7 +64,9 @@ impl SimTime {
         // days_from_civil would silently normalize them.
         let days = days_from_civil(year, month, day);
         if civil_from_days(days) != (year, month, day) {
-            return Err(CornetError::Parse(format!("nonexistent calendar date: {s:?}")));
+            return Err(CornetError::Parse(format!(
+                "nonexistent calendar date: {s:?}"
+            )));
         }
         Ok(Self::from_ymd_hm(year, month, day, hour, minute))
     }
@@ -110,7 +115,12 @@ impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (y, m, d) = self.ymd();
         let mod_ = self.minute_of_day();
-        write!(f, "{y:04}-{m:02}-{d:02} {:02}:{:02}:00", mod_ / 60, mod_ % 60)
+        write!(
+            f,
+            "{y:04}-{m:02}-{d:02} {:02}:{:02}:00",
+            mod_ / 60,
+            mod_ % 60
+        )
     }
 }
 
@@ -204,7 +214,10 @@ impl MaintenanceWindow {
     /// Window spanning `[start_hour:00, end_hour:00)` each day.
     pub fn overnight(start_hour: u32, end_hour: u32) -> Self {
         assert!(start_hour <= 24 && end_hour <= 24);
-        Self { start_minute: start_hour * 60, end_minute: end_hour * 60 }
+        Self {
+            start_minute: start_hour * 60,
+            end_minute: end_hour * 60,
+        }
     }
 
     /// Duration of one window in minutes.
@@ -287,7 +300,9 @@ impl SchedulingWindow {
     pub fn daily(start: SimTime, num_days: u32) -> Self {
         Self {
             start,
-            end: start.plus_days(num_days.saturating_sub(1) as u64).plus_minutes(MINUTES_PER_DAY - 1),
+            end: start
+                .plus_days(num_days.saturating_sub(1) as u64)
+                .plus_minutes(MINUTES_PER_DAY - 1),
             granularity: Granularity::daily(),
             maintenance: MaintenanceWindow::default(),
             excluded: Vec::new(),
@@ -308,14 +323,17 @@ impl SchedulingWindow {
 
     /// Start instant of a slot.
     pub fn slot_start(&self, slot: Timeslot) -> SimTime {
-        self.start.plus_minutes(slot.index() as u64 * self.granularity.minutes())
+        self.start
+            .plus_minutes(slot.index() as u64 * self.granularity.minutes())
     }
 
     /// Whether a slot overlaps any excluded period.
     pub fn slot_excluded(&self, slot: Timeslot) -> bool {
         let s = self.slot_start(slot).minutes();
         let e = s + self.granularity.minutes() - 1;
-        self.excluded.iter().any(|(from, to)| s <= to.minutes() && e >= from.minutes())
+        self.excluded
+            .iter()
+            .any(|(from, to)| s <= to.minutes() && e >= from.minutes())
     }
 
     /// The usable slots of the window, in order, with exclusions removed.
@@ -338,7 +356,9 @@ impl SchedulingWindow {
             return None;
         }
         let offset = t.minutes() - self.start.minutes();
-        Some(Timeslot::from_index((offset / self.granularity.minutes()) as usize))
+        Some(Timeslot::from_index(
+            (offset / self.granularity.minutes()) as usize,
+        ))
     }
 }
 
@@ -348,9 +368,13 @@ mod tests {
 
     #[test]
     fn civil_conversion_round_trips() {
-        for &(y, m, d) in
-            &[(1970, 1, 1), (2000, 2, 29), (2020, 7, 1), (2021, 8, 23), (2024, 12, 31)]
-        {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (2000, 2, 29),
+            (2020, 7, 1),
+            (2021, 8, 23),
+            (2024, 12, 31),
+        ] {
             let t = SimTime::from_ymd_hm(y, m, d, 3, 30);
             assert_eq!(t.ymd(), (y, m, d));
             assert_eq!(t.minute_of_day(), 3 * 60 + 30);
@@ -374,10 +398,16 @@ mod tests {
 
     #[test]
     fn parse_rejects_nonexistent_dates() {
-        assert!(SimTime::parse("2021-02-29 00:00:00").is_err(), "2021 is not a leap year");
+        assert!(
+            SimTime::parse("2021-02-29 00:00:00").is_err(),
+            "2021 is not a leap year"
+        );
         assert!(SimTime::parse("2020-02-29 00:00:00").is_ok(), "2020 is");
         assert!(SimTime::parse("2020-04-31 00:00:00").is_err());
-        assert!(SimTime::parse("1969-12-31 00:00:00").is_err(), "pre-epoch errors, not panics");
+        assert!(
+            SimTime::parse("1969-12-31 00:00:00").is_err(),
+            "pre-epoch errors, not panics"
+        );
     }
 
     #[test]
@@ -425,7 +455,10 @@ mod tests {
             );
         let usable = w.usable_slots();
         // Slots 2, 3, 6, 7 remain (July 2, 3, 6, 7).
-        assert_eq!(usable, vec![Timeslot(2), Timeslot(3), Timeslot(6), Timeslot(7)]);
+        assert_eq!(
+            usable,
+            vec![Timeslot(2), Timeslot(3), Timeslot(6), Timeslot(7)]
+        );
     }
 
     #[test]

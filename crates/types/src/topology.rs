@@ -31,7 +31,10 @@ pub struct ServiceChain {
 impl Topology {
     /// Topology over `node_count` nodes with no edges.
     pub fn with_capacity(node_count: usize) -> Self {
-        Self { adjacency: vec![Vec::new(); node_count], chains: Vec::new() }
+        Self {
+            adjacency: vec![Vec::new(); node_count],
+            chains: Vec::new(),
+        }
     }
 
     /// Number of nodes the topology covers.
@@ -66,7 +69,10 @@ impl Topology {
         for pair in nodes.windows(2) {
             self.add_edge(pair[0], pair[1]);
         }
-        self.chains.push(ServiceChain { name: name.into(), nodes });
+        self.chains.push(ServiceChain {
+            name: name.into(),
+            nodes,
+        });
     }
 
     /// Service chains containing a node.
@@ -81,7 +87,10 @@ impl Topology {
 
     /// Direct neighbors of a node (sorted).
     pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
-        self.adjacency.get(id.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.adjacency
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Whether two nodes are directly connected.
@@ -226,7 +235,10 @@ mod tests {
     #[test]
     fn within_excludes_self() {
         let t = path4();
-        assert_eq!(t.within(NodeId(1), 2), vec![NodeId(0), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            t.within(NodeId(1), 2),
+            vec![NodeId(0), NodeId(2), NodeId(3)]
+        );
         assert!(!t.within(NodeId(1), 2).contains(&NodeId(1)));
     }
 

@@ -45,6 +45,9 @@ mod tests {
         });
         assert!(adapter.series(NodeId(1), "known", None).is_some());
         assert!(adapter.series(NodeId(1), "unknown", None).is_none());
-        assert_eq!(adapter.series(NodeId(7), "known", None).unwrap().values, vec![7.0]);
+        assert_eq!(
+            adapter.series(NodeId(7), "known", None).unwrap().values,
+            vec![7.0]
+        );
     }
 }

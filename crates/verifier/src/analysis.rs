@@ -34,7 +34,9 @@ pub struct ChangeScope {
 impl ChangeScope {
     /// Scope with every node changed at the same minute.
     pub fn simultaneous(nodes: &[NodeId], minute: u64) -> Self {
-        ChangeScope { changes: nodes.iter().map(|&n| (n, minute)).collect() }
+        ChangeScope {
+            changes: nodes.iter().map(|&n| (n, minute)).collect(),
+        }
     }
 
     /// Median change minute (control-group alignment reference).
@@ -130,8 +132,11 @@ fn stack(aligned: &[Aligned]) -> Option<Aligned> {
         return None;
     }
     let mean_at = |extract: &dyn Fn(&Aligned) -> f64| -> f64 {
-        let vals: Vec<f64> =
-            aligned.iter().map(extract).filter(|v| !v.is_nan()).collect();
+        let vals: Vec<f64> = aligned
+            .iter()
+            .map(extract)
+            .filter(|v| !v.is_nan())
+            .collect();
         if vals.is_empty() {
             f64::NAN
         } else {
@@ -255,8 +260,11 @@ pub fn analyze_kpi(
     // Relative shift of measured vs predicted medians.
     let med = |xs: &[f64]| cornet_stats::median(xs);
     let pred_med = med(&predicted);
-    let relative_shift =
-        if pred_med != 0.0 { (med(s_post) - pred_med) / pred_med.abs() } else { 0.0 };
+    let relative_shift = if pred_med != 0.0 {
+        (med(s_post) - pred_med) / pred_med.abs()
+    } else {
+        0.0
+    };
 
     let practically_significant = relative_shift.abs() >= options.min_relative_shift;
     let verdict = if !significant || !practically_significant || best_dir == Direction::None {
@@ -289,8 +297,10 @@ pub fn aggregate_series(
     carrier: Option<usize>,
     agg: AggFn,
 ) -> Option<TimeSeries> {
-    let series: Vec<TimeSeries> =
-        nodes.iter().filter_map(|&n| adapter.series(n, kpi, carrier)).collect();
+    let series: Vec<TimeSeries> = nodes
+        .iter()
+        .filter_map(|&n| adapter.series(n, kpi, carrier))
+        .collect();
     let refs: Vec<&TimeSeries> = series.iter().collect();
     cornet_stats::series::merge(&refs, agg)
 }
@@ -309,7 +319,11 @@ mod tests {
                 .map(|k| {
                     let minute = k * 60;
                     let wiggle = ((k * 7 + node.0 as u64) % 5) as f64 * 0.2;
-                    let shift = if node.0 < 100 && minute >= change_minute { delta } else { 0.0 };
+                    let shift = if node.0 < 100 && minute >= change_minute {
+                        delta
+                    } else {
+                        0.0
+                    };
                     base + wiggle + shift
                 })
                 .collect();
@@ -331,8 +345,16 @@ mod tests {
     #[test]
     fn detects_improvement() {
         let a = adapter(20.0, 6000);
-        let r = analyze_kpi(&a, "thr", None, true, &scope(), &controls(), &Default::default())
-            .unwrap();
+        let r = analyze_kpi(
+            &a,
+            "thr",
+            None,
+            true,
+            &scope(),
+            &controls(),
+            &Default::default(),
+        )
+        .unwrap();
         assert_eq!(r.verdict, ImpactVerdict::Improvement, "p={}", r.p_value);
         assert!(r.relative_shift > 0.1);
         assert_eq!(r.nodes_used, 3);
@@ -342,16 +364,32 @@ mod tests {
     fn detects_degradation_for_downward_good_kpi() {
         // Drop rate goes up → degradation when upward_good = false.
         let a = adapter(15.0, 6000);
-        let r = analyze_kpi(&a, "drops", None, false, &scope(), &controls(), &Default::default())
-            .unwrap();
+        let r = analyze_kpi(
+            &a,
+            "drops",
+            None,
+            false,
+            &scope(),
+            &controls(),
+            &Default::default(),
+        )
+        .unwrap();
         assert_eq!(r.verdict, ImpactVerdict::Degradation);
     }
 
     #[test]
     fn flat_change_is_no_impact() {
         let a = adapter(0.0, 6000);
-        let r = analyze_kpi(&a, "thr", None, true, &scope(), &controls(), &Default::default())
-            .unwrap();
+        let r = analyze_kpi(
+            &a,
+            "thr",
+            None,
+            true,
+            &scope(),
+            &controls(),
+            &Default::default(),
+        )
+        .unwrap();
         assert_eq!(r.verdict, ImpactVerdict::NoImpact, "p={}", r.p_value);
     }
 
@@ -373,8 +411,16 @@ mod tests {
                 .collect();
             Some(TimeSeries::new(0, 60, values))
         });
-        let r = analyze_kpi(&a, "thr", None, true, &scope(), &controls(), &Default::default())
-            .unwrap();
+        let r = analyze_kpi(
+            &a,
+            "thr",
+            None,
+            true,
+            &scope(),
+            &controls(),
+            &Default::default(),
+        )
+        .unwrap();
         assert_eq!(
             r.verdict,
             ImpactVerdict::NoImpact,
@@ -394,21 +440,28 @@ mod tests {
                 .map(|k| {
                     let minute = k * 60;
                     // Deterministic pseudo-noise, sd ≈ 2.
-                    let noise = (((k * 2654435761 + node.0 as u64 * 97) % 1000) as f64
-                        / 1000.0
+                    let noise = (((k * 2654435761 + node.0 as u64 * 97) % 1000) as f64 / 1000.0
                         - 0.5)
                         * 7.0;
-                    let shift =
-                        if node.0 < 100 && minute >= change_minute { 1.2 } else { 0.0 };
+                    let shift = if node.0 < 100 && minute >= change_minute {
+                        1.2
+                    } else {
+                        0.0
+                    };
                     base + noise + shift
                 })
                 .collect();
             Some(TimeSeries::new(0, 60, values))
         });
-        let fine_only = AnalysisOptions { timescales: vec![1], ..Default::default() };
-        let multi = AnalysisOptions { timescales: vec![1, 24], ..Default::default() };
-        let fine =
-            analyze_kpi(&a, "thr", None, true, &scope(), &controls(), &fine_only).unwrap();
+        let fine_only = AnalysisOptions {
+            timescales: vec![1],
+            ..Default::default()
+        };
+        let multi = AnalysisOptions {
+            timescales: vec![1, 24],
+            ..Default::default()
+        };
+        let fine = analyze_kpi(&a, "thr", None, true, &scope(), &controls(), &fine_only).unwrap();
         let both = analyze_kpi(&a, "thr", None, true, &scope(), &controls(), &multi).unwrap();
         assert!(
             both.p_value <= fine.p_value,

@@ -40,15 +40,10 @@ pub fn derive_control_group(
 ) -> Vec<NodeId> {
     let study_set: BTreeSet<NodeId> = study.iter().copied().collect();
     let mut candidates: BTreeSet<NodeId> = match selection {
-        ControlSelection::FirstTier => {
-            study.iter().flat_map(|&n| topology.ring(n, 1)).collect()
-        }
-        ControlSelection::SecondTier => {
-            study.iter().flat_map(|&n| topology.ring(n, 2)).collect()
-        }
+        ControlSelection::FirstTier => study.iter().flat_map(|&n| topology.ring(n, 1)).collect(),
+        ControlSelection::SecondTier => study.iter().flat_map(|&n| topology.ring(n, 2)).collect(),
         ControlSelection::SecondMinusFirst => {
-            let first: BTreeSet<NodeId> =
-                study.iter().flat_map(|&n| topology.ring(n, 1)).collect();
+            let first: BTreeSet<NodeId> = study.iter().flat_map(|&n| topology.ring(n, 1)).collect();
             study
                 .iter()
                 .flat_map(|&n| topology.ring(n, 2))
@@ -56,8 +51,10 @@ pub fn derive_control_group(
                 .collect()
         }
         ControlSelection::SameAttribute(attr) => {
-            let study_values: BTreeSet<String> =
-                study.iter().filter_map(|&n| inventory.group_key_of(n, attr)).collect();
+            let study_values: BTreeSet<String> = study
+                .iter()
+                .filter_map(|&n| inventory.group_key_of(n, attr))
+                .collect();
             inventory
                 .ids()
                 .filter(|&n| {
@@ -71,10 +68,14 @@ pub fn derive_control_group(
     };
     candidates.retain(|n| !study_set.contains(n));
     if let Some(attr) = require_attr {
-        let study_values: BTreeSet<String> =
-            study.iter().filter_map(|&n| inventory.group_key_of(n, attr)).collect();
+        let study_values: BTreeSet<String> = study
+            .iter()
+            .filter_map(|&n| inventory.group_key_of(n, attr))
+            .collect();
         candidates.retain(|&n| {
-            inventory.group_key_of(n, attr).is_some_and(|v| study_values.contains(&v))
+            inventory
+                .group_key_of(n, attr)
+                .is_some_and(|v| study_values.contains(&v))
         });
     }
     candidates.into_iter().collect()

@@ -180,7 +180,11 @@ impl Parser {
             Some(Token::Minus) => {
                 // Unary minus: -x ≡ 0 - x.
                 let inner = self.factor()?;
-                Ok(Expr::Binary(Box::new(Expr::Number(0.0)), Op::Sub, Box::new(inner)))
+                Ok(Expr::Binary(
+                    Box::new(Expr::Number(0.0)),
+                    Op::Sub,
+                    Box::new(inner),
+                ))
             }
             Some(Token::LParen) => {
                 let inner = self.expr()?;
@@ -189,7 +193,9 @@ impl Parser {
                     _ => Err(CornetError::Parse("missing ')' in equation".into())),
                 }
             }
-            other => Err(CornetError::Parse(format!("unexpected token {other:?} in equation"))),
+            other => Err(CornetError::Parse(format!(
+                "unexpected token {other:?} in equation"
+            ))),
         }
     }
 }
@@ -208,7 +214,10 @@ impl Equation {
                 "trailing tokens in equation {source:?}"
             )));
         }
-        Ok(Equation { source: source.to_owned(), root })
+        Ok(Equation {
+            source: source.to_owned(),
+            root,
+        })
     }
 
     /// Counter names the equation references, sorted and deduplicated.
@@ -294,17 +303,20 @@ mod tests {
     }
 
     fn counters(pairs: &[(&str, Vec<f64>)]) -> BTreeMap<String, TimeSeries> {
-        pairs.iter().map(|(n, v)| (n.to_string(), series(v.clone()))).collect()
+        pairs
+            .iter()
+            .map(|(n, v)| (n.to_string(), series(v.clone())))
+            .collect()
     }
 
     #[test]
     fn parse_and_evaluate_drop_rate() {
         // The classic cause-code drop rate.
-        let eq = Equation::parse(
-            "100 * (drop_radio + drop_handover) / (attempts + 1)",
-        )
-        .unwrap();
-        assert_eq!(eq.counters(), vec!["attempts", "drop_handover", "drop_radio"]);
+        let eq = Equation::parse("100 * (drop_radio + drop_handover) / (attempts + 1)").unwrap();
+        assert_eq!(
+            eq.counters(),
+            vec!["attempts", "drop_handover", "drop_radio"]
+        );
         let c = counters(&[
             ("drop_radio", vec![1.0, 2.0]),
             ("drop_handover", vec![1.0, 0.0]),
@@ -318,15 +330,27 @@ mod tests {
     fn precedence_and_parentheses() {
         let c = counters(&[("a", vec![2.0]), ("b", vec![3.0]), ("d", vec![4.0])]);
         assert_eq!(
-            Equation::parse("a + b * d").unwrap().evaluate(&c).unwrap().values,
+            Equation::parse("a + b * d")
+                .unwrap()
+                .evaluate(&c)
+                .unwrap()
+                .values,
             vec![14.0]
         );
         assert_eq!(
-            Equation::parse("(a + b) * d").unwrap().evaluate(&c).unwrap().values,
+            Equation::parse("(a + b) * d")
+                .unwrap()
+                .evaluate(&c)
+                .unwrap()
+                .values,
             vec![20.0]
         );
         assert_eq!(
-            Equation::parse("-a + b").unwrap().evaluate(&c).unwrap().values,
+            Equation::parse("-a + b")
+                .unwrap()
+                .evaluate(&c)
+                .unwrap()
+                .values,
             vec![1.0]
         );
     }
@@ -374,7 +398,10 @@ mod tests {
 
     #[test]
     fn constant_equation_has_empty_grid() {
-        let out = Equation::parse("42").unwrap().evaluate(&BTreeMap::new()).unwrap();
+        let out = Equation::parse("42")
+            .unwrap()
+            .evaluate(&BTreeMap::new())
+            .unwrap();
         assert!(out.is_empty(), "no counters → no grid → empty series");
     }
 }

@@ -87,11 +87,17 @@ pub fn monitor_feeds(
     for &node in nodes {
         for &kpi in kpis {
             let Some(series) = adapter.series(node, kpi, None) else {
-                alerts.push(FeedAlert::MissingStream { node, kpi: kpi.to_owned() });
+                alerts.push(FeedAlert::MissingStream {
+                    node,
+                    kpi: kpi.to_owned(),
+                });
                 continue;
             };
             if series.is_empty() {
-                alerts.push(FeedAlert::MissingStream { node, kpi: kpi.to_owned() });
+                alerts.push(FeedAlert::MissingStream {
+                    node,
+                    kpi: kpi.to_owned(),
+                });
                 continue;
             }
             let missing = series.missing_fraction();
@@ -103,8 +109,7 @@ pub fn monitor_feeds(
                 });
             }
             let last_sample = series.time_of(series.len() - 1);
-            if expected_until > last_sample
-                && expected_until - last_sample > config.max_lag_minutes
+            if expected_until > last_sample && expected_until - last_sample > config.max_lag_minutes
             {
                 alerts.push(FeedAlert::StaleFeed {
                     node,
@@ -112,8 +117,12 @@ pub fn monitor_feeds(
                     lag_minutes: expected_until - last_sample,
                 });
             }
-            let present: Vec<f64> =
-                series.values.iter().copied().filter(|v| !v.is_nan()).collect();
+            let present: Vec<f64> = series
+                .values
+                .iter()
+                .copied()
+                .filter(|v| !v.is_nan())
+                .collect();
             if present.len() >= config.frozen_min_samples
                 && present.windows(2).all(|w| w[0] == w[1])
             {
@@ -141,7 +150,9 @@ mod tests {
     #[test]
     fn healthy_feed_raises_nothing() {
         let a = ClosureAdapter(|node: NodeId, _: &str, _: Option<usize>| {
-            let values = (0..48).map(|k| 100.0 + (k + node.0 as u64) as f64).collect();
+            let values = (0..48)
+                .map(|k| 100.0 + (k + node.0 as u64) as f64)
+                .collect();
             Some(TimeSeries::new(0, 60, values))
         });
         let alerts = monitor_feeds(&a, &[NodeId(0), NodeId(1)], &["thr"], 47 * 60, &config());
@@ -165,8 +176,9 @@ mod tests {
     #[test]
     fn excessive_gaps_detected() {
         let a = ClosureAdapter(|_: NodeId, _: &str, _: Option<usize>| {
-            let values: Vec<f64> =
-                (0..40).map(|k| if k % 3 == 0 { f64::NAN } else { k as f64 }).collect();
+            let values: Vec<f64> = (0..40)
+                .map(|k| if k % 3 == 0 { f64::NAN } else { k as f64 })
+                .collect();
             Some(TimeSeries::new(0, 60, values))
         });
         let alerts = monitor_feeds(&a, &[NodeId(0)], &["thr"], 0, &config());
@@ -182,7 +194,9 @@ mod tests {
         });
         // Series ends at minute 23*60; expect data until 3 days later.
         let alerts = monitor_feeds(&a, &[NodeId(0)], &["thr"], 23 * 60 + 3 * 1440, &config());
-        assert!(alerts.iter().any(|a| matches!(a, FeedAlert::StaleFeed { lag_minutes, .. } if *lag_minutes >= 2 * 1440)));
+        assert!(alerts.iter().any(
+            |a| matches!(a, FeedAlert::StaleFeed { lag_minutes, .. } if *lag_minutes >= 2 * 1440)
+        ));
     }
 
     #[test]
@@ -202,6 +216,9 @@ mod tests {
             Some(TimeSeries::new(0, 60, vec![7.0; 5]))
         });
         let alerts = monitor_feeds(&a, &[NodeId(0)], &["ctr"], 4 * 60, &config());
-        assert!(alerts.is_empty(), "too few samples to call it frozen: {alerts:?}");
+        assert!(
+            alerts.is_empty(),
+            "too few samples to call it frozen: {alerts:?}"
+        );
     }
 }

@@ -41,12 +41,22 @@ pub struct KpiQuery {
 impl KpiQuery {
     /// Monitoring query with no expectation.
     pub fn monitor(kpi: impl Into<String>, upward_good: bool) -> Self {
-        KpiQuery { kpi: kpi.into(), upward_good, expected: Expectation::Any, carrier: None }
+        KpiQuery {
+            kpi: kpi.into(),
+            upward_good,
+            expected: Expectation::Any,
+            carrier: None,
+        }
     }
 
     /// Query expecting a specific outcome.
     pub fn expecting(kpi: impl Into<String>, upward_good: bool, expected: Expectation) -> Self {
-        KpiQuery { kpi: kpi.into(), upward_good, expected, carrier: None }
+        KpiQuery {
+            kpi: kpi.into(),
+            upward_good,
+            expected,
+            carrier: None,
+        }
     }
 }
 
@@ -110,7 +120,11 @@ mod tests {
     fn standard_rule_defaults() {
         let r = VerificationRule::standard(
             "upgrade-check",
-            vec![KpiQuery::expecting("voice_quality", true, Expectation::Improve)],
+            vec![KpiQuery::expecting(
+                "voice_quality",
+                true,
+                Expectation::Improve,
+            )],
         );
         assert_eq!(r.control, ControlSelection::FirstTier);
         assert_eq!(r.timescales, vec![1, 24]);

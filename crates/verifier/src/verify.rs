@@ -71,7 +71,11 @@ impl VerificationReport {
             for lv in &kr.per_location {
                 if let Ok(a) = &lv.analysis {
                     if !expectation_met(kr.query.expected, a.verdict) {
-                        out.push((kr.query.kpi.as_str(), lv.attribute.as_str(), lv.value.as_str()));
+                        out.push((
+                            kr.query.kpi.as_str(),
+                            lv.attribute.as_str(),
+                            lv.value.as_str(),
+                        ));
                     }
                 }
             }
@@ -133,7 +137,8 @@ pub fn verify_rule(
     }
 
     // Evaluate KPI queries in parallel.
-    let mut kpi_results: Vec<Option<Result<KpiReport>>> = (0..rule.kpis.len()).map(|_| None).collect();
+    let mut kpi_results: Vec<Option<Result<KpiReport>>> =
+        (0..rule.kpis.len()).map(|_| None).collect();
     crossbeam::scope(|s| {
         let mut handles = Vec::new();
         for query in &rule.kpis {
@@ -168,7 +173,12 @@ pub fn verify_rule(
                     })
                     .collect();
                 let meets_expectation = expectation_met(query.expected, overall.verdict);
-                Ok(KpiReport { query: query.clone(), overall, per_location, meets_expectation })
+                Ok(KpiReport {
+                    query: query.clone(),
+                    overall,
+                    per_location,
+                    meets_expectation,
+                })
             }));
         }
         for (i, h) in handles.into_iter().enumerate() {
@@ -181,7 +191,11 @@ pub fn verify_rule(
     for r in kpi_results {
         kpis.push(r.expect("result present")?);
     }
-    let decision = if kpis.iter().all(|k| k.meets_expectation) { GoNoGo::Go } else { GoNoGo::NoGo };
+    let decision = if kpis.iter().all(|k| k.meets_expectation) {
+        GoNoGo::Go
+    } else {
+        GoNoGo::NoGo
+    };
     Ok(VerificationReport {
         rule: rule.name.clone(),
         kpis,
@@ -197,11 +211,19 @@ pub fn verdict_matches(expected_direction: i8, analysis: &KpiAnalysis, upward_go
         0 => analysis.verdict == ImpactVerdict::NoImpact,
         1 => {
             analysis.verdict
-                == if upward_good { ImpactVerdict::Improvement } else { ImpactVerdict::Degradation }
+                == if upward_good {
+                    ImpactVerdict::Improvement
+                } else {
+                    ImpactVerdict::Degradation
+                }
         }
         _ => {
             analysis.verdict
-                == if upward_good { ImpactVerdict::Degradation } else { ImpactVerdict::Improvement }
+                == if upward_good {
+                    ImpactVerdict::Degradation
+                } else {
+                    ImpactVerdict::Improvement
+                }
         }
     }
 }
@@ -210,7 +232,7 @@ pub fn verdict_matches(expected_direction: i8, analysis: &KpiAnalysis, upward_go
 mod tests {
     use super::*;
     use crate::adapter::ClosureAdapter;
-    
+
     use crate::rules::VerificationRule;
     use cornet_stats::TimeSeries;
     use cornet_types::{Attributes, NfType, NodeId};
@@ -322,12 +344,18 @@ mod tests {
         let (inv, topo) = fixture();
         let rule = VerificationRule::standard(
             "multi",
-            (0..6).map(|i| KpiQuery::monitor(format!("kpi{i}"), true)).collect(),
+            (0..6)
+                .map(|i| KpiQuery::monitor(format!("kpi{i}"), true))
+                .collect(),
         );
         let a = adapter(5.0, 0.0);
         let report = verify_rule(&a, &rule, &scope(), &inv, &topo).unwrap();
         assert_eq!(report.kpis.len(), 6);
-        assert_eq!(report.decision, GoNoGo::Go, "monitor-only queries always pass");
+        assert_eq!(
+            report.decision,
+            GoNoGo::Go,
+            "monitor-only queries always pass"
+        );
         assert!(report.duration > Duration::ZERO);
     }
 
@@ -343,7 +371,10 @@ mod tests {
         };
         assert!(verdict_matches(1, &analysis, true));
         assert!(!verdict_matches(-1, &analysis, true));
-        assert!(verdict_matches(-1, &analysis, false), "up move on a downward-good KPI");
+        assert!(
+            verdict_matches(-1, &analysis, false),
+            "up move on a downward-good KPI"
+        );
         assert!(!verdict_matches(0, &analysis, true));
     }
 }

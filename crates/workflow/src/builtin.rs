@@ -27,8 +27,12 @@ pub fn software_upgrade_workflow(catalog: &Catalog) -> Workflow {
     let start = d.start();
     let hc = d.task("health_check").expect("catalog has health_check");
     let healthy = d.decision("healthy");
-    let up = d.task("software_upgrade").expect("catalog has software_upgrade");
-    let cmp = d.task("pre_post_comparison").expect("catalog has pre_post_comparison");
+    let up = d
+        .task("software_upgrade")
+        .expect("catalog has software_upgrade");
+    let cmp = d
+        .task("pre_post_comparison")
+        .expect("catalog has pre_post_comparison");
     let passed = d.decision("passed");
     let rb = d.task("roll_back").expect("catalog has roll_back");
     let end_ok = d.end();
@@ -58,7 +62,9 @@ pub fn config_change_workflow(catalog: &Catalog) -> Workflow {
     let hc = d.task("health_check").expect("catalog has health_check");
     let healthy = d.decision("healthy");
     let cc = d.task("config_change").expect("catalog has config_change");
-    let cmp = d.task("pre_post_comparison").expect("catalog has pre_post_comparison");
+    let cmp = d
+        .task("pre_post_comparison")
+        .expect("catalog has pre_post_comparison");
     let passed = d.decision("passed");
     let end_ok = d.end();
     let end_fail = d.end();
@@ -83,7 +89,9 @@ pub fn vce_download_workflow(catalog: &Catalog) -> Workflow {
     let start = d.start();
     let hc = d.task("health_check").expect("catalog has health_check");
     let healthy = d.decision("healthy");
-    let up = d.task("software_upgrade").expect("catalog has software_upgrade");
+    let up = d
+        .task("software_upgrade")
+        .expect("catalog has software_upgrade");
     let end_ok = d.end();
     let end_skip = d.end();
     d.connect(start, hc)
@@ -106,10 +114,16 @@ pub fn vce_activate_workflow(catalog: &Catalog) -> Workflow {
     let start = d.start();
     let hc = d.task("health_check").expect("catalog has health_check");
     let healthy = d.decision("healthy");
-    let redirect = d.task("traffic_redirect").expect("catalog has traffic_redirect");
-    let cmp = d.task("pre_post_comparison").expect("catalog has pre_post_comparison");
+    let redirect = d
+        .task("traffic_redirect")
+        .expect("catalog has traffic_redirect");
+    let cmp = d
+        .task("pre_post_comparison")
+        .expect("catalog has pre_post_comparison");
     let passed = d.decision("passed");
-    let restore = d.task("traffic_restore").expect("catalog has traffic_restore");
+    let restore = d
+        .task("traffic_restore")
+        .expect("catalog has traffic_restore");
     let rb = d.task("roll_back").expect("catalog has roll_back");
     let end_ok = d.end();
     let end_unhealthy = d.end();
@@ -136,8 +150,12 @@ pub fn sdwan_upgrade_workflow(catalog: &Catalog) -> Workflow {
     let start = d.start();
     let pre = d.task("health_check").expect("catalog has health_check");
     let healthy = d.decision("healthy");
-    let up = d.task("software_upgrade").expect("catalog has software_upgrade");
-    let post = d.task("pre_post_comparison").expect("catalog has pre_post_comparison");
+    let up = d
+        .task("software_upgrade")
+        .expect("catalog has software_upgrade");
+    let post = d
+        .task("pre_post_comparison")
+        .expect("catalog has pre_post_comparison");
     let passed = d.decision("passed");
     let rb = d.task("roll_back").expect("catalog has roll_back");
     let end_ok = d.end();
@@ -165,11 +183,21 @@ pub fn schedule_planning_workflow(catalog: &Catalog) -> Workflow {
     d.output("schedule", ParamType::Map);
     d.output("makespan", ParamType::Int);
     let start = d.start();
-    let conflicts = d.task("detect_conflicts").expect("catalog has detect_conflicts");
-    let topo = d.task("extract_topology").expect("catalog has extract_topology");
-    let inv = d.task("extract_inventory").expect("catalog has extract_inventory");
-    let translate = d.task("model_translation").expect("catalog has model_translation");
-    let solve = d.task("optimization_solver").expect("catalog has optimization_solver");
+    let conflicts = d
+        .task("detect_conflicts")
+        .expect("catalog has detect_conflicts");
+    let topo = d
+        .task("extract_topology")
+        .expect("catalog has extract_topology");
+    let inv = d
+        .task("extract_inventory")
+        .expect("catalog has extract_inventory");
+    let translate = d
+        .task("model_translation")
+        .expect("catalog has model_translation");
+    let solve = d
+        .task("optimization_solver")
+        .expect("catalog has optimization_solver");
     let end = d.end();
     d.connect(start, conflicts)
         .connect(conflicts, topo)
@@ -192,10 +220,16 @@ pub fn impact_verification_workflow(catalog: &Catalog) -> Workflow {
     let start = d.start();
     let scope = d.task("change_scope").expect("catalog has change_scope");
     let kpi = d.task("extract_kpi").expect("catalog has extract_kpi");
-    let topo = d.task("extract_topology_verify").expect("catalog has extract_topology_verify");
-    let inv = d.task("extract_inventory_verify").expect("catalog has extract_inventory_verify");
+    let topo = d
+        .task("extract_topology_verify")
+        .expect("catalog has extract_topology_verify");
+    let inv = d
+        .task("extract_inventory_verify")
+        .expect("catalog has extract_inventory_verify");
     let agg = d.task("aggregate_kpi").expect("catalog has aggregate_kpi");
-    let detect = d.task("impact_detection").expect("catalog has impact_detection");
+    let detect = d
+        .task("impact_detection")
+        .expect("catalog has impact_detection");
     let end = d.end();
     d.connect(start, scope)
         .connect(scope, kpi)
@@ -250,7 +284,10 @@ mod tests {
         let w2 = vce_activate_workflow(&cat);
         assert_ne!(w1.name, w2.name);
         assert!(w1.blocks().contains(&"software_upgrade"));
-        assert!(!w2.blocks().contains(&"software_upgrade"), "activation pass does not install");
+        assert!(
+            !w2.blocks().contains(&"software_upgrade"),
+            "activation pass does not install"
+        );
         assert!(w2.blocks().contains(&"traffic_redirect"));
     }
 }

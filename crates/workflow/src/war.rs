@@ -63,7 +63,11 @@ impl WarArtifact {
         let block_endpoints = wf
             .blocks()
             .iter()
-            .filter_map(|b| catalog.get(b).map(|s| (s.name.clone(), s.endpoint.path.clone())))
+            .filter_map(|b| {
+                catalog
+                    .get(b)
+                    .map(|s| (s.name.clone(), s.endpoint.path.clone()))
+            })
             .collect();
         let manifest = WarManifest {
             workflow: wf.name.clone(),
@@ -71,7 +75,10 @@ impl WarArtifact {
             digest,
             block_endpoints,
         };
-        Ok(WarArtifact { manifest, payload: Bytes::from(payload) })
+        Ok(WarArtifact {
+            manifest,
+            payload: Bytes::from(payload),
+        })
     }
 
     /// Unpack the workflow graph from the artifact.
@@ -94,8 +101,14 @@ mod tests {
         let war = WarArtifact::package(&wf, &cat).unwrap();
         assert_eq!(war.unpack().unwrap(), wf);
         assert!(war.manifest.rest_api.starts_with("/wf/software_upgrade/"));
-        assert!(war.manifest.block_endpoints.contains_key("software_upgrade"));
-        assert_eq!(war.manifest.block_endpoints["health_check"], "/bb/health_check");
+        assert!(war
+            .manifest
+            .block_endpoints
+            .contains_key("software_upgrade"));
+        assert_eq!(
+            war.manifest.block_endpoints["health_check"],
+            "/bb/health_check"
+        );
     }
 
     #[test]

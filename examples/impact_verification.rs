@@ -69,7 +69,11 @@ fn main() {
         });
     }
 
-    let gen = KpiGenerator { seed: 21, noise: 0.02, ..Default::default() };
+    let gen = KpiGenerator {
+        seed: 21,
+        noise: 0.02,
+        ..Default::default()
+    };
     let adapter = {
         let gen = gen.clone();
         let impacts = impacts.clone();
@@ -125,7 +129,11 @@ fn main() {
             kr.overall.relative_shift * 100.0,
             kr.overall.decisive_timescale,
             kr.query.expected,
-            if kr.meets_expectation { "ok" } else { "VIOLATED" },
+            if kr.meets_expectation {
+                "ok"
+            } else {
+                "VIOLATED"
+            },
         );
         for lv in &kr.per_location {
             if let Ok(a) = &lv.analysis {

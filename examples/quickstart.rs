@@ -16,7 +16,10 @@ fn main() {
     let catalog = builtin_catalog();
     println!("catalog: {} building blocks", catalog.len());
     for block in catalog.iter().take(4) {
-        println!("  {:22} nf_agnostic={} {}", block.name, block.nf_agnostic, block.function);
+        println!(
+            "  {:22} nf_agnostic={} {}",
+            block.name, block.nf_agnostic, block.function
+        );
     }
     println!("  ...");
 
@@ -50,7 +53,10 @@ fn main() {
 
     // 4. Package into a WAR artifact with a dynamically generated REST API.
     let war = WarArtifact::package(&wf, &catalog).expect("validated workflow packages");
-    println!("deployed at {} (digest {})", war.manifest.rest_api, war.manifest.digest);
+    println!(
+        "deployed at {} (digest {})",
+        war.manifest.rest_api, war.manifest.digest
+    );
 
     // 5. Execute against a simulated vCE router.
     let testbed = Testbed::new(TestbedConfig::default());
@@ -64,9 +70,15 @@ fn main() {
 
     println!("\nexecution: {status:?}");
     for entry in engine.log() {
-        println!("  {:22} {:?} in {:?}", entry.block, entry.status, entry.duration);
+        println!(
+            "  {:22} {:?} in {:?}",
+            entry.block, entry.status, entry.duration
+        );
     }
     let state = testbed.state("vce-0001").unwrap();
-    println!("\nvce-0001 is now on {} (reboots: {})", state.sw_version, state.reboots);
+    println!(
+        "\nvce-0001 is now on {} (reboots: {})",
+        state.sw_version, state.reboots
+    );
     assert_eq!(state.sw_version, "17.3");
 }

@@ -11,8 +11,7 @@
 
 use cornet::netsim::{Network, NetworkConfig};
 use cornet::planner::{
-    heuristic_schedule, plan, translate, HeuristicConfig, PlanIntent, PlanOptions,
-    TranslateOptions,
+    heuristic_schedule, plan, translate, HeuristicConfig, PlanIntent, PlanOptions, TranslateOptions,
 };
 use cornet::types::{ConflictEntry, ConflictTable, NfType, NodeId, SimTime};
 use std::time::Instant;
@@ -101,7 +100,10 @@ fn main() {
     // ---------- Appendix C heuristic at 20K+ nodes ----------
     let big = Network::generate_ran(&NetworkConfig::default().with_target_nodes(20_000));
     let big_nodes = ran_nodes(&big);
-    println!("\n=== Appendix C heuristic: {} RAN nodes ===", big_nodes.len());
+    println!(
+        "\n=== Appendix C heuristic: {} RAN nodes ===",
+        big_nodes.len()
+    );
 
     // Busy periods for a random slice of nodes (ticketed work elsewhere).
     let mut conflicts = ConflictTable::new();
@@ -122,7 +124,11 @@ fn main() {
         &big_nodes,
         &conflicts,
         &window,
-        &HeuristicConfig { slot_capacity: 900, iterations: 6, seed: 4 },
+        &HeuristicConfig {
+            slot_capacity: 900,
+            iterations: 6,
+            seed: 4,
+        },
     );
     let elapsed = started.elapsed();
     println!(
@@ -139,6 +145,11 @@ fn main() {
     for slot_idx in 0..10u32 {
         let slot = cornet::types::Timeslot(slot_idx + 1);
         let count = schedule.nodes_in_slot(slot).len();
-        println!("  slot {:2}: {:5} nodes  {}", slot.0, count, "#".repeat(count / 25));
+        println!(
+            "  slot {:2}: {:5} nodes  {}",
+            slot.0,
+            count,
+            "#".repeat(count / 25)
+        );
     }
 }

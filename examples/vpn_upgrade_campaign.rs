@@ -43,12 +43,19 @@ fn main() {
     // A VPN cloud: 48 vCE routers on shared physical servers.
     let net = Network::generate_cloud(7, 48, 2);
     let vces: Vec<NodeId> = net.nodes_of_type(NfType::VceRouter);
-    println!("VPN cloud: {} vCE routers on {} servers", vces.len(),
-        net.nodes_of_type(NfType::PhysicalServer).len());
+    println!(
+        "VPN cloud: {} vCE routers on {} servers",
+        vces.len(),
+        net.nodes_of_type(NfType::PhysicalServer).len()
+    );
 
     // Testbed with a 2% management-plane (SSH) failure rate — §5.1's
     // observed production failure mode.
-    let testbed = Testbed::new(TestbedConfig { seed: 17, ssh_failure_rate: 0.02, unhealthy_rate: 0.0 });
+    let testbed = Testbed::new(TestbedConfig {
+        seed: 17,
+        ssh_failure_rate: 0.02,
+        unhealthy_rate: 0.0,
+    });
     for &v in &vces {
         testbed.instantiate(&net.inventory.record(v).name, NfType::VceRouter, "16.9");
     }
@@ -60,7 +67,9 @@ fn main() {
 
     // --- pass 1: download & install everywhere (non-disruptive, no
     //     scheduling constraints beyond a nightly batch).
-    let w1 = cornet.deploy_workflow(&vce_download_workflow(&cornet.catalog)).unwrap();
+    let w1 = cornet
+        .deploy_workflow(&vce_download_workflow(&cornet.catalog))
+        .unwrap();
     let mut install_schedule = cornet::types::Schedule::default();
     for (i, &v) in vces.iter().enumerate() {
         install_schedule
@@ -113,7 +122,9 @@ fn main() {
         plan.discovery_time
     );
 
-    let w2 = cornet.deploy_workflow(&vce_activate_workflow(&cornet.catalog)).unwrap();
+    let w2 = cornet
+        .deploy_workflow(&vce_activate_workflow(&cornet.catalog))
+        .unwrap();
     let r2 = cornet
         .dispatch(&w2, &plan.schedule, 8, |n| {
             inputs_for(&inv.record(n).name, "17.3", Some("16.9"))
@@ -130,7 +141,10 @@ fn main() {
     let on_target = vces
         .iter()
         .filter(|&&v| {
-            testbed.state(&inv.record(v).name).map(|s| s.sw_version == "17.3").unwrap_or(false)
+            testbed
+                .state(&inv.record(v).name)
+                .map(|s| s.sw_version == "17.3")
+                .unwrap_or(false)
         })
         .count();
     println!("\ncampaign result: {on_target}/{} vCEs on 17.3", vces.len());

@@ -12,9 +12,7 @@
 
 use cornet::catalog::builtin_catalog;
 use cornet::netsim::{Network, NetworkConfig};
-use cornet::planner::{
-    heuristic_schedule, lint, plan, HeuristicConfig, PlanIntent, PlanOptions,
-};
+use cornet::planner::{heuristic_schedule, lint, plan, HeuristicConfig, PlanIntent, PlanOptions};
 use cornet::types::{ConflictTable, NfType, NodeId};
 use cornet::workflow::{validate, WarArtifact};
 use std::collections::BTreeMap;
@@ -52,11 +50,17 @@ fn parse_flags(args: &[String]) -> BTreeMap<String, String> {
 
 fn build_network(spec: &str) -> Result<Network, String> {
     let (kind, size) = spec.split_once(':').unwrap_or((spec, "200"));
-    let size: usize = size.parse().map_err(|_| format!("bad network size in {spec:?}"))?;
+    let size: usize = size
+        .parse()
+        .map_err(|_| format!("bad network size in {spec:?}"))?;
     match kind {
-        "ran" => Ok(Network::generate_ran(&NetworkConfig::default().with_target_nodes(size))),
+        "ran" => Ok(Network::generate_ran(
+            &NetworkConfig::default().with_target_nodes(size),
+        )),
         "cloud" => Ok(Network::generate_cloud(1, size, 3)),
-        other => Err(format!("unknown network kind {other:?} (want ran: or cloud:)")),
+        other => Err(format!(
+            "unknown network kind {other:?} (want ran: or cloud:)"
+        )),
     }
 }
 
@@ -111,7 +115,8 @@ fn cmd_workflows() -> ExitCode {
             wf.nodes.len(),
             wf.blocks().len(),
             rep.is_valid(),
-            war.map(|w| w.manifest.rest_api).unwrap_or_else(|e| format!("({e})")),
+            war.map(|w| w.manifest.rest_api)
+                .unwrap_or_else(|e| format!("({e})")),
         );
     }
     ExitCode::SUCCESS
@@ -125,7 +130,12 @@ fn cmd_lint(flags: &BTreeMap<String, String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let net = match build_network(flags.get("network").map(String::as_str).unwrap_or("ran:200")) {
+    let net = match build_network(
+        flags
+            .get("network")
+            .map(String::as_str)
+            .unwrap_or("ran:200"),
+    ) {
         Ok(n) => n,
         Err(e) => {
             eprintln!("error: {e}");
@@ -162,7 +172,12 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let net = match build_network(flags.get("network").map(String::as_str).unwrap_or("ran:200")) {
+    let net = match build_network(
+        flags
+            .get("network")
+            .map(String::as_str)
+            .unwrap_or("ran:200"),
+    ) {
         Ok(n) => n,
         Err(e) => {
             eprintln!("error: {e}");
@@ -209,7 +224,10 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> ExitCode {
             &nodes,
             &conflicts,
             &window,
-            &HeuristicConfig { slot_capacity, ..Default::default() },
+            &HeuristicConfig {
+                slot_capacity,
+                ..Default::default()
+            },
         );
         println!(
             "heuristic schedule: {} scheduled, {} leftovers, {} conflicts, makespan {}",
@@ -221,7 +239,10 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let secs: u64 = flags.get("time-limit").and_then(|s| s.parse().ok()).unwrap_or(5);
+    let secs: u64 = flags
+        .get("time-limit")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
     let options = PlanOptions {
         solver: cornet::solver::SolverConfig {
             time_limit: std::time::Duration::from_secs(secs),
@@ -285,7 +306,11 @@ fn cmd_demo() -> ExitCode {
             r.id
         })
         .collect();
-    let cornet = Cornet::new(net.inventory.clone(), net.topology, testbed_registry(tb.clone()));
+    let cornet = Cornet::new(
+        net.inventory.clone(),
+        net.topology,
+        testbed_registry(tb.clone()),
+    );
     let war = cornet
         .deploy_workflow(&software_upgrade_workflow(&cornet.catalog))
         .expect("builtin workflow deploys");
@@ -314,12 +339,19 @@ fn cmd_demo() -> ExitCode {
     let report = cornet
         .dispatch(&war, &result.schedule, 2, |node| {
             let mut g = GlobalState::new();
-            g.insert("node".into(), ParamValue::from(inv.record(node).name.clone()));
+            g.insert(
+                "node".into(),
+                ParamValue::from(inv.record(node).name.clone()),
+            );
             g.insert("software_version".into(), ParamValue::from("17.3"));
             g
         })
         .expect("dispatch runs");
-    println!("executed {} workflow instances, {} completed", report.instances.len(), report.completed());
+    println!(
+        "executed {} workflow instances, {} completed",
+        report.instances.len(),
+        report.completed()
+    );
     for &v in &vces {
         let name = &cornet.inventory.record(v).name;
         println!("  {name}: {}", tb.state(name).unwrap().sw_version);
@@ -329,7 +361,9 @@ fn cmd_demo() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { return usage() };
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
     let flags = parse_flags(&args[1..]);
     match cmd.as_str() {
         "catalog" => cmd_catalog(),

@@ -9,8 +9,7 @@ use cornet::netsim::{Network, Testbed, TestbedConfig};
 use cornet::orchestrator::{Engine, GlobalState, InstanceStatus};
 use cornet::types::{NfType, ParamValue};
 use cornet::workflow::builtin::{
-    sdwan_upgrade_workflow, software_upgrade_workflow, vce_activate_workflow,
-    vce_download_workflow,
+    sdwan_upgrade_workflow, software_upgrade_workflow, vce_activate_workflow, vce_download_workflow,
 };
 use cornet::workflow::WarArtifact;
 
@@ -57,7 +56,11 @@ fn upgrade_workflow_updates_all_six_vnfs() {
     for (name, _, _, new) in six_vnfs() {
         let mut engine = Engine::from_war(&war, reg.clone(), inputs(name, new)).unwrap();
         assert_eq!(engine.run().unwrap(), &InstanceStatus::Completed, "{name}");
-        assert_eq!(tb.state(name).unwrap().sw_version, new, "{name} version updated");
+        assert_eq!(
+            tb.state(name).unwrap().sw_version,
+            new,
+            "{name} version updated"
+        );
     }
 }
 
@@ -79,7 +82,9 @@ fn vce_two_workflow_pattern() {
     let mut e1 = Engine::from_war(&war1, reg.clone(), inputs("vce-0001", "17.3")).unwrap();
     assert_eq!(e1.run().unwrap(), &InstanceStatus::Completed);
     assert_eq!(tb.state("vce-0001").unwrap().sw_version, "17.3");
-    let prev = e1.state_var("previous_version").and_then(|v| v.as_str().map(String::from));
+    let prev = e1
+        .state_var("previous_version")
+        .and_then(|v| v.as_str().map(String::from));
 
     // Pass 2 (days later): health check, traffic redirect, verify, restore.
     let mut g = inputs("vce-0001", "17.3");
@@ -87,8 +92,14 @@ fn vce_two_workflow_pattern() {
     let mut e2 = Engine::from_war(&war2, reg, g).unwrap();
     assert_eq!(e2.run().unwrap(), &InstanceStatus::Completed);
     let state = tb.state("vce-0001").unwrap();
-    assert!(!state.traffic_redirected, "traffic restored after verification");
-    assert_eq!(state.sw_version, "17.3", "verification passed: no roll-back");
+    assert!(
+        !state.traffic_redirected,
+        "traffic restored after verification"
+    );
+    assert_eq!(
+        state.sw_version, "17.3",
+        "verification passed: no roll-back"
+    );
 }
 
 #[test]
@@ -118,7 +129,11 @@ fn sdwan_workflow_rolls_back_on_failed_postcheck() {
 fn ssh_failure_is_attributed_to_the_offending_block() {
     // §5.1: "we did notice failures of the software deployment. It was
     // because of SSH connectivity issue."
-    let tb = Testbed::new(TestbedConfig { seed: 11, ssh_failure_rate: 1.0, unhealthy_rate: 0.0 });
+    let tb = Testbed::new(TestbedConfig {
+        seed: 11,
+        ssh_failure_rate: 1.0,
+        unhealthy_rate: 0.0,
+    });
     tb.instantiate("vce-0001", NfType::VceRouter, "16.9");
     let reg = testbed_registry(tb);
     let net = Network::generate_cloud(1, 2, 1);

@@ -11,8 +11,7 @@ use cornet::orchestrator::GlobalState;
 use cornet::planner::PlanOptions;
 use cornet::types::{NfType, NodeId, ParamValue};
 use cornet::verifier::{
-    ChangeScope, ClosureAdapter, ControlSelection, Expectation, GoNoGo, KpiQuery,
-    VerificationRule,
+    ChangeScope, ClosureAdapter, ControlSelection, Expectation, GoNoGo, KpiQuery, VerificationRule,
 };
 use cornet::workflow::builtin::software_upgrade_workflow;
 
@@ -50,8 +49,11 @@ fn plan_dispatch_execute_verify_with_targeted_halt() {
         let rec = net.inventory.record(n);
         tb.instantiate(&rec.name, rec.nf_type, "19.3");
     }
-    let cornet =
-        Cornet::new(net.inventory.clone(), net.topology.clone(), testbed_registry(tb.clone()));
+    let cornet = Cornet::new(
+        net.inventory.clone(),
+        net.topology.clone(),
+        testbed_registry(tb.clone()),
+    );
 
     // --- plan (budgeted: first feasible within 2s is operationally fine).
     let options = PlanOptions {
@@ -65,22 +67,33 @@ fn plan_dispatch_execute_verify_with_targeted_halt() {
     let result = cornet.plan_from_json(INTENT, &enbs, &options).unwrap();
     assert!(result.schedule.leftovers.is_empty());
     assert_eq!(result.schedule.conflicts, 0);
-    let window = cornet::planner::PlanIntent::from_json(INTENT).unwrap().window().unwrap();
+    let window = cornet::planner::PlanIntent::from_json(INTENT)
+        .unwrap()
+        .window()
+        .unwrap();
 
     // --- dispatch + execute on the testbed.
-    let war = cornet.deploy_workflow(&software_upgrade_workflow(&cornet.catalog)).unwrap();
+    let war = cornet
+        .deploy_workflow(&software_upgrade_workflow(&cornet.catalog))
+        .unwrap();
     let inv = &cornet.inventory;
     let report = cornet
         .dispatch(&war, &result.schedule, 4, |node| {
             let mut g = GlobalState::new();
-            g.insert("node".into(), ParamValue::from(inv.record(node).name.clone()));
+            g.insert(
+                "node".into(),
+                ParamValue::from(inv.record(node).name.clone()),
+            );
             g.insert("software_version".into(), ParamValue::from("20.1"));
             g
         })
         .unwrap();
     assert_eq!(report.completed(), 16);
     for &n in &enbs {
-        assert_eq!(tb.state(&net.inventory.record(n).name).unwrap().sw_version, "20.1");
+        assert_eq!(
+            tb.state(&net.inventory.record(n).name).unwrap().sw_version,
+            "20.1"
+        );
     }
 
     // --- build the change scope from the actual schedule (staggered!).
@@ -125,7 +138,11 @@ fn plan_dispatch_execute_verify_with_targeted_halt() {
     // --- verify with per-hw_version location aggregation.
     let rule = VerificationRule {
         name: "sw-20.1".into(),
-        kpis: vec![KpiQuery::expecting("dl_throughput", true, Expectation::Improve)],
+        kpis: vec![KpiQuery::expecting(
+            "dl_throughput",
+            true,
+            Expectation::Improve,
+        )],
         location_attributes: vec!["hw_version".into()],
         control: ControlSelection::SameAttribute("market".into()),
         control_attr_filter: None,
@@ -136,16 +153,21 @@ fn plan_dispatch_execute_verify_with_targeted_halt() {
     // Control group: the market-mates — but everything changed. Use the
     // SIADs (unchanged transport) instead via explicit selection.
     let siads = net.nodes_of_type(NfType::Siad);
-    let rule = VerificationRule { control: ControlSelection::Explicit(siads), ..rule };
+    let rule = VerificationRule {
+        control: ControlSelection::Explicit(siads),
+        ..rule
+    };
 
     let report = cornet.verify(&adapter, &rule, &scope).unwrap();
     // Whether the aggregate passes depends on the HW mix; the targeted
     // halt is the real assertion:
     let problems = report.problem_locations();
     assert!(
-        problems.iter().any(|(kpi, attr, value)| *kpi == "dl_throughput"
-            && *attr == "hw_version"
-            && *value == "HW-C"),
+        problems
+            .iter()
+            .any(|(kpi, attr, value)| *kpi == "dl_throughput"
+                && *attr == "hw_version"
+                && *value == "HW-C"),
         "HW-C must be flagged: {problems:?}"
     );
     for (_, _, value) in &problems {
@@ -181,13 +203,21 @@ fn clean_rollout_gets_go() {
             magnitude: 0.15,
         })
         .collect();
-    let gen = KpiGenerator { seed: 5, noise: 0.02, ..Default::default() };
+    let gen = KpiGenerator {
+        seed: 5,
+        noise: 0.02,
+        ..Default::default()
+    };
     let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
         Some(gen.series(node, kpi, carrier, 400, &impacts))
     });
     let rule = VerificationRule {
         name: "clean".into(),
-        kpis: vec![KpiQuery::expecting("dl_throughput", true, Expectation::Improve)],
+        kpis: vec![KpiQuery::expecting(
+            "dl_throughput",
+            true,
+            Expectation::Improve,
+        )],
         location_attributes: vec!["market".into()],
         control: ControlSelection::Explicit(net.nodes_of_type(NfType::Siad)),
         control_attr_filter: None,

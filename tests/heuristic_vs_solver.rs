@@ -60,7 +60,9 @@ fn heuristic_makespan_close_to_solver_optimum() {
             granularity: Granularity::daily(),
             default_capacity: capacity,
         },
-        ConstraintRule::Consistency { attribute: "usid".into() },
+        ConstraintRule::Consistency {
+            attribute: "usid".into(),
+        },
     ];
     let solver_result = plan(
         &intent,
@@ -83,7 +85,11 @@ fn heuristic_makespan_close_to_solver_optimum() {
         &nodes,
         &ConflictTable::new(),
         &window(),
-        &HeuristicConfig { slot_capacity: capacity, iterations: 8, seed: 3 },
+        &HeuristicConfig {
+            slot_capacity: capacity,
+            iterations: 8,
+            seed: 3,
+        },
     );
 
     assert!(hs.leftovers.is_empty());
@@ -112,7 +118,11 @@ fn heuristic_scales_to_tens_of_thousands() {
         &nodes,
         &ConflictTable::new(),
         &SchedulingWindow::daily(SimTime::from_ymd_hm(2020, 7, 1, 0, 0), 60),
-        &HeuristicConfig { slot_capacity: 400, iterations: 4, seed: 1 },
+        &HeuristicConfig {
+            slot_capacity: 400,
+            iterations: 4,
+            seed: 1,
+        },
     );
     let elapsed = started.elapsed();
     assert_eq!(hs.scheduled_count() + hs.leftovers.len(), nodes.len());
@@ -129,7 +139,11 @@ fn heuristic_respects_usid_and_capacity_at_scale() {
         &nodes,
         &ConflictTable::new(),
         &SchedulingWindow::daily(SimTime::from_ymd_hm(2020, 7, 1, 0, 0), 40),
-        &HeuristicConfig { slot_capacity: 200, iterations: 3, seed: 2 },
+        &HeuristicConfig {
+            slot_capacity: 200,
+            iterations: 3,
+            seed: 2,
+        },
     );
     // Capacity.
     let mut per_slot = std::collections::BTreeMap::new();
@@ -142,8 +156,7 @@ fn heuristic_respects_usid_and_capacity_at_scale() {
         if let Some(&slot) = hs.assignments.get(&n) {
             let usid = net.inventory.group_key_of(n, "usid").unwrap();
             for &m in &nodes {
-                if m != n
-                    && net.inventory.group_key_of(m, "usid").as_deref() == Some(usid.as_str())
+                if m != n && net.inventory.group_key_of(m, "usid").as_deref() == Some(usid.as_str())
                 {
                     assert_eq!(hs.assignments.get(&m), Some(&slot));
                 }

@@ -87,17 +87,33 @@ fn listing1_translates_solves_and_emits_minizinc() {
     assert_eq!(translation.units.len(), 12);
     assert_eq!(translation.slots.len(), 4);
     let stats = translation.model.stats();
-    assert!(stats.by_kind["capacity"] >= 2, "ESA + per-pool capacities: {:?}", stats.by_kind);
-    assert_eq!(stats.by_kind["distinct_groups"], 1, "market concurrency via linking");
+    assert!(
+        stats.by_kind["capacity"] >= 2,
+        "ESA + per-pool capacities: {:?}",
+        stats.by_kind
+    );
+    assert_eq!(
+        stats.by_kind["distinct_groups"], 1,
+        "market concurrency via linking"
+    );
     assert_eq!(stats.by_kind["max_spread"], 1, "timezone uniformity");
     assert_eq!(stats.by_kind["non_interleaved"], 1, "market localize");
 
     // Emission: Listing 2 parity markers.
     let mzn = translation.model.to_minizinc();
-    assert!(mzn.contains("COMMON_ID_SCHEDULED"), "variable naming matches Listing 2");
-    assert!(mzn.contains("solve minimize"), "minimize-conflicts objective");
+    assert!(
+        mzn.contains("COMMON_ID_SCHEDULED"),
+        "variable naming matches Listing 2"
+    );
+    assert!(
+        mzn.contains("solve minimize"),
+        "minimize-conflicts objective"
+    );
     assert!(mzn.contains("% concurrency"), "labeled constraint sections");
-    assert!(mzn.lines().count() > 50, "these models are long (Appendix B)");
+    assert!(
+        mzn.lines().count() > 50,
+        "these models are long (Appendix B)"
+    );
 
     // Solve and decode.
     let result = solve(&translation.model, &SolverConfig::default());
@@ -121,7 +137,10 @@ fn listing1_translates_solves_and_emits_minizinc() {
         }
     }
     // The model checker agrees with the solver.
-    assert!(translation.model.check(&result.solution().assignment).is_ok());
+    assert!(translation
+        .model
+        .check(&result.solution().assignment)
+        .is_ok());
 }
 
 #[test]
@@ -131,24 +150,28 @@ fn hybrid_strategy_changes_model_shape_but_stays_feasible() {
     let topo = Topology::with_capacity(12);
     let nodes: Vec<NodeId> = inv.ids().collect();
 
-    let linking =
-        translate(&intent, &inv, &topo, &nodes, &TranslateOptions::default()).unwrap();
+    let linking = translate(&intent, &inv, &topo, &nodes, &TranslateOptions::default()).unwrap();
     let hybrid = translate(
         &intent,
         &inv,
         &topo,
         &nodes,
-        &TranslateOptions { strategy: GroupStrategy::HybridWeights, ..Default::default() },
+        &TranslateOptions {
+            strategy: GroupStrategy::HybridWeights,
+            ..Default::default()
+        },
     )
     .unwrap();
     // The linking strategy uses the distinct-groups global; the hybrid
     // replaces it with a weighted capacity (denser linear relaxation —
     // §3.3.2's performance-vs-expressiveness trade-off).
-    assert!(linking.model.stats().by_kind.contains_key("distinct_groups"));
+    assert!(linking
+        .model
+        .stats()
+        .by_kind
+        .contains_key("distinct_groups"));
     assert!(!hybrid.model.stats().by_kind.contains_key("distinct_groups"));
-    assert!(
-        hybrid.model.stats().by_kind["capacity"] > linking.model.stats().by_kind["capacity"]
-    );
+    assert!(hybrid.model.stats().by_kind["capacity"] > linking.model.stats().by_kind["capacity"]);
     let r = solve(&hybrid.model, &SolverConfig::default());
     assert!(r.best.is_some(), "hybrid model solves");
 }
@@ -168,7 +191,9 @@ fn zero_tolerance_variant_forbids_all_conflicts() {
     let translation =
         translate(&intent, &inv, &topo, &nodes, &TranslateOptions::default()).unwrap();
     let result = solve(&translation.model, &SolverConfig::default());
-    let schedule =
-        translation.decode(&result.solution().assignment, &intent.conflicts().unwrap());
-    assert_eq!(schedule.conflicts, 0, "zero tolerance yields a conflict-free plan");
+    let schedule = translation.decode(&result.solution().assignment, &intent.conflicts().unwrap());
+    assert_eq!(
+        schedule.conflicts, 0,
+        "zero tolerance yields a conflict-free plan"
+    );
 }

@@ -65,9 +65,7 @@ fn counter_series(node: NodeId, counter: &str, is_study: bool) -> TimeSeries {
 /// Adapter that evaluates a KPI *equation* over the counter feeds — the
 /// §3.5.1 pipeline where data adapters + KPI equations produce the series
 /// the statistics consume.
-fn equation_adapter(
-    equation: Equation,
-) -> impl cornet::verifier::DataAdapter {
+fn equation_adapter(equation: Equation) -> impl cornet::verifier::DataAdapter {
     ClosureAdapter(move |node: NodeId, _kpi: &str, _carrier: Option<usize>| {
         let is_study = node.0 < 100;
         let counters: BTreeMap<String, TimeSeries> = equation
@@ -110,16 +108,23 @@ fn stale_equation_misses_the_regression() {
     // upgrade those *fall* (reclassified), so the stale KPI reports an
     // improvement — exactly the blind spot the paper warns about.
     let verdict = analyze("100 * (drop_radio + drop_handover) / attempts");
-    assert_eq!(verdict, ImpactVerdict::Improvement, "stale equation sees only the good news");
+    assert_eq!(
+        verdict,
+        ImpactVerdict::Improvement,
+        "stale equation sees only the good news"
+    );
 }
 
 #[test]
 fn updated_equation_catches_the_regression() {
     // The 20.x-era equation adds the new cause code: total drops went from
     // ~20 to ~37 per 1000 — a degradation the verifier must flag.
-    let verdict =
-        analyze("100 * (drop_radio + drop_handover + drop_timer_new) / attempts");
-    assert_eq!(verdict, ImpactVerdict::Degradation, "updated equation reveals the regression");
+    let verdict = analyze("100 * (drop_radio + drop_handover + drop_timer_new) / attempts");
+    assert_eq!(
+        verdict,
+        ImpactVerdict::Degradation,
+        "updated equation reveals the regression"
+    );
 }
 
 #[test]
@@ -148,5 +153,8 @@ fn born_zero_kpi_fails_loudly_not_silently() {
         &controls(),
         &AnalysisOptions::default(),
     );
-    assert!(err.is_err(), "zero-baseline KPI must be a data-integrity error");
+    assert!(
+        err.is_err(),
+        "zero-baseline KPI must be a data-integrity error"
+    );
 }

@@ -46,7 +46,9 @@ fn compositions() -> Vec<(String, Vec<ConstraintRule>)> {
             ];
             let mut name = String::new();
             if mask & 1 != 0 {
-                rules.push(ConstraintRule::Consistency { attribute: "usid".into() });
+                rules.push(ConstraintRule::Consistency {
+                    attribute: "usid".into(),
+                });
                 name.push_str("consistency+");
             }
             if mask & 2 != 0 {
@@ -57,7 +59,9 @@ fn compositions() -> Vec<(String, Vec<ConstraintRule>)> {
                 name.push_str("uniformity+");
             }
             if mask & 4 != 0 {
-                rules.push(ConstraintRule::Localize { attribute: "market".into() });
+                rules.push(ConstraintRule::Localize {
+                    attribute: "market".into(),
+                });
                 name.push_str("localize+");
             }
             name.push_str(if zero_tolerance { "zero" } else { "min" });
@@ -97,27 +101,27 @@ fn all_sixteen_compositions_plan_successfully() {
             },
             ..Default::default()
         };
-        let result = plan(
-            &intent,
-            &net.inventory,
-            &net.topology,
-            &nodes,
-            &options,
-        )
-        .unwrap_or_else(|e| panic!("composition {name} failed: {e}"));
+        let result = plan(&intent, &net.inventory, &net.topology, &nodes, &options)
+            .unwrap_or_else(|e| panic!("composition {name} failed: {e}"));
         assert_eq!(
             result.schedule.scheduled_count() + result.schedule.leftovers.len(),
             nodes.len(),
             "{name}: every node is either scheduled or a leftover"
         );
-        assert!(result.schedule.leftovers.is_empty(), "{name}: window is generous");
+        assert!(
+            result.schedule.leftovers.is_empty(),
+            "{name}: window is generous"
+        );
         makespans.push((name, result.makespan(), result.search_stats.nodes));
     }
     // (a) of §4.2's findings is about discovery time growth — covered by
     // the benches. Here we sanity-check the makespans are sane (nonzero,
     // bounded by the window).
     for (name, makespan, _) in &makespans {
-        assert!(*makespan >= 1 && *makespan <= 30, "{name}: makespan {makespan}");
+        assert!(
+            *makespan >= 1 && *makespan <= 30,
+            "{name}: makespan {makespan}"
+        );
     }
     // Consistency reduces the unit count, which can only help or keep the
     // makespan under per-EMS capacity. Compare matched pairs with/without.
@@ -151,7 +155,9 @@ fn consistency_contraction_shrinks_search() {
             granularity: Granularity::daily(),
             default_capacity: 8,
         },
-        ConstraintRule::Consistency { attribute: "usid".into() },
+        ConstraintRule::Consistency {
+            attribute: "usid".into(),
+        },
     ];
 
     let budget = cornet::solver::SolverConfig {
@@ -164,7 +170,10 @@ fn consistency_contraction_shrinks_search() {
         &net.inventory,
         &net.topology,
         &nodes,
-        &PlanOptions { solver: budget.clone(), ..Default::default() },
+        &PlanOptions {
+            solver: budget.clone(),
+            ..Default::default()
+        },
     )
     .unwrap();
     let expanded = plan(

@@ -6,9 +6,7 @@
 
 use cornet::netsim::{ImpactKind, InjectedImpact, KpiGenerator, Network, NetworkConfig};
 use cornet::types::{NfType, NodeId};
-use cornet::verifier::{
-    analyze_kpi, AnalysisOptions, ChangeScope, ClosureAdapter, ImpactVerdict,
-};
+use cornet::verifier::{analyze_kpi, AnalysisOptions, ChangeScope, ClosureAdapter, ImpactVerdict};
 
 struct LabeledCase {
     kpi: String,
@@ -59,7 +57,12 @@ fn labeled_cases(study: &[NodeId]) -> Vec<LabeledCase> {
                 })
                 .collect()
         };
-        cases.push(LabeledCase { kpi, label, scope, impacts });
+        cases.push(LabeledCase {
+            kpi,
+            label,
+            scope,
+            impacts,
+        });
     }
     cases
 }
@@ -71,12 +74,19 @@ fn all_sixty_labeled_impacts_identified() {
     let study: Vec<NodeId> = enbs[..8].to_vec();
     let control: Vec<NodeId> = enbs[8..20].to_vec();
 
-    let generator = KpiGenerator { seed: 42, noise: 0.02, ..Default::default() };
+    let generator = KpiGenerator {
+        seed: 42,
+        noise: 0.02,
+        ..Default::default()
+    };
     let cases = labeled_cases(&study);
     // The labeled impacts are ±15% and larger; a 5% practical-significance
     // floor (the knob operations teams tune per rule) separates them from
     // the ~1.5% diurnal-alignment artifacts of heavily staggered scopes.
-    let options = AnalysisOptions { min_relative_shift: 0.05, ..Default::default() };
+    let options = AnalysisOptions {
+        min_relative_shift: 0.05,
+        ..Default::default()
+    };
 
     let mut correct = 0;
     let mut wrong = Vec::new();
@@ -86,9 +96,16 @@ fn all_sixty_labeled_impacts_identified() {
         let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
             Some(gen.series(node, kpi, carrier, 250, &impacts))
         });
-        let analysis =
-            analyze_kpi(&adapter, &case.kpi, None, true, &case.scope, &control, &options)
-                .expect("analysis runs");
+        let analysis = analyze_kpi(
+            &adapter,
+            &case.kpi,
+            None,
+            true,
+            &case.scope,
+            &control,
+            &options,
+        )
+        .expect("analysis runs");
         let expected = match case.label {
             1 => ImpactVerdict::Improvement,
             -1 => ImpactVerdict::Degradation,
@@ -125,7 +142,11 @@ fn per_carrier_impact_visible_only_at_carrier_granularity() {
             magnitude: -0.3,
         })
         .collect();
-    let gen = KpiGenerator { seed: 7, noise: 0.02, ..Default::default() };
+    let gen = KpiGenerator {
+        seed: 7,
+        noise: 0.02,
+        ..Default::default()
+    };
     let adapter = {
         let gen = gen.clone();
         let impacts = impacts.clone();
@@ -144,7 +165,11 @@ fn per_carrier_impact_visible_only_at_carrier_granularity() {
         &options,
     )
     .unwrap();
-    assert_eq!(hit.verdict, ImpactVerdict::Degradation, "CF-3 view sees the hit");
+    assert_eq!(
+        hit.verdict,
+        ImpactVerdict::Degradation,
+        "CF-3 view sees the hit"
+    );
     let spared = analyze_kpi(
         &adapter,
         "dl_throughput",
@@ -155,5 +180,9 @@ fn per_carrier_impact_visible_only_at_carrier_granularity() {
         &options,
     )
     .unwrap();
-    assert_eq!(spared.verdict, ImpactVerdict::NoImpact, "CF-5 view is clean");
+    assert_eq!(
+        spared.verdict,
+        ImpactVerdict::NoImpact,
+        "CF-5 view is clean"
+    );
 }
