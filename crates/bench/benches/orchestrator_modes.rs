@@ -4,6 +4,7 @@
 //! execution overhead).
 
 use cornet_catalog::builtin_catalog;
+use cornet_orchestrator::resilience::{FaultPlan, FaultyExecutor, RetryPolicy};
 use cornet_orchestrator::{Engine, EventBus, ExecutorRegistry, GlobalState};
 use cornet_types::ParamValue;
 use cornet_workflow::builtin::software_upgrade_workflow;
@@ -64,7 +65,11 @@ fn bench_workflow_vs_events(c: &mut Criterion) {
                 "software_upgrade",
                 Some("upgrade.done"),
             );
-            bus.subscribe("upgrade.done", "pre_post_comparison", Some("comparison.done"));
+            bus.subscribe(
+                "upgrade.done",
+                "pre_post_comparison",
+                Some("comparison.done"),
+            );
             bus.subscribe_if(
                 "comparison.done",
                 |s| s.get("passed").and_then(|v| v.as_bool()) == Some(false),
@@ -78,5 +83,35 @@ fn bench_workflow_vs_events(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_workflow_vs_events);
+/// Retry overhead under injected transient faults: the same engine run at
+/// 0%, 5%, and 20% per-invocation fault rates with a 6-attempt policy.
+/// Backoffs advance the simulated clock only, so the measured cost is the
+/// orchestration overhead of the retry machinery itself.
+fn bench_fault_rates(c: &mut Criterion) {
+    let cat = builtin_catalog();
+    let wf = software_upgrade_workflow(&cat);
+    let base = registry();
+
+    let mut group = c.benchmark_group("fault_rate");
+    for rate_pct in [0u32, 5, 20] {
+        let plan = FaultPlan::transient(0xC0FFEE, rate_pct as f64 / 100.0);
+        let mut reg = FaultyExecutor::wrap(&base, &plan);
+        reg.set_default_retry_policy(RetryPolicy::with_attempts(6));
+        group.bench_function(format!("workflow_engine_fault_{rate_pct}pct"), |b| {
+            let mut instance = 0u64;
+            b.iter(|| {
+                // Distinct node names walk the fault plan's keyspace so
+                // iterations do not replay one node's fault decisions.
+                instance += 1;
+                let mut state = inputs();
+                state.insert("node".into(), ParamValue::from(format!("enb-{instance}")));
+                let mut engine = Engine::new(wf.clone(), reg.clone(), state);
+                engine.run().unwrap().clone()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workflow_vs_events, bench_fault_rates);
 criterion_main!(benches);

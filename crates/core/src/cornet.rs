@@ -9,7 +9,9 @@ use cornet_catalog::{builtin_catalog, Catalog};
 use cornet_orchestrator::{DispatchReport, Dispatcher, ExecutorRegistry, GlobalState};
 use cornet_planner::{plan, PlanIntent, PlanOptions, PlanResult};
 use cornet_types::{Inventory, NodeId, Result, Schedule, Topology};
-use cornet_verifier::{verify_rule, ChangeScope, DataAdapter, VerificationReport, VerificationRule};
+use cornet_verifier::{
+    verify_rule, ChangeScope, DataAdapter, VerificationReport, VerificationRule,
+};
 use cornet_workflow::{validate, ValidationReport, WarArtifact, Workflow};
 
 /// The composition framework, assembled.
@@ -27,7 +29,12 @@ pub struct Cornet {
 impl Cornet {
     /// Assemble CORNET over a network with the built-in catalog.
     pub fn new(inventory: Inventory, topology: Topology, registry: ExecutorRegistry) -> Self {
-        Cornet { catalog: builtin_catalog(), inventory, topology, registry }
+        Cornet {
+            catalog: builtin_catalog(),
+            inventory,
+            topology,
+            registry,
+        }
     }
 
     /// Validate a workflow against the catalog (§3.2's verification step).
@@ -69,7 +76,7 @@ impl Cornet {
         concurrency: usize,
         inputs_for: impl Fn(NodeId) -> GlobalState + Sync,
     ) -> Result<DispatchReport> {
-        Dispatcher::new(war.clone(), self.registry.clone(), concurrency).run(schedule, inputs_for)
+        Dispatcher::new(war.clone(), self.registry.clone(), concurrency)?.run(schedule, inputs_for)
     }
 
     /// Verify the impact of executed changes.
@@ -107,8 +114,11 @@ mod tests {
                 r.id
             })
             .collect();
-        let cornet =
-            Cornet::new(net.inventory.clone(), net.topology.clone(), testbed_registry(tb.clone()));
+        let cornet = Cornet::new(
+            net.inventory.clone(),
+            net.topology.clone(),
+            testbed_registry(tb.clone()),
+        );
 
         // Design + deploy.
         let wf = software_upgrade_workflow(&cornet.catalog);
@@ -129,7 +139,9 @@ mod tests {
                  "default_capacity": 2}
             ]
         }"#;
-        let result = cornet.plan_from_json(intent, &vces, &PlanOptions::default()).unwrap();
+        let result = cornet
+            .plan_from_json(intent, &vces, &PlanOptions::default())
+            .unwrap();
         assert_eq!(result.schedule.scheduled_count(), 6);
         assert_eq!(result.makespan(), 3);
 
@@ -138,7 +150,10 @@ mod tests {
         let report = cornet
             .dispatch(&war, &result.schedule, 2, |node| {
                 let mut g = GlobalState::new();
-                g.insert("node".into(), ParamValue::from(inv.record(node).name.clone()));
+                g.insert(
+                    "node".into(),
+                    ParamValue::from(inv.record(node).name.clone()),
+                );
                 g.insert("software_version".into(), ParamValue::from("17.3"));
                 g
             })

@@ -12,7 +12,8 @@
 //! verifier consulted as a go/no-go gate between slots.
 
 use crate::cornet::Cornet;
-use cornet_orchestrator::{DispatchReport, GlobalState};
+use cornet_orchestrator::resilience::{BreakerTrip, CircuitBreaker};
+use cornet_orchestrator::{DispatchReport, FalloutAnalysis, GlobalState};
 use cornet_types::{NodeId, Result, Schedule, Timeslot};
 use cornet_verifier::{verify_rule, ChangeScope, DataAdapter, GoNoGo, VerificationRule};
 use cornet_workflow::WarArtifact;
@@ -43,6 +44,9 @@ pub struct RolloutReport {
     pub network: DispatchReport,
     /// Final outcome.
     pub outcome: RolloutOutcome,
+    /// Set when the halt came from the circuit breaker rather than the
+    /// KPI verifier — carries the offending block and its failure rate.
+    pub breaker_trip: Option<BreakerTrip>,
 }
 
 /// Configuration of the staged roll-out.
@@ -61,6 +65,10 @@ pub struct RolloutPlan<'a> {
     /// Consult the verifier every `gate_every` slots during the
     /// network-wide phase (1 = every slot).
     pub gate_every: u32,
+    /// Optional auto-halt circuit breaker: consulted after *every* slot
+    /// (execution fall-out is visible immediately, unlike KPI shifts) and
+    /// trips on excessive per-block failure rates.
+    pub breaker: Option<CircuitBreaker>,
 }
 
 /// Derive a change scope from executed instances: every *completed* node,
@@ -93,8 +101,14 @@ pub fn staged_rollout(
     let ffa_decision = if ffa_scope.changes.is_empty() {
         GoNoGo::NoGo
     } else {
-        verify_rule(adapter, plan.rule, &ffa_scope, &cornet.inventory, &cornet.topology)?
-            .decision
+        verify_rule(
+            adapter,
+            plan.rule,
+            &ffa_scope,
+            &cornet.inventory,
+            &cornet.topology,
+        )?
+        .decision
     };
     if ffa_decision == GoNoGo::NoGo {
         return Ok(RolloutReport {
@@ -102,6 +116,7 @@ pub fn staged_rollout(
             ffa_decision,
             network: DispatchReport::default(),
             outcome: RolloutOutcome::NotCertified,
+            breaker_trip: None,
         });
     }
 
@@ -111,12 +126,21 @@ pub fn staged_rollout(
         plan.war.clone(),
         cornet.registry.clone(),
         plan.concurrency,
-    );
+    )?;
     let mut slots_executed = 0u32;
-    let (network_report, halted_at) = dispatcher.run_gated(
-        &plan.network,
-        &inputs_for,
-        |_slot, so_far| {
+    let mut breaker_trip: Option<BreakerTrip> = None;
+    let (network_report, halted_at) =
+        dispatcher.run_gated(&plan.network, &inputs_for, |_slot, so_far| {
+            // The circuit breaker sees execution fall-out after every
+            // slot: a block failing across instances is visible in the
+            // logs immediately, no KPI lag involved.
+            if let Some(breaker) = &plan.breaker {
+                let fallout = FalloutAnalysis::from_reports([so_far]);
+                if let Some(trip) = breaker.check(&fallout) {
+                    breaker_trip = Some(trip);
+                    return false;
+                }
+            }
             // Count *executed* slots, not slot numbers — sparse schedules
             // (excluded holidays) must still be verified every Nth slot.
             slots_executed += 1;
@@ -137,21 +161,28 @@ pub fn staged_rollout(
             )
             .map(|r| r.decision == GoNoGo::Go)
             .unwrap_or(true) // data problems alert, but don't halt blindly
-        },
-    )?;
+        })?;
 
     let outcome = match halted_at {
         Some(slot) => RolloutOutcome::Halted { after_slot: slot.0 },
         None => RolloutOutcome::Completed,
     };
-    Ok(RolloutReport { ffa: ffa_report, ffa_decision, network: network_report, outcome })
+    Ok(RolloutReport {
+        ffa: ffa_report,
+        ffa_decision,
+        network: network_report,
+        outcome,
+        breaker_trip,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::executors::testbed_registry;
-    use cornet_netsim::{ImpactKind, InjectedImpact, KpiGenerator, Network, NetworkConfig, Testbed, TestbedConfig};
+    use cornet_netsim::{
+        ImpactKind, InjectedImpact, KpiGenerator, Network, NetworkConfig, Testbed, TestbedConfig,
+    };
     use cornet_types::{NfType, ParamValue};
     use cornet_verifier::{ClosureAdapter, ControlSelection, Expectation, KpiQuery};
     use cornet_workflow::builtin::software_upgrade_workflow;
@@ -186,7 +217,9 @@ mod tests {
             net.topology.clone(),
             testbed_registry(testbed.clone()),
         );
-        let war = cornet.deploy_workflow(&software_upgrade_workflow(&cornet.catalog)).unwrap();
+        let war = cornet
+            .deploy_workflow(&software_upgrade_workflow(&cornet.catalog))
+            .unwrap();
         let mut ffa = Schedule::default();
         ffa.assignments.insert(enbs[0], Timeslot(1));
         ffa.assignments.insert(enbs[1], Timeslot(1));
@@ -194,13 +227,17 @@ mod tests {
         for (i, &n) in enbs[2..].iter().enumerate() {
             network.assignments.insert(n, Timeslot(i as u32 / 4 + 1));
         }
-        Fixture { cornet, war, ffa, network, enbs, testbed }
+        Fixture {
+            cornet,
+            war,
+            ffa,
+            network,
+            enbs,
+            testbed,
+        }
     }
 
-    fn adapter_with_magnitude(
-        study: Vec<NodeId>,
-        magnitude: f64,
-    ) -> impl DataAdapter {
+    fn adapter_with_magnitude(study: Vec<NodeId>, magnitude: f64) -> impl DataAdapter {
         let impacts: Vec<InjectedImpact> = study
             .iter()
             .map(|&n| InjectedImpact {
@@ -212,7 +249,11 @@ mod tests {
                 magnitude,
             })
             .collect();
-        let gen = KpiGenerator { seed: 77, noise: 0.02, ..Default::default() };
+        let gen = KpiGenerator {
+            seed: 77,
+            noise: 0.02,
+            ..Default::default()
+        };
         ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
             Some(gen.series(node, kpi, carrier, 500, &impacts))
         })
@@ -234,7 +275,10 @@ mod tests {
     fn inputs(cornet: &Cornet) -> impl Fn(NodeId) -> GlobalState + Sync + '_ {
         move |node| {
             let mut g = GlobalState::new();
-            g.insert("node".into(), ParamValue::from(cornet.inventory.record(node).name.clone()));
+            g.insert(
+                "node".into(),
+                ParamValue::from(cornet.inventory.record(node).name.clone()),
+            );
             g.insert("software_version".into(), ParamValue::from("20.1"));
             g
         }
@@ -243,7 +287,10 @@ mod tests {
     #[test]
     fn good_change_completes_network_wide() {
         let f = fixture();
-        let controls = f.cornet.inventory.iter()
+        let controls = f
+            .cornet
+            .inventory
+            .iter()
             .filter(|r| r.nf_type == NfType::Siad)
             .map(|r| r.id)
             .collect::<Vec<_>>();
@@ -258,6 +305,7 @@ mod tests {
                 rule: &r,
                 concurrency: 4,
                 gate_every: 1,
+                breaker: None,
             },
             &adapter,
             |_slot| 10_000,
@@ -277,7 +325,10 @@ mod tests {
     #[test]
     fn bad_change_is_not_certified_at_ffa() {
         let f = fixture();
-        let controls = f.cornet.inventory.iter()
+        let controls = f
+            .cornet
+            .inventory
+            .iter()
             .filter(|r| r.nf_type == NfType::Siad)
             .map(|r| r.id)
             .collect::<Vec<_>>();
@@ -293,6 +344,7 @@ mod tests {
                 rule: &r,
                 concurrency: 4,
                 gate_every: 1,
+                breaker: None,
             },
             &adapter,
             |_slot| 10_000,
@@ -321,7 +373,10 @@ mod tests {
         // expected performance impacts, but network-wide roll-out can show
         // unexpected impacts" (§2.2).
         let f = fixture();
-        let controls = f.cornet.inventory.iter()
+        let controls = f
+            .cornet
+            .inventory
+            .iter()
             .filter(|r| r.nf_type == NfType::Siad)
             .map(|r| r.id)
             .collect::<Vec<_>>();
@@ -338,7 +393,11 @@ mod tests {
                 magnitude: if ffa_nodes.contains(&n) { 0.2 } else { -0.3 },
             })
             .collect();
-        let gen = KpiGenerator { seed: 78, noise: 0.02, ..Default::default() };
+        let gen = KpiGenerator {
+            seed: 78,
+            noise: 0.02,
+            ..Default::default()
+        };
         let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
             Some(gen.series(node, kpi, carrier, 500, &impacts))
         });
@@ -352,6 +411,7 @@ mod tests {
                 rule: &r,
                 concurrency: 4,
                 gate_every: 1,
+                breaker: None,
             },
             &adapter,
             |_slot| 10_000,
@@ -365,5 +425,77 @@ mod tests {
             "first gated check after network slot 1 catches the degradation"
         );
         assert!(report.network.instances.len() < 14, "halt spared the tail");
+        assert!(report.breaker_trip.is_none(), "no breaker configured");
+    }
+
+    #[test]
+    fn breaker_trips_before_the_verifier_sees_anything() {
+        // KPIs look great everywhere, but the upgrade block itself fails
+        // on every network-phase node: the circuit breaker must halt on
+        // execution fall-out alone, no KPI degradation required.
+        let f = fixture();
+        let controls = f
+            .cornet
+            .inventory
+            .iter()
+            .filter(|r| r.nf_type == NfType::Siad)
+            .map(|r| r.id)
+            .collect::<Vec<_>>();
+        let adapter = adapter_with_magnitude(f.enbs.clone(), 0.2);
+        let r = rule(controls);
+        // Rebuild the registry so software_upgrade fails permanently for
+        // every non-FFA node.
+        let ffa_names: Vec<String> = [f.enbs[0], f.enbs[1]]
+            .iter()
+            .map(|&n| f.cornet.inventory.record(n).name.clone())
+            .collect();
+        let mut cornet = Cornet::new(
+            f.cornet.inventory.clone(),
+            f.cornet.topology.clone(),
+            testbed_registry(f.testbed.clone()),
+        );
+        cornet.registry.register("software_upgrade", move |s| {
+            let node = cornet_orchestrator::executor::require_str(s, "node")?;
+            if ffa_names.contains(&node) {
+                s.insert("previous_version".into(), ParamValue::from("19.3"));
+                return Ok(());
+            }
+            Err(cornet_types::CornetError::ExecutionFailed(
+                "firmware image rejected".into(),
+            ))
+        });
+        let war = cornet
+            .deploy_workflow(&software_upgrade_workflow(&cornet.catalog))
+            .unwrap();
+        let report = staged_rollout(
+            &cornet,
+            RolloutPlan {
+                war: &war,
+                ffa: f.ffa.clone(),
+                network: f.network.clone(),
+                rule: &r,
+                concurrency: 4,
+                gate_every: 1,
+                breaker: Some(CircuitBreaker {
+                    failure_threshold: 0.5,
+                    min_samples: 3,
+                }),
+            },
+            &adapter,
+            |_slot| 10_000,
+            inputs(&cornet),
+        )
+        .unwrap();
+        assert_eq!(report.ffa_decision, GoNoGo::Go);
+        assert_eq!(report.outcome, RolloutOutcome::Halted { after_slot: 1 });
+        let trip = report
+            .breaker_trip
+            .expect("the breaker, not the verifier, halted");
+        assert_eq!(trip.block, "software_upgrade");
+        assert!(trip.failure_rate >= 0.5, "rate {}", trip.failure_rate);
+        assert!(
+            report.network.instances.len() < 14,
+            "tail slots were spared"
+        );
     }
 }

@@ -29,7 +29,11 @@ pub struct TestbedConfig {
 
 impl Default for TestbedConfig {
     fn default() -> Self {
-        TestbedConfig { seed: 1, ssh_failure_rate: 0.0, unhealthy_rate: 0.0 }
+        TestbedConfig {
+            seed: 1,
+            ssh_failure_rate: 0.0,
+            unhealthy_rate: 0.0,
+        }
     }
 }
 
@@ -96,7 +100,9 @@ impl Testbed {
                 reboots: 0,
             },
         );
-        inner.ops_log.push(format!("instantiate {name} {sw_version}"));
+        inner
+            .ops_log
+            .push(format!("instantiate {name} {sw_version}"));
     }
 
     /// Snapshot of one VNF's state.
@@ -133,8 +139,12 @@ impl Testbed {
             inner.rng.random_bool(rate)
         };
         if fail {
-            inner.ops_log.push(format!("{op} {name} FAILED ssh_connectivity"));
-            return Err(CornetError::ExecutionFailed(format!(
+            inner
+                .ops_log
+                .push(format!("{op} {name} FAILED ssh_connectivity"));
+            // Connectivity loss is §5.1's canonical *transient* fault —
+            // classified so retry policies know it is worth another try.
+            return Err(CornetError::TransientFailure(format!(
                 "ssh connectivity lost reaching {name} during {op}"
             )));
         }
@@ -287,7 +297,11 @@ mod tests {
 
     #[test]
     fn ssh_fault_injection_fails_sometimes() {
-        let t = Testbed::new(TestbedConfig { seed: 7, ssh_failure_rate: 0.5, unhealthy_rate: 0.0 });
+        let t = Testbed::new(TestbedConfig {
+            seed: 7,
+            ssh_failure_rate: 0.5,
+            unhealthy_rate: 0.0,
+        });
         t.instantiate("vgw-00", NfType::VGateway, "3.2");
         let mut failures = 0;
         for _ in 0..100 {
@@ -295,8 +309,14 @@ mod tests {
                 failures += 1;
             }
         }
-        assert!((25..=75).contains(&failures), "≈50% expected, got {failures}");
-        assert!(t.ops_log().iter().any(|l| l.contains("FAILED ssh_connectivity")));
+        assert!(
+            (25..=75).contains(&failures),
+            "≈50% expected, got {failures}"
+        );
+        assert!(t
+            .ops_log()
+            .iter()
+            .any(|l| l.contains("FAILED ssh_connectivity")));
     }
 
     #[test]

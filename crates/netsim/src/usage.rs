@@ -29,10 +29,10 @@ pub fn kpi_activity_timeline(seed: u64) -> Vec<KpiActivityMonth> {
         .map(|month| {
             let year = 2018 + month / 12;
             let m = month % 12 + 1;
-            let base = rng.random_range(8..25);
+            let base: usize = rng.random_range(8..25);
             let surge = if month >= 20 {
                 // 5G preparation: 3–5× the steady-state rate.
-                base * rng.random_range(2..4) + rng.random_range(10..40)
+                base * rng.random_range(2..4usize) + rng.random_range(10..40usize)
             } else {
                 0
             };
@@ -77,7 +77,11 @@ pub fn location_attribute_usage(seed: u64, total_queries: usize) -> Vec<(&'stati
     for _ in 0..total_queries {
         counts[weighted_pick(&mut rng, &weights)] += 1;
     }
-    combos.iter().zip(counts).map(|((name, _), c)| (*name, c)).collect()
+    combos
+        .iter()
+        .zip(counts)
+        .map(|((name, _), c)| (*name, c))
+        .collect()
 }
 
 /// Fig. 14: control-group selection criteria across impact queries.
@@ -95,7 +99,11 @@ pub fn control_group_usage(seed: u64, total_queries: usize) -> Vec<(&'static str
     for _ in 0..total_queries {
         counts[weighted_pick(&mut rng, &weights)] += 1;
     }
-    choices.iter().zip(counts).map(|((name, _), c)| (*name, c)).collect()
+    choices
+        .iter()
+        .zip(counts)
+        .map(|((name, _), c)| (*name, c))
+        .collect()
 }
 
 /// One Table 4 row: yearly verification usage for a change type.
@@ -119,21 +127,24 @@ pub struct VerificationUsageRow {
 /// changes.
 pub fn verification_usage(seed: u64) -> Vec<VerificationUsageRow> {
     let mut rng = seeded(seed);
-    [(ChangeType::SoftwareUpgrade, 160), (ChangeType::ConfigChange, 200)]
-        .into_iter()
-        .map(|(ct, base_ffa)| {
-            let ffa_count = base_ffa + rng.random_range(0..20);
-            let certified = ffa_count / 10;
-            VerificationUsageRow {
-                change_type: ct,
-                ffa_count,
-                nodes_per_ffa: rng.random_range(100..400),
-                certified_rollouts: certified,
-                nodes_per_rollout: rng.random_range(10_000..60_000),
-                rolled_back: rng.random_range(0..2),
-            }
-        })
-        .collect()
+    [
+        (ChangeType::SoftwareUpgrade, 160),
+        (ChangeType::ConfigChange, 200),
+    ]
+    .into_iter()
+    .map(|(ct, base_ffa)| {
+        let ffa_count = base_ffa + rng.random_range(0..20usize);
+        let certified = ffa_count / 10;
+        VerificationUsageRow {
+            change_type: ct,
+            ffa_count,
+            nodes_per_ffa: rng.random_range(100..400),
+            certified_rollouts: certified,
+            nodes_per_rollout: rng.random_range(10_000..60_000),
+            rolled_back: rng.random_range(0..2),
+        }
+    })
+    .collect()
 }
 
 /// §5.2: average human time savings from automated schedule discovery.
@@ -158,7 +169,10 @@ mod tests {
         let after: usize = tl[20..].iter().map(|m| m.created_or_modified).sum();
         let before_rate = before as f64 / 20.0;
         let after_rate = after as f64 / 16.0;
-        assert!(after_rate > before_rate * 2.0, "surge: {before_rate} → {after_rate}");
+        assert!(
+            after_rate > before_rate * 2.0,
+            "surge: {before_rate} → {after_rate}"
+        );
     }
 
     #[test]
@@ -166,8 +180,15 @@ mod tests {
         let h = duration_request_histogram(2, 5_000);
         let total: usize = h.iter().map(|(_, c)| c).sum();
         assert_eq!(total, 5_000);
-        assert!(h[0].1 as f64 / total as f64 > 0.8, "one-window share {}", h[0].1);
-        assert!(h.iter().skip(1).any(|(_, c)| *c > 0), "multi-window tail exists");
+        assert!(
+            h[0].1 as f64 / total as f64 > 0.8,
+            "one-window share {}",
+            h[0].1
+        );
+        assert!(
+            h.iter().skip(1).any(|(_, c)| *c > 0),
+            "multi-window tail exists"
+        );
     }
 
     #[test]
@@ -192,7 +213,10 @@ mod tests {
         for r in &rows {
             assert!((150..=230).contains(&r.ffa_count));
             assert!((100..400).contains(&r.nodes_per_ffa));
-            assert!(r.certified_rollouts * 8 <= r.ffa_count, "~10% certification rate");
+            assert!(
+                r.certified_rollouts * 8 <= r.ffa_count,
+                "~10% certification rate"
+            );
             assert!(r.nodes_per_rollout >= 10_000);
             assert!(r.rolled_back < 2);
         }

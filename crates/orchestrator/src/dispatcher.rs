@@ -7,9 +7,11 @@
 //! slot run concurrently up to a limit; as an instance finishes, the next
 //! is triggered.
 
-use crate::engine::{Engine, InstanceStatus};
+use crate::engine::{BlockExecution, Engine, InstanceStatus};
 use crate::executor::{ExecutorRegistry, GlobalState};
-use cornet_types::{NodeId, Result, Schedule, Timeslot};
+use crate::falloutanalysis::FalloutAnalysis;
+use crate::resilience::{BreakerTrip, CircuitBreaker};
+use cornet_types::{CornetError, NodeId, Result, Schedule, Timeslot};
 use cornet_workflow::WarArtifact;
 use std::collections::BTreeMap;
 
@@ -22,8 +24,9 @@ pub struct InstanceReport {
     pub slot: Timeslot,
     /// Final status.
     pub status: InstanceStatus,
-    /// Blocks executed, with status (block name, success flag).
-    pub blocks: Vec<(String, bool)>,
+    /// Full per-block execution log: status, duration, error detail,
+    /// attempt count — everything fall-out analysis groups on.
+    pub blocks: Vec<BlockExecution>,
 }
 
 /// Aggregated dispatch outcome.
@@ -36,7 +39,19 @@ pub struct DispatchReport {
 impl DispatchReport {
     /// Instances that completed a start→end flow.
     pub fn completed(&self) -> usize {
-        self.instances.iter().filter(|i| i.status == InstanceStatus::Completed).count()
+        self.instances
+            .iter()
+            .filter(|i| i.status == InstanceStatus::Completed)
+            .count()
+    }
+
+    /// Instances whose backout flow reverted them after a permanent
+    /// failure.
+    pub fn rolled_back(&self) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| matches!(i.status, InstanceStatus::RolledBack(_)))
+            .count()
     }
 
     /// Instances that failed, with the offending block.
@@ -60,9 +75,20 @@ pub struct Dispatcher {
 }
 
 impl Dispatcher {
-    /// Create a dispatcher for one deployed workflow.
-    pub fn new(war: WarArtifact, registry: ExecutorRegistry, concurrency: usize) -> Self {
-        Dispatcher { war, registry, concurrency: concurrency.max(1) }
+    /// Create a dispatcher for one deployed workflow. A concurrency of
+    /// zero is a misconfiguration and is rejected loudly rather than
+    /// silently clamped.
+    pub fn new(war: WarArtifact, registry: ExecutorRegistry, concurrency: usize) -> Result<Self> {
+        if concurrency == 0 {
+            return Err(CornetError::InvalidInput(
+                "dispatcher concurrency must be at least 1, got 0".into(),
+            ));
+        }
+        Ok(Dispatcher {
+            war,
+            registry,
+            concurrency,
+        })
     }
 
     /// Execute the schedule slot by slot. `inputs_for` supplies each
@@ -72,7 +98,8 @@ impl Dispatcher {
         schedule: &Schedule,
         inputs_for: impl Fn(NodeId) -> GlobalState + Sync,
     ) -> Result<DispatchReport> {
-        self.run_gated(schedule, inputs_for, |_, _| true).map(|(report, _)| report)
+        self.run_gated(schedule, inputs_for, |_, _| true)
+            .map(|(report, _)| report)
     }
 
     /// Execute the schedule slot by slot with a go/no-go gate between
@@ -110,26 +137,18 @@ impl Dispatcher {
                             // decision variable, dangling edge) must not
                             // vanish from the report — they become failed
                             // instances so fall-out analysis sees them.
-                            let run = || -> Result<(InstanceStatus, Vec<(String, bool)>)> {
-                                let mut engine =
-                                    Engine::new(workflow.clone(), registry, inputs);
+                            let run = || -> Result<(InstanceStatus, Vec<BlockExecution>)> {
+                                let mut engine = Engine::new(workflow.clone(), registry, inputs);
                                 let status = engine.run()?.clone();
-                                let blocks = engine
-                                    .log()
-                                    .iter()
-                                    .map(|b| {
-                                        (
-                                            b.block.clone(),
-                                            b.status == crate::engine::BlockStatus::Success,
-                                        )
-                                    })
-                                    .collect();
-                                Ok((status, blocks))
+                                Ok((status, engine.log().to_vec()))
                             };
                             match run() {
-                                Ok((status, blocks)) => {
-                                    InstanceReport { node, slot, status, blocks }
-                                }
+                                Ok((status, blocks)) => InstanceReport {
+                                    node,
+                                    slot,
+                                    status,
+                                    blocks,
+                                },
                                 Err(e) => InstanceReport {
                                     node,
                                     slot,
@@ -151,6 +170,32 @@ impl Dispatcher {
             }
         }
         Ok((report, None))
+    }
+
+    /// Execute the schedule with an automatic halt gate: after each slot
+    /// the running fall-out analysis is fed to the circuit breaker, and a
+    /// trip halts the remaining slots — the paper's "decision is made to
+    /// halt the roll-out" (§2.1) taken by software instead of an operator.
+    /// Returns the partial report and the trip that caused the halt, if
+    /// any.
+    pub fn run_with_breaker(
+        &self,
+        schedule: &Schedule,
+        inputs_for: impl Fn(NodeId) -> GlobalState + Sync,
+        breaker: &CircuitBreaker,
+    ) -> Result<(DispatchReport, Option<BreakerTrip>)> {
+        let mut trip: Option<BreakerTrip> = None;
+        let (report, _halted_at) = self.run_gated(schedule, inputs_for, |_, report| {
+            let fallout = FalloutAnalysis::from_reports([report]);
+            match breaker.check(&fallout) {
+                Some(t) => {
+                    trip = Some(t);
+                    false
+                }
+                None => true,
+            }
+        })?;
+        Ok((report, trip))
     }
 }
 
@@ -198,7 +243,7 @@ mod tests {
     fn dispatches_all_instances() {
         let cat = builtin_catalog();
         let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
-        let d = Dispatcher::new(war, happy_registry(), 3);
+        let d = Dispatcher::new(war, happy_registry(), 3).unwrap();
         let report = d.run(&schedule(10, 4), inputs).unwrap();
         assert_eq!(report.instances.len(), 10);
         assert_eq!(report.completed(), 10);
@@ -209,7 +254,7 @@ mod tests {
     fn slot_order_is_respected() {
         let cat = builtin_catalog();
         let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
-        let d = Dispatcher::new(war, happy_registry(), 2);
+        let d = Dispatcher::new(war, happy_registry(), 2).unwrap();
         let report = d.run(&schedule(9, 3), inputs).unwrap();
         let slots: Vec<u32> = report.instances.iter().map(|i| i.slot.0).collect();
         let mut sorted = slots.clone();
@@ -232,7 +277,7 @@ mod tests {
             s.insert("previous_version".into(), ParamValue::from("old"));
             Ok(())
         });
-        let d = Dispatcher::new(war, reg, 4);
+        let d = Dispatcher::new(war, reg, 4).unwrap();
         let report = d.run(&schedule(10, 5), inputs).unwrap();
         let failures = report.failures();
         assert_eq!(failures.len(), 1);
@@ -249,9 +294,13 @@ mod tests {
         // gateway error out at engine level.
         let mut reg = ExecutorRegistry::new();
         reg.register("health_check", |_| Ok(()));
-        let d = Dispatcher::new(war, reg, 2);
+        let d = Dispatcher::new(war, reg, 2).unwrap();
         let report = d.run(&schedule(3, 3), inputs).unwrap();
-        assert_eq!(report.instances.len(), 3, "errored instances are not dropped");
+        assert_eq!(
+            report.instances.len(),
+            3,
+            "errored instances are not dropped"
+        );
         assert_eq!(report.completed(), 0);
         assert!(report
             .instances
@@ -263,7 +312,7 @@ mod tests {
     fn gate_halts_remaining_slots() {
         let cat = builtin_catalog();
         let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
-        let d = Dispatcher::new(war, happy_registry(), 4);
+        let d = Dispatcher::new(war, happy_registry(), 4).unwrap();
         // 12 nodes over 4 slots; gate says no after slot 2.
         let (report, halted_at) = d
             .run_gated(&schedule(12, 3), inputs, |slot, _| slot.0 < 2)
@@ -277,7 +326,7 @@ mod tests {
     fn gate_sees_cumulative_report() {
         let cat = builtin_catalog();
         let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
-        let d = Dispatcher::new(war, happy_registry(), 4);
+        let d = Dispatcher::new(war, happy_registry(), 4).unwrap();
         let mut seen = Vec::new();
         let (_, halted) = d
             .run_gated(&schedule(9, 3), inputs, |slot, report| {
@@ -290,12 +339,37 @@ mod tests {
     }
 
     #[test]
-    fn concurrency_floor_is_one() {
+    fn zero_concurrency_is_rejected() {
         let cat = builtin_catalog();
         let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
-        let d = Dispatcher::new(war, happy_registry(), 0);
-        assert_eq!(d.concurrency, 1);
-        let report = d.run(&schedule(3, 3), inputs).unwrap();
-        assert_eq!(report.completed(), 3);
+        let err = match Dispatcher::new(war, happy_registry(), 0) {
+            Err(e) => e,
+            Ok(_) => panic!("zero concurrency must be rejected"),
+        };
+        assert!(matches!(err, CornetError::InvalidInput(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn reports_carry_block_detail() {
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        let mut reg = happy_registry();
+        reg.register("software_upgrade", |_| {
+            Err(cornet_types::CornetError::ExecutionFailed(
+                "disk full".into(),
+            ))
+        });
+        let d = Dispatcher::new(war, reg, 2).unwrap();
+        let report = d.run(&schedule(2, 2), inputs).unwrap();
+        let failed_block = report.instances[0]
+            .blocks
+            .iter()
+            .find(|b| b.block == "software_upgrade")
+            .expect("failed block is logged");
+        assert_eq!(
+            failed_block.error.as_deref(),
+            Some("execution failed: disk full")
+        );
+        assert_eq!(failed_block.attempts, 1, "permanent errors are not retried");
     }
 }

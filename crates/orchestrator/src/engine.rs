@@ -17,24 +17,45 @@ use std::time::{Duration, Instant};
 /// Outcome of one building-block execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BlockStatus {
-    /// The block completed successfully.
+    /// The block completed successfully on the first attempt.
     Success,
     /// The block returned an error (the offending block for fall-out
     /// analysis).
     Failed,
+    /// The block overran its execution deadline on its final attempt.
+    TimedOut,
+    /// The block failed transiently, then succeeded on a retry.
+    Recovered {
+        /// Total attempts taken, including the successful one.
+        attempts: u32,
+    },
+}
+
+impl BlockStatus {
+    /// True when the block ultimately produced its outputs (first-try
+    /// success or recovery through retries).
+    pub fn is_success(self) -> bool {
+        matches!(self, BlockStatus::Success | BlockStatus::Recovered { .. })
+    }
 }
 
 /// One row of the fine-grained execution log.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BlockExecution {
     /// Block name.
     pub block: String,
     /// Execution status.
     pub status: BlockStatus,
-    /// Wall-clock execution time.
+    /// Execution time summed over attempts — simulated when the executor
+    /// reports latency through [`crate::resilience::SIM_LATENCY_KEY`],
+    /// wall-clock otherwise.
     pub duration: Duration,
-    /// Error detail when failed.
+    /// Error detail of the final attempt when failed.
     pub error: Option<String>,
+    /// Attempts taken (1 = no retries).
+    pub attempts: u32,
+    /// Total simulated backoff waited between attempts.
+    pub backoff: Duration,
 }
 
 /// Status of a workflow instance.
@@ -49,6 +70,9 @@ pub enum InstanceStatus {
     Completed,
     /// A block failed; carries the block name.
     Failed(String),
+    /// A block failed permanently and the workflow's backout subgraph
+    /// completed, reverting the change; carries the offending block.
+    RolledBack(String),
 }
 
 /// Shared pause flag; clone freely across threads.
@@ -89,6 +113,8 @@ pub struct Engine {
     status: InstanceStatus,
     log: Vec<BlockExecution>,
     pause: PauseHandle,
+    /// Virtual clock: simulated execution latency plus retry backoffs.
+    sim_elapsed: Duration,
 }
 
 impl Engine {
@@ -103,6 +129,7 @@ impl Engine {
             status: InstanceStatus::Running,
             log: Vec::new(),
             pause: PauseHandle::new(),
+            sim_elapsed: Duration::ZERO,
         }
     }
 
@@ -110,7 +137,11 @@ impl Engine {
     /// dispatcher's invocation path ("the change workflow execution is
     /// invoked by the orchestrator using the REST API information stored
     /// in the workflow meta-data").
-    pub fn from_war(war: &WarArtifact, registry: ExecutorRegistry, inputs: GlobalState) -> Result<Self> {
+    pub fn from_war(
+        war: &WarArtifact,
+        registry: ExecutorRegistry,
+        inputs: GlobalState,
+    ) -> Result<Self> {
         Ok(Self::new(war.unpack()?, registry, inputs))
     }
 
@@ -139,6 +170,12 @@ impl Engine {
         &self.state
     }
 
+    /// Simulated time spent in this instance: injected executor latency
+    /// plus retry backoffs. Wall time is never slept on.
+    pub fn sim_elapsed(&self) -> Duration {
+        self.sim_elapsed
+    }
+
     /// Execute a single node and advance the token. Returns the new status.
     pub fn step(&mut self) -> Result<&InstanceStatus> {
         if self.status == InstanceStatus::Paused {
@@ -165,27 +202,90 @@ impl Engine {
                 self.status = InstanceStatus::Completed;
             }
             NodeKind::Task { block } => {
-                let started = Instant::now();
-                let result = self.registry.execute(block, &mut self.state);
-                let duration = started.elapsed();
-                match result {
+                let policy = self.registry.retry_policy_for(block).cloned();
+                let deadline = self.registry.deadline_for(block);
+                let mut attempts: u32 = 0;
+                let mut exec_total = Duration::ZERO;
+                let mut backoff_total = Duration::ZERO;
+                // Retry loop: each attempt is atomic; transient errors
+                // retry under the block's policy, with the pause handle
+                // honored at retry boundaries (a retry boundary IS a
+                // block boundary — nothing has advanced yet).
+                let outcome = loop {
+                    attempts += 1;
+                    let started = Instant::now();
+                    let result = self.registry.execute(block, &mut self.state);
+                    let wall = started.elapsed();
+                    let duration =
+                        crate::resilience::take_sim_latency(&mut self.state).unwrap_or(wall);
+                    exec_total += duration;
+                    // Deadline overruns become timeout failures even when
+                    // the executor itself returned Ok — a change that
+                    // lands outside its window is a fall-out.
+                    let result = match deadline {
+                        Some(d) if duration > d => Err(CornetError::Timeout(format!(
+                            "block '{block}' ran {}ms, deadline {}ms",
+                            duration.as_millis(),
+                            d.as_millis()
+                        ))),
+                        _ => result,
+                    };
+                    match result {
+                        Ok(()) => break Ok(()),
+                        Err(e) => {
+                            let may_retry = e.is_transient()
+                                && policy.as_ref().is_some_and(|p| p.allows_retry(attempts));
+                            if !may_retry {
+                                break Err(e);
+                            }
+                            backoff_total += policy
+                                .as_ref()
+                                .expect("retry implies policy")
+                                .backoff_for(block, attempts);
+                            if self.pause.is_paused() {
+                                // Pause lands at the retry boundary: no
+                                // log row, no token movement — resume()
+                                // restarts the block from a clean slate.
+                                self.sim_elapsed += exec_total + backoff_total;
+                                self.status = InstanceStatus::Paused;
+                                return Ok(&self.status);
+                            }
+                        }
+                    }
+                };
+                self.sim_elapsed += exec_total + backoff_total;
+                match outcome {
                     Ok(()) => {
+                        let status = if attempts > 1 {
+                            BlockStatus::Recovered { attempts }
+                        } else {
+                            BlockStatus::Success
+                        };
                         self.log.push(BlockExecution {
                             block: block.clone(),
-                            status: BlockStatus::Success,
-                            duration,
+                            status,
+                            duration: exec_total,
                             error: None,
+                            attempts,
+                            backoff: backoff_total,
                         });
                         self.advance(pos, None)?;
                     }
                     Err(e) => {
+                        let status = if matches!(e, CornetError::Timeout(_)) {
+                            BlockStatus::TimedOut
+                        } else {
+                            BlockStatus::Failed
+                        };
                         self.log.push(BlockExecution {
                             block: block.clone(),
-                            status: BlockStatus::Failed,
-                            duration,
+                            status,
+                            duration: exec_total,
                             error: Some(e.to_string()),
+                            attempts,
+                            backoff: backoff_total,
                         });
-                        self.status = InstanceStatus::Failed(block.clone());
+                        self.fail_block(block.clone());
                     }
                 }
             }
@@ -203,6 +303,34 @@ impl Engine {
             }
         }
         Ok(&self.status)
+    }
+
+    /// Handle a block that failed beyond recovery: execute the workflow's
+    /// backout subgraph if one is designated (the paper's MOPs carry
+    /// backout steps), reporting `RolledBack` on a clean revert and
+    /// `Failed` otherwise. Engine-structural errors never reach here —
+    /// backout only makes sense for block-level fall-outs.
+    fn fail_block(&mut self, block: String) {
+        let Some(backout) = self.workflow.backout.clone() else {
+            self.status = InstanceStatus::Failed(block);
+            return;
+        };
+        // The backout runs over the instance's *current* state — it sees
+        // everything the forward flow produced before failing (e.g.
+        // `previous_version` from a half-done upgrade).
+        let mut sub = Engine::new(*backout, self.registry.clone(), self.state.clone());
+        let reverted = sub
+            .run()
+            .map(|s| *s == InstanceStatus::Completed)
+            .unwrap_or(false);
+        self.log.extend(sub.log.iter().cloned());
+        self.sim_elapsed += sub.sim_elapsed;
+        if reverted {
+            self.state = sub.state;
+            self.status = InstanceStatus::RolledBack(block);
+        } else {
+            self.status = InstanceStatus::Failed(block);
+        }
     }
 
     fn advance(&mut self, from: WfNodeId, guard: Option<bool>) -> Result<()> {
@@ -256,9 +384,9 @@ impl Engine {
 mod tests {
     use super::*;
     use cornet_catalog::builtin_catalog;
+    use cornet_types::ParamType;
     use cornet_workflow::builtin::software_upgrade_workflow;
     use cornet_workflow::Designer;
-    use cornet_types::ParamType;
 
     /// Executors that simulate a happy-path upgrade in state only.
     fn happy_registry() -> ExecutorRegistry {
@@ -297,8 +425,14 @@ mod tests {
         let mut engine = Engine::new(wf, happy_registry(), inputs());
         assert_eq!(engine.run().unwrap(), &InstanceStatus::Completed);
         let blocks: Vec<&str> = engine.log().iter().map(|b| b.block.as_str()).collect();
-        assert_eq!(blocks, vec!["health_check", "software_upgrade", "pre_post_comparison"]);
-        assert!(engine.log().iter().all(|b| b.status == BlockStatus::Success));
+        assert_eq!(
+            blocks,
+            vec!["health_check", "software_upgrade", "pre_post_comparison"]
+        );
+        assert!(engine
+            .log()
+            .iter()
+            .all(|b| b.status == BlockStatus::Success));
     }
 
     #[test]
@@ -406,5 +540,240 @@ mod tests {
         let war = WarArtifact::package(&wf, &cat).unwrap();
         let mut engine = Engine::from_war(&war, happy_registry(), inputs()).unwrap();
         assert_eq!(engine.run().unwrap(), &InstanceStatus::Completed);
+    }
+
+    // --- Resilience: retries, deadlines, backout, pause-mid-retry. ---
+
+    use crate::resilience::{add_sim_latency, RetryPolicy};
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Mutex;
+
+    #[test]
+    fn transient_failure_recovers_under_retry_policy() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let mut reg = happy_registry();
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = calls.clone();
+        reg.register("software_upgrade", move |s| {
+            if c.fetch_add(1, Ordering::SeqCst) < 2 {
+                return Err(CornetError::TransientFailure(
+                    "ssh connectivity lost".into(),
+                ));
+            }
+            s.insert("previous_version".into(), ParamValue::from("19.3"));
+            Ok(())
+        });
+        reg.set_retry_policy("software_upgrade", RetryPolicy::with_attempts(5));
+        let mut engine = Engine::new(wf, reg, inputs());
+        assert_eq!(engine.run().unwrap(), &InstanceStatus::Completed);
+        let row = engine
+            .log()
+            .iter()
+            .find(|b| b.block == "software_upgrade")
+            .unwrap();
+        assert_eq!(row.status, BlockStatus::Recovered { attempts: 3 });
+        assert_eq!(row.attempts, 3);
+        assert!(
+            row.backoff > Duration::ZERO,
+            "two backoffs were accumulated"
+        );
+        assert!(
+            engine.sim_elapsed() >= row.backoff,
+            "backoff counts as simulated time"
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn permanent_failure_never_retries() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let mut reg = happy_registry();
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = calls.clone();
+        reg.register("software_upgrade", move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+            Err(CornetError::ExecutionFailed("bad image".into()))
+        });
+        reg.set_retry_policy("software_upgrade", RetryPolicy::with_attempts(5));
+        let mut engine = Engine::new(wf, reg, inputs());
+        assert_eq!(
+            engine.run().unwrap(),
+            &InstanceStatus::Failed("software_upgrade".into())
+        );
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "permanent errors are terminal"
+        );
+    }
+
+    #[test]
+    fn deadline_overrun_becomes_timed_out() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let mut reg = happy_registry();
+        // The executor "succeeds", but reports 900ms of simulated latency
+        // against a 200ms deadline.
+        reg.register("software_upgrade", |s| {
+            add_sim_latency(s, 900);
+            s.insert("previous_version".into(), ParamValue::from("19.3"));
+            Ok(())
+        });
+        reg.set_deadline("software_upgrade", Duration::from_millis(200));
+        let mut engine = Engine::new(wf, reg, inputs());
+        assert_eq!(
+            engine.run().unwrap(),
+            &InstanceStatus::Failed("software_upgrade".into())
+        );
+        let row = engine.log().last().unwrap();
+        assert_eq!(row.status, BlockStatus::TimedOut);
+        assert!(row.error.as_deref().unwrap().contains("deadline"));
+        assert!(engine.sim_elapsed() >= Duration::from_millis(900));
+    }
+
+    #[test]
+    fn timeouts_are_retried_as_transient() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let mut reg = happy_registry();
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = calls.clone();
+        // First attempt overruns its deadline; the second is quick.
+        reg.register("software_upgrade", move |s| {
+            if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                add_sim_latency(s, 900);
+            } else {
+                add_sim_latency(s, 50);
+            }
+            s.insert("previous_version".into(), ParamValue::from("19.3"));
+            Ok(())
+        });
+        reg.set_deadline("software_upgrade", Duration::from_millis(200));
+        reg.set_retry_policy("software_upgrade", RetryPolicy::default());
+        let mut engine = Engine::new(wf, reg, inputs());
+        assert_eq!(engine.run().unwrap(), &InstanceStatus::Completed);
+        let row = engine
+            .log()
+            .iter()
+            .find(|b| b.block == "software_upgrade")
+            .unwrap();
+        assert_eq!(row.status, BlockStatus::Recovered { attempts: 2 });
+    }
+
+    #[test]
+    fn permanent_failure_runs_backout_and_reports_rolled_back() {
+        let cat = builtin_catalog();
+        let mut wf = software_upgrade_workflow(&cat);
+        let mut backout = cornet_workflow::Workflow::new("upgrade-backout");
+        let s = backout.add_node("start", cornet_workflow::NodeKind::Start);
+        let rb = backout.add_node(
+            "roll_back",
+            cornet_workflow::NodeKind::Task {
+                block: "roll_back".into(),
+            },
+        );
+        let e = backout.add_node("end", cornet_workflow::NodeKind::End);
+        backout.add_edge(s, rb, None);
+        backout.add_edge(rb, e, None);
+        wf.set_backout(backout);
+        let mut reg = happy_registry();
+        reg.register("software_upgrade", |_| {
+            Err(CornetError::ExecutionFailed("bad image".into()))
+        });
+        let mut engine = Engine::new(wf, reg, inputs());
+        assert_eq!(
+            engine.run().unwrap(),
+            &InstanceStatus::RolledBack("software_upgrade".into())
+        );
+        // The log shows the failed block followed by the backout's blocks.
+        let blocks: Vec<&str> = engine.log().iter().map(|b| b.block.as_str()).collect();
+        assert_eq!(
+            blocks,
+            vec!["health_check", "software_upgrade", "roll_back"]
+        );
+        assert!(engine.log().last().unwrap().status.is_success());
+        // The backout's state writes are visible afterwards.
+        assert_eq!(
+            engine.state_var("rolled_back").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn failed_backout_leaves_instance_failed() {
+        let cat = builtin_catalog();
+        let mut wf = software_upgrade_workflow(&cat);
+        let mut backout = cornet_workflow::Workflow::new("upgrade-backout");
+        let s = backout.add_node("start", cornet_workflow::NodeKind::Start);
+        let rb = backout.add_node(
+            "roll_back",
+            cornet_workflow::NodeKind::Task {
+                block: "roll_back".into(),
+            },
+        );
+        let e = backout.add_node("end", cornet_workflow::NodeKind::End);
+        backout.add_edge(s, rb, None);
+        backout.add_edge(rb, e, None);
+        wf.set_backout(backout);
+        let mut reg = happy_registry();
+        reg.register("software_upgrade", |_| {
+            Err(CornetError::ExecutionFailed("bad image".into()))
+        });
+        reg.register("roll_back", |_| {
+            Err(CornetError::ExecutionFailed("backout also broken".into()))
+        });
+        let mut engine = Engine::new(wf, reg, inputs());
+        assert_eq!(
+            engine.run().unwrap(),
+            &InstanceStatus::Failed("software_upgrade".into()),
+            "a failed backout cannot claim RolledBack"
+        );
+    }
+
+    #[test]
+    fn pause_mid_retry_lands_at_block_boundary_and_resumes_fresh() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let mut reg = happy_registry();
+        let handle_slot: Arc<Mutex<Option<PauseHandle>>> = Arc::new(Mutex::new(None));
+        let calls = Arc::new(AtomicU32::new(0));
+        let (slot, c) = (handle_slot.clone(), calls.clone());
+        // First invocation: request a pause from "operations", then fail
+        // transiently. The engine must honor the pause at the retry
+        // boundary instead of burning through attempts.
+        reg.register("software_upgrade", move |s| {
+            if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                if let Some(h) = slot.lock().unwrap().as_ref() {
+                    h.pause();
+                }
+                return Err(CornetError::TransientFailure(
+                    "ssh connectivity lost".into(),
+                ));
+            }
+            s.insert("previous_version".into(), ParamValue::from("19.3"));
+            Ok(())
+        });
+        reg.set_retry_policy("software_upgrade", RetryPolicy::with_attempts(5));
+        let mut engine = Engine::new(wf, reg, inputs());
+        *handle_slot.lock().unwrap() = Some(engine.pause_handle());
+        assert_eq!(engine.run().unwrap(), &InstanceStatus::Paused);
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "pause preempted the retry");
+        assert!(
+            !engine.log().iter().any(|b| b.block == "software_upgrade"),
+            "no log row for the interrupted block: it never finished"
+        );
+        // Resume: the block restarts from a clean slate and succeeds
+        // without inheriting the pre-pause attempt count.
+        assert_eq!(engine.resume().unwrap(), &InstanceStatus::Completed);
+        let row = engine
+            .log()
+            .iter()
+            .find(|b| b.block == "software_upgrade")
+            .unwrap();
+        assert_eq!(row.status, BlockStatus::Success);
+        assert_eq!(row.attempts, 1, "attempt counter reset at the boundary");
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
     }
 }

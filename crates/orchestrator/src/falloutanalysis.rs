@@ -7,16 +7,28 @@
 //! change executions" (§3.4).
 
 use crate::dispatcher::DispatchReport;
+use crate::engine::BlockStatus;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// Aggregated execution statistics for one building block.
 #[derive(Clone, Debug, Default, PartialEq, Serialize)]
 pub struct BlockStats {
-    /// Successful executions.
+    /// Executions that ultimately produced outputs (first-try successes
+    /// plus recoveries).
     pub successes: usize,
     /// Failed executions (the block was the offender).
     pub failures: usize,
+    /// Subset of `successes` that needed retries to get there — an early
+    /// warning even when nothing failed outright.
+    pub recovered: usize,
+    /// Subset of `failures` caused by a deadline overrun.
+    pub timeouts: usize,
+    /// Failure counts grouped by error kind — the text before the first
+    /// `:` of the error message (e.g. `"transient failure"`, `"timeout"`,
+    /// `"execution failed"`). Lets troubleshooting separate connectivity
+    /// fall-out from real block defects.
+    pub by_error: BTreeMap<String, usize>,
 }
 
 impl BlockStats {
@@ -29,6 +41,12 @@ impl BlockStats {
             self.failures as f64 / total as f64
         }
     }
+}
+
+/// Error-kind grouping key: the message text before the first `:`, or the
+/// whole message when there is none.
+fn error_kind(message: &str) -> &str {
+    message.split(':').next().unwrap_or(message).trim()
 }
 
 /// Fall-out summary across one or more dispatch reports.
@@ -50,12 +68,27 @@ impl FalloutAnalysis {
             analysis.instances += report.instances.len();
             analysis.completed += report.completed();
             for instance in &report.instances {
-                for (block, success) in &instance.blocks {
-                    let stats = analysis.per_block.entry(block.clone()).or_default();
-                    if *success {
-                        stats.successes += 1;
-                    } else {
-                        stats.failures += 1;
+                for exec in &instance.blocks {
+                    let stats = analysis.per_block.entry(exec.block.clone()).or_default();
+                    match exec.status {
+                        BlockStatus::Success => stats.successes += 1,
+                        BlockStatus::Recovered { .. } => {
+                            stats.successes += 1;
+                            stats.recovered += 1;
+                        }
+                        BlockStatus::Failed | BlockStatus::TimedOut => {
+                            stats.failures += 1;
+                            if exec.status == BlockStatus::TimedOut {
+                                stats.timeouts += 1;
+                            }
+                            let kind = exec
+                                .error
+                                .as_deref()
+                                .map(error_kind)
+                                .unwrap_or("unknown")
+                                .to_string();
+                            *stats.by_error.entry(kind).or_default() += 1;
+                        }
                     }
                 }
             }
@@ -90,10 +123,33 @@ impl FalloutAnalysis {
 mod tests {
     use super::*;
     use crate::dispatcher::InstanceReport;
-    use crate::engine::InstanceStatus;
+    use crate::engine::{BlockExecution, InstanceStatus};
     use cornet_types::{NodeId, Timeslot};
+    use std::time::Duration;
 
-    type Entry = (u32, Vec<(&'static str, bool)>, InstanceStatus);
+    fn exec(block: &str, status: BlockStatus, error: Option<&str>) -> BlockExecution {
+        BlockExecution {
+            block: block.into(),
+            status,
+            duration: Duration::from_millis(10),
+            error: error.map(Into::into),
+            attempts: match status {
+                BlockStatus::Recovered { attempts } => attempts,
+                _ => 1,
+            },
+            backoff: Duration::ZERO,
+        }
+    }
+
+    fn ok(block: &str) -> BlockExecution {
+        exec(block, BlockStatus::Success, None)
+    }
+
+    fn failed(block: &str, error: &str) -> BlockExecution {
+        exec(block, BlockStatus::Failed, Some(error))
+    }
+
+    type Entry = (u32, Vec<BlockExecution>, InstanceStatus);
 
     fn report(entries: Vec<Entry>) -> DispatchReport {
         DispatchReport {
@@ -103,7 +159,7 @@ mod tests {
                     node: NodeId(node),
                     slot: Timeslot(1),
                     status,
-                    blocks: blocks.into_iter().map(|(b, s)| (b.to_string(), s)).collect(),
+                    blocks,
                 })
                 .collect(),
         }
@@ -112,13 +168,26 @@ mod tests {
     #[test]
     fn aggregates_across_reports() {
         let r1 = report(vec![
-            (0, vec![("health_check", true), ("software_upgrade", true)], InstanceStatus::Completed),
-            (1, vec![("health_check", true), ("software_upgrade", false)],
-             InstanceStatus::Failed("software_upgrade".into())),
+            (
+                0,
+                vec![ok("health_check"), ok("software_upgrade")],
+                InstanceStatus::Completed,
+            ),
+            (
+                1,
+                vec![
+                    ok("health_check"),
+                    failed("software_upgrade", "execution failed: disk full"),
+                ],
+                InstanceStatus::Failed("software_upgrade".into()),
+            ),
         ]);
         let r2 = report(vec![(
             2,
-            vec![("health_check", false)],
+            vec![failed(
+                "health_check",
+                "transient failure: ssh connectivity lost",
+            )],
             InstanceStatus::Failed("health_check".into()),
         )]);
         let a = FalloutAnalysis::from_reports([&r1, &r2]);
@@ -128,15 +197,103 @@ mod tests {
         assert_eq!(a.per_block["health_check"].successes, 2);
         assert_eq!(a.per_block["health_check"].failures, 1);
         assert_eq!(a.per_block["software_upgrade"].failures, 1);
+        assert_eq!(a.per_block["health_check"].by_error["transient failure"], 1);
+        assert_eq!(
+            a.per_block["software_upgrade"].by_error["execution failed"],
+            1
+        );
+    }
+
+    #[test]
+    fn failure_rate_math_is_exact() {
+        // 3 successes (one via retries) + 1 timeout + 1 plain failure
+        // over 5 executions → rate 2/5.
+        let r = report(vec![
+            (0, vec![ok("u")], InstanceStatus::Completed),
+            (1, vec![ok("u")], InstanceStatus::Completed),
+            (
+                2,
+                vec![exec("u", BlockStatus::Recovered { attempts: 3 }, None)],
+                InstanceStatus::Completed,
+            ),
+            (
+                3,
+                vec![exec(
+                    "u",
+                    BlockStatus::TimedOut,
+                    Some("timeout: block 'u' ran 900ms, deadline 500ms"),
+                )],
+                InstanceStatus::Failed("u".into()),
+            ),
+            (
+                4,
+                vec![failed("u", "execution failed: disk full")],
+                InstanceStatus::Failed("u".into()),
+            ),
+        ]);
+        let a = FalloutAnalysis::from_reports([&r]);
+        let stats = &a.per_block["u"];
+        assert_eq!(stats.successes, 3, "recoveries count as successes");
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.failures, 2);
+        assert_eq!(stats.timeouts, 1);
+        assert!((stats.failure_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(stats.by_error["timeout"], 1);
+        assert_eq!(stats.by_error["execution failed"], 1);
+    }
+
+    #[test]
+    fn multi_report_merge_sums_every_counter() {
+        let mk = |node: u32| {
+            report(vec![
+                (
+                    node,
+                    vec![exec("u", BlockStatus::Recovered { attempts: 2 }, None)],
+                    InstanceStatus::Completed,
+                ),
+                (
+                    node + 1,
+                    vec![failed("u", "transient failure: ssh connectivity lost")],
+                    InstanceStatus::Failed("u".into()),
+                ),
+            ])
+        };
+        let (r1, r2, r3) = (mk(0), mk(10), mk(20));
+        let merged = FalloutAnalysis::from_reports([&r1, &r2, &r3]);
+        assert_eq!(merged.instances, 6);
+        assert_eq!(merged.completed, 3);
+        let stats = &merged.per_block["u"];
+        assert_eq!(stats.successes, 3);
+        assert_eq!(stats.recovered, 3);
+        assert_eq!(stats.failures, 3);
+        assert_eq!(stats.by_error["transient failure"], 3);
+        assert!((stats.failure_rate() - 0.5).abs() < 1e-12);
+        // Merging must equal analyzing one report alone, tripled.
+        let alone = FalloutAnalysis::from_reports([&r1]);
+        assert_eq!(alone.per_block["u"].failures * 3, stats.failures);
+        assert_eq!(alone.per_block["u"].successes * 3, stats.successes);
+        assert_eq!(alone.instances * 3, merged.instances);
     }
 
     #[test]
     fn offenders_sorted_by_failures() {
         let r = report(vec![
-            (0, vec![("a", false)], InstanceStatus::Failed("a".into())),
-            (1, vec![("a", false)], InstanceStatus::Failed("a".into())),
-            (2, vec![("b", false)], InstanceStatus::Failed("b".into())),
-            (3, vec![("c", true)], InstanceStatus::Completed),
+            (
+                0,
+                vec![failed("a", "execution failed: x")],
+                InstanceStatus::Failed("a".into()),
+            ),
+            (
+                1,
+                vec![failed("a", "execution failed: x")],
+                InstanceStatus::Failed("a".into()),
+            ),
+            (
+                2,
+                vec![failed("b", "execution failed: x")],
+                InstanceStatus::Failed("b".into()),
+            ),
+            (3, vec![ok("c")], InstanceStatus::Completed),
         ]);
         let a = FalloutAnalysis::from_reports([&r]);
         let offenders = a.offenders();

@@ -12,15 +12,24 @@
 //! event-driven composition; [`events`] implements the event-driven
 //! executor so the "future work" comparison can actually be run (see the
 //! `orchestrator_modes` bench).
+//!
+//! [`resilience`] adds the robustness layer: per-block retry/backoff
+//! policies and deadlines, a circuit breaker that auto-halts roll-outs on
+//! fall-out, and a deterministic fault-injection harness.
 
 pub mod dispatcher;
 pub mod engine;
 pub mod events;
-pub mod falloutanalysis;
 pub mod executor;
+pub mod falloutanalysis;
+pub mod resilience;
 
-pub use dispatcher::{DispatchReport, Dispatcher};
+pub use dispatcher::{DispatchReport, Dispatcher, InstanceReport};
 pub use engine::{BlockExecution, BlockStatus, Engine, InstanceStatus, PauseHandle};
 pub use events::EventBus;
-pub use falloutanalysis::{BlockStats, FalloutAnalysis};
 pub use executor::{ExecutorRegistry, GlobalState};
+pub use falloutanalysis::{BlockStats, FalloutAnalysis};
+pub use resilience::{
+    add_sim_latency, take_sim_latency, BreakerTrip, CircuitBreaker, FaultKind, FaultPlan,
+    FaultyExecutor, RetryPolicy, SIM_LATENCY_KEY,
+};

@@ -20,14 +20,50 @@ pub enum CornetError {
     InvalidIntent(String),
     /// The generated model admits no solution under zero conflict tolerance.
     Infeasible(String),
-    /// A building block failed during orchestration.
+    /// A building block failed during orchestration and retrying cannot
+    /// help (wrong credentials, missing artifact, persistent refusal).
     ExecutionFailed(String),
+    /// A building block failed for a reason expected to clear on its own —
+    /// §5.1's SSH connectivity losses are the canonical case. Retry
+    /// policies only re-attempt this class.
+    TransientFailure(String),
+    /// A building block overran its execution deadline.
+    Timeout(String),
+    /// A caller passed a structurally invalid argument (e.g. a dispatcher
+    /// concurrency of zero).
+    InvalidInput(String),
     /// An operation was attempted in the wrong state (e.g. resuming a
     /// workflow instance that is not paused).
     InvalidState(String),
     /// Input data failed an integrity check (§5.3: missing measurements,
     /// inconsistent topology snapshots).
     DataIntegrity(String),
+}
+
+/// Retry-eligibility class of an error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Expected to clear on re-attempt (connectivity blips, deadline
+    /// overruns); retry policies may re-execute the block.
+    Transient,
+    /// Re-attempting cannot change the outcome; the instance must fail or
+    /// back out.
+    Permanent,
+}
+
+impl CornetError {
+    /// Classify the error for retry eligibility.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            CornetError::TransientFailure(_) | CornetError::Timeout(_) => ErrorClass::Transient,
+            _ => ErrorClass::Permanent,
+        }
+    }
+
+    /// True when a retry policy may re-attempt after this error.
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
 }
 
 impl fmt::Display for CornetError {
@@ -39,6 +75,9 @@ impl fmt::Display for CornetError {
             CornetError::InvalidIntent(m) => write!(f, "invalid intent: {m}"),
             CornetError::Infeasible(m) => write!(f, "infeasible: {m}"),
             CornetError::ExecutionFailed(m) => write!(f, "execution failed: {m}"),
+            CornetError::TransientFailure(m) => write!(f, "transient failure: {m}"),
+            CornetError::Timeout(m) => write!(f, "timeout: {m}"),
+            CornetError::InvalidInput(m) => write!(f, "invalid input: {m}"),
             CornetError::InvalidState(m) => write!(f, "invalid state: {m}"),
             CornetError::DataIntegrity(m) => write!(f, "data integrity: {m}"),
         }
@@ -63,5 +102,20 @@ mod tests {
     fn is_std_error() {
         fn takes_err(_e: &dyn std::error::Error) {}
         takes_err(&CornetError::Parse("x".into()));
+    }
+
+    #[test]
+    fn taxonomy_splits_transient_from_permanent() {
+        assert!(CornetError::TransientFailure("ssh blip".into()).is_transient());
+        assert!(CornetError::Timeout("deadline 5s".into()).is_transient());
+        for permanent in [
+            CornetError::Parse("x".into()),
+            CornetError::ExecutionFailed("bad image".into()),
+            CornetError::InvalidInput("concurrency 0".into()),
+            CornetError::InvalidState("not paused".into()),
+            CornetError::DataIntegrity("gap".into()),
+        ] {
+            assert_eq!(permanent.class(), ErrorClass::Permanent, "{permanent}");
+        }
     }
 }

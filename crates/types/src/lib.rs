@@ -20,7 +20,7 @@ pub mod topology;
 
 pub use attr::{AttrKey, AttrValue, Attributes};
 pub use change::{ChangeRequest, ChangeTicket, ChangeType, ConflictEntry, ConflictTable, Schedule};
-pub use error::CornetError;
+pub use error::{CornetError, ErrorClass};
 pub use id::NodeId;
 pub use inventory::{Inventory, InventoryRecord};
 pub use nf::NfType;

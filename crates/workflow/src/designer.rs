@@ -31,13 +31,19 @@ impl<'a> Designer<'a> {
 
     /// Declare a workflow input parameter.
     pub fn input(&mut self, name: &str, ty: ParamType) -> &mut Self {
-        self.wf.inputs.push(WorkflowParam { name: name.into(), ty });
+        self.wf.inputs.push(WorkflowParam {
+            name: name.into(),
+            ty,
+        });
         self
     }
 
     /// Declare a workflow output parameter.
     pub fn output(&mut self, name: &str, ty: ParamType) -> &mut Self {
-        self.wf.outputs.push(WorkflowParam { name: name.into(), ty });
+        self.wf.outputs.push(WorkflowParam {
+            name: name.into(),
+            ty,
+        });
         self
     }
 
@@ -48,14 +54,21 @@ impl<'a> Designer<'a> {
                 "building block '{block}' is not in the catalog"
             )));
         }
-        Ok(self.wf.add_node(block, NodeKind::Task { block: block.into() }))
+        Ok(self.wf.add_node(
+            block,
+            NodeKind::Task {
+                block: block.into(),
+            },
+        ))
     }
 
     /// Add a decision gateway on a boolean state variable.
     pub fn decision(&mut self, variable: &str) -> NodeId {
         self.wf.add_node(
             format!("{variable}?"),
-            NodeKind::Decision { variable: variable.into() },
+            NodeKind::Decision {
+                variable: variable.into(),
+            },
         )
     }
 
@@ -74,6 +87,31 @@ impl<'a> Designer<'a> {
     pub fn connect_if(&mut self, from: NodeId, to: NodeId, guard: bool) -> &mut Self {
         self.wf.add_edge(from, to, Some(guard));
         self
+    }
+
+    /// Designate an explicitly designed backout subgraph, executed by the
+    /// engine on permanent failure (MOPs carry backout steps).
+    pub fn backout(&mut self, backout: Workflow) -> &mut Self {
+        self.wf.set_backout(backout);
+        self
+    }
+
+    /// Convenience: designate a linear backout flow running the given
+    /// catalog blocks in order. Fails on unknown blocks, like [`task`].
+    ///
+    /// [`task`]: Designer::task
+    pub fn backout_sequence(&mut self, blocks: &[&str]) -> Result<&mut Self> {
+        let mut d = Designer::new(self.catalog, format!("{}-backout", self.wf.name));
+        let mut prev = d.start();
+        for block in blocks {
+            let t = d.task(block)?;
+            d.connect(prev, t);
+            prev = t;
+        }
+        let end = d.end();
+        d.connect(prev, end);
+        self.wf.set_backout(d.build());
+        Ok(self)
     }
 
     /// Finish, returning the workflow (unvalidated — run
@@ -117,6 +155,8 @@ mod tests {
         let dec = d.decision("healthy");
         let wf = d.build();
         assert_eq!(wf.node(dec).label, "healthy?");
-        assert!(matches!(&wf.node(dec).kind, NodeKind::Decision { variable } if variable == "healthy"));
+        assert!(
+            matches!(&wf.node(dec).kind, NodeKind::Decision { variable } if variable == "healthy")
+        );
     }
 }

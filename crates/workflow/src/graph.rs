@@ -84,18 +84,31 @@ pub struct Workflow {
     pub inputs: Vec<WorkflowParam>,
     /// Output parameters the workflow promises to produce.
     pub outputs: Vec<WorkflowParam>,
+    /// Optional backout subgraph — the paper's MOPs carry explicit
+    /// backout steps. On a permanent block failure the engine executes
+    /// this workflow over the instance's current global state and reports
+    /// the instance as rolled back when it completes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub backout: Option<Box<Workflow>>,
 }
 
 impl Workflow {
     /// Empty workflow with a name.
     pub fn new(name: impl Into<String>) -> Self {
-        Workflow { name: name.into(), ..Default::default() }
+        Workflow {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Append a node.
     pub fn add_node(&mut self, label: impl Into<String>, kind: NodeKind) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(WorkflowNode { id, label: label.into(), kind });
+        self.nodes.push(WorkflowNode {
+            id,
+            label: label.into(),
+            kind,
+        });
         id
     }
 
@@ -139,10 +152,17 @@ impl Workflow {
             .collect()
     }
 
+    /// Designate the backout subgraph executed on permanent failure.
+    pub fn set_backout(&mut self, backout: Workflow) {
+        self.backout = Some(Box::new(backout));
+    }
+
     /// Nodes reachable from the start by BFS (guards ignored).
     pub fn reachable(&self) -> Vec<bool> {
         let mut seen = vec![false; self.nodes.len()];
-        let Some(start) = self.start() else { return seen };
+        let Some(start) = self.start() else {
+            return seen;
+        };
         let mut queue = std::collections::VecDeque::from([start]);
         seen[start.index()] = true;
         while let Some(cur) = queue.pop_front() {
@@ -165,7 +185,12 @@ mod tests {
     fn build_small_graph() {
         let mut wf = Workflow::new("t");
         let s = wf.add_node("start", NodeKind::Start);
-        let t = wf.add_node("hc", NodeKind::Task { block: "health_check".into() });
+        let t = wf.add_node(
+            "hc",
+            NodeKind::Task {
+                block: "health_check".into(),
+            },
+        );
         let e = wf.add_node("end", NodeKind::End);
         wf.add_edge(s, t, None);
         wf.add_edge(t, e, None);
@@ -201,7 +226,12 @@ mod tests {
     fn serde_round_trip() {
         let mut wf = Workflow::new("t");
         let s = wf.add_node("start", NodeKind::Start);
-        let d = wf.add_node("ok?", NodeKind::Decision { variable: "healthy".into() });
+        let d = wf.add_node(
+            "ok?",
+            NodeKind::Decision {
+                variable: "healthy".into(),
+            },
+        );
         wf.add_edge(s, d, None);
         let json = serde_json::to_string(&wf).unwrap();
         let back: Workflow = serde_json::from_str(&json).unwrap();

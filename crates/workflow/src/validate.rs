@@ -39,7 +39,8 @@ pub fn validate(wf: &Workflow, catalog: &Catalog) -> ValidationReport {
     for e in &wf.edges {
         for id in [e.from, e.to] {
             if id.index() >= wf.nodes.len() {
-                rep.errors.push(format!("edge references unknown node {id:?}"));
+                rep.errors
+                    .push(format!("edge references unknown node {id:?}"));
             }
         }
     }
@@ -48,9 +49,15 @@ pub fn validate(wf: &Workflow, catalog: &Catalog) -> ValidationReport {
     }
 
     // --- structural checks ---
-    let starts = wf.nodes.iter().filter(|n| n.kind == NodeKind::Start).count();
+    let starts = wf
+        .nodes
+        .iter()
+        .filter(|n| n.kind == NodeKind::Start)
+        .count();
     if starts != 1 {
-        rep.errors.push(format!("workflow must have exactly one start node, found {starts}"));
+        rep.errors.push(format!(
+            "workflow must have exactly one start node, found {starts}"
+        ));
     }
     let ends = wf.nodes.iter().filter(|n| n.kind == NodeKind::End).count();
     if ends == 0 {
@@ -68,15 +75,18 @@ pub fn validate(wf: &Workflow, catalog: &Catalog) -> ValidationReport {
                     rep.errors.push("start node has no outgoing edge".into());
                 }
                 if ins > 0 {
-                    rep.errors.push("start node must not have incoming edges".into());
+                    rep.errors
+                        .push("start node must not have incoming edges".into());
                 }
             }
             NodeKind::End => {
                 if ins == 0 {
-                    rep.errors.push(format!("end node '{}' is unreachable (zombie)", n.label));
+                    rep.errors
+                        .push(format!("end node '{}' is unreachable (zombie)", n.label));
                 }
                 if outs > 0 {
-                    rep.errors.push(format!("end node '{}' has outgoing edges", n.label));
+                    rep.errors
+                        .push(format!("end node '{}' has outgoing edges", n.label));
                 }
             }
             NodeKind::Task { .. } | NodeKind::Decision { .. } => {
@@ -96,7 +106,8 @@ pub fn validate(wf: &Workflow, catalog: &Catalog) -> ValidationReport {
             let mut guards: Vec<Option<bool>> = wf.out_edges(n.id).map(|e| e.guard).collect();
             guards.sort();
             if !guards.contains(&Some(true)) || !guards.contains(&Some(false)) {
-                rep.errors.push(format!(
+                rep.errors
+                    .push(format!(
                     "decision '{}' on variable '{variable}' must have both a yes and a no branch"
                 , n.label));
             }
@@ -107,10 +118,16 @@ pub fn validate(wf: &Workflow, catalog: &Catalog) -> ValidationReport {
     for e in &wf.edges {
         let is_decision = matches!(wf.node(e.from).kind, NodeKind::Decision { .. });
         if is_decision && e.guard.is_none() {
-            rep.errors.push(format!("unguarded edge out of decision '{}'", wf.node(e.from).label));
+            rep.errors.push(format!(
+                "unguarded edge out of decision '{}'",
+                wf.node(e.from).label
+            ));
         }
         if !is_decision && e.guard.is_some() {
-            rep.errors.push(format!("guarded edge out of non-decision '{}'", wf.node(e.from).label));
+            rep.errors.push(format!(
+                "guarded edge out of non-decision '{}'",
+                wf.node(e.from).label
+            ));
         }
     }
 
@@ -119,7 +136,8 @@ pub fn validate(wf: &Workflow, catalog: &Catalog) -> ValidationReport {
         let reach = wf.reachable();
         for n in &wf.nodes {
             if !reach[n.id.index()] {
-                rep.errors.push(format!("node '{}' is unreachable from start", n.label));
+                rep.errors
+                    .push(format!("node '{}' is unreachable from start", n.label));
             }
         }
     }
@@ -133,6 +151,39 @@ pub fn validate(wf: &Workflow, catalog: &Catalog) -> ValidationReport {
 
     if rep.errors.is_empty() {
         check_parameter_flow(wf, catalog, &mut rep);
+    }
+
+    // Backout subgraph: validated recursively. The backout executes over
+    // the failing instance's *current* global state, so its available
+    // inputs are the parent's inputs plus anything any parent block can
+    // have produced before the failure.
+    if let Some(backout) = &wf.backout {
+        let mut sub = (**backout).clone();
+        let mut inputs: BTreeMap<String, ParamType> =
+            sub.inputs.iter().map(|p| (p.name.clone(), p.ty)).collect();
+        for p in &wf.inputs {
+            inputs.entry(p.name.clone()).or_insert(p.ty);
+        }
+        for block in wf.blocks() {
+            if let Some(spec) = catalog.get(block) {
+                for out in &spec.outputs {
+                    inputs.entry(out.name.clone()).or_insert(out.ty);
+                }
+            }
+        }
+        sub.inputs = inputs
+            .into_iter()
+            .map(|(name, ty)| crate::graph::WorkflowParam { name, ty })
+            .collect();
+        let sub_rep = validate(&sub, catalog);
+        rep.errors
+            .extend(sub_rep.errors.into_iter().map(|e| format!("backout: {e}")));
+        rep.warnings.extend(
+            sub_rep
+                .warnings
+                .into_iter()
+                .map(|w| format!("backout: {w}")),
+        );
     }
     rep
 }
@@ -191,7 +242,9 @@ fn check_parameter_flow(wf: &Workflow, catalog: &Catalog, rep: &mut ValidationRe
     for node in &wf.nodes {
         match &node.kind {
             NodeKind::Task { block } => {
-                let Some(spec) = catalog.get(block) else { continue };
+                let Some(spec) = catalog.get(block) else {
+                    continue;
+                };
                 for input in &spec.inputs {
                     match avail[node.id.index()].get(&input.name) {
                         None => rep.errors.push(format!(
@@ -206,19 +259,17 @@ fn check_parameter_flow(wf: &Workflow, catalog: &Catalog, rep: &mut ValidationRe
                     }
                 }
             }
-            NodeKind::Decision { variable } => {
-                match avail[node.id.index()].get(variable) {
-                    None => rep.errors.push(format!(
-                        "decision '{}' reads variable '{variable}' that is never produced",
-                        node.label
-                    )),
-                    Some(ParamType::Bool) => {}
-                    Some(ty) => rep.errors.push(format!(
-                        "decision '{}' variable '{variable}' must be bool, found {ty:?}",
-                        node.label
-                    )),
-                }
-            }
+            NodeKind::Decision { variable } => match avail[node.id.index()].get(variable) {
+                None => rep.errors.push(format!(
+                    "decision '{}' reads variable '{variable}' that is never produced",
+                    node.label
+                )),
+                Some(ParamType::Bool) => {}
+                Some(ty) => rep.errors.push(format!(
+                    "decision '{}' variable '{variable}' must be bool, found {ty:?}",
+                    node.label
+                )),
+            },
             _ => {}
         }
     }
@@ -290,10 +341,19 @@ mod tests {
         let cat = builtin_catalog();
         let mut wf = upgrade_workflow();
         // Add a task with no edges at all — the paper's zombie.
-        wf.add_node("zombie", NodeKind::Task { block: "traffic_redirect".into() });
+        wf.add_node(
+            "zombie",
+            NodeKind::Task {
+                block: "traffic_redirect".into(),
+            },
+        );
         let rep = validate(&wf, &cat);
         assert!(!rep.is_valid());
-        assert!(rep.errors.iter().any(|e| e.contains("zombie")), "{:?}", rep.errors);
+        assert!(
+            rep.errors.iter().any(|e| e.contains("zombie")),
+            "{:?}",
+            rep.errors
+        );
     }
 
     #[test]
@@ -303,7 +363,11 @@ mod tests {
         wf.add_edge(crate::graph::NodeId(0), crate::graph::NodeId(999), None);
         let rep = validate(&wf, &cat);
         assert!(!rep.is_valid());
-        assert!(rep.errors.iter().any(|e| e.contains("unknown node")), "{:?}", rep.errors);
+        assert!(
+            rep.errors.iter().any(|e| e.contains("unknown node")),
+            "{:?}",
+            rep.errors
+        );
     }
 
     #[test]
@@ -315,9 +379,15 @@ mod tests {
         let hc = d.task("health_check").unwrap();
         let dec = d.decision("healthy");
         let end = d.end();
-        d.connect(start, hc).connect(hc, dec).connect_if(dec, end, true);
+        d.connect(start, hc)
+            .connect(hc, dec)
+            .connect_if(dec, end, true);
         let rep = validate(&d.build(), &cat);
-        assert!(rep.errors.iter().any(|e| e.contains("yes and a no")), "{:?}", rep.errors);
+        assert!(
+            rep.errors.iter().any(|e| e.contains("yes and a no")),
+            "{:?}",
+            rep.errors
+        );
     }
 
     #[test]
@@ -331,7 +401,9 @@ mod tests {
         d.connect(start, up).connect(up, end);
         let rep = validate(&d.build(), &cat);
         assert!(
-            rep.errors.iter().any(|e| e.contains("never produced upstream")),
+            rep.errors
+                .iter()
+                .any(|e| e.contains("never produced upstream")),
             "{:?}",
             rep.errors
         );
@@ -371,7 +443,11 @@ mod tests {
         d.connect(start, hc).connect(hc, dec);
         d.connect_if(dec, e1, true).connect_if(dec, e2, false);
         let rep = validate(&d.build(), &cat);
-        assert!(rep.errors.iter().any(|e| e.contains("must be bool")), "{:?}", rep.errors);
+        assert!(
+            rep.errors.iter().any(|e| e.contains("must be bool")),
+            "{:?}",
+            rep.errors
+        );
     }
 
     #[test]
@@ -387,6 +463,41 @@ mod tests {
         let rep = validate(&d.build(), &cat);
         assert!(rep.is_valid());
         assert!(rep.warnings.iter().any(|w| w.contains("mystery")));
+    }
+
+    #[test]
+    fn backout_errors_are_prefixed_and_inherit_parent_outputs() {
+        let cat = builtin_catalog();
+
+        // Valid backout: roll_back consumes previous_version, which the
+        // parent's software_upgrade block produces — the backout inherits it.
+        let mut wf = upgrade_workflow();
+        let mut d = Designer::new(&cat, "backout");
+        let s = d.start();
+        let rb = d.task("roll_back").unwrap();
+        let e = d.end();
+        d.connect(s, rb).connect(rb, e);
+        wf.set_backout(d.build());
+        let rep = validate(&wf, &cat);
+        assert!(rep.is_valid(), "errors: {:?}", rep.errors);
+
+        // Invalid backout (zombie task) surfaces prefixed errors.
+        let mut bad = Workflow::new("bad-backout");
+        bad.add_node(
+            "zombie",
+            NodeKind::Task {
+                block: "roll_back".into(),
+            },
+        );
+        let mut wf = upgrade_workflow();
+        wf.set_backout(bad);
+        let rep = validate(&wf, &cat);
+        assert!(!rep.is_valid());
+        assert!(
+            rep.errors.iter().any(|e| e.starts_with("backout: ")),
+            "{:?}",
+            rep.errors
+        );
     }
 
     #[test]

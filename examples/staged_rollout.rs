@@ -6,7 +6,9 @@
 //! Run with: `cargo run --release --example staged_rollout`
 
 use cornet::core::{staged_rollout, testbed_registry, Cornet, RolloutOutcome, RolloutPlan};
-use cornet::netsim::{ImpactKind, InjectedImpact, KpiGenerator, Network, NetworkConfig, Testbed, TestbedConfig};
+use cornet::netsim::{
+    ImpactKind, InjectedImpact, KpiGenerator, Network, NetworkConfig, Testbed, TestbedConfig,
+};
 use cornet::orchestrator::{FalloutAnalysis, GlobalState};
 use cornet::types::{NfType, NodeId, ParamValue, Schedule, Timeslot};
 use cornet::verifier::{ClosureAdapter, ControlSelection, Expectation, KpiQuery, VerificationRule};
@@ -59,7 +61,11 @@ fn run_scenario(name: &str, cornet: &Cornet, enbs: &[NodeId], magnitudes: Vec<(N
             magnitude,
         })
         .collect();
-    let gen = KpiGenerator { seed: 61, noise: 0.02, ..Default::default() };
+    let gen = KpiGenerator {
+        seed: 61,
+        noise: 0.02,
+        ..Default::default()
+    };
     let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
         Some(gen.series(node, kpi, carrier, 500, &impacts))
     });
@@ -86,19 +92,34 @@ fn run_scenario(name: &str, cornet: &Cornet, enbs: &[NodeId], magnitudes: Vec<(N
     let inv = cornet.inventory.clone();
     let report = staged_rollout(
         cornet,
-        RolloutPlan { war: &war, ffa, network, rule: &rule, concurrency: 4, gate_every: 1 },
+        RolloutPlan {
+            war: &war,
+            ffa,
+            network,
+            rule: &rule,
+            concurrency: 4,
+            gate_every: 1,
+            breaker: None,
+        },
         &adapter,
         |_slot| 10_000,
         move |node| {
             let mut g = GlobalState::new();
-            g.insert("node".into(), ParamValue::from(inv.record(node).name.clone()));
+            g.insert(
+                "node".into(),
+                ParamValue::from(inv.record(node).name.clone()),
+            );
             g.insert("software_version".into(), ParamValue::from("20.1"));
             g
         },
     )
     .expect("roll-out runs");
 
-    println!("FFA: {} instances, decision {:?}", report.ffa.instances.len(), report.ffa_decision);
+    println!(
+        "FFA: {} instances, decision {:?}",
+        report.ffa.instances.len(),
+        report.ffa_decision
+    );
     println!(
         "network phase: {} instances executed, outcome {:?}",
         report.network.instances.len(),
@@ -116,7 +137,11 @@ fn run_scenario(name: &str, cornet: &Cornet, enbs: &[NodeId], magnitudes: Vec<(N
     println!(
         "fall-out analysis: {:.0}% completion, offenders: {:?}",
         fallout.completion_rate() * 100.0,
-        fallout.offenders().iter().map(|(b, s)| format!("{b}×{}", s.failures)).collect::<Vec<_>>()
+        fallout
+            .offenders()
+            .iter()
+            .map(|(b, s)| format!("{b}×{}", s.failures))
+            .collect::<Vec<_>>()
     );
 }
 
@@ -132,7 +157,11 @@ fn main() {
     let upgraded = enbs
         .iter()
         .filter(|&&n| {
-            testbed.state(&cornet.inventory.record(n).name).unwrap().sw_version == "20.1"
+            testbed
+                .state(&cornet.inventory.record(n).name)
+                .unwrap()
+                .sw_version
+                == "20.1"
         })
         .count();
     println!("testbed check: {upgraded}/{} on 20.1", enbs.len());
@@ -148,10 +177,17 @@ fn main() {
     let upgraded = enbs
         .iter()
         .filter(|&&n| {
-            testbed.state(&cornet.inventory.record(n).name).unwrap().sw_version == "20.1"
+            testbed
+                .state(&cornet.inventory.record(n).name)
+                .unwrap()
+                .sw_version
+                == "20.1"
         })
         .count();
-    println!("testbed check: only {upgraded}/{} touched (the FFA slice)", enbs.len());
+    println!(
+        "testbed check: only {upgraded}/{} touched (the FFA slice)",
+        enbs.len()
+    );
 
     // Scenario 3: the §2.2 trap — FFA nodes improve, the rest degrade.
     let (cornet, enbs, testbed) = build_cornet();
@@ -167,8 +203,15 @@ fn main() {
     let upgraded = enbs
         .iter()
         .filter(|&&n| {
-            testbed.state(&cornet.inventory.record(n).name).unwrap().sw_version == "20.1"
+            testbed
+                .state(&cornet.inventory.record(n).name)
+                .unwrap()
+                .sw_version
+                == "20.1"
         })
         .count();
-    println!("testbed check: {upgraded}/{} upgraded before the halt", enbs.len());
+    println!(
+        "testbed check: {upgraded}/{} upgraded before the halt",
+        enbs.len()
+    );
 }

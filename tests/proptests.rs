@@ -2,13 +2,13 @@
 //! schedules must uphold CORNET's semantic invariants end to end.
 
 use cornet::planner::{
-    heuristic_schedule, plan, translate, ConstraintRule, HeuristicConfig, PlanIntent,
-    PlanOptions, TranslateOptions,
+    heuristic_schedule, plan, translate, ConstraintRule, HeuristicConfig, PlanIntent, PlanOptions,
+    TranslateOptions,
 };
 use cornet::solver::SolverConfig;
 use cornet::types::{
-    Attributes, ConflictTable, Inventory, NfType, NodeId, SchedulingWindow,
-    SimTime, Timeslot, Topology,
+    Attributes, ConflictTable, Inventory, NfType, NodeId, SchedulingWindow, SimTime, Timeslot,
+    Topology,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -230,6 +230,81 @@ proptest! {
                 nodes.len()
             );
         }
+    }
+
+    /// A seeded fault plan fully determines execution: two dispatches of
+    /// the same staggered roll-out under the same plan produce identical
+    /// execution logs — block order, statuses, attempt counts, simulated
+    /// durations, and backoffs — regardless of thread interleaving.
+    #[test]
+    fn seeded_fault_plan_reproduces_execution_log(
+        seed in any::<u64>(),
+        failure_rate in 0.0f64..0.45,
+        latency_ms in 1u64..40,
+        max_attempts in 2u32..6,
+    ) {
+        use cornet::catalog::builtin_catalog;
+        use cornet::orchestrator::resilience::{FaultPlan, FaultyExecutor, RetryPolicy};
+        use cornet::orchestrator::{Dispatcher, ExecutorRegistry, GlobalState};
+        use cornet::types::{ParamValue, Schedule};
+        use cornet::workflow::builtin::software_upgrade_workflow;
+        use cornet::workflow::WarArtifact;
+
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        let run = || {
+            let mut reg = ExecutorRegistry::new();
+            reg.register("health_check", |s: &mut GlobalState| {
+                s.insert("healthy".into(), ParamValue::from(true));
+                Ok(())
+            });
+            reg.register("software_upgrade", |s: &mut GlobalState| {
+                s.insert("previous_version".into(), ParamValue::from("19.3"));
+                Ok(())
+            });
+            reg.register("pre_post_comparison", |s: &mut GlobalState| {
+                s.insert("passed".into(), ParamValue::from(true));
+                Ok(())
+            });
+            reg.register("roll_back", |_: &mut GlobalState| Ok(()));
+            let plan = FaultPlan::transient(seed, failure_rate).with_latency_ms(latency_ms);
+            let mut faulty = FaultyExecutor::wrap(&reg, &plan);
+            faulty.set_default_retry_policy(RetryPolicy::with_attempts(max_attempts));
+            let mut schedule = Schedule::default();
+            for i in 0..12u32 {
+                schedule.assignments.insert(NodeId(i), Timeslot(i / 4 + 1));
+            }
+            let report = Dispatcher::new(war.clone(), faulty, 3)
+                .unwrap()
+                .run(&schedule, |node| {
+                    let mut g = GlobalState::new();
+                    g.insert("node".into(), ParamValue::from(format!("enb-{node}")));
+                    g.insert("software_version".into(), ParamValue::from("20.1"));
+                    g
+                })
+                .unwrap();
+            report
+                .instances
+                .iter()
+                .flat_map(|i| {
+                    let node = i.node.0;
+                    i.blocks.iter().map(move |b| {
+                        (
+                            node,
+                            b.block.clone(),
+                            format!("{:?}", b.status),
+                            b.attempts,
+                            b.duration.as_millis(),
+                            b.backoff.as_millis(),
+                        )
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        let first = run();
+        let second = run();
+        prop_assert!(!first.is_empty());
+        prop_assert_eq!(first, second, "same fault plan must replay identically");
     }
 
     /// MiniZinc emission is total: any translated model renders non-empty
