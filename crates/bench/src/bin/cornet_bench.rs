@@ -1,0 +1,454 @@
+//! `cornet_bench` — wall-clock evidence for the perf PR, as JSON.
+//!
+//! Three scenario groups, each pitting the optimized path against a
+//! faithful reimplementation of the code it replaced:
+//!
+//! * **orchestrator** — a 200-instance, straggler-heavy, single-slot
+//!   dispatch through the continuous-admission pool vs the old
+//!   wave/barrier loop (reconstructed locally);
+//! * **verifier** — a 50-market × 8-KPI verification sweep through the
+//!   rayon-fanned, series-cached `verify_rule` vs the sequential,
+//!   uncached reference;
+//! * **stats** — the O((n+m) log(n+m)) rank test, selection median, and
+//!   capped Theil–Sen vs their naive counterparts on 10k-point series.
+//!
+//! Results land in `BENCH_orchestrator.json` and `BENCH_verifier.json`
+//! (stats ride in the verifier file — they are its substrate). Usage:
+//!
+//! ```text
+//! cargo run --release -p cornet-bench --bin cornet_bench [-- --smoke] [--out-dir DIR]
+//! ```
+//!
+//! `--smoke` shrinks every scenario to CI size (seconds, not minutes)
+//! while exercising the identical code paths.
+
+use cornet_catalog::builtin_catalog;
+use cornet_netsim::KpiGenerator;
+use cornet_orchestrator::{Dispatcher, Engine, ExecutorRegistry, GlobalState, InstanceStatus};
+use cornet_stats::{
+    median, quantile, robust_rank_order, robust_rank_order_naive, theil_sen, theil_sen_exact,
+};
+use cornet_types::{
+    Attributes, Inventory, NfType, NodeId, ParamValue, Schedule, Timeslot, Topology,
+};
+use cornet_verifier::{
+    verify_rule, verify_rule_sequential, ChangeScope, ClosureAdapter, ControlSelection, KpiQuery,
+    VerificationRule,
+};
+use cornet_workflow::builtin::software_upgrade_workflow;
+use cornet_workflow::WarArtifact;
+use std::time::{Duration, Instant};
+
+/// One measured comparison.
+struct Scenario {
+    name: &'static str,
+    params: Vec<(&'static str, String)>,
+    baseline_ms: f64,
+    optimized_ms: f64,
+}
+
+impl Scenario {
+    fn speedup(&self) -> f64 {
+        if self.optimized_ms > 0.0 {
+            self.baseline_ms / self.optimized_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| ".".into());
+    let mode = if smoke { "smoke" } else { "full" };
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("cornet_bench: mode={mode} cpus={cpus} out_dir={out_dir}");
+
+    let orchestrator = vec![bench_dispatch(smoke)];
+    write_report(&out_dir, "orchestrator", mode, cpus, &orchestrator);
+
+    let mut verifier = vec![bench_verification_sweep(smoke)];
+    verifier.extend(bench_stats_kernels(smoke));
+    write_report(&out_dir, "verifier", mode, cpus, &verifier);
+
+    for s in orchestrator.iter().chain(&verifier) {
+        eprintln!(
+            "  {:<32} baseline {:>9.2} ms  optimized {:>9.2} ms  speedup {:.2}x",
+            s.name,
+            s.baseline_ms,
+            s.optimized_ms,
+            s.speedup()
+        );
+    }
+}
+
+/// Best-of-`reps` wall-clock time of `f` in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+// --- orchestrator -------------------------------------------------------
+
+/// Registry whose `software_upgrade` sleeps: every `straggler_every`-th
+/// node is a straggler. Sleeping (not spinning) keeps the comparison
+/// honest on any core count — overlap is what the pool buys.
+fn sleeping_registry(
+    base: Duration,
+    straggler: Duration,
+    straggler_every: u32,
+) -> ExecutorRegistry {
+    let mut reg = ExecutorRegistry::new();
+    reg.register("health_check", |s| {
+        s.insert("healthy".into(), ParamValue::from(true));
+        Ok(())
+    });
+    reg.register("software_upgrade", move |s| {
+        // Node names look like "enb-id000012" (NodeId renders as
+        // `id000012`); recover the numeric id from the digit suffix.
+        let node = s.get("node").and_then(|v| v.as_str()).unwrap_or("");
+        let digits: String = node.chars().filter(|c| c.is_ascii_digit()).collect();
+        let id: u32 = digits.parse().unwrap_or(0);
+        std::thread::sleep(if id.is_multiple_of(straggler_every) {
+            straggler
+        } else {
+            base
+        });
+        s.insert("previous_version".into(), ParamValue::from("old"));
+        Ok(())
+    });
+    reg.register("pre_post_comparison", |s| {
+        s.insert("passed".into(), ParamValue::from(true));
+        Ok(())
+    });
+    reg.register("roll_back", |_| Ok(()));
+    reg
+}
+
+fn dispatch_inputs(node: NodeId) -> GlobalState {
+    let mut g = GlobalState::new();
+    g.insert("node".into(), ParamValue::from(format!("enb-{node}")));
+    g.insert("software_version".into(), ParamValue::from("20.1"));
+    g
+}
+
+/// The pre-PR dispatcher loop, verbatim in shape: waves of `concurrency`
+/// instances with a join barrier after each wave. This is the baseline
+/// the continuous-admission pool replaced.
+fn wave_dispatch(
+    war: &WarArtifact,
+    registry: &ExecutorRegistry,
+    nodes: &[NodeId],
+    concurrency: usize,
+) -> usize {
+    let workflow = war.unpack().expect("war unpacks");
+    let mut completed = 0;
+    for wave in nodes.chunks(concurrency) {
+        let statuses: Vec<InstanceStatus> = std::thread::scope(|scope| {
+            let handles: Vec<_> = wave
+                .iter()
+                .map(|&node| {
+                    let workflow = &workflow;
+                    let registry = registry.clone();
+                    scope.spawn(move || {
+                        let mut engine =
+                            Engine::new(workflow.clone(), registry, dispatch_inputs(node));
+                        engine.run().expect("instance runs").clone()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("instance thread"))
+                .collect()
+        });
+        completed += statuses
+            .iter()
+            .filter(|s| **s == InstanceStatus::Completed)
+            .count();
+    }
+    completed
+}
+
+fn bench_dispatch(smoke: bool) -> Scenario {
+    let (instances, base_ms, straggler_ms, reps) = if smoke {
+        (40u32, 1u64, 8u64, 1)
+    } else {
+        (200u32, 2u64, 20u64, 3)
+    };
+    let concurrency = 8usize;
+    let straggler_every = 8u32;
+    let cat = builtin_catalog();
+    let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+    let reg = sleeping_registry(
+        Duration::from_millis(base_ms),
+        Duration::from_millis(straggler_ms),
+        straggler_every,
+    );
+    let nodes: Vec<NodeId> = (0..instances).map(NodeId).collect();
+    let mut schedule = Schedule::default();
+    for &n in &nodes {
+        schedule.assignments.insert(n, Timeslot(1));
+    }
+
+    let baseline_ms = time_ms(reps, || {
+        let done = wave_dispatch(&war, &reg, &nodes, concurrency);
+        assert_eq!(done, instances as usize, "wave baseline completes all");
+    });
+    let dispatcher = Dispatcher::new(war, reg, concurrency).unwrap();
+    let optimized_ms = time_ms(reps, || {
+        let report = dispatcher.run(&schedule, dispatch_inputs).unwrap();
+        assert_eq!(report.completed(), instances as usize);
+        assert!(report.drained.is_empty());
+    });
+    Scenario {
+        name: "straggler_heavy_dispatch",
+        params: vec![
+            ("instances", instances.to_string()),
+            ("concurrency", concurrency.to_string()),
+            ("straggler_every", straggler_every.to_string()),
+            ("straggler_ms", straggler_ms.to_string()),
+            ("base_ms", base_ms.to_string()),
+        ],
+        baseline_ms,
+        optimized_ms,
+    }
+}
+
+// --- verifier -----------------------------------------------------------
+
+fn bench_verification_sweep(smoke: bool) -> Scenario {
+    let (markets, per_market, kpis, controls, len, reps) = if smoke {
+        (10usize, 2usize, 2usize, 16usize, 150usize, 1)
+    } else {
+        (50usize, 4usize, 8usize, 64usize, 300usize, 3)
+    };
+    let mut inv = Inventory::new();
+    let mut study = Vec::new();
+    for m in 0..markets {
+        for j in 0..per_market {
+            study.push(inv.push(
+                format!("enb-{m}-{j}"),
+                NfType::ENodeB,
+                Attributes::new().with("market", format!("m{m:03}")),
+            ));
+        }
+    }
+    let control: Vec<NodeId> = (0..controls)
+        .map(|c| {
+            inv.push(
+                format!("ctl-{c}"),
+                NfType::ENodeB,
+                Attributes::new().with("market", "control"),
+            )
+        })
+        .collect();
+    let topo = Topology::with_capacity(inv.len());
+    let scope = ChangeScope::simultaneous(&study, (len as u64 / 2) * 60);
+    let rule = VerificationRule {
+        name: "sweep".into(),
+        kpis: (0..kpis)
+            .map(|i| KpiQuery::monitor(format!("kpi{i}"), true))
+            .collect(),
+        location_attributes: vec!["market".into()],
+        control: ControlSelection::Explicit(control),
+        control_attr_filter: None,
+        timescales: vec![1, 24],
+        alpha: 0.01,
+        min_relative_shift: 0.01,
+    };
+    let gen = KpiGenerator {
+        seed: 17,
+        noise: 0.02,
+        ..Default::default()
+    };
+    let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, carrier: Option<usize>| {
+        Some(gen.series(node, kpi, carrier, len, &[]))
+    });
+
+    let baseline_ms = time_ms(reps, || {
+        let r = verify_rule_sequential(&adapter, &rule, &scope, &inv, &topo).unwrap();
+        assert_eq!(r.kpis.len(), kpis);
+    });
+    let optimized_ms = time_ms(reps, || {
+        let r = verify_rule(&adapter, &rule, &scope, &inv, &topo).unwrap();
+        assert_eq!(r.kpis.len(), kpis);
+    });
+    Scenario {
+        name: "market_sweep_verification",
+        params: vec![
+            ("markets", markets.to_string()),
+            ("study_nodes", (markets * per_market).to_string()),
+            ("kpis", kpis.to_string()),
+            ("controls", controls.to_string()),
+            ("series_len", len.to_string()),
+        ],
+        baseline_ms,
+        optimized_ms,
+    }
+}
+
+// --- stats kernels ------------------------------------------------------
+
+/// Deterministic pseudo-random series without touching `rand`.
+fn synth(seed: u64, len: usize) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2_000_001) as f64 - 1_000_000.0) / 1000.0
+        })
+        .collect()
+}
+
+fn bench_stats_kernels(smoke: bool) -> Vec<Scenario> {
+    let (n_rank, n_median, n_ts, reps) = if smoke {
+        (2_000usize, 10_000usize, 600usize, 3)
+    } else {
+        (10_000usize, 10_000usize, 2_000usize, 5)
+    };
+    let xs = synth(0xA5A5, n_rank);
+    let ys = synth(0x5A5A, n_rank);
+    let rank = Scenario {
+        name: "robust_rank_order_10k",
+        params: vec![("n", n_rank.to_string()), ("m", n_rank.to_string())],
+        baseline_ms: time_ms(reps, || {
+            std::hint::black_box(robust_rank_order_naive(&xs, &ys));
+        }),
+        optimized_ms: time_ms(reps, || {
+            std::hint::black_box(robust_rank_order(&xs, &ys));
+        }),
+    };
+
+    let ms = synth(0xBEEF, n_median);
+    let med = Scenario {
+        name: "median_10k",
+        params: vec![("n", n_median.to_string())],
+        baseline_ms: time_ms(reps, || {
+            std::hint::black_box(quantile(&ms, 0.5));
+        }),
+        optimized_ms: time_ms(reps, || {
+            std::hint::black_box(median(&ms));
+        }),
+    };
+
+    let tx: Vec<f64> = (0..n_ts).map(|i| i as f64).collect();
+    let ty: Vec<f64> = synth(0xF00D, n_ts)
+        .iter()
+        .enumerate()
+        .map(|(i, w)| 3.0 * i as f64 + w * 0.01)
+        .collect();
+    let ts = Scenario {
+        name: "theil_sen_capped",
+        params: vec![
+            ("n", n_ts.to_string()),
+            ("exact_pairs", ((n_ts * (n_ts - 1)) / 2).to_string()),
+            ("pair_cap", cornet_stats::THEIL_SEN_PAIR_CAP.to_string()),
+        ],
+        baseline_ms: time_ms(reps, || {
+            std::hint::black_box(theil_sen_exact(&tx, &ty));
+        }),
+        optimized_ms: time_ms(reps, || {
+            std::hint::black_box(theil_sen(&tx, &ty));
+        }),
+    };
+    vec![rank, med, ts]
+}
+
+// --- reporting ----------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Hand-rendered JSON: the vendored serde_json stub cannot parse external
+/// JSON, so the report is emitted (and structurally validated) without it.
+fn render_report(bench: &str, mode: &str, cpus: usize, scenarios: &[Scenario]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench)));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(mode)));
+    out.push_str(&format!("  \"cpu_count\": {cpus},\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(s.name)));
+        out.push_str("      \"params\": {");
+        for (j, (k, v)) in s.params.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", json_escape(k), v));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!("      \"baseline_ms\": {:.3},\n", s.baseline_ms));
+        out.push_str(&format!("      \"optimized_ms\": {:.3},\n", s.optimized_ms));
+        out.push_str(&format!("      \"speedup\": {:.3}\n", s.speedup()));
+        out.push_str(if i + 1 < scenarios.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn write_report(out_dir: &str, bench: &str, mode: &str, cpus: usize, scenarios: &[Scenario]) {
+    let body = render_report(bench, mode, cpus, scenarios);
+    validate_report(&body, scenarios.len());
+    std::fs::create_dir_all(out_dir).unwrap_or_else(|e| panic!("create {out_dir}: {e}"));
+    let path = format!("{out_dir}/BENCH_{bench}.json");
+    std::fs::write(&path, &body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+/// Structural self-check of the emitted JSON: balanced braces/brackets
+/// outside strings, required keys present, one object per scenario.
+fn validate_report(body: &str, scenario_count: usize) {
+    let (mut depth, mut brackets, mut in_str, mut esc) = (0i64, 0i64, false, false);
+    for c in body.chars() {
+        if in_str {
+            match (esc, c) {
+                (true, _) => esc = false,
+                (false, '\\') => esc = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth += 1,
+            '}' => depth -= 1,
+            '[' => brackets += 1,
+            ']' => brackets -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0 && brackets >= 0, "malformed report JSON");
+    }
+    assert_eq!((depth, brackets, in_str), (0, 0, false), "unbalanced JSON");
+    for key in ["\"bench\"", "\"mode\"", "\"cpu_count\"", "\"scenarios\""] {
+        assert!(body.contains(key), "report missing {key}");
+    }
+    assert_eq!(
+        body.matches("\"speedup\"").count(),
+        scenario_count,
+        "one speedup per scenario"
+    );
+}

@@ -6,14 +6,45 @@
 //! at the specific time for the scheduled instances." Instances of one
 //! slot run concurrently up to a limit; as an instance finishes, the next
 //! is triggered.
+//!
+//! # Continuous admission (no waves)
+//!
+//! Earlier versions ran each slot in *waves*: `concurrency` instances were
+//! spawned, the dispatcher joined **all** of them, and only then started
+//! the next batch. One straggler therefore stalled `concurrency − 1` idle
+//! workers at every wave boundary. That wave/barrier loop is gone.
+//!
+//! Each slot now runs through a **continuous-admission worker pool**: a
+//! fixed set of `concurrency` workers pull dispatch indices off a shared
+//! job channel the moment they free up, so admission is limited only by
+//! worker availability, never by a barrier. Results stream back over a
+//! channel tagged with their dispatch index and are fed through a reorder
+//! buffer, which restores dispatch order before anything user-visible
+//! happens. Three invariants survive the rewrite:
+//!
+//! * [`DispatchReport::instances`] is always in deterministic dispatch
+//!   order (slot-major, node order within the slot) no matter how threads
+//!   interleave.
+//! * Gate/breaker decisions are evaluated on dispatch-order *prefixes* of
+//!   completed instances, so a halt happens after the same instance on
+//!   every run — concurrency changes wall-clock time, never outcomes.
+//! * A halt stops **admission** immediately but drains in-flight work;
+//!   drained instances are reported separately (see
+//!   [`DispatchReport::drained`]) because which instances were in flight
+//!   at halt time is inherently timing-dependent.
+//!
+//! Slot boundaries remain barriers: a timeslot is a scheduling promise to
+//! operations teams, so slot N+1 never starts before slot N finished.
 
 use crate::engine::{BlockExecution, Engine, InstanceStatus};
 use crate::executor::{ExecutorRegistry, GlobalState};
 use crate::falloutanalysis::FalloutAnalysis;
 use crate::resilience::{BreakerTrip, CircuitBreaker};
 use cornet_types::{CornetError, NodeId, Result, Schedule, Timeslot};
-use cornet_workflow::WarArtifact;
+use cornet_workflow::{WarArtifact, Workflow};
 use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Mutex;
 
 /// Result of one workflow instance run by the dispatcher.
 #[derive(Clone, Debug)]
@@ -32,12 +63,22 @@ pub struct InstanceReport {
 /// Aggregated dispatch outcome.
 #[derive(Clone, Debug, Default)]
 pub struct DispatchReport {
-    /// Per-instance results in dispatch order.
+    /// Per-instance results in dispatch order. Deterministic: when a gate
+    /// or breaker halts the roll-out, this is truncated to an exact
+    /// dispatch-order prefix — the same prefix on every run, regardless of
+    /// thread scheduling or concurrency.
     pub instances: Vec<InstanceReport>,
+    /// Instances that were already in flight when a halt was requested and
+    /// completed while the pool drained. *Which* instances land here
+    /// depends on worker timing, so they are quarantined from the
+    /// deterministic `instances` prefix. Sorted by dispatch index; empty
+    /// unless a halt interrupted a slot mid-flight.
+    pub drained: Vec<InstanceReport>,
 }
 
 impl DispatchReport {
-    /// Instances that completed a start→end flow.
+    /// Instances that completed a start→end flow. Counts only the
+    /// deterministic `instances` prefix, never `drained`.
     pub fn completed(&self) -> usize {
         self.instances
             .iter()
@@ -70,8 +111,50 @@ impl DispatchReport {
 pub struct Dispatcher {
     war: WarArtifact,
     registry: ExecutorRegistry,
-    /// Maximum concurrent instances per slot wave.
+    /// Worker-pool size: the maximum number of instances in flight at any
+    /// moment within a slot.
     pub concurrency: usize,
+}
+
+/// Run one workflow instance, folding engine-level errors (corrupt WAR,
+/// missing decision variable, dangling edge) into a failed report so
+/// fall-out analysis sees them instead of losing them.
+fn run_instance(
+    workflow: &Workflow,
+    registry: ExecutorRegistry,
+    node: NodeId,
+    slot: Timeslot,
+    inputs: GlobalState,
+) -> InstanceReport {
+    let run = || -> Result<(InstanceStatus, Vec<BlockExecution>)> {
+        let mut engine = Engine::new(workflow.clone(), registry, inputs);
+        let status = engine.run()?.clone();
+        Ok((status, engine.log().to_vec()))
+    };
+    match run() {
+        Ok((status, blocks)) => InstanceReport {
+            node,
+            slot,
+            status,
+            blocks,
+        },
+        Err(e) => InstanceReport {
+            node,
+            slot,
+            status: InstanceStatus::Failed(format!("engine: {e}")),
+            blocks: Vec::new(),
+        },
+    }
+}
+
+/// Group a schedule's assignments by slot, preserving slot order and the
+/// deterministic node order within each slot.
+fn group_by_slot(schedule: &Schedule) -> BTreeMap<Timeslot, Vec<NodeId>> {
+    let mut by_slot: BTreeMap<Timeslot, Vec<NodeId>> = BTreeMap::new();
+    for (&node, &slot) in &schedule.assignments {
+        by_slot.entry(slot).or_default().push(node);
+    }
+    by_slot
 }
 
 impl Dispatcher {
@@ -113,58 +196,17 @@ impl Dispatcher {
         inputs_for: impl Fn(NodeId) -> GlobalState + Sync,
         mut gate: impl FnMut(Timeslot, &DispatchReport) -> bool,
     ) -> Result<(DispatchReport, Option<Timeslot>)> {
-        // Group nodes by slot, preserving slot order.
-        let mut by_slot: BTreeMap<Timeslot, Vec<NodeId>> = BTreeMap::new();
-        for (&node, &slot) in &schedule.assignments {
-            by_slot.entry(slot).or_default().push(node);
-        }
         // Unpack the WAR once; instances clone the in-memory graph instead
         // of re-deserializing JSON per instance.
         let workflow = self.war.unpack()?;
         let mut report = DispatchReport::default();
-        for (slot, nodes) in by_slot {
-            // Waves of at most `concurrency` instances.
-            for wave in nodes.chunks(self.concurrency) {
-                let mut wave_reports: Vec<Option<InstanceReport>> = vec![None; wave.len()];
-                crossbeam::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for &node in wave {
-                        let registry = self.registry.clone();
-                        let workflow = &workflow;
-                        let inputs = inputs_for(node);
-                        handles.push(scope.spawn(move |_| -> InstanceReport {
-                            // Engine-level errors (corrupt WAR, missing
-                            // decision variable, dangling edge) must not
-                            // vanish from the report — they become failed
-                            // instances so fall-out analysis sees them.
-                            let run = || -> Result<(InstanceStatus, Vec<BlockExecution>)> {
-                                let mut engine = Engine::new(workflow.clone(), registry, inputs);
-                                let status = engine.run()?.clone();
-                                Ok((status, engine.log().to_vec()))
-                            };
-                            match run() {
-                                Ok((status, blocks)) => InstanceReport {
-                                    node,
-                                    slot,
-                                    status,
-                                    blocks,
-                                },
-                                Err(e) => InstanceReport {
-                                    node,
-                                    slot,
-                                    status: InstanceStatus::Failed(format!("engine: {e}")),
-                                    blocks: Vec::new(),
-                                },
-                            }
-                        }));
-                    }
-                    for (i, h) in handles.into_iter().enumerate() {
-                        wave_reports[i] = Some(h.join().expect("instance thread panicked"));
-                    }
-                })
-                .expect("crossbeam scope failed");
-                report.instances.extend(wave_reports.into_iter().flatten());
-            }
+        for (slot, nodes) in group_by_slot(schedule) {
+            // The per-instance gate always admits: run_gated only halts at
+            // slot boundaries, so every admitted instance lands in the
+            // deterministic prefix and nothing drains.
+            let (mut instances, _drained, _halted) =
+                self.run_slot(&workflow, slot, &nodes, &inputs_for, |_| true);
+            report.instances.append(&mut instances);
             if !gate(slot, &report) {
                 return Ok((report, Some(slot)));
             }
@@ -172,30 +214,169 @@ impl Dispatcher {
         Ok((report, None))
     }
 
-    /// Execute the schedule with an automatic halt gate: after each slot
-    /// the running fall-out analysis is fed to the circuit breaker, and a
-    /// trip halts the remaining slots — the paper's "decision is made to
-    /// halt the roll-out" (§2.1) taken by software instead of an operator.
-    /// Returns the partial report and the trip that caused the halt, if
-    /// any.
+    /// Execute the schedule with an automatic halt gate: the running
+    /// fall-out analysis is updated on **every instance completion**
+    /// (taken in dispatch order) and fed to the circuit breaker; a trip
+    /// stops admission immediately — mid-slot, not just at the next slot
+    /// boundary — the paper's "decision is made to halt the roll-out"
+    /// (§2.1) taken by software instead of an operator. Already-running
+    /// instances are drained into [`DispatchReport::drained`]; no new
+    /// ones start. Returns the partial report and the trip that caused
+    /// the halt, if any.
+    ///
+    /// The trip point is deterministic: breaker checks consume completed
+    /// instances in dispatch order, so the same schedule, registry, and
+    /// breaker trip after the same instance at any concurrency.
     pub fn run_with_breaker(
         &self,
         schedule: &Schedule,
         inputs_for: impl Fn(NodeId) -> GlobalState + Sync,
         breaker: &CircuitBreaker,
     ) -> Result<(DispatchReport, Option<BreakerTrip>)> {
+        let workflow = self.war.unpack()?;
+        let mut report = DispatchReport::default();
+        let mut analysis = FalloutAnalysis::default();
         let mut trip: Option<BreakerTrip> = None;
-        let (report, _halted_at) = self.run_gated(schedule, inputs_for, |_, report| {
-            let fallout = FalloutAnalysis::from_reports([report]);
-            match breaker.check(&fallout) {
-                Some(t) => {
-                    trip = Some(t);
-                    false
-                }
-                None => true,
+        for (slot, nodes) in group_by_slot(schedule) {
+            let (mut instances, mut drained, halted) =
+                self.run_slot(&workflow, slot, &nodes, &inputs_for, |instance| {
+                    analysis.add_instance(instance);
+                    match breaker.check(&analysis) {
+                        Some(t) => {
+                            trip = Some(t);
+                            false
+                        }
+                        None => true,
+                    }
+                });
+            report.instances.append(&mut instances);
+            report.drained.append(&mut drained);
+            if halted {
+                break;
             }
-        })?;
+        }
         Ok((report, trip))
+    }
+
+    /// Run one slot through the continuous-admission pool.
+    ///
+    /// `concurrency` workers pull dispatch indices off a shared job
+    /// channel, run the instance, and stream the result back tagged with
+    /// its index. Admission is collector-driven: the channel is primed
+    /// with `concurrency` jobs, and each received completion admits
+    /// exactly one more — after the reorder buffer has advanced the
+    /// contiguous completed prefix and consulted `on_complete` (once per
+    /// instance, in dispatch order). A worker therefore starts the next
+    /// instance the moment one finishes, with no wave barrier, yet a
+    /// gate/breaker verdict is always taken **before** the admission it
+    /// could have vetoed — at concurrency 1 this degenerates to exactly
+    /// the sequential admit-check-admit loop, which is what makes the
+    /// dispatch-equivalence properties hold.
+    ///
+    /// `on_complete` returning `false` halts admission: the job channel
+    /// closes, idle workers exit, in-flight instances finish into the
+    /// drained list, and the ordered prefix is frozen at the halting
+    /// instance.
+    ///
+    /// Returns `(ordered_prefix, drained, halted)`.
+    fn run_slot(
+        &self,
+        workflow: &Workflow,
+        slot: Timeslot,
+        nodes: &[NodeId],
+        inputs_for: &(impl Fn(NodeId) -> GlobalState + Sync),
+        mut on_complete: impl FnMut(&InstanceReport) -> bool,
+    ) -> (Vec<InstanceReport>, Vec<InstanceReport>, bool) {
+        let n = nodes.len();
+        let mut ordered: Vec<InstanceReport> = Vec::with_capacity(n);
+        let mut drained: Vec<(usize, InstanceReport)> = Vec::new();
+        let mut halted = false;
+        if n == 0 {
+            return (ordered, Vec::new(), false);
+        }
+        let workers = self.concurrency.min(n);
+        let (job_tx, job_rx) = mpsc::channel::<usize>();
+        let job_rx = Mutex::new(job_rx);
+        let (result_tx, result_rx) = mpsc::channel::<(usize, InstanceReport)>();
+        // Prime the pool: one job per worker; the rest are admitted one
+        // per completion.
+        let mut next_admission = workers;
+        for i in 0..workers {
+            job_tx.send(i).expect("receiver alive");
+        }
+        let mut job_tx = Some(job_tx);
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                let result_tx = result_tx.clone();
+                let job_rx = &job_rx;
+                let registry = &self.registry;
+                scope.spawn(move |_| loop {
+                    // Hold the lock only for the dequeue, not the run:
+                    // workers block here only when no job is admitted yet.
+                    let job = {
+                        let rx = job_rx.lock().unwrap_or_else(|e| e.into_inner());
+                        rx.recv()
+                    };
+                    let Ok(i) = job else { break };
+                    let report = run_instance(
+                        workflow,
+                        registry.clone(),
+                        nodes[i],
+                        slot,
+                        inputs_for(nodes[i]),
+                    );
+                    if result_tx.send((i, report)).is_err() {
+                        break;
+                    }
+                });
+            }
+            // Workers hold the only remaining result senders: the
+            // collector loop ends exactly when the last worker exits.
+            drop(result_tx);
+            let mut pending: Vec<Option<InstanceReport>> = (0..n).map(|_| None).collect();
+            for (i, rep) in result_rx.iter() {
+                if halted {
+                    drained.push((i, rep));
+                    continue;
+                }
+                pending[i] = Some(rep);
+                // Advance the contiguous completed prefix, consulting the
+                // gate once per instance in dispatch order.
+                while let Some(next) = pending.get_mut(ordered.len()).and_then(|o| o.take()) {
+                    let admit_more = on_complete(&next);
+                    ordered.push(next);
+                    if !admit_more {
+                        halted = true;
+                        break;
+                    }
+                }
+                if halted {
+                    // Stop admission (idle workers see the closed channel
+                    // and exit) and drain out-of-order completions already
+                    // buffered past the halting instance.
+                    job_tx = None;
+                    for (j, buffered) in pending.iter_mut().enumerate() {
+                        if let Some(r) = buffered.take() {
+                            drained.push((j, r));
+                        }
+                    }
+                } else if next_admission < n {
+                    if let Some(tx) = &job_tx {
+                        if tx.send(next_admission).is_ok() {
+                            next_admission += 1;
+                        }
+                    }
+                } else {
+                    // Every index admitted: close the channel so workers
+                    // exit as they go idle.
+                    job_tx = None;
+                }
+            }
+        })
+        .expect("crossbeam scope failed");
+        drained.sort_by_key(|&(i, _)| i);
+        let drained = drained.into_iter().map(|(_, r)| r).collect();
+        (ordered, drained, halted)
     }
 }
 

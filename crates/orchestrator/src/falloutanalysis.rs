@@ -6,8 +6,8 @@
 //! the workflow execution is often important to troubleshoot unsuccessful
 //! change executions" (§3.4).
 
-use crate::dispatcher::DispatchReport;
-use crate::engine::BlockStatus;
+use crate::dispatcher::{DispatchReport, InstanceReport};
+use crate::engine::{BlockStatus, InstanceStatus};
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -61,39 +61,53 @@ pub struct FalloutAnalysis {
 }
 
 impl FalloutAnalysis {
-    /// Aggregate one or more dispatch reports.
+    /// Aggregate one or more dispatch reports. Only the deterministic
+    /// `instances` prefix of each report is counted — instances drained
+    /// after a halt ([`DispatchReport::drained`]) have timing-dependent
+    /// membership and would make the analysis nondeterministic.
     pub fn from_reports<'a>(reports: impl IntoIterator<Item = &'a DispatchReport>) -> Self {
         let mut analysis = FalloutAnalysis::default();
         for report in reports {
-            analysis.instances += report.instances.len();
-            analysis.completed += report.completed();
             for instance in &report.instances {
-                for exec in &instance.blocks {
-                    let stats = analysis.per_block.entry(exec.block.clone()).or_default();
-                    match exec.status {
-                        BlockStatus::Success => stats.successes += 1,
-                        BlockStatus::Recovered { .. } => {
-                            stats.successes += 1;
-                            stats.recovered += 1;
-                        }
-                        BlockStatus::Failed | BlockStatus::TimedOut => {
-                            stats.failures += 1;
-                            if exec.status == BlockStatus::TimedOut {
-                                stats.timeouts += 1;
-                            }
-                            let kind = exec
-                                .error
-                                .as_deref()
-                                .map(error_kind)
-                                .unwrap_or("unknown")
-                                .to_string();
-                            *stats.by_error.entry(kind).or_default() += 1;
-                        }
-                    }
-                }
+                analysis.add_instance(instance);
             }
         }
         analysis
+    }
+
+    /// Fold one instance into the running totals — the incremental form
+    /// the dispatcher's completion-event circuit breaker uses to check
+    /// failure rates after every finished instance without re-walking the
+    /// whole report. `from_reports` is exactly this, folded over every
+    /// instance.
+    pub fn add_instance(&mut self, instance: &InstanceReport) {
+        self.instances += 1;
+        if instance.status == InstanceStatus::Completed {
+            self.completed += 1;
+        }
+        for exec in &instance.blocks {
+            let stats = self.per_block.entry(exec.block.clone()).or_default();
+            match exec.status {
+                BlockStatus::Success => stats.successes += 1,
+                BlockStatus::Recovered { .. } => {
+                    stats.successes += 1;
+                    stats.recovered += 1;
+                }
+                BlockStatus::Failed | BlockStatus::TimedOut => {
+                    stats.failures += 1;
+                    if exec.status == BlockStatus::TimedOut {
+                        stats.timeouts += 1;
+                    }
+                    let kind = exec
+                        .error
+                        .as_deref()
+                        .map(error_kind)
+                        .unwrap_or("unknown")
+                        .to_string();
+                    *stats.by_error.entry(kind).or_default() += 1;
+                }
+            }
+        }
     }
 
     /// Blocks ordered by failure count descending — the troubleshooting
@@ -162,6 +176,7 @@ mod tests {
                     blocks,
                 })
                 .collect(),
+            drained: Vec::new(),
         }
     }
 

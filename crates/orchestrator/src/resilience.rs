@@ -368,7 +368,10 @@ mod tests {
                 )],
             });
         }
-        DispatchReport { instances }
+        DispatchReport {
+            instances,
+            drained: Vec::new(),
+        }
     }
 
     #[test]

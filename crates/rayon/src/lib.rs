@@ -1,0 +1,221 @@
+//! # rayon (in-tree stand-in)
+//!
+//! A miniature, API-compatible substitute for the subset of the `rayon`
+//! crate this workspace uses: `par_iter().map(..).collect::<Vec<_>>()`
+//! over slices, plus [`join`] and [`current_num_threads`]. The build
+//! environment resolves crates.io from a fixed vendor set that does not
+//! include rayon, so the workspace vendors this shim as a path crate;
+//! swapping it for the real crate is a one-line change in the workspace
+//! `Cargo.toml` and no call sites move.
+//!
+//! Semantics the callers rely on (and the real rayon provides):
+//!
+//! * **Order preservation** — `collect` returns results in the input
+//!   order regardless of which worker computed them.
+//! * **Work stealing-ish scheduling** — items are handed to workers one
+//!   at a time through an atomic cursor, so one slow item does not stall
+//!   a statically assigned chunk behind it.
+//! * **Panic propagation** — a panicking closure aborts the `collect`
+//!   with the original panic payload.
+//!
+//! The worker count is `std::thread::available_parallelism()`, capped by
+//! the item count; with a single hardware thread (or a single item) the
+//! whole map runs inline on the caller's thread, which keeps tiny inputs
+//! allocation-free and makes single-core CI behave exactly like a plain
+//! `iter().map().collect()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Number of worker threads a parallel map would use right now.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Conversion of a borrowed collection into a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Sync + 'a;
+    /// Parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each item through `f`; evaluation happens at `collect`.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    /// Evaluate the map across worker threads and collect the results in
+    /// input order.
+    pub fn collect<C: FromOrderedResults<R>>(self) -> C {
+        let n = self.items.len();
+        let workers = current_num_threads().min(n);
+        if workers <= 1 {
+            return C::from_ordered(self.items.iter().map(&self.f).collect());
+        }
+        let cursor = AtomicUsize::new(0);
+        let f = &self.f;
+        let items = self.items;
+        let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(&items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+        for bucket in buckets.drain(..) {
+            indexed.extend(bucket);
+        }
+        indexed.sort_by_key(|(i, _)| *i);
+        C::from_ordered(indexed.into_iter().map(|(_, r)| r).collect())
+    }
+}
+
+/// Sink for ordered parallel results (rayon's `FromParallelIterator`).
+pub trait FromOrderedResults<R> {
+    /// Build the collection from results already in input order.
+    fn from_ordered(results: Vec<R>) -> Self;
+}
+
+impl<R> FromOrderedResults<R> for Vec<R> {
+    fn from_ordered(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u32> = Vec::new();
+        let ys: Vec<u32> = xs.par_iter().map(|x| x + 1).collect();
+        assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_is_still_ordered() {
+        // Make early items slow so late items finish first on any
+        // multi-threaded run; order must survive.
+        let xs: Vec<u64> = (0..64).collect();
+        let ys: Vec<u64> = xs
+            .par_iter()
+            .map(|&x| {
+                if x < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                x
+            })
+            .collect();
+        assert_eq!(ys, xs);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panics_propagate() {
+        let xs = vec![1, 2, 3];
+        let _: Vec<i32> = xs
+            .par_iter()
+            .map(|&x| if x == 2 { panic!("boom") } else { x })
+            .collect();
+    }
+}

@@ -36,18 +36,44 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 
 /// Median. Returns `NaN` on empty input. NaN inputs are sorted last and may
 /// poison the result — callers should filter beforehand.
+///
+/// Uses `select_nth_unstable_by` — O(n) expected instead of the O(n log n)
+/// full sort a quantile needs — and reproduces [`quantile`]`(xs, 0.5)`
+/// bit-for-bit: the even-length interpolation applies the exact same
+/// `lo·(1−frac) + hi·frac` expression with `frac = 0.5`. Inputs containing
+/// NaN fall back to the sort-based quantile so the (documented, deranged)
+/// NaN ordering stays identical between the two paths.
 pub fn median(xs: &[f64]) -> f64 {
-    quantile(xs, 0.5)
+    if xs.is_empty() || xs.iter().any(|v| v.is_nan()) {
+        return quantile(xs, 0.5);
+    }
+    let mut buf = xs.to_vec();
+    let n = buf.len();
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("NaN-free input");
+    let hi_idx = n / 2;
+    let (left, hi, _) = buf.select_nth_unstable_by(hi_idx, cmp);
+    let hi = *hi;
+    if n % 2 == 1 {
+        return hi;
+    }
+    // Even length: the lower middle is the maximum of the left partition.
+    let lo = left.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    lo * (1.0 - 0.5) + hi * 0.5
 }
 
 /// Quantile by linear interpolation between order statistics (type-7, the
 /// convention used by R and NumPy). `q` is clamped to `[0, 1]`.
+///
+/// Ordering uses `f64::total_cmp` — a genuine total order, so the sort can
+/// never trip the standard library's inconsistent-comparator detection on
+/// NaN inputs (positive NaNs rank above every number, negative NaNs
+/// below).
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
     if xs.is_empty() {
         return f64::NAN;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_unstable_by(f64::total_cmp);
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;

@@ -77,11 +77,39 @@ fn placement(v: f64, other: &[f64]) -> f64 {
     below
 }
 
+/// Placements of every `v ∈ values` against a pre-sorted `other_sorted`:
+/// two binary searches per value instead of a full scan. Counts below and
+/// tie counts are small integers, exactly representable in `f64`, so the
+/// result is bit-identical to the naive scan.
+fn placements_sorted(values: &[f64], other_sorted: &[f64]) -> Vec<f64> {
+    values
+        .iter()
+        .map(|&v| {
+            let below = other_sorted.partition_point(|&o| o < v);
+            let not_above = other_sorted.partition_point(|&o| o <= v);
+            below as f64 + 0.5 * (not_above - below) as f64
+        })
+        .collect()
+}
+
+/// Sort a copy ascending; only callable on NaN-free data.
+fn sorted_copy(xs: &[f64]) -> Vec<f64> {
+    let mut v = xs.to_vec();
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN-free input"));
+    v
+}
+
 /// Fligner–Policello robust rank-order test of medians.
 ///
 /// Unlike Wilcoxon–Mann–Whitney it does not assume equal variances or equal
 /// shapes of the two distributions — exactly why the paper picks it for KPI
 /// comparisons where a change can alter both level and variability.
+///
+/// Placements are computed by sorting each sample once and binary-searching
+/// (O((n+m)·log(n+m))) instead of the naive all-pairs scan (O(n·m)); the two
+/// paths are bit-identical (see [`robust_rank_order_naive`] and the
+/// equivalence property tests). Inputs containing NaN fall back to the
+/// naive scan, which treats NaN comparisons as "not below, not tied".
 ///
 /// Returns a degenerate result (NaN statistic) when either sample has fewer
 /// than two observations or placements have zero variance with equal sums.
@@ -89,8 +117,38 @@ pub fn robust_rank_order(xs: &[f64], ys: &[f64]) -> RankTestResult {
     if xs.len() < 2 || ys.len() < 2 {
         return RankTestResult::degenerate(xs, ys);
     }
+    let has_nan = xs.iter().chain(ys).any(|v| v.is_nan());
+    let (px, py) = if has_nan {
+        (
+            xs.iter().map(|&v| placement(v, ys)).collect(),
+            ys.iter().map(|&v| placement(v, xs)).collect(),
+        )
+    } else {
+        let xs_sorted = sorted_copy(xs);
+        let ys_sorted = sorted_copy(ys);
+        (
+            placements_sorted(xs, &ys_sorted),
+            placements_sorted(ys, &xs_sorted),
+        )
+    };
+    finish_robust_rank_order(&px, &py, xs, ys)
+}
+
+/// Reference implementation of [`robust_rank_order`] with O(n·m) placement
+/// scans. Kept public for the kernel-equivalence property tests and the
+/// `cornet-bench` microbenchmarks; production code should call
+/// [`robust_rank_order`].
+pub fn robust_rank_order_naive(xs: &[f64], ys: &[f64]) -> RankTestResult {
+    if xs.len() < 2 || ys.len() < 2 {
+        return RankTestResult::degenerate(xs, ys);
+    }
     let px: Vec<f64> = xs.iter().map(|&v| placement(v, ys)).collect();
     let py: Vec<f64> = ys.iter().map(|&v| placement(v, xs)).collect();
+    finish_robust_rank_order(&px, &py, xs, ys)
+}
+
+/// Shared tail of the FP test once placements are known.
+fn finish_robust_rank_order(px: &[f64], py: &[f64], xs: &[f64], ys: &[f64]) -> RankTestResult {
     let px_sum: f64 = px.iter().sum();
     let py_sum: f64 = py.iter().sum();
     let px_bar = px_sum / xs.len() as f64;
@@ -120,11 +178,8 @@ pub fn robust_rank_order(xs: &[f64], ys: &[f64]) -> RankTestResult {
 fn midranks(pooled: &[f64]) -> Vec<f64> {
     let n = pooled.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| {
-        pooled[a]
-            .partial_cmp(&pooled[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // total_cmp: a real total order, panic-free even when NaNs slip in.
+    idx.sort_by(|&a, &b| pooled[a].total_cmp(&pooled[b]));
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -156,7 +211,7 @@ pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> RankTestResult {
     let nn = (m + n) as f64;
     // Tie correction over pooled tie-group sizes.
     let mut sorted = pooled.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_unstable_by(f64::total_cmp);
     let mut tie_term = 0.0;
     let mut i = 0;
     while i < sorted.len() {

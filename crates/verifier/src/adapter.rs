@@ -9,6 +9,8 @@
 
 use cornet_stats::TimeSeries;
 use cornet_types::NodeId;
+use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// Source of KPI time-series.
 pub trait DataAdapter: Sync {
@@ -16,6 +18,64 @@ pub trait DataAdapter: Sync {
     /// carrier frequency. `None` when the feed has no such stream — the
     /// analytics must tolerate missing data (§5.3).
     fn series(&self, node: NodeId, kpi: &str, carrier: Option<usize>) -> Option<TimeSeries>;
+}
+
+/// Memoizing wrapper around a [`DataAdapter`].
+///
+/// A verification campaign touches the same streams over and over: the
+/// overall analysis and every location slice of every KPI query re-fetch
+/// the study and control series, and multiple rules repeat the whole
+/// pattern. Production adapters front a data lake, so each fetch is the
+/// expensive part. `SeriesCache` extracts each `(node, KPI, carrier)`
+/// stream from the underlying adapter once and serves clones afterwards
+/// — including negative results (`None` is cached too).
+///
+/// Thread-safe behind an `RwLock`: concurrent readers don't serialize on
+/// cache hits. Two threads racing on the same cold key may both hit the
+/// underlying adapter; both insert the same value (adapters are assumed
+/// deterministic), so results are unaffected.
+/// Cache key: one KPI stream is identified by `(node, KPI, carrier)`.
+type StreamKey = (NodeId, String, Option<usize>);
+
+pub struct SeriesCache<'a> {
+    inner: &'a dyn DataAdapter,
+    cache: RwLock<HashMap<StreamKey, Option<TimeSeries>>>,
+}
+
+impl<'a> SeriesCache<'a> {
+    /// Wrap `inner` with an empty cache.
+    pub fn new(inner: &'a dyn DataAdapter) -> Self {
+        SeriesCache {
+            inner,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Distinct streams fetched so far (including misses cached as
+    /// `None`) — a diagnostic for benches and tests.
+    pub fn streams_cached(&self) -> usize {
+        self.cache.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+impl DataAdapter for SeriesCache<'_> {
+    fn series(&self, node: NodeId, kpi: &str, carrier: Option<usize>) -> Option<TimeSeries> {
+        let key = (node, kpi.to_owned(), carrier);
+        if let Some(hit) = self
+            .cache
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
+            return hit.clone();
+        }
+        let fetched = self.inner.series(node, kpi, carrier);
+        self.cache
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, fetched.clone());
+        fetched
+    }
 }
 
 /// Adapter from a closure.
@@ -49,5 +109,36 @@ mod tests {
             adapter.series(NodeId(7), "known", None).unwrap().values,
             vec![7.0]
         );
+    }
+
+    #[test]
+    fn series_cache_fetches_each_stream_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let fetches = AtomicUsize::new(0);
+        let adapter = ClosureAdapter(|node: NodeId, kpi: &str, _carrier: Option<usize>| {
+            fetches.fetch_add(1, Ordering::Relaxed);
+            if kpi == "known" {
+                Some(TimeSeries::new(0, 60, vec![node.0 as f64]))
+            } else {
+                None
+            }
+        });
+        let cache = SeriesCache::new(&adapter);
+        for _ in 0..5 {
+            assert_eq!(
+                cache.series(NodeId(3), "known", None).unwrap().values,
+                vec![3.0]
+            );
+            assert!(cache.series(NodeId(3), "unknown", None).is_none());
+        }
+        assert_eq!(
+            fetches.load(Ordering::Relaxed),
+            2,
+            "one fetch per distinct stream, misses included"
+        );
+        assert_eq!(cache.streams_cached(), 2);
+        // Distinct carrier = distinct stream.
+        cache.series(NodeId(3), "known", Some(1));
+        assert_eq!(fetches.load(Ordering::Relaxed), 3);
     }
 }

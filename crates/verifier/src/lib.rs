@@ -24,10 +24,10 @@ pub mod integrity;
 pub mod rules;
 pub mod verify;
 
-pub use adapter::{ClosureAdapter, DataAdapter};
+pub use adapter::{ClosureAdapter, DataAdapter, SeriesCache};
 pub use analysis::{analyze_kpi, AnalysisOptions, ChangeScope, ImpactVerdict, KpiAnalysis};
 pub use control::{derive_control_group, ControlSelection};
 pub use equation::Equation;
 pub use integrity::{monitor_feeds, FeedAlert, IntegrityConfig};
 pub use rules::{Expectation, KpiQuery, VerificationRule};
-pub use verify::{verify_rule, GoNoGo, VerificationReport};
+pub use verify::{verify_rule, verify_rule_sequential, verify_rules, GoNoGo, VerificationReport};

@@ -1,17 +1,30 @@
 //! The verifier facade: evaluate a composed rule over a change scope and
 //! produce the go/no-go summary the operations teams act on (§3.5, §5.2).
 //!
-//! KPI queries evaluate in parallel (crossbeam scoped threads — the paper
-//! notes verification time "is influenced by the number of threads we
-//! create", Appendix D). Location-attribute aggregation produces per-value
-//! verdicts so a halt can target only the problem configuration instead of
-//! the whole network (§5.2).
+//! The work is fanned at **unit** granularity: every (KPI query ×
+//! {overall, location slice}) pair is an independent `analyze_kpi` call,
+//! and [`verify_rule`] spreads all of them across a rayon-style parallel
+//! iterator (the paper notes verification time "is influenced by the
+//! number of threads we create", Appendix D). A rule with 8 KPIs and 50
+//! location values exposes 8 × 51 = 408 units instead of 8 coarse
+//! threads, so the fan scales with the real work, not the query count.
+//! Results are collected back in unit order, so reports are identical to
+//! the sequential reference ([`verify_rule_sequential`]) bit for bit.
+//!
+//! Series extraction is memoized through a
+//! [`SeriesCache`](crate::adapter::SeriesCache): the overall analysis and
+//! every location slice share one fetch per (node, KPI, carrier) stream,
+//! and [`verify_rules`] extends the same cache across a whole campaign of
+//! rules. Location-attribute aggregation produces per-value verdicts so a
+//! halt can target only the problem configuration instead of the whole
+//! network (§5.2).
 
-use crate::adapter::DataAdapter;
+use crate::adapter::{DataAdapter, SeriesCache};
 use crate::analysis::{analyze_kpi, AnalysisOptions, ChangeScope, ImpactVerdict, KpiAnalysis};
 use crate::control::derive_control_group;
 use crate::rules::{Expectation, KpiQuery, VerificationRule};
 use cornet_types::{Inventory, Result, Topology};
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -98,13 +111,60 @@ fn expectation_met(expected: Expectation, verdict: ImpactVerdict) -> bool {
     }
 }
 
-/// Evaluate one rule over a change scope.
+/// Evaluate one rule over a change scope: every (KPI × location) unit in
+/// parallel, with series extraction memoized for the duration of the
+/// call. Verdict-identical to [`verify_rule_sequential`].
 pub fn verify_rule(
     adapter: &dyn DataAdapter,
     rule: &VerificationRule,
     scope: &ChangeScope,
     inventory: &Inventory,
     topology: &Topology,
+) -> Result<VerificationReport> {
+    let cache = SeriesCache::new(adapter);
+    verify_rule_impl(&cache, rule, scope, inventory, topology, true)
+}
+
+/// Sequential, uncached reference implementation of [`verify_rule`]:
+/// plain loops, direct adapter access, one unit at a time. Exists so
+/// equivalence tests (and skeptical readers) can pin the parallel fan and
+/// the series cache to a version with neither.
+pub fn verify_rule_sequential(
+    adapter: &dyn DataAdapter,
+    rule: &VerificationRule,
+    scope: &ChangeScope,
+    inventory: &Inventory,
+    topology: &Topology,
+) -> Result<VerificationReport> {
+    verify_rule_impl(adapter, rule, scope, inventory, topology, false)
+}
+
+/// Verify a campaign of rules against one shared series cache: each
+/// (node, KPI, carrier) stream is extracted from the adapter at most once
+/// across the entire campaign, no matter how many rules, location slices,
+/// or timescales touch it. Reports come back in rule order; the first
+/// rule-level error aborts the campaign.
+pub fn verify_rules(
+    adapter: &dyn DataAdapter,
+    rules: &[VerificationRule],
+    scope: &ChangeScope,
+    inventory: &Inventory,
+    topology: &Topology,
+) -> Result<Vec<VerificationReport>> {
+    let cache = SeriesCache::new(adapter);
+    rules
+        .iter()
+        .map(|rule| verify_rule_impl(&cache, rule, scope, inventory, topology, true))
+        .collect()
+}
+
+fn verify_rule_impl(
+    adapter: &dyn DataAdapter,
+    rule: &VerificationRule,
+    scope: &ChangeScope,
+    inventory: &Inventory,
+    topology: &Topology,
+    parallel: bool,
 ) -> Result<VerificationReport> {
     let started = Instant::now();
     let study = scope.nodes();
@@ -136,60 +196,60 @@ pub fn verify_rule(
         }
     }
 
-    // Evaluate KPI queries in parallel.
-    let mut kpi_results: Vec<Option<Result<KpiReport>>> =
-        (0..rule.kpis.len()).map(|_| None).collect();
-    crossbeam::scope(|s| {
-        let mut handles = Vec::new();
-        for query in &rule.kpis {
-            let control = &control;
-            let options = &options;
-            let location_slices = &location_slices;
-            handles.push(s.spawn(move |_| -> Result<KpiReport> {
-                let overall = analyze_kpi(
-                    adapter,
-                    &query.kpi,
-                    query.carrier,
-                    query.upward_good,
-                    scope,
-                    control,
-                    options,
-                )?;
-                let per_location = location_slices
-                    .iter()
-                    .map(|(attr, value, slice)| LocationVerdict {
-                        attribute: attr.clone(),
-                        value: value.clone(),
-                        analysis: analyze_kpi(
-                            adapter,
-                            &query.kpi,
-                            query.carrier,
-                            query.upward_good,
-                            slice,
-                            control,
-                            options,
-                        )
-                        .map_err(|e| e.to_string()),
-                    })
-                    .collect();
-                let meets_expectation = expectation_met(query.expected, overall.verdict);
-                Ok(KpiReport {
-                    query: query.clone(),
-                    overall,
-                    per_location,
-                    meets_expectation,
-                })
-            }));
-        }
-        for (i, h) in handles.into_iter().enumerate() {
-            kpi_results[i] = Some(h.join().expect("verification thread panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
+    // Work units, query-major: (q, None) is query q's overall analysis,
+    // (q, Some(l)) its verdict on location slice l. Unit order is the
+    // report order, so collecting positionally keeps parallel output
+    // identical to sequential.
+    let units: Vec<(usize, Option<usize>)> = (0..rule.kpis.len())
+        .flat_map(|q| {
+            std::iter::once((q, None)).chain((0..location_slices.len()).map(move |l| (q, Some(l))))
+        })
+        .collect();
+    let analyze_unit = |&(q, l): &(usize, Option<usize>)| -> Result<KpiAnalysis> {
+        let query = &rule.kpis[q];
+        let unit_scope = match l {
+            None => scope,
+            Some(i) => &location_slices[i].2,
+        };
+        analyze_kpi(
+            adapter,
+            &query.kpi,
+            query.carrier,
+            query.upward_good,
+            unit_scope,
+            &control,
+            &options,
+        )
+    };
+    let results: Vec<Result<KpiAnalysis>> = if parallel {
+        units.par_iter().map(analyze_unit).collect()
+    } else {
+        units.iter().map(analyze_unit).collect()
+    };
 
-    let mut kpis = Vec::with_capacity(kpi_results.len());
-    for r in kpi_results {
-        kpis.push(r.expect("result present")?);
+    // Reassemble query-major: one overall followed by every slice.
+    let mut unit_results = results.into_iter();
+    let mut kpis = Vec::with_capacity(rule.kpis.len());
+    for query in &rule.kpis {
+        let overall = unit_results.next().expect("one overall unit per query")?;
+        let per_location = location_slices
+            .iter()
+            .map(|(attr, value, _)| LocationVerdict {
+                attribute: attr.clone(),
+                value: value.clone(),
+                analysis: unit_results
+                    .next()
+                    .expect("one unit per location slice")
+                    .map_err(|e| e.to_string()),
+            })
+            .collect();
+        let meets_expectation = expectation_met(query.expected, overall.verdict);
+        kpis.push(KpiReport {
+            query: query.clone(),
+            overall,
+            per_location,
+            meets_expectation,
+        });
     }
     let decision = if kpis.iter().all(|k| k.meets_expectation) {
         GoNoGo::Go
@@ -357,6 +417,76 @@ mod tests {
             "monitor-only queries always pass"
         );
         assert!(report.duration > Duration::ZERO);
+    }
+
+    #[test]
+    fn parallel_report_matches_sequential_reference() {
+        let (inv, topo) = fixture();
+        let mut rule = VerificationRule::standard(
+            "both-paths",
+            vec![
+                KpiQuery::expecting("thr", true, Expectation::Improve),
+                KpiQuery::monitor("lat", false),
+            ],
+        );
+        rule.location_attributes = vec!["market".into()];
+        let a = adapter(15.0, -30.0);
+        let par = verify_rule(&a, &rule, &scope(), &inv, &topo).unwrap();
+        let seq = verify_rule_sequential(&a, &rule, &scope(), &inv, &topo).unwrap();
+        assert_eq!(par.decision, seq.decision);
+        assert_eq!(par.kpis.len(), seq.kpis.len());
+        for (p, s) in par.kpis.iter().zip(&seq.kpis) {
+            assert_eq!(p.overall.verdict, s.overall.verdict);
+            assert_eq!(p.overall.p_value.to_bits(), s.overall.p_value.to_bits());
+            assert_eq!(
+                p.overall.relative_shift.to_bits(),
+                s.overall.relative_shift.to_bits()
+            );
+            assert_eq!(p.per_location.len(), s.per_location.len());
+            for (pl, sl) in p.per_location.iter().zip(&s.per_location) {
+                assert_eq!((&pl.attribute, &pl.value), (&sl.attribute, &sl.value));
+                match (&pl.analysis, &sl.analysis) {
+                    (Ok(pa), Ok(sa)) => {
+                        assert_eq!(pa.verdict, sa.verdict);
+                        assert_eq!(pa.p_value.to_bits(), sa.p_value.to_bits());
+                    }
+                    (Err(pe), Err(se)) => assert_eq!(pe, se),
+                    other => panic!("ok/err mismatch: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_shares_one_series_cache() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (inv, topo) = fixture();
+        let fetches = AtomicUsize::new(0);
+        let counting = ClosureAdapter(|node: NodeId, _: &str, _: Option<usize>| {
+            fetches.fetch_add(1, Ordering::Relaxed);
+            let values: Vec<f64> = (0..200u64)
+                .map(|k| 100.0 + ((k * 11 + node.0 as u64 * 3) % 5) as f64 * 0.15)
+                .collect();
+            Some(TimeSeries::new(0, 60, values))
+        });
+        let mut rule = VerificationRule::standard(
+            "cached",
+            vec![
+                KpiQuery::monitor("thr", true),
+                KpiQuery::monitor("lat", false),
+            ],
+        );
+        rule.location_attributes = vec!["market".into()];
+        let rules = vec![rule.clone(), rule];
+        let reports = verify_rules(&counting, &rules, &scope(), &inv, &topo).unwrap();
+        assert_eq!(reports.len(), 2);
+        // 8 inventory nodes × 2 KPIs = 16 distinct streams; overall +
+        // 2 location slices × 2 rules would be 6× that uncached.
+        assert_eq!(
+            fetches.load(Ordering::Relaxed),
+            16,
+            "each stream extracted once for the whole campaign"
+        );
     }
 
     #[test]
