@@ -10,10 +10,16 @@
 //!   rayon-fanned, series-cached `verify_rule` vs the sequential,
 //!   uncached reference;
 //! * **stats** — the O((n+m) log(n+m)) rank test, selection median, and
-//!   capped Theil–Sen vs their naive counterparts on 10k-point series.
+//!   capped Theil–Sen vs their naive counterparts on 10k-point series;
+//! * **planner** — schedule discovery through the pluggable backends at
+//!   200/1000/10k RAN nodes: exact (under a time budget) vs the
+//!   Appendix C heuristic vs the racing portfolio, recording discovery
+//!   time and makespan per backend and asserting the portfolio's §4.2
+//!   bar (deterministic winner, makespan ≤ min of the members).
 //!
-//! Results land in `BENCH_orchestrator.json` and `BENCH_verifier.json`
-//! (stats ride in the verifier file — they are its substrate). Usage:
+//! Results land in `BENCH_orchestrator.json`, `BENCH_verifier.json`
+//! (stats ride in the verifier file — they are its substrate) and
+//! `BENCH_planner.json`. Usage:
 //!
 //! ```text
 //! cargo run --release -p cornet-bench --bin cornet_bench [-- --smoke] [--out-dir DIR]
@@ -23,13 +29,16 @@
 //! while exercising the identical code paths.
 
 use cornet_catalog::builtin_catalog;
-use cornet_netsim::KpiGenerator;
+use cornet_netsim::{KpiGenerator, Network, NetworkConfig};
 use cornet_orchestrator::{Dispatcher, Engine, ExecutorRegistry, GlobalState, InstanceStatus};
+use cornet_planner::{
+    plan, BackendChoice, ConstraintRule, HeuristicConfig, PlanIntent, PlanOptions, PlanResult,
+};
 use cornet_stats::{
     median, quantile, robust_rank_order, robust_rank_order_naive, theil_sen, theil_sen_exact,
 };
 use cornet_types::{
-    Attributes, Inventory, NfType, NodeId, ParamValue, Schedule, Timeslot, Topology,
+    Attributes, Granularity, Inventory, NfType, NodeId, ParamValue, Schedule, Timeslot, Topology,
 };
 use cornet_verifier::{
     verify_rule, verify_rule_sequential, ChangeScope, ClosureAdapter, ControlSelection, KpiQuery,
@@ -79,7 +88,10 @@ fn main() {
     verifier.extend(bench_stats_kernels(smoke));
     write_report(&out_dir, "verifier", mode, cpus, &verifier);
 
-    for s in orchestrator.iter().chain(&verifier) {
+    let planner = bench_planner_backends(smoke);
+    write_report(&out_dir, "planner", mode, cpus, &planner);
+
+    for s in orchestrator.iter().chain(&verifier).chain(&planner) {
         eprintln!(
             "  {:<32} baseline {:>9.2} ms  optimized {:>9.2} ms  speedup {:.2}x",
             s.name,
@@ -368,6 +380,151 @@ fn bench_stats_kernels(smoke: bool) -> Vec<Scenario> {
         }),
     };
     vec![rank, med, ts]
+}
+
+// --- planner ------------------------------------------------------------
+
+/// The §4.2 comparison workload: a 40-day window, global concurrency
+/// capacity, and USID consistency (co-sited 4G/5G move together).
+fn planner_intent(capacity: i64) -> PlanIntent {
+    let mut intent = PlanIntent::from_json(
+        r#"{
+        "scheduling_window": {"start": "2020-07-01 00:00:00",
+                               "end": "2020-08-09 23:59:00",
+                               "granularity": {"metric": "day", "value": 1}},
+        "maintenance_window": {"start": "0:00", "end": "6:00"},
+        "schedulable_attribute": "common_id",
+        "conflict_attribute": "common_id",
+        "constraints": []
+    }"#,
+    )
+    .expect("bench intent parses");
+    intent.constraints = vec![
+        ConstraintRule::Concurrency {
+            base_attribute: "common_id".into(),
+            aggregate_attribute: None,
+            operator: "<=".into(),
+            granularity: Granularity::daily(),
+            default_capacity: capacity,
+        },
+        ConstraintRule::Consistency {
+            attribute: "usid".into(),
+        },
+    ];
+    intent
+}
+
+fn ran_scope(net: &Network) -> Vec<NodeId> {
+    let mut nodes = net.nodes_of_type(NfType::ENodeB);
+    nodes.extend(net.nodes_of_type(NfType::GNodeB));
+    nodes.sort();
+    nodes
+}
+
+/// Exact vs heuristic vs portfolio through the one `plan()` pipeline at
+/// three network sizes. `baseline_ms` is the exact backend's discovery
+/// time (under its node/time budget), `optimized_ms` the heuristic's; the
+/// portfolio's time, every makespan, and the deterministic winner ride in
+/// `params`. Panics if the portfolio violates the §4.2 acceptance bar.
+fn bench_planner_backends(smoke: bool) -> Vec<Scenario> {
+    let cases: [(&'static str, usize); 3] = if smoke {
+        [
+            ("schedule_discovery_200", 120),
+            ("schedule_discovery_1k", 400),
+            ("schedule_discovery_10k", 1_200),
+        ]
+    } else {
+        [
+            ("schedule_discovery_200", 200),
+            ("schedule_discovery_1k", 1_000),
+            ("schedule_discovery_10k", 10_000),
+        ]
+    };
+    let budget = Duration::from_secs(if smoke { 2 } else { 10 });
+
+    cases
+        .iter()
+        .map(|&(name, target)| {
+            let net = Network::generate_ran(&NetworkConfig::default().with_target_nodes(target));
+            let nodes = ran_scope(&net);
+            // Capacity sized so 40 slots hold the fleet with ~60% slack.
+            let capacity = ((nodes.len() as i64) / 25).max(4);
+            let intent = planner_intent(capacity);
+            let options = |backend| PlanOptions {
+                solver: cornet_solver::SolverConfig {
+                    time_limit: budget,
+                    ..Default::default()
+                },
+                backend,
+                heuristic: HeuristicConfig {
+                    iterations: 4,
+                    seed: 7,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let run = |backend| {
+                plan(
+                    &intent,
+                    &net.inventory,
+                    &net.topology,
+                    &nodes,
+                    &options(backend),
+                )
+                .unwrap_or_else(|e| panic!("{name}: {backend:?} backend failed: {e}"))
+            };
+
+            let exact = run(BackendChoice::Exact);
+            let heuristic = run(BackendChoice::Heuristic);
+            let portfolio = run(BackendChoice::Portfolio);
+            let rerace = run(BackendChoice::Portfolio);
+
+            // §4.2 acceptance bar, part 1: re-racing is bit-identical —
+            // the winner is decided by cost and member order, not timing.
+            let winner = |r: &PlanResult| {
+                r.backend_runs
+                    .iter()
+                    .find(|run| run.winner)
+                    .map(|run| run.backend)
+                    .expect("portfolio names a winner")
+            };
+            assert_eq!(
+                portfolio.schedule.assignments, rerace.schedule.assignments,
+                "{name}: portfolio race must be deterministic"
+            );
+            assert_eq!(
+                winner(&portfolio),
+                winner(&rerace),
+                "{name}: winner flapped"
+            );
+            // Part 2: the race never does worse than its best member.
+            let best = exact.makespan().min(heuristic.makespan());
+            assert!(
+                portfolio.makespan() <= best,
+                "{name}: portfolio makespan {} > best member {best}",
+                portfolio.makespan()
+            );
+
+            Scenario {
+                name,
+                params: vec![
+                    ("nodes", nodes.len().to_string()),
+                    ("capacity_per_day", capacity.to_string()),
+                    ("exact_budget_s", budget.as_secs().to_string()),
+                    ("exact_makespan", exact.makespan().to_string()),
+                    ("heuristic_makespan", heuristic.makespan().to_string()),
+                    ("portfolio_makespan", portfolio.makespan().to_string()),
+                    (
+                        "portfolio_ms",
+                        format!("{:.3}", portfolio.discovery_time.as_secs_f64() * 1e3),
+                    ),
+                    ("portfolio_winner", format!("\"{}\"", winner(&portfolio))),
+                ],
+                baseline_ms: exact.discovery_time.as_secs_f64() * 1e3,
+                optimized_ms: heuristic.discovery_time.as_secs_f64() * 1e3,
+            }
+        })
+        .collect()
 }
 
 // --- reporting ----------------------------------------------------------

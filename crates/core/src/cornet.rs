@@ -166,4 +166,57 @@ mod tests {
             assert_eq!(tb.state(name).unwrap().sw_version, "17.3");
         }
     }
+
+    /// Every backend choice is reachable through the facade — the §3.3
+    /// "many optimizers behind one intent" seam, end to end.
+    #[test]
+    fn facade_exposes_every_backend() {
+        use cornet_planner::BackendChoice;
+
+        let net = Network::generate_cloud(1, 6, 1);
+        let tb = Testbed::new(TestbedConfig::default());
+        let vces: Vec<NodeId> = net
+            .inventory
+            .iter()
+            .filter(|r| r.nf_type == cornet_types::NfType::VceRouter)
+            .map(|r| r.id)
+            .collect();
+        let cornet = Cornet::new(
+            net.inventory.clone(),
+            net.topology.clone(),
+            testbed_registry(tb),
+        );
+        let intent = r#"{
+            "scheduling_window": {"start": "2020-07-01 00:00:00",
+                                   "end": "2020-07-05 23:59:00",
+                                   "granularity": {"metric": "day", "value": 1}},
+            "maintenance_window": {"start": "0:00", "end": "6:00"},
+            "schedulable_attribute": "common_id",
+            "conflict_attribute": "common_id",
+            "constraints": [
+                {"name": "concurrency", "base_attribute": "common_id",
+                 "operator": "<=", "granularity": {"metric": "day", "value": 1},
+                 "default_capacity": 2}
+            ]
+        }"#;
+        for backend in [
+            BackendChoice::Exact,
+            BackendChoice::Greedy,
+            BackendChoice::Heuristic,
+            BackendChoice::Portfolio,
+        ] {
+            let options = PlanOptions {
+                backend,
+                ..Default::default()
+            };
+            let result = cornet.plan_from_json(intent, &vces, &options).unwrap();
+            assert_eq!(
+                result.schedule.scheduled_count(),
+                6,
+                "{backend:?} schedules all nodes"
+            );
+            assert_eq!(result.backend, backend);
+            assert!(!result.backend_runs.is_empty());
+        }
+    }
 }

@@ -1,0 +1,691 @@
+//! Pluggable solver backends (§3.3): one intent translation, many solvers.
+//!
+//! The paper's planner compiles intent to MiniZinc and hands it to
+//! interchangeable optimization backends (OR-Tools CP, CBC) plus the
+//! Appendix C heuristic. This module is that seam for the workspace: every
+//! solving strategy implements [`SolverBackend`] over the shared
+//! [`Translation`] IR, and [`PortfolioBackend`] races them with cooperative
+//! cancellation and shared-incumbent pruning.
+//!
+//! Determinism contract: a backend's *result* (assignment + outcome for a
+//! completed search) must not depend on wall-clock timing. The portfolio
+//! therefore
+//!
+//! * waits for every member (it only cancels the rest once the exact
+//!   backend has *proved* optimality, in which case the exact result wins
+//!   selection no matter what the others would have returned);
+//! * lets only the exact backend prune against the shared incumbent — and
+//!   the solver prunes strictly (`bound >` incumbent), so an equal-cost
+//!   optimum is never cut and a completed exact search returns the same
+//!   incumbent it would have found running solo;
+//! * publishes a member's cost to the shared incumbent only after
+//!   `model.check` passes, so an infeasible heuristic sketch can never
+//!   prune the true optimum;
+//! * picks the winner by (feasibility, model cost, fixed member order) —
+//!   never by who finished first.
+
+use crate::heuristic::{heuristic_schedule_units, HeuristicConfig};
+use crate::intent::PlanIntent;
+use crate::translate::Translation;
+use cornet_solver::{solve, CancelToken, Outcome, SearchStats, SharedIncumbent, SolverConfig};
+use cornet_types::{ConflictTable, CornetError, Inventory, NodeId, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Which backend the planner should use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Exact branch & bound CP solver (proves optimality under budget).
+    #[default]
+    Exact,
+    /// The exact solver's greedy warm-start dive, stopped at the first
+    /// solution — a fast feasibility backend.
+    Greedy,
+    /// Algorithm 1 (Appendix C): timezone-sequenced market-permutation
+    /// local search over the translation's units.
+    Heuristic,
+    /// Race exact, greedy and heuristic; deterministic winner.
+    Portfolio,
+}
+
+impl BackendChoice {
+    /// Parse a CLI-facing backend name.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "exact" => Ok(BackendChoice::Exact),
+            "greedy" => Ok(BackendChoice::Greedy),
+            "heuristic" => Ok(BackendChoice::Heuristic),
+            "portfolio" => Ok(BackendChoice::Portfolio),
+            other => Err(CornetError::Parse(format!(
+                "unknown backend {other:?} (expected exact|greedy|heuristic|portfolio)"
+            ))),
+        }
+    }
+
+    /// The CLI-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::Exact => "exact",
+            BackendChoice::Greedy => "greedy",
+            BackendChoice::Heuristic => "heuristic",
+            BackendChoice::Portfolio => "portfolio",
+        }
+    }
+
+    /// Instantiate the backend with the planner's configuration.
+    pub fn instantiate(
+        self,
+        solver: &SolverConfig,
+        heuristic: &HeuristicConfig,
+    ) -> Box<dyn SolverBackend> {
+        match self {
+            BackendChoice::Exact => Box::new(ExactBackend {
+                config: solver.clone(),
+            }),
+            BackendChoice::Greedy => Box::new(GreedyBackend {
+                config: solver.clone(),
+            }),
+            BackendChoice::Heuristic => Box::new(HeuristicBackend {
+                config: heuristic.clone(),
+            }),
+            BackendChoice::Portfolio => Box::new(PortfolioBackend::standard(solver, heuristic)),
+        }
+    }
+}
+
+/// Search budget shared by all backends (the solver's node and wall-clock
+/// limits, lifted out of `SolverConfig` so non-CP backends honor them too).
+#[derive(Clone, Debug)]
+pub struct Budget {
+    /// Maximum search nodes (exact/greedy backends).
+    pub max_nodes: u64,
+    /// Wall-clock limit.
+    pub time_limit: Duration,
+}
+
+impl Budget {
+    /// Lift the budget fields out of a solver configuration.
+    pub fn from_config(config: &SolverConfig) -> Self {
+        Budget {
+            max_nodes: config.max_nodes,
+            time_limit: config.time_limit,
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::from_config(&SolverConfig::default())
+    }
+}
+
+/// Everything a backend may consult: the shared [`Translation`] IR (model,
+/// units, slots, window) plus the source intent and inventory that
+/// unit-level backends like the heuristic need.
+#[derive(Clone)]
+pub struct SolveContext<'a> {
+    /// The translated model and its decode tables.
+    pub translation: &'a Translation,
+    /// Node inventory (attribute lookups for the heuristic).
+    pub inventory: &'a Inventory,
+    /// The source intent (capacity and tolerance knobs).
+    pub intent: &'a PlanIntent,
+    /// Resolved conflict table.
+    pub conflicts: &'a ConflictTable,
+    /// Shared-incumbent hook, set by the portfolio driver. Only the exact
+    /// backend prunes against it; see the module docs for why.
+    pub incumbent: Option<SharedIncumbent>,
+}
+
+impl<'a> SolveContext<'a> {
+    /// Context over a translation with no shared incumbent.
+    pub fn new(
+        translation: &'a Translation,
+        inventory: &'a Inventory,
+        intent: &'a PlanIntent,
+        conflicts: &'a ConflictTable,
+    ) -> Self {
+        SolveContext {
+            translation,
+            inventory,
+            intent,
+            conflicts,
+            incumbent: None,
+        }
+    }
+}
+
+/// One backend's contribution to a (possibly racing) solve — the
+/// per-backend statistics `PlanResult` records.
+#[derive(Clone, Debug)]
+pub struct BackendRun {
+    /// Backend name (`exact`, `greedy`, `heuristic`).
+    pub backend: &'static str,
+    /// How the backend's search ended.
+    pub outcome: Outcome,
+    /// Model-objective cost of its best assignment.
+    pub cost: Option<i64>,
+    /// Whether the assignment passes `model.check`.
+    pub feasible: bool,
+    /// Search counters.
+    pub stats: SearchStats,
+    /// Whether this run's assignment was selected.
+    pub winner: bool,
+}
+
+/// Result of a backend solve over one translation.
+#[derive(Clone, Debug)]
+pub struct BackendResult {
+    /// Termination category of the winning run.
+    pub outcome: Outcome,
+    /// Best assignment over the translation's model variables.
+    pub assignment: Option<Vec<i64>>,
+    /// Model-objective cost of `assignment`.
+    pub cost: Option<i64>,
+    /// Winning run's search counters.
+    pub stats: SearchStats,
+    /// Every participating backend's run, in fixed member order.
+    pub runs: Vec<BackendRun>,
+}
+
+impl BackendResult {
+    fn from_run(run: BackendRun, assignment: Option<Vec<i64>>) -> Self {
+        BackendResult {
+            outcome: run.outcome,
+            assignment,
+            cost: run.cost,
+            stats: run.stats,
+            runs: vec![run],
+        }
+    }
+}
+
+/// A scheduling strategy over the shared translation IR.
+pub trait SolverBackend: Send + Sync {
+    /// Stable backend name for stats and logs.
+    fn name(&self) -> &'static str;
+
+    /// Search for a schedule within `budget`, checking `cancel`
+    /// cooperatively. Must be deterministic given the same context and an
+    /// uncancelled run.
+    fn solve(&self, ctx: &SolveContext<'_>, budget: &Budget, cancel: &CancelToken)
+        -> BackendResult;
+}
+
+/// The exact branch & bound CP solver.
+#[derive(Clone, Debug, Default)]
+pub struct ExactBackend {
+    /// Base solver knobs; budget and hooks are overlaid per solve.
+    pub config: SolverConfig,
+}
+
+impl SolverBackend for ExactBackend {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn solve(
+        &self,
+        ctx: &SolveContext<'_>,
+        budget: &Budget,
+        cancel: &CancelToken,
+    ) -> BackendResult {
+        let config = SolverConfig {
+            max_nodes: budget.max_nodes,
+            time_limit: budget.time_limit,
+            cancel: Some(cancel.clone()),
+            incumbent: ctx.incumbent.clone(),
+            ..self.config.clone()
+        };
+        let r = solve(&ctx.translation.model, &config);
+        let (assignment, cost) = match r.best {
+            Some(sol) => (Some(sol.assignment), Some(sol.cost)),
+            None => (None, None),
+        };
+        let feasible = assignment
+            .as_ref()
+            .is_some_and(|a| ctx.translation.model.check(a).is_ok());
+        BackendResult::from_run(
+            BackendRun {
+                backend: "exact",
+                outcome: r.outcome,
+                cost,
+                feasible,
+                stats: r.stats,
+                winner: true,
+            },
+            assignment,
+        )
+    }
+}
+
+/// The greedy warm-start dive as a standalone fast backend: the exact
+/// solver's cost-ordered first descent, stopped at the first solution.
+#[derive(Clone, Debug, Default)]
+pub struct GreedyBackend {
+    /// Base solver knobs; budget and hooks are overlaid per solve.
+    pub config: SolverConfig,
+}
+
+impl SolverBackend for GreedyBackend {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn solve(
+        &self,
+        ctx: &SolveContext<'_>,
+        budget: &Budget,
+        cancel: &CancelToken,
+    ) -> BackendResult {
+        let config = SolverConfig {
+            max_nodes: budget.max_nodes,
+            time_limit: budget.time_limit,
+            cost_value_order: true,
+            first_solution_only: true,
+            cancel: Some(cancel.clone()),
+            // Never prunes against the shared incumbent: a raced bound
+            // could cut the dive short and make the greedy result depend
+            // on timing.
+            incumbent: None,
+        };
+        let r = solve(&ctx.translation.model, &config);
+        let outcome = match r.outcome {
+            // A completed dive proves feasibility, never optimality.
+            Outcome::Optimal => Outcome::Feasible,
+            other => other,
+        };
+        let (assignment, cost) = match r.best {
+            Some(sol) => (Some(sol.assignment), Some(sol.cost)),
+            None => (None, None),
+        };
+        let feasible = assignment
+            .as_ref()
+            .is_some_and(|a| ctx.translation.model.check(a).is_ok());
+        BackendResult::from_run(
+            BackendRun {
+                backend: "greedy",
+                outcome,
+                cost,
+                feasible,
+                stats: r.stats,
+                winner: true,
+            },
+            assignment,
+        )
+    }
+}
+
+/// Algorithm 1 (Appendix C) over the translation's units.
+#[derive(Clone, Debug, Default)]
+pub struct HeuristicBackend {
+    /// Heuristic knobs; `slot_capacity` is overridden by the intent's
+    /// plain concurrency rule when one is declared.
+    pub config: HeuristicConfig,
+}
+
+impl SolverBackend for HeuristicBackend {
+    fn name(&self) -> &'static str {
+        "heuristic"
+    }
+
+    fn solve(
+        &self,
+        ctx: &SolveContext<'_>,
+        _budget: &Budget,
+        cancel: &CancelToken,
+    ) -> BackendResult {
+        let started = Instant::now();
+        if cancel.is_cancelled() {
+            return BackendResult::from_run(
+                BackendRun {
+                    backend: "heuristic",
+                    outcome: Outcome::Unknown,
+                    cost: None,
+                    feasible: false,
+                    stats: SearchStats::default(),
+                    winner: true,
+                },
+                None,
+            );
+        }
+        let mut config = self.config.clone();
+        if let Some(cap) = ctx.intent.plain_concurrency_capacity() {
+            config.slot_capacity = cap;
+        }
+        let units: Vec<Vec<NodeId>> = ctx
+            .translation
+            .units
+            .iter()
+            .map(|u| u.nodes.clone())
+            .collect();
+        let (_, placements) = heuristic_schedule_units(
+            ctx.inventory,
+            &units,
+            ctx.conflicts,
+            &ctx.translation.window,
+            &config,
+        );
+        let model = &ctx.translation.model;
+        let mut assignment = vec![0i64; model.var_count()];
+        for (unit, placement) in ctx.translation.units.iter().zip(&placements) {
+            if let Some(slot_idx) = placement {
+                assignment[unit.var.index()] = (*slot_idx + 1) as i64;
+            }
+        }
+        let feasible = model.check(&assignment).is_ok();
+        let cost = model.cost(&assignment);
+        let elapsed = started.elapsed();
+        let stats = SearchStats {
+            nodes: 0,
+            backtracks: 0,
+            solutions: 1,
+            elapsed,
+            time_to_best: elapsed,
+        };
+        BackendResult::from_run(
+            BackendRun {
+                backend: "heuristic",
+                // The heuristic proves nothing; a model-feasible sketch is
+                // Feasible, anything else is best-effort Unknown (the
+                // assignment is still returned for decoding).
+                outcome: if feasible {
+                    Outcome::Feasible
+                } else {
+                    Outcome::Unknown
+                },
+                cost: Some(cost),
+                feasible,
+                stats,
+                winner: true,
+            },
+            Some(assignment),
+        )
+    }
+}
+
+/// Race several backends on threads; deterministic winner.
+pub struct PortfolioBackend {
+    /// Members in fixed tie-break order (earlier wins ties).
+    pub members: Vec<Box<dyn SolverBackend>>,
+}
+
+impl PortfolioBackend {
+    /// The standard lineup: exact, then greedy, then heuristic — exact
+    /// first so a proved optimum always wins ties.
+    pub fn standard(solver: &SolverConfig, heuristic: &HeuristicConfig) -> Self {
+        PortfolioBackend {
+            members: vec![
+                Box::new(ExactBackend {
+                    config: solver.clone(),
+                }),
+                Box::new(GreedyBackend {
+                    config: solver.clone(),
+                }),
+                Box::new(HeuristicBackend {
+                    config: heuristic.clone(),
+                }),
+            ],
+        }
+    }
+}
+
+impl SolverBackend for PortfolioBackend {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn solve(
+        &self,
+        ctx: &SolveContext<'_>,
+        budget: &Budget,
+        cancel: &CancelToken,
+    ) -> BackendResult {
+        let model = &ctx.translation.model;
+        let incumbent = ctx.incumbent.clone().unwrap_or_default();
+        let tokens: Vec<CancelToken> = self.members.iter().map(|_| CancelToken::new()).collect();
+        // A pre-cancelled race must start cancelled (the watcher below
+        // would otherwise lose the propagation race on fast models).
+        if cancel.is_cancelled() {
+            for t in &tokens {
+                t.cancel();
+            }
+        }
+        let done = AtomicBool::new(false);
+        let mut results: Vec<Option<BackendResult>> = Vec::new();
+
+        crossbeam::scope(|scope| {
+            // Propagate an external cancellation to every member.
+            let watcher = {
+                let tokens = &tokens;
+                let done = &done;
+                scope.spawn(move |_| loop {
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if cancel.is_cancelled() {
+                        for t in tokens {
+                            t.cancel();
+                        }
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                })
+            };
+            let handles: Vec<_> = self
+                .members
+                .iter()
+                .enumerate()
+                .map(|(i, member)| {
+                    let mut member_ctx = ctx.clone();
+                    // Only the exact backend prunes against the shared
+                    // bound (it ignores `incumbent` otherwise).
+                    member_ctx.incumbent = Some(incumbent.clone());
+                    let tokens = &tokens;
+                    let incumbent = &incumbent;
+                    scope.spawn(move |_| {
+                        let result = member.solve(&member_ctx, budget, &tokens[i]);
+                        // Publish only checked-feasible costs: an
+                        // infeasible sketch must never prune the optimum.
+                        if let (Some(a), Some(c)) = (&result.assignment, result.cost) {
+                            if model.check(a).is_ok() {
+                                incumbent.publish(c);
+                            }
+                        }
+                        // A proved optimum cannot be beaten and wins every
+                        // tie (exact is first in member order), so the
+                        // other members' answers no longer matter — stop
+                        // them.
+                        if result.outcome == Outcome::Optimal {
+                            for (j, t) in tokens.iter().enumerate() {
+                                if j != i {
+                                    t.cancel();
+                                }
+                            }
+                        }
+                        result
+                    })
+                })
+                .collect();
+            results = handles.into_iter().map(|h| h.join().ok()).collect();
+            done.store(true, Ordering::Release);
+            let _ = watcher.join();
+        })
+        .expect("portfolio scope failed");
+
+        // Deterministic winner: best (infeasibility, cost, member order).
+        // Wall-clock never participates.
+        let mut runs: Vec<BackendRun> = Vec::new();
+        let mut winner: Option<(usize, (u8, i64, usize))> = None;
+        for (i, result) in results.iter().enumerate() {
+            let Some(result) = result else {
+                continue;
+            };
+            for run in &result.runs {
+                let mut run = run.clone();
+                run.winner = false;
+                runs.push(run);
+            }
+            let rank = match (&result.assignment, result.cost) {
+                (Some(_), Some(cost)) => ((!result.runs[0].feasible) as u8, cost, i),
+                _ => (2, i64::MAX, i),
+            };
+            if winner.as_ref().is_none_or(|(_, best)| rank < *best) {
+                winner = Some((i, rank));
+            }
+        }
+        let Some((winner_idx, _)) = winner else {
+            return BackendResult {
+                outcome: Outcome::Unknown,
+                assignment: None,
+                cost: None,
+                stats: SearchStats::default(),
+                runs,
+            };
+        };
+        let won = results[winner_idx].clone().expect("winner result present");
+        let winner_name = self.members[winner_idx].name();
+        for run in &mut runs {
+            run.winner = run.backend == winner_name;
+        }
+        BackendResult {
+            outcome: won.outcome,
+            assignment: won.assignment,
+            cost: won.cost,
+            stats: won.stats,
+            runs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::{translate, TranslateOptions};
+    use cornet_types::{Attributes, Inventory, NfType, NodeId, Topology};
+
+    fn fixture(n: usize, cap: i64) -> (PlanIntent, Inventory, Topology, Vec<NodeId>) {
+        let mut inv = Inventory::new();
+        for i in 0..n {
+            let market = if i % 2 == 0 { "NYC" } else { "DFW" };
+            let tz = if i % 2 == 0 { -5.0 } else { -6.0 };
+            inv.push(
+                format!("n{i}"),
+                NfType::ENodeB,
+                Attributes::new()
+                    .with("market", market)
+                    .with("utc_offset", tz),
+            );
+        }
+        let intent = PlanIntent::from_json(&format!(
+            r#"{{
+            "scheduling_window": {{"start": "2020-07-01 00:00:00",
+                                   "end": "2020-07-10 23:59:00",
+                                   "granularity": {{"metric": "day", "value": 1}}}},
+            "maintenance_window": {{"start": "0:00", "end": "6:00"}},
+            "schedulable_attribute": "common_id",
+            "conflict_attribute": "common_id",
+            "constraints": [
+                {{"name": "concurrency", "base_attribute": "common_id",
+                  "operator": "<=", "granularity": {{"metric": "day", "value": 1}},
+                  "default_capacity": {cap}}}
+            ]
+        }}"#
+        ))
+        .unwrap();
+        let topo = Topology::with_capacity(n);
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        (intent, inv, topo, nodes)
+    }
+
+    fn run(choice: BackendChoice, n: usize, cap: i64) -> BackendResult {
+        let (intent, inv, topo, nodes) = fixture(n, cap);
+        let translation =
+            translate(&intent, &inv, &topo, &nodes, &TranslateOptions::default()).unwrap();
+        let conflicts = intent.conflicts().unwrap();
+        let ctx = SolveContext::new(&translation, &inv, &intent, &conflicts);
+        let backend = choice.instantiate(&SolverConfig::default(), &HeuristicConfig::default());
+        backend.solve(&ctx, &Budget::default(), &CancelToken::new())
+    }
+
+    #[test]
+    fn choice_parse_round_trips() {
+        for c in [
+            BackendChoice::Exact,
+            BackendChoice::Greedy,
+            BackendChoice::Heuristic,
+            BackendChoice::Portfolio,
+        ] {
+            assert_eq!(BackendChoice::parse(c.name()).unwrap(), c);
+        }
+        assert!(BackendChoice::parse("simplex").is_err());
+    }
+
+    #[test]
+    fn exact_backend_proves_optimal() {
+        let r = run(BackendChoice::Exact, 6, 2);
+        assert_eq!(r.outcome, Outcome::Optimal);
+        assert!(r.runs[0].feasible);
+        assert_eq!(r.runs.len(), 1);
+    }
+
+    #[test]
+    fn greedy_backend_is_feasible_not_optimal() {
+        let r = run(BackendChoice::Greedy, 6, 2);
+        assert_eq!(r.outcome, Outcome::Feasible);
+        assert!(r.runs[0].feasible);
+        assert_eq!(r.stats.solutions, 1, "stops at the first solution");
+    }
+
+    #[test]
+    fn heuristic_backend_returns_assignment() {
+        let r = run(BackendChoice::Heuristic, 6, 2);
+        let a = r.assignment.expect("heuristic always proposes");
+        assert_eq!(a.len(), 6);
+        assert!(a.iter().all(|&v| v >= 0));
+    }
+
+    #[test]
+    fn portfolio_reports_all_members_and_one_winner() {
+        let r = run(BackendChoice::Portfolio, 6, 2);
+        let names: Vec<_> = r.runs.iter().map(|run| run.backend).collect();
+        assert_eq!(names, vec!["exact", "greedy", "heuristic"]);
+        assert_eq!(r.runs.iter().filter(|run| run.winner).count(), 1);
+        assert_eq!(r.outcome, Outcome::Optimal, "exact completes on 6 nodes");
+        // The winning cost is the minimum over feasible members.
+        let min_cost = r
+            .runs
+            .iter()
+            .filter(|run| run.feasible)
+            .filter_map(|run| run.cost)
+            .min()
+            .unwrap();
+        assert_eq!(r.cost, Some(min_cost));
+    }
+
+    #[test]
+    fn portfolio_matches_exact_on_completed_search() {
+        let exact = run(BackendChoice::Exact, 8, 3);
+        let portfolio = run(BackendChoice::Portfolio, 8, 3);
+        assert_eq!(portfolio.assignment, exact.assignment);
+        assert_eq!(portfolio.cost, exact.cost);
+    }
+
+    #[test]
+    fn pre_cancelled_portfolio_returns_unknown() {
+        let (intent, inv, topo, nodes) = fixture(4, 2);
+        let translation =
+            translate(&intent, &inv, &topo, &nodes, &TranslateOptions::default()).unwrap();
+        let conflicts = intent.conflicts().unwrap();
+        let ctx = SolveContext::new(&translation, &inv, &intent, &conflicts);
+        let backend = BackendChoice::Portfolio
+            .instantiate(&SolverConfig::default(), &HeuristicConfig::default());
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let r = backend.solve(&ctx, &Budget::default(), &cancel);
+        assert!(
+            r.assignment.is_none() || r.outcome != Outcome::Optimal,
+            "a cancelled race must not claim optimality"
+        );
+    }
+}

@@ -11,6 +11,7 @@
 //! a localize rule connects everything into one component, and the paper's
 //! answer to that case is the timezone-sequenced heuristic instead.
 
+use crate::translate::{Translation, Unit};
 use cornet_model::{Constraint, Model, Objective, VarId};
 use cornet_solver::{solve, Outcome, SearchStats, SolverConfig};
 
@@ -107,6 +108,51 @@ fn sub_model(model: &Model, vars: &[usize]) -> Model {
     }
     sub.objective = objective;
     sub
+}
+
+/// A decomposed piece of a translation: the original variable indices it
+/// covers plus a standalone sub-translation any backend can solve.
+pub struct TranslationPart {
+    /// Original model variable indices, ascending; position `i` in the
+    /// sub-translation corresponds to `vars[i]` in the parent.
+    pub vars: Vec<usize>,
+    /// The standalone sub-problem.
+    pub translation: Translation,
+}
+
+/// Split a translation into independent sub-translations — the §3.3.3
+/// decomposition as a backend-agnostic pre-pass. Each part carries its own
+/// model *and* its own unit table, so unit-level backends (the Algorithm 1
+/// heuristic) decompose exactly like the exact solver. Returns one part
+/// when the constraint graph is connected.
+pub fn split_translation(t: &Translation) -> Vec<TranslationPart> {
+    let comps = var_components(&t.model);
+    comps
+        .into_iter()
+        .map(|vars| {
+            let model = sub_model(&t.model, &vars);
+            let units: Vec<Unit> = vars
+                .iter()
+                .enumerate()
+                .map(|(new_idx, &old)| Unit {
+                    nodes: t.units[old].nodes.clone(),
+                    var: VarId(new_idx as u32),
+                })
+                .collect();
+            TranslationPart {
+                vars,
+                translation: Translation {
+                    model,
+                    units,
+                    slots: t.slots.clone(),
+                    window: t.window.clone(),
+                    // Whole-window freezes stay with the parent; parts only
+                    // schedule live units.
+                    frozen_out: Vec::new(),
+                },
+            }
+        })
+        .collect()
 }
 
 /// Solve a model by components, in parallel. Returns the merged outcome,

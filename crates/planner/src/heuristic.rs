@@ -42,7 +42,7 @@ impl Default for HeuristicConfig {
     }
 }
 
-/// Hierarchy extracted from the inventory for the nodes in scope.
+/// Hierarchy extracted from the inventory for the bundles in scope.
 struct Instance {
     /// Timezones sorted by UTC offset descending (east → west).
     timezones: Vec<TzGroup>,
@@ -57,19 +57,24 @@ struct MarketGroup {
 }
 
 struct TacGroup {
-    /// USIDs as atomic node bundles.
-    usids: Vec<Vec<NodeId>>,
+    /// Atomic bundle ids (indices into the shared bundle list).
+    bundles: Vec<usize>,
     /// Total node count.
     size: usize,
 }
 
-fn build_instance(inventory: &Inventory, nodes: &[NodeId]) -> Instance {
-    // tz → market → tac → usid → nodes, all BTreeMaps for determinism.
-    type UsidMap = BTreeMap<String, Vec<NodeId>>;
-    type TacMap = BTreeMap<String, UsidMap>;
+/// Group atomic bundles into the tz → market → tac hierarchy Algorithm 1
+/// walks. Each bundle is classified by its first node's attributes — a
+/// bundle is by definition scheduled as one unit, so one representative
+/// suffices. A missing or non-numeric `utc_offset` degrades gracefully to
+/// offset 0 (one shared timezone group) instead of panicking on sparse
+/// inventories.
+fn build_instance(inventory: &Inventory, bundles: &[Vec<NodeId>]) -> Instance {
+    type TacMap = BTreeMap<String, Vec<usize>>;
     type MarketMap = BTreeMap<String, TacMap>;
     let mut tree: BTreeMap<i64, MarketMap> = BTreeMap::new();
-    for &n in nodes {
+    for (id, bundle) in bundles.iter().enumerate() {
+        let Some(&n) = bundle.first() else { continue };
         let tz = inventory
             .attr_of(n, "utc_offset")
             .and_then(|v| v.as_f64())
@@ -80,18 +85,13 @@ fn build_instance(inventory: &Inventory, nodes: &[NodeId]) -> Instance {
         let tac = inventory
             .group_key_of(n, "tac")
             .unwrap_or_else(|| "-".into());
-        let usid = inventory
-            .group_key_of(n, "usid")
-            .unwrap_or_else(|| n.to_string());
         tree.entry(tz)
             .or_default()
             .entry(market)
             .or_default()
             .entry(tac)
             .or_default()
-            .entry(usid)
-            .or_default()
-            .push(n);
+            .push(id);
     }
     // Descending offset: the east coast schedules first.
     let timezones = tree
@@ -103,10 +103,9 @@ fn build_instance(inventory: &Inventory, nodes: &[NodeId]) -> Instance {
                 .map(|tacs| MarketGroup {
                     tacs: tacs
                         .into_values()
-                        .map(|usids| {
-                            let usids: Vec<Vec<NodeId>> = usids.into_values().collect();
-                            let size = usids.iter().map(Vec::len).sum();
-                            TacGroup { usids, size }
+                        .map(|ids| {
+                            let size = ids.iter().map(|&id| bundles[id].len()).sum();
+                            TacGroup { bundles: ids, size }
                         })
                         .collect(),
                 })
@@ -139,18 +138,19 @@ fn conflict_index(
 }
 
 struct Attempt {
-    /// node → usable-slot index.
-    assignments: Vec<(NodeId, usize)>,
-    leftovers: Vec<NodeId>,
+    /// bundle id → usable-slot index.
+    assignments: Vec<(usize, usize)>,
+    /// Bundle ids that did not fit.
+    leftovers: Vec<usize>,
     conflicts: usize,
     wtct: u64,
 }
 
 /// One construction pass for a fixed market permutation (Algorithm 1
 /// lines 4–20).
-#[allow(clippy::too_many_arguments)]
 fn construct(
     markets: &[&MarketGroup],
+    bundles: &[Vec<NodeId>],
     start_slot: usize,
     remaining: &[i64],
     conflict_idx: &BTreeMap<NodeId, Vec<usize>>,
@@ -167,9 +167,9 @@ fn construct(
     let mut out_of_slots = false;
 
     let tac_conflicts = |tac: &TacGroup, slot: usize| -> usize {
-        tac.usids
+        tac.bundles
             .iter()
-            .flatten()
+            .flat_map(|&id| &bundles[id])
             .filter_map(|n| conflict_idx.get(n).map(|v| v[slot]))
             .sum()
     };
@@ -177,27 +177,23 @@ fn construct(
     for market in markets {
         if out_of_slots {
             for tac in &market.tacs {
-                attempt
-                    .leftovers
-                    .extend(tac.usids.iter().flatten().copied());
+                attempt.leftovers.extend(tac.bundles.iter().copied());
             }
             continue;
         }
         // Remaining TACs of this market, by index.
         let mut rem: Vec<usize> = (0..market.tacs.len()).collect();
-        // Per-TAC set of unscheduled USID indices.
-        let mut rem_usids: Vec<Vec<usize>> = market
+        // Per-TAC set of unscheduled bundle positions.
+        let mut rem_bundles: Vec<Vec<usize>> = market
             .tacs
             .iter()
-            .map(|t| (0..t.usids.len()).collect())
+            .map(|t| (0..t.bundles.len()).collect())
             .collect();
         while !rem.is_empty() {
             if curr >= n_slots {
                 for &ti in &rem {
-                    for &ui in &rem_usids[ti] {
-                        attempt
-                            .leftovers
-                            .extend(market.tacs[ti].usids[ui].iter().copied());
+                    for &bi in &rem_bundles[ti] {
+                        attempt.leftovers.push(market.tacs[ti].bundles[bi]);
                     }
                 }
                 out_of_slots = true;
@@ -217,17 +213,18 @@ fn construct(
             let mut progress = false;
             for &ti in &rem.clone() {
                 let tac = &market.tacs[ti];
-                rem_usids[ti].retain(|&ui| {
-                    let usid = &tac.usids[ui];
-                    if cap[curr] >= usid.len() as i64 {
-                        cap[curr] -= usid.len() as i64;
-                        for &n in usid {
-                            attempt.assignments.push((n, curr));
-                            if let Some(v) = conflict_idx.get(&n) {
+                rem_bundles[ti].retain(|&bi| {
+                    let id = tac.bundles[bi];
+                    let bundle = &bundles[id];
+                    if cap[curr] >= bundle.len() as i64 {
+                        cap[curr] -= bundle.len() as i64;
+                        attempt.assignments.push((id, curr));
+                        for n in bundle {
+                            if let Some(v) = conflict_idx.get(n) {
                                 attempt.conflicts += v[curr];
                             }
                         }
-                        attempt.wtct += (curr as u64 + 1) * usid.len() as u64;
+                        attempt.wtct += (curr as u64 + 1) * bundle.len() as u64;
                         progress = true;
                         false // scheduled: drop from remaining
                     } else {
@@ -235,9 +232,9 @@ fn construct(
                     }
                 });
             }
-            rem.retain(|&ti| !rem_usids[ti].is_empty());
+            rem.retain(|&ti| !rem_bundles[ti].is_empty());
             if !progress {
-                // Slot has spare capacity but no USID fits — move on.
+                // Slot has spare capacity but no bundle fits — move on.
                 curr += 1;
             }
         }
@@ -245,22 +242,25 @@ fn construct(
     (attempt, cap)
 }
 
-/// Run Algorithm 1 over `nodes` inside `window`.
-pub fn heuristic_schedule(
+/// Run Algorithm 1 over pre-formed atomic `bundles`. Returns the decoded
+/// schedule plus the usable-slot index each bundle landed on (`None` =
+/// leftover) — the shared-IR shape the [`crate::backend`] layer consumes.
+fn run_algorithm1(
     inventory: &Inventory,
-    nodes: &[NodeId],
+    bundles: &[Vec<NodeId>],
     conflicts: &ConflictTable,
     window: &SchedulingWindow,
     config: &HeuristicConfig,
-) -> Schedule {
+) -> (Schedule, Vec<Option<usize>>) {
     let slots = window.usable_slots();
     let n_slots = slots.len();
     let mut schedule = Schedule::default();
+    let mut placement: Vec<Option<usize>> = vec![None; bundles.len()];
     if n_slots == 0 {
-        schedule.leftovers = nodes.to_vec();
-        return schedule;
+        schedule.leftovers = bundles.iter().flatten().copied().collect();
+        return (schedule, placement);
     }
-    let instance = build_instance(inventory, nodes);
+    let instance = build_instance(inventory, bundles);
     let conflict_idx = conflict_index(conflicts, window, &slots);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut remaining = vec![config.slot_capacity; n_slots];
@@ -271,7 +271,14 @@ pub fn heuristic_schedule(
         for _ in 0..config.iterations.max(1) {
             let mut perm: Vec<&MarketGroup> = tz.markets.iter().collect();
             perm.shuffle(&mut rng);
-            let (attempt, cap) = construct(&perm, start_slot, &remaining, &conflict_idx, n_slots);
+            let (attempt, cap) = construct(
+                &perm,
+                bundles,
+                start_slot,
+                &remaining,
+                &conflict_idx,
+                n_slots,
+            );
             let better = match &best {
                 None => true,
                 Some((b, _)) => {
@@ -284,10 +291,15 @@ pub fn heuristic_schedule(
             }
         }
         let (attempt, cap) = best.expect("at least one iteration ran");
-        for (n, slot_idx) in &attempt.assignments {
-            schedule.assignments.insert(*n, slots[*slot_idx]);
+        for &(id, slot_idx) in &attempt.assignments {
+            placement[id] = Some(slot_idx);
+            for &n in &bundles[id] {
+                schedule.assignments.insert(n, slots[slot_idx]);
+            }
         }
-        schedule.leftovers.extend(attempt.leftovers);
+        for &id in &attempt.leftovers {
+            schedule.leftovers.extend(bundles[id].iter().copied());
+        }
         schedule.conflicts += attempt.conflicts;
         remaining = cap;
         // Next timezone starts at the last slot that still has spare
@@ -302,7 +314,43 @@ pub fn heuristic_schedule(
             .map(|(i, _)| i)
             .unwrap_or(0);
     }
-    schedule
+    (schedule, placement)
+}
+
+/// Run Algorithm 1 over `nodes` inside `window`, bundling nodes that share
+/// a `usid` (consistency).
+pub fn heuristic_schedule(
+    inventory: &Inventory,
+    nodes: &[NodeId],
+    conflicts: &ConflictTable,
+    window: &SchedulingWindow,
+    config: &HeuristicConfig,
+) -> Schedule {
+    // usid → nodes; nodes without a usid are singleton bundles.
+    let mut by_usid: BTreeMap<String, Vec<NodeId>> = BTreeMap::new();
+    for &n in nodes {
+        let usid = inventory
+            .group_key_of(n, "usid")
+            .unwrap_or_else(|| n.to_string());
+        by_usid.entry(usid).or_default().push(n);
+    }
+    let bundles: Vec<Vec<NodeId>> = by_usid.into_values().collect();
+    run_algorithm1(inventory, &bundles, conflicts, window, config).0
+}
+
+/// Run Algorithm 1 over pre-formed schedulable units — the shared
+/// [`crate::translate::Translation`] IR every backend consumes. Each unit
+/// is atomic (ESA grouping and consistency contraction already applied);
+/// the returned vector gives each unit's usable-slot index (`None` =
+/// leftover), directly convertible to a model assignment.
+pub fn heuristic_schedule_units(
+    inventory: &Inventory,
+    units: &[Vec<NodeId>],
+    conflicts: &ConflictTable,
+    window: &SchedulingWindow,
+    config: &HeuristicConfig,
+) -> (Schedule, Vec<Option<usize>>) {
+    run_algorithm1(inventory, units, conflicts, window, config)
 }
 
 fn last_used_slot(schedule: &Schedule, slots: &[Timeslot]) -> usize {
@@ -476,12 +524,72 @@ mod tests {
         let avg_slot = |tz: f64| {
             let slots: Vec<u32> = nodes
                 .iter()
-                .filter(|n| inv.attr_of(**n, "utc_offset").unwrap().as_f64().unwrap() == tz)
+                .filter(|n| {
+                    inv.attr_of(**n, "utc_offset")
+                        .and_then(|v| v.as_f64())
+                        .is_some_and(|v| v == tz)
+                })
                 .filter_map(|n| s.assignments.get(n).map(|t| t.0))
                 .collect();
             slots.iter().sum::<u32>() as f64 / slots.len() as f64
         };
         assert!(avg_slot(-5.0) < avg_slot(-6.0), "east first");
+    }
+
+    /// Regression: an inventory with no `utc_offset` attribute (sparse or
+    /// non-RAN data) must fall back to one timezone group instead of
+    /// panicking on a double `unwrap()`.
+    #[test]
+    fn missing_utc_offset_defaults_to_one_timezone() {
+        let mut inv = Inventory::new();
+        for i in 0..6 {
+            inv.push(
+                format!("bare-{i}"),
+                NfType::ENodeB,
+                Attributes::new().with("market", "M0"),
+            );
+        }
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let cfg = HeuristicConfig {
+            slot_capacity: 2,
+            iterations: 2,
+            seed: 1,
+        };
+        let s = heuristic_schedule(&inv, &nodes, &ConflictTable::new(), &window(5), &cfg);
+        assert_eq!(s.scheduled_count(), 6, "all scheduled, no panic");
+        assert!(s.leftovers.is_empty());
+    }
+
+    /// The unit-level entry point used by the backend layer: placements
+    /// line up with the unit list and agree with the schedule.
+    #[test]
+    fn unit_scheduling_reports_placements() {
+        let inv = ran_inventory();
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let units: Vec<Vec<NodeId>> = nodes.chunks(2).map(|c| c.to_vec()).collect();
+        let cfg = HeuristicConfig {
+            slot_capacity: 6,
+            iterations: 2,
+            seed: 1,
+        };
+        let (s, placements) =
+            heuristic_schedule_units(&inv, &units, &ConflictTable::new(), &window(20), &cfg);
+        assert_eq!(placements.len(), units.len());
+        let slots = window(20).usable_slots();
+        for (unit, place) in units.iter().zip(&placements) {
+            match place {
+                Some(idx) => {
+                    for n in unit {
+                        assert_eq!(s.assignments.get(n), Some(&slots[*idx]));
+                    }
+                }
+                None => {
+                    for n in unit {
+                        assert!(s.leftovers.contains(n));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

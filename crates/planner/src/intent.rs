@@ -5,9 +5,10 @@
 //! constraint templates" (§3.3). This module parses that JSON into typed
 //! rules; [`crate::translate()`] maps the rules onto constraint templates.
 
+use crate::json::JsonValue;
 use cornet_types::{
     ConflictEntry, ConflictTable, CornetError, Granularity, MaintenanceWindow, NodeId, Result,
-    SchedulingWindow, SimTime,
+    SchedulingWindow, SimTime, TimeUnit,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -165,8 +166,18 @@ pub struct PlanIntent {
 
 impl PlanIntent {
     /// Parse the JSON intent API.
+    ///
+    /// Tries `serde_json` first, then falls back to the dependency-free
+    /// reader in [`crate::json`] — the vendored `serde_json` in offline
+    /// builds is a round-trip shim that cannot parse external JSON text.
     pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json).map_err(|e| CornetError::Parse(format!("intent JSON: {e}")))
+        match serde_json::from_str(json) {
+            Ok(intent) => Ok(intent),
+            Err(serde_err) => from_json_value(
+                &crate::json::parse(json)
+                    .map_err(|_| CornetError::Parse(format!("intent JSON: {serde_err}")))?,
+            ),
+        }
     }
 
     /// Resolve the scheduling window into typed form.
@@ -280,6 +291,235 @@ impl PlanIntent {
             })
             .unwrap_or("same_instance")
     }
+}
+
+/// Map a parsed [`JsonValue`] document onto [`PlanIntent`] — the manual
+/// twin of the serde derive, used when serde's parser is unavailable.
+fn from_json_value(root: &JsonValue) -> Result<PlanIntent> {
+    let obj = |v: &JsonValue, what: &str| -> Result<()> {
+        if v.entries().is_some() {
+            Ok(())
+        } else {
+            Err(CornetError::Parse(format!(
+                "intent JSON: {what} must be an object"
+            )))
+        }
+    };
+    obj(root, "document")?;
+    let field = |name: &str| -> Result<&JsonValue> {
+        root.get(name)
+            .ok_or_else(|| CornetError::Parse(format!("intent JSON: missing field {name:?}")))
+    };
+    let str_of = |v: &JsonValue, what: &str| -> Result<String> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| CornetError::Parse(format!("intent JSON: {what} must be a string")))
+    };
+
+    let sw = field("scheduling_window")?;
+    let scheduling_window = WindowSpec {
+        start: str_of(
+            sw.get("start").unwrap_or(&JsonValue::Null),
+            "scheduling_window.start",
+        )?,
+        end: str_of(
+            sw.get("end").unwrap_or(&JsonValue::Null),
+            "scheduling_window.end",
+        )?,
+        granularity: granularity_value(
+            sw.get("granularity")
+                .ok_or_else(|| CornetError::Parse("intent JSON: missing granularity".into()))?,
+        )?,
+    };
+
+    let mw = field("maintenance_window")?;
+    let maintenance_window = MaintenanceSpec {
+        start: str_of(
+            mw.get("start").unwrap_or(&JsonValue::Null),
+            "maintenance_window.start",
+        )?,
+        end: str_of(
+            mw.get("end").unwrap_or(&JsonValue::Null),
+            "maintenance_window.end",
+        )?,
+        granularity: mw
+            .get("granularity")
+            .and_then(|v| v.as_str())
+            .map(str::to_owned),
+        timezone: mw
+            .get("timezone")
+            .and_then(|v| v.as_str())
+            .map(str::to_owned),
+    };
+
+    let mut excluded_periods = Vec::new();
+    if let Some(periods) = root.get("excluded_periods").and_then(|v| v.as_array()) {
+        for p in periods {
+            excluded_periods.push(PeriodSpec {
+                start: str_of(
+                    p.get("start").unwrap_or(&JsonValue::Null),
+                    "excluded period start",
+                )?,
+                end: str_of(
+                    p.get("end").unwrap_or(&JsonValue::Null),
+                    "excluded period end",
+                )?,
+            });
+        }
+    }
+
+    let mut frozen_elements = Vec::new();
+    if let Some(frozen) = root.get("frozen_elements").and_then(|v| v.as_array()) {
+        for f in frozen {
+            let entries = f.entries().ok_or_else(|| {
+                CornetError::Parse("intent JSON: frozen element must be an object".into())
+            })?;
+            let mut element = FrozenElement {
+                start: None,
+                end: None,
+                selector: BTreeMap::new(),
+            };
+            for (key, value) in entries {
+                let text = str_of(value, &format!("frozen element field {key:?}"))?;
+                match key.as_str() {
+                    "start" => element.start = Some(text),
+                    "end" => element.end = Some(text),
+                    _ => {
+                        element.selector.insert(key.clone(), text);
+                    }
+                }
+            }
+            frozen_elements.push(element);
+        }
+    }
+
+    let mut conflict_table = BTreeMap::new();
+    if let Some(entries) = root.get("conflict_table").and_then(|v| v.entries()) {
+        for (id, periods) in entries {
+            let periods = periods.as_array().ok_or_else(|| {
+                CornetError::Parse(format!(
+                    "intent JSON: conflict_table[{id:?}] must be an array"
+                ))
+            })?;
+            let mut list = Vec::new();
+            for p in periods {
+                let mut tickets = Vec::new();
+                if let Some(ts) = p.get("tickets").and_then(|v| v.as_array()) {
+                    for t in ts {
+                        tickets.push(str_of(t, "conflict ticket")?);
+                    }
+                }
+                list.push(ConflictPeriod {
+                    start: str_of(p.get("start").unwrap_or(&JsonValue::Null), "conflict start")?,
+                    end: str_of(p.get("end").unwrap_or(&JsonValue::Null), "conflict end")?,
+                    tickets,
+                });
+            }
+            conflict_table.insert(id.clone(), list);
+        }
+    }
+
+    let mut constraints = Vec::new();
+    for c in field("constraints")?
+        .as_array()
+        .ok_or_else(|| CornetError::Parse("intent JSON: constraints must be an array".into()))?
+    {
+        constraints.push(constraint_value(c)?);
+    }
+
+    Ok(PlanIntent {
+        scheduling_window,
+        maintenance_window,
+        excluded_periods,
+        schedulable_attribute: str_of(field("schedulable_attribute")?, "schedulable_attribute")?,
+        conflict_attribute: str_of(field("conflict_attribute")?, "conflict_attribute")?,
+        frozen_elements,
+        conflict_table,
+        constraints,
+    })
+}
+
+/// Decode a `{"metric": ..., "value": ...}` granularity object.
+fn granularity_value(v: &JsonValue) -> Result<Granularity> {
+    let metric = match v.get("metric").and_then(|m| m.as_str()) {
+        Some("minute") => TimeUnit::Minute,
+        Some("hour") => TimeUnit::Hour,
+        Some("day") => TimeUnit::Day,
+        Some("week") => TimeUnit::Week,
+        other => {
+            return Err(CornetError::Parse(format!(
+                "intent JSON: unknown granularity metric {other:?}"
+            )))
+        }
+    };
+    let value = v.get("value").and_then(|x| x.as_f64()).ok_or_else(|| {
+        CornetError::Parse("intent JSON: granularity value must be a number".into())
+    })?;
+    Ok(Granularity::new(metric, value as u32))
+}
+
+/// Decode one `{"name": ...}`-tagged constraint rule.
+fn constraint_value(c: &JsonValue) -> Result<ConstraintRule> {
+    let name = c
+        .get("name")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| CornetError::Parse("intent JSON: constraint missing \"name\" tag".into()))?;
+    let text = |key: &str| -> Result<String> {
+        c.get(key)
+            .and_then(|v| v.as_str())
+            .map(str::to_owned)
+            .ok_or_else(|| {
+                CornetError::Parse(format!("intent JSON: constraint {name:?} missing {key:?}"))
+            })
+    };
+    let number = |key: &str| -> Result<f64> {
+        c.get(key).and_then(|v| v.as_f64()).ok_or_else(|| {
+            CornetError::Parse(format!("intent JSON: constraint {name:?} missing {key:?}"))
+        })
+    };
+    Ok(match name {
+        "conflict_handling" => ConstraintRule::ConflictHandling {
+            value: match text("value")?.as_str() {
+                "zero-tolerance" => ConflictTolerance::Zero,
+                "minimize-conflicts" => ConflictTolerance::Minimize,
+                other => {
+                    return Err(CornetError::Parse(format!(
+                        "intent JSON: unknown conflict tolerance {other:?}"
+                    )))
+                }
+            },
+        },
+        "concurrency" => ConstraintRule::Concurrency {
+            base_attribute: text("base_attribute")?,
+            aggregate_attribute: c
+                .get("aggregate_attribute")
+                .and_then(|v| v.as_str())
+                .map(str::to_owned),
+            operator: text("operator")?,
+            granularity: granularity_value(c.get("granularity").ok_or_else(|| {
+                CornetError::Parse("intent JSON: concurrency missing granularity".into())
+            })?)?,
+            default_capacity: number("default_capacity")? as i64,
+        },
+        "consistency" => ConstraintRule::Consistency {
+            attribute: text("attribute")?,
+        },
+        "uniformity" => ConstraintRule::Uniformity {
+            attribute: text("attribute")?,
+            value: number("value")?,
+        },
+        "localize" => ConstraintRule::Localize {
+            attribute: text("attribute")?,
+        },
+        "conflict_scope" => ConstraintRule::ConflictScope {
+            value: text("value")?,
+        },
+        other => {
+            return Err(CornetError::Parse(format!(
+                "intent JSON: unknown constraint rule {other:?}"
+            )))
+        }
+    })
 }
 
 /// Parse `idNNNNNN` display form back to a [`NodeId`].

@@ -16,13 +16,16 @@
 //! * [`heuristic`] — Algorithm 1: timezone-sequenced market-permutation
 //!   local search scheduling whole USIDs at a time.
 
+pub mod backend;
 pub mod decompose;
 pub mod heuristic;
 pub mod intent;
+pub mod json;
 pub mod lint;
 pub mod plan;
 pub mod translate;
 
+pub use backend::{BackendChoice, BackendResult, BackendRun, Budget, SolveContext, SolverBackend};
 pub use heuristic::{heuristic_schedule, HeuristicConfig};
 pub use intent::{ConflictTolerance, ConstraintRule, PlanIntent};
 pub use lint::{lint, LintFinding, LintLevel, LintReport};

@@ -6,11 +6,13 @@
 //! one function. It reports both the *schedule quality* (makespan,
 //! conflicts) and the *discovery time* the paper's evaluation measures.
 
-use crate::decompose::solve_components;
+use crate::backend::{BackendChoice, BackendRun, Budget, SolveContext};
+use crate::decompose::split_translation;
+use crate::heuristic::HeuristicConfig;
 use crate::intent::PlanIntent;
 use crate::translate::{translate, TranslateOptions, Translation};
 use cornet_model::ModelStats;
-use cornet_solver::{solve, Outcome, SearchStats, SolverConfig};
+use cornet_solver::{CancelToken, Outcome, SearchStats, SolverConfig};
 use cornet_types::{Inventory, NodeId, Result, Schedule, Topology};
 use std::time::{Duration, Instant};
 
@@ -21,8 +23,13 @@ pub struct PlanOptions {
     pub translate: TranslateOptions,
     /// Solver budgets.
     pub solver: SolverConfig,
+    /// Scheduling backend (§3.3's interchangeable optimizers).
+    pub backend: BackendChoice,
+    /// Heuristic backend knobs (`slot_capacity` is taken from the intent's
+    /// plain concurrency rule when declared).
+    pub heuristic: HeuristicConfig,
     /// Split the model into independent components and solve them in
-    /// parallel (§3.3.3 idea (b)).
+    /// parallel (§3.3.3 idea (b)) — a backend-agnostic pre-pass.
     pub decompose: bool,
 }
 
@@ -42,6 +49,11 @@ pub struct PlanResult {
     pub discovery_time: Duration,
     /// Number of independent components solved.
     pub components: usize,
+    /// The backend that produced the schedule.
+    pub backend: BackendChoice,
+    /// Per-backend statistics for every run that participated (one entry
+    /// per backend per component; portfolios contribute one per member).
+    pub backend_runs: Vec<BackendRun>,
 }
 
 impl PlanResult {
@@ -64,13 +76,68 @@ pub fn plan(
         translate(intent, inventory, topology, nodes, &options.translate)?;
     let model_stats = translation.model.stats();
     let conflicts = intent.conflicts()?;
+    let backend = options
+        .backend
+        .instantiate(&options.solver, &options.heuristic);
+    let budget = Budget::from_config(&options.solver);
+    let cancel = CancelToken::new();
 
-    let (outcome, assignment, search_stats, components) = if options.decompose {
-        solve_components(&translation.model, &options.solver)
+    let parts = if options.decompose {
+        split_translation(&translation)
     } else {
-        let r = solve(&translation.model, &options.solver);
-        match r.best {
-            Some(sol) => (r.outcome, sol.assignment, r.stats, 1),
+        Vec::new()
+    };
+
+    let (outcome, assignment, search_stats, components, backend_runs) = if parts.len() > 1 {
+        // Backend-agnostic decomposition: every part is a standalone
+        // translation the chosen backend solves on its own thread.
+        let mut results = Vec::new();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|part| {
+                    let ctx = SolveContext::new(&part.translation, inventory, intent, &conflicts);
+                    let backend = &backend;
+                    let budget = &budget;
+                    let cancel = &cancel;
+                    scope.spawn(move |_| backend.solve(&ctx, budget, cancel))
+                })
+                .collect();
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("backend panicked"))
+                .collect::<Vec<_>>();
+        })
+        .expect("crossbeam scope failed");
+
+        let mut assignment = vec![0i64; translation.model.var_count()];
+        let mut stats = SearchStats::default();
+        let mut outcome = Outcome::Optimal;
+        let mut runs: Vec<BackendRun> = Vec::new();
+        for (part, result) in parts.iter().zip(results) {
+            stats.nodes += result.stats.nodes;
+            stats.backtracks += result.stats.backtracks;
+            stats.solutions += result.stats.solutions;
+            stats.elapsed += result.stats.elapsed;
+            runs.extend(result.runs);
+            match (&result.assignment, result.outcome) {
+                (Some(sub), oc) => {
+                    for (&old, &val) in part.vars.iter().zip(sub) {
+                        assignment[old] = val;
+                    }
+                    if oc != Outcome::Optimal && outcome == Outcome::Optimal {
+                        outcome = Outcome::Feasible;
+                    }
+                }
+                (None, _) => outcome = Outcome::Feasible,
+            }
+        }
+        (outcome, assignment, stats, parts.len(), runs)
+    } else {
+        let ctx = SolveContext::new(&translation, inventory, intent, &conflicts);
+        let r = backend.solve(&ctx, &budget, &cancel);
+        match r.assignment {
+            Some(assignment) => (r.outcome, assignment, r.stats, 1, r.runs),
             None => {
                 return Err(cornet_types::CornetError::Infeasible(format!(
                     "no schedule under the given intent ({:?})",
@@ -88,6 +155,8 @@ pub fn plan(
         search_stats,
         discovery_time: started.elapsed(),
         components,
+        backend: options.backend,
+        backend_runs,
     })
 }
 

@@ -9,7 +9,79 @@
 use crate::propagate::Propagation;
 use crate::state::State;
 use cornet_model::{Model, VarId};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Cooperative cancellation handle: cloned into each racing backend, set
+/// once by whoever decides the race is over. A cancelled solve keeps its
+/// incumbent and reports [`Outcome::Feasible`] (or [`Outcome::Unknown`]
+/// when nothing was found yet) — cancellation never loses a solution.
+#[derive(Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CancelToken({})", self.is_cancelled())
+    }
+}
+
+/// Shared objective upper bound for portfolio racing: backends publish the
+/// cost of every *checked-feasible* solution they find, and the exact
+/// search prunes branches that provably cannot beat it. Pruning is strict
+/// (`lb > bound` survives only `lb ≤ bound`) so an equal-cost incumbent is
+/// still reachable — that keeps the final incumbent independent of *when*
+/// a competitor published its bound, which is what makes portfolio racing
+/// deterministic for completed searches.
+#[derive(Clone)]
+pub struct SharedIncumbent(Arc<AtomicI64>);
+
+impl SharedIncumbent {
+    /// A fresh bound at +∞ (no incumbent yet).
+    pub fn new() -> Self {
+        SharedIncumbent(Arc::new(AtomicI64::new(i64::MAX)))
+    }
+
+    /// Publish a feasible solution's cost; keeps the minimum.
+    pub fn publish(&self, cost: i64) {
+        self.0.fetch_min(cost, Ordering::Relaxed);
+    }
+
+    /// Current best published cost (`i64::MAX` when none).
+    pub fn bound(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for SharedIncumbent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for SharedIncumbent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedIncumbent({})", self.bound())
+    }
+}
 
 /// Search configuration.
 #[derive(Clone, Debug)]
@@ -22,6 +94,14 @@ pub struct SolverConfig {
     /// false, values are tried in ascending numeric order — the ablation
     /// baseline for the warm-start design choice.
     pub cost_value_order: bool,
+    /// Stop as soon as the first solution is recorded — the greedy
+    /// warm-start dive exposed as a standalone fast backend.
+    pub first_solution_only: bool,
+    /// Cooperative cancellation hook (portfolio racing).
+    pub cancel: Option<CancelToken>,
+    /// Shared-incumbent bound hook: prune against (and publish to) the
+    /// best checked-feasible cost any racing backend has found.
+    pub incumbent: Option<SharedIncumbent>,
 }
 
 impl Default for SolverConfig {
@@ -30,6 +110,9 @@ impl Default for SolverConfig {
             max_nodes: 1_000_000,
             time_limit: Duration::from_secs(30),
             cost_value_order: true,
+            first_solution_only: false,
+            cancel: None,
+            incumbent: None,
         }
     }
 }
@@ -135,6 +218,15 @@ impl<'a> Searcher<'a> {
             self.aborted = true;
             return true;
         }
+        if self
+            .config
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+        {
+            self.aborted = true;
+            return true;
+        }
         // Check the clock only every 1024 nodes; Instant::now is not free.
         if self.stats.nodes.is_multiple_of(1024) && self.start.elapsed() >= self.config.time_limit {
             self.aborted = true;
@@ -168,6 +260,12 @@ impl<'a> Searcher<'a> {
             self.best = Some(Solution { assignment, cost });
             self.stats.solutions += 1;
             self.stats.time_to_best = self.start.elapsed();
+            if let Some(inc) = &self.config.incumbent {
+                inc.publish(cost);
+            }
+            if self.config.first_solution_only {
+                self.aborted = true;
+            }
         }
     }
 
@@ -192,6 +290,17 @@ impl<'a> Searcher<'a> {
             }
             let branch_lb = lb_acc - self.root_min[var] + self.model.objective.var_cost(vid, v);
             if self.best.as_ref().is_some_and(|b| branch_lb >= b.cost) {
+                continue;
+            }
+            // Shared-incumbent pruning is strict (`>`), so an equal-cost
+            // solution of our own stays reachable — the final incumbent
+            // never depends on when a competitor published its bound.
+            if self
+                .config
+                .incumbent
+                .as_ref()
+                .is_some_and(|inc| branch_lb > inc.bound())
+            {
                 continue;
             }
             let mark = self.state.mark();
@@ -400,6 +509,99 @@ mod tests {
         let r = solve(&m, &tight);
         assert!(r.stats.nodes <= 51);
         assert!(matches!(r.outcome, Outcome::Feasible | Outcome::Unknown));
+    }
+
+    #[test]
+    fn first_solution_only_stops_at_greedy_dive() {
+        let mut b = ModelBuilder::new("t", 5);
+        let vs = b.slot_vars("X", 4);
+        b.capacity("cap", vs.clone(), vec![1; 4], 1);
+        b.require_scheduled(&vs);
+        b.completion_objective(&vs, &[1; 4], 100);
+        let m = b.build();
+        let greedy = SolverConfig {
+            first_solution_only: true,
+            ..Default::default()
+        };
+        let r = solve(&m, &greedy);
+        assert_eq!(r.outcome, Outcome::Feasible, "stopped early by design");
+        assert_eq!(r.stats.solutions, 1);
+        assert!(m.check(&r.solution().assignment).is_ok());
+        // The greedy dive on this staircase model is already optimal.
+        assert_eq!(r.solution().cost, 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn cancellation_keeps_incumbent() {
+        // Large-ish search space with instant first solutions: cancel from
+        // another thread mid-search and check the incumbent survives.
+        let mut b = ModelBuilder::new("t", 8);
+        let vs = b.slot_vars("X", 10);
+        b.capacity("cap", vs.clone(), vec![1; 10], 2);
+        b.require_scheduled(&vs);
+        b.completion_objective(&vs, &[1; 10], 100);
+        let m = b.build();
+        let cancel = CancelToken::new();
+        let cfg = SolverConfig {
+            cancel: Some(cancel.clone()),
+            cost_value_order: false, // slow convergence → still running
+            max_nodes: u64::MAX,
+            ..Default::default()
+        };
+        let r = std::thread::scope(|scope| {
+            let h = scope.spawn(|| solve(&m, &cfg));
+            std::thread::sleep(Duration::from_millis(30));
+            cancel.cancel();
+            h.join().expect("solver thread")
+        });
+        assert!(r.best.is_some(), "cancellation must not lose the incumbent");
+        assert!(m.check(&r.solution().assignment).is_ok());
+        assert!(matches!(r.outcome, Outcome::Feasible | Outcome::Optimal));
+    }
+
+    #[test]
+    fn pre_cancelled_solve_returns_unknown() {
+        let mut b = ModelBuilder::new("t", 3);
+        let vs = b.slot_vars("X", 3);
+        b.require_scheduled(&vs);
+        let m = b.build();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let cfg = SolverConfig {
+            cancel: Some(cancel),
+            ..Default::default()
+        };
+        let r = solve(&m, &cfg);
+        assert_eq!(r.outcome, Outcome::Unknown);
+        assert!(r.best.is_none());
+    }
+
+    #[test]
+    fn shared_incumbent_prunes_but_allows_equal_cost() {
+        // Publish the known optimum as an external bound before solving:
+        // strict pruning must still let the solver find its own equal-cost
+        // solution, so the result matches the un-hooked solve exactly.
+        let mut b = ModelBuilder::new("t", 5);
+        let vs = b.slot_vars("X", 4);
+        b.capacity("cap", vs.clone(), vec![1; 4], 1);
+        b.require_scheduled(&vs);
+        b.completion_objective(&vs, &[1; 4], 100);
+        let m = b.build();
+        let solo = solve(&m, &cfg());
+        let inc = SharedIncumbent::new();
+        inc.publish(solo.solution().cost);
+        let hooked = SolverConfig {
+            incumbent: Some(inc.clone()),
+            ..Default::default()
+        };
+        let r = solve(&m, &hooked);
+        assert_eq!(r.outcome, Outcome::Optimal);
+        assert_eq!(r.solution().assignment, solo.solution().assignment);
+        assert_eq!(inc.bound(), solo.solution().cost);
+        assert!(
+            r.stats.nodes <= solo.stats.nodes,
+            "external bound may only shrink the search"
+        );
     }
 
     #[test]

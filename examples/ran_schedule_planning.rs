@@ -10,11 +10,11 @@
 //! Run with: `cargo run --release --example ran_schedule_planning`
 
 use cornet::netsim::{Network, NetworkConfig};
+use cornet::planner::intent::ConflictPeriod;
 use cornet::planner::{
-    heuristic_schedule, plan, translate, HeuristicConfig, PlanIntent, PlanOptions, TranslateOptions,
+    plan, translate, BackendChoice, HeuristicConfig, PlanIntent, PlanOptions, TranslateOptions,
 };
-use cornet::types::{ConflictEntry, ConflictTable, NfType, NodeId, SimTime};
-use std::time::Instant;
+use cornet::types::{NfType, NodeId};
 
 const INTENT: &str = r#"{
     "scheduling_window": {"start": "2020-07-01 00:00:00",
@@ -97,47 +97,78 @@ fn main() {
         result.discovery_time,
     );
 
-    // ---------- Appendix C heuristic at 20K+ nodes ----------
+    // Same intent through the racing portfolio: exact, greedy and the
+    // heuristic compete; the winner is deterministic (best cost, fixed
+    // tie-break order — never wall-clock).
+    let portfolio = plan(
+        &intent,
+        &small.inventory,
+        &small.topology,
+        &nodes,
+        &PlanOptions {
+            backend: BackendChoice::Portfolio,
+            ..options.clone()
+        },
+    )
+    .expect("portfolio plan found");
+    println!("\nportfolio race on the same intent:");
+    for run in &portfolio.backend_runs {
+        println!(
+            "  {}{}: {:?}, cost {}, in {:?}",
+            run.backend,
+            if run.winner { " (winner)" } else { "" },
+            run.outcome,
+            run.cost.map_or_else(|| "-".into(), |c| c.to_string()),
+            run.stats.elapsed,
+        );
+    }
+
+    // ---------- Appendix C heuristic at 20K+ nodes, via plan() ----------
     let big = Network::generate_ran(&NetworkConfig::default().with_target_nodes(20_000));
     let big_nodes = ran_nodes(&big);
     println!(
-        "\n=== Appendix C heuristic: {} RAN nodes ===",
+        "\n=== Appendix C heuristic backend: {} RAN nodes ===",
         big_nodes.len()
     );
 
-    // Busy periods for a random slice of nodes (ticketed work elsewhere).
-    let mut conflicts = ConflictTable::new();
+    // Busy periods for a slice of nodes (ticketed work elsewhere), fed
+    // through the intent's conflict table like any production run.
+    let mut big_intent = intent.clone();
     for &n in big_nodes.iter().step_by(37) {
-        conflicts.add(
-            n,
-            ConflictEntry {
-                start: SimTime::from_ymd_hm(2020, 7, 2, 0, 0),
-                end: SimTime::from_ymd_hm(2020, 7, 6, 23, 59),
+        big_intent.conflict_table.insert(
+            n.to_string(),
+            vec![ConflictPeriod {
+                start: "2020-07-02 00:00:00".into(),
+                end: "2020-07-06 23:59:00".into(),
                 tickets: vec![format!("CHG-{n}")],
-            },
+            }],
         );
     }
-    let window = intent.window().unwrap();
-    let started = Instant::now();
-    let schedule = heuristic_schedule(
+    let big_result = plan(
+        &big_intent,
         &big.inventory,
+        &big.topology,
         &big_nodes,
-        &conflicts,
-        &window,
-        &HeuristicConfig {
-            slot_capacity: 900,
-            iterations: 6,
-            seed: 4,
+        &PlanOptions {
+            backend: BackendChoice::Heuristic,
+            heuristic: HeuristicConfig {
+                slot_capacity: 900,
+                iterations: 6,
+                seed: 4,
+            },
+            ..Default::default()
         },
-    );
-    let elapsed = started.elapsed();
+    )
+    .expect("heuristic plan found");
+    let schedule = &big_result.schedule;
     println!(
-        "heuristic: {} scheduled, {} leftovers, {} conflicts, makespan {:?}, wtct {}, in {elapsed:?}",
+        "heuristic: {} scheduled, {} leftovers, {} conflicts, makespan {:?}, wtct {}, in {:?}",
         schedule.scheduled_count(),
         schedule.leftovers.len(),
         schedule.conflicts,
         schedule.makespan().map(|s| s.0).unwrap_or(0),
         schedule.weighted_completion_time(),
+        big_result.discovery_time,
     );
 
     // Per-slot load profile (first 10 slots).

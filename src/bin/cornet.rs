@@ -4,7 +4,7 @@
 //! cornet catalog                      list the building-block catalog
 //! cornet workflows                    list & validate the built-in workflows
 //! cornet lint  --intent F [--network SPEC]   lint a JSON intent
-//! cornet plan  --intent F [--network SPEC] [--heuristic] [--emit-mzn F]
+//! cornet plan  --intent F [--network SPEC] [--backend B] [--emit-mzn F]
 //! cornet demo                         run a miniature end-to-end cycle
 //! ```
 //!
@@ -12,8 +12,8 @@
 
 use cornet::catalog::builtin_catalog;
 use cornet::netsim::{Network, NetworkConfig};
-use cornet::planner::{heuristic_schedule, lint, plan, HeuristicConfig, PlanIntent, PlanOptions};
-use cornet::types::{ConflictTable, NfType, NodeId};
+use cornet::planner::{lint, plan, BackendChoice, PlanIntent, PlanOptions};
+use cornet::types::{NfType, NodeId};
 use cornet::workflow::{validate, WarArtifact};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -25,7 +25,8 @@ fn usage() -> ExitCode {
          options:\n\
            --intent <file>     JSON intent (Listing 1 format)\n\
            --network <spec>    ran:<nodes> | cloud:<vces>   (default ran:200)\n\
-           --heuristic         use the Appendix C heuristic instead of the solver\n\
+           --backend <b>       exact | greedy | heuristic | portfolio (default exact)\n\
+           --heuristic         alias for --backend heuristic\n\
            --emit-mzn <file>   write the generated MiniZinc model\n\
            --time-limit <s>    solver budget in seconds (default 5)"
     );
@@ -205,39 +206,20 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> ExitCode {
         }
     }
 
-    if flags.contains_key("heuristic") {
-        let window = match intent.window() {
-            Ok(w) => w,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let conflicts = intent.conflicts().unwrap_or_else(|_| ConflictTable::new());
-        // Respect the intent's plain concurrency capacity when present,
-        // instead of the heuristic's built-in default.
-        let slot_capacity = intent
-            .plain_concurrency_capacity()
-            .unwrap_or(HeuristicConfig::default().slot_capacity);
-        let schedule = heuristic_schedule(
-            &net.inventory,
-            &nodes,
-            &conflicts,
-            &window,
-            &HeuristicConfig {
-                slot_capacity,
-                ..Default::default()
-            },
-        );
-        println!(
-            "heuristic schedule: {} scheduled, {} leftovers, {} conflicts, makespan {}",
-            schedule.scheduled_count(),
-            schedule.leftovers.len(),
-            schedule.conflicts,
-            schedule.makespan().map(|s| s.0).unwrap_or(0),
-        );
-        return ExitCode::SUCCESS;
-    }
+    // `--heuristic` is a compatibility alias for `--backend heuristic`;
+    // every backend now runs through the same plan() pipeline.
+    let backend_name = if flags.contains_key("heuristic") {
+        "heuristic"
+    } else {
+        flags.get("backend").map(String::as_str).unwrap_or("exact")
+    };
+    let backend = match BackendChoice::parse(backend_name) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let secs: u64 = flags
         .get("time-limit")
@@ -248,12 +230,14 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> ExitCode {
             time_limit: std::time::Duration::from_secs(secs),
             ..Default::default()
         },
+        backend,
         ..Default::default()
     };
     match plan(&intent, &net.inventory, &net.topology, &nodes, &options) {
         Ok(result) => {
             println!(
-                "schedule: {} scheduled, {} leftovers, {} conflicts, makespan {}, {:?}, discovered in {:?}",
+                "schedule[{}]: {} scheduled, {} leftovers, {} conflicts, makespan {}, {:?}, discovered in {:?}",
+                result.backend.name(),
                 result.schedule.scheduled_count(),
                 result.schedule.leftovers.len(),
                 result.schedule.conflicts,
@@ -261,6 +245,17 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> ExitCode {
                 result.outcome,
                 result.discovery_time,
             );
+            for run in &result.backend_runs {
+                println!(
+                    "  backend {}{}: {:?}, cost {}, {} nodes in {:?}",
+                    run.backend,
+                    if run.winner { " (winner)" } else { "" },
+                    run.outcome,
+                    run.cost.map_or_else(|| "-".into(), |c| c.to_string()),
+                    run.stats.nodes,
+                    run.stats.elapsed,
+                );
+            }
             if let Some(path) = flags.get("emit-mzn") {
                 match cornet::planner::translate(
                     &intent,

@@ -1,13 +1,16 @@
 //! Integration test for §3.3.3/§4.2's generic-solver vs custom-heuristic
-//! comparison: on a shared instance, the heuristic must produce schedules
-//! whose makespan is within a small factor of the exact solver's (the
-//! paper reports CORNET's generic path costs ≈7% extra makespan vs the
-//! custom heuristic; at small scale the exact solver is the reference),
+//! comparison — now run through the *same* pipeline: every strategy is a
+//! `SolverBackend` selected via `PlanOptions::backend`, so the comparison
+//! exercises the pluggable seam instead of two bespoke call paths. The
+//! heuristic must produce schedules whose makespan is within a small
+//! factor of the exact solver's (the paper reports ≈7% extra makespan for
+//! the generic path; at small scale the exact solver is the reference),
 //! while scaling to node counts the solver cannot touch.
 
 use cornet::netsim::{Network, NetworkConfig};
 use cornet::planner::{
-    heuristic_schedule, plan, ConstraintRule, HeuristicConfig, PlanIntent, PlanOptions,
+    heuristic_schedule, plan, BackendChoice, ConstraintRule, HeuristicConfig, PlanIntent,
+    PlanOptions,
 };
 use cornet::types::{ConflictTable, Granularity, NfType, NodeId, SchedulingWindow, SimTime};
 use std::time::Instant;
@@ -28,18 +31,7 @@ fn ran_nodes(net: &Network) -> Vec<NodeId> {
     nodes
 }
 
-fn window() -> SchedulingWindow {
-    SchedulingWindow::daily(SimTime::from_ymd_hm(2020, 7, 1, 0, 0), 40)
-}
-
-#[test]
-fn heuristic_makespan_close_to_solver_optimum() {
-    let net = ran(3);
-    let nodes = ran_nodes(&net);
-    let capacity = 6i64;
-
-    // Exact solver via the intent pipeline (consistency on usid, global
-    // slot capacity).
+fn comparison_intent(capacity: i64) -> PlanIntent {
     let mut intent = PlanIntent::from_json(
         r#"{
         "scheduling_window": {"start": "2020-07-01 00:00:00",
@@ -64,38 +56,52 @@ fn heuristic_makespan_close_to_solver_optimum() {
             attribute: "usid".into(),
         },
     ];
-    let solver_result = plan(
+    intent
+}
+
+fn options_for(backend: BackendChoice) -> PlanOptions {
+    PlanOptions {
+        solver: cornet::solver::SolverConfig {
+            time_limit: std::time::Duration::from_secs(5),
+            ..Default::default()
+        },
+        backend,
+        heuristic: HeuristicConfig {
+            iterations: 8,
+            seed: 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn heuristic_makespan_close_to_solver_optimum() {
+    let net = ran(3);
+    let nodes = ran_nodes(&net);
+    let intent = comparison_intent(6);
+
+    let exact = plan(
         &intent,
         &net.inventory,
         &net.topology,
         &nodes,
-        &PlanOptions {
-            solver: cornet::solver::SolverConfig {
-                time_limit: std::time::Duration::from_secs(5),
-                ..Default::default()
-            },
-            ..Default::default()
-        },
+        &options_for(BackendChoice::Exact),
+    )
+    .unwrap();
+    let heuristic = plan(
+        &intent,
+        &net.inventory,
+        &net.topology,
+        &nodes,
+        &options_for(BackendChoice::Heuristic),
     )
     .unwrap();
 
-    // Heuristic on the same instance.
-    let hs = heuristic_schedule(
-        &net.inventory,
-        &nodes,
-        &ConflictTable::new(),
-        &window(),
-        &HeuristicConfig {
-            slot_capacity: capacity,
-            iterations: 8,
-            seed: 3,
-        },
-    );
-
-    assert!(hs.leftovers.is_empty());
-    assert_eq!(hs.scheduled_count(), nodes.len());
-    let solver_makespan = solver_result.makespan() as f64;
-    let heuristic_makespan = hs.makespan().unwrap().0 as f64;
+    assert!(heuristic.schedule.leftovers.is_empty());
+    assert_eq!(heuristic.schedule.scheduled_count(), nodes.len());
+    let solver_makespan = exact.makespan() as f64;
+    let heuristic_makespan = heuristic.makespan() as f64;
     // The heuristic schedules timezones sequentially (deployability trumps
     // tightness, Appendix C), so allow generous headroom — but it must
     // stay within a small constant factor of optimal.
@@ -103,6 +109,98 @@ fn heuristic_makespan_close_to_solver_optimum() {
         heuristic_makespan <= solver_makespan * 2.5 + 4.0,
         "heuristic {heuristic_makespan} vs solver {solver_makespan}"
     );
+}
+
+#[test]
+fn greedy_backend_plans_through_the_pipeline() {
+    let net = ran(3);
+    let nodes = ran_nodes(&net);
+    let intent = comparison_intent(6);
+    let greedy = plan(
+        &intent,
+        &net.inventory,
+        &net.topology,
+        &nodes,
+        &options_for(BackendChoice::Greedy),
+    )
+    .unwrap();
+    assert_eq!(greedy.schedule.scheduled_count(), nodes.len());
+    assert_eq!(greedy.backend_runs.len(), 1);
+    assert_eq!(greedy.backend_runs[0].backend, "greedy");
+    assert!(greedy.backend_runs[0].feasible);
+}
+
+#[test]
+fn portfolio_beats_or_matches_every_member() {
+    let net = ran(3);
+    let nodes = ran_nodes(&net);
+    let intent = comparison_intent(6);
+
+    let run = |backend| {
+        plan(
+            &intent,
+            &net.inventory,
+            &net.topology,
+            &nodes,
+            &options_for(backend),
+        )
+        .unwrap()
+    };
+    let exact = run(BackendChoice::Exact);
+    let heuristic = run(BackendChoice::Heuristic);
+    let portfolio = run(BackendChoice::Portfolio);
+
+    // The §4.2 acceptance bar: the race's makespan is never worse than the
+    // best standalone member's.
+    let best = exact.makespan().min(heuristic.makespan());
+    assert!(
+        portfolio.makespan() <= best,
+        "portfolio {} vs best member {best}",
+        portfolio.makespan()
+    );
+    assert_eq!(portfolio.backend_runs.len(), 3, "all members reported");
+    assert_eq!(
+        portfolio.backend_runs.iter().filter(|r| r.winner).count(),
+        1
+    );
+}
+
+#[test]
+fn portfolio_winner_is_deterministic_across_races() {
+    let net = ran(2);
+    let nodes = ran_nodes(&net);
+    let intent = comparison_intent(4);
+
+    let reference = plan(
+        &intent,
+        &net.inventory,
+        &net.topology,
+        &nodes,
+        &options_for(BackendChoice::Portfolio),
+    )
+    .unwrap();
+    let winner = |r: &cornet::planner::PlanResult| {
+        r.backend_runs
+            .iter()
+            .find(|run| run.winner)
+            .map(|run| run.backend)
+    };
+    for _ in 0..5 {
+        let again = plan(
+            &intent,
+            &net.inventory,
+            &net.topology,
+            &nodes,
+            &options_for(BackendChoice::Portfolio),
+        )
+        .unwrap();
+        assert_eq!(
+            again.schedule.assignments, reference.schedule.assignments,
+            "racing must be timing-independent"
+        );
+        assert_eq!(winner(&again), winner(&reference));
+        assert_eq!(again.outcome, reference.outcome);
+    }
 }
 
 #[test]

@@ -307,6 +307,104 @@ proptest! {
         prop_assert_eq!(first, second, "same fault plan must replay identically");
     }
 
+    /// Racing the portfolio at whatever thread interleaving the OS picks
+    /// must return a bit-identical plan: same winner, same schedule, same
+    /// outcome, run after run. (Wall-clock never picks the winner; the
+    /// exact member prunes the shared incumbent only strictly.)
+    #[test]
+    fn portfolio_race_is_bit_identical_across_runs(
+        inv in arb_inventory(),
+        capacity in 2i64..5,
+        use_consistency in any::<bool>(),
+    ) {
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let mut intent = base_intent(capacity, 16);
+        if use_consistency {
+            intent.constraints.push(ConstraintRule::Consistency { attribute: "usid".into() });
+        }
+        let topo = Topology::with_capacity(nodes.len());
+        let options = PlanOptions {
+            backend: cornet::planner::BackendChoice::Portfolio,
+            ..budgeted()
+        };
+        let reference = plan(&intent, &inv, &topo, &nodes, &options).unwrap();
+        let ref_winner = reference
+            .backend_runs
+            .iter()
+            .find(|r| r.winner)
+            .map(|r| r.backend);
+        for _ in 0..2 {
+            let again = plan(&intent, &inv, &topo, &nodes, &options).unwrap();
+            prop_assert_eq!(&again.schedule.assignments, &reference.schedule.assignments);
+            prop_assert_eq!(&again.schedule.leftovers, &reference.schedule.leftovers);
+            prop_assert_eq!(again.schedule.conflicts, reference.schedule.conflicts);
+            prop_assert_eq!(again.outcome, reference.outcome);
+            let winner = again.backend_runs.iter().find(|r| r.winner).map(|r| r.backend);
+            prop_assert_eq!(winner, ref_winner);
+        }
+    }
+
+    /// Cancelling a race mid-flight never loses an incumbent a member has
+    /// already produced: the heuristic completes instantly, so even with
+    /// the exact search cancelled almost immediately the portfolio still
+    /// returns a full schedule.
+    #[test]
+    fn cancelled_race_keeps_the_incumbent(
+        inv in arb_inventory(),
+        capacity in 2i64..5,
+    ) {
+        use cornet::planner::{Budget, SolveContext};
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let intent = base_intent(capacity, 16);
+        let topo = Topology::with_capacity(nodes.len());
+        let translation =
+            translate(&intent, &inv, &topo, &nodes, &TranslateOptions::default()).unwrap();
+        let conflicts = intent.conflicts().unwrap();
+        let ctx = SolveContext::new(&translation, &inv, &intent, &conflicts);
+        let backend = cornet::planner::BackendChoice::Portfolio.instantiate(
+            &SolverConfig::default(),
+            &HeuristicConfig::default(),
+        );
+        let cancel = cornet::solver::CancelToken::new();
+        let canceller = {
+            let cancel = cancel.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                cancel.cancel();
+            })
+        };
+        let r = backend.solve(&ctx, &Budget::default(), &cancel);
+        canceller.join().unwrap();
+        // The race may end early, but whatever members finished must be
+        // reported and a produced assignment is never dropped.
+        if let Some(a) = &r.assignment {
+            prop_assert_eq!(a.len(), translation.model.var_count());
+        }
+        prop_assert!(!r.runs.is_empty());
+    }
+
+    /// `BackendChoice::Exact` through plan() is bit-identical to driving
+    /// the translation and solver by hand (the refactor preserves the
+    /// legacy pipeline's output).
+    #[test]
+    fn exact_backend_matches_manual_pipeline(
+        inv in arb_inventory(),
+        capacity in 2i64..5,
+    ) {
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let intent = base_intent(capacity, 12);
+        let topo = Topology::with_capacity(nodes.len());
+        let options = budgeted();
+        let result = plan(&intent, &inv, &topo, &nodes, &options).unwrap();
+
+        let t = translate(&intent, &inv, &topo, &nodes, &TranslateOptions::default()).unwrap();
+        let solved = cornet::solver::solve(&t.model, &options.solver);
+        let manual = t.decode(&solved.solution().assignment, &intent.conflicts().unwrap());
+        prop_assert_eq!(result.schedule.assignments, manual.assignments);
+        prop_assert_eq!(result.schedule.leftovers, manual.leftovers);
+        prop_assert_eq!(result.outcome, solved.outcome);
+    }
+
     /// MiniZinc emission is total: any translated model renders non-empty
     /// text containing every variable.
     #[test]
