@@ -6,11 +6,12 @@
 //! (impact). Examples and integration tests drive CORNET through this.
 
 use cornet_catalog::{builtin_catalog, Catalog};
+use cornet_obs::Tracer;
 use cornet_orchestrator::{DispatchReport, Dispatcher, ExecutorRegistry, GlobalState};
 use cornet_planner::{plan, PlanIntent, PlanOptions, PlanResult};
 use cornet_types::{Inventory, NodeId, Result, Schedule, Topology};
 use cornet_verifier::{
-    verify_rule, ChangeScope, DataAdapter, VerificationReport, VerificationRule,
+    verify_rule_traced, ChangeScope, DataAdapter, VerificationReport, VerificationRule,
 };
 use cornet_workflow::{validate, ValidationReport, WarArtifact, Workflow};
 
@@ -24,6 +25,9 @@ pub struct Cornet {
     pub topology: Topology,
     /// Executor registry used at dispatch time.
     pub registry: ExecutorRegistry,
+    /// Tracer shared across every phase driven through the facade (noop
+    /// by default; see [`Cornet::with_tracer`]).
+    pub tracer: Tracer,
 }
 
 impl Cornet {
@@ -34,7 +38,15 @@ impl Cornet {
             inventory,
             topology,
             registry,
+            tracer: Tracer::noop(),
         }
+    }
+
+    /// Attach a tracer: plan/dispatch/verify runs driven through the
+    /// facade record their spans and metrics on it.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Validate a workflow against the catalog (§3.2's verification step).
@@ -65,6 +77,12 @@ impl Cornet {
         nodes: &[NodeId],
         options: &PlanOptions,
     ) -> Result<PlanResult> {
+        // The facade tracer backs any plan that didn't bring its own.
+        if self.tracer.is_enabled() && !options.tracer.is_enabled() {
+            let mut traced = options.clone();
+            traced.tracer = self.tracer.clone();
+            return plan(intent, &self.inventory, &self.topology, nodes, &traced);
+        }
         plan(intent, &self.inventory, &self.topology, nodes, options)
     }
 
@@ -76,7 +94,9 @@ impl Cornet {
         concurrency: usize,
         inputs_for: impl Fn(NodeId) -> GlobalState + Sync,
     ) -> Result<DispatchReport> {
-        Dispatcher::new(war.clone(), self.registry.clone(), concurrency)?.run(schedule, inputs_for)
+        Dispatcher::new(war.clone(), self.registry.clone(), concurrency)?
+            .with_tracer(self.tracer.clone())
+            .run(schedule, inputs_for)
     }
 
     /// Verify the impact of executed changes.
@@ -86,7 +106,15 @@ impl Cornet {
         rule: &VerificationRule,
         scope: &ChangeScope,
     ) -> Result<VerificationReport> {
-        verify_rule(adapter, rule, scope, &self.inventory, &self.topology)
+        verify_rule_traced(
+            adapter,
+            rule,
+            scope,
+            &self.inventory,
+            &self.topology,
+            &self.tracer,
+            None,
+        )
     }
 }
 

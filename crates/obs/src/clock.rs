@@ -1,0 +1,127 @@
+//! Injectable time sources for span timestamps.
+//!
+//! Every span start/end timestamp flows through a [`Clock`], so tests pin
+//! traces to a deterministic timeline ([`ManualClock`]) while production
+//! runs read the monotonic wall clock ([`WallClock`]). Timestamps are
+//! nanoseconds since the clock's own epoch — the tracer only ever computes
+//! differences and orderings, never absolute civil time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic time source. Implementations must be thread-safe: the
+/// dispatcher reads the clock from every worker thread.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's epoch. Must be monotone
+    /// non-decreasing across calls (per clock, across threads).
+    fn now_ns(&self) -> u64;
+}
+
+/// Monotonic wall clock anchored at construction time.
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is "now".
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        // Saturate rather than wrap: a u64 of nanoseconds covers ~584
+        // years of process uptime.
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Deterministic clock for tests: time only moves when told to, either
+/// explicitly via [`ManualClock::advance`] or automatically by a fixed
+/// tick per reading.
+///
+/// The auto-tick makes every `now_ns` observation distinct and strictly
+/// increasing, so spans recorded through it nest properly in time
+/// (parent start < child start < child end < parent end) without any real
+/// sleeping — which is what makes golden-file trace exports byte-stable.
+pub struct ManualClock {
+    now: AtomicU64,
+    tick: u64,
+}
+
+impl ManualClock {
+    /// A frozen clock starting at zero; advance it explicitly.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ManualClock {
+            now: AtomicU64::new(0),
+            tick: 0,
+        })
+    }
+
+    /// A self-ticking clock: each reading advances time by `tick_ns`.
+    pub fn ticking(tick_ns: u64) -> Arc<Self> {
+        Arc::new(ManualClock {
+            now: AtomicU64::new(0),
+            tick: tick_ns,
+        })
+    }
+
+    /// Move time forward by `ns`.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        if self.tick == 0 {
+            self.now.load(Ordering::SeqCst)
+        } else {
+            // fetch_add returns the pre-increment value, so the first
+            // reading is 0, then tick, 2*tick, …
+            self.now.fetch_add(self.tick, Ordering::SeqCst)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_frozen_until_advanced() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 0);
+        c.advance(250);
+        assert_eq!(c.now_ns(), 250);
+    }
+
+    #[test]
+    fn ticking_clock_strictly_increases() {
+        let c = ManualClock::ticking(10);
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 10);
+        assert_eq!(c.now_ns(), 20);
+        c.advance(5);
+        assert_eq!(c.now_ns(), 35);
+    }
+}

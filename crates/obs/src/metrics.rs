@@ -1,0 +1,309 @@
+//! Counters and fixed-bucket histograms.
+//!
+//! The registry is deliberately small: named monotonic counters and
+//! fixed-boundary histograms, both thread-safe, both exportable through
+//! the same sinks as spans. Histograms store counts per bucket plus exact
+//! count/sum/min/max, so summaries can report both distribution shape and
+//! precise totals.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Default histogram boundaries (upper bounds, in milliseconds): a
+/// 1-2.5-5 ladder from 0.25 ms to 10 s. Observations above the last bound
+/// land in the overflow bucket.
+pub const DEFAULT_BOUNDS_MS: [f64; 14] = [
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 10_000.0,
+];
+
+/// A fixed-bucket histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Upper bounds of each bucket (inclusive), strictly increasing. An
+    /// implicit overflow bucket catches everything above the last bound.
+    pub bounds: Vec<f64>,
+    /// Observation counts per bucket; `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest observed value (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// A histogram with the given bucket upper bounds. Panics unless the
+    /// bounds are strictly increasing and non-empty.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing: {bounds:?}"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Index of the bucket a value falls into (last = overflow).
+    pub fn bucket_for(&self, value: f64) -> usize {
+        // Bounds are inclusive upper limits: value ≤ bound ⇒ in bucket.
+        self.bounds
+            .partition_point(|&b| b < value)
+            .min(self.bounds.len())
+    }
+
+    /// Record one observation. NaN observations are dropped (a NaN
+    /// duration is a bug upstream; poisoning min/max helps nobody).
+    pub fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let idx = self.bucket_for(value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Estimated quantile (0 ≤ q ≤ 1) from bucket boundaries: the upper
+    /// bound of the bucket containing the q-th observation (`max` for the
+    /// overflow bucket, exact `min`/`max` at the extremes). Returns `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Mean of observed values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// Thread-safe registry of named counters and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// Point-in-time copy of a registry, name-sorted for deterministic export.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram name → state.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, defaulting to 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to a counter, creating it at zero on first touch.
+    pub fn incr(&self, name: &str, by: u64) {
+        let mut counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        *counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Record a histogram observation under the default millisecond
+    /// bucket ladder ([`DEFAULT_BOUNDS_MS`]).
+    pub fn observe(&self, name: &str, value: f64) {
+        self.observe_with_bounds(name, value, &DEFAULT_BOUNDS_MS);
+    }
+
+    /// Record an observation, creating the histogram with `bounds` on
+    /// first touch (later observations reuse the existing buckets).
+    pub fn observe_with_bounds(&self, name: &str, value: f64, bounds: &[f64]) {
+        let mut histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Copy out the current state, name-sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_math_places_boundaries_inclusively() {
+        let h = Histogram::new(&[1.0, 5.0, 10.0]);
+        assert_eq!(h.bucket_for(0.0), 0);
+        assert_eq!(h.bucket_for(1.0), 0, "bound is inclusive");
+        assert_eq!(h.bucket_for(1.0001), 1);
+        assert_eq!(h.bucket_for(5.0), 1);
+        assert_eq!(h.bucket_for(10.0), 2);
+        assert_eq!(h.bucket_for(10.5), 3, "overflow bucket");
+        assert_eq!(h.bucket_for(f64::MAX), 3);
+    }
+
+    #[test]
+    fn observe_tracks_count_sum_min_max() {
+        let mut h = Histogram::new(&[1.0, 5.0]);
+        for v in [0.5, 2.0, 7.0, 3.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.counts, vec![1, 2, 1]);
+        assert_eq!(h.sum, 12.5);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 7.0);
+        assert_eq!(h.mean(), Some(3.125));
+    }
+
+    #[test]
+    fn nan_observations_are_dropped() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        assert_eq!(h.count, 0);
+        h.observe(0.5);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.min, 0.5);
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_buckets() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        // 10 observations: 4 in ≤1, 3 in ≤2, 2 in ≤4, 1 in ≤8.
+        for v in [0.5, 0.6, 0.7, 0.8, 1.5, 1.6, 1.7, 3.0, 3.5, 7.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(2.0), "5th obs is in the ≤2 bucket");
+        assert_eq!(h.quantile(0.4), Some(1.0));
+        assert_eq!(h.quantile(0.95), Some(8.0));
+        assert_eq!(h.quantile(0.0), Some(0.5), "exact min");
+        assert_eq!(h.quantile(1.0), Some(7.0), "exact max");
+        assert_eq!(Histogram::new(&[1.0]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn overflow_quantile_reports_exact_max() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(50.0);
+        h.observe(90.0);
+        assert_eq!(h.quantile(0.99), Some(90.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        let _ = Histogram::new(&[5.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.incr("cache.hit", 2);
+        m.incr("cache.hit", 3);
+        m.incr("cache.miss", 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("cache.hit"), 5);
+        assert_eq!(snap.counter("cache.miss"), 1);
+        assert_eq!(snap.counter("absent"), 0);
+        // Name-sorted for deterministic export.
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["cache.hit", "cache.miss"]);
+    }
+
+    #[test]
+    fn registry_histograms_keep_first_bounds() {
+        let m = MetricsRegistry::new();
+        m.observe_with_bounds("lat", 0.5, &[1.0, 2.0]);
+        m.observe_with_bounds("lat", 1.5, &[9.0]); // bounds ignored: exists
+        let snap = m.snapshot();
+        let h = snap.histogram("lat").unwrap();
+        assert_eq!(h.bounds, vec![1.0, 2.0]);
+        assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let m = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        m.incr("n", 1);
+                        m.observe("v", 1.0);
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("n"), 4000);
+        assert_eq!(snap.histogram("v").unwrap().count, 4000);
+    }
+}

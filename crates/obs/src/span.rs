@@ -1,0 +1,500 @@
+//! Spans and the tracer facade.
+//!
+//! A [`Span`] is one timed operation: a name (its *kind* in the span
+//! taxonomy), start/end timestamps from the tracer's injectable
+//! [`Clock`](crate::clock::Clock), key/value attributes, and an optional
+//! parent forming the instance → block style nesting. Spans are recorded
+//! through a [`Tracer`] — a cheaply cloneable handle that either collects
+//! into a shared in-memory buffer or, when disabled, costs one branch per
+//! call so instrumented hot paths stay hot.
+//!
+//! Spans cross threads by value of their [`SpanId`]: a dispatcher worker
+//! clones the tracer, opens a span, and parents it under an id minted on
+//! the coordinating thread. Ids are process-unique per tracer and never
+//! reused.
+
+use crate::clock::{Clock, WallClock};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identifier of a span within one tracer. Copy it across threads to
+/// parent child spans; `SpanId(0)` is never issued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// A typed attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// Text.
+    Str(String),
+    /// Signed integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Str(s) => f.write_str(s),
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_owned())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// One finished span.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Unique id within the tracer.
+    pub id: SpanId,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Span kind (see the taxonomy in DESIGN.md): `dispatch`, `slot`,
+    /// `instance`, `block`, `plan`, `solve.exact`, `verify.rule`, …
+    pub name: String,
+    /// Start timestamp, clock nanoseconds.
+    pub start_ns: u64,
+    /// End timestamp, clock nanoseconds.
+    pub end_ns: u64,
+    /// Key/value attributes in insertion order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl Span {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Look up an attribute by key (last write wins).
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Everything a tracer collected: finished spans in finish order plus a
+/// snapshot of its metrics registry. This is the in-memory collector the
+/// exporters and [`TraceSummary`](crate::summary::TraceSummary) consume.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Finished spans, in the order they finished.
+    pub spans: Vec<Span>,
+    /// Counter and histogram state at snapshot time.
+    pub metrics: MetricsSnapshot,
+}
+
+impl Trace {
+    /// Spans of one kind, in finish order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Span> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// The direct children of `parent`, in finish order.
+    pub fn children_of(&self, parent: SpanId) -> Vec<&Span> {
+        self.spans
+            .iter()
+            .filter(|s| s.parent == Some(parent))
+            .collect()
+    }
+}
+
+struct TracerInner {
+    clock: Arc<dyn Clock>,
+    next_id: AtomicU64,
+    spans: Mutex<Vec<Span>>,
+    metrics: MetricsRegistry,
+}
+
+/// The tracing facade. Clone freely: clones share the same collector.
+/// The default tracer is disabled ([`Tracer::noop`]) — every operation is
+/// a single branch, no clock reads, no allocation.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("Tracer(noop)"),
+            Some(inner) => write!(
+                f,
+                "Tracer(spans={})",
+                inner.spans.lock().unwrap_or_else(|e| e.into_inner()).len()
+            ),
+        }
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer: spans and metrics are no-ops.
+    pub fn noop() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer collecting against the monotonic wall clock.
+    pub fn wall() -> Self {
+        Self::with_clock(Arc::new(WallClock::new()))
+    }
+
+    /// An enabled tracer over an injected clock (deterministic tests use
+    /// [`ManualClock`](crate::clock::ManualClock)).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                clock,
+                next_id: AtomicU64::new(1),
+                spans: Mutex::new(Vec::new()),
+                metrics: MetricsRegistry::new(),
+            })),
+        }
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a root span. Record it with [`ActiveSpan::finish`] or by
+    /// dropping it.
+    pub fn span(&self, name: &str) -> ActiveSpan {
+        self.span_with_parent(name, None)
+    }
+
+    /// Open a span nested under `parent`.
+    pub fn child_span(&self, name: &str, parent: SpanId) -> ActiveSpan {
+        self.span_with_parent(name, Some(parent))
+    }
+
+    /// Open a span with an optional parent.
+    pub fn span_with_parent(&self, name: &str, parent: Option<SpanId>) -> ActiveSpan {
+        let Some(inner) = &self.inner else {
+            return ActiveSpan {
+                inner: None,
+                id: SpanId(0),
+                parent: None,
+                name: String::new(),
+                start_ns: 0,
+                attrs: Vec::new(),
+            };
+        };
+        let id = SpanId(inner.next_id.fetch_add(1, Ordering::Relaxed));
+        ActiveSpan {
+            inner: Some(inner.clone()),
+            id,
+            parent,
+            name: name.to_owned(),
+            start_ns: inner.clock.now_ns(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Increment a counter (no-op when disabled).
+    pub fn incr(&self, name: &str, by: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.incr(name, by);
+        }
+    }
+
+    /// Record a histogram observation (no-op when disabled).
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.observe(name, value);
+        }
+    }
+
+    /// Direct access to the metrics registry, when enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_deref().map(|i| &i.metrics)
+    }
+
+    /// Read the tracer's clock (0 when disabled). Instrumented code uses
+    /// this for duration metrics so deterministic clocks stay
+    /// deterministic end-to-end; note a ticking [`ManualClock`]
+    /// (crate::clock::ManualClock) advances on every read.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map(|i| i.clock.now_ns()).unwrap_or(0)
+    }
+
+    /// Number of spans finished so far.
+    pub fn finished_spans(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map(|i| i.spans.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .unwrap_or(0)
+    }
+
+    /// Clone out everything collected so far.
+    pub fn snapshot(&self) -> Trace {
+        match &self.inner {
+            None => Trace::default(),
+            Some(inner) => Trace {
+                spans: inner
+                    .spans
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clone(),
+                metrics: inner.metrics.snapshot(),
+            },
+        }
+    }
+
+    /// Drain the collector: returns everything collected and resets the
+    /// span buffer (metrics keep accumulating; they are cumulative by
+    /// design).
+    pub fn take(&self) -> Trace {
+        match &self.inner {
+            None => Trace::default(),
+            Some(inner) => Trace {
+                spans: std::mem::take(&mut *inner.spans.lock().unwrap_or_else(|e| e.into_inner())),
+                metrics: inner.metrics.snapshot(),
+            },
+        }
+    }
+}
+
+/// A span that is open. Attach attributes while it runs; it records on
+/// [`finish`](ActiveSpan::finish) or on drop (so error paths still leave a
+/// complete trace).
+pub struct ActiveSpan {
+    inner: Option<Arc<TracerInner>>,
+    id: SpanId,
+    parent: Option<SpanId>,
+    name: String,
+    start_ns: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl ActiveSpan {
+    /// This span's id — hand it to workers to parent their spans.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// The span's start timestamp in clock nanoseconds (0 for noop
+    /// tracers). Pair with [`Tracer::now_ns`] for clock-consistent
+    /// elapsed-time metrics.
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+
+    /// Whether the span records anywhere (false for noop tracers).
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attach an attribute. Cheap no-op on disabled tracers.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if self.inner.is_some() {
+            self.attrs.push((key, value.into()));
+        }
+    }
+
+    /// Close the span and record it.
+    pub fn finish(self) {
+        // Recording happens in Drop.
+    }
+}
+
+impl Drop for ActiveSpan {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let span = Span {
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            start_ns: self.start_ns,
+            end_ns: inner.clock.now_ns(),
+            attrs: std::mem::take(&mut self.attrs),
+        };
+        inner
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn noop_tracer_records_nothing() {
+        let t = Tracer::noop();
+        assert!(!t.is_enabled());
+        let mut s = t.span("anything");
+        s.attr("k", 1i64);
+        s.finish();
+        t.incr("c", 5);
+        t.observe("h", 1.0);
+        let trace = t.snapshot();
+        assert!(trace.spans.is_empty());
+        assert!(trace.metrics.counters.is_empty());
+    }
+
+    #[test]
+    fn spans_record_timestamps_and_attrs() {
+        let clock = ManualClock::new();
+        let t = Tracer::with_clock(clock.clone());
+        let mut s = t.span("work");
+        clock.advance(1_000);
+        s.attr("node", "enb-1");
+        s.attr("attempts", 3u32);
+        s.finish();
+        let trace = t.snapshot();
+        assert_eq!(trace.spans.len(), 1);
+        let span = &trace.spans[0];
+        assert_eq!(span.name, "work");
+        assert_eq!(span.start_ns, 0);
+        assert_eq!(span.end_ns, 1_000);
+        assert_eq!(span.duration_ns(), 1_000);
+        assert_eq!(span.attr("node"), Some(&AttrValue::Str("enb-1".into())));
+        assert_eq!(span.attr("attempts"), Some(&AttrValue::Int(3)));
+        assert_eq!(span.attr("missing"), None);
+    }
+
+    #[test]
+    fn nesting_links_parent_and_child() {
+        let t = Tracer::with_clock(ManualClock::ticking(10));
+        let parent = t.span("outer");
+        let pid = parent.id();
+        let child = t.child_span("inner", pid);
+        let cid = child.id();
+        assert_ne!(pid, cid);
+        child.finish();
+        parent.finish();
+        let trace = t.snapshot();
+        // Children finish before parents.
+        assert_eq!(trace.spans[0].name, "inner");
+        assert_eq!(trace.spans[0].parent, Some(pid));
+        assert_eq!(trace.spans[1].name, "outer");
+        assert_eq!(trace.spans[1].parent, None);
+        assert_eq!(trace.children_of(pid).len(), 1);
+        // The ticking clock makes the child's window sit inside the
+        // parent's.
+        let (outer, inner) = (&trace.spans[1], &trace.spans[0]);
+        assert!(outer.start_ns < inner.start_ns);
+        assert!(inner.start_ns < inner.end_ns);
+        assert!(inner.end_ns < outer.end_ns);
+    }
+
+    #[test]
+    fn drop_records_unfinished_spans() {
+        let t = Tracer::with_clock(ManualClock::new());
+        {
+            let mut s = t.span("interrupted");
+            s.attr("reason", "error path");
+            // dropped without finish()
+        }
+        assert_eq!(t.finished_spans(), 1);
+        assert_eq!(t.snapshot().spans[0].name, "interrupted");
+    }
+
+    #[test]
+    fn ids_are_unique_across_threads() {
+        let t = Tracer::with_clock(ManualClock::new());
+        let mut ids: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let t = t.clone();
+                    scope.spawn(move || {
+                        (0..100)
+                            .map(|_| {
+                                let s = t.span("x");
+                                let id = s.id().0;
+                                s.finish();
+                                id
+                            })
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "no id reuse");
+        assert_eq!(t.finished_spans(), 800);
+    }
+
+    #[test]
+    fn take_drains_the_collector() {
+        let t = Tracer::with_clock(ManualClock::new());
+        t.span("a").finish();
+        assert_eq!(t.take().spans.len(), 1);
+        assert_eq!(t.snapshot().spans.len(), 0);
+    }
+
+    #[test]
+    fn last_attr_write_wins_on_lookup() {
+        let t = Tracer::with_clock(ManualClock::new());
+        let mut s = t.span("w");
+        s.attr("status", "running");
+        s.attr("status", "done");
+        s.finish();
+        let trace = t.snapshot();
+        assert_eq!(
+            trace.spans[0].attr("status"),
+            Some(&AttrValue::Str("done".into()))
+        );
+    }
+}

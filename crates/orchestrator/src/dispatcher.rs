@@ -40,6 +40,7 @@ use crate::engine::{BlockExecution, Engine, InstanceStatus};
 use crate::executor::{ExecutorRegistry, GlobalState};
 use crate::falloutanalysis::FalloutAnalysis;
 use crate::resilience::{BreakerTrip, CircuitBreaker};
+use cornet_obs::{SpanId, Tracer};
 use cornet_types::{CornetError, NodeId, Result, Schedule, Timeslot};
 use cornet_workflow::{WarArtifact, Workflow};
 use std::collections::BTreeMap;
@@ -114,6 +115,10 @@ pub struct Dispatcher {
     /// Worker-pool size: the maximum number of instances in flight at any
     /// moment within a slot.
     pub concurrency: usize,
+    /// Observability handle. Noop by default; attach one with
+    /// [`Dispatcher::with_tracer`] to record dispatch → slot → instance →
+    /// block span trees and per-status counters.
+    tracer: Tracer,
 }
 
 /// Run one workflow instance, folding engine-level errors (corrupt WAR,
@@ -125,13 +130,20 @@ fn run_instance(
     node: NodeId,
     slot: Timeslot,
     inputs: GlobalState,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
 ) -> InstanceReport {
+    let mut span = tracer.span_with_parent("instance", parent);
+    span.attr("node", node.0 as u64);
+    span.attr("slot", slot.0);
+    let span_id = span.is_recording().then(|| span.id());
     let run = || -> Result<(InstanceStatus, Vec<BlockExecution>)> {
         let mut engine = Engine::new(workflow.clone(), registry, inputs);
+        engine.set_trace(tracer.clone(), span_id);
         let status = engine.run()?.clone();
         Ok((status, engine.log().to_vec()))
     };
-    match run() {
+    let report = match run() {
         Ok((status, blocks)) => InstanceReport {
             node,
             slot,
@@ -144,7 +156,23 @@ fn run_instance(
             status: InstanceStatus::Failed(format!("engine: {e}")),
             blocks: Vec::new(),
         },
+    };
+    if span.is_recording() {
+        span.attr("status", report.status.label());
+        span.attr("blocks", report.blocks.len());
+        let retries: u64 = report
+            .blocks
+            .iter()
+            .map(|b| b.attempts.saturating_sub(1) as u64)
+            .sum();
+        span.attr("retries", retries);
+        if let InstanceStatus::Failed(block) | InstanceStatus::RolledBack(block) = &report.status {
+            span.attr("failed_block", block.as_str());
+        }
+        span.finish();
+        tracer.incr(&format!("instances.{}", report.status.label()), 1);
     }
+    report
 }
 
 /// Group a schedule's assignments by slot, preserving slot order and the
@@ -171,7 +199,20 @@ impl Dispatcher {
             war,
             registry,
             concurrency,
+            tracer: Tracer::noop(),
         })
+    }
+
+    /// Attach a tracer: every subsequent run records a `dispatch` →
+    /// `slot` → `instance` → `block` span tree plus per-status counters.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The dispatcher's tracer (noop unless one was attached).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Execute the schedule slot by slot. `inputs_for` supplies each
@@ -199,18 +240,25 @@ impl Dispatcher {
         // Unpack the WAR once; instances clone the in-memory graph instead
         // of re-deserializing JSON per instance.
         let workflow = self.war.unpack()?;
+        let mut span = self.tracer.span("dispatch");
+        span.attr("instances", schedule.assignments.len());
+        span.attr("concurrency", self.concurrency);
+        let dispatch_id = span.is_recording().then(|| span.id());
         let mut report = DispatchReport::default();
         for (slot, nodes) in group_by_slot(schedule) {
             // The per-instance gate always admits: run_gated only halts at
             // slot boundaries, so every admitted instance lands in the
             // deterministic prefix and nothing drains.
             let (mut instances, _drained, _halted) =
-                self.run_slot(&workflow, slot, &nodes, &inputs_for, |_| true);
+                self.run_slot(&workflow, slot, &nodes, &inputs_for, dispatch_id, |_| true);
             report.instances.append(&mut instances);
             if !gate(slot, &report) {
+                span.attr("halted_at_slot", slot.0);
+                span.attr("completed", report.instances.len());
                 return Ok((report, Some(slot)));
             }
         }
+        span.attr("completed", report.instances.len());
         Ok((report, None))
     }
 
@@ -234,12 +282,22 @@ impl Dispatcher {
         breaker: &CircuitBreaker,
     ) -> Result<(DispatchReport, Option<BreakerTrip>)> {
         let workflow = self.war.unpack()?;
+        let mut span = self.tracer.span("dispatch");
+        span.attr("instances", schedule.assignments.len());
+        span.attr("concurrency", self.concurrency);
+        span.attr("breaker", true);
+        let dispatch_id = span.is_recording().then(|| span.id());
         let mut report = DispatchReport::default();
         let mut analysis = FalloutAnalysis::default();
         let mut trip: Option<BreakerTrip> = None;
         for (slot, nodes) in group_by_slot(schedule) {
-            let (mut instances, mut drained, halted) =
-                self.run_slot(&workflow, slot, &nodes, &inputs_for, |instance| {
+            let (mut instances, mut drained, halted) = self.run_slot(
+                &workflow,
+                slot,
+                &nodes,
+                &inputs_for,
+                dispatch_id,
+                |instance| {
                     analysis.add_instance(instance);
                     match breaker.check(&analysis) {
                         Some(t) => {
@@ -248,13 +306,23 @@ impl Dispatcher {
                         }
                         None => true,
                     }
-                });
+                },
+            );
             report.instances.append(&mut instances);
             report.drained.append(&mut drained);
             if halted {
                 break;
             }
         }
+        if let Some(t) = &trip {
+            span.attr("breaker_tripped", true);
+            span.attr("trip_block", t.block.as_str());
+            span.attr("trip_failure_rate", t.failure_rate);
+            span.attr("trip_samples", t.samples);
+            self.tracer.incr("breaker.trips", 1);
+        }
+        span.attr("completed", report.instances.len());
+        span.attr("drained", report.drained.len());
         Ok((report, trip))
     }
 
@@ -285,6 +353,7 @@ impl Dispatcher {
         slot: Timeslot,
         nodes: &[NodeId],
         inputs_for: &(impl Fn(NodeId) -> GlobalState + Sync),
+        dispatch_parent: Option<SpanId>,
         mut on_complete: impl FnMut(&InstanceReport) -> bool,
     ) -> (Vec<InstanceReport>, Vec<InstanceReport>, bool) {
         let n = nodes.len();
@@ -294,6 +363,10 @@ impl Dispatcher {
         if n == 0 {
             return (ordered, Vec::new(), false);
         }
+        let mut slot_span = self.tracer.span_with_parent("slot", dispatch_parent);
+        slot_span.attr("slot", slot.0);
+        slot_span.attr("nodes", n);
+        let slot_id = slot_span.is_recording().then(|| slot_span.id());
         let workers = self.concurrency.min(n);
         let (job_tx, job_rx) = mpsc::channel::<usize>();
         let job_rx = Mutex::new(job_rx);
@@ -310,6 +383,7 @@ impl Dispatcher {
                 let result_tx = result_tx.clone();
                 let job_rx = &job_rx;
                 let registry = &self.registry;
+                let tracer = &self.tracer;
                 scope.spawn(move |_| loop {
                     // Hold the lock only for the dequeue, not the run:
                     // workers block here only when no job is admitted yet.
@@ -324,6 +398,8 @@ impl Dispatcher {
                         nodes[i],
                         slot,
                         inputs_for(nodes[i]),
+                        tracer,
+                        slot_id,
                     );
                     if result_tx.send((i, report)).is_err() {
                         break;
@@ -375,7 +451,13 @@ impl Dispatcher {
         })
         .expect("crossbeam scope failed");
         drained.sort_by_key(|&(i, _)| i);
-        let drained = drained.into_iter().map(|(_, r)| r).collect();
+        let drained: Vec<InstanceReport> = drained.into_iter().map(|(_, r)| r).collect();
+        if slot_span.is_recording() {
+            slot_span.attr("completed", ordered.len());
+            slot_span.attr("drained", drained.len());
+            slot_span.attr("halted", halted);
+            self.tracer.incr("instances.drained", drained.len() as u64);
+        }
         (ordered, drained, halted)
     }
 }
@@ -528,6 +610,149 @@ mod tests {
             Ok(_) => panic!("zero concurrency must be rejected"),
         };
         assert!(matches!(err, CornetError::InvalidInput(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn spans_nest_instance_under_slot_under_dispatch_concurrently() {
+        use cornet_obs::{AttrValue, ManualClock, Tracer};
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        // A ticking manual clock keeps timestamps deterministic even with
+        // 4 workers racing: every clock read is distinct and ordered.
+        let tracer = Tracer::with_clock(ManualClock::ticking(1_000));
+        let d = Dispatcher::new(war, happy_registry(), 4)
+            .unwrap()
+            .with_tracer(tracer.clone());
+        let report = d.run(&schedule(8, 4), inputs).unwrap();
+        assert_eq!(report.completed(), 8);
+
+        let trace = tracer.snapshot();
+        let dispatch: Vec<_> = trace.spans_named("dispatch").collect();
+        assert_eq!(dispatch.len(), 1);
+        let slots: Vec<_> = trace.spans_named("slot").collect();
+        assert_eq!(slots.len(), 2);
+        assert!(slots.iter().all(|s| s.parent == Some(dispatch[0].id)));
+        let instances: Vec<_> = trace.spans_named("instance").collect();
+        assert_eq!(instances.len(), 8);
+        for inst in &instances {
+            let slot = slots
+                .iter()
+                .find(|s| Some(s.id) == inst.parent)
+                .expect("instance parents a slot span");
+            // Time containment: the instance ran within its slot's window.
+            assert!(slot.start_ns < inst.start_ns && inst.end_ns < slot.end_ns);
+            assert_eq!(
+                inst.attr("status"),
+                Some(&AttrValue::Str("completed".into()))
+            );
+            // Each instance has exactly 3 block children, each contained.
+            let blocks = trace.children_of(inst.id);
+            assert_eq!(blocks.len(), 3);
+            for b in &blocks {
+                assert_eq!(b.name, "block");
+                assert!(inst.start_ns < b.start_ns && b.end_ns < inst.end_ns);
+            }
+        }
+        // Counters aggregate across workers.
+        assert_eq!(trace.metrics.counter("instances.completed"), 8);
+        assert_eq!(trace.metrics.counter("blocks.success"), 24);
+        // Span ids are unique even under concurrency.
+        let mut ids: Vec<u64> = trace.spans.iter().map(|s| s.id.0).collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn instance_spans_carry_retry_and_failure_attributes() {
+        use crate::resilience::RetryPolicy;
+        use cornet_obs::{AttrValue, ManualClock, Tracer};
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        let mut reg = happy_registry();
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = calls.clone();
+        reg.register("software_upgrade", move |s| {
+            if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                return Err(cornet_types::CornetError::TransientFailure(
+                    "flaky link".into(),
+                ));
+            }
+            s.insert("previous_version".into(), ParamValue::from("old"));
+            Ok(())
+        });
+        reg.set_retry_policy("software_upgrade", RetryPolicy::with_attempts(3));
+        let tracer = Tracer::with_clock(ManualClock::ticking(1_000));
+        let d = Dispatcher::new(war, reg, 1)
+            .unwrap()
+            .with_tracer(tracer.clone());
+        let report = d.run(&schedule(1, 1), inputs).unwrap();
+        assert_eq!(report.completed(), 1);
+        let trace = tracer.snapshot();
+        let inst = trace.spans_named("instance").next().unwrap();
+        assert_eq!(inst.attr("retries"), Some(&AttrValue::Int(1)));
+        let upgrade = trace
+            .spans_named("block")
+            .find(|s| s.attr("block") == Some(&AttrValue::Str("software_upgrade".into())))
+            .unwrap();
+        assert_eq!(
+            upgrade.attr("status"),
+            Some(&AttrValue::Str("recovered".into()))
+        );
+        assert_eq!(upgrade.attr("attempts"), Some(&AttrValue::Int(2)));
+        assert_eq!(trace.metrics.counter("blocks.recovered"), 1);
+        assert_eq!(trace.metrics.counter("blocks.retry_attempts"), 1);
+    }
+
+    #[test]
+    fn breaker_trip_is_recorded_on_dispatch_span() {
+        use crate::resilience::CircuitBreaker;
+        use cornet_obs::{AttrValue, ManualClock, Tracer};
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        let mut reg = happy_registry();
+        reg.register("software_upgrade", |_| {
+            Err(cornet_types::CornetError::ExecutionFailed(
+                "bad image".into(),
+            ))
+        });
+        let breaker = CircuitBreaker {
+            failure_threshold: 0.5,
+            min_samples: 2,
+        };
+        let tracer = Tracer::with_clock(ManualClock::ticking(1_000));
+        let d = Dispatcher::new(war, reg, 2)
+            .unwrap()
+            .with_tracer(tracer.clone());
+        let (_, trip) = d
+            .run_with_breaker(&schedule(8, 8), inputs, &breaker)
+            .unwrap();
+        assert!(trip.is_some());
+        let trace = tracer.snapshot();
+        let dispatch = trace.spans_named("dispatch").next().unwrap();
+        assert_eq!(
+            dispatch.attr("breaker_tripped"),
+            Some(&AttrValue::Bool(true))
+        );
+        assert_eq!(
+            dispatch.attr("trip_block"),
+            Some(&AttrValue::Str("software_upgrade".into()))
+        );
+        assert_eq!(trace.metrics.counter("breaker.trips"), 1);
+    }
+
+    #[test]
+    fn noop_tracer_keeps_dispatch_untouched() {
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        let d = Dispatcher::new(war, happy_registry(), 2).unwrap();
+        assert!(!d.tracer().is_enabled());
+        let report = d.run(&schedule(4, 2), inputs).unwrap();
+        assert_eq!(report.completed(), 4);
+        assert_eq!(d.tracer().finished_spans(), 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! lets operations halt between blocks and resume after troubleshooting.
 
 use crate::executor::{ExecutorRegistry, GlobalState};
+use cornet_obs::{SpanId, Tracer};
 use cornet_types::{CornetError, ParamValue, Result};
 use cornet_workflow::{NodeKind, WarArtifact, WfNodeId, Workflow};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -36,6 +37,17 @@ impl BlockStatus {
     /// success or recovery through retries).
     pub fn is_success(self) -> bool {
         matches!(self, BlockStatus::Success | BlockStatus::Recovered { .. })
+    }
+
+    /// Stable label used as the `status` span attribute and the metrics
+    /// counter suffix.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockStatus::Success => "success",
+            BlockStatus::Failed => "failed",
+            BlockStatus::TimedOut => "timed_out",
+            BlockStatus::Recovered { .. } => "recovered",
+        }
     }
 }
 
@@ -73,6 +85,20 @@ pub enum InstanceStatus {
     /// A block failed permanently and the workflow's backout subgraph
     /// completed, reverting the change; carries the offending block.
     RolledBack(String),
+}
+
+impl InstanceStatus {
+    /// Stable label used as the `status` span attribute and the metrics
+    /// counter suffix.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InstanceStatus::Running => "running",
+            InstanceStatus::Paused => "paused",
+            InstanceStatus::Completed => "completed",
+            InstanceStatus::Failed(_) => "failed",
+            InstanceStatus::RolledBack(_) => "rolled_back",
+        }
+    }
 }
 
 /// Shared pause flag; clone freely across threads.
@@ -115,6 +141,14 @@ pub struct Engine {
     pause: PauseHandle,
     /// Virtual clock: simulated execution latency plus retry backoffs.
     sim_elapsed: Duration,
+    /// Observability: block spans are recorded here, parented under
+    /// `span_parent` (the dispatcher's instance span).
+    tracer: Tracer,
+    span_parent: Option<SpanId>,
+    /// True for the sub-engine that executes a backout subgraph; its block
+    /// spans are tagged so fall-out dashboards can split forward flow from
+    /// revert flow.
+    in_backout: bool,
 }
 
 impl Engine {
@@ -130,7 +164,17 @@ impl Engine {
             log: Vec::new(),
             pause: PauseHandle::new(),
             sim_elapsed: Duration::ZERO,
+            tracer: Tracer::noop(),
+            span_parent: None,
+            in_backout: false,
         }
+    }
+
+    /// Attach a tracer; block spans nest under `parent` (typically the
+    /// dispatcher's instance span).
+    pub fn set_trace(&mut self, tracer: Tracer, parent: Option<SpanId>) {
+        self.tracer = tracer;
+        self.span_parent = parent;
     }
 
     /// Create an engine by unpacking a deployed WAR artifact — the
@@ -204,6 +248,11 @@ impl Engine {
             NodeKind::Task { block } => {
                 let policy = self.registry.retry_policy_for(block).cloned();
                 let deadline = self.registry.deadline_for(block);
+                let mut span = self.tracer.span_with_parent("block", self.span_parent);
+                span.attr("block", block.as_str());
+                if self.in_backout {
+                    span.attr("backout", true);
+                }
                 let mut attempts: u32 = 0;
                 let mut exec_total = Duration::ZERO;
                 let mut backoff_total = Duration::ZERO;
@@ -246,6 +295,10 @@ impl Engine {
                                 // Pause lands at the retry boundary: no
                                 // log row, no token movement — resume()
                                 // restarts the block from a clean slate.
+                                // The span still records (status: paused)
+                                // so the trace shows the interruption.
+                                span.attr("status", "paused");
+                                span.attr("attempts", attempts);
                                 self.sim_elapsed += exec_total + backoff_total;
                                 self.status = InstanceStatus::Paused;
                                 return Ok(&self.status);
@@ -261,6 +314,7 @@ impl Engine {
                         } else {
                             BlockStatus::Success
                         };
+                        self.finish_block_span(span, status, attempts, backoff_total);
                         self.log.push(BlockExecution {
                             block: block.clone(),
                             status,
@@ -277,6 +331,8 @@ impl Engine {
                         } else {
                             BlockStatus::Failed
                         };
+                        span.attr("error", e.to_string());
+                        self.finish_block_span(span, status, attempts, backoff_total);
                         self.log.push(BlockExecution {
                             block: block.clone(),
                             status,
@@ -305,6 +361,34 @@ impl Engine {
         Ok(&self.status)
     }
 
+    /// Close a block span with the outcome attributes every block span
+    /// carries, and bump the per-status counters / duration histogram.
+    fn finish_block_span(
+        &self,
+        mut span: cornet_obs::ActiveSpan,
+        status: BlockStatus,
+        attempts: u32,
+        backoff_total: Duration,
+    ) {
+        if !span.is_recording() {
+            return;
+        }
+        // Elapsed time comes from the tracer's own clock (not the wall)
+        // so a deterministic clock yields a byte-stable export; the
+        // wall-measured execution split stays in the BlockExecution log.
+        let elapsed_ms = self.tracer.now_ns().saturating_sub(span.start_ns()) as f64 / 1e6;
+        span.attr("status", status.label());
+        span.attr("attempts", attempts);
+        span.attr("backoff_ms", backoff_total.as_secs_f64() * 1e3);
+        span.finish();
+        self.tracer.incr(&format!("blocks.{}", status.label()), 1);
+        if attempts > 1 {
+            self.tracer
+                .incr("blocks.retry_attempts", (attempts - 1) as u64);
+        }
+        self.tracer.observe("block.duration_ms", elapsed_ms);
+    }
+
     /// Handle a block that failed beyond recovery: execute the workflow's
     /// backout subgraph if one is designated (the paper's MOPs carry
     /// backout steps), reporting `RolledBack` on a clean revert and
@@ -315,16 +399,25 @@ impl Engine {
             self.status = InstanceStatus::Failed(block);
             return;
         };
+        let mut span = self.tracer.span_with_parent("backout", self.span_parent);
+        span.attr("block", block.as_str());
         // The backout runs over the instance's *current* state — it sees
         // everything the forward flow produced before failing (e.g.
         // `previous_version` from a half-done upgrade).
         let mut sub = Engine::new(*backout, self.registry.clone(), self.state.clone());
+        sub.set_trace(
+            self.tracer.clone(),
+            Some(span.id()).filter(|_| span.is_recording()),
+        );
+        sub.in_backout = true;
         let reverted = sub
             .run()
             .map(|s| *s == InstanceStatus::Completed)
             .unwrap_or(false);
         self.log.extend(sub.log.iter().cloned());
         self.sim_elapsed += sub.sim_elapsed;
+        span.attr("reverted", reverted);
+        span.finish();
         if reverted {
             self.state = sub.state;
             self.status = InstanceStatus::RolledBack(block);

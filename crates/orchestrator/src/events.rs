@@ -10,6 +10,7 @@
 //! emit follow-up events; the bus drains to quiescence.
 
 use crate::executor::{ExecutorRegistry, GlobalState};
+use cornet_obs::{AttrValue, Tracer};
 use cornet_types::Result;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -29,8 +30,13 @@ struct Subscription {
 pub struct EventBus {
     registry: ExecutorRegistry,
     subscriptions: Vec<Subscription>,
-    /// Trace of (event, block) firings, for comparison with workflow logs.
-    pub trace: Vec<(String, String)>,
+    /// Firings are recorded as `bus.firing` spans on this tracer (one
+    /// per block execution, carrying `event` and `block` attributes),
+    /// nested under a `bus.publish` span per publish call. Defaults to an
+    /// attached wall-clock tracer so firing history is always available;
+    /// swap in a shared or deterministic tracer with
+    /// [`EventBus::set_tracer`].
+    tracer: Tracer,
 }
 
 impl EventBus {
@@ -39,8 +45,40 @@ impl EventBus {
         EventBus {
             registry,
             subscriptions: Vec::new(),
-            trace: Vec::new(),
+            tracer: Tracer::wall(),
         }
+    }
+
+    /// Replace the bus's tracer (e.g. share the dispatcher's collector,
+    /// or inject a deterministic clock in tests).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The bus's tracer; snapshot it for span-level firing history.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Trace of (event, block) firings, reconstructed from the span
+    /// collector for backward compatibility.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read `bus.firing` spans via `tracer().snapshot()` instead"
+    )]
+    pub fn trace(&self) -> Vec<(String, String)> {
+        let attr_str = |v: Option<&AttrValue>| match v {
+            Some(AttrValue::Str(s)) => s.clone(),
+            Some(other) => other.to_string(),
+            None => String::new(),
+        };
+        self.tracer
+            .snapshot()
+            .spans
+            .iter()
+            .filter(|s| s.name == "bus.firing")
+            .map(|s| (attr_str(s.attr("event")), attr_str(s.attr("block"))))
+            .collect()
     }
 
     /// Subscribe a block to an event.
@@ -77,8 +115,12 @@ impl EventBus {
     ) -> Result<usize> {
         let mut queue: VecDeque<String> = VecDeque::from([event.to_owned()]);
         let mut executed = 0usize;
+        let mut publish_span = self.tracer.span("bus.publish");
+        publish_span.attr("event", event);
+        let publish_id = publish_span.is_recording().then(|| publish_span.id());
         while let Some(ev) = queue.pop_front() {
             if executed >= max_steps {
+                publish_span.attr("error", "cascade cap exceeded");
                 return Err(cornet_types::CornetError::ExecutionFailed(format!(
                     "event cascade exceeded {max_steps} steps — loop in policy composition?"
                 )));
@@ -91,14 +133,22 @@ impl EventBus {
                 .map(|s| (s.block.clone(), s.emits.clone()))
                 .collect();
             for (block, emits) in matches {
-                self.registry.execute(&block, state)?;
-                self.trace.push((ev.clone(), block));
+                let mut firing = self.tracer.span_with_parent("bus.firing", publish_id);
+                firing.attr("event", ev.as_str());
+                firing.attr("block", block.as_str());
+                let result = self.registry.execute(&block, state);
+                if let Err(e) = &result {
+                    firing.attr("error", e.to_string());
+                }
+                firing.finish();
+                result?;
                 executed += 1;
                 if let Some(next) = emits {
                     queue.push_back(next);
                 }
             }
         }
+        publish_span.attr("executed", executed);
         Ok(executed)
     }
 }
@@ -157,11 +207,18 @@ mod tests {
         state.insert("node".into(), ParamValue::from("enb-1"));
         let n = bus.publish("change.requested", &mut state, 100).unwrap();
         assert_eq!(n, 3, "health check, upgrade, comparison; no roll-back");
-        let blocks: Vec<&str> = bus.trace.iter().map(|(_, b)| b.as_str()).collect();
+        #[allow(deprecated)]
+        let trace = bus.trace();
+        let blocks: Vec<&str> = trace.iter().map(|(_, b)| b.as_str()).collect();
         assert_eq!(
             blocks,
             vec!["health_check", "software_upgrade", "pre_post_comparison"]
         );
+        // The same history is available as spans: one publish root with
+        // three firing children.
+        let spans = bus.tracer().snapshot();
+        let publish = spans.spans_named("bus.publish").next().unwrap();
+        assert_eq!(spans.children_of(publish.id).len(), 3);
     }
 
     #[test]
@@ -191,7 +248,9 @@ mod tests {
         let mut state = GlobalState::new();
         let n = bus.publish("change.requested", &mut state, 100).unwrap();
         assert_eq!(n, 4);
-        assert_eq!(bus.trace.last().unwrap().1, "roll_back");
+        #[allow(deprecated)]
+        let trace = bus.trace();
+        assert_eq!(trace.last().unwrap().1, "roll_back");
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use crate::heuristic::{heuristic_schedule_units, HeuristicConfig};
 use crate::intent::PlanIntent;
 use crate::translate::Translation;
+use cornet_obs::{ActiveSpan, SpanId, Tracer};
 use cornet_solver::{solve, CancelToken, Outcome, SearchStats, SharedIncumbent, SolverConfig};
 use cornet_types::{ConflictTable, CornetError, Inventory, NodeId, Result};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -135,6 +136,12 @@ pub struct SolveContext<'a> {
     /// Shared-incumbent hook, set by the portfolio driver. Only the exact
     /// backend prunes against it; see the module docs for why.
     pub incumbent: Option<SharedIncumbent>,
+    /// Observability handle; every backend run records a `solve.<name>`
+    /// span on it (noop by default).
+    pub tracer: Tracer,
+    /// Parent for backend spans (the planner's `plan` span, or the
+    /// portfolio's own span for member runs).
+    pub span_parent: Option<SpanId>,
 }
 
 impl<'a> SolveContext<'a> {
@@ -151,8 +158,52 @@ impl<'a> SolveContext<'a> {
             intent,
             conflicts,
             incumbent: None,
+            tracer: Tracer::noop(),
+            span_parent: None,
         }
     }
+
+    /// Attach a tracer; backend spans nest under `parent`.
+    pub fn with_trace(mut self, tracer: Tracer, parent: Option<SpanId>) -> Self {
+        self.tracer = tracer;
+        self.span_parent = parent;
+        self
+    }
+}
+
+/// Open the span every backend run records.
+fn open_solve_span(ctx: &SolveContext<'_>, name: &'static str) -> ActiveSpan {
+    ctx.tracer
+        .span_with_parent(&format!("solve.{name}"), ctx.span_parent)
+}
+
+/// Close a backend-run span with the outcome attributes shared by every
+/// backend: termination category, cost, feasibility, budget consumption
+/// and whether the run was cancelled under it.
+fn close_solve_span(
+    ctx: &SolveContext<'_>,
+    mut span: ActiveSpan,
+    name: &'static str,
+    budget: &Budget,
+    cancel: &CancelToken,
+    result: &BackendResult,
+) {
+    if !span.is_recording() {
+        return;
+    }
+    span.attr("outcome", format!("{:?}", result.outcome));
+    if let Some(cost) = result.cost {
+        span.attr("cost", cost);
+    }
+    if let Some(run) = result.runs.first() {
+        span.attr("feasible", run.feasible);
+    }
+    span.attr("search_nodes", result.stats.nodes);
+    span.attr("budget_nodes", budget.max_nodes);
+    span.attr("solutions", result.stats.solutions);
+    span.attr("cancelled", cancel.is_cancelled());
+    span.finish();
+    ctx.tracer.incr(&format!("solves.{name}"), 1);
 }
 
 /// One backend's contribution to a (possibly racing) solve — the
@@ -230,6 +281,7 @@ impl SolverBackend for ExactBackend {
         budget: &Budget,
         cancel: &CancelToken,
     ) -> BackendResult {
+        let span = open_solve_span(ctx, "exact");
         let config = SolverConfig {
             max_nodes: budget.max_nodes,
             time_limit: budget.time_limit,
@@ -245,7 +297,7 @@ impl SolverBackend for ExactBackend {
         let feasible = assignment
             .as_ref()
             .is_some_and(|a| ctx.translation.model.check(a).is_ok());
-        BackendResult::from_run(
+        let result = BackendResult::from_run(
             BackendRun {
                 backend: "exact",
                 outcome: r.outcome,
@@ -255,7 +307,9 @@ impl SolverBackend for ExactBackend {
                 winner: true,
             },
             assignment,
-        )
+        );
+        close_solve_span(ctx, span, "exact", budget, cancel, &result);
+        result
     }
 }
 
@@ -278,6 +332,7 @@ impl SolverBackend for GreedyBackend {
         budget: &Budget,
         cancel: &CancelToken,
     ) -> BackendResult {
+        let span = open_solve_span(ctx, "greedy");
         let config = SolverConfig {
             max_nodes: budget.max_nodes,
             time_limit: budget.time_limit,
@@ -302,7 +357,7 @@ impl SolverBackend for GreedyBackend {
         let feasible = assignment
             .as_ref()
             .is_some_and(|a| ctx.translation.model.check(a).is_ok());
-        BackendResult::from_run(
+        let result = BackendResult::from_run(
             BackendRun {
                 backend: "greedy",
                 outcome,
@@ -312,7 +367,9 @@ impl SolverBackend for GreedyBackend {
                 winner: true,
             },
             assignment,
-        )
+        );
+        close_solve_span(ctx, span, "greedy", budget, cancel, &result);
+        result
     }
 }
 
@@ -332,12 +389,13 @@ impl SolverBackend for HeuristicBackend {
     fn solve(
         &self,
         ctx: &SolveContext<'_>,
-        _budget: &Budget,
+        budget: &Budget,
         cancel: &CancelToken,
     ) -> BackendResult {
         let started = Instant::now();
+        let span = open_solve_span(ctx, "heuristic");
         if cancel.is_cancelled() {
-            return BackendResult::from_run(
+            let result = BackendResult::from_run(
                 BackendRun {
                     backend: "heuristic",
                     outcome: Outcome::Unknown,
@@ -348,6 +406,8 @@ impl SolverBackend for HeuristicBackend {
                 },
                 None,
             );
+            close_solve_span(ctx, span, "heuristic", budget, cancel, &result);
+            return result;
         }
         let mut config = self.config.clone();
         if let Some(cap) = ctx.intent.plain_concurrency_capacity() {
@@ -383,7 +443,7 @@ impl SolverBackend for HeuristicBackend {
             elapsed,
             time_to_best: elapsed,
         };
-        BackendResult::from_run(
+        let result = BackendResult::from_run(
             BackendRun {
                 backend: "heuristic",
                 // The heuristic proves nothing; a model-feasible sketch is
@@ -400,7 +460,9 @@ impl SolverBackend for HeuristicBackend {
                 winner: true,
             },
             Some(assignment),
-        )
+        );
+        close_solve_span(ctx, span, "heuristic", budget, cancel, &result);
+        result
     }
 }
 
@@ -441,6 +503,9 @@ impl SolverBackend for PortfolioBackend {
         budget: &Budget,
         cancel: &CancelToken,
     ) -> BackendResult {
+        let mut span = open_solve_span(ctx, "portfolio");
+        span.attr("members", self.members.len());
+        let span_id = span.is_recording().then(|| span.id());
         let model = &ctx.translation.model;
         let incumbent = ctx.incumbent.clone().unwrap_or_default();
         let tokens: Vec<CancelToken> = self.members.iter().map(|_| CancelToken::new()).collect();
@@ -481,6 +546,8 @@ impl SolverBackend for PortfolioBackend {
                     // Only the exact backend prunes against the shared
                     // bound (it ignores `incumbent` otherwise).
                     member_ctx.incumbent = Some(incumbent.clone());
+                    // Member spans nest under the portfolio's own span.
+                    member_ctx.span_parent = span_id;
                     let tokens = &tokens;
                     let incumbent = &incumbent;
                     scope.spawn(move |_| {
@@ -490,6 +557,7 @@ impl SolverBackend for PortfolioBackend {
                         if let (Some(a), Some(c)) = (&result.assignment, result.cost) {
                             if model.check(a).is_ok() {
                                 incumbent.publish(c);
+                                member_ctx.tracer.incr("incumbent.published", 1);
                             }
                         }
                         // A proved optimum cannot be beaten and wins every
@@ -534,27 +602,46 @@ impl SolverBackend for PortfolioBackend {
                 winner = Some((i, rank));
             }
         }
+        // Why members stopped early: an external caller cancelling the
+        // whole race, or one member proving optimality.
+        let cancel_cause = if cancel.is_cancelled() {
+            "external"
+        } else if results
+            .iter()
+            .flatten()
+            .any(|r| r.outcome == Outcome::Optimal)
+        {
+            "optimal_member"
+        } else {
+            "none"
+        };
+        span.attr("cancel_cause", cancel_cause);
         let Some((winner_idx, _)) = winner else {
-            return BackendResult {
+            let result = BackendResult {
                 outcome: Outcome::Unknown,
                 assignment: None,
                 cost: None,
                 stats: SearchStats::default(),
                 runs,
             };
+            close_solve_span(ctx, span, "portfolio", budget, cancel, &result);
+            return result;
         };
         let won = results[winner_idx].clone().expect("winner result present");
         let winner_name = self.members[winner_idx].name();
         for run in &mut runs {
             run.winner = run.backend == winner_name;
         }
-        BackendResult {
+        let result = BackendResult {
             outcome: won.outcome,
             assignment: won.assignment,
             cost: won.cost,
             stats: won.stats,
             runs,
-        }
+        };
+        span.attr("winner", winner_name);
+        close_solve_span(ctx, span, "portfolio", budget, cancel, &result);
+        result
     }
 }
 

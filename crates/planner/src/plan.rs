@@ -12,6 +12,7 @@ use crate::heuristic::HeuristicConfig;
 use crate::intent::PlanIntent;
 use crate::translate::{translate, TranslateOptions, Translation};
 use cornet_model::ModelStats;
+use cornet_obs::Tracer;
 use cornet_solver::{CancelToken, Outcome, SearchStats, SolverConfig};
 use cornet_types::{Inventory, NodeId, Result, Schedule, Topology};
 use std::time::{Duration, Instant};
@@ -31,6 +32,9 @@ pub struct PlanOptions {
     /// Split the model into independent components and solve them in
     /// parallel (§3.3.3 idea (b)) — a backend-agnostic pre-pass.
     pub decompose: bool,
+    /// Tracer for plan/solve spans (noop by default; attach a collecting
+    /// tracer to record a `plan` root span with nested `solve.*` spans).
+    pub tracer: Tracer,
 }
 
 /// Outcome of a planning run.
@@ -72,6 +76,11 @@ pub fn plan(
     options: &PlanOptions,
 ) -> Result<PlanResult> {
     let started = Instant::now();
+    let mut plan_span = options.tracer.span("plan");
+    plan_span.attr("backend", format!("{:?}", options.backend));
+    plan_span.attr("nodes", nodes.len());
+    plan_span.attr("decompose", options.decompose);
+    let plan_id = plan_span.is_recording().then(|| plan_span.id());
     let translation: Translation =
         translate(intent, inventory, topology, nodes, &options.translate)?;
     let model_stats = translation.model.stats();
@@ -96,7 +105,8 @@ pub fn plan(
             let handles: Vec<_> = parts
                 .iter()
                 .map(|part| {
-                    let ctx = SolveContext::new(&part.translation, inventory, intent, &conflicts);
+                    let ctx = SolveContext::new(&part.translation, inventory, intent, &conflicts)
+                        .with_trace(options.tracer.clone(), plan_id);
                     let backend = &backend;
                     let budget = &budget;
                     let cancel = &cancel;
@@ -134,20 +144,27 @@ pub fn plan(
         }
         (outcome, assignment, stats, parts.len(), runs)
     } else {
-        let ctx = SolveContext::new(&translation, inventory, intent, &conflicts);
+        let ctx = SolveContext::new(&translation, inventory, intent, &conflicts)
+            .with_trace(options.tracer.clone(), plan_id);
         let r = backend.solve(&ctx, &budget, &cancel);
         match r.assignment {
             Some(assignment) => (r.outcome, assignment, r.stats, 1, r.runs),
             None => {
+                plan_span.attr("error", "infeasible");
                 return Err(cornet_types::CornetError::Infeasible(format!(
                     "no schedule under the given intent ({:?})",
                     r.outcome
-                )))
+                )));
             }
         }
     };
 
     let schedule = translation.decode(&assignment, &conflicts);
+    plan_span.attr("outcome", format!("{outcome:?}"));
+    plan_span.attr("components", components);
+    plan_span.attr("discovery_ms", started.elapsed().as_secs_f64() * 1e3);
+    plan_span.attr("scheduled", schedule.scheduled_count());
+    plan_span.finish();
     Ok(PlanResult {
         schedule,
         outcome,
@@ -294,6 +311,82 @@ mod tests {
             3,
             "window too small → leftovers"
         );
+    }
+
+    #[test]
+    fn plan_span_nests_solver_spans() {
+        use cornet_obs::{AttrValue, ManualClock, Tracer};
+        let inv = inventory(6);
+        let topo = Topology::with_capacity(6);
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let tracer = Tracer::with_clock(ManualClock::ticking(1_000));
+        let opts = PlanOptions {
+            tracer: tracer.clone(),
+            ..Default::default()
+        };
+        let r = plan(&base_intent(2), &inv, &topo, &nodes, &opts).unwrap();
+        assert_eq!(r.outcome, Outcome::Optimal);
+
+        let trace = tracer.snapshot();
+        let plan_span = trace.spans_named("plan").next().expect("plan span");
+        assert_eq!(
+            plan_span.attr("outcome"),
+            Some(&AttrValue::Str("Optimal".into()))
+        );
+        assert_eq!(plan_span.attr("nodes"), Some(&AttrValue::Int(6)));
+        let solves = trace.children_of(plan_span.id);
+        assert_eq!(solves.len(), 1, "one monolithic solve under the plan");
+        let solve = solves[0];
+        assert_eq!(solve.name, "solve.exact");
+        assert_eq!(
+            solve.attr("outcome"),
+            Some(&AttrValue::Str("Optimal".into()))
+        );
+        assert!(solve.attr("search_nodes").is_some());
+        assert!(
+            plan_span.start_ns < solve.start_ns && solve.end_ns < plan_span.end_ns,
+            "solver span is time-contained in the plan span"
+        );
+        assert_eq!(trace.metrics.counter("solves.exact"), 1);
+    }
+
+    #[test]
+    fn portfolio_members_nest_under_portfolio_span() {
+        use cornet_obs::{AttrValue, Tracer};
+        let inv = inventory(6);
+        let topo = Topology::with_capacity(6);
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let tracer = Tracer::wall();
+        let opts = PlanOptions {
+            backend: BackendChoice::Portfolio,
+            tracer: tracer.clone(),
+            ..Default::default()
+        };
+        plan(&base_intent(2), &inv, &topo, &nodes, &opts).unwrap();
+
+        let trace = tracer.snapshot();
+        let portfolio = trace
+            .spans_named("solve.portfolio")
+            .next()
+            .expect("portfolio span");
+        let members = trace.children_of(portfolio.id);
+        assert_eq!(members.len(), 3, "exact, greedy and heuristic members");
+        let names: Vec<&str> = {
+            let mut n: Vec<&str> = members.iter().map(|s| s.name.as_str()).collect();
+            n.sort_unstable();
+            n
+        };
+        assert_eq!(names, ["solve.exact", "solve.greedy", "solve.heuristic"]);
+        assert_eq!(
+            portfolio.attr("winner"),
+            Some(&AttrValue::Str("exact".into())),
+            "proved optimum wins the race"
+        );
+        assert_eq!(
+            portfolio.attr("cancel_cause"),
+            Some(&AttrValue::Str("optimal_member".into()))
+        );
+        assert!(trace.metrics.counter("incumbent.published") >= 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use cornet_stats::TimeSeries;
 use cornet_types::NodeId;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::RwLock;
 
 /// Source of KPI time-series.
@@ -40,6 +41,8 @@ type StreamKey = (NodeId, String, Option<usize>);
 pub struct SeriesCache<'a> {
     inner: &'a dyn DataAdapter,
     cache: RwLock<HashMap<StreamKey, Option<TimeSeries>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
 }
 
 impl<'a> SeriesCache<'a> {
@@ -48,6 +51,8 @@ impl<'a> SeriesCache<'a> {
         SeriesCache {
             inner,
             cache: RwLock::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
         }
     }
 
@@ -55,6 +60,16 @@ impl<'a> SeriesCache<'a> {
     /// `None`) — a diagnostic for benches and tests.
     pub fn streams_cached(&self) -> usize {
         self.cache.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to the underlying adapter.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
@@ -67,8 +82,10 @@ impl DataAdapter for SeriesCache<'_> {
             .unwrap_or_else(|e| e.into_inner())
             .get(&key)
         {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let fetched = self.inner.series(node, kpi, carrier);
         self.cache
             .write()
@@ -137,8 +154,11 @@ mod tests {
             "one fetch per distinct stream, misses included"
         );
         assert_eq!(cache.streams_cached(), 2);
+        assert_eq!(cache.misses(), 2, "two distinct streams fell through");
+        assert_eq!(cache.hits(), 8, "remaining lookups served from cache");
         // Distinct carrier = distinct stream.
         cache.series(NodeId(3), "known", Some(1));
         assert_eq!(fetches.load(Ordering::Relaxed), 3);
+        assert_eq!(cache.misses(), 3);
     }
 }

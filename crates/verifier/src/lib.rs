@@ -30,4 +30,7 @@ pub use control::{derive_control_group, ControlSelection};
 pub use equation::Equation;
 pub use integrity::{monitor_feeds, FeedAlert, IntegrityConfig};
 pub use rules::{Expectation, KpiQuery, VerificationRule};
-pub use verify::{verify_rule, verify_rule_sequential, verify_rules, GoNoGo, VerificationReport};
+pub use verify::{
+    verify_rule, verify_rule_sequential, verify_rule_traced, verify_rules, verify_rules_traced,
+    GoNoGo, VerificationReport,
+};

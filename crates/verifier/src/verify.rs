@@ -23,6 +23,7 @@ use crate::adapter::{DataAdapter, SeriesCache};
 use crate::analysis::{analyze_kpi, AnalysisOptions, ChangeScope, ImpactVerdict, KpiAnalysis};
 use crate::control::derive_control_group;
 use crate::rules::{Expectation, KpiQuery, VerificationRule};
+use cornet_obs::{SpanId, Tracer};
 use cornet_types::{Inventory, Result, Topology};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
@@ -121,8 +122,36 @@ pub fn verify_rule(
     inventory: &Inventory,
     topology: &Topology,
 ) -> Result<VerificationReport> {
+    verify_rule_traced(
+        adapter,
+        rule,
+        scope,
+        inventory,
+        topology,
+        &Tracer::noop(),
+        None,
+    )
+}
+
+/// [`verify_rule`] with observability: a `verify.rule` span (decision,
+/// unit count) with one `verify.unit` child per (KPI × location) unit,
+/// plus `series_cache.{hits,misses}` counters.
+pub fn verify_rule_traced(
+    adapter: &dyn DataAdapter,
+    rule: &VerificationRule,
+    scope: &ChangeScope,
+    inventory: &Inventory,
+    topology: &Topology,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
+) -> Result<VerificationReport> {
     let cache = SeriesCache::new(adapter);
-    verify_rule_impl(&cache, rule, scope, inventory, topology, true)
+    let report = verify_rule_impl(
+        &cache, rule, scope, inventory, topology, true, tracer, parent,
+    );
+    tracer.incr("series_cache.hits", cache.hits() as u64);
+    tracer.incr("series_cache.misses", cache.misses() as u64);
+    report
 }
 
 /// Sequential, uncached reference implementation of [`verify_rule`]:
@@ -136,7 +165,16 @@ pub fn verify_rule_sequential(
     inventory: &Inventory,
     topology: &Topology,
 ) -> Result<VerificationReport> {
-    verify_rule_impl(adapter, rule, scope, inventory, topology, false)
+    verify_rule_impl(
+        adapter,
+        rule,
+        scope,
+        inventory,
+        topology,
+        false,
+        &Tracer::noop(),
+        None,
+    )
 }
 
 /// Verify a campaign of rules against one shared series cache: each
@@ -151,13 +189,45 @@ pub fn verify_rules(
     inventory: &Inventory,
     topology: &Topology,
 ) -> Result<Vec<VerificationReport>> {
-    let cache = SeriesCache::new(adapter);
-    rules
-        .iter()
-        .map(|rule| verify_rule_impl(&cache, rule, scope, inventory, topology, true))
-        .collect()
+    verify_rules_traced(
+        adapter,
+        rules,
+        scope,
+        inventory,
+        topology,
+        &Tracer::noop(),
+        None,
+    )
 }
 
+/// [`verify_rules`] with observability: one `verify.rule` span per rule
+/// (all sharing `parent` and the campaign-wide series cache), with
+/// `series_cache.{hits,misses}` counters recorded once at the end.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_rules_traced(
+    adapter: &dyn DataAdapter,
+    rules: &[VerificationRule],
+    scope: &ChangeScope,
+    inventory: &Inventory,
+    topology: &Topology,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
+) -> Result<Vec<VerificationReport>> {
+    let cache = SeriesCache::new(adapter);
+    let reports = rules
+        .iter()
+        .map(|rule| {
+            verify_rule_impl(
+                &cache, rule, scope, inventory, topology, true, tracer, parent,
+            )
+        })
+        .collect();
+    tracer.incr("series_cache.hits", cache.hits() as u64);
+    tracer.incr("series_cache.misses", cache.misses() as u64);
+    reports
+}
+
+#[allow(clippy::too_many_arguments)]
 fn verify_rule_impl(
     adapter: &dyn DataAdapter,
     rule: &VerificationRule,
@@ -165,8 +235,15 @@ fn verify_rule_impl(
     inventory: &Inventory,
     topology: &Topology,
     parallel: bool,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
 ) -> Result<VerificationReport> {
     let started = Instant::now();
+    let mut rule_span = tracer.span_with_parent("verify.rule", parent);
+    rule_span.attr("rule", rule.name.as_str());
+    rule_span.attr("kpis", rule.kpis.len());
+    rule_span.attr("parallel", parallel);
+    let rule_id = rule_span.is_recording().then(|| rule_span.id());
     let study = scope.nodes();
     let control = derive_control_group(
         &rule.control,
@@ -211,7 +288,16 @@ fn verify_rule_impl(
             None => scope,
             Some(i) => &location_slices[i].2,
         };
-        analyze_kpi(
+        let mut unit_span = tracer.span_with_parent("verify.unit", rule_id);
+        unit_span.attr("kpi", query.kpi.as_str());
+        match l {
+            None => unit_span.attr("slice", "overall"),
+            Some(i) => unit_span.attr(
+                "slice",
+                format!("{}={}", location_slices[i].0, location_slices[i].1),
+            ),
+        }
+        let result = analyze_kpi(
             adapter,
             &query.kpi,
             query.carrier,
@@ -219,7 +305,17 @@ fn verify_rule_impl(
             unit_scope,
             &control,
             &options,
-        )
+        );
+        if unit_span.is_recording() {
+            match &result {
+                Ok(a) => {
+                    unit_span.attr("verdict", format!("{:?}", a.verdict));
+                    unit_span.attr("nodes_used", a.nodes_used);
+                }
+                Err(e) => unit_span.attr("error", e.to_string()),
+            }
+        }
+        result
     };
     let results: Vec<Result<KpiAnalysis>> = if parallel {
         units.par_iter().map(analyze_unit).collect()
@@ -256,6 +352,16 @@ fn verify_rule_impl(
     } else {
         GoNoGo::NoGo
     };
+    if rule_span.is_recording() {
+        rule_span.attr("units", units.len());
+        rule_span.attr("decision", format!("{decision:?}"));
+        rule_span.attr("duration_ms", started.elapsed().as_secs_f64() * 1e3);
+        rule_span.finish();
+        tracer.observe(
+            "verify.rule.duration_ms",
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+    }
     Ok(VerificationReport {
         rule: rule.name.clone(),
         kpis,
@@ -487,6 +593,48 @@ mod tests {
             16,
             "each stream extracted once for the whole campaign"
         );
+    }
+
+    #[test]
+    fn traced_verify_emits_rule_and_unit_spans() {
+        use cornet_obs::{AttrValue, Tracer};
+        let (inv, topo) = fixture();
+        let mut rule = VerificationRule::standard(
+            "traced",
+            vec![
+                KpiQuery::expecting("thr", true, Expectation::Improve),
+                KpiQuery::monitor("lat", false),
+            ],
+        );
+        rule.location_attributes = vec!["market".into()];
+        let a = adapter(15.0, 0.0);
+        let tracer = Tracer::wall();
+        let report = verify_rule_traced(&a, &rule, &scope(), &inv, &topo, &tracer, None).unwrap();
+        assert_eq!(report.decision, GoNoGo::Go);
+
+        let trace = tracer.snapshot();
+        let rule_span = trace.spans_named("verify.rule").next().expect("rule span");
+        assert_eq!(
+            rule_span.attr("decision"),
+            Some(&AttrValue::Str("Go".into()))
+        );
+        // 2 KPIs × (overall + NYC + DFW slices) = 6 units.
+        assert_eq!(rule_span.attr("units"), Some(&AttrValue::Int(6)));
+        let units = trace.children_of(rule_span.id);
+        assert_eq!(units.len(), 6);
+        assert!(units.iter().all(|u| u.name == "verify.unit"));
+        let slices: Vec<String> = units
+            .iter()
+            .filter_map(|u| u.attr("slice").map(|v| v.to_string()))
+            .collect();
+        assert_eq!(slices.iter().filter(|s| *s == "overall").count(), 2);
+        assert_eq!(slices.iter().filter(|s| *s == "market=NYC").count(), 2);
+        // Cache counters: every stream is fetched once, then re-served.
+        assert!(trace.metrics.counter("series_cache.misses") > 0);
+        assert!(trace.metrics.counter("series_cache.hits") > 0);
+        // The noop path still works and records nothing.
+        let silent = verify_rule(&a, &rule, &scope(), &inv, &topo).unwrap();
+        assert_eq!(silent.decision, report.decision);
     }
 
     #[test]

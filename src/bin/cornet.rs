@@ -4,14 +4,19 @@
 //! cornet catalog                      list the building-block catalog
 //! cornet workflows                    list & validate the built-in workflows
 //! cornet lint  --intent F [--network SPEC]   lint a JSON intent
-//! cornet plan  --intent F [--network SPEC] [--backend B] [--emit-mzn F]
+//! cornet plan  --intent F [--network SPEC] [--backend B] [--emit-mzn F] [--trace F]
+//! cornet run   [--nodes N] [--concurrency C] [--trace F]   resilient roll-out demo
+//! cornet verify [--shift D] [--trace F]      impact-verification demo
 //! cornet demo                         run a miniature end-to-end cycle
 //! ```
 //!
 //! `SPEC` is `ran:<nodes>` (default `ran:200`) or `cloud:<vces>`.
+//! `--trace <file>` writes a Chrome-trace JSON (open in Perfetto or
+//! `chrome://tracing`) and prints a span-level summary table.
 
 use cornet::catalog::builtin_catalog;
 use cornet::netsim::{Network, NetworkConfig};
+use cornet::obs::{write_trace, ChromeTraceSink, TraceSummary, Tracer};
 use cornet::planner::{lint, plan, BackendChoice, PlanIntent, PlanOptions};
 use cornet::types::{NfType, NodeId};
 use cornet::workflow::{validate, WarArtifact};
@@ -20,7 +25,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cornet <catalog|workflows|lint|plan|demo> [options]\n\
+        "usage: cornet <catalog|workflows|lint|plan|run|verify|demo> [options]\n\
          \n\
          options:\n\
            --intent <file>     JSON intent (Listing 1 format)\n\
@@ -28,9 +33,36 @@ fn usage() -> ExitCode {
            --backend <b>       exact | greedy | heuristic | portfolio (default exact)\n\
            --heuristic         alias for --backend heuristic\n\
            --emit-mzn <file>   write the generated MiniZinc model\n\
-           --time-limit <s>    solver budget in seconds (default 5)"
+           --time-limit <s>    solver budget in seconds (default 5)\n\
+           --trace <file>      write a Chrome-trace JSON + print a span summary\n\
+           --nodes <n>         (run) roll-out size (default 50)\n\
+           --concurrency <c>   (run) parallel workflow instances (default 4)\n\
+           --shift <d>         (verify) injected KPI shift on study nodes (default 15)"
     );
     ExitCode::from(2)
+}
+
+/// Build the tracer for a command: collecting when `--trace` was given,
+/// noop (zero overhead) otherwise.
+fn tracer_for(flags: &BTreeMap<String, String>) -> Tracer {
+    if flags.contains_key("trace") {
+        Tracer::wall()
+    } else {
+        Tracer::noop()
+    }
+}
+
+/// If `--trace <path>` was given, export the collected spans as a Chrome
+/// trace and print the span-level summary.
+fn finish_trace(flags: &BTreeMap<String, String>, tracer: &Tracer) -> Result<(), String> {
+    let Some(path) = flags.get("trace") else {
+        return Ok(());
+    };
+    let trace = tracer.snapshot();
+    write_trace(path, &ChromeTraceSink, &trace).map_err(|e| format!("writing {path}: {e}"))?;
+    print!("{}", TraceSummary::from_trace(&trace).render());
+    println!("trace written to {path} (open in Perfetto or chrome://tracing)");
+    Ok(())
 }
 
 fn parse_flags(args: &[String]) -> BTreeMap<String, String> {
@@ -225,12 +257,14 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> ExitCode {
         .get("time-limit")
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
+    let tracer = tracer_for(flags);
     let options = PlanOptions {
         solver: cornet::solver::SolverConfig {
             time_limit: std::time::Duration::from_secs(secs),
             ..Default::default()
         },
         backend,
+        tracer: tracer.clone(),
         ..Default::default()
     };
     match plan(&intent, &net.inventory, &net.topology, &nodes, &options) {
@@ -274,12 +308,273 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> ExitCode {
                     Err(e) => eprintln!("translation for --emit-mzn failed: {e}"),
                 }
             }
+            if let Err(e) = finish_trace(flags, &tracer) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("planning failed: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `cornet run` — the resilient roll-out demo: a staggered software
+/// upgrade first through a 20% transient-fault storm (absorbed by
+/// retries), then against a permanent fault with the circuit breaker
+/// armed and a backout flow attached. With `--trace` every dispatch,
+/// slot, instance, block, and backout span lands in one Chrome trace.
+fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
+    use cornet::orchestrator::resilience::{
+        CircuitBreaker, FaultPlan, FaultyExecutor, RetryPolicy,
+    };
+    use cornet::orchestrator::{BlockStatus, DispatchReport, Dispatcher, ExecutorRegistry};
+    use cornet::types::{ParamValue, Schedule, Timeslot};
+    use cornet::workflow::builtin::software_upgrade_workflow;
+    use cornet::workflow::Designer;
+
+    const SEED: u64 = 42;
+    let nodes: u32 = flags
+        .get("nodes")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    let concurrency: usize = flags
+        .get("concurrency")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let tracer = tracer_for(flags);
+
+    let happy_registry = || {
+        let mut reg = ExecutorRegistry::new();
+        reg.register("health_check", |s| {
+            s.insert("healthy".into(), ParamValue::from(true));
+            Ok(())
+        });
+        reg.register("software_upgrade", |s| {
+            s.insert("previous_version".into(), ParamValue::from("19.3"));
+            Ok(())
+        });
+        reg.register("pre_post_comparison", |s| {
+            s.insert("passed".into(), ParamValue::from(true));
+            Ok(())
+        });
+        reg.register("roll_back", |_| Ok(()));
+        reg
+    };
+    let schedule = {
+        let mut s = Schedule::default();
+        for i in 0..nodes {
+            s.assignments.insert(NodeId(i), Timeslot(i / 10 + 1));
+        }
+        s
+    };
+    let inputs = |node: NodeId| {
+        let mut g = cornet::orchestrator::GlobalState::new();
+        g.insert("node".into(), ParamValue::from(format!("enb-{node}")));
+        g.insert("software_version".into(), ParamValue::from("20.1"));
+        g
+    };
+    let summarize = |report: &DispatchReport| {
+        let (mut recovered, mut attempts) = (0usize, 0u32);
+        for b in report.instances.iter().flat_map(|i| &i.blocks) {
+            attempts += b.attempts;
+            if matches!(b.status, BlockStatus::Recovered { .. }) {
+                recovered += 1;
+            }
+        }
+        println!(
+            "  {} instances: {} completed, {} failed, {} rolled back; \
+             {recovered} blocks recovered via retry ({attempts} attempts)",
+            report.instances.len(),
+            report.completed(),
+            report.failures().len(),
+            report.rolled_back(),
+        );
+    };
+    let cat = builtin_catalog();
+
+    // Scenario 1: transient faults, absorbed by retries.
+    println!("=== {nodes} nodes, 20% transient faults, 6-attempt retries ===");
+    let war = match WarArtifact::package(&software_upgrade_workflow(&cat), &cat) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reg = FaultyExecutor::wrap(
+        &happy_registry(),
+        &FaultPlan::transient(SEED, 0.20).with_latency_ms(12),
+    );
+    reg.set_default_retry_policy(RetryPolicy::with_attempts(6));
+    let report = match Dispatcher::new(war, reg, concurrency)
+        .map(|d| d.with_tracer(tracer.clone()))
+        .and_then(|d| d.run(&schedule, inputs))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dispatch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    summarize(&report);
+
+    // Scenario 2: permanent fault → breaker trip + backout flows.
+    println!("=== permanent fault on software_upgrade, breaker armed ===");
+    let mut wf = software_upgrade_workflow(&cat);
+    let mut d = Designer::new(&cat, "backout");
+    let s = d.start();
+    let rb = d.task("roll_back").unwrap();
+    let e = d.end();
+    d.connect(s, rb).connect(rb, e);
+    wf.set_backout(d.build());
+    let war = match WarArtifact::package(&wf, &cat) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reg = FaultyExecutor::wrap(
+        &happy_registry(),
+        &FaultPlan::permanent_on(SEED, 1.0, "software_upgrade"),
+    );
+    reg.set_default_retry_policy(RetryPolicy::with_attempts(3));
+    let breaker = CircuitBreaker {
+        failure_threshold: 0.5,
+        min_samples: 5,
+    };
+    let (report, trip) = match Dispatcher::new(war, reg, concurrency)
+        .map(|d| d.with_tracer(tracer.clone()))
+        .and_then(|d| d.run_with_breaker(&schedule, inputs, &breaker))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dispatch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    summarize(&report);
+    match trip {
+        Some(t) => println!(
+            "  breaker tripped on '{}': {:.0}% failure rate over {} samples; {} nodes spared",
+            t.block,
+            t.failure_rate * 100.0,
+            t.samples,
+            nodes as usize - report.instances.len(),
+        ),
+        None => println!("  breaker never tripped"),
+    }
+
+    if let Err(e) = finish_trace(flags, &tracer) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `cornet verify` — the impact-verification demo: a synthetic KPI feed
+/// where study nodes shift by `--shift` after the change, verified
+/// against a topology-derived control group. With `--trace` every
+/// verify.rule / verify.unit span and the series-cache counters land in
+/// the Chrome trace.
+fn cmd_verify(flags: &BTreeMap<String, String>) -> ExitCode {
+    use cornet::stats::TimeSeries;
+    use cornet::types::{Attributes, Inventory, Topology};
+    use cornet::verifier::{
+        verify_rules_traced, ChangeScope, ClosureAdapter, Expectation, GoNoGo, KpiQuery,
+        VerificationRule,
+    };
+
+    let shift: f64 = flags
+        .get("shift")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15.0);
+    let tracer = tracer_for(flags);
+
+    // 8 study nodes across two markets + 8 controls, linked pairwise.
+    let mut inv = Inventory::new();
+    for i in 0..16 {
+        inv.push(
+            format!("enb-{i}"),
+            NfType::ENodeB,
+            Attributes::new().with("market", if i % 2 == 0 { "NYC" } else { "DFW" }),
+        );
+    }
+    let mut topo = Topology::with_capacity(16);
+    for i in 0..8u32 {
+        topo.add_edge(NodeId(i), NodeId(i + 8));
+    }
+    let change_minute = 6000u64;
+    let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, _: Option<usize>| {
+        let downward_good = kpi == "latency_ms";
+        let values: Vec<f64> = (0..200u64)
+            .map(|k| {
+                let minute = k * 60;
+                let wiggle = ((k * 11 + node.0 as u64 * 3) % 5) as f64 * 0.15;
+                let mut v = 100.0 + wiggle;
+                if node.0 < 8 && minute >= change_minute {
+                    v += if downward_good { -shift } else { shift };
+                }
+                v
+            })
+            .collect();
+        Some(TimeSeries::new(0, 60, values))
+    });
+    let study: Vec<NodeId> = (0..8).map(NodeId).collect();
+    let scope = ChangeScope::simultaneous(&study, change_minute);
+    let mut rule = VerificationRule::standard(
+        "post-upgrade",
+        vec![
+            KpiQuery::expecting("throughput_mbps", true, Expectation::Improve),
+            KpiQuery::expecting("latency_ms", false, Expectation::Improve),
+        ],
+    );
+    rule.location_attributes = vec!["market".into()];
+
+    let reports = match verify_rules_traced(&adapter, &[rule], &scope, &inv, &topo, &tracer, None) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("verification failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut no_go = false;
+    for report in &reports {
+        println!(
+            "rule '{}': {:?} ({} KPIs, verified in {:?})",
+            report.rule,
+            report.decision,
+            report.kpis.len(),
+            report.duration,
+        );
+        for kr in &report.kpis {
+            println!(
+                "  {:<16} {:?} (p={:.4}, shift {:+.1}%) expectation met: {}",
+                kr.query.kpi,
+                kr.overall.verdict,
+                kr.overall.p_value,
+                kr.overall.relative_shift * 100.0,
+                kr.meets_expectation,
+            );
+        }
+        for (kpi, attr, value) in report.problem_locations() {
+            println!("  problem location: {kpi} @ {attr}={value}");
+        }
+        no_go |= report.decision == GoNoGo::NoGo;
+    }
+    if let Err(e) = finish_trace(flags, &tracer) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if no_go {
+        println!("decision: NO-GO — halt the roll-out");
+        ExitCode::FAILURE
+    } else {
+        println!("decision: GO");
+        ExitCode::SUCCESS
     }
 }
 
@@ -365,6 +660,8 @@ fn main() -> ExitCode {
         "workflows" => cmd_workflows(),
         "lint" => cmd_lint(&flags),
         "plan" => cmd_plan(&flags),
+        "run" => cmd_run(&flags),
+        "verify" => cmd_verify(&flags),
         "demo" => cmd_demo(),
         _ => usage(),
     }

@@ -11,6 +11,7 @@
 //! | crate | role |
 //! |---|---|
 //! | [`types`] | shared vocabulary (ids, attributes, time, inventory, topology) |
+//! | [`obs`] | spans, metrics, trace exporters (Chrome trace / JSON lines) |
 //! | [`netsim`] | network/KPI/change-log/usage simulators |
 //! | [`stats`] | robust statistics substrate |
 //! | [`model`] | constraint-model IR + MiniZinc emission |
@@ -28,6 +29,7 @@ pub use cornet_catalog as catalog;
 pub use cornet_core as core;
 pub use cornet_model as model;
 pub use cornet_netsim as netsim;
+pub use cornet_obs as obs;
 pub use cornet_orchestrator as orchestrator;
 pub use cornet_planner as planner;
 pub use cornet_solver as solver;
