@@ -1,0 +1,137 @@
+//! Baseline suppression for incremental adoption.
+//!
+//! A brownfield deployment cannot fix every pre-existing finding at once.
+//! `cornet check --format json` output is a JSON-lines file; feeding it
+//! back via `--baseline <file>` suppresses exactly those accepted
+//! diagnostics (matched on code + anchor + message) so the gate trips only
+//! on *new* findings — the same ratchet pattern as clippy's allow-lists
+//! or eslint's baseline files.
+
+use crate::diag::{Diagnostic, Report};
+use cornet_types::json::{parse, JsonValue};
+use cornet_types::{CornetError, Result};
+use std::collections::BTreeSet;
+
+/// A set of previously accepted diagnostics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Baseline {
+    keys: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Empty baseline (suppresses nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse a JSON-lines baseline file body (the `--format json` output
+    /// of a previous run). Blank lines are ignored; malformed lines are a
+    /// hard error so stale baselines fail loudly.
+    pub fn from_jsonl(body: &str) -> Result<Baseline> {
+        let mut keys = BTreeSet::new();
+        for (i, line) in body.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = parse(line)
+                .map_err(|e| CornetError::Parse(format!("baseline line {}: {e}", i + 1)))?;
+            let field = |name: &str| -> Result<String> {
+                v.get(name)
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| {
+                        CornetError::Parse(format!(
+                            "baseline line {}: missing string field '{name}'",
+                            i + 1
+                        ))
+                    })
+            };
+            keys.insert(format!(
+                "{}\u{1}{}\u{1}{}",
+                field("code")?,
+                field("where")?,
+                field("message")?
+            ));
+        }
+        Ok(Baseline { keys })
+    }
+
+    /// Record a diagnostic as accepted.
+    pub fn accept(&mut self, d: &Diagnostic) {
+        self.keys.insert(d.fingerprint());
+    }
+
+    /// Whether a diagnostic is suppressed by this baseline.
+    pub fn contains(&self, d: &Diagnostic) -> bool {
+        self.keys.contains(&d.fingerprint())
+    }
+
+    /// Number of accepted entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Remove suppressed diagnostics from a report; returns how many were
+    /// dropped.
+    pub fn suppress(&self, report: &mut Report) -> usize {
+        let before = report.diagnostics.len();
+        report.diagnostics.retain(|d| !self.contains(d));
+        before - report.diagnostics.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Code, SourceRef};
+
+    fn diag(msg: &str) -> Diagnostic {
+        Diagnostic::error(
+            Code("CN0101"),
+            SourceRef::Workflow {
+                workflow: "fig4".into(),
+            },
+            msg,
+        )
+    }
+
+    #[test]
+    fn jsonl_output_round_trips_as_baseline() {
+        let mut report = Report::new();
+        report.push(diag("stale finding"));
+        report.push(diag("fresh finding"));
+        let baseline = {
+            let mut accepted = Report::new();
+            accepted.push(diag("stale finding"));
+            Baseline::from_jsonl(&accepted.render_jsonl()).unwrap()
+        };
+        assert_eq!(baseline.len(), 1);
+        let dropped = baseline.suppress(&mut report);
+        assert_eq!(dropped, 1);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].message, "fresh finding");
+    }
+
+    #[test]
+    fn malformed_baseline_is_a_hard_error() {
+        assert!(Baseline::from_jsonl("{not json").is_err());
+        assert!(Baseline::from_jsonl("{\"code\":\"CN0101\"}").is_err());
+        assert!(Baseline::from_jsonl("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn accept_and_contains() {
+        let mut b = Baseline::new();
+        let d = diag("x");
+        assert!(!b.contains(&d));
+        b.accept(&d);
+        assert!(b.contains(&d));
+        assert!(!b.contains(&diag("y")));
+    }
+}

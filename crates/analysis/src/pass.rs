@@ -1,0 +1,144 @@
+//! The pass trait and the driver pipeline.
+//!
+//! An [`AnalysisPass`] is one checker over an analysis bundle `B` (the
+//! bundle type is generic so the framework sits below the crates that
+//! define workflows, intents and rules — `cornet-core` instantiates the
+//! concrete MOP bundle). The [`Driver`] owns a registered pipeline, runs
+//! every pass, stamps each diagnostic with its originating pass name, and
+//! returns one deterministically ordered [`Report`].
+
+use crate::diag::Report;
+
+/// One static-analysis pass over a bundle type `B`.
+pub trait AnalysisPass<B: ?Sized> {
+    /// Stable pass name, e.g. `"workflow-structure"`.
+    fn name(&self) -> &'static str;
+
+    /// Run the pass, appending findings to `report`.
+    fn run(&self, bundle: &B, report: &mut Report);
+}
+
+/// Adapter turning a closure into an [`AnalysisPass`].
+pub struct FnPass<F> {
+    name: &'static str,
+    f: F,
+}
+
+impl<F> FnPass<F> {
+    /// Wrap a closure as a named pass.
+    pub fn new(name: &'static str, f: F) -> Self {
+        FnPass { name, f }
+    }
+}
+
+impl<B: ?Sized, F: Fn(&B, &mut Report)> AnalysisPass<B> for FnPass<F> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run(&self, bundle: &B, report: &mut Report) {
+        (self.f)(bundle, report)
+    }
+}
+
+/// A registered pipeline of passes over a bundle type `B`.
+#[derive(Default)]
+pub struct Driver<B: ?Sized> {
+    passes: Vec<Box<dyn AnalysisPass<B>>>,
+}
+
+impl<B: ?Sized> Driver<B> {
+    /// Empty driver.
+    pub fn new() -> Self {
+        Driver { passes: Vec::new() }
+    }
+
+    /// Register a pass; passes run in registration order.
+    pub fn register<P: AnalysisPass<B> + 'static>(&mut self, pass: P) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Register a closure as a named pass.
+    pub fn register_fn<F>(&mut self, name: &'static str, f: F) -> &mut Self
+    where
+        F: Fn(&B, &mut Report) + 'static,
+    {
+        self.register(FnPass::new(name, f))
+    }
+
+    /// Names of the registered passes, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Run every registered pass over the bundle. Each diagnostic is
+    /// stamped with its pass name; the combined report is sorted into the
+    /// deterministic severity/code/anchor order.
+    pub fn run(&self, bundle: &B) -> Report {
+        let mut report = Report::new();
+        for pass in &self.passes {
+            let before = report.diagnostics.len();
+            pass.run(bundle, &mut report);
+            for d in &mut report.diagnostics[before..] {
+                if d.pass.is_empty() {
+                    d.pass = pass.name().to_owned();
+                }
+            }
+        }
+        report.sort();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Code, Diagnostic, SourceRef};
+
+    struct Doubler;
+    impl AnalysisPass<Vec<i32>> for Doubler {
+        fn name(&self) -> &'static str {
+            "doubler"
+        }
+        fn run(&self, bundle: &Vec<i32>, report: &mut Report) {
+            for v in bundle {
+                if v % 2 == 0 {
+                    report.push(Diagnostic::error(
+                        Code("CN0101"),
+                        SourceRef::Global,
+                        format!("even value {v}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn driver_runs_passes_and_stamps_names() {
+        let mut driver: Driver<Vec<i32>> = Driver::new();
+        driver.register(Doubler);
+        driver.register_fn("negatives", |bundle: &Vec<i32>, report| {
+            for v in bundle {
+                if *v < 0 {
+                    report.push(Diagnostic::warning(
+                        Code("CN0205"),
+                        SourceRef::Global,
+                        format!("negative value {v}"),
+                    ));
+                }
+            }
+        });
+        assert_eq!(driver.pass_names(), vec!["doubler", "negatives"]);
+        let report = driver.run(&vec![2, -3, 5]);
+        assert_eq!(report.diagnostics.len(), 2);
+        assert_eq!(report.diagnostics[0].pass, "doubler");
+        assert_eq!(report.diagnostics[1].pass, "negatives");
+    }
+
+    #[test]
+    fn empty_driver_is_clean() {
+        let driver: Driver<()> = Driver::new();
+        assert!(driver.run(&()).is_clean());
+    }
+}

@@ -11,6 +11,7 @@
 //! `EXPERIMENTS.md` at the workspace root records paper-reported vs
 //! measured values for each experiment.
 
+#![forbid(unsafe_code)]
 use cornet_netsim::{Network, NetworkConfig};
 use cornet_planner::{ConstraintRule, PlanIntent};
 use cornet_types::{Granularity, NodeId};

@@ -98,6 +98,12 @@ pub struct BlockSpec {
     pub function: String,
     /// Whether one implementation serves every network-function type.
     pub nf_agnostic: bool,
+    /// Whether the block mutates network state (upgrades, config pushes,
+    /// traffic moves). Mutating blocks are what backout flows must cover;
+    /// read-only blocks (health checks, comparisons, analytics) need no
+    /// revert path. Consumed by the `CN02xx` backout-coverage analysis.
+    #[serde(default)]
+    pub mutates: bool,
     /// Input parameters.
     pub inputs: Vec<ParamSpec>,
     /// Output parameters.
@@ -121,10 +127,17 @@ impl BlockSpec {
             phase,
             function: function.into(),
             nf_agnostic,
+            mutates: false,
             inputs: Vec::new(),
             outputs: Vec::new(),
             endpoint,
         }
+    }
+
+    /// Builder-style marker: this block mutates network state.
+    pub fn mutating(mut self) -> Self {
+        self.mutates = true;
+        self
     }
 
     /// Builder-style input parameter.

@@ -45,6 +45,7 @@ pub fn builtin_catalog() -> Catalog {
             "Migrate traffic away before the change",
             false,
         )
+        .mutating()
         .input("node", T::String)
         .output("redirected", T::Bool),
     );
@@ -55,6 +56,7 @@ pub fn builtin_catalog() -> Catalog {
             "Implementation of the upgrade",
             false,
         )
+        .mutating()
         .input("node", T::String)
         .input("software_version", T::String)
         .output("upgraded", T::Bool)
@@ -67,6 +69,7 @@ pub fn builtin_catalog() -> Catalog {
             "Implementation of the config change",
             false,
         )
+        .mutating()
         .input("node", T::String)
         .input("config", T::Map)
         .output("applied", T::Bool)
@@ -90,6 +93,7 @@ pub fn builtin_catalog() -> Catalog {
             "Bring traffic back after the change",
             false,
         )
+        .mutating()
         .input("node", T::String)
         .output("restored", T::Bool),
     );
@@ -100,6 +104,7 @@ pub fn builtin_catalog() -> Catalog {
             "Restore to the previous version",
             false,
         )
+        .mutating()
         .input("node", T::String)
         .input("previous_version", T::String)
         .output("rolled_back", T::Bool),
@@ -288,6 +293,30 @@ mod tests {
         assert_eq!(cat.blocks_in_phase(Phase::DesignOrchestration).count(), 8);
         assert_eq!(cat.blocks_in_phase(Phase::SchedulePlanning).count(), 5);
         assert_eq!(cat.blocks_in_phase(Phase::ImpactVerification).count(), 6);
+    }
+
+    #[test]
+    fn mutating_flags_cover_exactly_the_state_changing_blocks() {
+        let cat = builtin_catalog();
+        let mutating: Vec<&str> = {
+            let mut names: Vec<&str> = cat
+                .iter()
+                .filter(|b| b.mutates)
+                .map(|b| b.name.as_str())
+                .collect();
+            names.sort_unstable();
+            names
+        };
+        assert_eq!(
+            mutating,
+            [
+                "config_change",
+                "roll_back",
+                "software_upgrade",
+                "traffic_redirect",
+                "traffic_restore",
+            ]
+        );
     }
 
     #[test]

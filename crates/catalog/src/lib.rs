@@ -11,6 +11,7 @@
 //! parameter definitions" while implementations are Ansible playbooks,
 //! vendor CLIs, or (here) simulated testbed actions.
 
+#![forbid(unsafe_code)]
 pub mod block;
 pub mod builtin;
 pub mod registry;

@@ -13,12 +13,15 @@
 //! Downstream users normally depend on this crate alone; it re-exports
 //! the pieces examples need.
 
+#![forbid(unsafe_code)]
+pub mod check;
 pub mod cornet;
 pub mod executors;
 pub mod native;
 pub mod reuse;
 pub mod rollout;
 
+pub use check::{check, load_bundle, standard_driver, MopBundle};
 pub use cornet::Cornet;
 pub use executors::testbed_registry;
 pub use native::{planning_registry, verification_registry};

@@ -19,6 +19,7 @@
 //!   quantities the paper discusses when comparing sparse vs dense
 //!   translations (§3.3.2).
 
+#![forbid(unsafe_code)]
 pub mod builder;
 pub mod constraint;
 pub mod emit;

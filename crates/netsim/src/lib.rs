@@ -21,6 +21,7 @@
 //! * [`usage`] — operations usage-pattern generators (Figs 6, 12–14,
 //!   Table 4).
 
+#![forbid(unsafe_code)]
 pub mod changelog;
 pub mod kpi;
 pub mod network;

@@ -42,6 +42,7 @@
 //! assert_eq!(summary.span_count, 2);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod clock;
 pub mod export;
 pub mod metrics;

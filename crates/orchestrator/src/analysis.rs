@@ -1,0 +1,306 @@
+//! Static analysis of the resilience configuration (`CN03xx`).
+//!
+//! Retry policies, deadlines, and circuit breakers are arithmetic
+//! artifacts: a policy whose worst-case backoff outlasts the block's
+//! deadline retries into certain timeouts, a breaker threshold above 1.0
+//! can never trip (failure rates top out at 1), and a sample floor larger
+//! than the campaign will never be reached. None of these misconfigurations
+//! fail fast at run time — they silently disable the safety net §2.1's
+//! halt-the-rollout decision depends on. This pass checks the arithmetic
+//! before anything executes.
+
+use crate::executor::ExecutorRegistry;
+use crate::resilience::{CircuitBreaker, RetryPolicy};
+use cornet_analysis::{Code, Diagnostic, Report, SourceRef};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// The analyzable projection of a deployment's resilience configuration:
+/// the registry's retry policies and deadlines plus the campaign-level
+/// breaker and planned instance count the registry itself cannot know.
+#[derive(Clone, Debug, Default)]
+pub struct ResilienceSpec {
+    /// Per-block retry policies.
+    pub policies: BTreeMap<String, RetryPolicy>,
+    /// Registry-wide default policy for blocks without their own.
+    pub default_policy: Option<RetryPolicy>,
+    /// Per-block execution deadlines.
+    pub deadlines: BTreeMap<String, Duration>,
+    /// The circuit breaker guarding the roll-out, if any.
+    pub breaker: Option<CircuitBreaker>,
+    /// Workflow instances the campaign plans to dispatch, if known;
+    /// bounds the samples the breaker can ever observe per block.
+    pub planned_instances: Option<usize>,
+}
+
+impl ResilienceSpec {
+    /// Capture a registry's retry/deadline configuration.
+    pub fn from_registry(registry: &ExecutorRegistry) -> Self {
+        ResilienceSpec {
+            policies: registry.retry_policies().clone(),
+            default_policy: registry.default_retry_policy().cloned(),
+            deadlines: registry.deadlines().clone(),
+            breaker: None,
+            planned_instances: None,
+        }
+    }
+
+    /// Attach the campaign's circuit breaker.
+    pub fn with_breaker(mut self, breaker: CircuitBreaker) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Declare how many instances the campaign will dispatch.
+    pub fn with_planned_instances(mut self, instances: usize) -> Self {
+        self.planned_instances = Some(instances);
+        self
+    }
+}
+
+/// Check the resilience arithmetic, appending `CN03xx` diagnostics.
+pub fn analyze_resilience(spec: &ResilienceSpec, report: &mut Report) {
+    let scopes = spec
+        .default_policy
+        .iter()
+        .map(|p| (None, p))
+        .chain(spec.policies.iter().map(|(b, p)| (Some(b.as_str()), p)));
+    for (block, policy) in scopes {
+        let source = match block {
+            Some(b) => SourceRef::Block {
+                block: b.to_owned(),
+            },
+            None => SourceRef::Global,
+        };
+        let scope = block.map_or_else(
+            || "the default retry policy".to_owned(),
+            |b| format!("the retry policy for block '{b}'"),
+        );
+        if policy.max_attempts == 0 {
+            report.push(
+                Diagnostic::error(
+                    Code("CN0301"),
+                    source.clone(),
+                    format!("{scope} allows zero attempts; the block can never execute"),
+                )
+                .with_hint("set max_attempts to at least 1 (1 means no retries)"),
+            );
+            continue; // the backoff series is empty; nothing more to check
+        }
+        // Compare the worst-case backoff series against the deadline of
+        // every block this policy governs.
+        let governed: Vec<&str> = match block {
+            Some(b) => vec![b],
+            None => spec
+                .deadlines
+                .keys()
+                .map(String::as_str)
+                .filter(|b| !spec.policies.contains_key(*b))
+                .collect(),
+        };
+        for b in governed {
+            let Some(deadline) = spec.deadlines.get(b) else {
+                continue;
+            };
+            let worst = policy.worst_case_backoff_total();
+            if worst > *deadline {
+                report.push(
+                    Diagnostic::warning(
+                        Code("CN0302"),
+                        SourceRef::Block {
+                            block: b.to_owned(),
+                        },
+                        format!(
+                            "worst-case retry backoff of {scope} ({:.1}s) exceeds the \
+                             {:.1}s deadline of block '{b}'; later retries are dead on arrival",
+                            worst.as_secs_f64(),
+                            deadline.as_secs_f64()
+                        ),
+                    )
+                    .with_hint("shorten the backoff curve or raise the block deadline"),
+                );
+            }
+        }
+    }
+    if let Some(breaker) = &spec.breaker {
+        if breaker.failure_threshold > 1.0 {
+            report.push(
+                Diagnostic::error(
+                    Code("CN0303"),
+                    SourceRef::Global,
+                    format!(
+                        "circuit breaker threshold {} can never trip: failure rates top out at 1.0",
+                        breaker.failure_threshold
+                    ),
+                )
+                .with_hint("thresholds are failure-rate fractions in (0, 1]"),
+            );
+        } else if breaker.failure_threshold <= 0.0 {
+            report.push(
+                Diagnostic::warning(
+                    Code("CN0304"),
+                    SourceRef::Global,
+                    format!(
+                        "circuit breaker threshold {} trips on any sampled block, even \
+                         an all-success one",
+                        breaker.failure_threshold
+                    ),
+                )
+                .with_hint("use a threshold strictly above 0 so healthy roll-outs proceed"),
+            );
+        }
+        if let Some(planned) = spec.planned_instances {
+            if breaker.min_samples > planned {
+                report.push(
+                    Diagnostic::error(
+                        Code("CN0305"),
+                        SourceRef::Global,
+                        format!(
+                            "circuit breaker needs {} samples before it trusts a failure rate, \
+                             but the campaign only dispatches {planned} instances; the breaker \
+                             can never trip",
+                            breaker.min_samples
+                        ),
+                    )
+                    .with_hint("lower min_samples below the planned instance count"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_analysis::Severity;
+
+    fn registry_with(policy: RetryPolicy, deadline: Duration) -> ExecutorRegistry {
+        let mut reg = ExecutorRegistry::new();
+        reg.register("software_upgrade", |_| Ok(()));
+        reg.set_retry_policy("software_upgrade", policy);
+        reg.set_deadline("software_upgrade", deadline);
+        reg
+    }
+
+    #[test]
+    fn zero_attempt_policy_is_an_error() {
+        let mut spec = ResilienceSpec::default();
+        spec.policies.insert(
+            "upgrade".into(),
+            RetryPolicy {
+                max_attempts: 0,
+                ..Default::default()
+            },
+        );
+        let mut report = Report::new();
+        analyze_resilience(&spec, &mut report);
+        assert_eq!(report.error_count(), 1, "{}", report.render_text());
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, Code("CN0301"));
+        assert_eq!(
+            d.source,
+            SourceRef::Block {
+                block: "upgrade".into()
+            }
+        );
+        // Corrected twin: one attempt is legal (it just means no retries).
+        let mut spec = ResilienceSpec::default();
+        spec.policies
+            .insert("upgrade".into(), RetryPolicy::with_attempts(1));
+        let mut report = Report::new();
+        analyze_resilience(&spec, &mut report);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn backoff_exceeding_deadline_warns() {
+        // 4 attempts at 10s/20s/20s capped backoff: 75s worst case vs 30s.
+        let slow = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_secs(10),
+            multiplier: 10.0,
+            max_backoff: Duration::from_secs(20),
+            jitter_seed: 0,
+        };
+        let spec =
+            ResilienceSpec::from_registry(&registry_with(slow.clone(), Duration::from_secs(30)));
+        let mut report = Report::new();
+        analyze_resilience(&spec, &mut report);
+        assert_eq!(report.warning_count(), 1, "{}", report.render_text());
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, Code("CN0302"));
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("software_upgrade"), "{}", d.message);
+        // Corrected twin: a generous deadline fits the whole series.
+        let spec = ResilienceSpec::from_registry(&registry_with(slow, Duration::from_secs(120)));
+        let mut report = Report::new();
+        analyze_resilience(&spec, &mut report);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn default_policy_is_checked_against_uncovered_blocks_only() {
+        let mut reg = ExecutorRegistry::new();
+        // The default policy backs off for 450ms worst case.
+        reg.set_default_retry_policy(RetryPolicy::default());
+        // 'covered' has its own instant policy; only 'bare' uses the default.
+        reg.set_retry_policy("covered", RetryPolicy::with_attempts(1));
+        reg.set_deadline("covered", Duration::from_millis(1));
+        reg.set_deadline("bare", Duration::from_millis(1));
+        let spec = ResilienceSpec::from_registry(&reg);
+        let mut report = Report::new();
+        analyze_resilience(&spec, &mut report);
+        assert_eq!(report.warning_count(), 1, "{}", report.render_text());
+        assert_eq!(
+            report.diagnostics[0].source,
+            SourceRef::Block {
+                block: "bare".into()
+            }
+        );
+    }
+
+    #[test]
+    fn untrippable_breaker_threshold_is_an_error() {
+        let spec = ResilienceSpec::default().with_breaker(CircuitBreaker::with_threshold(1.5));
+        let mut report = Report::new();
+        analyze_resilience(&spec, &mut report);
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.diagnostics[0].code, Code("CN0303"));
+        // A threshold of exactly 1.0 is reachable (total failure) — clean.
+        let spec = ResilienceSpec::default().with_breaker(CircuitBreaker::with_threshold(1.0));
+        let mut report = Report::new();
+        analyze_resilience(&spec, &mut report);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn hair_trigger_breaker_threshold_warns() {
+        let spec = ResilienceSpec::default().with_breaker(CircuitBreaker::with_threshold(0.0));
+        let mut report = Report::new();
+        analyze_resilience(&spec, &mut report);
+        assert_eq!(report.warning_count(), 1);
+        assert_eq!(report.diagnostics[0].code, Code("CN0304"));
+    }
+
+    #[test]
+    fn sample_floor_above_campaign_size_is_an_error() {
+        let breaker = CircuitBreaker {
+            failure_threshold: 0.5,
+            min_samples: 100,
+        };
+        let spec = ResilienceSpec::default()
+            .with_breaker(breaker.clone())
+            .with_planned_instances(40);
+        let mut report = Report::new();
+        analyze_resilience(&spec, &mut report);
+        assert_eq!(report.error_count(), 1, "{}", report.render_text());
+        assert_eq!(report.diagnostics[0].code, Code("CN0305"));
+        // Corrected twin: a larger campaign can reach the floor.
+        let spec = ResilienceSpec::default()
+            .with_breaker(breaker)
+            .with_planned_instances(200);
+        let mut report = Report::new();
+        analyze_resilience(&spec, &mut report);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+}

@@ -10,7 +10,7 @@
 //! emit follow-up events; the bus drains to quiescence.
 
 use crate::executor::{ExecutorRegistry, GlobalState};
-use cornet_obs::{AttrValue, Tracer};
+use cornet_obs::Tracer;
 use cornet_types::Result;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -55,30 +55,11 @@ impl EventBus {
         self.tracer = tracer;
     }
 
-    /// The bus's tracer; snapshot it for span-level firing history.
+    /// The bus's tracer; snapshot it for span-level firing history. Each
+    /// block execution records a `bus.firing` span carrying `event` and
+    /// `block` attributes, nested under its `bus.publish` root.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
-    }
-
-    /// Trace of (event, block) firings, reconstructed from the span
-    /// collector for backward compatibility.
-    #[deprecated(
-        since = "0.1.0",
-        note = "read `bus.firing` spans via `tracer().snapshot()` instead"
-    )]
-    pub fn trace(&self) -> Vec<(String, String)> {
-        let attr_str = |v: Option<&AttrValue>| match v {
-            Some(AttrValue::Str(s)) => s.clone(),
-            Some(other) => other.to_string(),
-            None => String::new(),
-        };
-        self.tracer
-            .snapshot()
-            .spans
-            .iter()
-            .filter(|s| s.name == "bus.firing")
-            .map(|s| (attr_str(s.attr("event")), attr_str(s.attr("block"))))
-            .collect()
     }
 
     /// Subscribe a block to an event.
@@ -156,7 +137,20 @@ impl EventBus {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cornet_obs::AttrValue;
     use cornet_types::ParamValue;
+
+    /// Block names of the `bus.firing` spans, in firing order.
+    fn fired_blocks(bus: &EventBus) -> Vec<String> {
+        bus.tracer()
+            .snapshot()
+            .spans_named("bus.firing")
+            .map(|s| match s.attr("block") {
+                Some(AttrValue::Str(b)) => b.clone(),
+                other => panic!("firing span without block attr: {other:?}"),
+            })
+            .collect()
+    }
 
     fn registry() -> ExecutorRegistry {
         let mut reg = ExecutorRegistry::new();
@@ -207,11 +201,8 @@ mod tests {
         state.insert("node".into(), ParamValue::from("enb-1"));
         let n = bus.publish("change.requested", &mut state, 100).unwrap();
         assert_eq!(n, 3, "health check, upgrade, comparison; no roll-back");
-        #[allow(deprecated)]
-        let trace = bus.trace();
-        let blocks: Vec<&str> = trace.iter().map(|(_, b)| b.as_str()).collect();
         assert_eq!(
-            blocks,
+            fired_blocks(&bus),
             vec!["health_check", "software_upgrade", "pre_post_comparison"]
         );
         // The same history is available as spans: one publish root with
@@ -248,9 +239,10 @@ mod tests {
         let mut state = GlobalState::new();
         let n = bus.publish("change.requested", &mut state, 100).unwrap();
         assert_eq!(n, 4);
-        #[allow(deprecated)]
-        let trace = bus.trace();
-        assert_eq!(trace.last().unwrap().1, "roll_back");
+        assert_eq!(
+            fired_blocks(&bus).last().map(String::as_str),
+            Some("roll_back")
+        );
     }
 
     #[test]

@@ -91,6 +91,22 @@ impl ExecutorRegistry {
     pub fn deadline_for(&self, block: &str) -> Option<Duration> {
         self.deadlines.get(block).copied()
     }
+
+    /// All per-block retry policies, for static analysis over the
+    /// registry's resilience configuration.
+    pub fn retry_policies(&self) -> &BTreeMap<String, RetryPolicy> {
+        &self.policies
+    }
+
+    /// The registry-wide default retry policy, if one is set.
+    pub fn default_retry_policy(&self) -> Option<&RetryPolicy> {
+        self.default_policy.as_ref()
+    }
+
+    /// All per-block execution deadlines.
+    pub fn deadlines(&self) -> &BTreeMap<String, Duration> {
+        &self.deadlines
+    }
 }
 
 /// Fetch a required string input from the state.

@@ -17,6 +17,8 @@
 //! policies and deadlines, a circuit breaker that auto-halts roll-outs on
 //! fall-out, and a deterministic fault-injection harness.
 
+#![forbid(unsafe_code)]
+pub mod analysis;
 pub mod dispatcher;
 pub mod engine;
 pub mod events;
@@ -24,6 +26,7 @@ pub mod executor;
 pub mod falloutanalysis;
 pub mod resilience;
 
+pub use analysis::{analyze_resilience, ResilienceSpec};
 pub use dispatcher::{DispatchReport, Dispatcher, InstanceReport};
 pub use engine::{BlockExecution, BlockStatus, Engine, InstanceStatus, PauseHandle};
 pub use events::EventBus;

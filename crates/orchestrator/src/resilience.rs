@@ -106,6 +106,21 @@ impl RetryPolicy {
         let jitter = 1.0 + 0.5 * unit_f64(bits);
         Duration::from_secs_f64(capped * jitter)
     }
+
+    /// Upper bound on the total time spent backing off if every attempt
+    /// fails: the sum over the `max_attempts - 1` backoffs of the capped
+    /// exponential term at maximum (+50%) jitter. Static analysis compares
+    /// this against block deadlines to flag policies whose retries cannot
+    /// complete in time.
+    pub fn worst_case_backoff_total(&self) -> Duration {
+        let mut total = 0.0;
+        for attempt in 1..self.max_attempts {
+            let exp = self.multiplier.powi(attempt.saturating_sub(1) as i32);
+            let raw = self.base_backoff.as_secs_f64() * exp;
+            total += raw.min(self.max_backoff.as_secs_f64()) * 1.5;
+        }
+        Duration::from_secs_f64(total)
+    }
 }
 
 /// Why the circuit breaker tripped.
@@ -404,6 +419,32 @@ mod tests {
         };
         // 10^9 seconds uncapped; capped to 5 s (+50% jitter max).
         assert!(p.backoff_for("b", 10) <= Duration::from_secs_f64(7.5));
+    }
+
+    #[test]
+    fn worst_case_backoff_total_bounds_every_jittered_series() {
+        let p = RetryPolicy::default(); // 3 attempts: backoffs of ~100ms and ~200ms
+        let bound = p.worst_case_backoff_total();
+        assert_eq!(bound, Duration::from_millis(450), "(100 + 200) * 1.5");
+        for block in ["a", "b", "software_upgrade"] {
+            let actual: Duration = (1..p.max_attempts).map(|i| p.backoff_for(block, i)).sum();
+            assert!(actual <= bound, "{actual:?} > {bound:?} for {block}");
+        }
+        // Capping applies to the bound as well.
+        let capped = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_secs(10),
+            multiplier: 10.0,
+            max_backoff: Duration::from_secs(20),
+            jitter_seed: 0,
+        };
+        // 10 + 20 + 20 seconds, each * 1.5.
+        assert_eq!(capped.worst_case_backoff_total(), Duration::from_secs(75));
+        // A single-attempt policy never backs off.
+        assert_eq!(
+            RetryPolicy::with_attempts(1).worst_case_backoff_total(),
+            Duration::ZERO
+        );
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Cross-campaign conflict detection (`CN0416`).
+//!
+//! §5 runs several change campaigns over the same network concurrently —
+//! vCE upgrades while SDWAN gateways are patched. Each campaign plans its
+//! own schedule, so nothing in a single `plan()` call prevents two
+//! campaigns from touching the *same* node in the *same* wave: a node
+//! being software-upgraded and config-changed simultaneously is exactly
+//! the conflict the paper's `conflict_check` / `detect_conflicts` blocks
+//! exist to avoid. This pass takes the planned schedules of every
+//! campaign in a MOP bundle and flags same-node/same-slot collisions
+//! before anything executes.
+
+use crate::intent::{ConflictTolerance, PlanIntent};
+use cornet_analysis::{Code, Diagnostic, Report, SourceRef};
+use cornet_types::{Schedule, Timeslot};
+use std::collections::BTreeMap;
+
+/// One planned change campaign: a workflow applied on a schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Campaign {
+    /// Workflow the campaign dispatches per node.
+    pub workflow: String,
+    /// Planned node → slot assignments.
+    pub schedule: Schedule,
+}
+
+impl Campaign {
+    /// Construct a campaign.
+    pub fn new(workflow: impl Into<String>, schedule: Schedule) -> Self {
+        Campaign {
+            workflow: workflow.into(),
+            schedule,
+        }
+    }
+}
+
+/// Detect nodes targeted by two campaigns in the same wave. Under a
+/// declared zero conflict tolerance (or when no intent declares otherwise
+/// — zero tolerance is the intent default) the collision violates a
+/// serializing constraint and is an error; under `minimize-conflicts` it
+/// degrades to a warning.
+pub fn analyze_campaigns(campaigns: &[Campaign], intent: Option<&PlanIntent>, report: &mut Report) {
+    let zero_tolerance = intent.is_none_or(|it| it.tolerance() == ConflictTolerance::Zero);
+    // (node, slot) → campaigns that scheduled it.
+    let mut waves: BTreeMap<(u32, Timeslot), Vec<&str>> = BTreeMap::new();
+    for c in campaigns {
+        for (&node, &slot) in &c.schedule.assignments {
+            waves
+                .entry((node.0, slot))
+                .or_default()
+                .push(c.workflow.as_str());
+        }
+    }
+    for ((node, slot), names) in waves {
+        if names.len() < 2 {
+            continue;
+        }
+        let diag = Diagnostic::new(
+            Code("CN0416"),
+            if zero_tolerance {
+                cornet_analysis::Severity::Error
+            } else {
+                cornet_analysis::Severity::Warning
+            },
+            SourceRef::Target {
+                node,
+                slot: Some(slot.0),
+            },
+            format!(
+                "campaigns {} all target node #{node} in slot {} with no serializing constraint",
+                names
+                    .iter()
+                    .map(|n| format!("'{n}'"))
+                    .collect::<Vec<_>>()
+                    .join(" and "),
+                slot.0
+            ),
+        )
+        .with_hint("stagger the campaigns or relax conflict handling to minimize-conflicts");
+        report.push(diag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_analysis::Severity;
+    use cornet_types::NodeId;
+
+    fn schedule(assignments: &[(u32, u32)]) -> Schedule {
+        Schedule {
+            assignments: assignments
+                .iter()
+                .map(|&(n, s)| (NodeId(n), Timeslot(s)))
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    fn minimize_intent() -> PlanIntent {
+        PlanIntent::from_json(
+            r#"{
+            "scheduling_window": {"start": "2020-07-01 00:00:00",
+                                  "end": "2020-07-04 23:59:00",
+                                  "granularity": {"metric": "day", "value": 1}},
+            "maintenance_window": {"start": "0:00", "end": "6:00"},
+            "schedulable_attribute": "common_id",
+            "conflict_attribute": "common_id",
+            "constraints": [{"name": "conflict_handling",
+                             "value": "minimize-conflicts"}]
+        }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn same_node_same_slot_across_campaigns_is_an_error_by_default() {
+        let campaigns = [
+            Campaign::new("vce_upgrade", schedule(&[(1, 2), (2, 3)])),
+            Campaign::new("sdwan_patch", schedule(&[(1, 2), (3, 3)])),
+        ];
+        let mut report = Report::new();
+        analyze_campaigns(&campaigns, None, &mut report);
+        assert_eq!(report.error_count(), 1, "{}", report.render_text());
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, Code("CN0416"));
+        assert!(d.message.contains("'vce_upgrade'") && d.message.contains("'sdwan_patch'"));
+        assert_eq!(
+            d.source,
+            SourceRef::Target {
+                node: 1,
+                slot: Some(2)
+            }
+        );
+    }
+
+    #[test]
+    fn minimize_conflicts_downgrades_to_warning() {
+        let campaigns = [
+            Campaign::new("a", schedule(&[(7, 1)])),
+            Campaign::new("b", schedule(&[(7, 1)])),
+        ];
+        let mut report = Report::new();
+        analyze_campaigns(&campaigns, Some(&minimize_intent()), &mut report);
+        assert_eq!(report.error_count(), 0);
+        assert_eq!(report.warning_count(), 1);
+        assert!(report.diagnostics[0].severity == Severity::Warning);
+    }
+
+    #[test]
+    fn serialized_campaigns_are_clean() {
+        // Same node, different slots: the campaigns are serialized.
+        let campaigns = [
+            Campaign::new("a", schedule(&[(1, 1), (2, 2)])),
+            Campaign::new("b", schedule(&[(1, 2), (2, 1)])),
+        ];
+        let mut report = Report::new();
+        analyze_campaigns(&campaigns, None, &mut report);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+}

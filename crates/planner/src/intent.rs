@@ -180,6 +180,13 @@ impl PlanIntent {
         }
     }
 
+    /// Build an intent from an already-parsed [`JsonValue`] document —
+    /// used by loaders (e.g. the static-analysis bundle reader) that embed
+    /// an intent object inside a larger JSON file.
+    pub fn from_value(root: &JsonValue) -> Result<Self> {
+        from_json_value(root)
+    }
+
     /// Resolve the scheduling window into typed form.
     pub fn window(&self) -> Result<SchedulingWindow> {
         let start = SimTime::parse(&self.scheduling_window.start)?;

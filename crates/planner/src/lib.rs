@@ -16,7 +16,9 @@
 //! * [`heuristic`] — Algorithm 1: timezone-sequenced market-permutation
 //!   local search scheduling whole USIDs at a time.
 
+#![forbid(unsafe_code)]
 pub mod backend;
+pub mod campaigns;
 pub mod decompose;
 pub mod heuristic;
 pub mod intent;
@@ -26,8 +28,9 @@ pub mod plan;
 pub mod translate;
 
 pub use backend::{BackendChoice, BackendResult, BackendRun, Budget, SolveContext, SolverBackend};
+pub use campaigns::{analyze_campaigns, Campaign};
 pub use heuristic::{heuristic_schedule, HeuristicConfig};
 pub use intent::{ConflictTolerance, ConstraintRule, PlanIntent};
-pub use lint::{lint, LintFinding, LintLevel, LintReport};
+pub use lint::{analyze_intent, lint, LintFinding, LintLevel, LintReport};
 pub use plan::{plan, PlanOptions, PlanResult};
 pub use translate::{translate, GroupStrategy, TranslateOptions, Translation};

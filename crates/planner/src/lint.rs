@@ -7,8 +7,14 @@
 //! inventory for contradictions, vacuous rules, and capacity shortfalls
 //! that would otherwise surface as mysterious infeasibility or silently
 //! empty schedules, and explains each finding in operator language.
+//!
+//! The checks are `cornet-analysis` passes emitting `CN04xx` diagnostics;
+//! [`analyze_intent`] returns the full [`Report`] while [`lint`] projects
+//! it onto the legacy [`LintReport`] shape (slug codes like
+//! `"window-capacity-shortfall"`) for existing call sites.
 
 use crate::intent::{ConstraintRule, PlanIntent};
+use cornet_analysis::{Code, Diagnostic, Report, Severity, SourceRef};
 use cornet_types::{Inventory, NodeId, Result};
 use serde::Serialize;
 
@@ -45,50 +51,92 @@ impl LintReport {
         self.findings.iter().all(|f| f.level != LintLevel::Error)
     }
 
-    fn error(&mut self, code: &str, message: String) {
-        self.findings.push(LintFinding {
-            level: LintLevel::Error,
-            code: code.into(),
-            message,
-        });
-    }
-
-    fn warn(&mut self, code: &str, message: String) {
-        self.findings.push(LintFinding {
-            level: LintLevel::Warning,
-            code: code.into(),
-            message,
-        });
+    /// Project an analysis [`Report`] onto the legacy slug-coded shape.
+    /// The report's severity-first sort keeps errors before warnings.
+    pub fn from_report(report: &Report) -> Self {
+        LintReport {
+            findings: report
+                .iter()
+                .map(|d| LintFinding {
+                    level: match d.severity {
+                        Severity::Error => LintLevel::Error,
+                        _ => LintLevel::Warning,
+                    },
+                    code: legacy_slug(d.code).to_owned(),
+                    message: d.message.clone(),
+                })
+                .collect(),
+        }
     }
 }
 
-/// Lint an intent against the inventory and node scope.
+/// Legacy slug for a `CN04xx` diagnostic code (stable operator-facing
+/// identifiers predating the unified code space).
+pub fn legacy_slug(code: Code) -> &'static str {
+    match code.0 {
+        "CN0401" => "window-fully-excluded",
+        "CN0402" => "window-mostly-excluded",
+        "CN0403" => "empty-maintenance-window",
+        "CN0404" => "non-positive-capacity",
+        "CN0405" => "sub-slot-granularity",
+        "CN0406" => "unknown-attribute",
+        "CN0407" => "vacuous-consistency",
+        "CN0408" => "non-numeric-uniformity",
+        "CN0409" => "negative-uniformity-distance",
+        "CN0410" => "vacuous-uniformity",
+        "CN0411" => "vacuous-localize",
+        "CN0412" => "window-capacity-shortfall",
+        "CN0413" => "capacity-below-group",
+        "CN0414" => "no-concurrency-rule",
+        "CN0415" => "frozen-matches-nothing",
+        "CN0416" => "cross-campaign-conflict",
+        other => other,
+    }
+}
+
+/// Lint an intent against the inventory and node scope (legacy shape; see
+/// [`analyze_intent`] for diagnostics with stable codes and anchors).
 pub fn lint(intent: &PlanIntent, inventory: &Inventory, nodes: &[NodeId]) -> Result<LintReport> {
-    let mut report = LintReport::default();
+    Ok(LintReport::from_report(&analyze_intent(
+        intent, inventory, nodes,
+    )?))
+}
+
+/// Analyze an intent against the inventory and node scope, emitting
+/// `CN04xx` diagnostics anchored to the offending rule.
+pub fn analyze_intent(
+    intent: &PlanIntent,
+    inventory: &Inventory,
+    nodes: &[NodeId],
+) -> Result<Report> {
+    let mut report = Report::new();
     let window = intent.window()?;
     let usable = window.usable_slots();
 
     // --- window sanity.
     if usable.is_empty() {
-        report.error(
-            "window-fully-excluded",
-            "every slot of the scheduling window falls inside an excluded period".into(),
-        );
+        report.push(Diagnostic::error(
+            Code("CN0401"),
+            SourceRef::Intent,
+            "every slot of the scheduling window falls inside an excluded period",
+        ));
     } else if usable.len() < window.raw_slot_count() as usize / 2 {
-        report.warn(
-            "window-mostly-excluded",
+        report.push(Diagnostic::warning(
+            Code("CN0402"),
+            SourceRef::Intent,
             format!(
                 "only {} of {} slots are usable after exclusions",
                 usable.len(),
                 window.raw_slot_count()
             ),
-        );
+        ));
     }
     if window.maintenance.duration_minutes() == 0 {
-        report.error(
-            "empty-maintenance-window",
-            "the maintenance window has zero duration; no change can execute".into(),
-        );
+        report.push(Diagnostic::error(
+            Code("CN0403"),
+            SourceRef::Intent,
+            "the maintenance window has zero duration; no change can execute",
+        ));
     }
 
     // --- rule-by-rule checks.
@@ -106,34 +154,40 @@ pub fn lint(intent: &PlanIntent, inventory: &Inventory, nodes: &[NodeId]) -> Res
                 default_capacity,
                 ..
             } => {
+                let anchor = SourceRef::Rule {
+                    rule: format!("concurrency[{base_attribute}]"),
+                };
                 has_capacity_rule = true;
                 if *default_capacity <= 0 {
-                    report.error(
-                        "non-positive-capacity",
+                    report.push(Diagnostic::error(
+                        Code("CN0404"),
+                        anchor.clone(),
                         format!(
                             "concurrency on '{base_attribute}' has capacity {default_capacity}; nothing can be scheduled"
                         ),
-                    );
+                    ));
                 }
                 if granularity.minutes() < window.granularity.minutes() {
-                    report.warn(
-                        "sub-slot-granularity",
+                    report.push(Diagnostic::warning(
+                        Code("CN0405"),
+                        anchor.clone(),
                         format!(
                             "concurrency granularity ({} min) is finer than the timeslot ({} min); it will be applied per slot",
                             granularity.minutes(),
                             window.granularity.minutes()
                         ),
-                    );
+                    ));
                 }
-                let check_attr = |attr: &str, report: &mut LintReport| {
+                let check_attr = |attr: &str, report: &mut Report| {
                     if attr != "common_id"
                         && inventory.group_by(nodes, attr).group_count() == 0
                         && !nodes.is_empty()
                     {
-                        report.error(
-                            "unknown-attribute",
+                        report.push(Diagnostic::error(
+                            Code("CN0406"),
+                            anchor.clone(),
                             format!("attribute '{attr}' is absent from every node in scope"),
-                        );
+                        ));
                     }
                 };
                 check_attr(base_attribute, &mut report);
@@ -164,12 +218,16 @@ pub fn lint(intent: &PlanIntent, inventory: &Inventory, nodes: &[NodeId]) -> Res
                 });
             }
             ConstraintRule::Consistency { attribute } => {
+                let anchor = SourceRef::Rule {
+                    rule: format!("consistency[{attribute}]"),
+                };
                 let groups = inventory.group_by(nodes, attribute);
                 if groups.group_count() == 0 && !nodes.is_empty() {
-                    report.error(
-                        "unknown-attribute",
+                    report.push(Diagnostic::error(
+                        Code("CN0406"),
+                        anchor,
                         format!("consistency attribute '{attribute}' is absent from the scope"),
-                    );
+                    ));
                 } else {
                     let largest = groups.members().iter().map(Vec::len).max().unwrap_or(0);
                     if largest > largest_consistency_group {
@@ -177,16 +235,20 @@ pub fn lint(intent: &PlanIntent, inventory: &Inventory, nodes: &[NodeId]) -> Res
                         consistency_attr = attribute.clone();
                     }
                     if groups.group_count() == nodes.len() {
-                        report.warn(
-                            "vacuous-consistency",
+                        report.push(Diagnostic::warning(
+                            Code("CN0407"),
+                            anchor,
                             format!(
                                 "every node has a distinct '{attribute}'; the consistency rule groups nothing"
                             ),
-                        );
+                        ));
                     }
                 }
             }
             ConstraintRule::Uniformity { attribute, value } => {
+                let anchor = SourceRef::Rule {
+                    rule: format!("uniformity[{attribute}]"),
+                };
                 // Sample evenly across the scope — node ids are often
                 // sorted by geography, so a prefix sample would see one
                 // timezone only.
@@ -197,47 +259,55 @@ pub fn lint(intent: &PlanIntent, inventory: &Inventory, nodes: &[NodeId]) -> Res
                     .filter_map(|&n| inventory.attr_of(n, attribute).and_then(|v| v.as_f64()))
                     .collect();
                 if vals.is_empty() && !nodes.is_empty() {
-                    report.error(
-                        "non-numeric-uniformity",
+                    report.push(Diagnostic::error(
+                        Code("CN0408"),
+                        anchor,
                         format!(
                             "uniformity needs a numeric attribute; '{attribute}' is categorical or absent"
                         ),
-                    );
+                    ));
                 } else if *value < 0.0 {
-                    report.error(
-                        "negative-uniformity-distance",
+                    report.push(Diagnostic::error(
+                        Code("CN0409"),
+                        anchor,
                         format!("uniformity distance {value} is negative"),
-                    );
+                    ));
                 } else if !vals.is_empty() {
                     let (lo, hi) = vals
                         .iter()
                         .fold((f64::MAX, f64::MIN), |(l, h), v| (l.min(*v), h.max(*v)));
                     if hi - lo <= *value {
-                        report.warn(
-                            "vacuous-uniformity",
+                        report.push(Diagnostic::warning(
+                            Code("CN0410"),
+                            anchor,
                             format!(
                                 "all '{attribute}' values span {:.2} ≤ allowed {value}; the rule constrains nothing",
                                 hi - lo
                             ),
-                        );
+                        ));
                     }
                 }
             }
             ConstraintRule::Localize { attribute } => {
+                let anchor = SourceRef::Rule {
+                    rule: format!("localize[{attribute}]"),
+                };
                 let groups = inventory.group_by(nodes, attribute);
                 if groups.group_count() == 0 && !nodes.is_empty() {
-                    report.error(
-                        "unknown-attribute",
+                    report.push(Diagnostic::error(
+                        Code("CN0406"),
+                        anchor,
                         format!("localize attribute '{attribute}' is absent from the scope"),
-                    );
+                    ));
                 } else if groups.group_count() <= 1 {
-                    report.warn(
-                        "vacuous-localize",
+                    report.push(Diagnostic::warning(
+                        Code("CN0411"),
+                        anchor,
                         format!(
                             "scope has {} group(s) of '{attribute}'; localize needs at least two to matter",
                             groups.group_count()
                         ),
-                    );
+                    ));
                 }
             }
             ConstraintRule::ConflictHandling { .. } | ConstraintRule::ConflictScope { .. } => {}
@@ -249,8 +319,9 @@ pub fn lint(intent: &PlanIntent, inventory: &Inventory, nodes: &[NodeId]) -> Res
         if per_slot != i64::MAX {
             let total = per_slot.saturating_mul(usable.len() as i64);
             if (nodes.len() as i64) > total {
-                report.error(
-                    "window-capacity-shortfall",
+                report.push(Diagnostic::error(
+                    Code("CN0412"),
+                    SourceRef::Intent,
                     format!(
                         "{} nodes in scope but the window holds at most {} ({} usable slots × {} per slot); expect leftovers",
                         nodes.len(),
@@ -258,22 +329,26 @@ pub fn lint(intent: &PlanIntent, inventory: &Inventory, nodes: &[NodeId]) -> Res
                         usable.len(),
                         per_slot
                     ),
-                );
+                ));
             }
             if largest_consistency_group as i64 > per_slot {
-                report.error(
-                    "capacity-below-group",
+                report.push(Diagnostic::error(
+                    Code("CN0413"),
+                    SourceRef::Rule {
+                        rule: format!("consistency[{consistency_attr}]"),
+                    },
                     format!(
                         "largest '{consistency_attr}' consistency group has {largest_consistency_group} nodes but per-slot capacity is {per_slot}; the group can never be scheduled together"
                     ),
-                );
+                ));
             }
         }
     } else if !has_capacity_rule {
-        report.warn(
-            "no-concurrency-rule",
-            "no concurrency rule: the whole scope may be scheduled into a single slot".into(),
-        );
+        report.push(Diagnostic::warning(
+            Code("CN0414"),
+            SourceRef::Intent,
+            "no concurrency rule: the whole scope may be scheduled into a single slot",
+        ));
     }
 
     // --- frozen elements that match nothing.
@@ -284,17 +359,15 @@ pub fn lint(intent: &PlanIntent, inventory: &Inventory, nodes: &[NodeId]) -> Res
             }) && !f.selector.is_empty()
         });
         if !matches_any {
-            report.warn(
-                "frozen-matches-nothing",
+            report.push(Diagnostic::warning(
+                Code("CN0415"),
+                SourceRef::Intent,
                 format!("frozen element {:?} matches no node in scope", f.selector),
-            );
+            ));
         }
     }
 
-    report.findings.sort_by_key(|f| match f.level {
-        LintLevel::Error => 0,
-        LintLevel::Warning => 1,
-    });
+    report.sort();
     Ok(report)
 }
 
@@ -363,6 +436,9 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.code == "window-capacity-shortfall"));
+        // Through the analysis API, the same finding carries its CN code.
+        let report = analyze_intent(&it, &inventory(), &nodes()).unwrap();
+        assert!(report.iter().any(|d| d.code == Code("CN0412")));
     }
 
     #[test]

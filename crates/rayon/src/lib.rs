@@ -24,6 +24,7 @@
 //! allocation-free and makes single-core CI behave exactly like a plain
 //! `iter().map().collect()`.
 
+#![forbid(unsafe_code)]
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {

@@ -19,6 +19,7 @@
 //! matching how the paper's operations teams run their solvers with
 //! discovery-time limits.
 
+#![forbid(unsafe_code)]
 pub mod domain;
 pub mod propagate;
 pub mod search;

@@ -18,6 +18,7 @@
 //! Everything is implemented from scratch over `f64` slices so the verifier
 //! can compose these primitives without external numeric dependencies.
 
+#![forbid(unsafe_code)]
 pub mod changepoint;
 pub mod descriptive;
 pub mod normal;

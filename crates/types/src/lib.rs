@@ -8,11 +8,13 @@
 //! deliberately has no dependency on the rest of CORNET and only depends on
 //! `serde` for interchange (the paper's user-facing intent API is JSON).
 
+#![forbid(unsafe_code)]
 pub mod attr;
 pub mod change;
 pub mod error;
 pub mod id;
 pub mod inventory;
+pub mod json;
 pub mod nf;
 pub mod param;
 pub mod time;

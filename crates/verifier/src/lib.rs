@@ -16,11 +16,13 @@
 //! * [`verify`] — the verifier facade producing per-KPI, per-location
 //!   verdicts and a go/no-go summary.
 
+#![forbid(unsafe_code)]
 pub mod adapter;
 pub mod analysis;
 pub mod control;
 pub mod equation;
 pub mod integrity;
+pub mod rulecheck;
 pub mod rules;
 pub mod verify;
 
@@ -29,6 +31,7 @@ pub use analysis::{analyze_kpi, AnalysisOptions, ChangeScope, ImpactVerdict, Kpi
 pub use control::{derive_control_group, ControlSelection};
 pub use equation::Equation;
 pub use integrity::{monitor_feeds, FeedAlert, IntegrityConfig};
+pub use rulecheck::analyze_rules;
 pub use rules::{Expectation, KpiQuery, VerificationRule};
 pub use verify::{
     verify_rule, verify_rule_sequential, verify_rule_traced, verify_rules, verify_rules_traced,

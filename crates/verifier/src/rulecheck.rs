@@ -1,0 +1,287 @@
+//! Static referential checks over verification rules (`CN05xx`).
+//!
+//! A verification rule is only as good as the names it references: a KPI
+//! absent from the data adapter, a location attribute no inventory record
+//! carries, or an α outside `(0, 1)` all produce a rule that either
+//! errors at verification time — hours after the change executed — or
+//! silently verifies nothing. This pass cross-references every rule
+//! against the inventory and (when known) the adapter's KPI catalog
+//! before the change is approved.
+
+use crate::rules::VerificationRule;
+use crate::ControlSelection;
+use cornet_analysis::{Code, Diagnostic, Report, SourceRef};
+use cornet_types::Inventory;
+
+/// Whether any inventory record defines `key` (the virtual attributes
+/// `common_id` and `nf_type` always exist).
+fn attr_defined(inventory: &Inventory, key: &str) -> bool {
+    key == "common_id" || key == "nf_type" || inventory.iter().any(|r| r.attrs.get(key).is_some())
+}
+
+/// Check rules against the inventory and KPI catalog, appending `CN05xx`
+/// diagnostics. `known_kpis` is the adapter's KPI name list when
+/// available (`None` skips the referential KPI check — adapters backed by
+/// live feeds cannot enumerate their KPIs).
+pub fn analyze_rules(
+    rules: &[VerificationRule],
+    inventory: &Inventory,
+    known_kpis: Option<&[String]>,
+    report: &mut Report,
+) {
+    for rule in rules {
+        let anchor = SourceRef::Rule {
+            rule: rule.name.clone(),
+        };
+        if rule.kpis.is_empty() {
+            report.push(
+                Diagnostic::error(
+                    Code("CN0501"),
+                    anchor.clone(),
+                    format!(
+                        "verification rule '{}' queries no KPIs and can never produce a verdict",
+                        rule.name
+                    ),
+                )
+                .with_hint("add at least one KPI query to the rule"),
+            );
+        }
+        if let Some(known) = known_kpis {
+            for q in &rule.kpis {
+                if !known.contains(&q.kpi) {
+                    report.push(
+                        Diagnostic::error(
+                            Code("CN0502"),
+                            anchor.clone(),
+                            format!(
+                                "rule '{}' queries KPI '{}', which the data adapter does not \
+                                 provide",
+                                rule.name, q.kpi
+                            ),
+                        )
+                        .with_hint("check the KPI name against the adapter's catalog"),
+                    );
+                }
+            }
+        }
+        if !inventory.is_empty() {
+            for attr in &rule.location_attributes {
+                if !attr_defined(inventory, attr) {
+                    report.push(
+                        Diagnostic::error(
+                            Code("CN0503"),
+                            anchor.clone(),
+                            format!(
+                                "rule '{}' aggregates by location attribute '{attr}', which no \
+                                 inventory record defines",
+                                rule.name
+                            ),
+                        )
+                        .with_hint("impacts would collapse into a single unlabeled aggregate"),
+                    );
+                }
+            }
+            let mut control_attrs: Vec<&str> = Vec::new();
+            if let Some(filter) = &rule.control_attr_filter {
+                control_attrs.push(filter);
+            }
+            if let ControlSelection::SameAttribute(attr) = &rule.control {
+                control_attrs.push(attr);
+            }
+            for attr in control_attrs {
+                if !attr_defined(inventory, attr) {
+                    report.push(
+                        Diagnostic::warning(
+                            Code("CN0504"),
+                            anchor.clone(),
+                            format!(
+                                "rule '{}' filters control candidates by attribute '{attr}', \
+                                 which no inventory record defines; the control group will be \
+                                 empty",
+                                rule.name
+                            ),
+                        )
+                        .with_hint("an empty control group degrades verification to monitoring"),
+                    );
+                }
+            }
+        }
+        if rule.timescales.is_empty() {
+            report.push(
+                Diagnostic::error(
+                    Code("CN0505"),
+                    anchor.clone(),
+                    format!("rule '{}' tests no timescales", rule.name),
+                )
+                .with_hint("use timescale 1 for native granularity, 24 for daily-over-hourly"),
+            );
+        }
+        for &t in &rule.timescales {
+            if t == 0 {
+                report.push(Diagnostic::error(
+                    Code("CN0505"),
+                    anchor.clone(),
+                    format!(
+                        "rule '{}' includes timescale 0, which resamples every series to nothing",
+                        rule.name
+                    ),
+                ));
+            }
+        }
+        if rule.alpha <= 0.0 || rule.alpha >= 1.0 || rule.alpha.is_nan() {
+            report.push(
+                Diagnostic::error(
+                    Code("CN0506"),
+                    anchor.clone(),
+                    format!(
+                        "rule '{}' sets significance level α = {}, outside (0, 1)",
+                        rule.name, rule.alpha
+                    ),
+                )
+                .with_hint("typical values are 0.01 or 0.05"),
+            );
+        }
+        if rule.min_relative_shift < 0.0 {
+            report.push(
+                Diagnostic::warning(
+                    Code("CN0507"),
+                    anchor.clone(),
+                    format!(
+                        "rule '{}' sets a negative practical-significance floor ({}); every \
+                         statistically significant shift will be reported regardless of size",
+                        rule.name, rule.min_relative_shift
+                    ),
+                )
+                .with_hint("use 0 to disable the floor explicitly"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::KpiQuery;
+    use cornet_types::{Attributes, NfType};
+
+    fn inventory() -> Inventory {
+        let mut inv = Inventory::new();
+        let mut attrs = Attributes::new();
+        attrs.set("market", "NYC");
+        inv.push("enb-0", NfType::ENodeB, attrs);
+        inv.push("enb-1", NfType::ENodeB, Attributes::new());
+        inv
+    }
+
+    fn catalog() -> Vec<String> {
+        vec!["voice_quality".into(), "data_throughput".into()]
+    }
+
+    #[test]
+    fn well_formed_rule_is_clean() {
+        let mut rule =
+            VerificationRule::standard("ok", vec![KpiQuery::monitor("voice_quality", true)]);
+        rule.location_attributes = vec!["market".into()];
+        let mut report = Report::new();
+        analyze_rules(&[rule], &inventory(), Some(&catalog()), &mut report);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn empty_kpi_list_is_an_error() {
+        let rule = VerificationRule::standard("hollow", vec![]);
+        let mut report = Report::new();
+        analyze_rules(&[rule], &inventory(), None, &mut report);
+        assert_eq!(report.error_count(), 1, "{}", report.render_text());
+        assert_eq!(report.diagnostics[0].code, Code("CN0501"));
+        assert_eq!(
+            report.diagnostics[0].source,
+            SourceRef::Rule {
+                rule: "hollow".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_kpi_is_flagged_only_when_catalog_is_known() {
+        let rule = VerificationRule::standard("r", vec![KpiQuery::monitor("mystery_kpi", true)]);
+        let mut report = Report::new();
+        analyze_rules(
+            std::slice::from_ref(&rule),
+            &inventory(),
+            Some(&catalog()),
+            &mut report,
+        );
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.diagnostics[0].code, Code("CN0502"));
+        assert!(report.diagnostics[0].message.contains("mystery_kpi"));
+        // Without a catalog the check is skipped, not assumed to fail.
+        let mut report = Report::new();
+        analyze_rules(&[rule], &inventory(), None, &mut report);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn unknown_location_attribute_is_an_error() {
+        let mut rule =
+            VerificationRule::standard("geo", vec![KpiQuery::monitor("voice_quality", true)]);
+        rule.location_attributes = vec!["galaxy".into()];
+        let mut report = Report::new();
+        analyze_rules(&[rule.clone()], &inventory(), None, &mut report);
+        assert_eq!(report.error_count(), 1, "{}", report.render_text());
+        assert_eq!(report.diagnostics[0].code, Code("CN0503"));
+        // Corrected twin: an attribute at least one record defines.
+        rule.location_attributes = vec!["market".into()];
+        let mut report = Report::new();
+        analyze_rules(&[rule], &inventory(), None, &mut report);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn unknown_control_attributes_warn() {
+        let mut rule =
+            VerificationRule::standard("ctl", vec![KpiQuery::monitor("voice_quality", true)]);
+        rule.control = ControlSelection::SameAttribute("hw_rev".into());
+        rule.control_attr_filter = Some("region".into());
+        let mut report = Report::new();
+        analyze_rules(&[rule], &inventory(), None, &mut report);
+        assert_eq!(report.error_count(), 0);
+        assert_eq!(report.warning_count(), 2, "{}", report.render_text());
+        assert!(report.iter().all(|d| d.code == Code("CN0504")));
+    }
+
+    #[test]
+    fn degenerate_timescales_alpha_and_shift_are_flagged() {
+        let mut rule =
+            VerificationRule::standard("bad", vec![KpiQuery::monitor("voice_quality", true)]);
+        rule.timescales = vec![0];
+        rule.alpha = 1.5;
+        rule.min_relative_shift = -0.5;
+        let mut report = Report::new();
+        analyze_rules(&[rule.clone()], &inventory(), None, &mut report);
+        assert_eq!(report.error_count(), 2, "{}", report.render_text());
+        assert_eq!(report.warning_count(), 1);
+        let codes: Vec<&str> = report.iter().map(|d| d.code.0).collect();
+        assert!(codes.contains(&"CN0505") && codes.contains(&"CN0506"));
+        assert!(codes.contains(&"CN0507"));
+        // Empty timescale list is its own CN0505.
+        rule.timescales = vec![];
+        rule.alpha = 0.05;
+        rule.min_relative_shift = 0.0;
+        let mut report = Report::new();
+        analyze_rules(&[rule], &inventory(), None, &mut report);
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.diagnostics[0].code, Code("CN0505"));
+        assert!(report.diagnostics[0].message.contains("no timescales"));
+    }
+
+    #[test]
+    fn virtual_attributes_always_resolve() {
+        let mut rule =
+            VerificationRule::standard("virt", vec![KpiQuery::monitor("voice_quality", true)]);
+        rule.location_attributes = vec!["nf_type".into(), "common_id".into()];
+        let mut report = Report::new();
+        analyze_rules(&[rule], &inventory(), None, &mut report);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+}

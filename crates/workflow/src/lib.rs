@@ -17,6 +17,7 @@
 //! * [`builtin`] — canonical workflows, including Fig. 4's software
 //!   upgrade and the two-workflow vCE pattern from §5.1.
 
+#![forbid(unsafe_code)]
 pub mod builtin;
 pub mod designer;
 pub mod graph;
@@ -25,5 +26,5 @@ pub mod war;
 
 pub use designer::Designer;
 pub use graph::{NodeId as WfNodeId, NodeKind, Workflow, WorkflowEdge, WorkflowNode};
-pub use validate::{validate, ValidationReport};
+pub use validate::{analyze, validate, ValidationReport};
 pub use war::{WarArtifact, WarManifest};

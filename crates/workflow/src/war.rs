@@ -52,9 +52,9 @@ fn fnv1a(data: &[u8]) -> u64 {
 }
 
 impl WarArtifact {
-    /// Validate and package a workflow. Fails if the workflow does not
-    /// pass [`crate::validate::validate`] — unverified workflows never
-    /// reach the orchestrator.
+    /// Validate and package a workflow. Fails if [`crate::validate::analyze`]
+    /// reports any error-severity diagnostic — unverified workflows never
+    /// reach the orchestrator (warnings do not block packaging).
     pub fn package(wf: &Workflow, catalog: &Catalog) -> Result<WarArtifact> {
         require_valid(wf, catalog)?;
         let payload = serde_json::to_vec(wf)
@@ -127,6 +127,68 @@ mod tests {
         let cat = builtin_catalog();
         let wf = Workflow::new("broken");
         assert!(WarArtifact::package(&wf, &cat).is_err());
+    }
+
+    #[test]
+    fn outstanding_error_diagnostics_block_packaging() {
+        // A structurally sound workflow that the deep dataflow pass
+        // rejects (CN0207: a branch-merge type conflict) must not package;
+        // warning-only findings (no backout coverage) must still package.
+        use crate::designer::Designer;
+        use cornet_catalog::{BlockSpec, Catalog, Phase};
+        use cornet_types::ParamType;
+
+        let build = |b_ty: ParamType| {
+            let mut cat = Catalog::new();
+            cat.register(
+                BlockSpec::new("probe", Phase::DesignOrchestration, "p", true)
+                    .input("node", ParamType::String)
+                    .output("ready", ParamType::Bool),
+            );
+            cat.register(
+                BlockSpec::new("branch_a", Phase::DesignOrchestration, "a", true)
+                    .input("node", ParamType::String)
+                    .output("result", ParamType::Int),
+            );
+            cat.register(
+                BlockSpec::new("branch_b", Phase::DesignOrchestration, "b", true)
+                    .mutating()
+                    .input("node", ParamType::String)
+                    .output("result", b_ty),
+            );
+            cat.register(
+                BlockSpec::new("consume", Phase::DesignOrchestration, "c", true)
+                    .input("result", ParamType::Int),
+            );
+            let mut d = Designer::new(&cat, "diamond");
+            d.input("node", ParamType::String);
+            let start = d.start();
+            let probe = d.task("probe").unwrap();
+            let dec = d.decision("ready");
+            let a = d.task("branch_a").unwrap();
+            let b = d.task("branch_b").unwrap();
+            let c = d.task("consume").unwrap();
+            let end = d.end();
+            d.connect(start, probe)
+                .connect(probe, dec)
+                .connect_if(dec, a, true)
+                .connect_if(dec, b, false)
+                .connect(a, c)
+                .connect(b, c)
+                .connect(c, end);
+            (d.build(), cat)
+        };
+
+        let (wf, cat) = build(ParamType::Map);
+        let err = WarArtifact::package(&wf, &cat).unwrap_err();
+        assert!(err.to_string().contains("conflicting types"), "{err}");
+
+        // Corrected twin: types agree; only warnings remain (branch_b is
+        // mutating with no backout flow) and packaging succeeds.
+        let (wf, cat) = build(ParamType::Int);
+        let report = crate::validate::analyze(&wf, &cat);
+        assert!(report.warning_count() > 0, "{}", report.render_text());
+        assert!(WarArtifact::package(&wf, &cat).is_ok());
     }
 
     #[test]

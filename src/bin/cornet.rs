@@ -3,6 +3,7 @@
 //! ```text
 //! cornet catalog                      list the building-block catalog
 //! cornet workflows                    list & validate the built-in workflows
+//! cornet check <bundle.json> [--format json] [--deny warnings] [--baseline F]
 //! cornet lint  --intent F [--network SPEC]   lint a JSON intent
 //! cornet plan  --intent F [--network SPEC] [--backend B] [--emit-mzn F] [--trace F]
 //! cornet run   [--nodes N] [--concurrency C] [--trace F]   resilient roll-out demo
@@ -25,9 +26,12 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cornet <catalog|workflows|lint|plan|run|verify|demo> [options]\n\
+        "usage: cornet <catalog|workflows|check|lint|plan|run|verify|demo> [options]\n\
          \n\
          options:\n\
+           --format <f>        (check) text | json          (default text)\n\
+           --deny <class>      (check) also fail on warnings: --deny warnings\n\
+           --baseline <file>   (check) suppress previously accepted findings\n\
            --intent <file>     JSON intent (Listing 1 format)\n\
            --network <spec>    ran:<nodes> | cloud:<vces>   (default ran:200)\n\
            --backend <b>       exact | greedy | heuristic | portfolio (default exact)\n\
@@ -153,6 +157,82 @@ fn cmd_workflows() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// `cornet check` — run every static-analysis pass over a MOP bundle and
+/// gate on the result: exit 0 when clean (modulo baseline), 1 when
+/// errors (or, under `--deny warnings`, warnings) remain, 2 on usage or
+/// load errors. The paper's pre-deployment verification step as a CI
+/// command.
+fn cmd_check(path: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode {
+    use cornet::analysis::Baseline;
+    use cornet::core::{check, load_bundle};
+
+    let Some(path) = path else {
+        eprintln!("usage: cornet check <bundle.json> [--format json] [--deny warnings] [--baseline <file>]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let bundle = match load_bundle(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {path} is not a valid bundle: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut report = check(&bundle);
+    if let Some(baseline_path) = flags.get("baseline") {
+        let body = match std::fs::read_to_string(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: reading {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match Baseline::from_jsonl(&body) {
+            Ok(baseline) => {
+                let dropped = baseline.suppress(&mut report);
+                if dropped > 0 {
+                    eprintln!("{dropped} finding(s) suppressed by {baseline_path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let deny_warnings = flags.get("deny").is_some_and(|d| d == "warnings");
+    match flags.get("format").map(String::as_str).unwrap_or("text") {
+        "json" => print!("{}", report.render_jsonl()),
+        "text" => {
+            if report.diagnostics.is_empty() {
+                println!(
+                    "bundle is clean: {} workflow(s), {} rule(s), {} campaign(s) checked",
+                    bundle.workflows.len(),
+                    bundle.rules.len(),
+                    bundle.campaigns.len(),
+                );
+            } else {
+                print!("{}", report.render_text());
+            }
+        }
+        other => {
+            eprintln!("error: unknown --format {other:?} (want text or json)");
+            return ExitCode::from(2);
+        }
+    }
+    if report.passes_gate(deny_warnings) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_lint(flags: &BTreeMap<String, String>) -> ExitCode {
@@ -658,6 +738,12 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "catalog" => cmd_catalog(),
         "workflows" => cmd_workflows(),
+        "check" => cmd_check(
+            args.get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str),
+            &flags,
+        ),
         "lint" => cmd_lint(&flags),
         "plan" => cmd_plan(&flags),
         "run" => cmd_run(&flags),

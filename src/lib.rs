@@ -21,10 +21,13 @@
 //! | [`orchestrator`] | execution engine, dispatcher, event-driven alternative |
 //! | [`planner`] | intent → model translation, decomposition, Appendix C heuristic |
 //! | [`verifier`] | impact verification (rules, control groups, analysis) |
-//! | [`core`] | the `Cornet` facade + reuse accounting |
+//! | [`analysis`] | shared static-analysis framework (diagnostics, passes, baselines) |
+//! | [`core`] | the `Cornet` facade + reuse accounting + the `check` gate |
 //!
 //! Start with `examples/quickstart.rs`.
 
+#![forbid(unsafe_code)]
+pub use cornet_analysis as analysis;
 pub use cornet_catalog as catalog;
 pub use cornet_core as core;
 pub use cornet_model as model;

@@ -1,0 +1,121 @@
+//! End-to-end tests of the `cornet check` gate: exit codes, output
+//! formats, baseline suppression, and warning denial, driven through the
+//! real binary against the shipped example bundles.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn cornet() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cornet"))
+}
+
+fn example(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/check")
+        .join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    let mut cmd = cornet();
+    cmd.arg("check").args(args);
+    cmd.output().expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn clean_bundle_exits_zero() {
+    let out = run(&[example("clean.json").to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("bundle is clean"));
+}
+
+#[test]
+fn defective_bundle_exits_one_with_findings_from_every_pass() {
+    let out = run(&[example("defective.json").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    // One finding per analysis family: dataflow, resilience, planning,
+    // verification — the whole pipeline ran.
+    for code in ["CN0201", "CN0301", "CN0416", "CN0502"] {
+        assert!(text.contains(code), "missing {code} in:\n{text}");
+    }
+    assert!(text.contains("error("), "totals line present:\n{text}");
+}
+
+#[test]
+fn json_format_emits_parseable_jsonl() {
+    let out = run(&[
+        example("defective.json").to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "format does not change the gate"
+    );
+    let text = stdout(&out);
+    let mut lines = 0;
+    for line in text.lines() {
+        let v = cornet::types::json::parse(line).expect("each line is a JSON object");
+        for field in ["code", "severity", "where", "message", "pass"] {
+            assert!(v.get(field).is_some(), "missing '{field}' in {line}");
+        }
+        lines += 1;
+    }
+    assert!(lines >= 8, "expected the full report, got {lines} lines");
+}
+
+#[test]
+fn baseline_suppresses_accepted_findings() {
+    let json = run(&[
+        example("defective.json").to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    let baseline_path = std::env::temp_dir().join("cornet-check-gate-baseline.jsonl");
+    std::fs::write(&baseline_path, &json.stdout).unwrap();
+    let out = run(&[
+        example("defective.json").to_str().unwrap(),
+        "--baseline",
+        baseline_path.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&baseline_path).ok();
+    assert!(
+        out.status.success(),
+        "fully baselined bundle passes: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn deny_warnings_tightens_the_gate() {
+    // The builtin fig4 workflow carries mutating blocks with no backout:
+    // warnings only, so it passes by default but fails under --deny.
+    let bundle_path = std::env::temp_dir().join("cornet-check-gate-warned.json");
+    std::fs::write(&bundle_path, r#"{"workflows": ["fig4"]}"#).unwrap();
+    let relaxed = run(&[bundle_path.to_str().unwrap()]);
+    let strict = run(&[bundle_path.to_str().unwrap(), "--deny", "warnings"]);
+    std::fs::remove_file(&bundle_path).ok();
+    assert!(relaxed.status.success(), "{}", stdout(&relaxed));
+    assert!(stdout(&relaxed).contains("CN0209"), "{}", stdout(&relaxed));
+    assert_eq!(strict.status.code(), Some(1));
+}
+
+#[test]
+fn load_errors_exit_two() {
+    let out = run(&["/no/such/bundle.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let bad_path = std::env::temp_dir().join("cornet-check-gate-bad.json");
+    std::fs::write(&bad_path, r#"{"workflows": ["no_such_flow"]}"#).unwrap();
+    let out = run(&[bad_path.to_str().unwrap()]);
+    std::fs::remove_file(&bad_path).ok();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "load errors are not diagnostics"
+    );
+}
