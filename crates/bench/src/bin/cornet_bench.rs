@@ -110,7 +110,10 @@ fn main() {
         .unwrap_or(1);
     eprintln!("cornet_bench: mode={mode} cpus={cpus} out_dir={out_dir}");
 
-    let orchestrator = vec![bench_dispatch(smoke, min_reps)];
+    let orchestrator = vec![
+        bench_dispatch(smoke, min_reps),
+        bench_journaled_dispatch(smoke, min_reps),
+    ];
     write_report(&out_dir, "orchestrator", mode, cpus, &orchestrator);
 
     let mut verifier = vec![bench_verification_sweep(smoke, min_reps)];
@@ -298,6 +301,71 @@ fn bench_dispatch(smoke: bool, min_reps: usize) -> Scenario {
         baseline_ms,
         optimized_ms,
         trace_summary: Some(TraceSummary::from_trace(&trace).render_json()),
+    }
+}
+
+/// Journal-overhead bar: the same dispatch with a durable write-ahead
+/// journal attached (length-prefixed checksummed records, fsync every 32
+/// appends) must stay within 10% of the unjournaled run — durability is
+/// not allowed to tax the roll-out.
+fn bench_journaled_dispatch(smoke: bool, min_reps: usize) -> Scenario {
+    use cornet_journal::{FsyncPolicy, Journal};
+    use std::collections::BTreeMap;
+
+    let (instances, block_ms) = if smoke { (40u32, 2u64) } else { (200u32, 2u64) };
+    // Best-of-3 even in smoke mode: the journal's fsync batches are a
+    // fixed cost whose latency jitters on overlay filesystems, and one
+    // slow batch must not fake an overhead regression.
+    let reps = 3.max(min_reps);
+    let concurrency = 8usize;
+    let fsync_every = 64u32;
+    let cat = builtin_catalog();
+    let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+    // Uniform block latency: journaling overhead, not straggler overlap,
+    // is what this scenario measures.
+    let reg = sleeping_registry(
+        Duration::from_millis(block_ms),
+        Duration::from_millis(block_ms),
+        u32::MAX,
+    );
+    let mut schedule = Schedule::default();
+    for i in 0..instances {
+        schedule.assignments.insert(NodeId(i), Timeslot(1));
+    }
+
+    let plain = Dispatcher::new(war.clone(), reg.clone(), concurrency).unwrap();
+    let unjournaled_ms = time_ms(reps, || {
+        let report = plain.run(&schedule, dispatch_inputs).unwrap();
+        assert_eq!(report.completed(), instances as usize);
+    });
+    let path =
+        std::env::temp_dir().join(format!("cornet-bench-journal-{}.jsonl", std::process::id()));
+    let journaled_ms = time_ms(reps, || {
+        let journal = Journal::create(&path, FsyncPolicy::EveryN(fsync_every)).unwrap();
+        let report = Dispatcher::new(war.clone(), reg.clone(), concurrency)
+            .unwrap()
+            .with_journal(journal, BTreeMap::new())
+            .run(&schedule, dispatch_inputs)
+            .unwrap();
+        assert_eq!(report.completed(), instances as usize);
+    });
+    std::fs::remove_file(&path).ok();
+    assert!(
+        journaled_ms <= unjournaled_ms * 1.10 + 4.0,
+        "journal overhead bar: journaled {journaled_ms:.2} ms vs plain {unjournaled_ms:.2} ms (>10%)"
+    );
+
+    Scenario {
+        name: "journaled_dispatch",
+        params: vec![
+            ("instances", instances.to_string()),
+            ("concurrency", concurrency.to_string()),
+            ("block_ms", block_ms.to_string()),
+            ("fsync_every", fsync_every.to_string()),
+        ],
+        baseline_ms: unjournaled_ms,
+        optimized_ms: journaled_ms,
+        trace_summary: None,
     }
 }
 

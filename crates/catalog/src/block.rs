@@ -104,6 +104,13 @@ pub struct BlockSpec {
     /// revert path. Consumed by the `CN02xx` backout-coverage analysis.
     #[serde(default)]
     pub mutates: bool,
+    /// Whether re-executing the block after a partial run converges to the
+    /// same end state (e.g. an upgrade that checks the installed version
+    /// first). Idempotent mutating blocks are safe to re-run after a crash
+    /// without a backout flow; non-idempotent ones need one. Consumed by
+    /// the `CN0306` replay-safety analysis.
+    #[serde(default)]
+    pub idempotent: bool,
     /// Input parameters.
     pub inputs: Vec<ParamSpec>,
     /// Output parameters.
@@ -128,6 +135,7 @@ impl BlockSpec {
             function: function.into(),
             nf_agnostic,
             mutates: false,
+            idempotent: false,
             inputs: Vec::new(),
             outputs: Vec::new(),
             endpoint,
@@ -137,6 +145,13 @@ impl BlockSpec {
     /// Builder-style marker: this block mutates network state.
     pub fn mutating(mut self) -> Self {
         self.mutates = true;
+        self
+    }
+
+    /// Builder-style marker: re-executing this block after a partial run
+    /// converges to the same end state.
+    pub fn idempotent(mut self) -> Self {
+        self.idempotent = true;
         self
     }
 

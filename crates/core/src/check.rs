@@ -97,6 +97,11 @@ pub fn standard_driver() -> Driver<MopBundle> {
             cornet_orchestrator::analyze_resilience(spec, report);
         }
     });
+    driver.register_fn("replay-safety", |b: &MopBundle, report: &mut Report| {
+        for wf in &b.workflows {
+            cornet_orchestrator::analyze_replay_safety(wf, &b.catalog, report);
+        }
+    });
     driver.register_fn(
         "verification-rules",
         |b: &MopBundle, report: &mut Report| {
@@ -478,6 +483,7 @@ mod tests {
                 "intent-lint",
                 "campaign-conflicts",
                 "resilience",
+                "replay-safety",
                 "verification-rules"
             ]
         );

@@ -12,7 +12,9 @@
 use crate::executor::ExecutorRegistry;
 use crate::resilience::{CircuitBreaker, RetryPolicy};
 use cornet_analysis::{Code, Diagnostic, Report, SourceRef};
-use std::collections::BTreeMap;
+use cornet_catalog::Catalog;
+use cornet_workflow::Workflow;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 /// The analyzable projection of a deployment's resilience configuration:
@@ -169,6 +171,50 @@ pub fn analyze_resilience(spec: &ResilienceSpec, report: &mut Report) {
     }
 }
 
+/// Check that every mutating block a crash could strand mid-flight has a
+/// recovery story, appending `CN0306` diagnostics.
+///
+/// A kill between a block's side effect and its journal append leaves the
+/// network mutated with no record; on resume the block re-executes. That
+/// is safe when the block is idempotent (re-running converges) or when the
+/// workflow designates a backout flow (a permanent failure of the re-run
+/// rolls the instance back). A mutating block with neither marker makes
+/// crash recovery a gamble — flag it before the campaign runs.
+pub fn analyze_replay_safety(workflow: &Workflow, catalog: &Catalog, report: &mut Report) {
+    if workflow.backout.is_some() {
+        return;
+    }
+    let mut seen = BTreeSet::new();
+    for block in workflow.blocks() {
+        if !seen.insert(block) {
+            continue;
+        }
+        let Some(spec) = catalog.get(block) else {
+            continue; // unknown blocks are the workflow pass's problem
+        };
+        if spec.mutates && !spec.idempotent {
+            report.push(
+                Diagnostic::warning(
+                    Code("CN0306"),
+                    SourceRef::Block {
+                        block: block.to_owned(),
+                    },
+                    format!(
+                        "mutating block '{block}' in workflow '{}' has no backout flow and \
+                         no idempotency marker; re-executing it after a crash may double-apply \
+                         its side effect",
+                        workflow.name
+                    ),
+                )
+                .with_hint(
+                    "designate a backout subgraph on the workflow, or mark the block \
+                     idempotent in the catalog if re-running it is safe",
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +326,126 @@ mod tests {
         analyze_resilience(&spec, &mut report);
         assert_eq!(report.warning_count(), 1);
         assert_eq!(report.diagnostics[0].code, Code("CN0304"));
+    }
+
+    fn upgrade_workflow() -> Workflow {
+        use cornet_workflow::{NodeKind, Workflow};
+        let mut wf = Workflow::new("upgrade");
+        let s = wf.add_node("start", NodeKind::Start);
+        let hc = wf.add_node(
+            "hc",
+            NodeKind::Task {
+                block: "health_check".into(),
+            },
+        );
+        let up = wf.add_node(
+            "up",
+            NodeKind::Task {
+                block: "software_upgrade".into(),
+            },
+        );
+        let e = wf.add_node("end", NodeKind::End);
+        wf.add_edge(s, hc, None);
+        wf.add_edge(hc, up, None);
+        wf.add_edge(up, e, None);
+        wf
+    }
+
+    fn upgrade_catalog(idempotent: bool) -> Catalog {
+        use cornet_catalog::{BlockSpec, Phase};
+        let mut cat = Catalog::new();
+        cat.register(BlockSpec::new(
+            "health_check",
+            Phase::DesignOrchestration,
+            "verify",
+            true,
+        ));
+        let mut upgrade = BlockSpec::new(
+            "software_upgrade",
+            Phase::DesignOrchestration,
+            "upgrade",
+            false,
+        )
+        .mutating();
+        if idempotent {
+            upgrade = upgrade.idempotent();
+        }
+        cat.register(upgrade);
+        cat
+    }
+
+    #[test]
+    fn bare_mutating_block_without_backout_warns() {
+        let mut report = Report::new();
+        analyze_replay_safety(&upgrade_workflow(), &upgrade_catalog(false), &mut report);
+        assert_eq!(report.warning_count(), 1, "{}", report.render_text());
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, Code("CN0306"));
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(
+            d.source,
+            SourceRef::Block {
+                block: "software_upgrade".into()
+            }
+        );
+        assert!(d.message.contains("double-apply"), "{}", d.message);
+    }
+
+    #[test]
+    fn idempotency_marker_clears_cn0306() {
+        // Corrected twin 1: an idempotent upgrade is safe to re-run.
+        let mut report = Report::new();
+        analyze_replay_safety(&upgrade_workflow(), &upgrade_catalog(true), &mut report);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn designated_backout_flow_clears_cn0306() {
+        // Corrected twin 2: a backout flow gives re-runs a revert path.
+        use cornet_workflow::{NodeKind, Workflow};
+        let mut wf = upgrade_workflow();
+        let mut back = Workflow::new("upgrade_backout");
+        let s = back.add_node("start", NodeKind::Start);
+        let rb = back.add_node(
+            "rb",
+            NodeKind::Task {
+                block: "roll_back".into(),
+            },
+        );
+        let e = back.add_node("end", NodeKind::End);
+        back.add_edge(s, rb, None);
+        back.add_edge(rb, e, None);
+        wf.set_backout(back);
+        let mut report = Report::new();
+        analyze_replay_safety(&wf, &upgrade_catalog(false), &mut report);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn unknown_and_read_only_blocks_are_ignored() {
+        use cornet_workflow::NodeKind;
+        let mut wf = upgrade_workflow();
+        // A block the catalog has never heard of (the workflow pass's
+        // problem, not ours) and a duplicate of the mutating block (only
+        // one diagnostic per distinct block).
+        let ghost = wf.add_node(
+            "ghost",
+            NodeKind::Task {
+                block: "not_in_catalog".into(),
+            },
+        );
+        let again = wf.add_node(
+            "up2",
+            NodeKind::Task {
+                block: "software_upgrade".into(),
+            },
+        );
+        let end = cornet_workflow::WfNodeId(3);
+        wf.add_edge(ghost, again, None);
+        wf.add_edge(again, end, None);
+        let mut report = Report::new();
+        analyze_replay_safety(&wf, &upgrade_catalog(false), &mut report);
+        assert_eq!(report.warning_count(), 1, "{}", report.render_text());
     }
 
     #[test]

@@ -36,19 +36,22 @@
 //! Slot boundaries remain barriers: a timeslot is a scheduling promise to
 //! operations teams, so slot N+1 never starts before slot N finished.
 
-use crate::engine::{BlockExecution, Engine, InstanceStatus};
+use crate::engine::{BlockExecution, Engine, InstanceStatus, ReplayRow};
 use crate::executor::{ExecutorRegistry, GlobalState};
 use crate::falloutanalysis::FalloutAnalysis;
+use crate::recovery::{block_record, recover_campaign, status_parts};
 use crate::resilience::{BreakerTrip, CircuitBreaker};
+use cornet_journal::{FsyncPolicy, Journal, JournalEvent};
 use cornet_obs::{SpanId, Tracer};
 use cornet_types::{CornetError, NodeId, Result, Schedule, Timeslot};
 use cornet_workflow::{WarArtifact, Workflow};
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Result of one workflow instance run by the dispatcher.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct InstanceReport {
     /// Node the change ran on.
     pub node: NodeId,
@@ -62,7 +65,7 @@ pub struct InstanceReport {
 }
 
 /// Aggregated dispatch outcome.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DispatchReport {
     /// Per-instance results in dispatch order. Deterministic: when a gate
     /// or breaker halts the roll-out, this is truncated to an exact
@@ -119,11 +122,35 @@ pub struct Dispatcher {
     /// [`Dispatcher::with_tracer`] to record dispatch → slot → instance →
     /// block span trees and per-status counters.
     tracer: Tracer,
+    /// Durable campaign journal: when attached, every lifecycle event is
+    /// written ahead so a crashed campaign can resume without repeating
+    /// completed work.
+    journal: Option<Journal>,
+    /// Free-form metadata recorded in the journal's opening record.
+    meta: BTreeMap<String, String>,
+}
+
+/// One unit of work inside a slot when resuming: either a report the
+/// journal proves finished (re-admitted without execution), or an instance
+/// to run — with the journaled prefix of its block log to replay first.
+enum SlotItem {
+    /// Fully recorded: flows through the reorder buffer and the gate like
+    /// a live completion, but never touches a worker.
+    Done(InstanceReport),
+    /// Needs execution; `replay` restores any journaled prefix.
+    Run {
+        /// Target node.
+        node: NodeId,
+        /// Journaled rows to replay before fresh execution (empty on a
+        /// normal, non-resumed run).
+        replay: Vec<ReplayRow>,
+    },
 }
 
 /// Run one workflow instance, folding engine-level errors (corrupt WAR,
 /// missing decision variable, dangling edge) into a failed report so
 /// fall-out analysis sees them instead of losing them.
+#[allow(clippy::too_many_arguments)]
 fn run_instance(
     workflow: &Workflow,
     registry: ExecutorRegistry,
@@ -132,7 +159,18 @@ fn run_instance(
     inputs: GlobalState,
     tracer: &Tracer,
     parent: Option<SpanId>,
+    journal: Option<&Journal>,
+    replay: Vec<ReplayRow>,
 ) -> InstanceReport {
+    if let Some(j) = journal {
+        // Write-ahead: the admission record lands before any block runs.
+        // Re-admission on resume appends a duplicate, which recovery
+        // treats idempotently.
+        let _ = j.append(&JournalEvent::InstanceAdmitted {
+            node: node.0,
+            slot: slot.0,
+        });
+    }
     let mut span = tracer.span_with_parent("instance", parent);
     span.attr("node", node.0 as u64);
     span.attr("slot", slot.0);
@@ -140,7 +178,22 @@ fn run_instance(
     let run = || -> Result<(InstanceStatus, Vec<BlockExecution>)> {
         let mut engine = Engine::new(workflow.clone(), registry, inputs);
         engine.set_trace(tracer.clone(), span_id);
+        engine.set_replay(replay);
+        if let Some(j) = journal {
+            let j = j.clone();
+            engine.set_block_sink(Arc::new(move |exec, state, backout| {
+                let _ = j.append(&JournalEvent::BlockCompleted(block_record(
+                    node, slot, exec, state, backout,
+                )));
+            }));
+        }
         let status = engine.run()?.clone();
+        if engine.replay_remaining() > 0 {
+            return Err(CornetError::DataIntegrity(format!(
+                "journal holds {} rows the workflow never reached",
+                engine.replay_remaining()
+            )));
+        }
         Ok((status, engine.log().to_vec()))
     };
     let report = match run() {
@@ -172,6 +225,15 @@ fn run_instance(
         span.finish();
         tracer.incr(&format!("instances.{}", report.status.label()), 1);
     }
+    if let Some(j) = journal {
+        let (status, detail) = status_parts(&report.status);
+        let _ = j.append(&JournalEvent::InstanceFinished {
+            node: node.0,
+            slot: slot.0,
+            status,
+            detail,
+        });
+    }
     report
 }
 
@@ -200,6 +262,8 @@ impl Dispatcher {
             registry,
             concurrency,
             tracer: Tracer::noop(),
+            journal: None,
+            meta: BTreeMap::new(),
         })
     }
 
@@ -208,6 +272,51 @@ impl Dispatcher {
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
         self
+    }
+
+    /// Attach a durable journal: every subsequent run write-ahead-logs its
+    /// lifecycle (campaign opened, admissions, block completions with
+    /// state snapshots, instance finishes, breaker trips, campaign
+    /// closed), making the campaign resumable after a crash via
+    /// [`Dispatcher::resume_from_journal`]. `meta` is free-form campaign
+    /// identity recorded in the opening record.
+    pub fn with_journal(mut self, journal: Journal, meta: BTreeMap<String, String>) -> Self {
+        self.journal = Some(journal);
+        self.meta = meta;
+        self
+    }
+
+    /// Append the campaign-opened record for a fresh journaled run.
+    fn journal_open(&self, schedule: &Schedule) {
+        if let Some(j) = &self.journal {
+            let assignments = schedule
+                .assignments
+                .iter()
+                .map(|(&n, &s)| (n.0, s.0))
+                .collect();
+            let _ = j.append(&JournalEvent::CampaignOpened {
+                meta: self.meta.clone(),
+                assignments,
+                concurrency: self.concurrency as u32,
+            });
+        }
+    }
+
+    /// Append the trip (if any) and close records, then force the log to
+    /// stable storage — a journal ending in `campaign_closed` needs no
+    /// resume.
+    fn journal_close(journal: Option<&Journal>, trip: Option<&BreakerTrip>) {
+        if let Some(j) = journal {
+            if let Some(t) = trip {
+                let _ = j.append(&JournalEvent::BreakerTripped {
+                    block: t.block.clone(),
+                    failure_rate: t.failure_rate,
+                    samples: t.samples as u64,
+                });
+            }
+            let _ = j.append(&JournalEvent::CampaignClosed);
+            let _ = j.sync();
+        }
     }
 
     /// The dispatcher's tracer (noop unless one was attached).
@@ -240,25 +349,42 @@ impl Dispatcher {
         // Unpack the WAR once; instances clone the in-memory graph instead
         // of re-deserializing JSON per instance.
         let workflow = self.war.unpack()?;
+        self.journal_open(schedule);
         let mut span = self.tracer.span("dispatch");
         span.attr("instances", schedule.assignments.len());
         span.attr("concurrency", self.concurrency);
         let dispatch_id = span.is_recording().then(|| span.id());
         let mut report = DispatchReport::default();
         for (slot, nodes) in group_by_slot(schedule) {
+            let items = nodes
+                .into_iter()
+                .map(|node| SlotItem::Run {
+                    node,
+                    replay: Vec::new(),
+                })
+                .collect();
             // The per-instance gate always admits: run_gated only halts at
             // slot boundaries, so every admitted instance lands in the
             // deterministic prefix and nothing drains.
-            let (mut instances, _drained, _halted) =
-                self.run_slot(&workflow, slot, &nodes, &inputs_for, dispatch_id, |_| true);
+            let (mut instances, _drained, _halted) = self.run_slot(
+                &workflow,
+                slot,
+                items,
+                &inputs_for,
+                dispatch_id,
+                self.journal.as_ref(),
+                |_| true,
+            );
             report.instances.append(&mut instances);
             if !gate(slot, &report) {
                 span.attr("halted_at_slot", slot.0);
                 span.attr("completed", report.instances.len());
+                Self::journal_close(self.journal.as_ref(), None);
                 return Ok((report, Some(slot)));
             }
         }
         span.attr("completed", report.instances.len());
+        Self::journal_close(self.journal.as_ref(), None);
         Ok((report, None))
     }
 
@@ -282,6 +408,7 @@ impl Dispatcher {
         breaker: &CircuitBreaker,
     ) -> Result<(DispatchReport, Option<BreakerTrip>)> {
         let workflow = self.war.unpack()?;
+        self.journal_open(schedule);
         let mut span = self.tracer.span("dispatch");
         span.attr("instances", schedule.assignments.len());
         span.attr("concurrency", self.concurrency);
@@ -291,12 +418,20 @@ impl Dispatcher {
         let mut analysis = FalloutAnalysis::default();
         let mut trip: Option<BreakerTrip> = None;
         for (slot, nodes) in group_by_slot(schedule) {
+            let items = nodes
+                .into_iter()
+                .map(|node| SlotItem::Run {
+                    node,
+                    replay: Vec::new(),
+                })
+                .collect();
             let (mut instances, mut drained, halted) = self.run_slot(
                 &workflow,
                 slot,
-                &nodes,
+                items,
                 &inputs_for,
                 dispatch_id,
+                self.journal.as_ref(),
                 |instance| {
                     analysis.add_instance(instance);
                     match breaker.check(&analysis) {
@@ -323,6 +458,101 @@ impl Dispatcher {
         }
         span.attr("completed", report.instances.len());
         span.attr("drained", report.drained.len());
+        Self::journal_close(self.journal.as_ref(), trip.as_ref());
+        Ok((report, trip))
+    }
+
+    /// Resume a journaled campaign after a crash.
+    ///
+    /// Recovers the journal at `path` (truncating any torn tail), rebuilds
+    /// the campaign from the surviving records, and re-runs the schedule
+    /// through the same continuous-admission pool — except that instances
+    /// the log proves finished are re-admitted as recorded reports (their
+    /// blocks never re-execute), and interrupted instances replay their
+    /// journaled block prefix before fresh execution takes over. Gate and
+    /// breaker decisions are re-taken over the same dispatch-order stream
+    /// of completions, so a resumed campaign produces the same
+    /// deterministic report prefix as an uninterrupted run — including
+    /// re-tripping (and re-arming) the breaker at the same instance when
+    /// `breaker` is supplied.
+    ///
+    /// The dispatcher's own WAR and registry are used for the re-run; the
+    /// caller is responsible for supplying the same workflow and executors
+    /// as the crashed campaign. Appends from the resumed run extend the
+    /// recovered journal, so a second crash resumes again.
+    pub fn resume_from_journal(
+        &self,
+        path: impl AsRef<Path>,
+        policy: FsyncPolicy,
+        inputs_for: impl Fn(NodeId) -> GlobalState + Sync,
+        breaker: Option<&CircuitBreaker>,
+    ) -> Result<(DispatchReport, Option<BreakerTrip>)> {
+        let (journal, events, recovery) = Journal::recover(&path, policy)?;
+        let journal = journal.with_tracer(self.tracer.clone());
+        let campaign = recover_campaign(&events, recovery)?;
+        let _ = journal.append(&JournalEvent::CampaignResumed {
+            meta: campaign.meta.clone(),
+        });
+        let workflow = self.war.unpack()?;
+        let mut span = self.tracer.span("dispatch");
+        span.attr("instances", campaign.schedule.assignments.len());
+        span.attr("concurrency", self.concurrency);
+        span.attr("resumed", true);
+        span.attr("journal_events", campaign.recovery.events);
+        span.attr("journal_torn", campaign.recovery.torn);
+        let dispatch_id = span.is_recording().then(|| span.id());
+        let mut report = DispatchReport::default();
+        let mut analysis = FalloutAnalysis::default();
+        let mut trip: Option<BreakerTrip> = None;
+        for (slot, nodes) in group_by_slot(&campaign.schedule) {
+            let items = nodes
+                .into_iter()
+                .map(|node| {
+                    let key = (slot.0, node.0);
+                    match campaign.completed.get(&key) {
+                        Some(recorded) => SlotItem::Done(recorded.clone()),
+                        None => SlotItem::Run {
+                            node,
+                            replay: campaign.partial.get(&key).cloned().unwrap_or_default(),
+                        },
+                    }
+                })
+                .collect();
+            let (mut instances, mut drained, halted) = self.run_slot(
+                &workflow,
+                slot,
+                items,
+                &inputs_for,
+                dispatch_id,
+                Some(&journal),
+                |instance| match breaker {
+                    Some(b) => {
+                        analysis.add_instance(instance);
+                        match b.check(&analysis) {
+                            Some(t) => {
+                                trip = Some(t);
+                                false
+                            }
+                            None => true,
+                        }
+                    }
+                    None => true,
+                },
+            );
+            report.instances.append(&mut instances);
+            report.drained.append(&mut drained);
+            if halted {
+                break;
+            }
+        }
+        if let Some(t) = &trip {
+            span.attr("breaker_tripped", true);
+            span.attr("trip_block", t.block.as_str());
+            self.tracer.incr("breaker.trips", 1);
+        }
+        span.attr("completed", report.instances.len());
+        span.attr("drained", report.drained.len());
+        Self::journal_close(Some(&journal), trip.as_ref());
         Ok((report, trip))
     }
 
@@ -346,17 +576,25 @@ impl Dispatcher {
     /// drained list, and the ordered prefix is frozen at the halting
     /// instance.
     ///
+    /// On resume, `items` may contain recorded [`SlotItem::Done`] reports:
+    /// they pre-fill the reorder buffer, so the gate consumes them in
+    /// dispatch order exactly as live completions — a recorded halt
+    /// therefore vetoes every fresh admission it would have vetoed live,
+    /// before any worker starts.
+    ///
     /// Returns `(ordered_prefix, drained, halted)`.
+    #[allow(clippy::too_many_arguments)]
     fn run_slot(
         &self,
         workflow: &Workflow,
         slot: Timeslot,
-        nodes: &[NodeId],
+        items: Vec<SlotItem>,
         inputs_for: &(impl Fn(NodeId) -> GlobalState + Sync),
         dispatch_parent: Option<SpanId>,
+        journal: Option<&Journal>,
         mut on_complete: impl FnMut(&InstanceReport) -> bool,
     ) -> (Vec<InstanceReport>, Vec<InstanceReport>, bool) {
-        let n = nodes.len();
+        let n = items.len();
         let mut ordered: Vec<InstanceReport> = Vec::with_capacity(n);
         let mut drained: Vec<(usize, InstanceReport)> = Vec::new();
         let mut halted = false;
@@ -367,14 +605,58 @@ impl Dispatcher {
         slot_span.attr("slot", slot.0);
         slot_span.attr("nodes", n);
         let slot_id = slot_span.is_recording().then(|| slot_span.id());
-        let workers = self.concurrency.min(n);
+        // Phase 0: pre-fill the reorder buffer with recorded completions
+        // and advance the contiguous prefix through them, consulting the
+        // gate BEFORE any fresh admission it could veto.
+        let mut pending: Vec<Option<InstanceReport>> = items
+            .iter()
+            .map(|item| match item {
+                SlotItem::Done(recorded) => Some(recorded.clone()),
+                SlotItem::Run { .. } => None,
+            })
+            .collect();
+        while let Some(next) = pending.get_mut(ordered.len()).and_then(|o| o.take()) {
+            let admit_more = on_complete(&next);
+            ordered.push(next);
+            if !admit_more {
+                halted = true;
+                break;
+            }
+        }
+        // Dispatch indices that actually need a worker.
+        let run_indices: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(_, item)| matches!(item, SlotItem::Run { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if halted || run_indices.is_empty() {
+            // A recorded halt (or an all-recorded slot): nothing fresh
+            // runs; recorded completions past the halt drain exactly as
+            // live in-flight work would have.
+            for (j, buffered) in pending.iter_mut().enumerate() {
+                if let Some(r) = buffered.take() {
+                    drained.push((j, r));
+                }
+            }
+            drained.sort_by_key(|&(i, _)| i);
+            let drained: Vec<InstanceReport> = drained.into_iter().map(|(_, r)| r).collect();
+            if slot_span.is_recording() {
+                slot_span.attr("completed", ordered.len());
+                slot_span.attr("drained", drained.len());
+                slot_span.attr("halted", halted);
+                self.tracer.incr("instances.drained", drained.len() as u64);
+            }
+            return (ordered, drained, halted);
+        }
+        let workers = self.concurrency.min(run_indices.len());
         let (job_tx, job_rx) = mpsc::channel::<usize>();
         let job_rx = Mutex::new(job_rx);
         let (result_tx, result_rx) = mpsc::channel::<(usize, InstanceReport)>();
         // Prime the pool: one job per worker; the rest are admitted one
         // per completion.
         let mut next_admission = workers;
-        for i in 0..workers {
+        for &i in &run_indices[..workers] {
             job_tx.send(i).expect("receiver alive");
         }
         let mut job_tx = Some(job_tx);
@@ -384,6 +666,7 @@ impl Dispatcher {
                 let job_rx = &job_rx;
                 let registry = &self.registry;
                 let tracer = &self.tracer;
+                let items = &items;
                 scope.spawn(move |_| loop {
                     // Hold the lock only for the dequeue, not the run:
                     // workers block here only when no job is admitted yet.
@@ -392,14 +675,19 @@ impl Dispatcher {
                         rx.recv()
                     };
                     let Ok(i) = job else { break };
+                    let SlotItem::Run { node, replay } = &items[i] else {
+                        unreachable!("only Run indices are admitted");
+                    };
                     let report = run_instance(
                         workflow,
                         registry.clone(),
-                        nodes[i],
+                        *node,
                         slot,
-                        inputs_for(nodes[i]),
+                        inputs_for(*node),
                         tracer,
                         slot_id,
+                        journal,
+                        replay.clone(),
                     );
                     if result_tx.send((i, report)).is_err() {
                         break;
@@ -409,7 +697,6 @@ impl Dispatcher {
             // Workers hold the only remaining result senders: the
             // collector loop ends exactly when the last worker exits.
             drop(result_tx);
-            let mut pending: Vec<Option<InstanceReport>> = (0..n).map(|_| None).collect();
             for (i, rep) in result_rx.iter() {
                 if halted {
                     drained.push((i, rep));
@@ -436,9 +723,9 @@ impl Dispatcher {
                             drained.push((j, r));
                         }
                     }
-                } else if next_admission < n {
+                } else if next_admission < run_indices.len() {
                     if let Some(tx) = &job_tx {
-                        if tx.send(next_admission).is_ok() {
+                        if tx.send(run_indices[next_admission]).is_ok() {
                             next_admission += 1;
                         }
                     }

@@ -11,9 +11,31 @@ use crate::executor::{ExecutorRegistry, GlobalState};
 use cornet_obs::{SpanId, Tracer};
 use cornet_types::{CornetError, ParamValue, Result};
 use cornet_workflow::{NodeKind, WarArtifact, WfNodeId, Workflow};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A journaled block outcome to be replayed instead of re-executed.
+///
+/// Crash recovery reconstructs these from `BlockCompleted` journal records:
+/// the logged execution row, the post-block global state snapshot, and
+/// whether the block ran in the forward flow or a backout subgraph.
+#[derive(Clone, Debug)]
+pub struct ReplayRow {
+    /// The execution log row exactly as it was first recorded.
+    pub exec: BlockExecution,
+    /// Global state immediately after the block completed.
+    pub state: GlobalState,
+    /// True when the row was recorded inside a backout subgraph.
+    pub backout: bool,
+}
+
+/// Callback invoked after every *freshly executed* block (never for
+/// replayed rows), used by the dispatcher to journal `BlockCompleted`
+/// records. Arguments: the log row, the post-block state, and whether the
+/// block ran inside a backout subgraph.
+pub type BlockSink = Arc<dyn Fn(&BlockExecution, &GlobalState, bool) + Send + Sync>;
 
 /// Outcome of one building-block execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -149,6 +171,13 @@ pub struct Engine {
     /// spans are tagged so fall-out dashboards can split forward flow from
     /// revert flow.
     in_backout: bool,
+    /// Journaled rows still to be replayed. While non-empty, `step()`
+    /// restores each recorded outcome instead of invoking the executor, so
+    /// resumed instances never re-execute a completed (possibly mutating)
+    /// block.
+    replay: VecDeque<ReplayRow>,
+    /// Block-completion callback for fresh executions (journaling).
+    sink: Option<BlockSink>,
 }
 
 impl Engine {
@@ -167,7 +196,29 @@ impl Engine {
             tracer: Tracer::noop(),
             span_parent: None,
             in_backout: false,
+            replay: VecDeque::new(),
+            sink: None,
         }
+    }
+
+    /// Load journaled rows to replay. Must be called before the first
+    /// `step()`; rows are consumed in order and validated against the
+    /// workflow's actual token path.
+    pub fn set_replay(&mut self, rows: Vec<ReplayRow>) {
+        self.replay = rows.into();
+    }
+
+    /// How many journaled rows have not yet been consumed. A non-zero
+    /// value after the instance finished means the journal disagrees with
+    /// the workflow — the caller must treat that as corruption.
+    pub fn replay_remaining(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Attach a callback invoked after every freshly executed block
+    /// (replayed rows are skipped — they are already journaled).
+    pub fn set_block_sink(&mut self, sink: BlockSink) {
+        self.sink = Some(sink);
     }
 
     /// Attach a tracer; block spans nest under `parent` (typically the
@@ -246,6 +297,31 @@ impl Engine {
                 self.status = InstanceStatus::Completed;
             }
             NodeKind::Task { block } => {
+                // Replay path: a journaled outcome exists for this block —
+                // restore it instead of re-executing, so a kill-safe resume
+                // never runs a completed (possibly mutating) block twice.
+                if let Some(front) = self.replay.front() {
+                    if front.exec.block != *block || front.backout != self.in_backout {
+                        return Err(CornetError::DataIntegrity(format!(
+                            "journal replay mismatch: recorded block '{}' (backout: {}) but workflow is at '{}' (backout: {})",
+                            front.exec.block, front.backout, block, self.in_backout
+                        )));
+                    }
+                    let row = self.replay.pop_front().expect("front was checked");
+                    self.sim_elapsed += row.exec.duration + row.exec.backoff;
+                    self.state = row.state;
+                    let succeeded = row.exec.status.is_success();
+                    let block_name = row.exec.block.clone();
+                    // Replayed rows are NOT sent to the sink: they are
+                    // already in the journal.
+                    self.log.push(row.exec);
+                    if succeeded {
+                        self.advance(pos, None)?;
+                    } else {
+                        self.fail_block(block_name);
+                    }
+                    return Ok(&self.status);
+                }
                 let policy = self.registry.retry_policy_for(block).cloned();
                 let deadline = self.registry.deadline_for(block);
                 let mut span = self.tracer.span_with_parent("block", self.span_parent);
@@ -323,6 +399,7 @@ impl Engine {
                             attempts,
                             backoff: backoff_total,
                         });
+                        self.emit_to_sink();
                         self.advance(pos, None)?;
                     }
                     Err(e) => {
@@ -341,6 +418,7 @@ impl Engine {
                             attempts,
                             backoff: backoff_total,
                         });
+                        self.emit_to_sink();
                         self.fail_block(block.clone());
                     }
                 }
@@ -359,6 +437,14 @@ impl Engine {
             }
         }
         Ok(&self.status)
+    }
+
+    /// Report the just-pushed log row to the block sink (fresh executions
+    /// only — replay never calls this).
+    fn emit_to_sink(&self) {
+        if let (Some(sink), Some(row)) = (&self.sink, self.log.last()) {
+            sink(row, &self.state, self.in_backout);
+        }
     }
 
     /// Close a block span with the outcome attributes every block span
@@ -410,12 +496,18 @@ impl Engine {
             Some(span.id()).filter(|_| span.is_recording()),
         );
         sub.in_backout = true;
+        // Hand any remaining journaled rows to the backout sub-engine:
+        // they were recorded with `backout: true`, so its replay check
+        // accepts them. Fresh backout blocks flow through the same sink.
+        sub.replay = std::mem::take(&mut self.replay);
+        sub.sink = self.sink.clone();
         let reverted = sub
             .run()
             .map(|s| *s == InstanceStatus::Completed)
             .unwrap_or(false);
         self.log.extend(sub.log.iter().cloned());
         self.sim_elapsed += sub.sim_elapsed;
+        self.replay = std::mem::take(&mut sub.replay);
         span.attr("reverted", reverted);
         span.finish();
         if reverted {
@@ -463,9 +555,24 @@ impl Engine {
     }
 
     /// Resume a paused instance and keep running.
+    ///
+    /// Only `Paused` instances are resumable. The error distinguishes the
+    /// two misuse classes so operations tooling can tell "nothing to do"
+    /// (already completed) from "wrong lifecycle call" (never paused).
     pub fn resume(&mut self) -> Result<&InstanceStatus> {
-        if self.status != InstanceStatus::Paused {
-            return Err(CornetError::InvalidState("instance is not paused".into()));
+        match &self.status {
+            InstanceStatus::Paused => {}
+            InstanceStatus::Completed => {
+                return Err(CornetError::InvalidState(
+                    "cannot resume: instance already completed".into(),
+                ));
+            }
+            other => {
+                return Err(CornetError::InvalidState(format!(
+                    "cannot resume: instance was never paused (status: {})",
+                    other.label()
+                )));
+            }
         }
         self.pause.resume();
         self.status = InstanceStatus::Running;
@@ -823,6 +930,189 @@ mod tests {
             &InstanceStatus::Failed("software_upgrade".into()),
             "a failed backout cannot claim RolledBack"
         );
+    }
+
+    #[test]
+    fn resume_on_completed_instance_is_a_typed_error() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let mut engine = Engine::new(wf, happy_registry(), inputs());
+        assert_eq!(engine.run().unwrap(), &InstanceStatus::Completed);
+        let err = engine.resume().unwrap_err();
+        assert!(
+            matches!(&err, CornetError::InvalidState(m) if m.contains("already completed")),
+            "completed instances get the 'already completed' error: {err}"
+        );
+    }
+
+    #[test]
+    fn resume_on_never_paused_instance_is_a_typed_error() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        // Still Running (never started, never paused).
+        let mut engine = Engine::new(wf.clone(), happy_registry(), inputs());
+        let err = engine.resume().unwrap_err();
+        assert!(
+            matches!(&err, CornetError::InvalidState(m) if m.contains("never paused")),
+            "running instances get the 'never paused' error: {err}"
+        );
+        // Failed instances report the same misuse class.
+        let mut reg = happy_registry();
+        reg.register("software_upgrade", |_| {
+            Err(CornetError::ExecutionFailed("bad image".into()))
+        });
+        let mut failed = Engine::new(wf, reg, inputs());
+        failed.run().unwrap();
+        let err = failed.resume().unwrap_err();
+        assert!(
+            matches!(&err, CornetError::InvalidState(m) if m.contains("never paused")),
+            "failed instances get the 'never paused' error: {err}"
+        );
+    }
+
+    #[test]
+    fn replay_restores_outcomes_without_reexecution() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        // First run records every completed block through the sink.
+        let recorded: Arc<Mutex<Vec<ReplayRow>>> = Arc::new(Mutex::new(Vec::new()));
+        let rows = recorded.clone();
+        let mut engine = Engine::new(wf.clone(), happy_registry(), inputs());
+        engine.set_block_sink(Arc::new(move |exec, state, backout| {
+            rows.lock().unwrap().push(ReplayRow {
+                exec: exec.clone(),
+                state: state.clone(),
+                backout,
+            });
+        }));
+        assert_eq!(engine.run().unwrap(), &InstanceStatus::Completed);
+        let first_log = engine.log().to_vec();
+        let first_state = engine.state().clone();
+        // Second run replays the first two rows; a counting registry
+        // proves those blocks never re-executed.
+        let mut rows = recorded.lock().unwrap().clone();
+        rows.truncate(2);
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = calls.clone();
+        let mut reg = happy_registry();
+        reg.register("health_check", move |s| {
+            c.fetch_add(1, Ordering::SeqCst);
+            s.insert("healthy".into(), ParamValue::from(true));
+            Ok(())
+        });
+        let c = calls.clone();
+        reg.register("software_upgrade", move |s| {
+            c.fetch_add(1, Ordering::SeqCst);
+            s.insert("previous_version".into(), ParamValue::from("19.3"));
+            s.insert("upgraded".into(), ParamValue::from(true));
+            Ok(())
+        });
+        let mut resumed = Engine::new(wf, reg, inputs());
+        resumed.set_replay(rows);
+        assert_eq!(resumed.run().unwrap(), &InstanceStatus::Completed);
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            0,
+            "replayed blocks must not re-execute"
+        );
+        assert_eq!(resumed.replay_remaining(), 0);
+        // Replayed prefix is byte-identical (including durations); the
+        // fresh tail re-measures wall time, so compare its shape.
+        assert_eq!(&resumed.log()[..2], &first_log[..2]);
+        let shape = |log: &[BlockExecution]| -> Vec<(String, BlockStatus)> {
+            log.iter().map(|b| (b.block.clone(), b.status)).collect()
+        };
+        assert_eq!(shape(resumed.log()), shape(&first_log));
+        assert_eq!(resumed.state(), &first_state);
+    }
+
+    #[test]
+    fn replay_mismatch_is_data_integrity() {
+        let cat = builtin_catalog();
+        let wf = software_upgrade_workflow(&cat);
+        let mut engine = Engine::new(wf, happy_registry(), inputs());
+        engine.set_replay(vec![ReplayRow {
+            exec: BlockExecution {
+                block: "unrelated_block".into(),
+                status: BlockStatus::Success,
+                duration: Duration::ZERO,
+                error: None,
+                attempts: 1,
+                backoff: Duration::ZERO,
+            },
+            state: inputs(),
+            backout: false,
+        }]);
+        let err = engine.run().unwrap_err();
+        assert!(
+            matches!(err, CornetError::DataIntegrity(_)),
+            "a row that disagrees with the workflow is corruption"
+        );
+    }
+
+    #[test]
+    fn replayed_failure_row_hands_remaining_rows_to_backout() {
+        let cat = builtin_catalog();
+        let mut wf = software_upgrade_workflow(&cat);
+        let mut backout = cornet_workflow::Workflow::new("upgrade-backout");
+        let s = backout.add_node("start", cornet_workflow::NodeKind::Start);
+        let rb = backout.add_node(
+            "roll_back",
+            cornet_workflow::NodeKind::Task {
+                block: "roll_back".into(),
+            },
+        );
+        let e = backout.add_node("end", cornet_workflow::NodeKind::End);
+        backout.add_edge(s, rb, None);
+        backout.add_edge(rb, e, None);
+        wf.set_backout(backout);
+        // First run: upgrade fails permanently, backout reverts. Record
+        // everything through the sink.
+        let recorded: Arc<Mutex<Vec<ReplayRow>>> = Arc::new(Mutex::new(Vec::new()));
+        let rows = recorded.clone();
+        let mut reg = happy_registry();
+        reg.register("software_upgrade", |_| {
+            Err(CornetError::ExecutionFailed("bad image".into()))
+        });
+        let mut engine = Engine::new(wf.clone(), reg.clone(), inputs());
+        engine.set_block_sink(Arc::new(move |exec, state, backout| {
+            rows.lock().unwrap().push(ReplayRow {
+                exec: exec.clone(),
+                state: state.clone(),
+                backout,
+            });
+        }));
+        assert_eq!(
+            engine.run().unwrap(),
+            &InstanceStatus::RolledBack("software_upgrade".into())
+        );
+        let first_log = engine.log().to_vec();
+        let rows = recorded.lock().unwrap().clone();
+        assert!(rows.iter().any(|r| r.backout), "backout rows were recorded");
+        // Replay the whole journal: nothing re-executes, and the failure
+        // row routes the remaining (backout-flagged) rows into the
+        // backout sub-engine.
+        let mut poisoned = ExecutorRegistry::new();
+        for name in [
+            "health_check",
+            "software_upgrade",
+            "pre_post_comparison",
+            "roll_back",
+        ] {
+            poisoned.register(name, |_| {
+                Err(CornetError::ExecutionFailed(
+                    "replay must not re-execute".into(),
+                ))
+            });
+        }
+        let mut resumed = Engine::new(wf, poisoned, inputs());
+        resumed.set_replay(rows);
+        assert_eq!(
+            resumed.run().unwrap(),
+            &InstanceStatus::RolledBack("software_upgrade".into())
+        );
+        assert_eq!(resumed.replay_remaining(), 0);
+        assert_eq!(resumed.log(), first_log.as_slice());
     }
 
     #[test]

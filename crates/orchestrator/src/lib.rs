@@ -24,15 +24,19 @@ pub mod engine;
 pub mod events;
 pub mod executor;
 pub mod falloutanalysis;
+pub mod recovery;
 pub mod resilience;
 
-pub use analysis::{analyze_resilience, ResilienceSpec};
+pub use analysis::{analyze_replay_safety, analyze_resilience, ResilienceSpec};
 pub use dispatcher::{DispatchReport, Dispatcher, InstanceReport};
-pub use engine::{BlockExecution, BlockStatus, Engine, InstanceStatus, PauseHandle};
+pub use engine::{
+    BlockExecution, BlockSink, BlockStatus, Engine, InstanceStatus, PauseHandle, ReplayRow,
+};
 pub use events::EventBus;
 pub use executor::{ExecutorRegistry, GlobalState};
 pub use falloutanalysis::{BlockStats, FalloutAnalysis};
+pub use recovery::{recover_campaign, RecoveredCampaign};
 pub use resilience::{
-    add_sim_latency, take_sim_latency, BreakerTrip, CircuitBreaker, FaultKind, FaultPlan,
-    FaultyExecutor, RetryPolicy, SIM_LATENCY_KEY,
+    add_sim_latency, take_sim_latency, BreakerTrip, CircuitBreaker, CrashPoint, FaultKind,
+    FaultPlan, FaultyExecutor, RetryPolicy, SIM_LATENCY_KEY,
 };

@@ -203,6 +203,22 @@ pub enum FaultKind {
     },
 }
 
+/// A deterministic crash location for kill-safety testing: the campaign
+/// "dies" when the named block reaches the given invocation on the given
+/// node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrashPoint {
+    /// Block whose invocation triggers the crash.
+    pub block: String,
+    /// Node (`state["node"]`) the crash is bound to.
+    pub node: String,
+    /// Per-(block, node) invocation count (1-based) at which to crash.
+    pub invocation: u64,
+    /// Whether the crash lands mid-block (the completion record never
+    /// appends) or mid-append (the next record is torn on disk).
+    pub mode: cornet_journal::CrashMode,
+}
+
 /// Seeded fault-injection plan applied on top of a registry.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
@@ -218,6 +234,10 @@ pub struct FaultPlan {
     pub latency_ms: u64,
     /// Blocks to wrap; empty means every registered block.
     pub targets: Vec<String>,
+    /// Simulated process crash, armed through a
+    /// [`cornet_journal::CrashSwitch`] shared with the journal (see
+    /// [`FaultyExecutor::wrap_with_crash`]).
+    pub crash: Option<CrashPoint>,
 }
 
 impl FaultPlan {
@@ -229,6 +249,7 @@ impl FaultPlan {
             kind: FaultKind::Transient,
             latency_ms: 0,
             targets: Vec::new(),
+            crash: None,
         }
     }
 
@@ -240,6 +261,7 @@ impl FaultPlan {
             kind: FaultKind::Permanent,
             latency_ms: 0,
             targets: vec![block.to_owned()],
+            crash: None,
         }
     }
 
@@ -252,6 +274,24 @@ impl FaultPlan {
     /// Add simulated latency inflation per invocation.
     pub fn with_latency_ms(mut self, ms: u64) -> Self {
         self.latency_ms = ms;
+        self
+    }
+
+    /// Arm a deterministic crash: the campaign dies when `block` reaches
+    /// its `invocation`-th execution (1-based, per node) on `node`.
+    pub fn crash_at(
+        mut self,
+        block: &str,
+        node: &str,
+        invocation: u64,
+        mode: cornet_journal::CrashMode,
+    ) -> Self {
+        self.crash = Some(CrashPoint {
+            block: block.to_owned(),
+            node: node.to_owned(),
+            invocation,
+            mode,
+        });
         self
     }
 }
@@ -270,8 +310,39 @@ impl FaultyExecutor {
     /// Wrap `registry` according to `plan`, returning the faulty registry.
     /// Retry policies and deadlines carry over unchanged.
     pub fn wrap(registry: &ExecutorRegistry, plan: &FaultPlan) -> ExecutorRegistry {
+        Self::wrap_inner(registry, plan, None)
+    }
+
+    /// Like [`FaultyExecutor::wrap`], but arms the plan's [`CrashPoint`]
+    /// against `switch` — share the same switch with the campaign journal
+    /// (via `Journal::with_crash_switch`) and the simulated process dies
+    /// at a deterministic block invocation:
+    ///
+    /// * [`cornet_journal::CrashMode::MidBlock`] kills the switch and
+    ///   fails the block — from the journal's view the process died before
+    ///   the completion record could be appended.
+    /// * [`cornet_journal::CrashMode::MidAppend`] lets the block complete
+    ///   but tears its completion record in half on disk, then dies.
+    pub fn wrap_with_crash(
+        registry: &ExecutorRegistry,
+        plan: &FaultPlan,
+        switch: cornet_journal::CrashSwitch,
+    ) -> ExecutorRegistry {
+        Self::wrap_inner(
+            registry,
+            plan,
+            plan.crash.clone().map(|point| (point, switch)),
+        )
+    }
+
+    fn wrap_inner(
+        registry: &ExecutorRegistry,
+        plan: &FaultPlan,
+        crash: Option<(CrashPoint, cornet_journal::CrashSwitch)>,
+    ) -> ExecutorRegistry {
         let counters: Arc<Mutex<BTreeMap<(String, String), u64>>> =
             Arc::new(Mutex::new(BTreeMap::new()));
+        let crash = Arc::new(crash);
         let mut wrapped = registry.clone();
         for block in registry
             .block_names()
@@ -285,6 +356,7 @@ impl FaultyExecutor {
             let inner = registry.clone();
             let plan = plan.clone();
             let counters = counters.clone();
+            let crash = crash.clone();
             let name = block.clone();
             wrapped.register(&block, move |state: &mut GlobalState| {
                 let node = state
@@ -300,6 +372,19 @@ impl FaultyExecutor {
                 };
                 if plan.latency_ms > 0 {
                     add_sim_latency(state, plan.latency_ms);
+                }
+                if let Some((point, switch)) = crash.as_ref() {
+                    if point.block == name && point.node == node && point.invocation == invocation {
+                        match point.mode {
+                            cornet_journal::CrashMode::MidBlock => {
+                                switch.kill();
+                                return Err(CornetError::ExecutionFailed(format!(
+                                    "injected crash: {name} on '{node}' (invocation {invocation})"
+                                )));
+                            }
+                            cornet_journal::CrashMode::MidAppend => switch.tear_next(),
+                        }
+                    }
                 }
                 let draw = unit_f64(splitmix(
                     plan.seed
@@ -523,6 +608,7 @@ mod tests {
             kind: FaultKind::FlakyThenRecover { failures: 2 },
             latency_ms: 7,
             targets: Vec::new(),
+            crash: None,
         };
         let faulty = FaultyExecutor::wrap(&reg, &plan);
         let mut s = GlobalState::new();

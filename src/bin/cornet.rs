@@ -7,6 +7,8 @@
 //! cornet lint  --intent F [--network SPEC]   lint a JSON intent
 //! cornet plan  --intent F [--network SPEC] [--backend B] [--emit-mzn F] [--trace F]
 //! cornet run   [--nodes N] [--concurrency C] [--trace F]   resilient roll-out demo
+//! cornet run   --journal F [--crash-at N]    journaled campaign (kill-safe)
+//! cornet resume <journal> [--trace F]        resume a crashed campaign
 //! cornet verify [--shift D] [--trace F]      impact-verification demo
 //! cornet demo                         run a miniature end-to-end cycle
 //! ```
@@ -26,7 +28,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cornet <catalog|workflows|check|lint|plan|run|verify|demo> [options]\n\
+        "usage: cornet <catalog|workflows|check|lint|plan|run|resume|verify|demo> [options]\n\
          \n\
          options:\n\
            --format <f>        (check) text | json          (default text)\n\
@@ -41,6 +43,8 @@ fn usage() -> ExitCode {
            --trace <file>      write a Chrome-trace JSON + print a span summary\n\
            --nodes <n>         (run) roll-out size (default 50)\n\
            --concurrency <c>   (run) parallel workflow instances (default 4)\n\
+           --journal <file>    (run) write a durable campaign journal\n\
+           --crash-at <n>      (run --journal) kill the campaign at node n's upgrade\n\
            --shift <d>         (verify) injected KPI shift on study nodes (default 15)"
     );
     ExitCode::from(2)
@@ -401,12 +405,359 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> ExitCode {
     }
 }
 
+fn happy_upgrade_registry() -> cornet::orchestrator::ExecutorRegistry {
+    use cornet::orchestrator::ExecutorRegistry;
+    use cornet::types::ParamValue;
+    let mut reg = ExecutorRegistry::new();
+    reg.register("health_check", |s| {
+        s.insert("healthy".into(), ParamValue::from(true));
+        Ok(())
+    });
+    reg.register("software_upgrade", |s| {
+        s.insert("previous_version".into(), ParamValue::from("19.3"));
+        Ok(())
+    });
+    reg.register("pre_post_comparison", |s| {
+        s.insert("passed".into(), ParamValue::from(true));
+        Ok(())
+    });
+    reg.register("roll_back", |_| Ok(()));
+    reg
+}
+
+/// FNV-1a-64 over the outcome rows of a dispatch report: node, status,
+/// and every block's name/status/attempts/sim-duration/backoff. Two runs
+/// with the same fingerprint produced the same campaign outcome — the
+/// line `cornet run --journal` and `cornet resume` both print, so crash
+/// recovery is verifiable by diffing two lines of output.
+fn report_fingerprint(report: &cornet::orchestrator::DispatchReport) -> u64 {
+    use std::fmt::Write;
+    let mut text = String::new();
+    for i in &report.instances {
+        let _ = write!(text, "{}|{:?};", i.node.0, i.status);
+        for b in &i.blocks {
+            let _ = write!(
+                text,
+                "{}:{:?}:{}:{}:{};",
+                b.block,
+                b.status,
+                b.attempts,
+                b.duration.as_nanos(),
+                b.backoff.as_nanos()
+            );
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in text.as_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The fixed parameters of the journaled demo campaign, round-tripped
+/// through the journal's `CampaignOpened` metadata so `cornet resume`
+/// rebuilds the exact dispatcher the crashed run used.
+struct JournalScenario {
+    seed: u64,
+    nodes: u32,
+    concurrency: usize,
+    fault_rate_milli: u32,
+    latency_ms: u64,
+    attempts: u32,
+    breaker_threshold_milli: u32,
+    breaker_min_samples: usize,
+}
+
+impl JournalScenario {
+    fn from_flags(flags: &BTreeMap<String, String>) -> Self {
+        JournalScenario {
+            seed: 42,
+            nodes: flags
+                .get("nodes")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(24),
+            concurrency: flags
+                .get("concurrency")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(4),
+            fault_rate_milli: 200,
+            latency_ms: 5,
+            attempts: 6,
+            breaker_threshold_milli: 900,
+            breaker_min_samples: 8,
+        }
+    }
+
+    fn meta(&self) -> BTreeMap<String, String> {
+        BTreeMap::from([
+            ("scenario".into(), "journaled_upgrade".into()),
+            ("seed".into(), self.seed.to_string()),
+            ("nodes".into(), self.nodes.to_string()),
+            ("concurrency".into(), self.concurrency.to_string()),
+            ("fault_rate_milli".into(), self.fault_rate_milli.to_string()),
+            ("latency_ms".into(), self.latency_ms.to_string()),
+            ("attempts".into(), self.attempts.to_string()),
+            (
+                "breaker_threshold_milli".into(),
+                self.breaker_threshold_milli.to_string(),
+            ),
+            (
+                "breaker_min_samples".into(),
+                self.breaker_min_samples.to_string(),
+            ),
+        ])
+    }
+
+    fn from_meta(meta: &BTreeMap<String, String>) -> Result<Self, String> {
+        fn field<T: std::str::FromStr>(
+            meta: &BTreeMap<String, String>,
+            key: &str,
+        ) -> Result<T, String> {
+            meta.get(key)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("journal metadata is missing or corrupt: '{key}'"))
+        }
+        if meta.get("scenario").map(String::as_str) != Some("journaled_upgrade") {
+            return Err("journal was not written by 'cornet run --journal'".into());
+        }
+        Ok(JournalScenario {
+            seed: field(meta, "seed")?,
+            nodes: field(meta, "nodes")?,
+            concurrency: field(meta, "concurrency")?,
+            fault_rate_milli: field(meta, "fault_rate_milli")?,
+            latency_ms: field(meta, "latency_ms")?,
+            attempts: field(meta, "attempts")?,
+            breaker_threshold_milli: field(meta, "breaker_threshold_milli")?,
+            breaker_min_samples: field(meta, "breaker_min_samples")?,
+        })
+    }
+
+    fn schedule(&self) -> cornet::types::Schedule {
+        use cornet::types::{Schedule, Timeslot};
+        let mut s = Schedule::default();
+        for i in 0..self.nodes {
+            s.assignments.insert(NodeId(i), Timeslot(i / 8 + 1));
+        }
+        s
+    }
+
+    fn breaker(&self) -> cornet::orchestrator::resilience::CircuitBreaker {
+        cornet::orchestrator::resilience::CircuitBreaker {
+            failure_threshold: self.breaker_threshold_milli as f64 / 1000.0,
+            min_samples: self.breaker_min_samples,
+        }
+    }
+
+    /// The Fig. 4 upgrade workflow with a roll_back backout flow, packaged.
+    fn war(&self) -> Result<WarArtifact, String> {
+        use cornet::workflow::builtin::software_upgrade_workflow;
+        use cornet::workflow::Designer;
+        let cat = builtin_catalog();
+        let mut wf = software_upgrade_workflow(&cat);
+        let mut d = Designer::new(&cat, "backout");
+        let s = d.start();
+        let rb = d.task("roll_back").expect("catalog has roll_back");
+        let e = d.end();
+        d.connect(s, rb).connect(rb, e);
+        wf.set_backout(d.build());
+        WarArtifact::package(&wf, &cat).map_err(|e| e.to_string())
+    }
+
+    /// The seeded fault-storm registry; `crash` arms a deterministic kill
+    /// at the given node's first software_upgrade invocation.
+    fn registry(
+        &self,
+        crash: Option<(u32, cornet::journal::CrashSwitch)>,
+    ) -> cornet::orchestrator::ExecutorRegistry {
+        use cornet::journal::CrashMode;
+        use cornet::orchestrator::resilience::{FaultPlan, FaultyExecutor, RetryPolicy};
+        let mut plan = FaultPlan::transient(self.seed, self.fault_rate_milli as f64 / 1000.0)
+            .with_latency_ms(self.latency_ms);
+        let happy = happy_upgrade_registry();
+        let mut reg = match crash {
+            Some((node, switch)) => {
+                // Node names render as `enb-id000009` (NodeId's Display).
+                plan = plan.crash_at(
+                    "software_upgrade",
+                    &format!("enb-{}", NodeId(node)),
+                    1,
+                    CrashMode::MidBlock,
+                );
+                FaultyExecutor::wrap_with_crash(&happy, &plan, switch)
+            }
+            None => FaultyExecutor::wrap(&happy, &plan),
+        };
+        reg.set_default_retry_policy(RetryPolicy::with_attempts(self.attempts));
+        reg
+    }
+
+    fn inputs(node: NodeId) -> cornet::orchestrator::GlobalState {
+        use cornet::types::ParamValue;
+        let mut g = cornet::orchestrator::GlobalState::new();
+        g.insert("node".into(), ParamValue::from(format!("enb-{node}")));
+        g.insert("software_version".into(), ParamValue::from("20.1"));
+        g
+    }
+
+    fn summarize(
+        report: &cornet::orchestrator::DispatchReport,
+        trip: Option<&cornet::orchestrator::resilience::BreakerTrip>,
+    ) {
+        println!(
+            "campaign: {} instances, {} completed, {} failed, {} rolled back, \
+             trip={} fingerprint={:016x}",
+            report.instances.len(),
+            report.completed(),
+            report.failures().len(),
+            report.rolled_back(),
+            trip.map_or_else(|| "none".into(), |t| t.block.clone()),
+            report_fingerprint(report),
+        );
+    }
+}
+
+/// `cornet run --journal <path>` — the kill-safe variant of the roll-out
+/// demo: one journaled fault-storm campaign. With `--crash-at <n>` the
+/// simulated process dies at node n's first upgrade invocation (the
+/// journal freezes mid-campaign, exactly as a SIGKILL would leave it);
+/// `cornet resume <path>` then finishes the campaign and must print the
+/// same fingerprint as an uninterrupted run.
+fn cmd_run_journaled(flags: &BTreeMap<String, String>, path: &str) -> ExitCode {
+    use cornet::journal::{FsyncPolicy, Journal};
+    use cornet::orchestrator::Dispatcher;
+
+    let scenario = JournalScenario::from_flags(flags);
+    let tracer = tracer_for(flags);
+    let journal = match Journal::create(path, FsyncPolicy::EveryN(8)) {
+        Ok(j) => j.with_tracer(tracer.clone()),
+        Err(e) => {
+            eprintln!("error: creating journal {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let switch = journal.crash_switch();
+    let crash_at: Option<u32> = flags.get("crash-at").and_then(|s| s.parse().ok());
+    let reg = scenario.registry(crash_at.map(|n| (n, switch.clone())));
+    let war = match scenario.war() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "=== journaled campaign: {} nodes, {}% transient faults, journal {path} ===",
+        scenario.nodes,
+        scenario.fault_rate_milli / 10,
+    );
+    let breaker = scenario.breaker();
+    let result = Dispatcher::new(war, reg, scenario.concurrency)
+        .map(|d| d.with_tracer(tracer.clone()))
+        .map(|d| d.with_journal(journal, scenario.meta()))
+        .and_then(|d| d.run_with_breaker(&scenario.schedule(), JournalScenario::inputs, &breaker));
+    let (report, trip) = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dispatch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if switch.is_dead() {
+        println!(
+            "simulated crash at node {}: journal frozen mid-campaign; \
+             run 'cornet resume {path}' to finish",
+            crash_at.unwrap_or_default(),
+        );
+    } else {
+        JournalScenario::summarize(&report, trip.as_ref());
+    }
+    if let Err(e) = finish_trace(flags, &tracer) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `cornet resume <journal>` — recover a journaled campaign: replay every
+/// completed block without re-executing it, re-admit interrupted
+/// instances, and finish the remaining work. Prints the same summary
+/// line (including fingerprint) a clean uninterrupted run prints.
+fn cmd_resume(path: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode {
+    use cornet::journal::{FsyncPolicy, Journal};
+    use cornet::orchestrator::{recover_campaign, Dispatcher};
+
+    let Some(path) = path else {
+        eprintln!("usage: cornet resume <journal> [--trace F]");
+        return ExitCode::from(2);
+    };
+    let campaign = match Journal::read(path)
+        .and_then(|(events, recovery)| recover_campaign(&events, recovery))
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: reading journal {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let scenario = match JournalScenario::from_meta(&campaign.meta) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let tracer = tracer_for(flags);
+    let reg = scenario.registry(None);
+    let war = match scenario.war() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "=== resuming campaign from {path}: {} instance(s) already complete, {} in flight ===",
+        campaign.completed.len(),
+        campaign.partial.len(),
+    );
+    let breaker = scenario.breaker();
+    let result = Dispatcher::new(war, reg, scenario.concurrency)
+        .map(|d| d.with_tracer(tracer.clone()))
+        .and_then(|d| {
+            d.resume_from_journal(
+                path,
+                FsyncPolicy::EveryN(8),
+                JournalScenario::inputs,
+                Some(&breaker),
+            )
+        });
+    let (report, trip) = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("resume failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    JournalScenario::summarize(&report, trip.as_ref());
+    if let Err(e) = finish_trace(flags, &tracer) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// `cornet run` — the resilient roll-out demo: a staggered software
 /// upgrade first through a 20% transient-fault storm (absorbed by
 /// retries), then against a permanent fault with the circuit breaker
 /// armed and a backout flow attached. With `--trace` every dispatch,
 /// slot, instance, block, and backout span lands in one Chrome trace.
+/// With `--journal <path>` the demo switches to a single journaled
+/// campaign (see [`cmd_run_journaled`]).
 fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
+    if let Some(path) = flags.get("journal") {
+        return cmd_run_journaled(flags, &path.clone());
+    }
     use cornet::orchestrator::resilience::{
         CircuitBreaker, FaultPlan, FaultyExecutor, RetryPolicy,
     };
@@ -747,6 +1098,12 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(&flags),
         "plan" => cmd_plan(&flags),
         "run" => cmd_run(&flags),
+        "resume" => cmd_resume(
+            args.get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str),
+            &flags,
+        ),
         "verify" => cmd_verify(&flags),
         "demo" => cmd_demo(),
         _ => usage(),

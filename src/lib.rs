@@ -19,6 +19,7 @@
 //! | [`catalog`] | building-block catalog (Table 2) |
 //! | [`workflow`] | BPMN-like designer, validation, WAR packaging |
 //! | [`orchestrator`] | execution engine, dispatcher, event-driven alternative |
+//! | [`journal`] | durable campaign journal (write-ahead log, crash recovery) |
 //! | [`planner`] | intent → model translation, decomposition, Appendix C heuristic |
 //! | [`verifier`] | impact verification (rules, control groups, analysis) |
 //! | [`analysis`] | shared static-analysis framework (diagnostics, passes, baselines) |
@@ -30,6 +31,7 @@
 pub use cornet_analysis as analysis;
 pub use cornet_catalog as catalog;
 pub use cornet_core as core;
+pub use cornet_journal as journal;
 pub use cornet_model as model;
 pub use cornet_netsim as netsim;
 pub use cornet_obs as obs;

@@ -107,7 +107,7 @@ fn plan_from(seed: u64, rate_millis: u32, kind_sel: u8, latency_ms: u64) -> Faul
         failure_rate: rate_millis as f64 / 1000.0,
         kind,
         latency_ms,
-        targets: Vec::new(),
+        ..FaultPlan::transient(seed, 0.0)
     }
 }
 

@@ -203,6 +203,78 @@ fn permanent_fault_trips_breaker_and_backs_out_in_flight_failures() {
     }
 }
 
+/// A breaker trip is part of the campaign's durable history: whether the
+/// crash lands after the trip was journaled or just before, a resumed
+/// campaign must come back halted at the same instance — never re-admit
+/// the nodes the trip spared.
+#[test]
+fn tripped_breaker_stays_tripped_across_crash_and_resume() {
+    use cornet::journal::{boundaries, FsyncPolicy, Journal};
+    use std::collections::BTreeMap;
+
+    let cat = builtin_catalog();
+    let mut wf = software_upgrade_workflow(&cat);
+    let mut dsg = Designer::new(&cat, "upgrade-with-backout");
+    let s = dsg.start();
+    let rb = dsg.task("roll_back").unwrap();
+    let e = dsg.end();
+    dsg.connect(s, rb).connect(rb, e);
+    wf.set_backout(dsg.build());
+    let war = WarArtifact::package(&wf, &cat).unwrap();
+
+    let plan = FaultPlan::permanent_on(SEED, 1.0, "software_upgrade").with_latency_ms(5);
+    let stack = || {
+        let mut reg = FaultyExecutor::wrap(&happy_registry(), &plan);
+        reg.set_default_retry_policy(RetryPolicy::with_attempts(6));
+        Dispatcher::new(war.clone(), reg, 4).unwrap()
+    };
+    let breaker = CircuitBreaker {
+        failure_threshold: 0.5,
+        min_samples: 5,
+    };
+
+    let path = std::env::temp_dir().join(format!(
+        "cornet-resilience-trip-{}.jsonl",
+        std::process::id()
+    ));
+    let journal = Journal::create(&path, FsyncPolicy::Always).unwrap();
+    let (report, trip) = stack()
+        .with_journal(journal, BTreeMap::new())
+        .run_with_breaker(&staggered_schedule(), inputs, &breaker)
+        .unwrap();
+    let trip = trip.expect("breaker must trip");
+    let bytes = std::fs::read(&path).unwrap();
+
+    // Crash after the trip was journaled: the full journal replays to the
+    // same halted prefix, the same drained stragglers, the same trip.
+    let (resumed, resumed_trip) = stack()
+        .resume_from_journal(&path, FsyncPolicy::Always, inputs, Some(&breaker))
+        .unwrap();
+    assert_eq!(Some(&trip), resumed_trip.as_ref());
+    assert_eq!(report.instances, resumed.instances);
+    assert_eq!(report.drained, resumed.drained);
+
+    // Crash just *before* the trip record made it to disk: chop the
+    // trailing breaker_tripped + campaign_closed records. The trip must be
+    // re-derived from the replayed completions at the exact same instance,
+    // and halt-drain semantics must hold — no node past the recorded set
+    // is ever admitted.
+    let cuts = boundaries(&bytes);
+    let cut = cuts[cuts.len() - 3]; // drop the last two records
+    std::fs::write(&path, &bytes[..cut]).unwrap();
+    let (rederived, rederived_trip) = stack()
+        .resume_from_journal(&path, FsyncPolicy::Always, inputs, Some(&breaker))
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(Some(&trip), rederived_trip.as_ref());
+    assert_eq!(report.instances, rederived.instances);
+    assert_eq!(report.drained, rederived.drained);
+    assert_eq!(rederived.instances.len(), breaker.min_samples);
+    for i in rederived.instances.iter().chain(&rederived.drained) {
+        assert!(matches!(&i.status, InstanceStatus::RolledBack(b) if b == "software_upgrade"));
+    }
+}
+
 #[test]
 fn deadline_overruns_are_logged_as_timed_out() {
     let cat = builtin_catalog();

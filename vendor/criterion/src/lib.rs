@@ -1,0 +1,179 @@
+//! Offline build stub for `criterion`: runs each benchmark a small fixed
+//! number of iterations and prints mean wall time. No statistics, no
+//! reports — just enough to keep `cargo bench` compiling and producing
+//! readable output. The CI regression gate uses the separate
+//! `cornet_bench` harness, not this.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Benchmark identifier: `BenchmarkId::new("name", param)` or
+/// `BenchmarkId::from_parameter(param)`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Parameter-only id (group name supplies the function part).
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id in `bench_function`.
+pub trait IntoBenchmarkId {
+    /// Render the id label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up, then the timed batch.
+        let _ = f();
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            let _ = f();
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set iteration count (criterion's statistical sample count; here,
+    /// plainly the number of timed iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    fn run(&mut self, label: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.samples,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!(
+            "{}/{}  time: {:.3} ms ({} iters)",
+            self.name,
+            label,
+            b.mean_ns / 1.0e6,
+            b.iters
+        );
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run(id.into_label(), f);
+        self
+    }
+
+    /// Benchmark a closure that receives an input by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.run(id.label.clone(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra in the stub).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.run(id.into_label(), f);
+        self
+    }
+}
+
+/// Collect benchmark functions into one runner, mirroring criterion's
+/// macro of the same name (simple `name, target...` form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Opaque value barrier; the stub version is a plain identity function
+/// behind a `#[inline(never)]` boundary.
+#[inline(never)]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}

@@ -1,0 +1,94 @@
+//! Offline build stub for `crossbeam`: the `scope` API the workspace
+//! uses, implemented over `std::thread::scope` (Rust ≥ 1.63).
+//!
+//! Differences from real crossbeam are cosmetic: spawn closures receive
+//! a `&Scope` (crossbeam passes one by value) and the scope result is a
+//! `std::thread::Result` produced via `catch_unwind`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scoped-thread handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// Join handle for a scoped thread; `join` returns a `thread::Result`
+/// like crossbeam's.
+pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish, capturing its panic if any.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.0.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope so it can
+    /// spawn further threads, matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle(self.inner.spawn(move || f(&scope)))
+    }
+}
+
+/// Create a scope for spawning borrowing threads; all threads are joined
+/// before `scope` returns. A panic in the closure or any spawned thread
+/// surfaces as `Err`, as in crossbeam.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// `crossbeam::thread` module alias, for `crossbeam::thread::scope` call
+/// sites.
+pub mod thread {
+    pub use crate::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1, 2, 3];
+        let sum = super::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().expect("no panic")
+        })
+        .expect("scope ok");
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = super::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().expect("inner"))
+                .join()
+                .expect("outer")
+        })
+        .expect("scope ok");
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::scope(|_| panic!("boom"));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline build stub for `serde`. The traits are pure markers,
+//! blanket-implemented for every type; the derives are no-ops. The
+//! companion `serde_json` stub provides same-process round-tripping via
+//! a value store, which is all the workspace needs offline.
+
+/// Marker trait; every type is serializable as far as the stub cares.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; every sized type is deserializable.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    pub use crate::Deserialize;
+
+    /// Marker for owned deserialization.
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,16 @@
+//! Offline build stub. The companion `serde` stub blanket-implements
+//! `Serialize`/`Deserialize` for every type, so these derives only need
+//! to exist (and accept `#[serde(...)]` helper attributes) — they emit
+//! nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,85 @@
+//! Offline build stub for `serde_json`: a same-process round-trip shim.
+//!
+//! `to_string`/`to_vec` park a clone of the value in a global store and
+//! return an opaque token; `from_str`/`from_slice` resolve the token back
+//! to the stored value. This supports every in-process serialize →
+//! deserialize round trip in the workspace, and deliberately FAILS on
+//! externally authored JSON text, which is what routes consumers onto
+//! the hand-written `cornet_types::json` reader.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Error type mirroring `serde_json::Error`'s public face.
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({})", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+const TOKEN_PREFIX: &str = "__serde_json_stub:";
+
+fn store() -> &'static Mutex<HashMap<u64, Box<dyn Any + Send>>> {
+    static STORE: OnceLock<Mutex<HashMap<u64, Box<dyn Any + Send>>>> = OnceLock::new();
+    STORE.get_or_init(Default::default)
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Store a clone of `value`; the returned "JSON" is an opaque token.
+/// Equal values share one token, so serialization is deterministic (the
+/// WAR digest depends on this).
+pub fn to_string<T: Clone + PartialEq + Send + 'static>(value: &T) -> Result<String> {
+    let mut map = store().lock().unwrap_or_else(|e| e.into_inner());
+    for (id, boxed) in map.iter() {
+        if boxed.downcast_ref::<T>().is_some_and(|held| held == value) {
+            return Ok(format!("{TOKEN_PREFIX}{id}"));
+        }
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    map.insert(id, Box::new(value.clone()));
+    Ok(format!("{TOKEN_PREFIX}{id}"))
+}
+
+/// Byte-vector flavour of [`to_string`].
+pub fn to_vec<T: Clone + PartialEq + Send + 'static>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Resolve a token minted by [`to_string`] in this process. Anything
+/// else — in particular real JSON text — is an error.
+pub fn from_str<T: Clone + 'static>(s: &str) -> Result<T> {
+    let id = s
+        .strip_prefix(TOKEN_PREFIX)
+        .and_then(|rest| rest.parse::<u64>().ok())
+        .ok_or_else(|| Error("serde_json stub cannot parse external JSON text".into()))?;
+    store()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(&id)
+        .and_then(|boxed| boxed.downcast_ref::<T>())
+        .cloned()
+        .ok_or_else(|| Error(format!("stub token {id} does not hold the requested type")))
+}
+
+/// Byte-slice flavour of [`from_str`].
+pub fn from_slice<T: Clone + 'static>(bytes: &[u8]) -> Result<T> {
+    std::str::from_utf8(bytes)
+        .map_err(|_| Error("stub token must be UTF-8".into()))
+        .and_then(from_str)
+}
