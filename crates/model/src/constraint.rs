@@ -185,6 +185,37 @@ impl Constraint {
         }
     }
 
+    /// For a [`Constraint::Capacity`]: the granule a *scheduled* value
+    /// (`> 0`) lands in. `None` for other constraint kinds. Exposed so
+    /// the planner's cross-shard reconciliation can track loads with the
+    /// exact bucketing `check` uses.
+    pub fn capacity_granule(&self, value: i64) -> Option<i64> {
+        match self {
+            Constraint::Capacity {
+                block,
+                value_granules,
+                ..
+            } => Some(match value_granules {
+                Some(vg) => vg[(value - 1) as usize],
+                None => (value - 1) / (*block).max(1),
+            }),
+            _ => None,
+        }
+    }
+
+    /// For a [`Constraint::Capacity`]: the capacity of `granule` after
+    /// per-granule overrides. `None` for other constraint kinds.
+    pub fn capacity_of_granule(&self, granule: i64) -> Option<i64> {
+        match self {
+            Constraint::Capacity {
+                default_cap,
+                slot_caps,
+                ..
+            } => Some(slot_caps.get(&granule).copied().unwrap_or(*default_cap)),
+            _ => None,
+        }
+    }
+
     /// Check the constraint against a full assignment.
     pub fn check(&self, a: &[i64]) -> Result<(), String> {
         match self {

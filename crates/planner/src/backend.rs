@@ -24,13 +24,20 @@
 //! * picks the winner by (feasibility, model cost, fixed member order) —
 //!   never by who finished first.
 
+use crate::decompose::{reconcile, shard_translation};
 use crate::heuristic::{heuristic_schedule_units, HeuristicConfig};
 use crate::intent::PlanIntent;
 use crate::translate::Translation;
+use crate::warm::WarmStart;
+use cornet_model::Model;
 use cornet_obs::{ActiveSpan, SpanId, Tracer};
-use cornet_solver::{solve, CancelToken, Outcome, SearchStats, SharedIncumbent, SolverConfig};
+use cornet_solver::{
+    solve, CancelToken, Outcome, SearchStats, SharedIncumbent, SolveResult, SolverConfig,
+};
 use cornet_types::{ConflictTable, CornetError, Inventory, NodeId, Result};
+use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which backend the planner should use.
@@ -47,6 +54,10 @@ pub enum BackendChoice {
     Heuristic,
     /// Race exact, greedy and heuristic; deterministic winner.
     Portfolio,
+    /// Shard the translation by timezone/market, race a portfolio per
+    /// shard with apportioned capacities, then reconcile shared capacity
+    /// across shards (§3.3.3 idea (b) taken past independent components).
+    Sharded,
 }
 
 impl BackendChoice {
@@ -57,8 +68,9 @@ impl BackendChoice {
             "greedy" => Ok(BackendChoice::Greedy),
             "heuristic" => Ok(BackendChoice::Heuristic),
             "portfolio" => Ok(BackendChoice::Portfolio),
+            "sharded" => Ok(BackendChoice::Sharded),
             other => Err(CornetError::Parse(format!(
-                "unknown backend {other:?} (expected exact|greedy|heuristic|portfolio)"
+                "unknown backend {other:?} (expected exact|greedy|heuristic|portfolio|sharded)"
             ))),
         }
     }
@@ -70,6 +82,7 @@ impl BackendChoice {
             BackendChoice::Greedy => "greedy",
             BackendChoice::Heuristic => "heuristic",
             BackendChoice::Portfolio => "portfolio",
+            BackendChoice::Sharded => "sharded",
         }
     }
 
@@ -88,8 +101,10 @@ impl BackendChoice {
             }),
             BackendChoice::Heuristic => Box::new(HeuristicBackend {
                 config: heuristic.clone(),
+                capacity_override: None,
             }),
             BackendChoice::Portfolio => Box::new(PortfolioBackend::standard(solver, heuristic)),
+            BackendChoice::Sharded => Box::new(ShardedBackend::standard(solver, heuristic)),
         }
     }
 }
@@ -142,6 +157,9 @@ pub struct SolveContext<'a> {
     /// Parent for backend spans (the planner's `plan` span, or the
     /// portfolio's own span for member runs).
     pub span_parent: Option<SpanId>,
+    /// Warm-start hints from a prior plan; the exact backend seeds its
+    /// incumbent and pins matched units from it.
+    pub warm: Option<Arc<WarmStart>>,
 }
 
 impl<'a> SolveContext<'a> {
@@ -160,6 +178,7 @@ impl<'a> SolveContext<'a> {
             incumbent: None,
             tracer: Tracer::noop(),
             span_parent: None,
+            warm: None,
         }
     }
 
@@ -167,6 +186,12 @@ impl<'a> SolveContext<'a> {
     pub fn with_trace(mut self, tracer: Tracer, parent: Option<SpanId>) -> Self {
         self.tracer = tracer;
         self.span_parent = parent;
+        self
+    }
+
+    /// Attach warm-start hints from a prior plan.
+    pub fn with_warm_start(mut self, warm: Arc<WarmStart>) -> Self {
+        self.warm = Some(warm);
         self
     }
 }
@@ -220,6 +245,11 @@ pub struct BackendRun {
     pub feasible: bool,
     /// Search counters.
     pub stats: SearchStats,
+    /// Wall-clock time this run consumed (for portfolio members, the
+    /// member's full race time including cancellation latency).
+    pub elapsed: Duration,
+    /// Shard index when the run solved one shard of a sharded solve.
+    pub shard: Option<usize>,
     /// Whether this run's assignment was selected.
     pub winner: bool,
 }
@@ -263,6 +293,29 @@ pub trait SolverBackend: Send + Sync {
         -> BackendResult;
 }
 
+/// Run the CP solver, hopping to a dedicated big-stack thread for large
+/// models: the search recurses one frame per fixed variable, so past a
+/// few thousand variables the default 2 MiB thread stack overflows.
+fn solve_on_sized_stack(model: &Model, config: &SolverConfig) -> SolveResult {
+    const DIRECT_VARS: usize = 4096;
+    let vars = model.var_count();
+    if vars <= DIRECT_VARS {
+        return solve(model, config);
+    }
+    let stack = 32 * 1024 * 1024 + vars * 1024;
+    crossbeam::scope(|scope| {
+        scope
+            .builder()
+            .name("cp-solve".into())
+            .stack_size(stack)
+            .spawn(|_| solve(model, config))
+            .expect("spawn solver thread")
+            .join()
+            .expect("solver thread panicked")
+    })
+    .expect("solver scope failed")
+}
+
 /// The exact branch & bound CP solver.
 #[derive(Clone, Debug, Default)]
 pub struct ExactBackend {
@@ -287,9 +340,16 @@ impl SolverBackend for ExactBackend {
             time_limit: budget.time_limit,
             cancel: Some(cancel.clone()),
             incumbent: ctx.incumbent.clone(),
+            // Seed the incumbent from the prior plan and pin matched
+            // units so only the delta is searched.
+            warm_start: ctx
+                .warm
+                .as_ref()
+                .map(|w| w.hint())
+                .or_else(|| self.config.warm_start.clone()),
             ..self.config.clone()
         };
-        let r = solve(&ctx.translation.model, &config);
+        let r = solve_on_sized_stack(&ctx.translation.model, &config);
         let (assignment, cost) = match r.best {
             Some(sol) => (Some(sol.assignment), Some(sol.cost)),
             None => (None, None),
@@ -303,7 +363,9 @@ impl SolverBackend for ExactBackend {
                 outcome: r.outcome,
                 cost,
                 feasible,
+                elapsed: r.stats.elapsed,
                 stats: r.stats,
+                shard: None,
                 winner: true,
             },
             assignment,
@@ -343,8 +405,11 @@ impl SolverBackend for GreedyBackend {
             // could cut the dive short and make the greedy result depend
             // on timing.
             incumbent: None,
+            // The dive stays cold: it is the portfolio's "what would a
+            // fresh solve do" member, warm or not.
+            warm_start: None,
         };
-        let r = solve(&ctx.translation.model, &config);
+        let r = solve_on_sized_stack(&ctx.translation.model, &config);
         let outcome = match r.outcome {
             // A completed dive proves feasibility, never optimality.
             Outcome::Optimal => Outcome::Feasible,
@@ -363,7 +428,9 @@ impl SolverBackend for GreedyBackend {
                 outcome,
                 cost,
                 feasible,
+                elapsed: r.stats.elapsed,
                 stats: r.stats,
+                shard: None,
                 winner: true,
             },
             assignment,
@@ -379,6 +446,10 @@ pub struct HeuristicBackend {
     /// Heuristic knobs; `slot_capacity` is overridden by the intent's
     /// plain concurrency rule when one is declared.
     pub config: HeuristicConfig,
+    /// Hard capacity override (wins over the intent's rule) — the sharded
+    /// backend sets this to a shard's apportioned share of the global
+    /// capacity so per-shard heuristic sketches stay globally mergeable.
+    pub capacity_override: Option<i64>,
 }
 
 impl SolverBackend for HeuristicBackend {
@@ -402,6 +473,8 @@ impl SolverBackend for HeuristicBackend {
                     cost: None,
                     feasible: false,
                     stats: SearchStats::default(),
+                    elapsed: Duration::ZERO,
+                    shard: None,
                     winner: true,
                 },
                 None,
@@ -411,6 +484,9 @@ impl SolverBackend for HeuristicBackend {
         }
         let mut config = self.config.clone();
         if let Some(cap) = ctx.intent.plain_concurrency_capacity() {
+            config.slot_capacity = cap;
+        }
+        if let Some(cap) = self.capacity_override {
             config.slot_capacity = cap;
         }
         let units: Vec<Vec<NodeId>> = ctx
@@ -457,6 +533,8 @@ impl SolverBackend for HeuristicBackend {
                 cost: Some(cost),
                 feasible,
                 stats,
+                elapsed,
+                shard: None,
                 winner: true,
             },
             Some(assignment),
@@ -486,6 +564,7 @@ impl PortfolioBackend {
                 }),
                 Box::new(HeuristicBackend {
                     config: heuristic.clone(),
+                    capacity_override: None,
                 }),
             ],
         }
@@ -551,7 +630,13 @@ impl SolverBackend for PortfolioBackend {
                     let tokens = &tokens;
                     let incumbent = &incumbent;
                     scope.spawn(move |_| {
-                        let result = member.solve(&member_ctx, budget, &tokens[i]);
+                        let member_started = Instant::now();
+                        let mut result = member.solve(&member_ctx, budget, &tokens[i]);
+                        // Per-member race time: the satellite metric
+                        // `PlanResult.backend_runs[].elapsed` reports.
+                        if result.runs.len() == 1 {
+                            result.runs[0].elapsed = member_started.elapsed();
+                        }
                         // Publish only checked-feasible costs: an
                         // infeasible sketch must never prune the optimum.
                         if let (Some(a), Some(c)) = (&result.assignment, result.cost) {
@@ -645,6 +730,254 @@ impl SolverBackend for PortfolioBackend {
     }
 }
 
+/// Schedule-quality rank of a full-model assignment candidate:
+/// (infeasible, unscheduled units, makespan proxy, cost). Lower wins.
+fn candidate_rank(model: &Model, assignment: &[i64], feasible: bool) -> (bool, usize, i64, i64) {
+    let leftovers = assignment.iter().filter(|&&v| v == 0).count();
+    let makespan = assignment.iter().copied().max().unwrap_or(0);
+    (!feasible, leftovers, makespan, model.cost(assignment))
+}
+
+/// Sharded portfolio solving: partition the translation by timezone and
+/// market, race a portfolio per shard with apportioned capacity shares,
+/// merge the shard plans and reconcile shared capacity globally.
+///
+/// Capacity soundness is by construction: a cross-shard capacity
+/// constraint is split into per-shard shares that sum exactly to the
+/// original bound ([`crate::decompose::shard_translation`]), so the merged
+/// assignment satisfies the global model before reconciliation even runs —
+/// reconciliation only claws back slack the apportionment stranded. A
+/// full-problem heuristic runs as a safety net and the final plan is the
+/// better of the two under [`candidate_rank`], so the sharded backend is
+/// never worse than the heuristic alone.
+pub struct ShardedBackend {
+    /// Solver knobs for per-shard exact/greedy members.
+    pub solver: SolverConfig,
+    /// Heuristic knobs for per-shard members and the safety net.
+    pub heuristic: HeuristicConfig,
+    /// Upper bound on shard count (small tails are folded together).
+    pub max_shards: usize,
+    /// Reconciliation sweep limit.
+    pub max_reconcile_rounds: u64,
+}
+
+impl ShardedBackend {
+    /// The standard configuration: up to 64 shards, 8 reconcile rounds.
+    pub fn standard(solver: &SolverConfig, heuristic: &HeuristicConfig) -> Self {
+        ShardedBackend {
+            solver: solver.clone(),
+            heuristic: heuristic.clone(),
+            max_shards: 64,
+            max_reconcile_rounds: 8,
+        }
+    }
+
+    /// The per-shard member lineup: exact, greedy, and a heuristic packing
+    /// against the shard's apportioned capacity share.
+    fn shard_portfolio(&self, capacity_share: Option<i64>) -> PortfolioBackend {
+        PortfolioBackend {
+            members: vec![
+                Box::new(ExactBackend {
+                    config: self.solver.clone(),
+                }),
+                Box::new(GreedyBackend {
+                    config: self.solver.clone(),
+                }),
+                Box::new(HeuristicBackend {
+                    config: self.heuristic.clone(),
+                    capacity_override: capacity_share,
+                }),
+            ],
+        }
+    }
+
+    /// Solve with an explicit shard visiting order (testing hook: the
+    /// published plan must not depend on it). `None` uses shard order.
+    pub fn solve_ordered(
+        &self,
+        ctx: &SolveContext<'_>,
+        budget: &Budget,
+        cancel: &CancelToken,
+        order: Option<&[usize]>,
+    ) -> BackendResult {
+        let started = Instant::now();
+        let mut span = open_solve_span(ctx, "sharded");
+        let span_id = span.is_recording().then(|| span.id());
+        let model = &ctx.translation.model;
+
+        let Some(split) = shard_translation(ctx.translation, ctx.inventory, self.max_shards) else {
+            // One timezone/market, or a cross-shard constraint we cannot
+            // apportion — fall back to the plain portfolio race.
+            span.attr("fallback", "portfolio");
+            let inner = PortfolioBackend::standard(&self.solver, &self.heuristic);
+            let mut inner_ctx = ctx.clone();
+            inner_ctx.span_parent = span_id.or(ctx.span_parent);
+            let result = inner.solve(&inner_ctx, budget, cancel);
+            close_solve_span(ctx, span, "sharded", budget, cancel, &result);
+            return result;
+        };
+        let shards = &split.shards;
+        span.attr("shards", shards.len());
+        span.attr("coupled_capacity_constraints", split.coupled);
+        ctx.tracer
+            .incr("sharded.shards_solved", shards.len() as u64);
+
+        // Budget slicing: shards run `waves` deep on the worker pool, and
+        // the whole sharded phase targets half the budget so translation,
+        // reconciliation and the safety net fit in the rest.
+        let threads = rayon::current_num_threads().max(1);
+        let waves = shards.len().div_ceil(threads).max(1);
+        let slice = (budget.time_limit / (2 * waves as u32)).max(Duration::from_millis(50));
+        let shard_budget = Budget {
+            max_nodes: (budget.max_nodes / shards.len() as u64).max(10_000),
+            time_limit: slice,
+        };
+
+        let order: Vec<usize> =
+            order.map_or_else(|| (0..shards.len()).collect(), <[usize]>::to_vec);
+        let mut indexed: Vec<(usize, BackendResult)> = order
+            .par_iter()
+            .map(|&si| {
+                let shard = &shards[si];
+                let sctx = SolveContext {
+                    translation: &shard.part.translation,
+                    inventory: ctx.inventory,
+                    intent: ctx.intent,
+                    conflicts: ctx.conflicts,
+                    incumbent: None,
+                    tracer: ctx.tracer.clone(),
+                    span_parent: span_id,
+                    warm: ctx
+                        .warm
+                        .as_ref()
+                        .map(|w| Arc::new(w.slice(&shard.part.vars))),
+                };
+                let portfolio = self.shard_portfolio(shard.heuristic_cap);
+                (si, portfolio.solve(&sctx, &shard_budget, cancel))
+            })
+            .collect();
+        // Results merge in shard order whatever order solved them.
+        indexed.sort_by_key(|(si, _)| *si);
+
+        let mut assignment = vec![0i64; model.var_count()];
+        let mut stats = SearchStats::default();
+        let mut runs: Vec<BackendRun> = Vec::new();
+        let mut missing = 0usize;
+        let mut all_optimal = true;
+        for (si, result) in &indexed {
+            let shard = &shards[*si];
+            stats.nodes += result.stats.nodes;
+            stats.backtracks += result.stats.backtracks;
+            stats.solutions += result.stats.solutions;
+            stats.elapsed += result.stats.elapsed;
+            match &result.assignment {
+                Some(sub) => {
+                    for (&old, &val) in shard.part.vars.iter().zip(sub) {
+                        assignment[old] = val;
+                    }
+                }
+                None => missing += 1,
+            }
+            if result.outcome != Outcome::Optimal {
+                all_optimal = false;
+            }
+            for run in &result.runs {
+                let mut run = run.clone();
+                run.shard = Some(*si);
+                run.winner = false;
+                runs.push(run);
+            }
+        }
+
+        let rec = reconcile(model, &mut assignment, self.max_reconcile_rounds);
+        span.attr("reconcile_rounds", rec.rounds);
+        span.attr("reconcile_moves", rec.moves);
+        span.attr("reconcile_feasible", rec.feasible);
+        ctx.tracer.incr("sharded.reconcile_rounds", rec.rounds);
+        ctx.tracer.incr("sharded.reconcile_moves", rec.moves);
+
+        // Full-problem safety net: the merged plan must beat the plain
+        // heuristic on schedule quality or it is not published.
+        let net = HeuristicBackend {
+            config: self.heuristic.clone(),
+            capacity_override: None,
+        };
+        let mut net_ctx = ctx.clone();
+        net_ctx.incumbent = None;
+        net_ctx.span_parent = span_id.or(ctx.span_parent);
+        let net_result = net.solve(&net_ctx, budget, cancel);
+
+        let merged_rank = candidate_rank(model, &assignment, rec.feasible);
+        let merged_wins = match net_result.assignment.as_deref() {
+            // Merged-first tie-break: equal rank publishes the shard plan.
+            Some(net_a) => merged_rank <= candidate_rank(model, net_a, net_result.runs[0].feasible),
+            None => true,
+        };
+        span.attr("winner", if merged_wins { "sharded" } else { "heuristic" });
+
+        let merged_outcome = if !rec.feasible {
+            Outcome::Unknown
+        } else if split.coupled == 0 && all_optimal && missing == 0 {
+            // Independent shards each solved to proven optimality compose
+            // into a global optimum.
+            Outcome::Optimal
+        } else {
+            Outcome::Feasible
+        };
+        let merged_cost = model.cost(&assignment);
+        runs.push(BackendRun {
+            backend: "sharded",
+            outcome: merged_outcome,
+            cost: Some(merged_cost),
+            feasible: rec.feasible,
+            stats,
+            elapsed: started.elapsed(),
+            shard: None,
+            winner: merged_wins,
+        });
+        for run in &net_result.runs {
+            let mut run = run.clone();
+            run.winner = !merged_wins;
+            runs.push(run);
+        }
+
+        let result = if merged_wins {
+            BackendResult {
+                outcome: merged_outcome,
+                assignment: Some(assignment),
+                cost: Some(merged_cost),
+                stats,
+                runs,
+            }
+        } else {
+            BackendResult {
+                outcome: net_result.outcome,
+                assignment: net_result.assignment,
+                cost: net_result.cost,
+                stats: net_result.stats,
+                runs,
+            }
+        };
+        close_solve_span(ctx, span, "sharded", budget, cancel, &result);
+        result
+    }
+}
+
+impl SolverBackend for ShardedBackend {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn solve(
+        &self,
+        ctx: &SolveContext<'_>,
+        budget: &Budget,
+        cancel: &CancelToken,
+    ) -> BackendResult {
+        self.solve_ordered(ctx, budget, cancel, None)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -702,6 +1035,7 @@ mod tests {
             BackendChoice::Greedy,
             BackendChoice::Heuristic,
             BackendChoice::Portfolio,
+            BackendChoice::Sharded,
         ] {
             assert_eq!(BackendChoice::parse(c.name()).unwrap(), c);
         }
@@ -756,6 +1090,132 @@ mod tests {
         let portfolio = run(BackendChoice::Portfolio, 8, 3);
         assert_eq!(portfolio.assignment, exact.assignment);
         assert_eq!(portfolio.cost, exact.cost);
+    }
+
+    #[test]
+    fn portfolio_reports_per_member_elapsed() {
+        let r = run(BackendChoice::Portfolio, 6, 2);
+        for member in &r.runs {
+            assert!(
+                member.elapsed > Duration::ZERO,
+                "{} run must report its race time",
+                member.backend
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_splits_by_market_and_merges_feasibly() {
+        // Alternating NYC/DFW fixture with a plain (cross-shard)
+        // concurrency rule → two shards with apportioned capacity.
+        let r = run(BackendChoice::Sharded, 12, 4);
+        let a = r.assignment.expect("sharded plan");
+        let (intent, inv, topo, nodes) = fixture(12, 4);
+        let t = translate(&intent, &inv, &topo, &nodes, &TranslateOptions::default()).unwrap();
+        assert!(
+            t.model.check(&a).is_ok(),
+            "merged plan is globally feasible"
+        );
+        let shard_runs = r.runs.iter().filter(|run| run.shard.is_some()).count();
+        assert!(shard_runs >= 6, "two shards × three members: {shard_runs}");
+        assert!(
+            r.runs.iter().any(|run| run.backend == "sharded"),
+            "aggregate sharded run is reported"
+        );
+    }
+
+    #[test]
+    fn sharded_matches_exact_when_shards_decouple() {
+        // Per-market capacity → no cross-shard constraint: shard optima
+        // compose into a global optimum.
+        let (mut intent, inv, topo, nodes) = fixture(8, 2);
+        intent.constraints = vec![crate::intent::ConstraintRule::Concurrency {
+            base_attribute: "common_id".into(),
+            aggregate_attribute: Some("market".into()),
+            operator: "<=".into(),
+            granularity: cornet_types::Granularity::daily(),
+            default_capacity: 2,
+        }];
+        let translation =
+            translate(&intent, &inv, &topo, &nodes, &TranslateOptions::default()).unwrap();
+        let conflicts = intent.conflicts().unwrap();
+        let ctx = SolveContext::new(&translation, &inv, &intent, &conflicts);
+        let exact = ExactBackend::default().solve(&ctx, &Budget::default(), &CancelToken::new());
+        let sharded = ShardedBackend::standard(
+            &SolverConfig::default(),
+            &HeuristicConfig::default(),
+        )
+        .solve(&ctx, &Budget::default(), &CancelToken::new());
+        assert_eq!(sharded.outcome, Outcome::Optimal);
+        assert_eq!(sharded.cost, exact.cost);
+    }
+
+    #[test]
+    fn sharded_plan_is_independent_of_shard_solve_order() {
+        let (intent, inv, topo, nodes) = fixture(10, 3);
+        let translation =
+            translate(&intent, &inv, &topo, &nodes, &TranslateOptions::default()).unwrap();
+        let conflicts = intent.conflicts().unwrap();
+        let ctx = SolveContext::new(&translation, &inv, &intent, &conflicts);
+        let backend =
+            ShardedBackend::standard(&SolverConfig::default(), &HeuristicConfig::default());
+        let fwd =
+            backend.solve_ordered(&ctx, &Budget::default(), &CancelToken::new(), Some(&[0, 1]));
+        let rev =
+            backend.solve_ordered(&ctx, &Budget::default(), &CancelToken::new(), Some(&[1, 0]));
+        assert_eq!(fwd.assignment, rev.assignment);
+        assert_eq!(fwd.cost, rev.cost);
+    }
+
+    #[test]
+    fn sharded_falls_back_when_unshardable() {
+        // Single market/timezone → nothing to shard; the backend degrades
+        // to the plain portfolio and still solves.
+        let mut inv = Inventory::new();
+        for i in 0..6 {
+            inv.push(
+                format!("n{i}"),
+                NfType::ENodeB,
+                Attributes::new()
+                    .with("market", "NYC")
+                    .with("utc_offset", -5.0),
+            );
+        }
+        let (intent, _, topo, _) = fixture(6, 2);
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let translation =
+            translate(&intent, &inv, &topo, &nodes, &TranslateOptions::default()).unwrap();
+        let conflicts = intent.conflicts().unwrap();
+        let ctx = SolveContext::new(&translation, &inv, &intent, &conflicts);
+        let r = ShardedBackend::standard(&SolverConfig::default(), &HeuristicConfig::default())
+            .solve(&ctx, &Budget::default(), &CancelToken::new());
+        assert_eq!(r.outcome, Outcome::Optimal, "portfolio fallback completes");
+        assert!(r.assignment.is_some());
+    }
+
+    #[test]
+    fn warm_context_replays_prior_plan_bit_identically() {
+        let (intent, inv, topo, nodes) = fixture(8, 2);
+        let translation =
+            translate(&intent, &inv, &topo, &nodes, &TranslateOptions::default()).unwrap();
+        let conflicts = intent.conflicts().unwrap();
+        let ctx = SolveContext::new(&translation, &inv, &intent, &conflicts);
+        let cold = ExactBackend::default().solve(&ctx, &Budget::default(), &CancelToken::new());
+        let prior = cold.assignment.clone().expect("cold plan");
+
+        let warm = WarmStart {
+            values: prior.clone(),
+            delta: crate::warm::PlanDelta::default(),
+        };
+        let warm_ctx = ctx.clone().with_warm_start(Arc::new(warm));
+        let r = ExactBackend::default().solve(&warm_ctx, &Budget::default(), &CancelToken::new());
+        assert_eq!(
+            r.assignment.as_ref(),
+            Some(&prior),
+            "pinned replay is bit-identical"
+        );
+        assert_eq!(r.stats.nodes, 1, "empty delta expands a single node");
+        assert_eq!(r.outcome, Outcome::Feasible, "pinned search proves nothing");
     }
 
     #[test]

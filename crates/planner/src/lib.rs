@@ -26,11 +26,15 @@ pub mod json;
 pub mod lint;
 pub mod plan;
 pub mod translate;
+pub mod warm;
 
 pub use backend::{BackendChoice, BackendResult, BackendRun, Budget, SolveContext, SolverBackend};
 pub use campaigns::{analyze_campaigns, Campaign};
 pub use heuristic::{heuristic_schedule, HeuristicConfig};
 pub use intent::{ConflictTolerance, ConstraintRule, PlanIntent};
-pub use lint::{analyze_intent, lint, LintFinding, LintLevel, LintReport};
+pub use lint::{
+    analyze_intent, analyze_intent_with, lint, LintFinding, LintLevel, LintOptions, LintReport,
+};
 pub use plan::{plan, PlanOptions, PlanResult};
 pub use translate::{translate, GroupStrategy, TranslateOptions, Translation};
+pub use warm::{PlanDelta, PlanSnapshot, WarmStart};

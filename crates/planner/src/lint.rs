@@ -90,7 +90,29 @@ pub fn legacy_slug(code: Code) -> &'static str {
         "CN0414" => "no-concurrency-rule",
         "CN0415" => "frozen-matches-nothing",
         "CN0416" => "cross-campaign-conflict",
+        "CN0417" => "single-mega-shard",
+        "CN0418" => "shard-exceeds-bound",
         other => other,
+    }
+}
+
+/// Knobs for the shard-shape checks (`CN0417`/`CN0418`).
+#[derive(Clone, Copy, Debug)]
+pub struct LintOptions {
+    /// Scope size below which a single timezone/market shard is normal
+    /// and `CN0417` stays quiet.
+    pub shard_scope_threshold: usize,
+    /// Maximum nodes one timezone/market shard should hold before
+    /// `CN0418` flags it as dominating the sharded wall-clock.
+    pub max_shard_nodes: usize,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            shard_scope_threshold: 256,
+            max_shard_nodes: 50_000,
+        }
     }
 }
 
@@ -108,6 +130,16 @@ pub fn analyze_intent(
     intent: &PlanIntent,
     inventory: &Inventory,
     nodes: &[NodeId],
+) -> Result<Report> {
+    analyze_intent_with(intent, inventory, nodes, &LintOptions::default())
+}
+
+/// [`analyze_intent`] with explicit shard-shape thresholds.
+pub fn analyze_intent_with(
+    intent: &PlanIntent,
+    inventory: &Inventory,
+    nodes: &[NodeId],
+    options: &LintOptions,
 ) -> Result<Report> {
     let mut report = Report::new();
     let window = intent.window()?;
@@ -367,6 +399,51 @@ pub fn analyze_intent(
         }
     }
 
+    // --- shard shape: will sharded solving actually parallelize?
+    // Nodes are keyed exactly as `decompose::shard_translation` keys
+    // units: timezone (milli-hours) plus market attribute.
+    {
+        let mut shard_sizes: std::collections::BTreeMap<(i64, String), usize> =
+            std::collections::BTreeMap::new();
+        for &n in nodes {
+            let tz_milli = inventory
+                .attr_of(n, "utc_offset")
+                .and_then(|v| v.as_f64())
+                .map_or(0, |tz| (tz * 1000.0).round() as i64);
+            let market = inventory.group_key_of(n, "market").unwrap_or_default();
+            *shard_sizes.entry((tz_milli, market)).or_insert(0) += 1;
+        }
+        if shard_sizes.len() == 1 && nodes.len() >= options.shard_scope_threshold {
+            let (tz_milli, market) = shard_sizes.keys().next().expect("one shard");
+            report.push(Diagnostic::warning(
+                Code("CN0417"),
+                SourceRef::Intent,
+                format!(
+                    "all {} nodes fall into one timezone/market shard (utc_offset {}, market {:?}); \
+                     sharded solving degenerates to a single sequential solve",
+                    nodes.len(),
+                    *tz_milli as f64 / 1000.0,
+                    market
+                ),
+            ));
+        }
+        for ((tz_milli, market), size) in &shard_sizes {
+            if *size > options.max_shard_nodes {
+                report.push(Diagnostic::warning(
+                    Code("CN0418"),
+                    SourceRef::Intent,
+                    format!(
+                        "timezone/market shard (utc_offset {}, market {:?}) holds {size} nodes, \
+                         over the {}-node bound; this shard dominates the sharded wall-clock",
+                        *tz_milli as f64 / 1000.0,
+                        market,
+                        options.max_shard_nodes
+                    ),
+                ));
+            }
+        }
+    }
+
     report.sort();
     Ok(report)
 }
@@ -535,5 +612,71 @@ mod tests {
         let r = lint(&it, &inventory(), &nodes()).unwrap();
         assert!(r.findings.len() >= 2);
         assert_eq!(r.findings[0].level, LintLevel::Error);
+    }
+
+    fn mono_market_inventory(n: usize) -> Inventory {
+        let mut inv = Inventory::new();
+        for i in 0..n {
+            inv.push(
+                format!("n{i}"),
+                NfType::ENodeB,
+                Attributes::new()
+                    .with("market", "NYC")
+                    .with("utc_offset", -5.0),
+            );
+        }
+        inv
+    }
+
+    #[test]
+    fn single_mega_shard_warns_at_scale() {
+        let inv = mono_market_inventory(300);
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let it = intent(&CAP2.replace("\"default_capacity\": 2", "\"default_capacity\": 100"));
+        let r = lint(&it, &inv, &nodes).unwrap();
+        assert!(
+            r.findings.iter().any(|f| f.code == "single-mega-shard"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn small_single_market_scope_is_not_flagged() {
+        let r = lint(&intent(CAP2), &mono_market_inventory(8), &nodes()).unwrap();
+        assert!(!r.findings.iter().any(|f| f.code == "single-mega-shard"));
+    }
+
+    #[test]
+    fn oversized_shard_warns_under_configured_bound() {
+        // Two markets, one grossly larger: with a 100-node bound the big
+        // shard is flagged while the scope still parallelizes.
+        let mut inv = Inventory::new();
+        for i in 0..160 {
+            let market = if i < 150 { "NYC" } else { "DFW" };
+            let tz = if i < 150 { -5.0 } else { -6.0 };
+            inv.push(
+                format!("n{i}"),
+                NfType::ENodeB,
+                Attributes::new()
+                    .with("market", market)
+                    .with("utc_offset", tz),
+            );
+        }
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let it = intent(&CAP2.replace("\"default_capacity\": 2", "\"default_capacity\": 100"));
+        let report = analyze_intent_with(
+            &it,
+            &inv,
+            &nodes,
+            &LintOptions {
+                max_shard_nodes: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let flagged: Vec<_> = report.iter().filter(|d| d.code == Code("CN0418")).collect();
+        assert_eq!(flagged.len(), 1, "only the 150-node shard is over bound");
+        assert!(flagged[0].message.contains("150 nodes"));
     }
 }

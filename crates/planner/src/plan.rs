@@ -11,10 +11,12 @@ use crate::decompose::split_translation;
 use crate::heuristic::HeuristicConfig;
 use crate::intent::PlanIntent;
 use crate::translate::{translate, TranslateOptions, Translation};
+use crate::warm::{PlanSnapshot, WarmStart};
 use cornet_model::ModelStats;
 use cornet_obs::Tracer;
 use cornet_solver::{CancelToken, Outcome, SearchStats, SolverConfig};
 use cornet_types::{Inventory, NodeId, Result, Schedule, Topology};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Options for one planning run.
@@ -35,6 +37,10 @@ pub struct PlanOptions {
     /// Tracer for plan/solve spans (noop by default; attach a collecting
     /// tracer to record a `plan` root span with nested `solve.*` spans).
     pub tracer: Tracer,
+    /// Warm-start from a prior plan snapshot: seed the solver's incumbent
+    /// with the surviving assignments and pin unchanged units so only the
+    /// intent/inventory delta is re-searched.
+    pub warm_from: Option<PlanSnapshot>,
 }
 
 /// Outcome of a planning run.
@@ -56,8 +62,13 @@ pub struct PlanResult {
     /// The backend that produced the schedule.
     pub backend: BackendChoice,
     /// Per-backend statistics for every run that participated (one entry
-    /// per backend per component; portfolios contribute one per member).
+    /// per backend per component; portfolios contribute one per member,
+    /// sharded solves one per member per shard — each with its own
+    /// elapsed wall time).
     pub backend_runs: Vec<BackendRun>,
+    /// Warm-start reuse ratio (hinted variables / total), when a prior
+    /// plan seeded this run.
+    pub warm_reuse: Option<f64>,
 }
 
 impl PlanResult {
@@ -85,6 +96,15 @@ pub fn plan(
         translate(intent, inventory, topology, nodes, &options.translate)?;
     let model_stats = translation.model.stats();
     let conflicts = intent.conflicts()?;
+    let warm: Option<Arc<WarmStart>> = options.warm_from.as_ref().map(|snapshot| {
+        let ws = WarmStart::build(snapshot, &translation, inventory);
+        plan_span.attr("warm_reuse_ratio", ws.reuse_ratio());
+        plan_span.attr("warm_hinted", ws.hinted());
+        plan_span.attr("warm_delta_empty", ws.delta.is_empty());
+        options.tracer.incr("warm.hinted_units", ws.hinted() as u64);
+        Arc::new(ws)
+    });
+    let warm_reuse = warm.as_ref().map(|w| w.reuse_ratio());
     let backend = options
         .backend
         .instantiate(&options.solver, &options.heuristic);
@@ -105,8 +125,12 @@ pub fn plan(
             let handles: Vec<_> = parts
                 .iter()
                 .map(|part| {
-                    let ctx = SolveContext::new(&part.translation, inventory, intent, &conflicts)
-                        .with_trace(options.tracer.clone(), plan_id);
+                    let mut ctx =
+                        SolveContext::new(&part.translation, inventory, intent, &conflicts)
+                            .with_trace(options.tracer.clone(), plan_id);
+                    if let Some(w) = &warm {
+                        ctx = ctx.with_warm_start(Arc::new(w.slice(&part.vars)));
+                    }
                     let backend = &backend;
                     let budget = &budget;
                     let cancel = &cancel;
@@ -144,8 +168,11 @@ pub fn plan(
         }
         (outcome, assignment, stats, parts.len(), runs)
     } else {
-        let ctx = SolveContext::new(&translation, inventory, intent, &conflicts)
+        let mut ctx = SolveContext::new(&translation, inventory, intent, &conflicts)
             .with_trace(options.tracer.clone(), plan_id);
+        if let Some(w) = &warm {
+            ctx = ctx.with_warm_start(w.clone());
+        }
         let r = backend.solve(&ctx, &budget, &cancel);
         match r.assignment {
             Some(assignment) => (r.outcome, assignment, r.stats, 1, r.runs),
@@ -174,6 +201,7 @@ pub fn plan(
         components,
         backend: options.backend,
         backend_runs,
+        warm_reuse,
     })
 }
 
@@ -387,6 +415,56 @@ mod tests {
             Some(&AttrValue::Str("optimal_member".into()))
         );
         assert!(trace.metrics.counter("incumbent.published") >= 1);
+    }
+
+    #[test]
+    fn warm_replan_with_empty_delta_is_bit_identical() {
+        use crate::warm::PlanSnapshot;
+        let inv = inventory(8);
+        let topo = Topology::with_capacity(8);
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let cold = plan(
+            &base_intent(2),
+            &inv,
+            &topo,
+            &nodes,
+            &PlanOptions::default(),
+        )
+        .unwrap();
+        let snapshot = PlanSnapshot::capture(&cold, &inv);
+        let warm = plan(
+            &base_intent(2),
+            &inv,
+            &topo,
+            &nodes,
+            &PlanOptions {
+                warm_from: Some(snapshot),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(warm.schedule.assignments, cold.schedule.assignments);
+        assert_eq!(warm.schedule.leftovers, cold.schedule.leftovers);
+        assert_eq!(warm.warm_reuse, Some(1.0));
+        assert_eq!(warm.search_stats.nodes, 1, "empty delta expands one node");
+    }
+
+    #[test]
+    fn sharded_backend_plans_end_to_end() {
+        let inv = inventory(12);
+        let topo = Topology::with_capacity(12);
+        let nodes: Vec<NodeId> = inv.ids().collect();
+        let opts = PlanOptions {
+            backend: BackendChoice::Sharded,
+            ..Default::default()
+        };
+        let r = plan(&base_intent(4), &inv, &topo, &nodes, &opts).unwrap();
+        assert_eq!(r.schedule.scheduled_count(), 12);
+        assert!(r.backend_runs.iter().any(|run| run.shard.is_some()));
+        // Global capacity holds after cross-shard reconciliation.
+        for slot in 1..=10 {
+            assert!(r.schedule.nodes_in_slot(Timeslot(slot)).len() <= 4);
+        }
     }
 
     #[test]

@@ -83,6 +83,63 @@ impl fmt::Debug for SharedIncumbent {
     }
 }
 
+/// Warm-start hint for incremental re-solve: the previous incumbent's
+/// values, mapped onto the current model's variables. Three effects,
+/// all deterministic:
+///
+/// 1. **Incumbent seeding** — when the hint covers every variable and
+///    passes `Model::check` against the *current* model, it becomes the
+///    initial incumbent (and is published to the shared bound), so the
+///    search only explores strictly-better branches.
+/// 2. **Pinning** (`pin = true`) — hinted variables are fixed before the
+///    search starts, shrinking the problem to the un-hinted delta. If
+///    pinning propagates to a conflict the solver falls back to an
+///    unpinned cold search, so a stale hint can never cause a spurious
+///    `Infeasible`.
+/// 3. **Value ordering** — un-pinned hinted variables try their hinted
+///    value first, keeping the dive close to the previous plan.
+///
+/// A pinned solve that exhausts its restricted search space reports
+/// [`Outcome::Feasible`], never `Optimal`: optimality was only proved
+/// relative to the pinned subspace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WarmStartHint {
+    /// Hinted value per variable, indexed like `Model::vars`. Entries
+    /// equal to [`WarmStartHint::NO_HINT`] carry no hint; `0`
+    /// (unscheduled) is a legitimate hinted value.
+    pub values: Vec<i64>,
+    /// Fix hinted variables before searching (delta-local repair).
+    pub pin: bool,
+}
+
+impl WarmStartHint {
+    /// Sentinel for "no hint for this variable".
+    pub const NO_HINT: i64 = i64::MIN;
+
+    /// A pinning hint covering exactly the given values.
+    pub fn pinned(values: Vec<i64>) -> Self {
+        WarmStartHint { values, pin: true }
+    }
+
+    /// Hint for `var`, if any.
+    pub fn hint(&self, var: usize) -> Option<i64> {
+        self.values
+            .get(var)
+            .copied()
+            .filter(|&v| v != Self::NO_HINT)
+    }
+
+    /// Number of hinted variables.
+    pub fn hinted(&self) -> usize {
+        self.values.iter().filter(|&&v| v != Self::NO_HINT).count()
+    }
+
+    /// Does the hint assign every one of `var_count` variables?
+    pub fn is_complete(&self, var_count: usize) -> bool {
+        self.values.len() == var_count && self.values.iter().all(|&v| v != Self::NO_HINT)
+    }
+}
+
 /// Search configuration.
 #[derive(Clone, Debug)]
 pub struct SolverConfig {
@@ -102,6 +159,8 @@ pub struct SolverConfig {
     /// Shared-incumbent bound hook: prune against (and publish to) the
     /// best checked-feasible cost any racing backend has found.
     pub incumbent: Option<SharedIncumbent>,
+    /// Warm-start hint from a previous incumbent (incremental re-solve).
+    pub warm_start: Option<WarmStartHint>,
 }
 
 impl Default for SolverConfig {
@@ -113,6 +172,7 @@ impl Default for SolverConfig {
             first_solution_only: false,
             cancel: None,
             incumbent: None,
+            warm_start: None,
         }
     }
 }
@@ -182,6 +242,18 @@ struct Searcher<'a> {
     stats: SearchStats,
     start: Instant,
     aborted: bool,
+    /// Nodes between wall-clock checks, adapted to measured node cost so
+    /// the overrun past `time_limit` stays bounded in *time*, not node
+    /// count: big models spend far longer per node, and a fixed
+    /// 1024-node stride let a 10 s budget overrun by whole seconds.
+    clock_stride: u64,
+    /// Next node count at which to read the clock.
+    next_clock: u64,
+    /// Elapsed time at the previous clock read (stride feedback).
+    last_clock: Duration,
+    /// Hinted variables were pinned: exhausting the search proves
+    /// optimality only of the restricted subspace, so report Feasible.
+    restricted: bool,
 }
 
 impl<'a> Searcher<'a> {
@@ -207,6 +279,10 @@ impl<'a> Searcher<'a> {
             stats: SearchStats::default(),
             start: Instant::now(),
             aborted: false,
+            clock_stride: 8,
+            next_clock: 0,
+            last_clock: Duration::ZERO,
+            restricted: false,
         }
     }
 
@@ -227,12 +303,85 @@ impl<'a> Searcher<'a> {
             self.aborted = true;
             return true;
         }
-        // Check the clock only every 1024 nodes; Instant::now is not free.
-        if self.stats.nodes.is_multiple_of(1024) && self.start.elapsed() >= self.config.time_limit {
-            self.aborted = true;
-            return true;
+        // Instant::now is not free, so read the clock on a node stride.
+        // The stride adapts to the measured time between reads (target
+        // ~1 ms), which bounds the budget overrun in wall-clock terms no
+        // matter how expensive a single node's propagation is.
+        if self.stats.nodes >= self.next_clock {
+            let now = self.start.elapsed();
+            let gap = now.saturating_sub(self.last_clock);
+            if gap < Duration::from_micros(500) {
+                self.clock_stride = (self.clock_stride * 2).min(1024);
+            } else if gap > Duration::from_millis(2) {
+                self.clock_stride = (self.clock_stride / 2).max(1);
+            }
+            self.last_clock = now;
+            self.next_clock = self.stats.nodes + self.clock_stride;
+            if now >= self.config.time_limit {
+                self.aborted = true;
+                return true;
+            }
         }
         false
+    }
+
+    /// Adopt a complete, checked-feasible hint as the initial incumbent.
+    fn seed_from_hint(&mut self, ws: &WarmStartHint) {
+        if !ws.is_complete(self.model.var_count()) {
+            return;
+        }
+        let in_bounds = self
+            .model
+            .vars
+            .iter()
+            .zip(&ws.values)
+            .all(|(var, &v)| var.lo <= v && v <= var.hi);
+        if !in_bounds || self.model.check(&ws.values).is_err() {
+            return;
+        }
+        let cost = self.model.cost(&ws.values);
+        self.best = Some(Solution {
+            assignment: ws.values.clone(),
+            cost,
+        });
+        self.stats.solutions = 1;
+        self.stats.time_to_best = self.start.elapsed();
+        if let Some(inc) = &self.config.incumbent {
+            inc.publish(cost);
+        }
+    }
+
+    /// Fix every hinted variable and propagate. On conflict the state is
+    /// rolled back and the solve degrades to an unpinned cold search —
+    /// deterministically, since the rollback depends only on the model
+    /// and the hint.
+    fn pin_hints(&mut self, ws: &WarmStartHint) {
+        let mark = self.state.mark();
+        self.state.clear_changed();
+        let mut pinned = 0usize;
+        let mut ok = true;
+        for vi in 0..self.state.var_count() {
+            if let Some(v) = ws.hint(vi) {
+                if self.state.fix(vi, v).is_err() {
+                    ok = false;
+                    break;
+                }
+                pinned += 1;
+            }
+        }
+        if ok {
+            let seeds = self.state.take_changed();
+            ok = self
+                .prop
+                .propagate_from(self.model, &mut self.state, &seeds)
+                .is_ok();
+        }
+        if ok {
+            self.restricted = pinned > 0;
+        } else {
+            self.state.undo_to(mark);
+            self.state.clear_changed();
+        }
     }
 
     /// Pick the unfixed variable with the smallest domain.
@@ -283,6 +432,12 @@ impl<'a> Searcher<'a> {
             let vid = VarId(var as u32);
             values.sort_by_key(|&v| (self.model.objective.var_cost(vid, v), v));
         }
+        // Un-pinned hinted variables try their previous value first.
+        if let Some(h) = self.config.warm_start.as_ref().and_then(|ws| ws.hint(var)) {
+            if let Some(pos) = values.iter().position(|&v| v == h) {
+                values[..=pos].rotate_right(1);
+            }
+        }
         let vid = VarId(var as u32);
         for v in values {
             if self.aborted {
@@ -327,11 +482,18 @@ pub fn solve(model: &Model, config: &SolverConfig) -> SolveResult {
     let mut s = Searcher::new(model, config);
     let root_ok = s.prop.propagate_all(model, &mut s.state).is_ok();
     if root_ok {
+        if let Some(ws) = &config.warm_start {
+            s.seed_from_hint(ws);
+            if ws.pin {
+                s.pin_hints(ws);
+            }
+        }
         let root_lb: i64 = s.root_min.iter().sum::<i64>() + model.objective.constant;
         s.search(root_lb);
     }
     s.stats.elapsed = s.start.elapsed();
     let outcome = match (&s.best, s.aborted, root_ok) {
+        (Some(_), false, _) if s.restricted => Outcome::Feasible,
         (Some(_), false, _) => Outcome::Optimal,
         (Some(_), true, _) => Outcome::Feasible,
         (None, false, _) | (None, _, false) => Outcome::Infeasible,
@@ -601,6 +763,134 @@ mod tests {
         assert!(
             r.stats.nodes <= solo.stats.nodes,
             "external bound may only shrink the search"
+        );
+    }
+
+    #[test]
+    fn warm_start_pin_returns_hint_bit_identical() {
+        // Solve cold, then re-solve with the incumbent pinned: the warm
+        // solve must return the exact same assignment after expanding
+        // only a single search node.
+        let mut b = ModelBuilder::new("t", 6);
+        let vs = b.slot_vars("X", 5);
+        b.capacity("cap", vs.clone(), vec![1; 5], 2);
+        b.require_scheduled(&vs);
+        b.completion_objective(&vs, &[1; 5], 100);
+        let m = b.build();
+        let cold = solve(&m, &cfg());
+        assert_eq!(cold.outcome, Outcome::Optimal);
+        let warm_cfg = SolverConfig {
+            warm_start: Some(WarmStartHint::pinned(cold.solution().assignment.clone())),
+            ..Default::default()
+        };
+        let warm = solve(&m, &warm_cfg);
+        assert_eq!(
+            warm.outcome,
+            Outcome::Feasible,
+            "pinned ⇒ not provably optimal"
+        );
+        assert_eq!(warm.solution().assignment, cold.solution().assignment);
+        assert_eq!(warm.solution().cost, cold.solution().cost);
+        assert_eq!(warm.stats.nodes, 1, "everything pinned: no branching");
+    }
+
+    #[test]
+    fn warm_start_partial_hint_solves_delta_only() {
+        // Pin 3 of 5 variables from the cold solution; the search must
+        // still produce a feasible schedule extending the pinned part.
+        let mut b = ModelBuilder::new("t", 6);
+        let vs = b.slot_vars("X", 5);
+        b.capacity("cap", vs.clone(), vec![1; 5], 2);
+        b.require_scheduled(&vs);
+        b.completion_objective(&vs, &[1; 5], 100);
+        let m = b.build();
+        let cold = solve(&m, &cfg());
+        let mut hint = vec![WarmStartHint::NO_HINT; 5];
+        hint[..3].copy_from_slice(&cold.solution().assignment[..3]);
+        let warm_cfg = SolverConfig {
+            warm_start: Some(WarmStartHint::pinned(hint.clone())),
+            ..Default::default()
+        };
+        let warm = solve(&m, &warm_cfg);
+        assert!(matches!(warm.outcome, Outcome::Feasible));
+        let a = &warm.solution().assignment;
+        assert_eq!(a[..3], cold.solution().assignment[..3], "pinned vars moved");
+        assert!(m.check(a).is_ok());
+    }
+
+    #[test]
+    fn warm_start_infeasible_hint_falls_back_to_cold() {
+        // A hint that violates the capacity must not poison the solve:
+        // pinning fails, the solver falls back, and the result matches
+        // the cold solve.
+        let mut b = ModelBuilder::new("t", 4);
+        let vs = b.slot_vars("X", 3);
+        b.capacity("cap", vs.clone(), vec![1; 3], 1);
+        b.require_scheduled(&vs);
+        b.completion_objective(&vs, &[1; 3], 100);
+        let m = b.build();
+        let cold = solve(&m, &cfg());
+        let bad = WarmStartHint::pinned(vec![1, 1, 1]); // capacity 1: conflict
+        let warm_cfg = SolverConfig {
+            warm_start: Some(bad),
+            ..Default::default()
+        };
+        let warm = solve(&m, &warm_cfg);
+        assert_eq!(
+            warm.outcome,
+            Outcome::Optimal,
+            "fallback search is unrestricted"
+        );
+        assert_eq!(warm.solution().cost, cold.solution().cost);
+    }
+
+    #[test]
+    fn warm_start_seeds_shared_incumbent() {
+        let mut b = ModelBuilder::new("t", 5);
+        let vs = b.slot_vars("X", 4);
+        b.capacity("cap", vs.clone(), vec![1; 4], 1);
+        b.require_scheduled(&vs);
+        b.completion_objective(&vs, &[1; 4], 100);
+        let m = b.build();
+        let cold = solve(&m, &cfg());
+        let inc = SharedIncumbent::new();
+        let warm_cfg = SolverConfig {
+            warm_start: Some(WarmStartHint::pinned(cold.solution().assignment.clone())),
+            incumbent: Some(inc.clone()),
+            ..Default::default()
+        };
+        let warm = solve(&m, &warm_cfg);
+        assert_eq!(
+            inc.bound(),
+            cold.solution().cost,
+            "hint published to the bound"
+        );
+        assert_eq!(warm.solution().assignment, cold.solution().assignment);
+    }
+
+    #[test]
+    fn time_budget_overrun_is_bounded() {
+        // A model large enough that nodes are slow: the wall-clock stop
+        // must land close to the limit, not a node-stride late.
+        let n = 600;
+        let mut b = ModelBuilder::new("t", (n / 2) as u32);
+        let vs = b.slot_vars("X", n);
+        b.capacity("cap", vs.clone(), vec![1; n], 2);
+        b.require_scheduled(&vs);
+        b.completion_objective(&vs, &vec![1; n], 10_000);
+        let m = b.build();
+        let limit = Duration::from_millis(120);
+        let tight = SolverConfig {
+            time_limit: limit,
+            max_nodes: u64::MAX,
+            ..Default::default()
+        };
+        let r = solve(&m, &tight);
+        assert!(
+            r.stats.elapsed < limit + Duration::from_millis(400),
+            "elapsed {:?} overran the {:?} budget",
+            r.stats.elapsed,
+            limit
         );
     }
 

@@ -6,6 +6,7 @@
 //! cornet check <bundle.json> [--format json] [--deny warnings] [--baseline F]
 //! cornet lint  --intent F [--network SPEC]   lint a JSON intent
 //! cornet plan  --intent F [--network SPEC] [--backend B] [--emit-mzn F] [--trace F]
+//!              [--warm-from plan.json] [--save-plan plan.json]
 //! cornet run   [--nodes N] [--concurrency C] [--trace F]   resilient roll-out demo
 //! cornet run   --journal F [--crash-at N]    journaled campaign (kill-safe)
 //! cornet resume <journal> [--trace F]        resume a crashed campaign
@@ -20,7 +21,7 @@
 use cornet::catalog::builtin_catalog;
 use cornet::netsim::{Network, NetworkConfig};
 use cornet::obs::{write_trace, ChromeTraceSink, TraceSummary, Tracer};
-use cornet::planner::{lint, plan, BackendChoice, PlanIntent, PlanOptions};
+use cornet::planner::{lint, plan, BackendChoice, PlanIntent, PlanOptions, PlanSnapshot};
 use cornet::types::{NfType, NodeId};
 use cornet::workflow::{validate, WarArtifact};
 use std::collections::BTreeMap;
@@ -36,8 +37,10 @@ fn usage() -> ExitCode {
            --baseline <file>   (check) suppress previously accepted findings\n\
            --intent <file>     JSON intent (Listing 1 format)\n\
            --network <spec>    ran:<nodes> | cloud:<vces>   (default ran:200)\n\
-           --backend <b>       exact | greedy | heuristic | portfolio (default exact)\n\
+           --backend <b>       exact | greedy | heuristic | portfolio | sharded (default exact)\n\
            --heuristic         alias for --backend heuristic\n\
+           --warm-from <file>  (plan) seed the solver from a prior --save-plan snapshot\n\
+           --save-plan <file>  (plan) write the plan as a warm-startable snapshot\n\
            --emit-mzn <file>   write the generated MiniZinc model\n\
            --time-limit <s>    solver budget in seconds (default 5)\n\
            --trace <file>      write a Chrome-trace JSON + print a span summary\n\
@@ -337,6 +340,20 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> ExitCode {
         }
     };
 
+    let warm_from = match flags.get("warm-from") {
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))
+            .and_then(|json| PlanSnapshot::from_json(&json).map_err(|e| e.to_string()))
+        {
+            Ok(snapshot) => Some(snapshot),
+            Err(e) => {
+                eprintln!("error: --warm-from: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     let secs: u64 = flags
         .get("time-limit")
         .and_then(|s| s.parse().ok())
@@ -349,6 +366,7 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> ExitCode {
         },
         backend,
         tracer: tracer.clone(),
+        warm_from,
         ..Default::default()
     };
     match plan(&intent, &net.inventory, &net.topology, &nodes, &options) {
@@ -363,16 +381,32 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> ExitCode {
                 result.outcome,
                 result.discovery_time,
             );
+            if let Some(reuse) = result.warm_reuse {
+                println!(
+                    "  warm start: {:.1}% of units reused from the prior plan",
+                    reuse * 100.0
+                );
+            }
             for run in &result.backend_runs {
                 println!(
-                    "  backend {}{}: {:?}, cost {}, {} nodes in {:?}",
+                    "  backend {}{}{}: {:?}, cost {}, {} nodes in {:?}",
                     run.backend,
+                    run.shard
+                        .map_or_else(String::new, |s| format!("[shard {s}]")),
                     if run.winner { " (winner)" } else { "" },
                     run.outcome,
                     run.cost.map_or_else(|| "-".into(), |c| c.to_string()),
                     run.stats.nodes,
-                    run.stats.elapsed,
+                    run.elapsed,
                 );
+            }
+            if let Some(path) = flags.get("save-plan") {
+                let snapshot = PlanSnapshot::capture(&result, &net.inventory);
+                if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+                    eprintln!("writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("plan snapshot written to {path} (re-solve with --warm-from)");
             }
             if let Some(path) = flags.get("emit-mzn") {
                 match cornet::planner::translate(

@@ -42,6 +42,48 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         let scope = *self;
         ScopedJoinHandle(self.inner.spawn(move || f(&scope)))
     }
+
+    /// Configure a scoped thread before spawning it, mirroring
+    /// crossbeam's `ScopedThreadBuilder` (name + stack size).
+    pub fn builder(&self) -> ScopedThreadBuilder<'scope, 'env> {
+        ScopedThreadBuilder {
+            scope: *self,
+            builder: std::thread::Builder::new(),
+        }
+    }
+}
+
+/// Builder for a scoped thread with a custom name or stack size —
+/// solver threads recurse one frame per fixed variable, so large models
+/// need far more than the default 2 MiB.
+pub struct ScopedThreadBuilder<'scope, 'env: 'scope> {
+    scope: Scope<'scope, 'env>,
+    builder: std::thread::Builder,
+}
+
+impl<'scope, 'env> ScopedThreadBuilder<'scope, 'env> {
+    /// Name the thread.
+    pub fn name(mut self, name: String) -> Self {
+        self.builder = self.builder.name(name);
+        self
+    }
+
+    /// Set the thread's stack size in bytes.
+    pub fn stack_size(mut self, size: usize) -> Self {
+        self.builder = self.builder.stack_size(size);
+        self
+    }
+
+    /// Spawn the configured scoped thread.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<ScopedJoinHandle<'scope, T>>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = self.scope;
+        let handle = self.builder.spawn_scoped(scope.inner, move || f(&scope))?;
+        Ok(ScopedJoinHandle(handle))
+    }
 }
 
 /// Create a scope for spawning borrowing threads; all threads are joined
