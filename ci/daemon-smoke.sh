@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the cornetd service mode, run from the repo root
+# with release binaries already built:
+#
+#   1. gate      clean bundle accepted (201), defective bundle refused (422)
+#   2. complete  the accepted campaign runs to phase=completed
+#   3. kill      SIGKILL mid-campaign, restart on the same state dir; the
+#                campaign resumes from its journal (blocks_recovered > 0)
+#                and lands on the same fingerprint as an uninterrupted run
+#                of the same spec
+#   4. shutdown  POST /v1/shutdown drains and the process exits cleanly
+set -euo pipefail
+
+CORNET=${CORNET:-target/release/cornet}
+CORNETD=${CORNETD:-target/release/cornetd}
+WORK=$(mktemp -d)
+STATE="$WORK/state"
+PID=""
+trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  [ -f "$WORK/daemon.out" ] && sed 's/^/  daemon: /' "$WORK/daemon.out" >&2
+  exit 1
+}
+
+start_daemon() {
+  "$CORNETD" --listen 127.0.0.1:0 --state-dir "$STATE" --fsync always \
+    --pool 4 --default-quota 2 >"$WORK/daemon.out" 2>&1 &
+  PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^cornetd listening on //p' "$WORK/daemon.out")
+    [ -n "$ADDR" ] && return
+    kill -0 "$PID" 2>/dev/null || fail "cornetd exited during startup"
+    sleep 0.1
+  done
+  fail "cornetd never announced its listen address"
+}
+
+cli() { "$CORNET" "$@" --daemon "$ADDR"; }
+snap() { cli status "$1"; }
+
+# Poll a campaign to a terminal phase; print its final snapshot.
+wait_terminal() {
+  local id=$1 p
+  for _ in $(seq 1 600); do
+    p=$(snap "$id" | jq -r .phase)
+    case "$p" in
+      completed) snap "$id"; return ;;
+      failed | cancelled) fail "campaign $id ended $p" ;;
+    esac
+    sleep 0.1
+  done
+  fail "campaign $id did not reach a terminal phase"
+}
+
+echo "== start cornetd =="
+start_daemon
+echo "   listening on $ADDR (state dir $STATE)"
+
+echo "== gate: clean bundle accepted =="
+ACCEPT=$(cli submit examples/check/clean.json)
+echo "   $ACCEPT"
+CID=$(echo "$ACCEPT" | jq -r .id)
+
+echo "== gate: defective bundle refused =="
+if cli submit examples/check/defective.json 2>"$WORK/refused.txt"; then
+  fail "defective bundle was accepted"
+fi
+grep -q 'refused by the pre-deploy check gate' "$WORK/refused.txt"
+echo "   refused with $(grep -c '"severity"' "$WORK/refused.txt") diagnostics"
+
+echo "== accepted campaign completes =="
+wait_terminal "$CID" >/dev/null
+
+echo "== kill-safety: SIGKILL mid-campaign, restart, resume =="
+cat >"$WORK/big.json" <<'EOF'
+{"name": "ci-kill-smoke", "scenario": {"nodes": 160, "latency_ms": 1, "fault_rate_milli": 0}}
+EOF
+KID=$(cli submit "$WORK/big.json" | jq -r .id)
+LIVE=0
+for _ in $(seq 1 600); do
+  LIVE=$(snap "$KID" | jq -r .blocks_live)
+  [ "$LIVE" -ge 1 ] && break
+  sleep 0.05
+done
+[ "$LIVE" -ge 1 ] || fail "campaign $KID never got a block in flight"
+{ kill -9 "$PID" && wait "$PID"; } 2>/dev/null || true
+echo "   killed cornetd with $LIVE blocks journaled on campaign $KID"
+
+start_daemon
+FINAL=$(wait_terminal "$KID")
+RECOVERED=$(echo "$FINAL" | jq -r .blocks_recovered)
+FP=$(echo "$FINAL" | jq -r .outcome.fingerprint)
+[ "$RECOVERED" -ge 1 ] || fail "resumed campaign recovered no journaled blocks"
+
+# An uninterrupted run of the same spec must land on the same fingerprint.
+RID=$(cli submit "$WORK/big.json" | jq -r .id)
+REF=$(wait_terminal "$RID" | jq -r .outcome.fingerprint)
+[ "$FP" = "$REF" ] || fail "fingerprint mismatch: resumed $FP vs uninterrupted $REF"
+echo "   resumed $RECOVERED recovered blocks, fingerprint $FP matches clean run"
+
+echo "== clean shutdown =="
+CODE=$(curl -s -o "$WORK/shutdown.json" -w '%{http_code}' -X POST "http://$ADDR/v1/shutdown")
+[ "$CODE" = 202 ] || fail "POST /v1/shutdown returned HTTP $CODE"
+for _ in $(seq 1 100); do
+  if ! kill -0 "$PID" 2>/dev/null; then
+    PID=""
+    break
+  fi
+  sleep 0.1
+done
+[ -z "$PID" ] || fail "cornetd still running after shutdown"
+
+echo "daemon smoke OK: gate, completion, SIGKILL+resume ($RECOVERED blocks recovered, fingerprint $FP), clean shutdown"

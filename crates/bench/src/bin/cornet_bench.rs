@@ -34,6 +34,8 @@
 //! than the tolerance (default 30%).
 
 use cornet_catalog::builtin_catalog;
+use cornet_daemon::{CampaignManager, ManagerConfig, SubmitOutcome};
+use cornet_journal::FsyncPolicy;
 use cornet_netsim::{KpiGenerator, Network, NetworkConfig};
 use cornet_obs::{TraceSummary, Tracer};
 use cornet_orchestrator::{Dispatcher, Engine, ExecutorRegistry, GlobalState, InstanceStatus};
@@ -126,7 +128,15 @@ fn main() {
     planner.push(bench_incremental_resolve(smoke, min_reps));
     write_report(&out_dir, "planner", mode, cpus, &planner);
 
-    for s in orchestrator.iter().chain(&verifier).chain(&planner) {
+    let daemon = vec![bench_daemon_submit_latency(smoke, min_reps)];
+    write_report(&out_dir, "daemon", mode, cpus, &daemon);
+
+    for s in orchestrator
+        .iter()
+        .chain(&verifier)
+        .chain(&planner)
+        .chain(&daemon)
+    {
         eprintln!(
             "  {:<32} baseline {:>9.2} ms  optimized {:>9.2} ms  speedup {:.2}x",
             s.name,
@@ -934,7 +944,12 @@ fn render_report(bench: &str, mode: &str, cpus: usize, scenarios: &[Scenario]) -
             if j > 0 {
                 out.push_str(", ");
             }
-            out.push_str(&format!("\"{}\": {}", json_escape(k), v));
+            // Numeric param values render bare; anything else as a string.
+            if v.parse::<f64>().is_ok() {
+                out.push_str(&format!("\"{}\": {}", json_escape(k), v));
+            } else {
+                out.push_str(&format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)));
+            }
         }
         out.push_str("},\n");
         out.push_str(&format!("      \"baseline_ms\": {:.3},\n", s.baseline_ms));
@@ -996,6 +1011,117 @@ fn validate_report(body: &str, scenario_count: usize) {
         scenario_count,
         "one speedup per scenario"
     );
+}
+
+// --- daemon -------------------------------------------------------------
+
+/// Submit-to-done wall-clock for a 4-tenant batch of journaled campaigns
+/// through the `cornetd` [`CampaignManager`]: serial admission
+/// (`max_campaigns = 1`, the one-campaign-at-a-time operator workflow the
+/// daemon replaces) vs the daemon's fair-share concurrent scheduling over
+/// a shared slot pool with per-tenant quotas. Params also record the
+/// worst submit→first-durable-journal-record latency observed while all
+/// four campaigns were admitted at once.
+fn bench_daemon_submit_latency(smoke: bool, min_reps: usize) -> Scenario {
+    let nodes: u32 = if smoke { 12 } else { 48 };
+    const CAMPAIGNS: usize = 4;
+    const POOL: usize = 8;
+    const QUOTA: usize = 2;
+    let spec = format!(
+        "{{\"name\":\"bench\",\"scenario\":{{\"nodes\":{nodes},\"latency_ms\":1,\
+         \"fault_rate_milli\":0}}}}"
+    );
+    let tenants: Vec<String> = (0..CAMPAIGNS).map(|i| format!("tenant{i}")).collect();
+
+    let manager_at = |state: &std::path::Path, max_campaigns: usize| {
+        let _ = std::fs::remove_dir_all(state);
+        let config = ManagerConfig {
+            state_dir: state.to_path_buf(),
+            fsync: FsyncPolicy::Always,
+            pool: POOL,
+            default_quota: QUOTA,
+            max_campaigns,
+            ..ManagerConfig::default()
+        };
+        CampaignManager::start(config).expect("manager starts")
+    };
+    let submit_one = |manager: &std::sync::Arc<CampaignManager>, tenant: &str| -> String {
+        match manager.submit(tenant, &spec).expect("submit succeeds") {
+            SubmitOutcome::Accepted { id, .. } => id,
+            SubmitOutcome::Rejected { .. } => panic!("bench spec passes the gate"),
+        }
+    };
+    let wait_all = |manager: &std::sync::Arc<CampaignManager>, ids: &[(String, String)]| {
+        for (tenant, id) in ids {
+            loop {
+                let snap = manager.snapshot(tenant, id).expect("snapshot");
+                if snap.phase.is_terminal() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    };
+    let run_batch = |tag: &str, max_campaigns: usize| -> f64 {
+        let state =
+            std::env::temp_dir().join(format!("cornet-bench-dmn-{tag}-{}", std::process::id()));
+        let elapsed = time_ms(min_reps, || {
+            let manager = manager_at(&state, max_campaigns);
+            let ids: Vec<(String, String)> = tenants
+                .iter()
+                .map(|t| (t.clone(), submit_one(&manager, t)))
+                .collect();
+            wait_all(&manager, &ids);
+            manager.begin_shutdown();
+            manager.drain(Duration::from_secs(60));
+        });
+        let _ = std::fs::remove_dir_all(&state);
+        elapsed
+    };
+
+    // Instrumented pass (not timed): how long until each submission's
+    // campaign has durable journal records, with all four admitted at once.
+    let state = std::env::temp_dir().join(format!("cornet-bench-dmn-lat-{}", std::process::id()));
+    let manager = manager_at(&state, CAMPAIGNS);
+    let mut first_admission_ms = 0f64;
+    let mut ids = Vec::new();
+    for tenant in &tenants {
+        let submitted = Instant::now();
+        let id = submit_one(&manager, tenant);
+        loop {
+            let snap = manager.snapshot(tenant, &id).expect("snapshot");
+            if snap.events >= 2 || snap.phase.is_terminal() {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        first_admission_ms = first_admission_ms.max(submitted.elapsed().as_secs_f64() * 1e3);
+        ids.push((tenant.clone(), id));
+    }
+    wait_all(&manager, &ids);
+    manager.begin_shutdown();
+    manager.drain(Duration::from_secs(60));
+    let _ = std::fs::remove_dir_all(&state);
+
+    let baseline_ms = run_batch("serial", 1);
+    let optimized_ms = run_batch("conc", CAMPAIGNS);
+    Scenario {
+        name: "daemon_submit_latency",
+        params: vec![
+            ("campaigns", CAMPAIGNS.to_string()),
+            ("nodes", nodes.to_string()),
+            ("pool", POOL.to_string()),
+            ("tenant_quota", QUOTA.to_string()),
+            ("fsync", "always".into()),
+            (
+                "worst_first_admission_ms",
+                format!("{first_admission_ms:.3}"),
+            ),
+        ],
+        baseline_ms,
+        optimized_ms,
+        trace_summary: None,
+    }
 }
 
 // --- bench-regression gate ----------------------------------------------
@@ -1078,7 +1204,7 @@ fn run_gate(baseline_dir: &str, out_dir: &str, tolerance: f64) -> bool {
         tolerance * 100.0
     );
     let mut all_regressions = Vec::new();
-    for bench in ["orchestrator", "verifier", "planner"] {
+    for bench in ["orchestrator", "verifier", "planner", "daemon"] {
         let base_path = format!("{baseline_dir}/BENCH_{bench}.json");
         let base_body = match std::fs::read_to_string(&base_path) {
             Ok(b) => b,

@@ -116,6 +116,19 @@ pub fn check(bundle: &MopBundle) -> Report {
     standard_driver().run(bundle)
 }
 
+/// The check gate as a pre-deploy step: `Ok(report)` when the bundle may
+/// deploy (warnings allowed), `Err(report)` when error diagnostics refuse
+/// it. WAR deployment and the daemon's submit endpoint both consult this,
+/// so a bundle rejected at the CLI is rejected identically over the API.
+pub fn gate(bundle: &MopBundle) -> std::result::Result<Report, Report> {
+    let report = check(bundle);
+    if report.has_errors() {
+        Err(report)
+    } else {
+        Ok(report)
+    }
+}
+
 /// Parse a bundle specification from JSON text (see `examples/check/` for
 /// the format). Malformed specs fail here, before any pass runs —
 /// loading errors are not diagnostics.

@@ -21,7 +21,7 @@ pub mod native;
 pub mod reuse;
 pub mod rollout;
 
-pub use check::{check, load_bundle, standard_driver, MopBundle};
+pub use check::{check, gate, load_bundle, standard_driver, MopBundle};
 pub use cornet::Cornet;
 pub use executors::testbed_registry;
 pub use native::{planning_registry, verification_registry};

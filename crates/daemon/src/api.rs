@@ -1,0 +1,283 @@
+//! `/v1` endpoint routing for `cornetd`.
+//!
+//! | Method | Path                            | Purpose                          |
+//! |--------|---------------------------------|----------------------------------|
+//! | GET    | `/v1/healthz`                   | liveness probe                   |
+//! | POST   | `/v1/campaigns`                 | submit a MOP bundle (gate-checked) |
+//! | GET    | `/v1/campaigns`                 | list the tenant's campaigns      |
+//! | GET    | `/v1/campaigns/{id}`            | one campaign with progress       |
+//! | POST   | `/v1/campaigns/{id}/pause`      | stop admitting new instances     |
+//! | POST   | `/v1/campaigns/{id}/resume`     | resume admissions                |
+//! | POST   | `/v1/campaigns/{id}/cancel`     | drain and close the campaign     |
+//! | GET    | `/v1/campaigns/{id}/events`     | journal events as JSONL (`?follow=1` streams) |
+//! | GET    | `/v1/quotas`                    | tenant quota + global pool usage |
+//! | POST   | `/v1/shutdown`                  | stop accepting, begin drain      |
+//!
+//! Every campaign route requires an `X-Cornet-Tenant` header; a tenant
+//! can only see and drive its own campaigns (403 otherwise). Submissions
+//! whose bundle fails the `cornet check` gate are refused with 422 and
+//! the diagnostics as JSONL.
+
+use crate::http::{Handler, HttpServer, Reply, Request, Response};
+use crate::manager::{ApiError, CampaignManager, CampaignSnapshot, SubmitOutcome};
+use cornet_obs::json_escape;
+use std::fmt::Write as _;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// The bound daemon API: an [`HttpServer`] routing into a
+/// [`CampaignManager`].
+pub struct ApiServer {
+    server: HttpServer,
+    shutdown_rx: mpsc::Receiver<()>,
+}
+
+impl ApiServer {
+    /// Bind `addr` and serve the `/v1` API with `workers` threads.
+    pub fn bind(
+        addr: &str,
+        workers: usize,
+        manager: Arc<CampaignManager>,
+    ) -> std::io::Result<ApiServer> {
+        let (tx, rx) = mpsc::channel();
+        let server = HttpServer::bind(addr, workers, handler(manager, tx))?;
+        Ok(ApiServer {
+            server,
+            shutdown_rx: rx,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Block until a `POST /v1/shutdown` arrives.
+    pub fn wait_for_shutdown(&self) {
+        let _ = self.shutdown_rx.recv();
+    }
+
+    /// Stop the HTTP server (in-flight requests finish).
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+/// Build the routing handler (exposed for in-process tests).
+pub fn handler(manager: Arc<CampaignManager>, shutdown_tx: mpsc::Sender<()>) -> Handler {
+    let shutdown_tx = Mutex::new(shutdown_tx);
+    Arc::new(move |req: Request| route(&manager, &shutdown_tx, req))
+}
+
+fn route(
+    manager: &Arc<CampaignManager>,
+    shutdown_tx: &Mutex<mpsc::Sender<()>>,
+    req: Request,
+) -> Reply {
+    let segments: Vec<&str> = match req.path.strip_prefix("/v1/") {
+        Some(rest) => rest.split('/').filter(|s| !s.is_empty()).collect(),
+        None => return full(error_response(&ApiError::NotFound(req.path.clone()))),
+    };
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => full(Response::json(200, r#"{"status":"ok"}"#)),
+        ("POST", ["shutdown"]) => {
+            manager.begin_shutdown();
+            let _ = shutdown_tx
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .send(());
+            full(Response::json(202, r#"{"status":"shutting-down"}"#))
+        }
+        ("GET", ["quotas"]) => with_tenant(&req, |tenant| {
+            full(Response::json(200, render_quotas(manager, tenant)))
+        }),
+        ("POST", ["campaigns"]) => {
+            with_tenant(&req, |tenant| match manager.submit(tenant, &req.body) {
+                Ok(SubmitOutcome::Accepted { id, report }) => full(Response::json(
+                    201,
+                    format!(
+                        "{{\"id\":\"{}\",\"warnings\":{},\"phase\":\"queued\"}}",
+                        json_escape(&id),
+                        report.warning_count()
+                    ),
+                )),
+                Ok(SubmitOutcome::Rejected { report }) => {
+                    full(Response::jsonl(422, report.render_jsonl()))
+                }
+                Err(e) => full(error_response(&e)),
+            })
+        }
+        ("GET", ["campaigns"]) => with_tenant(&req, |tenant| {
+            let mut body = String::from("[");
+            for (i, snap) in manager.list(tenant).iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&render_snapshot(snap));
+            }
+            body.push(']');
+            full(Response::json(200, body))
+        }),
+        ("GET", ["campaigns", id]) => {
+            with_tenant(&req, |tenant| reply_snapshot(manager.snapshot(tenant, id)))
+        }
+        ("POST", ["campaigns", id, "pause"]) => {
+            with_tenant(&req, |tenant| reply_snapshot(manager.pause(tenant, id)))
+        }
+        ("POST", ["campaigns", id, "resume"]) => {
+            with_tenant(&req, |tenant| reply_snapshot(manager.resume(tenant, id)))
+        }
+        ("POST", ["campaigns", id, "cancel"]) => {
+            with_tenant(&req, |tenant| reply_snapshot(manager.cancel(tenant, id)))
+        }
+        ("GET", ["campaigns", id, "events"]) => with_tenant(&req, |tenant| {
+            let from: usize = req.param("from").and_then(|v| v.parse().ok()).unwrap_or(0);
+            let follow = matches!(req.param("follow"), Some("1" | "true"));
+            if follow {
+                stream_events(manager, tenant, id, from)
+            } else {
+                match manager.events_since(tenant, id, from) {
+                    Ok((lines, _)) => {
+                        let mut body = lines.join("\n");
+                        if !body.is_empty() {
+                            body.push('\n');
+                        }
+                        full(Response::jsonl(200, body))
+                    }
+                    Err(e) => full(error_response(&e)),
+                }
+            }
+        }),
+        (_, ["healthz" | "shutdown" | "quotas" | "campaigns", ..]) => {
+            full(Response::json(405, r#"{"error":"method not allowed"}"#))
+        }
+        _ => full(error_response(&ApiError::NotFound(req.path.clone()))),
+    }
+}
+
+fn full(response: Response) -> Reply {
+    Reply::Full(response)
+}
+
+fn with_tenant(req: &Request, f: impl FnOnce(&str) -> Reply) -> Reply {
+    match req.header("x-cornet-tenant") {
+        Some(tenant) if !tenant.is_empty() => f(tenant),
+        _ => full(Response::json(
+            400,
+            r#"{"error":"missing X-Cornet-Tenant header"}"#,
+        )),
+    }
+}
+
+fn reply_snapshot(result: Result<CampaignSnapshot, ApiError>) -> Reply {
+    match result {
+        Ok(snap) => full(Response::json(200, render_snapshot(&snap))),
+        Err(e) => full(error_response(&e)),
+    }
+}
+
+fn stream_events(manager: &Arc<CampaignManager>, tenant: &str, id: &str, from: usize) -> Reply {
+    // Validate ownership up front so auth failures are proper statuses,
+    // not broken streams.
+    if let Err(e) = manager.snapshot(tenant, id) {
+        return full(error_response(&e));
+    }
+    let manager = Arc::clone(manager);
+    let tenant = tenant.to_string();
+    let id = id.to_string();
+    Reply::Stream {
+        content_type: "application/x-ndjson",
+        write: Box::new(move |sink| {
+            let mut cursor = from;
+            loop {
+                let (lines, done) =
+                    match manager.wait_events(&tenant, &id, cursor, Duration::from_secs(10)) {
+                        Ok(r) => r,
+                        Err(_) => return Ok(()),
+                    };
+                cursor += lines.len();
+                for line in &lines {
+                    writeln!(sink, "{line}")?;
+                }
+                sink.flush()?;
+                if done {
+                    return Ok(());
+                }
+            }
+        }),
+    }
+}
+
+fn error_response(e: &ApiError) -> Response {
+    let status = match e {
+        ApiError::NotFound(_) => 404,
+        ApiError::Forbidden(_) => 403,
+        ApiError::Invalid(_) => 400,
+        ApiError::Conflict(_) => 409,
+        ApiError::Internal(_) => 500,
+    };
+    Response::json(
+        status,
+        format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string())),
+    )
+}
+
+fn render_quotas(manager: &CampaignManager, tenant: &str) -> String {
+    let (in_flight, high_water, pool) = manager.pool_usage();
+    let mut body = format!(
+        "{{\"global\":{{\"in_flight\":{in_flight},\"high_water\":{high_water},\"pool\":{pool}}}"
+    );
+    if let Some(snap) = manager.quotas().get(tenant) {
+        let _ = write!(
+            body,
+            ",\"tenant\":{{\"in_flight\":{},\"high_water\":{},\"quota\":{},\"waiting\":{}}}",
+            snap.in_flight, snap.high_water, snap.quota, snap.waiting
+        );
+    } else {
+        body.push_str(",\"tenant\":null");
+    }
+    body.push('}');
+    body
+}
+
+/// Render one campaign snapshot as a JSON object.
+pub fn render_snapshot(snap: &CampaignSnapshot) -> String {
+    let mut out = format!(
+        "{{\"id\":\"{}\",\"tenant\":\"{}\",\"name\":\"{}\",\"phase\":\"{}\",\
+         \"total_instances\":{},\"instances_done\":{},\"blocks_live\":{},\
+         \"blocks_recovered\":{},\"events\":{}",
+        json_escape(&snap.id),
+        json_escape(&snap.tenant),
+        json_escape(&snap.name),
+        snap.phase.label(),
+        snap.total_instances,
+        snap.instances_done,
+        snap.blocks_live,
+        snap.blocks_recovered,
+        snap.events,
+    );
+    match &snap.outcome {
+        Some(o) => {
+            let _ = write!(
+                out,
+                ",\"outcome\":{{\"fingerprint\":\"{:016x}\",\"completed\":{},\"failed\":{},\
+                 \"rolled_back\":{},\"cancelled\":{}",
+                o.fingerprint, o.completed, o.failed, o.rolled_back, o.cancelled
+            );
+            match &o.trip {
+                Some(t) => {
+                    let _ = write!(out, ",\"trip\":\"{}\"}}", json_escape(t));
+                }
+                None => out.push_str(",\"trip\":null}"),
+            }
+        }
+        None => out.push_str(",\"outcome\":null"),
+    }
+    match &snap.error {
+        Some(e) => {
+            let _ = write!(out, ",\"error\":\"{}\"}}", json_escape(e));
+        }
+        None => out.push_str(",\"error\":null}"),
+    }
+    out
+}

@@ -1,0 +1,1124 @@
+//! The campaign manager: the layer between the HTTP front-end and the
+//! continuous-admission dispatcher.
+//!
+//! One manager owns one state directory. Submission runs the `cornet
+//! check` gate (bundles with error diagnostics are refused before any
+//! state is created), allocates a campaign directory, and queues the
+//! campaign for execution. A fair-share scheduler starts queued campaigns
+//! round-robin across tenants up to a global concurrent-campaign limit;
+//! each running campaign journals into its own WAL and charges its
+//! instance executions to its tenant's admission quota. On restart the
+//! manager scans the store and resumes every interrupted campaign through
+//! [`Dispatcher::resume_campaign`] — completed blocks are replayed from
+//! the journal, never re-executed.
+
+use crate::quota::{QuotaBook, QuotaSnapshot};
+use crate::scenario::{report_fingerprint, JournalScenario};
+use cornet_analysis::Report;
+use cornet_core::{gate, load_bundle};
+use cornet_journal::{CampaignStore, FsyncPolicy, Journal, JournalEvent, Manifest};
+use cornet_obs::Tracer;
+use cornet_orchestrator::{recover_campaign, CampaignControl, DispatchReport, Dispatcher};
+use cornet_types::json::parse;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Errors the API maps onto HTTP status codes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApiError {
+    /// Unknown campaign id (404).
+    NotFound(String),
+    /// Campaign belongs to a different tenant (403).
+    Forbidden(String),
+    /// Malformed request (400).
+    Invalid(String),
+    /// Request is valid but the campaign is in the wrong state (409).
+    Conflict(String),
+    /// Daemon-side failure (500).
+    Internal(String),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::NotFound(m) => write!(f, "not found: {m}"),
+            ApiError::Forbidden(m) => write!(f, "forbidden: {m}"),
+            ApiError::Invalid(m) => write!(f, "invalid request: {m}"),
+            ApiError::Conflict(m) => write!(f, "conflict: {m}"),
+            ApiError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+/// Campaign lifecycle as the manager tracks it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CampaignPhase {
+    /// Accepted, waiting for a scheduler slot (fresh or pending resume).
+    Queued,
+    /// A runner thread is driving the dispatcher.
+    Running,
+    /// Admission is paused; in-flight instances finish.
+    Paused,
+    /// Terminal: ran to completion (possibly halted by a breaker trip).
+    Completed,
+    /// Terminal: cancelled by the tenant.
+    Cancelled,
+    /// Terminal: the runner hit an internal error.
+    Failed,
+}
+
+impl CampaignPhase {
+    /// Lower-case label used in API payloads.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CampaignPhase::Queued => "queued",
+            CampaignPhase::Running => "running",
+            CampaignPhase::Paused => "paused",
+            CampaignPhase::Completed => "completed",
+            CampaignPhase::Cancelled => "cancelled",
+            CampaignPhase::Failed => "failed",
+        }
+    }
+
+    /// Whether the campaign can never change phase again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            CampaignPhase::Completed | CampaignPhase::Cancelled | CampaignPhase::Failed
+        )
+    }
+}
+
+/// Terminal outcome summary of a campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignResult {
+    /// FNV-1a-64 fingerprint of the dispatch report (crash-recovery
+    /// equality witness).
+    pub fingerprint: u64,
+    /// Instances that completed the mainline flow.
+    pub completed: usize,
+    /// Instances that failed outright.
+    pub failed: usize,
+    /// Instances reverted by their backout flow.
+    pub rolled_back: usize,
+    /// Block that tripped the breaker, if it fired.
+    pub trip: Option<String>,
+    /// True when the campaign was cancelled.
+    pub cancelled: bool,
+}
+
+/// Point-in-time public view of one campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignSnapshot {
+    /// Campaign id (`c000001`, …).
+    pub id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Display name from the submitted spec.
+    pub name: String,
+    /// Current lifecycle phase.
+    pub phase: CampaignPhase,
+    /// Scheduled instance count.
+    pub total_instances: u32,
+    /// Instances with a terminal status so far.
+    pub instances_done: usize,
+    /// Blocks executed (journal appends) since this process started
+    /// driving the campaign — replayed blocks never count.
+    pub blocks_live: usize,
+    /// Block records recovered from the journal before this process took
+    /// over (prior run's completed work).
+    pub blocks_recovered: usize,
+    /// Journal events observed so far (the `/events` stream length).
+    pub events: usize,
+    /// Terminal outcome, once reached.
+    pub outcome: Option<CampaignResult>,
+    /// Runner error detail for `Failed` campaigns.
+    pub error: Option<String>,
+}
+
+/// Result of a submission that passed request validation.
+#[derive(Clone, Debug)]
+pub enum SubmitOutcome {
+    /// The bundle passed the check gate; a campaign was created.
+    Accepted {
+        /// Allocated campaign id.
+        id: String,
+        /// The gate report (warnings may be present).
+        report: Report,
+    },
+    /// The bundle carries error diagnostics; nothing was created.
+    Rejected {
+        /// The gate report with the refusing diagnostics.
+        report: Report,
+    },
+}
+
+/// Daemon-side configuration for a [`CampaignManager`].
+#[derive(Clone)]
+pub struct ManagerConfig {
+    /// State directory holding the campaign store.
+    pub state_dir: PathBuf,
+    /// Durability policy for every campaign journal.
+    pub fsync: FsyncPolicy,
+    /// Global instance-execution pool shared by all campaigns.
+    pub pool: usize,
+    /// Per-tenant cap on concurrent instance executions.
+    pub default_quota: usize,
+    /// Per-tenant overrides of the default quota.
+    pub quota_overrides: BTreeMap<String, usize>,
+    /// Maximum campaigns running at once (fair-share across tenants).
+    pub max_campaigns: usize,
+    /// Observability handle shared by every campaign.
+    pub tracer: Tracer,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            state_dir: PathBuf::from("cornetd-state"),
+            fsync: FsyncPolicy::EveryN(64),
+            pool: 8,
+            default_quota: 2,
+            quota_overrides: BTreeMap::new(),
+            max_campaigns: 4,
+            tracer: Tracer::noop(),
+        }
+    }
+}
+
+struct Entry {
+    manifest: Manifest,
+    scenario: JournalScenario,
+    control: CampaignControl,
+    phase: CampaignPhase,
+    /// Pending resume of an interrupted journal (vs a fresh first run).
+    resume: bool,
+    instances_done: usize,
+    blocks_live: usize,
+    blocks_recovered: usize,
+    events: Vec<String>,
+    outcome: Option<CampaignResult>,
+    error: Option<String>,
+}
+
+impl Entry {
+    fn snapshot(&self) -> CampaignSnapshot {
+        CampaignSnapshot {
+            id: self.manifest.id.clone(),
+            tenant: self.manifest.tenant.clone(),
+            name: self.manifest.name.clone(),
+            phase: self.phase,
+            total_instances: self.scenario.nodes,
+            instances_done: self.instances_done,
+            blocks_live: self.blocks_live,
+            blocks_recovered: self.blocks_recovered,
+            events: self.events.len(),
+            outcome: self.outcome.clone(),
+            error: self.error.clone(),
+        }
+    }
+}
+
+struct ManagerState {
+    entries: BTreeMap<String, Entry>,
+    /// Submission-ordered queue of campaign ids awaiting a runner.
+    queue: Vec<String>,
+    running: usize,
+    /// Fair-share bookkeeping: the scheduler tick at which each tenant
+    /// was last served.
+    served: BTreeMap<String, u64>,
+    tick: u64,
+    accepting: bool,
+}
+
+/// The multi-tenant campaign service behind `cornetd`.
+pub struct CampaignManager {
+    config: ManagerConfig,
+    store: CampaignStore,
+    book: QuotaBook,
+    state: Mutex<ManagerState>,
+    cond: Condvar,
+}
+
+impl CampaignManager {
+    /// Open the state directory, recover every stored campaign, and start
+    /// runners for everything that was interrupted.
+    pub fn start(config: ManagerConfig) -> Result<Arc<CampaignManager>, ApiError> {
+        let store = CampaignStore::open(&config.state_dir)
+            .map_err(|e| ApiError::Internal(e.to_string()))?;
+        let book = QuotaBook::new(
+            config.pool,
+            config.default_quota,
+            config.quota_overrides.clone(),
+        );
+        let manager = Arc::new(CampaignManager {
+            store,
+            book,
+            state: Mutex::new(ManagerState {
+                entries: BTreeMap::new(),
+                queue: Vec::new(),
+                running: 0,
+                served: BTreeMap::new(),
+                tick: 0,
+                accepting: true,
+            }),
+            cond: Condvar::new(),
+            config,
+        });
+        manager.recover()?;
+        manager.schedule();
+        Ok(manager)
+    }
+
+    /// The tenant quota ledger.
+    pub fn quotas(&self) -> BTreeMap<String, QuotaSnapshot> {
+        self.book.snapshot()
+    }
+
+    /// `(in_flight, high_water, pool)` of the global execution pool.
+    pub fn pool_usage(&self) -> (usize, usize, usize) {
+        self.book.global()
+    }
+
+    /// The manager's tracer (per-tenant counters, campaign spans).
+    pub fn tracer(&self) -> &Tracer {
+        &self.config.tracer
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ManagerState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Rebuild in-memory state from the store at startup.
+    fn recover(self: &Arc<Self>) -> Result<(), ApiError> {
+        let manifests = self
+            .store
+            .scan()
+            .map_err(|e| ApiError::Internal(e.to_string()))?;
+        let mut state = self.lock();
+        for manifest in manifests {
+            let scenario = JournalScenario::from_meta(&manifest.meta)
+                .map_err(|e| ApiError::Internal(format!("{}: {e}", manifest.id)))?;
+            let paths = self
+                .store
+                .paths(&manifest.id)
+                .map_err(|e| ApiError::Internal(e.to_string()))?;
+            let mut entry = Entry {
+                scenario,
+                control: CampaignControl::new(),
+                phase: CampaignPhase::Queued,
+                resume: false,
+                instances_done: 0,
+                blocks_live: 0,
+                blocks_recovered: 0,
+                events: Vec::new(),
+                outcome: None,
+                error: None,
+                manifest,
+            };
+            let events = if paths.journal.exists() {
+                Journal::read(&paths.journal)
+                    .map(|(events, _)| events)
+                    .unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            for event in &events {
+                entry.events.push(event.encode());
+                match event {
+                    JournalEvent::BlockCompleted(_) => entry.blocks_recovered += 1,
+                    JournalEvent::InstanceFinished { .. } => entry.instances_done += 1,
+                    _ => {}
+                }
+            }
+            let closed = matches!(events.last(), Some(JournalEvent::CampaignClosed));
+            if let Some(outcome) = outcome_from_meta(&entry.manifest.meta) {
+                // Terminal with a persisted summary: nothing to do.
+                entry.phase = phase_from_meta(&entry.manifest.meta);
+                entry.outcome = Some(outcome);
+                entry.error = entry.manifest.meta.get("outcome_error").cloned();
+            } else if closed {
+                // The journal closed but the process died before the
+                // manifest update: reconstruct the summary from the log.
+                let (outcome, phase) = reconstruct_outcome(&events, entry.scenario.nodes);
+                entry.phase = phase;
+                entry.outcome = Some(outcome);
+            } else {
+                // Fresh (no records) or interrupted (records, not closed):
+                // queue it; interrupted ones resume instead of restarting.
+                entry.resume = !events.is_empty();
+                state.queue.push(entry.manifest.id.clone());
+            }
+            state.entries.insert(entry.manifest.id.clone(), entry);
+        }
+        Ok(())
+    }
+
+    /// Submit a MOP bundle for tenant `tenant`. The check gate runs
+    /// first; bundles with error diagnostics are refused without creating
+    /// any state.
+    pub fn submit(self: &Arc<Self>, tenant: &str, body: &str) -> Result<SubmitOutcome, ApiError> {
+        validate_tenant(tenant)?;
+        let spec = parse(body).map_err(|e| ApiError::Invalid(format!("bad JSON body: {e}")))?;
+        let name = spec
+            .get("name")
+            .and_then(|v| v.as_str())
+            .unwrap_or("campaign")
+            .to_string();
+        let scenario = match spec.get("scenario") {
+            Some(value) => JournalScenario::from_json(value).map_err(ApiError::Invalid)?,
+            None => JournalScenario::default(),
+        };
+        let bundle = load_bundle(body).map_err(|e| ApiError::Invalid(e.to_string()))?;
+        let report = match gate(&bundle) {
+            Ok(report) => report,
+            Err(report) => {
+                self.config
+                    .tracer
+                    .incr(&format!("daemon.tenant.{tenant}.rejected"), 1);
+                return Ok(SubmitOutcome::Rejected { report });
+            }
+        };
+        let mut state = self.lock();
+        if !state.accepting {
+            return Err(ApiError::Conflict("daemon is shutting down".into()));
+        }
+        let id = self
+            .store
+            .next_id()
+            .map_err(|e| ApiError::Internal(e.to_string()))?;
+        let mut meta = scenario.meta();
+        meta.insert("fsync".into(), self.config.fsync.to_string());
+        meta.insert("name".into(), name.clone());
+        let manifest = Manifest {
+            id: id.clone(),
+            tenant: tenant.to_string(),
+            name,
+            meta,
+        };
+        let paths = self
+            .store
+            .create(&manifest)
+            .map_err(|e| ApiError::Internal(e.to_string()))?;
+        std::fs::write(&paths.spec, body)
+            .map_err(|e| ApiError::Internal(format!("writing spec: {e}")))?;
+        state.entries.insert(
+            id.clone(),
+            Entry {
+                scenario,
+                manifest,
+                control: CampaignControl::new(),
+                phase: CampaignPhase::Queued,
+                resume: false,
+                instances_done: 0,
+                blocks_live: 0,
+                blocks_recovered: 0,
+                events: Vec::new(),
+                outcome: None,
+                error: None,
+            },
+        );
+        state.queue.push(id.clone());
+        drop(state);
+        self.config
+            .tracer
+            .incr(&format!("daemon.tenant.{tenant}.submitted"), 1);
+        self.cond.notify_all();
+        self.schedule();
+        Ok(SubmitOutcome::Accepted { id, report })
+    }
+
+    /// Snapshots of every campaign owned by `tenant`, id order.
+    pub fn list(&self, tenant: &str) -> Vec<CampaignSnapshot> {
+        self.lock()
+            .entries
+            .values()
+            .filter(|e| e.manifest.tenant == tenant)
+            .map(Entry::snapshot)
+            .collect()
+    }
+
+    /// Snapshot of one campaign, enforcing tenant ownership.
+    pub fn snapshot(&self, tenant: &str, id: &str) -> Result<CampaignSnapshot, ApiError> {
+        let state = self.lock();
+        owned_entry(&state, tenant, id).map(Entry::snapshot)
+    }
+
+    /// Pause a queued or running campaign: no new instances are admitted;
+    /// in-flight work finishes.
+    pub fn pause(&self, tenant: &str, id: &str) -> Result<CampaignSnapshot, ApiError> {
+        let mut state = self.lock();
+        let entry = owned_entry_mut(&mut state, tenant, id)?;
+        match entry.phase {
+            CampaignPhase::Running | CampaignPhase::Queued => {
+                entry.control.pause();
+                entry.phase = CampaignPhase::Paused;
+                Ok(entry.snapshot())
+            }
+            CampaignPhase::Paused => Ok(entry.snapshot()),
+            other => Err(ApiError::Conflict(format!(
+                "campaign {id} is {}, cannot pause",
+                other.label()
+            ))),
+        }
+    }
+
+    /// Resume a paused campaign.
+    pub fn resume(self: &Arc<Self>, tenant: &str, id: &str) -> Result<CampaignSnapshot, ApiError> {
+        let mut state = self.lock();
+        let entry = owned_entry_mut(&mut state, tenant, id)?;
+        match entry.phase {
+            CampaignPhase::Paused => {
+                entry.control.resume();
+                // A runner is attached iff the id left the queue.
+                let queued = state.queue.contains(&id.to_string());
+                let entry = owned_entry_mut(&mut state, tenant, id)?;
+                entry.phase = if queued {
+                    CampaignPhase::Queued
+                } else {
+                    CampaignPhase::Running
+                };
+                let snap = entry.snapshot();
+                drop(state);
+                self.cond.notify_all();
+                self.schedule();
+                Ok(snap)
+            }
+            CampaignPhase::Running | CampaignPhase::Queued => {
+                Ok(owned_entry(&state, tenant, id)?.snapshot())
+            }
+            other => Err(ApiError::Conflict(format!(
+                "campaign {id} is {}, cannot resume",
+                other.label()
+            ))),
+        }
+    }
+
+    /// Cancel a campaign. Running campaigns drain in-flight work and
+    /// close their journal (exactly like a breaker halt); queued ones are
+    /// tombstoned so a restart never starts them.
+    pub fn cancel(self: &Arc<Self>, tenant: &str, id: &str) -> Result<CampaignSnapshot, ApiError> {
+        let mut state = self.lock();
+        let queued = state.queue.contains(&id.to_string());
+        let entry = owned_entry_mut(&mut state, tenant, id)?;
+        match entry.phase {
+            CampaignPhase::Running | CampaignPhase::Paused if !queued => {
+                entry.control.cancel();
+                let snap = entry.snapshot();
+                drop(state);
+                self.cond.notify_all();
+                Ok(snap)
+            }
+            CampaignPhase::Queued | CampaignPhase::Paused => {
+                entry.control.cancel();
+                entry.phase = CampaignPhase::Cancelled;
+                entry.outcome = Some(CampaignResult {
+                    fingerprint: 0,
+                    completed: 0,
+                    failed: 0,
+                    rolled_back: 0,
+                    trip: None,
+                    cancelled: true,
+                });
+                let manifest = entry.manifest.clone();
+                let scenario = entry.scenario.clone();
+                let outcome = entry.outcome.clone();
+                let snap = entry.snapshot();
+                state.queue.retain(|q| q != id);
+                drop(state);
+                // Tombstone the journal so restarts see a closed campaign.
+                if let Ok(paths) = self.store.paths(id) {
+                    if !paths.journal.exists() {
+                        if let Ok(journal) = Journal::create(&paths.journal, self.config.fsync) {
+                            let assignments = scenario
+                                .schedule()
+                                .assignments
+                                .iter()
+                                .map(|(n, s)| (n.0, s.0))
+                                .collect();
+                            let _ = journal.append(&JournalEvent::CampaignOpened {
+                                meta: manifest.meta.clone(),
+                                assignments,
+                                concurrency: scenario.concurrency as u32,
+                            });
+                            let _ = journal.append(&JournalEvent::CampaignClosed);
+                            let _ = journal.sync();
+                        }
+                    }
+                }
+                self.persist_outcome(&manifest, CampaignPhase::Cancelled, &outcome, &None);
+                self.cond.notify_all();
+                Ok(snap)
+            }
+            other => Err(ApiError::Conflict(format!(
+                "campaign {id} is {}, cannot cancel",
+                other.label()
+            ))),
+        }
+    }
+
+    /// Journal-event JSONL lines starting at index `from`, plus whether
+    /// the campaign is terminal (stream complete).
+    pub fn events_since(
+        &self,
+        tenant: &str,
+        id: &str,
+        from: usize,
+    ) -> Result<(Vec<String>, bool), ApiError> {
+        let state = self.lock();
+        let entry = owned_entry(&state, tenant, id)?;
+        let lines = entry.events.get(from..).unwrap_or_default().to_vec();
+        Ok((lines, entry.phase.is_terminal()))
+    }
+
+    /// Like [`CampaignManager::events_since`], but blocks up to `timeout`
+    /// for new events when none are pending.
+    pub fn wait_events(
+        &self,
+        tenant: &str,
+        id: &str,
+        from: usize,
+        timeout: Duration,
+    ) -> Result<(Vec<String>, bool), ApiError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            let entry = owned_entry(&state, tenant, id)?;
+            if entry.events.len() > from || entry.phase.is_terminal() {
+                let lines = entry.events.get(from..).unwrap_or_default().to_vec();
+                return Ok((lines, entry.phase.is_terminal()));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok((Vec::new(), false));
+            }
+            let (next, _) = self
+                .cond
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = next;
+        }
+    }
+
+    /// Stop accepting submissions.
+    pub fn begin_shutdown(&self) {
+        self.lock().accepting = false;
+        self.cond.notify_all();
+    }
+
+    /// Wait up to `timeout` for all runners to finish. Returns true when
+    /// the manager drained completely. Journals make an impatient exit
+    /// safe either way.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        while state.running > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, _) = self
+                .cond
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = next;
+        }
+        true
+    }
+
+    /// Start queued campaigns while scheduler slots are free, choosing
+    /// the least-recently-served tenant first (FIFO within a tenant).
+    fn schedule(self: &Arc<Self>) {
+        loop {
+            let mut state = self.lock();
+            if state.running >= self.config.max_campaigns {
+                return;
+            }
+            let pick = state
+                .queue
+                .iter()
+                .filter(|id| {
+                    state
+                        .entries
+                        .get(*id)
+                        .is_some_and(|e| e.phase == CampaignPhase::Queued)
+                })
+                .min_by_key(|id| {
+                    let tenant = &state.entries[*id].manifest.tenant;
+                    state.served.get(tenant).copied().unwrap_or(0)
+                })
+                .cloned();
+            let Some(id) = pick else {
+                return;
+            };
+            state.queue.retain(|q| q != &id);
+            state.running += 1;
+            state.tick += 1;
+            let tick = state.tick;
+            let entry = state.entries.get_mut(&id).expect("picked entry exists");
+            entry.phase = CampaignPhase::Running;
+            let tenant = entry.manifest.tenant.clone();
+            state.served.insert(tenant.clone(), tick);
+            drop(state);
+            self.config
+                .tracer
+                .incr(&format!("daemon.tenant.{tenant}.started"), 1);
+            let manager = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("campaign-{id}"))
+                .spawn(move || manager.run_one(&id))
+                .expect("spawn campaign runner");
+        }
+    }
+
+    /// Drive one campaign to a terminal state (runner thread body).
+    fn run_one(self: &Arc<Self>, id: &str) {
+        let (manifest, scenario, control, resume) = {
+            let state = self.lock();
+            let entry = &state.entries[id];
+            (
+                entry.manifest.clone(),
+                entry.scenario.clone(),
+                entry.control.clone(),
+                entry.resume,
+            )
+        };
+        let result = self.drive_campaign(id, &manifest, &scenario, &control, resume);
+        let mut state = self.lock();
+        state.running -= 1;
+        let entry = state.entries.get_mut(id).expect("runner entry exists");
+        let (phase, outcome, error) = match result {
+            Ok((outcome, trip_cancelled)) => {
+                let phase = if trip_cancelled {
+                    CampaignPhase::Cancelled
+                } else {
+                    CampaignPhase::Completed
+                };
+                (phase, Some(outcome), None)
+            }
+            Err(e) => (CampaignPhase::Failed, None, Some(e)),
+        };
+        entry.phase = phase;
+        entry.outcome = outcome.clone();
+        entry.error = error.clone();
+        let manifest = entry.manifest.clone();
+        drop(state);
+        self.persist_outcome(&manifest, phase, &outcome, &error);
+        self.config.tracer.incr(
+            &format!("daemon.tenant.{}.{}", manifest.tenant, phase.label()),
+            1,
+        );
+        self.cond.notify_all();
+        self.schedule();
+    }
+
+    /// Run or resume the dispatcher for one campaign. Returns the outcome
+    /// summary and whether it ended by cancellation.
+    fn drive_campaign(
+        self: &Arc<Self>,
+        id: &str,
+        manifest: &Manifest,
+        scenario: &JournalScenario,
+        control: &CampaignControl,
+        resume: bool,
+    ) -> Result<(CampaignResult, bool), String> {
+        let paths = self.store.paths(id).map_err(|e| e.to_string())?;
+        let listener = self.progress_listener(id);
+        let tracer = self.config.tracer.clone();
+        let mut span = tracer.span("campaign");
+        span.attr("campaign", id);
+        span.attr("tenant", manifest.tenant.as_str());
+        span.attr("resumed", resume);
+        let registry = scenario.registry(None, None);
+        let dispatcher = Dispatcher::new(
+            scenario.war().map_err(|e| e.to_string())?,
+            registry,
+            scenario.concurrency,
+        )
+        .map_err(|e| e.to_string())?
+        .with_tracer(tracer.clone())
+        .with_admission(self.book.handle(&manifest.tenant));
+        let breaker = scenario.breaker();
+        let outcome = if resume {
+            dispatcher
+                .with_journal_listener(listener)
+                .resume_campaign(
+                    &paths.journal,
+                    self.config.fsync,
+                    JournalScenario::inputs,
+                    Some(&breaker),
+                    Some(control),
+                )
+                .map_err(|e| e.to_string())?
+        } else {
+            let journal = Journal::create(&paths.journal, self.config.fsync)
+                .map_err(|e| e.to_string())?
+                .with_tracer(tracer.clone())
+                .with_listener(listener);
+            dispatcher
+                .with_journal(journal, manifest.meta.clone())
+                .run_campaign(
+                    &scenario.schedule(),
+                    JournalScenario::inputs,
+                    Some(&breaker),
+                    Some(control),
+                )
+                .map_err(|e| e.to_string())?
+        };
+        let result = CampaignResult {
+            fingerprint: report_fingerprint(&outcome.report),
+            completed: outcome.report.completed(),
+            failed: outcome.report.failures().len(),
+            rolled_back: outcome.report.rolled_back(),
+            trip: outcome.trip.map(|t| t.block),
+            cancelled: outcome.cancelled,
+        };
+        span.attr("fingerprint", format!("{:016x}", result.fingerprint));
+        span.attr("cancelled", result.cancelled);
+        span.finish();
+        Ok((result, outcome.cancelled))
+    }
+
+    /// The journal tap feeding live progress, the event stream, and the
+    /// zero-re-execution witness: only durable appends notify, and
+    /// replayed blocks never re-append.
+    fn progress_listener(self: &Arc<Self>, id: &str) -> cornet_journal::EventListener {
+        let manager = Arc::clone(self);
+        let id = id.to_string();
+        Arc::new(move |event: &JournalEvent| {
+            let mut state = manager.lock();
+            if let Some(entry) = state.entries.get_mut(&id) {
+                entry.events.push(event.encode());
+                match event {
+                    JournalEvent::BlockCompleted(_) => entry.blocks_live += 1,
+                    JournalEvent::InstanceFinished { .. } => entry.instances_done += 1,
+                    _ => {}
+                }
+            }
+            drop(state);
+            manager.cond.notify_all();
+        })
+    }
+
+    /// Bake a terminal outcome into the manifest so restarts report it
+    /// without replaying the journal.
+    fn persist_outcome(
+        &self,
+        manifest: &Manifest,
+        phase: CampaignPhase,
+        outcome: &Option<CampaignResult>,
+        error: &Option<String>,
+    ) {
+        let mut manifest = manifest.clone();
+        manifest
+            .meta
+            .insert("outcome_phase".into(), phase.label().into());
+        if let Some(o) = outcome {
+            manifest.meta.insert(
+                "outcome_fingerprint".into(),
+                format!("{:016x}", o.fingerprint),
+            );
+            manifest
+                .meta
+                .insert("outcome_completed".into(), o.completed.to_string());
+            manifest
+                .meta
+                .insert("outcome_failed".into(), o.failed.to_string());
+            manifest
+                .meta
+                .insert("outcome_rolled_back".into(), o.rolled_back.to_string());
+            manifest
+                .meta
+                .insert("outcome_cancelled".into(), o.cancelled.to_string());
+            if let Some(trip) = &o.trip {
+                manifest.meta.insert("outcome_trip".into(), trip.clone());
+            }
+        }
+        if let Some(e) = error {
+            manifest.meta.insert("outcome_error".into(), e.clone());
+        }
+        if let Err(e) = self.store.update(&manifest) {
+            eprintln!("cornetd: persisting outcome for {}: {e}", manifest.id);
+        } else {
+            let mut state = self.lock();
+            if let Some(entry) = state.entries.get_mut(&manifest.id) {
+                entry.manifest = manifest;
+            }
+        }
+    }
+}
+
+fn validate_tenant(tenant: &str) -> Result<(), ApiError> {
+    if tenant.is_empty()
+        || tenant.len() > 64
+        || !tenant
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Err(ApiError::Invalid(format!(
+            "bad tenant id {tenant:?}: expected 1-64 chars of [A-Za-z0-9_-]"
+        )));
+    }
+    Ok(())
+}
+
+fn owned_entry<'a>(state: &'a ManagerState, tenant: &str, id: &str) -> Result<&'a Entry, ApiError> {
+    let entry = state
+        .entries
+        .get(id)
+        .ok_or_else(|| ApiError::NotFound(format!("no campaign {id}")))?;
+    if entry.manifest.tenant != tenant {
+        return Err(ApiError::Forbidden(format!(
+            "campaign {id} belongs to another tenant"
+        )));
+    }
+    Ok(entry)
+}
+
+fn owned_entry_mut<'a>(
+    state: &'a mut ManagerState,
+    tenant: &str,
+    id: &str,
+) -> Result<&'a mut Entry, ApiError> {
+    let entry = state
+        .entries
+        .get_mut(id)
+        .ok_or_else(|| ApiError::NotFound(format!("no campaign {id}")))?;
+    if entry.manifest.tenant != tenant {
+        return Err(ApiError::Forbidden(format!(
+            "campaign {id} belongs to another tenant"
+        )));
+    }
+    Ok(entry)
+}
+
+fn outcome_from_meta(meta: &BTreeMap<String, String>) -> Option<CampaignResult> {
+    let fingerprint = u64::from_str_radix(meta.get("outcome_fingerprint")?, 16).ok()?;
+    let count = |key: &str| meta.get(key).and_then(|v| v.parse().ok()).unwrap_or(0);
+    Some(CampaignResult {
+        fingerprint,
+        completed: count("outcome_completed"),
+        failed: count("outcome_failed"),
+        rolled_back: count("outcome_rolled_back"),
+        trip: meta.get("outcome_trip").cloned(),
+        cancelled: meta.get("outcome_cancelled").map(String::as_str) == Some("true"),
+    })
+}
+
+fn phase_from_meta(meta: &BTreeMap<String, String>) -> CampaignPhase {
+    match meta.get("outcome_phase").map(String::as_str) {
+        Some("cancelled") => CampaignPhase::Cancelled,
+        Some("failed") => CampaignPhase::Failed,
+        _ => CampaignPhase::Completed,
+    }
+}
+
+/// Rebuild a terminal summary from a closed journal (the process died
+/// between the journal close and the manifest update).
+fn reconstruct_outcome(events: &[JournalEvent], total: u32) -> (CampaignResult, CampaignPhase) {
+    let recovered = recover_campaign(events, Default::default()).ok();
+    let report = DispatchReport {
+        instances: recovered
+            .map(|c| c.completed.into_values().collect())
+            .unwrap_or_default(),
+        drained: Vec::new(),
+    };
+    let trip = events.iter().find_map(|e| match e {
+        JournalEvent::BreakerTripped { block, .. } => Some(block.clone()),
+        _ => None,
+    });
+    let halted = (report.instances.len() as u32) < total;
+    let cancelled = halted && trip.is_none();
+    let outcome = CampaignResult {
+        fingerprint: report_fingerprint(&report),
+        completed: report.completed(),
+        failed: report.failures().len(),
+        rolled_back: report.rolled_back(),
+        trip,
+        cancelled,
+    };
+    let phase = if cancelled {
+        CampaignPhase::Cancelled
+    } else {
+        CampaignPhase::Completed
+    };
+    (outcome, phase)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cornet-mgr-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn config(dir: &std::path::Path) -> ManagerConfig {
+        ManagerConfig {
+            state_dir: dir.to_path_buf(),
+            fsync: FsyncPolicy::Never,
+            ..Default::default()
+        }
+    }
+
+    fn small_spec() -> String {
+        r#"{"name": "mgr-test", "scenario": {"nodes": 4, "latency_ms": 1}}"#.into()
+    }
+
+    fn wait_terminal(manager: &Arc<CampaignManager>, tenant: &str, id: &str) -> CampaignSnapshot {
+        for _ in 0..600 {
+            let snap = manager.snapshot(tenant, id).unwrap();
+            if snap.phase.is_terminal() {
+                return snap;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("campaign {id} never reached a terminal phase");
+    }
+
+    #[test]
+    fn submit_runs_to_completion_with_progress() {
+        let dir = tmp_dir("complete");
+        let manager = CampaignManager::start(config(&dir)).unwrap();
+        let out = manager.submit("acme", &small_spec()).unwrap();
+        let SubmitOutcome::Accepted { id, .. } = out else {
+            panic!("clean spec should be accepted");
+        };
+        let snap = wait_terminal(&manager, "acme", &id);
+        assert_eq!(snap.phase, CampaignPhase::Completed);
+        let outcome = snap.outcome.expect("terminal outcome");
+        assert_eq!(outcome.completed + outcome.failed + outcome.rolled_back, 4);
+        assert_eq!(snap.instances_done, 4);
+        assert!(snap.blocks_live > 0, "listener saw live appends");
+        assert_eq!(snap.blocks_recovered, 0);
+        assert!(snap.events > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn defective_bundle_is_refused_without_state() {
+        let dir = tmp_dir("refused");
+        let manager = CampaignManager::start(config(&dir)).unwrap();
+        let body = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/check/defective.json"
+        ))
+        .expect("repo fixture");
+        match manager.submit("acme", &body) {
+            Ok(SubmitOutcome::Rejected { report }) => assert!(report.has_errors()),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert!(manager.list("acme").is_empty(), "no campaign was created");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tenant_isolation_hides_and_protects_campaigns() {
+        let dir = tmp_dir("isolation");
+        let manager = CampaignManager::start(config(&dir)).unwrap();
+        let SubmitOutcome::Accepted { id, .. } = manager.submit("acme", &small_spec()).unwrap()
+        else {
+            panic!("accepted");
+        };
+        assert!(manager.list("rival").is_empty());
+        assert!(matches!(
+            manager.snapshot("rival", &id),
+            Err(ApiError::Forbidden(_))
+        ));
+        assert!(matches!(
+            manager.cancel("rival", &id),
+            Err(ApiError::Forbidden(_))
+        ));
+        wait_terminal(&manager, "acme", &id);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restart_resumes_interrupted_campaigns_without_reexecution() {
+        let dir = tmp_dir("restart");
+        // First life: run a campaign to completion, remember its
+        // fingerprint, then fabricate an interrupted sibling by copying
+        // a truncated journal prefix.
+        let manager = CampaignManager::start(config(&dir)).unwrap();
+        let SubmitOutcome::Accepted { id, .. } = manager.submit("acme", &small_spec()).unwrap()
+        else {
+            panic!("accepted");
+        };
+        let done = wait_terminal(&manager, "acme", &id);
+        let clean = done.outcome.expect("outcome").fingerprint;
+        manager.begin_shutdown();
+        assert!(manager.drain(Duration::from_secs(30)));
+        drop(manager);
+
+        // Strip the persisted outcome and cut the journal mid-campaign so
+        // the restart sees an interrupted run.
+        let store = CampaignStore::open(&dir).unwrap();
+        let mut manifest = store.read_manifest(&id).unwrap();
+        manifest.meta.retain(|k, _| !k.starts_with("outcome_"));
+        store.update(&manifest).unwrap();
+        let paths = store.paths(&id).unwrap();
+        let (events, _) = Journal::read(&paths.journal).unwrap();
+        let keep = events.len() / 2;
+        let journal = Journal::create(&paths.journal, FsyncPolicy::Never).unwrap();
+        for event in &events[..keep] {
+            journal.append(event).unwrap();
+        }
+        drop(journal);
+        let recovered_blocks = events[..keep]
+            .iter()
+            .filter(|e| matches!(e, JournalEvent::BlockCompleted(_)))
+            .count();
+
+        // Second life: the manager must resume and land on the same
+        // fingerprint, replaying (not re-executing) the prefix.
+        let manager = CampaignManager::start(config(&dir)).unwrap();
+        let snap = wait_terminal(&manager, "acme", &id);
+        assert_eq!(snap.phase, CampaignPhase::Completed);
+        assert_eq!(snap.outcome.expect("outcome").fingerprint, clean);
+        assert_eq!(snap.blocks_recovered, recovered_blocks);
+        let total_blocks = events
+            .iter()
+            .filter(|e| matches!(e, JournalEvent::BlockCompleted(_)))
+            .count();
+        assert_eq!(
+            snap.blocks_live,
+            total_blocks - recovered_blocks,
+            "resume re-executes exactly the un-journaled remainder"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cancel_queued_campaign_never_runs_even_after_restart() {
+        let dir = tmp_dir("cancel-queued");
+        let mut cfg = config(&dir);
+        cfg.max_campaigns = 1;
+        let manager = CampaignManager::start(cfg.clone()).unwrap();
+        // Occupy the single scheduler slot, then queue a second campaign.
+        let SubmitOutcome::Accepted { id: first, .. } =
+            manager.submit("acme", &small_spec()).unwrap()
+        else {
+            panic!("accepted");
+        };
+        let SubmitOutcome::Accepted { id: second, .. } =
+            manager.submit("acme", &small_spec()).unwrap()
+        else {
+            panic!("accepted");
+        };
+        let snap = manager.cancel("acme", &second).unwrap();
+        assert_eq!(snap.phase, CampaignPhase::Cancelled);
+        wait_terminal(&manager, "acme", &first);
+        manager.begin_shutdown();
+        assert!(manager.drain(Duration::from_secs(30)));
+        drop(manager);
+        let manager = CampaignManager::start(cfg).unwrap();
+        let snap = manager.snapshot("acme", &second).unwrap();
+        assert_eq!(snap.phase, CampaignPhase::Cancelled);
+        assert_eq!(snap.instances_done, 0, "tombstone, not a run");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

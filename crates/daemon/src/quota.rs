@@ -1,0 +1,264 @@
+//! Per-tenant admission quotas.
+//!
+//! The dispatcher executes instances on a worker pool and asks an
+//! [`AdmissionSlots`] for a permit around every execution. The daemon
+//! gives each campaign a tenant-tagged handle onto one shared
+//! [`QuotaBook`], so concurrent campaigns from many tenants contend for
+//! a single global pool while each tenant is capped at its own quota.
+//!
+//! Waiting is FIFO with tenant headroom: permits are granted in arrival
+//! order, except that a waiter whose tenant is at quota is skipped so a
+//! saturated tenant cannot head-of-line-block everyone else. High-water
+//! marks are recorded per tenant and globally — the e2e tests use them
+//! to prove quotas actually bound concurrency while the pool saturates.
+
+use cornet_orchestrator::AdmissionSlots;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Point-in-time view of one tenant's admission accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuotaSnapshot {
+    /// Permits currently held.
+    pub in_flight: usize,
+    /// Most permits ever held at once.
+    pub high_water: usize,
+    /// The tenant's cap.
+    pub quota: usize,
+    /// Waiters currently queued.
+    pub waiting: usize,
+}
+
+#[derive(Default)]
+struct TenantBook {
+    in_flight: usize,
+    high_water: usize,
+}
+
+struct BookState {
+    tenants: BTreeMap<String, TenantBook>,
+    /// Arrival-ordered wait queue of (ticket, tenant).
+    queue: Vec<(u64, String)>,
+    next_ticket: u64,
+    global_in_flight: usize,
+    global_high_water: usize,
+}
+
+struct BookInner {
+    state: Mutex<BookState>,
+    cond: Condvar,
+    pool: usize,
+    default_quota: usize,
+    overrides: BTreeMap<String, usize>,
+}
+
+/// The shared admission ledger: a global execution pool carved into
+/// per-tenant quotas.
+pub struct QuotaBook {
+    inner: Arc<BookInner>,
+}
+
+impl QuotaBook {
+    /// A book with `pool` global permits and `default_quota` per tenant;
+    /// `overrides` replaces the default for named tenants.
+    pub fn new(pool: usize, default_quota: usize, overrides: BTreeMap<String, usize>) -> QuotaBook {
+        QuotaBook {
+            inner: Arc::new(BookInner {
+                state: Mutex::new(BookState {
+                    tenants: BTreeMap::new(),
+                    queue: Vec::new(),
+                    next_ticket: 0,
+                    global_in_flight: 0,
+                    global_high_water: 0,
+                }),
+                cond: Condvar::new(),
+                pool: pool.max(1),
+                default_quota: default_quota.max(1),
+                overrides,
+            }),
+        }
+    }
+
+    /// The cap applied to `tenant`.
+    pub fn quota_for(&self, tenant: &str) -> usize {
+        self.inner
+            .overrides
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.inner.default_quota)
+    }
+
+    /// A tenant-tagged [`AdmissionSlots`] handle for one campaign.
+    pub fn handle(&self, tenant: &str) -> Arc<TenantSlots> {
+        Arc::new(TenantSlots {
+            inner: Arc::clone(&self.inner),
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// Per-tenant accounting, for the API's quota listing.
+    pub fn snapshot(&self) -> BTreeMap<String, QuotaSnapshot> {
+        let state = self.inner.state.lock().expect("quota lock");
+        state
+            .tenants
+            .iter()
+            .map(|(tenant, book)| {
+                (
+                    tenant.clone(),
+                    QuotaSnapshot {
+                        in_flight: book.in_flight,
+                        high_water: book.high_water,
+                        quota: self.quota_for(tenant),
+                        waiting: state.queue.iter().filter(|(_, t)| t == tenant).count(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// (in_flight, high_water, pool) for the whole book.
+    pub fn global(&self) -> (usize, usize, usize) {
+        let state = self.inner.state.lock().expect("quota lock");
+        (
+            state.global_in_flight,
+            state.global_high_water,
+            self.inner.pool,
+        )
+    }
+}
+
+/// One campaign's view of the shared [`QuotaBook`]: every permit it
+/// acquires is charged to its tenant.
+pub struct TenantSlots {
+    inner: Arc<BookInner>,
+    tenant: String,
+}
+
+impl BookInner {
+    /// The first queued ticket that could be granted right now, honouring
+    /// arrival order but skipping tenants that are at quota.
+    fn first_eligible(&self, state: &BookState) -> Option<u64> {
+        if state.global_in_flight >= self.pool {
+            return None;
+        }
+        state
+            .queue
+            .iter()
+            .find(|(_, tenant)| {
+                let held = state.tenants.get(tenant).map_or(0, |book| book.in_flight);
+                let quota = self
+                    .overrides
+                    .get(tenant)
+                    .copied()
+                    .unwrap_or(self.default_quota);
+                held < quota
+            })
+            .map(|(ticket, _)| *ticket)
+    }
+}
+
+impl AdmissionSlots for TenantSlots {
+    fn acquire(&self) {
+        let inner = &*self.inner;
+        let mut state = inner.state.lock().expect("quota lock");
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.queue.push((ticket, self.tenant.clone()));
+        while inner.first_eligible(&state) != Some(ticket) {
+            state = inner.cond.wait(state).expect("quota lock");
+        }
+        state.queue.retain(|(t, _)| *t != ticket);
+        state.global_in_flight += 1;
+        state.global_high_water = state.global_high_water.max(state.global_in_flight);
+        let book = state.tenants.entry(self.tenant.clone()).or_default();
+        book.in_flight += 1;
+        book.high_water = book.high_water.max(book.in_flight);
+        // Another queued ticket (different tenant) may also be eligible.
+        inner.cond.notify_all();
+    }
+
+    fn release(&self) {
+        let inner = &*self.inner;
+        let mut state = inner.state.lock().expect("quota lock");
+        state.global_in_flight = state.global_in_flight.saturating_sub(1);
+        if let Some(book) = state.tenants.get_mut(&self.tenant) {
+            book.in_flight = book.in_flight.saturating_sub(1);
+        }
+        inner.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn tenant_quota_caps_concurrency_while_pool_saturates() {
+        let book = QuotaBook::new(4, 2, BTreeMap::new());
+        let a = book.handle("alpha");
+        let b = book.handle("beta");
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                for slots in [&a, &b] {
+                    let slots = Arc::clone(slots);
+                    scope.spawn(move || {
+                        slots.acquire();
+                        thread::sleep(Duration::from_millis(5));
+                        slots.release();
+                    });
+                }
+            }
+        });
+        let snap = book.snapshot();
+        assert!(snap["alpha"].high_water <= 2);
+        assert!(snap["beta"].high_water <= 2);
+        assert_eq!(snap["alpha"].in_flight + snap["beta"].in_flight, 0);
+        let (in_flight, high_water, pool) = book.global();
+        assert_eq!(in_flight, 0);
+        assert!(high_water <= pool);
+        assert!(
+            high_water >= 3,
+            "two tenants of quota 2 should overlap past a single quota (saw {high_water})"
+        );
+    }
+
+    #[test]
+    fn saturated_tenant_does_not_block_others() {
+        let mut overrides = BTreeMap::new();
+        overrides.insert("hog".into(), 1);
+        let book = QuotaBook::new(4, 4, overrides);
+        let hog = book.handle("hog");
+        let other = book.handle("other");
+        hog.acquire();
+        // The hog queues behind its own quota; "other" arrives later but
+        // must be admitted anyway.
+        let hog2 = Arc::clone(&hog);
+        let blocked = thread::spawn(move || {
+            hog2.acquire();
+            hog2.release();
+        });
+        thread::sleep(Duration::from_millis(20));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        let fast = thread::spawn(move || {
+            other.acquire();
+            done2.store(true, std::sync::atomic::Ordering::SeqCst);
+            other.release();
+        });
+        fast.join().unwrap();
+        assert!(done.load(std::sync::atomic::Ordering::SeqCst));
+        hog.release();
+        blocked.join().unwrap();
+    }
+
+    #[test]
+    fn override_replaces_the_default_quota() {
+        let mut overrides = BTreeMap::new();
+        overrides.insert("big".into(), 7);
+        let book = QuotaBook::new(16, 2, overrides);
+        assert_eq!(book.quota_for("big"), 7);
+        assert_eq!(book.quota_for("anyone-else"), 2);
+    }
+}

@@ -27,8 +27,10 @@
 
 pub mod event;
 pub mod frame;
+pub mod store;
 pub mod writer;
 
 pub use event::{BlockRecord, JournalEvent, Recovery, StateMap};
 pub use frame::{boundaries, encode_record, fnv1a64, scan, ScanOutcome};
-pub use writer::{CrashMode, CrashSwitch, FsyncPolicy, Journal};
+pub use store::{CampaignPaths, CampaignStore, Manifest};
+pub use writer::{CrashMode, CrashSwitch, EventListener, FsyncPolicy, Journal};

@@ -22,6 +22,43 @@ pub enum FsyncPolicy {
     Never,
 }
 
+impl FsyncPolicy {
+    /// Parse the CLI spelling: `always`, `never`, or `every-n=N`.
+    pub fn parse(text: &str) -> Result<FsyncPolicy> {
+        match text {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            other => {
+                let n = other
+                    .strip_prefix("every-n=")
+                    .and_then(|n| n.parse::<u32>().ok())
+                    .filter(|n| *n > 0);
+                match n {
+                    Some(n) => Ok(FsyncPolicy::EveryN(n)),
+                    None => Err(CornetError::InvalidInput(format!(
+                        "bad fsync policy {other:?}: expected always, never, or every-n=N"
+                    ))),
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every-n={n}"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// Callback invoked after each record durably reaches the journal file.
+/// The campaign manager uses it to fan appended events out to progress
+/// tracking and live event streams without re-reading the log.
+pub type EventListener = Arc<dyn Fn(&JournalEvent) + Send + Sync>;
+
 /// How an injected crash lands relative to the journal.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CrashMode {
@@ -94,6 +131,7 @@ pub struct Journal {
     path: Arc<PathBuf>,
     tracer: Tracer,
     crash: CrashSwitch,
+    listener: Option<EventListener>,
 }
 
 impl Journal {
@@ -157,6 +195,7 @@ impl Journal {
             path: Arc::new(path.to_owned()),
             tracer: Tracer::noop(),
             crash: CrashSwitch::new(),
+            listener: None,
         }
     }
 
@@ -170,6 +209,20 @@ impl Journal {
     pub fn with_crash_switch(mut self, crash: CrashSwitch) -> Journal {
         self.crash = crash;
         self
+    }
+
+    /// Attach a listener called after each record reaches the file.
+    /// Dropped appends (dead crash switch, torn writes) never notify:
+    /// the listener sees exactly what a recovery scan would.
+    pub fn with_listener(mut self, listener: EventListener) -> Journal {
+        self.listener = Some(listener);
+        self
+    }
+
+    /// The attached listener, if any — so a resume can carry it over to
+    /// the recovered write handle.
+    pub fn listener(&self) -> Option<EventListener> {
+        self.listener.clone()
     }
 
     /// The switch controlling this journal's simulated crash state.
@@ -222,6 +275,9 @@ impl Journal {
         }
         drop(inner);
         span.finish();
+        if let Some(listener) = &self.listener {
+            listener(event);
+        }
         Ok(())
     }
 

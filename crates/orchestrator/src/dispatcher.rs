@@ -36,12 +36,13 @@
 //! Slot boundaries remain barriers: a timeslot is a scheduling promise to
 //! operations teams, so slot N+1 never starts before slot N finished.
 
+use crate::control::{AdmissionSlots, CampaignControl, SlotGuard};
 use crate::engine::{BlockExecution, Engine, InstanceStatus, ReplayRow};
 use crate::executor::{ExecutorRegistry, GlobalState};
 use crate::falloutanalysis::FalloutAnalysis;
 use crate::recovery::{block_record, recover_campaign, status_parts};
 use crate::resilience::{BreakerTrip, CircuitBreaker};
-use cornet_journal::{FsyncPolicy, Journal, JournalEvent};
+use cornet_journal::{EventListener, FsyncPolicy, Journal, JournalEvent};
 use cornet_obs::{SpanId, Tracer};
 use cornet_types::{CornetError, NodeId, Result, Schedule, Timeslot};
 use cornet_workflow::{WarArtifact, Workflow};
@@ -78,6 +79,17 @@ pub struct DispatchReport {
     /// deterministic `instances` prefix. Sorted by dispatch index; empty
     /// unless a halt interrupted a slot mid-flight.
     pub drained: Vec<InstanceReport>,
+}
+
+/// Outcome of a controlled campaign run: the report plus why it stopped.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CampaignOutcome {
+    /// Per-instance results (see [`DispatchReport`]).
+    pub report: DispatchReport,
+    /// The breaker trip that halted admission, if any.
+    pub trip: Option<BreakerTrip>,
+    /// True when a [`CampaignControl::cancel`] halted the campaign.
+    pub cancelled: bool,
 }
 
 impl DispatchReport {
@@ -128,6 +140,12 @@ pub struct Dispatcher {
     journal: Option<Journal>,
     /// Free-form metadata recorded in the journal's opening record.
     meta: BTreeMap<String, String>,
+    /// Capacity gate acquired around each instance execution (per-tenant
+    /// quotas in service mode). `None` = unthrottled.
+    permits: Option<Arc<dyn AdmissionSlots>>,
+    /// Listener installed on the journal a resume opens — the campaign
+    /// manager's live-progress tap for recovered campaigns.
+    listener: Option<EventListener>,
 }
 
 /// One unit of work inside a slot when resuming: either a report the
@@ -264,6 +282,8 @@ impl Dispatcher {
             tracer: Tracer::noop(),
             journal: None,
             meta: BTreeMap::new(),
+            permits: None,
+            listener: None,
         })
     }
 
@@ -283,6 +303,23 @@ impl Dispatcher {
     pub fn with_journal(mut self, journal: Journal, meta: BTreeMap<String, String>) -> Self {
         self.journal = Some(journal);
         self.meta = meta;
+        self
+    }
+
+    /// Attach an admission-slot gate: each instance execution holds one
+    /// slot for its duration. The daemon's per-tenant quota book plugs in
+    /// here so a single tenant cannot monopolise the worker pool.
+    pub fn with_admission(mut self, slots: Arc<dyn AdmissionSlots>) -> Self {
+        self.permits = Some(slots);
+        self
+    }
+
+    /// Attach a journal-event listener for resumed campaigns: the journal
+    /// [`Dispatcher::resume_campaign`] recovers is re-opened internally,
+    /// so a caller that wants a live-progress tap on it registers the
+    /// listener here instead of on a journal handle of its own.
+    pub fn with_journal_listener(mut self, listener: EventListener) -> Self {
+        self.listener = Some(listener);
         self
     }
 
@@ -373,6 +410,7 @@ impl Dispatcher {
                 &inputs_for,
                 dispatch_id,
                 self.journal.as_ref(),
+                None,
                 |_| true,
             );
             report.instances.append(&mut instances);
@@ -407,59 +445,51 @@ impl Dispatcher {
         inputs_for: impl Fn(NodeId) -> GlobalState + Sync,
         breaker: &CircuitBreaker,
     ) -> Result<(DispatchReport, Option<BreakerTrip>)> {
+        self.run_campaign(schedule, inputs_for, Some(breaker), None)
+            .map(|o| (o.report, o.trip))
+    }
+
+    /// Execute the schedule as a controlled campaign: an optional breaker
+    /// (per-completion halt gate, see [`Dispatcher::run_with_breaker`])
+    /// plus an optional [`CampaignControl`] consulted at every admission
+    /// point — pause blocks new admissions while in-flight instances
+    /// finish, cancel halts exactly like a breaker trip (in-flight work
+    /// drains, the journal is closed). This is the entry point the
+    /// campaign manager drives; the one-shot `run*` methods are thin
+    /// wrappers over the same campaign driver.
+    pub fn run_campaign(
+        &self,
+        schedule: &Schedule,
+        inputs_for: impl Fn(NodeId) -> GlobalState + Sync,
+        breaker: Option<&CircuitBreaker>,
+        control: Option<&CampaignControl>,
+    ) -> Result<CampaignOutcome> {
         let workflow = self.war.unpack()?;
         self.journal_open(schedule);
         let mut span = self.tracer.span("dispatch");
         span.attr("instances", schedule.assignments.len());
         span.attr("concurrency", self.concurrency);
-        span.attr("breaker", true);
+        span.attr("breaker", breaker.is_some());
         let dispatch_id = span.is_recording().then(|| span.id());
-        let mut report = DispatchReport::default();
-        let mut analysis = FalloutAnalysis::default();
-        let mut trip: Option<BreakerTrip> = None;
-        for (slot, nodes) in group_by_slot(schedule) {
-            let items = nodes
-                .into_iter()
-                .map(|node| SlotItem::Run {
-                    node,
-                    replay: Vec::new(),
-                })
-                .collect();
-            let (mut instances, mut drained, halted) = self.run_slot(
-                &workflow,
-                slot,
-                items,
-                &inputs_for,
-                dispatch_id,
-                self.journal.as_ref(),
-                |instance| {
-                    analysis.add_instance(instance);
-                    match breaker.check(&analysis) {
-                        Some(t) => {
-                            trip = Some(t);
-                            false
-                        }
-                        None => true,
-                    }
-                },
-            );
-            report.instances.append(&mut instances);
-            report.drained.append(&mut drained);
-            if halted {
-                break;
-            }
-        }
-        if let Some(t) = &trip {
-            span.attr("breaker_tripped", true);
-            span.attr("trip_block", t.block.as_str());
-            span.attr("trip_failure_rate", t.failure_rate);
-            span.attr("trip_samples", t.samples);
-            self.tracer.incr("breaker.trips", 1);
-        }
-        span.attr("completed", report.instances.len());
-        span.attr("drained", report.drained.len());
+        let (report, trip) = self.drive(
+            &workflow,
+            schedule,
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+            &inputs_for,
+            self.journal.as_ref(),
+            dispatch_id,
+            breaker,
+            control,
+        );
+        let cancelled = control.is_some_and(CampaignControl::is_cancelled);
+        Self::finish_campaign_span(&self.tracer, &mut span, &report, trip.as_ref(), cancelled);
         Self::journal_close(self.journal.as_ref(), trip.as_ref());
-        Ok((report, trip))
+        Ok(CampaignOutcome {
+            report,
+            trip,
+            cancelled,
+        })
     }
 
     /// Resume a journaled campaign after a crash.
@@ -487,8 +517,34 @@ impl Dispatcher {
         inputs_for: impl Fn(NodeId) -> GlobalState + Sync,
         breaker: Option<&CircuitBreaker>,
     ) -> Result<(DispatchReport, Option<BreakerTrip>)> {
+        self.resume_campaign(path, policy, inputs_for, breaker, None)
+            .map(|o| (o.report, o.trip))
+    }
+
+    /// Resume a journaled campaign under lifecycle control — the
+    /// controlled-campaign counterpart of
+    /// [`Dispatcher::resume_from_journal`], sharing its replay semantics
+    /// and [`Dispatcher::run_campaign`]'s pause/cancel behaviour.
+    pub fn resume_campaign(
+        &self,
+        path: impl AsRef<Path>,
+        policy: FsyncPolicy,
+        inputs_for: impl Fn(NodeId) -> GlobalState + Sync,
+        breaker: Option<&CircuitBreaker>,
+        control: Option<&CampaignControl>,
+    ) -> Result<CampaignOutcome> {
         let (journal, events, recovery) = Journal::recover(&path, policy)?;
-        let journal = journal.with_tracer(self.tracer.clone());
+        let mut journal = journal.with_tracer(self.tracer.clone());
+        // Preserve a registered listener (the campaign manager taps
+        // appends for live progress); the write handle itself must be the
+        // recovered one.
+        let carried = self
+            .listener
+            .clone()
+            .or_else(|| self.journal.as_ref().and_then(Journal::listener));
+        if let Some(listener) = carried {
+            journal = journal.with_listener(listener);
+        }
         let campaign = recover_campaign(&events, recovery)?;
         let _ = journal.append(&JournalEvent::CampaignResumed {
             meta: campaign.meta.clone(),
@@ -501,30 +557,75 @@ impl Dispatcher {
         span.attr("journal_events", campaign.recovery.events);
         span.attr("journal_torn", campaign.recovery.torn);
         let dispatch_id = span.is_recording().then(|| span.id());
+        let (report, trip) = self.drive(
+            &workflow,
+            &campaign.schedule,
+            &campaign.completed,
+            &campaign.partial,
+            &inputs_for,
+            Some(&journal),
+            dispatch_id,
+            breaker,
+            control,
+        );
+        let cancelled = control.is_some_and(CampaignControl::is_cancelled);
+        Self::finish_campaign_span(&self.tracer, &mut span, &report, trip.as_ref(), cancelled);
+        Self::journal_close(Some(&journal), trip.as_ref());
+        Ok(CampaignOutcome {
+            report,
+            trip,
+            cancelled,
+        })
+    }
+
+    /// The shared campaign driver behind [`Dispatcher::run_campaign`] and
+    /// [`Dispatcher::resume_campaign`]: walk the schedule slot by slot,
+    /// re-admitting journaled completions without execution, replaying
+    /// partial prefixes, and consulting breaker + control on the
+    /// deterministic dispatch-order completion stream.
+    #[allow(clippy::too_many_arguments)]
+    fn drive(
+        &self,
+        workflow: &Workflow,
+        schedule: &Schedule,
+        completed: &BTreeMap<(u32, u32), InstanceReport>,
+        partial: &BTreeMap<(u32, u32), Vec<ReplayRow>>,
+        inputs_for: &(impl Fn(NodeId) -> GlobalState + Sync),
+        journal: Option<&Journal>,
+        dispatch_id: Option<SpanId>,
+        breaker: Option<&CircuitBreaker>,
+        control: Option<&CampaignControl>,
+    ) -> (DispatchReport, Option<BreakerTrip>) {
         let mut report = DispatchReport::default();
         let mut analysis = FalloutAnalysis::default();
         let mut trip: Option<BreakerTrip> = None;
-        for (slot, nodes) in group_by_slot(&campaign.schedule) {
+        for (slot, nodes) in group_by_slot(schedule) {
+            // Slot boundaries are admission points too: a pause blocks
+            // here between slots, a cancel stops before the next starts.
+            if control.is_some_and(|c| !c.admit()) {
+                break;
+            }
             let items = nodes
                 .into_iter()
                 .map(|node| {
                     let key = (slot.0, node.0);
-                    match campaign.completed.get(&key) {
+                    match completed.get(&key) {
                         Some(recorded) => SlotItem::Done(recorded.clone()),
                         None => SlotItem::Run {
                             node,
-                            replay: campaign.partial.get(&key).cloned().unwrap_or_default(),
+                            replay: partial.get(&key).cloned().unwrap_or_default(),
                         },
                     }
                 })
                 .collect();
             let (mut instances, mut drained, halted) = self.run_slot(
-                &workflow,
+                workflow,
                 slot,
                 items,
-                &inputs_for,
+                inputs_for,
                 dispatch_id,
-                Some(&journal),
+                journal,
+                control,
                 |instance| match breaker {
                     Some(b) => {
                         analysis.add_instance(instance);
@@ -545,15 +646,29 @@ impl Dispatcher {
                 break;
             }
         }
-        if let Some(t) = &trip {
+        (report, trip)
+    }
+
+    /// Stamp the terminal attributes on a campaign's `dispatch` span.
+    fn finish_campaign_span(
+        tracer: &Tracer,
+        span: &mut cornet_obs::ActiveSpan,
+        report: &DispatchReport,
+        trip: Option<&BreakerTrip>,
+        cancelled: bool,
+    ) {
+        if let Some(t) = trip {
             span.attr("breaker_tripped", true);
             span.attr("trip_block", t.block.as_str());
-            self.tracer.incr("breaker.trips", 1);
+            span.attr("trip_failure_rate", t.failure_rate);
+            span.attr("trip_samples", t.samples);
+            tracer.incr("breaker.trips", 1);
+        }
+        if cancelled {
+            span.attr("cancelled", true);
         }
         span.attr("completed", report.instances.len());
         span.attr("drained", report.drained.len());
-        Self::journal_close(Some(&journal), trip.as_ref());
-        Ok((report, trip))
     }
 
     /// Run one slot through the continuous-admission pool.
@@ -592,6 +707,7 @@ impl Dispatcher {
         inputs_for: &(impl Fn(NodeId) -> GlobalState + Sync),
         dispatch_parent: Option<SpanId>,
         journal: Option<&Journal>,
+        control: Option<&CampaignControl>,
         mut on_complete: impl FnMut(&InstanceReport) -> bool,
     ) -> (Vec<InstanceReport>, Vec<InstanceReport>, bool) {
         let n = items.len();
@@ -630,6 +746,11 @@ impl Dispatcher {
             .filter(|(_, item)| matches!(item, SlotItem::Run { .. }))
             .map(|(i, _)| i)
             .collect();
+        // Admission point: a pause blocks here before any fresh work
+        // starts; a cancel halts the slot before the pool spins up.
+        if !halted && control.is_some_and(|c| !c.admit()) {
+            halted = true;
+        }
         if halted || run_indices.is_empty() {
             // A recorded halt (or an all-recorded slot): nothing fresh
             // runs; recorded completions past the halt drain exactly as
@@ -650,6 +771,7 @@ impl Dispatcher {
             return (ordered, drained, halted);
         }
         let workers = self.concurrency.min(run_indices.len());
+        let permits = self.permits.as_deref();
         let (job_tx, job_rx) = mpsc::channel::<usize>();
         let job_rx = Mutex::new(job_rx);
         let (result_tx, result_rx) = mpsc::channel::<(usize, InstanceReport)>();
@@ -678,17 +800,21 @@ impl Dispatcher {
                     let SlotItem::Run { node, replay } = &items[i] else {
                         unreachable!("only Run indices are admitted");
                     };
-                    let report = run_instance(
-                        workflow,
-                        registry.clone(),
-                        *node,
-                        slot,
-                        inputs_for(*node),
-                        tracer,
-                        slot_id,
-                        journal,
-                        replay.clone(),
-                    );
+                    let report = {
+                        // Hold a quota slot for exactly the execution.
+                        let _slot = permits.map(SlotGuard::acquire);
+                        run_instance(
+                            workflow,
+                            registry.clone(),
+                            *node,
+                            slot,
+                            inputs_for(*node),
+                            tracer,
+                            slot_id,
+                            journal,
+                            replay.clone(),
+                        )
+                    };
                     if result_tx.send((i, report)).is_err() {
                         break;
                     }
@@ -724,7 +850,18 @@ impl Dispatcher {
                         }
                     }
                 } else if next_admission < run_indices.len() {
-                    if let Some(tx) = &job_tx {
+                    // Admission point: pause blocks the collector here (in
+                    // flight work keeps streaming in behind it), cancel
+                    // vetoes the admission and drains like a trip.
+                    if control.is_some_and(|c| !c.admit()) {
+                        halted = true;
+                        job_tx = None;
+                        for (j, buffered) in pending.iter_mut().enumerate() {
+                            if let Some(r) = buffered.take() {
+                                drained.push((j, r));
+                            }
+                        }
+                    } else if let Some(tx) = &job_tx {
                         if tx.send(run_indices[next_admission]).is_ok() {
                             next_admission += 1;
                         }
@@ -1040,6 +1177,80 @@ mod tests {
         let report = d.run(&schedule(4, 2), inputs).unwrap();
         assert_eq!(report.completed(), 4);
         assert_eq!(d.tracer().finished_spans(), 0);
+    }
+
+    #[test]
+    fn cancel_halts_like_a_trip_and_marks_the_outcome() {
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        let d = Dispatcher::new(war, happy_registry(), 1).unwrap();
+        let ctl = crate::control::CampaignControl::new();
+        ctl.cancel();
+        let outcome = d
+            .run_campaign(&schedule(6, 3), inputs, None, Some(&ctl))
+            .unwrap();
+        assert!(outcome.cancelled);
+        assert!(outcome.trip.is_none());
+        assert!(
+            outcome.report.instances.is_empty(),
+            "cancelled before any admission"
+        );
+    }
+
+    #[test]
+    fn paused_campaign_blocks_until_resumed() {
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        let d = Dispatcher::new(war, happy_registry(), 2).unwrap();
+        let ctl = crate::control::CampaignControl::new();
+        ctl.pause();
+        let ctl2 = ctl.clone();
+        let unpauser = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            ctl2.resume();
+        });
+        let outcome = d
+            .run_campaign(&schedule(6, 3), inputs, None, Some(&ctl))
+            .unwrap();
+        unpauser.join().unwrap();
+        assert!(!outcome.cancelled);
+        assert_eq!(outcome.report.completed(), 6, "all instances ran on resume");
+    }
+
+    #[test]
+    fn admission_slots_bound_concurrent_executions() {
+        use std::sync::atomic::{AtomicI64, Ordering};
+
+        struct CountingSlots {
+            in_flight: AtomicI64,
+            high_water: AtomicI64,
+        }
+        impl crate::control::AdmissionSlots for CountingSlots {
+            fn acquire(&self) {
+                let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                self.high_water.fetch_max(now, Ordering::SeqCst);
+            }
+            fn release(&self) {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        let cat = builtin_catalog();
+        let war = WarArtifact::package(&software_upgrade_workflow(&cat), &cat).unwrap();
+        let slots = Arc::new(CountingSlots {
+            in_flight: AtomicI64::new(0),
+            high_water: AtomicI64::new(0),
+        });
+        let d = Dispatcher::new(war, happy_registry(), 4)
+            .unwrap()
+            .with_admission(slots.clone());
+        let report = d.run(&schedule(12, 12), inputs).unwrap();
+        assert_eq!(report.completed(), 12);
+        assert_eq!(slots.in_flight.load(Ordering::SeqCst), 0, "all released");
+        assert!(
+            slots.high_water.load(Ordering::SeqCst) <= 4,
+            "never more in flight than the pool admits"
+        );
     }
 
     #[test]

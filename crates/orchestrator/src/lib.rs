@@ -19,6 +19,7 @@
 
 #![forbid(unsafe_code)]
 pub mod analysis;
+pub mod control;
 pub mod dispatcher;
 pub mod engine;
 pub mod events;
@@ -28,7 +29,8 @@ pub mod recovery;
 pub mod resilience;
 
 pub use analysis::{analyze_replay_safety, analyze_resilience, ResilienceSpec};
-pub use dispatcher::{DispatchReport, Dispatcher, InstanceReport};
+pub use control::{AdmissionSlots, CampaignControl, ControlState, SlotGuard};
+pub use dispatcher::{CampaignOutcome, DispatchReport, Dispatcher, InstanceReport};
 pub use engine::{
     BlockExecution, BlockSink, BlockStatus, Engine, InstanceStatus, PauseHandle, ReplayRow,
 };

@@ -8,17 +8,24 @@
 //! cornet plan  --intent F [--network SPEC] [--backend B] [--emit-mzn F] [--trace F]
 //!              [--warm-from plan.json] [--save-plan plan.json]
 //! cornet run   [--nodes N] [--concurrency C] [--trace F]   resilient roll-out demo
-//! cornet run   --journal F [--crash-at N]    journaled campaign (kill-safe)
-//! cornet resume <journal> [--trace F]        resume a crashed campaign
+//! cornet run   --journal F [--crash-at N] [--fsync P]   journaled campaign (kill-safe)
+//! cornet resume <journal> [--fsync P] [--trace F]   resume a crashed campaign
 //! cornet verify [--shift D] [--trace F]      impact-verification demo
 //! cornet demo                         run a miniature end-to-end cycle
+//! cornet submit <bundle.json>         submit a campaign to a running cornetd
+//! cornet status [id]                  list / inspect cornetd campaigns
+//! cornet watch <id>                   follow a cornetd campaign's event stream
 //! ```
+//!
+//! The daemon subcommands take `--daemon <addr>` (default `127.0.0.1:7171`)
+//! and `--tenant <t>` (default `default`).
 //!
 //! `SPEC` is `ran:<nodes>` (default `ran:200`) or `cloud:<vces>`.
 //! `--trace <file>` writes a Chrome-trace JSON (open in Perfetto or
 //! `chrome://tracing`) and prints a span-level summary table.
 
 use cornet::catalog::builtin_catalog;
+use cornet::daemon::{DaemonClient, JournalScenario};
 use cornet::netsim::{Network, NetworkConfig};
 use cornet::obs::{write_trace, ChromeTraceSink, TraceSummary, Tracer};
 use cornet::planner::{lint, plan, BackendChoice, PlanIntent, PlanOptions, PlanSnapshot};
@@ -29,7 +36,8 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cornet <catalog|workflows|check|lint|plan|run|resume|verify|demo> [options]\n\
+        "usage: cornet <catalog|workflows|check|lint|plan|run|resume|verify|demo|\n\
+         \x20              submit|status|watch> [options]\n\
          \n\
          options:\n\
            --format <f>        (check) text | json          (default text)\n\
@@ -48,7 +56,11 @@ fn usage() -> ExitCode {
            --concurrency <c>   (run) parallel workflow instances (default 4)\n\
            --journal <file>    (run) write a durable campaign journal\n\
            --crash-at <n>      (run --journal) kill the campaign at node n's upgrade\n\
-           --shift <d>         (verify) injected KPI shift on study nodes (default 15)"
+           --fsync <policy>    (run --journal, resume) always | every-n=N | never\n\
+           \x20                                        (default every-n=64)\n\
+           --shift <d>         (verify) injected KPI shift on study nodes (default 15)\n\
+           --daemon <addr>     (submit/status/watch) cornetd address (default 127.0.0.1:7171)\n\
+           --tenant <t>        (submit/status/watch) tenant identity  (default default)"
     );
     ExitCode::from(2)
 }
@@ -439,215 +451,27 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> ExitCode {
     }
 }
 
-fn happy_upgrade_registry() -> cornet::orchestrator::ExecutorRegistry {
-    use cornet::orchestrator::ExecutorRegistry;
-    use cornet::types::ParamValue;
-    let mut reg = ExecutorRegistry::new();
-    reg.register("health_check", |s| {
-        s.insert("healthy".into(), ParamValue::from(true));
-        Ok(())
-    });
-    reg.register("software_upgrade", |s| {
-        s.insert("previous_version".into(), ParamValue::from("19.3"));
-        Ok(())
-    });
-    reg.register("pre_post_comparison", |s| {
-        s.insert("passed".into(), ParamValue::from(true));
-        Ok(())
-    });
-    reg.register("roll_back", |_| Ok(()));
-    reg
+/// The journaled demo scenario — the shared [`JournalScenario`] defaults
+/// with `--nodes` / `--concurrency` overrides applied.
+fn scenario_from_flags(flags: &BTreeMap<String, String>) -> JournalScenario {
+    let mut s = JournalScenario::default();
+    if let Some(n) = flags.get("nodes").and_then(|v| v.parse().ok()) {
+        s.nodes = n;
+    }
+    if let Some(c) = flags.get("concurrency").and_then(|v| v.parse().ok()) {
+        s.concurrency = c;
+    }
+    s
 }
 
-/// FNV-1a-64 over the outcome rows of a dispatch report: node, status,
-/// and every block's name/status/attempts/sim-duration/backoff. Two runs
-/// with the same fingerprint produced the same campaign outcome — the
-/// line `cornet run --journal` and `cornet resume` both print, so crash
-/// recovery is verifiable by diffing two lines of output.
-fn report_fingerprint(report: &cornet::orchestrator::DispatchReport) -> u64 {
-    use std::fmt::Write;
-    let mut text = String::new();
-    for i in &report.instances {
-        let _ = write!(text, "{}|{:?};", i.node.0, i.status);
-        for b in &i.blocks {
-            let _ = write!(
-                text,
-                "{}:{:?}:{}:{}:{};",
-                b.block,
-                b.status,
-                b.attempts,
-                b.duration.as_nanos(),
-                b.backoff.as_nanos()
-            );
-        }
-    }
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &byte in text.as_bytes() {
-        h ^= byte as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// The fixed parameters of the journaled demo campaign, round-tripped
-/// through the journal's `CampaignOpened` metadata so `cornet resume`
-/// rebuilds the exact dispatcher the crashed run used.
-struct JournalScenario {
-    seed: u64,
-    nodes: u32,
-    concurrency: usize,
-    fault_rate_milli: u32,
-    latency_ms: u64,
-    attempts: u32,
-    breaker_threshold_milli: u32,
-    breaker_min_samples: usize,
-}
-
-impl JournalScenario {
-    fn from_flags(flags: &BTreeMap<String, String>) -> Self {
-        JournalScenario {
-            seed: 42,
-            nodes: flags
-                .get("nodes")
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(24),
-            concurrency: flags
-                .get("concurrency")
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(4),
-            fault_rate_milli: 200,
-            latency_ms: 5,
-            attempts: 6,
-            breaker_threshold_milli: 900,
-            breaker_min_samples: 8,
-        }
-    }
-
-    fn meta(&self) -> BTreeMap<String, String> {
-        BTreeMap::from([
-            ("scenario".into(), "journaled_upgrade".into()),
-            ("seed".into(), self.seed.to_string()),
-            ("nodes".into(), self.nodes.to_string()),
-            ("concurrency".into(), self.concurrency.to_string()),
-            ("fault_rate_milli".into(), self.fault_rate_milli.to_string()),
-            ("latency_ms".into(), self.latency_ms.to_string()),
-            ("attempts".into(), self.attempts.to_string()),
-            (
-                "breaker_threshold_milli".into(),
-                self.breaker_threshold_milli.to_string(),
-            ),
-            (
-                "breaker_min_samples".into(),
-                self.breaker_min_samples.to_string(),
-            ),
-        ])
-    }
-
-    fn from_meta(meta: &BTreeMap<String, String>) -> Result<Self, String> {
-        fn field<T: std::str::FromStr>(
-            meta: &BTreeMap<String, String>,
-            key: &str,
-        ) -> Result<T, String> {
-            meta.get(key)
-                .and_then(|v| v.parse().ok())
-                .ok_or_else(|| format!("journal metadata is missing or corrupt: '{key}'"))
-        }
-        if meta.get("scenario").map(String::as_str) != Some("journaled_upgrade") {
-            return Err("journal was not written by 'cornet run --journal'".into());
-        }
-        Ok(JournalScenario {
-            seed: field(meta, "seed")?,
-            nodes: field(meta, "nodes")?,
-            concurrency: field(meta, "concurrency")?,
-            fault_rate_milli: field(meta, "fault_rate_milli")?,
-            latency_ms: field(meta, "latency_ms")?,
-            attempts: field(meta, "attempts")?,
-            breaker_threshold_milli: field(meta, "breaker_threshold_milli")?,
-            breaker_min_samples: field(meta, "breaker_min_samples")?,
-        })
-    }
-
-    fn schedule(&self) -> cornet::types::Schedule {
-        use cornet::types::{Schedule, Timeslot};
-        let mut s = Schedule::default();
-        for i in 0..self.nodes {
-            s.assignments.insert(NodeId(i), Timeslot(i / 8 + 1));
-        }
-        s
-    }
-
-    fn breaker(&self) -> cornet::orchestrator::resilience::CircuitBreaker {
-        cornet::orchestrator::resilience::CircuitBreaker {
-            failure_threshold: self.breaker_threshold_milli as f64 / 1000.0,
-            min_samples: self.breaker_min_samples,
-        }
-    }
-
-    /// The Fig. 4 upgrade workflow with a roll_back backout flow, packaged.
-    fn war(&self) -> Result<WarArtifact, String> {
-        use cornet::workflow::builtin::software_upgrade_workflow;
-        use cornet::workflow::Designer;
-        let cat = builtin_catalog();
-        let mut wf = software_upgrade_workflow(&cat);
-        let mut d = Designer::new(&cat, "backout");
-        let s = d.start();
-        let rb = d.task("roll_back").expect("catalog has roll_back");
-        let e = d.end();
-        d.connect(s, rb).connect(rb, e);
-        wf.set_backout(d.build());
-        WarArtifact::package(&wf, &cat).map_err(|e| e.to_string())
-    }
-
-    /// The seeded fault-storm registry; `crash` arms a deterministic kill
-    /// at the given node's first software_upgrade invocation.
-    fn registry(
-        &self,
-        crash: Option<(u32, cornet::journal::CrashSwitch)>,
-    ) -> cornet::orchestrator::ExecutorRegistry {
-        use cornet::journal::CrashMode;
-        use cornet::orchestrator::resilience::{FaultPlan, FaultyExecutor, RetryPolicy};
-        let mut plan = FaultPlan::transient(self.seed, self.fault_rate_milli as f64 / 1000.0)
-            .with_latency_ms(self.latency_ms);
-        let happy = happy_upgrade_registry();
-        let mut reg = match crash {
-            Some((node, switch)) => {
-                // Node names render as `enb-id000009` (NodeId's Display).
-                plan = plan.crash_at(
-                    "software_upgrade",
-                    &format!("enb-{}", NodeId(node)),
-                    1,
-                    CrashMode::MidBlock,
-                );
-                FaultyExecutor::wrap_with_crash(&happy, &plan, switch)
-            }
-            None => FaultyExecutor::wrap(&happy, &plan),
-        };
-        reg.set_default_retry_policy(RetryPolicy::with_attempts(self.attempts));
-        reg
-    }
-
-    fn inputs(node: NodeId) -> cornet::orchestrator::GlobalState {
-        use cornet::types::ParamValue;
-        let mut g = cornet::orchestrator::GlobalState::new();
-        g.insert("node".into(), ParamValue::from(format!("enb-{node}")));
-        g.insert("software_version".into(), ParamValue::from("20.1"));
-        g
-    }
-
-    fn summarize(
-        report: &cornet::orchestrator::DispatchReport,
-        trip: Option<&cornet::orchestrator::resilience::BreakerTrip>,
-    ) {
-        println!(
-            "campaign: {} instances, {} completed, {} failed, {} rolled back, \
-             trip={} fingerprint={:016x}",
-            report.instances.len(),
-            report.completed(),
-            report.failures().len(),
-            report.rolled_back(),
-            trip.map_or_else(|| "none".into(), |t| t.block.clone()),
-            report_fingerprint(report),
-        );
+/// `--fsync always|every-n=N|never`, defaulting to `every-n=64`.
+fn fsync_from_flags(
+    flags: &BTreeMap<String, String>,
+) -> Result<cornet::journal::FsyncPolicy, String> {
+    use cornet::journal::FsyncPolicy;
+    match flags.get("fsync") {
+        Some(text) => FsyncPolicy::parse(text).map_err(|e| e.to_string()),
+        None => Ok(FsyncPolicy::EveryN(64)),
     }
 }
 
@@ -658,12 +482,19 @@ impl JournalScenario {
 /// `cornet resume <path>` then finishes the campaign and must print the
 /// same fingerprint as an uninterrupted run.
 fn cmd_run_journaled(flags: &BTreeMap<String, String>, path: &str) -> ExitCode {
-    use cornet::journal::{FsyncPolicy, Journal};
+    use cornet::journal::Journal;
     use cornet::orchestrator::Dispatcher;
 
-    let scenario = JournalScenario::from_flags(flags);
+    let scenario = scenario_from_flags(flags);
     let tracer = tracer_for(flags);
-    let journal = match Journal::create(path, FsyncPolicy::EveryN(8)) {
+    let fsync = match fsync_from_flags(flags) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let journal = match Journal::create(path, fsync) {
         Ok(j) => j.with_tracer(tracer.clone()),
         Err(e) => {
             eprintln!("error: creating journal {path}: {e}");
@@ -672,7 +503,7 @@ fn cmd_run_journaled(flags: &BTreeMap<String, String>, path: &str) -> ExitCode {
     };
     let switch = journal.crash_switch();
     let crash_at: Option<u32> = flags.get("crash-at").and_then(|s| s.parse().ok());
-    let reg = scenario.registry(crash_at.map(|n| (n, switch.clone())));
+    let reg = scenario.registry(crash_at.map(|n| (n, switch.clone())), None);
     let war = match scenario.war() {
         Ok(w) => w,
         Err(e) => {
@@ -704,7 +535,7 @@ fn cmd_run_journaled(flags: &BTreeMap<String, String>, path: &str) -> ExitCode {
             crash_at.unwrap_or_default(),
         );
     } else {
-        JournalScenario::summarize(&report, trip.as_ref());
+        println!("{}", JournalScenario::summary_line(&report, trip.as_ref()));
     }
     if let Err(e) = finish_trace(flags, &tracer) {
         eprintln!("error: {e}");
@@ -718,12 +549,19 @@ fn cmd_run_journaled(flags: &BTreeMap<String, String>, path: &str) -> ExitCode {
 /// instances, and finish the remaining work. Prints the same summary
 /// line (including fingerprint) a clean uninterrupted run prints.
 fn cmd_resume(path: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode {
-    use cornet::journal::{FsyncPolicy, Journal};
+    use cornet::journal::Journal;
     use cornet::orchestrator::{recover_campaign, Dispatcher};
 
     let Some(path) = path else {
-        eprintln!("usage: cornet resume <journal> [--trace F]");
+        eprintln!("usage: cornet resume <journal> [--fsync P] [--trace F]");
         return ExitCode::from(2);
+    };
+    let fsync = match fsync_from_flags(flags) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
     };
     let campaign = match Journal::read(path)
         .and_then(|(events, recovery)| recover_campaign(&events, recovery))
@@ -742,7 +580,7 @@ fn cmd_resume(path: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode 
         }
     };
     let tracer = tracer_for(flags);
-    let reg = scenario.registry(None);
+    let reg = scenario.registry(None, None);
     let war = match scenario.war() {
         Ok(w) => w,
         Err(e) => {
@@ -758,14 +596,7 @@ fn cmd_resume(path: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode 
     let breaker = scenario.breaker();
     let result = Dispatcher::new(war, reg, scenario.concurrency)
         .map(|d| d.with_tracer(tracer.clone()))
-        .and_then(|d| {
-            d.resume_from_journal(
-                path,
-                FsyncPolicy::EveryN(8),
-                JournalScenario::inputs,
-                Some(&breaker),
-            )
-        });
+        .and_then(|d| d.resume_from_journal(path, fsync, JournalScenario::inputs, Some(&breaker)));
     let (report, trip) = match result {
         Ok(r) => r,
         Err(e) => {
@@ -773,7 +604,7 @@ fn cmd_resume(path: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode 
             return ExitCode::FAILURE;
         }
     };
-    JournalScenario::summarize(&report, trip.as_ref());
+    println!("{}", JournalScenario::summary_line(&report, trip.as_ref()));
     if let Err(e) = finish_trace(flags, &tracer) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
@@ -1114,6 +945,97 @@ fn cmd_demo() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The daemon client for the `--daemon` / `--tenant` flags.
+fn daemon_client(flags: &BTreeMap<String, String>) -> DaemonClient {
+    let addr = flags
+        .get("daemon")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:7171");
+    let tenant = flags.get("tenant").map(String::as_str).unwrap_or("default");
+    DaemonClient::new(addr, tenant)
+}
+
+/// `cornet submit <bundle.json>` — submit a MOP bundle to a running
+/// `cornetd`. The daemon runs the `cornet check` gate before accepting;
+/// a bundle with error diagnostics is refused (HTTP 422) and the
+/// diagnostics are printed, one JSON line each.
+fn cmd_submit(path: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode {
+    let Some(path) = path else {
+        eprintln!("usage: cornet submit <bundle.json> [--daemon A] [--tenant T]");
+        return ExitCode::from(2);
+    };
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match daemon_client(flags).post("/v1/campaigns", &body) {
+        Ok(resp) if resp.status == 201 => {
+            println!("{}", resp.body.trim_end());
+            ExitCode::SUCCESS
+        }
+        Ok(resp) if resp.status == 422 => {
+            eprintln!("bundle refused by the pre-deploy check gate:");
+            for line in resp.body.lines().filter(|l| !l.trim().is_empty()) {
+                eprintln!("  {line}");
+            }
+            ExitCode::FAILURE
+        }
+        Ok(resp) => {
+            eprintln!("error: HTTP {}: {}", resp.status, resp.body.trim_end());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `cornet status [id]` — list the tenant's campaigns, or inspect one.
+fn cmd_status(id: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode {
+    let path = match id {
+        Some(id) => format!("/v1/campaigns/{id}"),
+        None => "/v1/campaigns".to_string(),
+    };
+    match daemon_client(flags).get(&path) {
+        Ok(resp) if resp.status == 200 => {
+            println!("{}", resp.body.trim_end());
+            ExitCode::SUCCESS
+        }
+        Ok(resp) => {
+            eprintln!("error: HTTP {}: {}", resp.status, resp.body.trim_end());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `cornet watch <id>` — follow a campaign's journal event stream
+/// (JSONL) until the campaign reaches a terminal phase.
+fn cmd_watch(id: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode {
+    let Some(id) = id else {
+        eprintln!("usage: cornet watch <id> [--daemon A] [--tenant T]");
+        return ExitCode::from(2);
+    };
+    let path = format!("/v1/campaigns/{id}/events?follow=1");
+    // Stop (don't panic) when stdout goes away, e.g. `cornet watch | head`.
+    use std::io::Write;
+    let mut out = std::io::stdout();
+    match daemon_client(flags).stream(&path, |line| writeln!(out, "{line}").is_ok()) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -1140,6 +1062,24 @@ fn main() -> ExitCode {
         ),
         "verify" => cmd_verify(&flags),
         "demo" => cmd_demo(),
+        "submit" => cmd_submit(
+            args.get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str),
+            &flags,
+        ),
+        "status" => cmd_status(
+            args.get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str),
+            &flags,
+        ),
+        "watch" => cmd_watch(
+            args.get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str),
+            &flags,
+        ),
         _ => usage(),
     }
 }

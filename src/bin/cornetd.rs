@@ -1,0 +1,171 @@
+//! `cornetd` — the CORNET campaign service.
+//!
+//! A long-lived daemon exposing campaign management over an HTTP/JSON
+//! API. Tenants submit MOP bundles (gate-checked on entry), watch
+//! per-block progress as JSONL, and pause/resume/cancel campaigns; every
+//! campaign is journaled under the state directory, so `kill -9` followed
+//! by a restart resumes every interrupted campaign with zero re-executed
+//! blocks.
+//!
+//! ```text
+//! cornetd [--listen ADDR] [--state-dir DIR] [--fsync POLICY]
+//!         [--pool N] [--default-quota N] [--quota TENANT=N[,TENANT=N]]
+//!         [--max-campaigns N] [--http-workers N] [--trace FILE]
+//! ```
+
+use cornet::daemon::{ApiServer, CampaignManager, ManagerConfig};
+use cornet::journal::FsyncPolicy;
+use cornet::obs::{write_trace, ChromeTraceSink, TraceSummary, Tracer};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cornetd [options]\n\
+         \n\
+         options:\n\
+           --listen <addr>        bind address              (default 127.0.0.1:7171)\n\
+           --state-dir <dir>      campaign state directory  (default ./cornetd-state)\n\
+           --fsync <policy>       always | every-n=N | never (default every-n=64)\n\
+           --pool <n>             global execution slots    (default 8)\n\
+           --default-quota <n>    per-tenant execution cap  (default 2)\n\
+           --quota <t=n,...>      per-tenant overrides, e.g. acme=4,zephyr=1\n\
+           --max-campaigns <n>    concurrent campaigns      (default 4)\n\
+           --http-workers <n>     HTTP worker threads       (default 4)\n\
+           --trace <file>         write a Chrome trace on shutdown"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a:?}"));
+        };
+        let value = if it.peek().is_some_and(|n| !n.starts_with("--")) {
+            it.next().unwrap().clone()
+        } else {
+            "true".to_string()
+        };
+        flags.insert(name.to_string(), value);
+    }
+    Ok(flags)
+}
+
+fn parse_quota_overrides(spec: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut out = BTreeMap::new();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (tenant, cap) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad quota {part:?}: expected tenant=N"))?;
+        let cap: usize = cap
+            .parse()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| format!("bad quota {part:?}: N must be a positive integer"))?;
+        out.insert(tenant.to_string(), cap);
+    }
+    Ok(out)
+}
+
+fn numeric(flags: &BTreeMap<String, String>, name: &str, default: usize) -> Result<usize, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| format!("bad --{name} {v:?}: want a positive integer")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = parse_flags(&args)?;
+    for key in flags.keys() {
+        if !matches!(
+            key.as_str(),
+            "listen"
+                | "state-dir"
+                | "fsync"
+                | "pool"
+                | "default-quota"
+                | "quota"
+                | "max-campaigns"
+                | "http-workers"
+                | "trace"
+        ) {
+            return Err(format!("unknown option --{key}"));
+        }
+    }
+    let listen = flags
+        .get("listen")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:7171");
+    let state_dir = flags
+        .get("state-dir")
+        .map(String::as_str)
+        .unwrap_or("cornetd-state");
+    let fsync = match flags.get("fsync") {
+        Some(text) => FsyncPolicy::parse(text).map_err(|e| e.to_string())?,
+        None => FsyncPolicy::EveryN(64),
+    };
+    let tracer = if flags.contains_key("trace") {
+        Tracer::wall()
+    } else {
+        Tracer::noop()
+    };
+    let config = ManagerConfig {
+        state_dir: state_dir.into(),
+        fsync,
+        pool: numeric(&flags, "pool", 8)?,
+        default_quota: numeric(&flags, "default-quota", 2)?,
+        quota_overrides: match flags.get("quota") {
+            Some(spec) => parse_quota_overrides(spec)?,
+            None => BTreeMap::new(),
+        },
+        max_campaigns: numeric(&flags, "max-campaigns", 4)?,
+        tracer: tracer.clone(),
+    };
+    let http_workers = numeric(&flags, "http-workers", 4)?;
+
+    let manager = CampaignManager::start(config).map_err(|e| e.to_string())?;
+    let server =
+        ApiServer::bind(listen, http_workers, manager.clone()).map_err(|e| e.to_string())?;
+    println!("cornetd listening on {}", server.local_addr());
+    println!("cornetd state directory: {state_dir} (fsync {fsync})");
+
+    // Serve until a `POST /v1/shutdown` arrives, then drain runners —
+    // journals make an impatient exit safe, so the drain is bounded.
+    server.wait_for_shutdown();
+    println!("cornetd shutting down; draining campaigns…");
+    let drained = manager.drain(Duration::from_secs(60));
+    server.shutdown();
+    if !drained {
+        eprintln!("cornetd: drain timed out; interrupted campaigns will resume on restart");
+    }
+    if let Some(path) = flags.get("trace") {
+        let trace = tracer.snapshot();
+        write_trace(path, &ChromeTraceSink, &trace).map_err(|e| format!("writing {path}: {e}"))?;
+        print!("{}", TraceSummary::from_trace(&trace).render());
+        println!("trace written to {path}");
+    }
+    println!("cornetd stopped");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if e.starts_with("unknown option") || e.starts_with("unexpected argument") {
+                return usage();
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! | [`verifier`] | impact verification (rules, control groups, analysis) |
 //! | [`analysis`] | shared static-analysis framework (diagnostics, passes, baselines) |
 //! | [`core`] | the `Cornet` facade + reuse accounting + the `check` gate |
+//! | [`daemon`] | `cornetd` service mode: HTTP/JSON campaign API, multi-tenant manager |
 //!
 //! Start with `examples/quickstart.rs`.
 
@@ -31,6 +32,7 @@
 pub use cornet_analysis as analysis;
 pub use cornet_catalog as catalog;
 pub use cornet_core as core;
+pub use cornet_daemon as daemon;
 pub use cornet_journal as journal;
 pub use cornet_model as model;
 pub use cornet_netsim as netsim;

@@ -174,6 +174,115 @@ fn run_trace_round_trips_through_chrome_format() {
         .is_some_and(|n| n >= 16.0));
 }
 
+/// Observability parity for crash recovery (ISSUE 8 satellite): `cornet
+/// resume --trace` must emit the same span families a journaled run
+/// does — dispatch/slot/instance/block nesting *plus* the journal's own
+/// append/fsync spans and byte counters — and still converge on the
+/// uninterrupted campaign's fingerprint.
+#[test]
+fn resume_trace_has_journal_observability() {
+    let dir = std::env::temp_dir();
+    let journal = dir.join(format!("cornet_obs_resume_{}.jsonl", std::process::id()));
+    let trace_path = dir.join(format!(
+        "cornet_obs_resume_{}.trace.json",
+        std::process::id()
+    ));
+    let cornet = env!("CARGO_BIN_EXE_cornet");
+
+    // Reference: the same campaign run uninterrupted.
+    let clean_journal = dir.join(format!(
+        "cornet_obs_resume_clean_{}.jsonl",
+        std::process::id()
+    ));
+    let clean = Command::new(cornet)
+        .args(["run", "--journal", clean_journal.to_str().unwrap()])
+        .output()
+        .expect("clean journaled run executes");
+    assert!(clean.status.success());
+    let clean_stdout = String::from_utf8_lossy(&clean.stdout);
+    let fingerprint_of = |s: &str| {
+        s.lines()
+            .find_map(|l| l.split("fingerprint=").nth(1))
+            .map(str::to_string)
+            .expect("summary line carries a fingerprint")
+    };
+    let clean_fingerprint = fingerprint_of(&clean_stdout);
+    let _ = std::fs::remove_file(&clean_journal);
+
+    // Crash mid-campaign, then resume with --trace.
+    let crashed = Command::new(cornet)
+        .args([
+            "run",
+            "--journal",
+            journal.to_str().unwrap(),
+            "--crash-at",
+            "9",
+        ])
+        .output()
+        .expect("crashing journaled run executes");
+    assert!(crashed.status.success());
+    assert!(String::from_utf8_lossy(&crashed.stdout).contains("simulated crash"));
+    let resumed = Command::new(cornet)
+        .args([
+            "resume",
+            journal.to_str().unwrap(),
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("cornet resume executes");
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(
+        stdout.contains("trace summary"),
+        "summary printed: {stdout}"
+    );
+    assert_eq!(
+        fingerprint_of(&stdout),
+        clean_fingerprint,
+        "recovery must converge on the uninterrupted outcome"
+    );
+    let _ = std::fs::remove_file(&journal);
+
+    let body = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let _ = std::fs::remove_file(&trace_path);
+    let doc = parse(&body).expect("trace file is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    let count = |n: &str| events.iter().filter(|ev| name_of(ev) == n).count();
+
+    // Execution spans: the resumed half of the campaign still traces.
+    assert_eq!(count("dispatch"), 1);
+    assert!(count("instance") >= 1);
+    assert!(count("block") >= 1);
+    // Journal spans: every append the resume made is visible, including
+    // the campaign_resumed record itself.
+    assert!(count("journal.append") >= 1, "journal appends are traced");
+    assert!(
+        events.iter().any(|ev| name_of(ev) == "journal.append"
+            && arg(ev, "event").and_then(|v| v.as_str()) == Some("campaign_resumed")),
+        "the resume marker append is traced"
+    );
+    let counters = doc
+        .get("otherData")
+        .and_then(|o| o.get("counters"))
+        .expect("counters object");
+    assert!(counters
+        .get("journal.bytes_written")
+        .and_then(|v| v.as_f64())
+        .is_some_and(|n| n > 0.0));
+    assert!(counters
+        .get("blocks.recovered")
+        .and_then(|v| v.as_f64())
+        .is_some_and(|n| n >= 1.0));
+}
+
 /// A deterministic three-node rollout: single worker, self-ticking manual
 /// clock, one scripted transient failure recovered by retry.
 fn small_rollout_trace() -> String {
