@@ -8,7 +8,9 @@
 #                campaign resumes from its journal (blocks_recovered > 0)
 #                and lands on the same fingerprint as an uninterrupted run
 #                of the same spec
-#   4. shutdown  POST /v1/shutdown drains and the process exits cleanly
+#   4. ingest    /v1/ingest accepts a JSONL sample feed, streams live
+#                detections, and reports a go verdict on a clean uplift
+#   5. shutdown  POST /v1/shutdown drains and the process exits cleanly
 set -euo pipefail
 
 CORNET=${CORNET:-target/release/cornet}
@@ -30,7 +32,9 @@ start_daemon() {
   PID=$!
   ADDR=""
   for _ in $(seq 1 100); do
-    ADDR=$(sed -n 's/^cornetd listening on //p' "$WORK/daemon.out")
+    # tail -n1: never scrape a stale announcement if the log ever carries
+    # more than one "listening on" line (e.g. extra startup output).
+    ADDR=$(sed -n 's/^cornetd listening on //p' "$WORK/daemon.out" | tail -n1)
     [ -n "$ADDR" ] && return
     kill -0 "$PID" 2>/dev/null || fail "cornetd exited during startup"
     sleep 0.1
@@ -101,6 +105,45 @@ REF=$(wait_terminal "$RID" | jq -r .outcome.fingerprint)
 [ "$FP" = "$REF" ] || fail "fingerprint mismatch: resumed $FP vs uninterrupted $REF"
 echo "   resumed $RECOVERED recovered blocks, fingerprint $FP matches clean run"
 
+echo "== streaming ingest =="
+# 100 ticks × 4 streams (2 study + 2 control) on a 60-minute grid; the
+# study streams gain +25 from minute 1800 on, so the online verifier
+# should both fire changepoint detections and report a "go" verdict for
+# expect=improve. Mirrors the in-crate snapshot test configuration.
+awk 'BEGIN {
+  for (k = 0; k < 100; k++) {
+    m = k * 60
+    v = 100 + (k % 5) * 0.2
+    shift = (m >= 1800) ? 25 : 0
+    printf "{\"node\":\"study-0\",\"kpi\":\"thr\",\"minute\":%d,\"value\":%.1f}\n", m, v + shift
+    printf "{\"node\":\"study-1\",\"kpi\":\"thr\",\"minute\":%d,\"value\":%.1f}\n", m, v + shift
+    printf "{\"node\":\"control-0\",\"kpi\":\"thr\",\"minute\":%d,\"value\":%.1f}\n", m, v
+    printf "{\"node\":\"control-1\",\"kpi\":\"thr\",\"minute\":%d,\"value\":%.1f}\n", m, v
+  }
+}' >"$WORK/ingest.jsonl"
+INGEST_URL="http://$ADDR/v1/ingest?nodes=2&kpi=thr&change_minute=1800&expect=improve"
+
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary @"$WORK/ingest.jsonl" "$INGEST_URL")
+[ "$CODE" = 400 ] || fail "POST /v1/ingest without tenant header returned HTTP $CODE (want 400)"
+
+CODE=$(curl -s -o "$WORK/receipt.json" -w '%{http_code}' -X POST \
+  -H 'X-Cornet-Tenant: smoke' --data-binary @"$WORK/ingest.jsonl" "$INGEST_URL")
+[ "$CODE" = 200 ] || fail "POST /v1/ingest returned HTTP $CODE"
+ACCEPTED=$(jq -r .accepted "$WORK/receipt.json")
+[ "$ACCEPTED" = 400 ] || fail "ingest accepted $ACCEPTED of 400 samples"
+
+curl -s -H 'X-Cornet-Tenant: smoke' "http://$ADDR/v1/ingest" >"$WORK/ingest-snap.json"
+PROCESSED=$(jq -r .stats.processed "$WORK/ingest-snap.json")
+DECISION=$(jq -r '.verdicts[0].decision' "$WORK/ingest-snap.json")
+DETS=$(jq -r '.detections | length' "$WORK/ingest-snap.json")
+[ "$PROCESSED" = 400 ] || fail "ingest session processed $PROCESSED of 400 samples"
+[ "$DECISION" = go ] || fail "streaming verdict was '$DECISION' (want go)"
+[ "$DETS" -ge 1 ] || fail "streaming session reported no changepoint detections"
+
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE -H 'X-Cornet-Tenant: smoke' "http://$ADDR/v1/ingest")
+[ "$CODE" = 405 ] || fail "DELETE /v1/ingest returned HTTP $CODE (want 405)"
+echo "   ingested 400 samples, $DETS detections, verdict go"
+
 echo "== clean shutdown =="
 CODE=$(curl -s -o "$WORK/shutdown.json" -w '%{http_code}' -X POST "http://$ADDR/v1/shutdown")
 [ "$CODE" = 202 ] || fail "POST /v1/shutdown returned HTTP $CODE"
@@ -113,4 +156,4 @@ for _ in $(seq 1 100); do
 done
 [ -z "$PID" ] || fail "cornetd still running after shutdown"
 
-echo "daemon smoke OK: gate, completion, SIGKILL+resume ($RECOVERED blocks recovered, fingerprint $FP), clean shutdown"
+echo "daemon smoke OK: gate, completion, SIGKILL+resume ($RECOVERED blocks recovered, fingerprint $FP), streaming ingest ($DETS detections, verdict go), clean shutdown"

@@ -11,6 +11,8 @@
 //! | POST   | `/v1/campaigns/{id}/cancel`     | drain and close the campaign     |
 //! | GET    | `/v1/campaigns/{id}/events`     | journal events as JSONL (`?follow=1` streams) |
 //! | GET    | `/v1/quotas`                    | tenant quota + global pool usage |
+//! | POST   | `/v1/ingest`                    | stream KPI samples (JSONL) into the online verifier |
+//! | GET    | `/v1/ingest`                    | ingest counters, live detections, current verdicts |
 //! | POST   | `/v1/shutdown`                  | stop accepting, begin drain      |
 //!
 //! Every campaign route requires an `X-Cornet-Tenant` header; a tenant
@@ -20,7 +22,8 @@
 
 use crate::http::{Handler, HttpServer, Reply, Request, Response};
 use crate::manager::{ApiError, CampaignManager, CampaignSnapshot, SubmitOutcome};
-use cornet_obs::json_escape;
+use crate::stream::StreamHub;
+use cornet_obs::{json_escape, Tracer};
 use std::fmt::Write as _;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
@@ -66,11 +69,13 @@ impl ApiServer {
 /// Build the routing handler (exposed for in-process tests).
 pub fn handler(manager: Arc<CampaignManager>, shutdown_tx: mpsc::Sender<()>) -> Handler {
     let shutdown_tx = Mutex::new(shutdown_tx);
-    Arc::new(move |req: Request| route(&manager, &shutdown_tx, req))
+    let hub = StreamHub::new(Tracer::noop());
+    Arc::new(move |req: Request| route(&manager, &hub, &shutdown_tx, req))
 }
 
 fn route(
     manager: &Arc<CampaignManager>,
+    hub: &StreamHub,
     shutdown_tx: &Mutex<mpsc::Sender<()>>,
     req: Request,
 ) -> Reply {
@@ -148,7 +153,20 @@ fn route(
                 }
             }
         }),
-        (_, ["healthz" | "shutdown" | "quotas" | "campaigns", ..]) => {
+        ("POST", ["ingest"]) => with_tenant(&req, |tenant| {
+            let params = req.query.iter().map(|(k, v)| (k.clone(), v.clone()));
+            match hub.ingest(tenant, params, &req.body) {
+                Ok(receipt) => full(Response::json(200, receipt)),
+                Err(e) => full(error_response(&ApiError::Invalid(e))),
+            }
+        }),
+        ("GET", ["ingest"]) => with_tenant(&req, |tenant| match hub.snapshot(tenant) {
+            Some(body) => full(Response::json(200, body)),
+            None => full(error_response(&ApiError::NotFound(
+                "no ingest session for tenant (POST samples first)".to_string(),
+            ))),
+        }),
+        (_, ["healthz" | "shutdown" | "quotas" | "campaigns" | "ingest", ..]) => {
             full(Response::json(405, r#"{"error":"method not allowed"}"#))
         }
         _ => full(error_response(&ApiError::NotFound(req.path.clone()))),

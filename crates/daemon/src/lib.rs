@@ -14,6 +14,8 @@
 //! * [`http`] — a hand-rolled HTTP/1.1 server over `std::net` (the
 //!   workspace vendors no async runtime and no HTTP stack);
 //! * [`api`] — request routing and the `/v1` endpoint handlers;
+//! * [`stream`] — per-tenant `/v1/ingest` sessions feeding the streaming
+//!   verification engine (live detections + go/no-go verdicts);
 //! * [`client`] — a blocking HTTP client for the `cornet submit/status/
 //!   watch` subcommands and the end-to-end tests.
 
@@ -26,6 +28,7 @@ pub mod http;
 pub mod manager;
 pub mod quota;
 pub mod scenario;
+pub mod stream;
 
 pub use api::ApiServer;
 pub use client::{ClientResponse, DaemonClient};
@@ -36,3 +39,4 @@ pub use manager::{
 };
 pub use quota::{QuotaBook, QuotaSnapshot, TenantSlots};
 pub use scenario::{report_fingerprint, ExecutionWitness, JournalScenario};
+pub use stream::{IngestReceipt, StreamHub, StreamSpec};

@@ -22,6 +22,7 @@
 pub mod changepoint;
 pub mod descriptive;
 pub mod normal;
+pub mod online;
 pub mod rank;
 pub mod regression;
 pub mod series;
@@ -29,6 +30,10 @@ pub mod series;
 pub use changepoint::{detect_level_shifts, LevelShift};
 pub use descriptive::{mad, mean, median, quantile, std_dev, weighted_mean};
 pub use normal::{normal_cdf, two_sided_p};
+pub use online::{
+    replay_level_shifts, DetectorPush, MultiTimescaleDetector, OnlineLevelShiftDetector,
+    OrderStatSketch, SlidingTheilSen, TimescaleShift,
+};
 pub use rank::{mann_whitney_u, robust_rank_order, robust_rank_order_naive, RankTestResult};
 pub use regression::{
     ratio_regression, theil_sen, theil_sen_exact, theil_sen_seeded, RobustFit, THEIL_SEN_PAIR_CAP,

@@ -1,0 +1,156 @@
+//! Property tests pinning the online (per-sample) kernels to their batch
+//! counterparts.
+//!
+//! The streaming-verification PR promises that every online kernel is
+//! *bit-identical* to the batch kernel on the same data: the
+//! order-statistic sketch reproduces the Fligner–Policello test, the
+//! sliding Theil–Sen reproduces the (exact or seeded) batch fit over its
+//! window, and the per-sample changepoint detector replays to the batch
+//! shift list. These properties are that promise, executable.
+
+use cornet_stats::{
+    detect_level_shifts, median, replay_level_shifts, robust_rank_order, theil_sen,
+    MultiTimescaleDetector, OrderStatSketch, SlidingTheilSen,
+};
+use proptest::prelude::*;
+
+/// Deterministic sample vector from a seed (xorshift), optionally salted
+/// with NaNs (the missing-data case every kernel must tolerate) and tie
+/// groups (a coarse grid).
+fn synth(seed: u64, len: usize, grid: bool, with_nans: bool) -> Vec<f64> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..len)
+        .map(|_| {
+            let bits = next();
+            if with_nans && bits % 13 == 0 {
+                return f64::NAN;
+            }
+            if grid {
+                ((bits % 41) as f64 - 20.0) / 2.0
+            } else {
+                ((bits % 400_001) as f64 - 200_000.0) / 100.0
+            }
+        })
+        .collect()
+}
+
+fn same(a: f64, b: f64) -> bool {
+    (a.is_nan() && b.is_nan()) || a.to_bits() == b.to_bits()
+}
+
+proptest! {
+    #[test]
+    fn sketch_rank_order_matches_batch(
+        seed in any::<u64>(),
+        nx in 0usize..48,
+        ny in 0usize..48,
+        grid in any::<bool>(),
+        with_nans in any::<bool>(),
+    ) {
+        let xs = synth(seed, nx, grid, with_nans);
+        let ys = synth(seed.wrapping_add(1), ny, grid, with_nans);
+        let mut a = OrderStatSketch::new();
+        let mut b = OrderStatSketch::new();
+        xs.iter().for_each(|&v| a.push(v));
+        ys.iter().for_each(|&v| b.push(v));
+        let streamed = a.rank_order_vs(&b);
+        let batch = robust_rank_order(&xs, &ys);
+        prop_assert!(same(streamed.z, batch.z), "z {} vs {}", streamed.z, batch.z);
+        prop_assert!(same(streamed.p_value, batch.p_value));
+        prop_assert_eq!(streamed.direction, batch.direction);
+    }
+
+    #[test]
+    fn sketch_median_matches_batch_median(
+        seed in any::<u64>(),
+        n in 0usize..64,
+        grid in any::<bool>(),
+    ) {
+        let xs = synth(seed, n, grid, false);
+        let mut s = OrderStatSketch::new();
+        xs.iter().for_each(|&v| s.push(v));
+        prop_assert!(same(s.median(), median(&xs)));
+    }
+
+    #[test]
+    fn sliding_theil_sen_matches_batch_at_every_step(
+        seed in any::<u64>(),
+        n in 1usize..40,
+        window in 2usize..12,
+    ) {
+        // After every push the incremental fit must equal the batch
+        // estimator over exactly the resident window, evictions included.
+        let xs = synth(seed, n, true, false);
+        let ys = synth(seed.wrapping_add(2), n, false, false);
+        let mut inc = SlidingTheilSen::with_default_seed(window);
+        for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+            inc.push(x, y);
+            let lo = (i + 1).saturating_sub(window);
+            let batch = theil_sen(&xs[lo..=i], &ys[lo..=i]);
+            let fit = inc.fit();
+            prop_assert!(
+                same(fit.slope, batch.slope) && same(fit.intercept, batch.intercept),
+                "sample {}: ({}, {}) vs ({}, {})",
+                i, fit.slope, fit.intercept, batch.slope, batch.intercept
+            );
+        }
+    }
+
+    #[test]
+    fn online_changepoint_replays_to_batch(
+        seed in any::<u64>(),
+        pre_len in 0usize..40,
+        post_len in 0usize..40,
+        window in 2usize..8,
+        step in -30.0f64..30.0,
+        with_nans in any::<bool>(),
+    ) {
+        // A synthetic step series (including degenerate lengths around the
+        // 2×window boundary) must yield the identical merged shift list.
+        let mut xs = synth(seed, pre_len, false, with_nans);
+        let mut post: Vec<f64> = synth(seed.wrapping_add(3), post_len, false, with_nans)
+            .iter()
+            .map(|v| v + step * 100.0)
+            .collect();
+        xs.append(&mut post);
+        let batch = detect_level_shifts(&xs, window, 5.0);
+        let streamed = replay_level_shifts(&xs, window, 5.0);
+        prop_assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn multi_timescale_lanes_match_coarsened_batch(
+        seed in any::<u64>(),
+        n in 0usize..160,
+        window in 2usize..6,
+        factor in 1usize..26,
+    ) {
+        let xs = synth(seed, n, false, true);
+        let coarse: Vec<f64> = xs
+            .chunks(factor)
+            .map(|c| {
+                let clean: Vec<f64> = c.iter().copied().filter(|v| !v.is_nan()).collect();
+                if clean.is_empty() {
+                    f64::NAN
+                } else {
+                    clean.iter().sum::<f64>() / clean.len() as f64
+                }
+            })
+            .collect();
+        let mut det = MultiTimescaleDetector::new(&[factor], window, 5.0);
+        for &v in &xs {
+            det.push(v);
+        }
+        let mut lanes = det.finish();
+        prop_assert_eq!(lanes.len(), 1);
+        let (lane_factor, shifts) = lanes.remove(0);
+        prop_assert_eq!(lane_factor, factor);
+        prop_assert_eq!(shifts, detect_level_shifts(&coarse, window, 5.0));
+    }
+}

@@ -14,7 +14,10 @@
 //!   normalization, robust regression `S = βC`, prediction, and the
 //!   robust rank-order test;
 //! * [`verify`] — the verifier facade producing per-KPI, per-location
-//!   verdicts and a go/no-go summary.
+//!   verdicts and a go/no-go summary;
+//! * [`stream`] — the streaming engine: backpressure-aware ingest,
+//!   per-sample multi-timescale detection, and verdict polls that share
+//!   the batch fan (bit-identical results on a full replay).
 
 #![forbid(unsafe_code)]
 pub mod adapter;
@@ -24,6 +27,7 @@ pub mod equation;
 pub mod integrity;
 pub mod rulecheck;
 pub mod rules;
+pub mod stream;
 pub mod verify;
 
 pub use adapter::{ClosureAdapter, DataAdapter, SeriesCache};
@@ -33,6 +37,10 @@ pub use equation::Equation;
 pub use integrity::{monitor_feeds, FeedAlert, IntegrityConfig};
 pub use rulecheck::analyze_rules;
 pub use rules::{Expectation, KpiQuery, VerificationRule};
+pub use stream::{
+    IngestOutcome, IngestStats, PumpStats, SampleRouter, SeriesStore, StreamConfig,
+    StreamDetection, StreamSample, StreamingVerifier,
+};
 pub use verify::{
     verify_rule, verify_rule_sequential, verify_rule_traced, verify_rules, verify_rules_traced,
     GoNoGo, VerificationReport,

@@ -228,7 +228,7 @@ pub fn verify_rules_traced(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn verify_rule_impl(
+pub(crate) fn verify_rule_impl(
     adapter: &dyn DataAdapter,
     rule: &VerificationRule,
     scope: &ChangeScope,

@@ -11,6 +11,7 @@
 //! cornet run   --journal F [--crash-at N] [--fsync P]   journaled campaign (kill-safe)
 //! cornet resume <journal> [--fsync P] [--trace F]   resume a crashed campaign
 //! cornet verify [--shift D] [--trace F]      impact-verification demo
+//! cornet verify --follow [--shift D] [--ticks N]   streaming verification demo
 //! cornet demo                         run a miniature end-to-end cycle
 //! cornet submit <bundle.json>         submit a campaign to a running cornetd
 //! cornet status [id]                  list / inspect cornetd campaigns
@@ -59,6 +60,8 @@ fn usage() -> ExitCode {
            --fsync <policy>    (run --journal, resume) always | every-n=N | never\n\
            \x20                                        (default every-n=64)\n\
            --shift <d>         (verify) injected KPI shift on study nodes (default 15)\n\
+           --follow            (verify) stream the feed sample-by-sample online\n\
+           --ticks <n>         (verify --follow) samples per stream (default 200)\n\
            --daemon <addr>     (submit/status/watch) cornetd address (default 127.0.0.1:7171)\n\
            --tenant <t>        (submit/status/watch) tenant identity  (default default)"
     );
@@ -784,6 +787,9 @@ fn cmd_verify(flags: &BTreeMap<String, String>) -> ExitCode {
         VerificationRule,
     };
 
+    if flags.contains_key("follow") {
+        return cmd_verify_follow(flags);
+    }
     let shift: f64 = flags
         .get("shift")
         .and_then(|s| s.parse().ok())
@@ -866,6 +872,179 @@ fn cmd_verify(flags: &BTreeMap<String, String>) -> ExitCode {
         return ExitCode::FAILURE;
     }
     if no_go {
+        println!("decision: NO-GO — halt the roll-out");
+        ExitCode::FAILURE
+    } else {
+        println!("decision: GO");
+        ExitCode::SUCCESS
+    }
+}
+
+/// `cornet verify --follow` — the streaming demo: the same synthetic
+/// roll-out as `cornet verify`, but delivered sample-by-sample through
+/// the online engine. Live changepoint detections print as the feed
+/// advances; the final verdicts are checked bit-for-bit against a batch
+/// re-verification of the identical series.
+fn cmd_verify_follow(flags: &BTreeMap<String, String>) -> ExitCode {
+    use cornet::stats::TimeSeries;
+    use cornet::types::{Attributes, Inventory, Topology};
+    use cornet::verifier::{
+        verify_rules, ChangeScope, ClosureAdapter, Expectation, GoNoGo, KpiQuery, StreamConfig,
+        StreamSample, StreamingVerifier, VerificationRule,
+    };
+
+    let shift: f64 = flags
+        .get("shift")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15.0);
+    let ticks: u64 = flags
+        .get("ticks")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let tracer = tracer_for(flags);
+
+    let mut inv = Inventory::new();
+    for i in 0..16 {
+        inv.push(
+            format!("enb-{i}"),
+            NfType::ENodeB,
+            Attributes::new().with("market", if i % 2 == 0 { "NYC" } else { "DFW" }),
+        );
+    }
+    let mut topo = Topology::with_capacity(16);
+    for i in 0..8u32 {
+        topo.add_edge(NodeId(i), NodeId(i + 8));
+    }
+    let change_minute = 6000u64;
+    let value_at = move |node: NodeId, kpi: &str, k: u64| {
+        let downward_good = kpi == "latency_ms";
+        let minute = k * 60;
+        let wiggle = ((k * 11 + node.0 as u64 * 3) % 5) as f64 * 0.15;
+        let mut v = 100.0 + wiggle;
+        if node.0 < 8 && minute >= change_minute {
+            v += if downward_good { -shift } else { shift };
+        }
+        v
+    };
+    let study: Vec<NodeId> = (0..8).map(NodeId).collect();
+    let scope = ChangeScope::simultaneous(&study, change_minute);
+    let rule = || {
+        let mut rule = VerificationRule::standard(
+            "post-upgrade",
+            vec![
+                KpiQuery::expecting("throughput_mbps", true, Expectation::Improve),
+                KpiQuery::expecting("latency_ms", false, Expectation::Improve),
+            ],
+        );
+        rule.location_attributes = vec!["market".into()];
+        rule
+    };
+    let engine = StreamingVerifier::new(
+        vec![rule()],
+        scope.clone(),
+        inv.clone(),
+        topo.clone(),
+        StreamConfig::default(),
+        tracer.clone(),
+    );
+
+    println!("following synthetic feed: 16 streams x 2 KPIs, {ticks} samples each");
+    for k in 0..ticks {
+        for n in 0..16u32 {
+            for kpi in ["throughput_mbps", "latency_ms"] {
+                engine.offer(StreamSample {
+                    node: NodeId(n),
+                    kpi: kpi.to_string(),
+                    carrier: None,
+                    minute: k * 60,
+                    value: value_at(NodeId(n), kpi, k),
+                });
+            }
+        }
+        engine.pump();
+        for d in engine.take_detections() {
+            println!(
+                "  detected: {:<16} node {:>2} @ minute {:>6} (x{} timescale, delta {:+.2}, score {:.1})",
+                d.kpi, d.node.0, d.minute, d.timescale, d.delta, d.score
+            );
+        }
+    }
+    let stats = engine.stats();
+    println!(
+        "ingested {} samples ({} shed, {} rejected), {} raw detections",
+        stats.processed, stats.shed, stats.rejected, stats.detections
+    );
+    if let Some(p99) = engine.detection_latency_quantile(0.99) {
+        println!("per-sample detection latency p99: {:.3} ms", p99 * 1e3);
+    }
+
+    let streamed = match engine.poll_verdicts() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("verification failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut no_go = false;
+    for report in &streamed {
+        println!(
+            "rule '{}': {:?} ({} KPIs, verified in {:?})",
+            report.rule,
+            report.decision,
+            report.kpis.len(),
+            report.duration,
+        );
+        for kr in &report.kpis {
+            println!(
+                "  {:<16} {:?} (p={:.4}, shift {:+.1}%) expectation met: {}",
+                kr.query.kpi,
+                kr.overall.verdict,
+                kr.overall.p_value,
+                kr.overall.relative_shift * 100.0,
+                kr.meets_expectation,
+            );
+        }
+        no_go |= report.decision == GoNoGo::NoGo;
+    }
+
+    // Cross-check: a batch verification over the identical series must
+    // agree bit-for-bit (the streaming engine's core promise).
+    let adapter = ClosureAdapter(move |node: NodeId, kpi: &str, _: Option<usize>| {
+        Some(TimeSeries::new(
+            0,
+            60,
+            (0..ticks).map(|k| value_at(node, kpi, k)).collect(),
+        ))
+    });
+    let consistent = match verify_rules(&adapter, &[rule()], &scope, &inv, &topo) {
+        Ok(batch) => {
+            streamed.len() == batch.len()
+                && streamed.iter().zip(&batch).all(|(s, b)| {
+                    s.decision == b.decision
+                        && s.kpis.iter().zip(&b.kpis).all(|(sk, bk)| {
+                            sk.overall.verdict == bk.overall.verdict
+                                && sk.overall.p_value.to_bits() == bk.overall.p_value.to_bits()
+                        })
+                })
+        }
+        Err(e) => {
+            eprintln!("batch cross-check failed: {e}");
+            false
+        }
+    };
+    println!(
+        "batch replay cross-check: {}",
+        if consistent {
+            "verdicts identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+    if let Err(e) = finish_trace(flags, &tracer) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !consistent || no_go {
         println!("decision: NO-GO — halt the roll-out");
         ExitCode::FAILURE
     } else {
