@@ -4,6 +4,9 @@
 #
 #   1. gate      clean bundle accepted (201), defective bundle refused (422)
 #   2. complete  the accepted campaign runs to phase=completed
+#   2b. blast    a bundle whose declared campaign races a live one is
+#                refused (409 + CN0601 JSONL) while a disjoint bundle is
+#                admitted (201); blast radii are owner-only (403 foreign)
 #   3. kill      SIGKILL mid-campaign, restart on the same state dir; the
 #                campaign resumes from its journal (blocks_recovered > 0)
 #                and lands on the same fingerprint as an uninterrupted run
@@ -77,6 +80,56 @@ echo "   refused with $(grep -c '"severity"' "$WORK/refused.txt") diagnostics"
 
 echo "== accepted campaign completes =="
 wait_terminal "$CID" >/dev/null
+
+echo "== interference gate: racing live campaign refused, disjoint admitted =="
+# Two bundles that declare campaigns on the same inventory node at the
+# same slot (a CN0601 write-write race) and a third on a disjoint node.
+# Scenario latency is simulated (virtual clock), so wall-clock runtime
+# cannot keep the first campaign live; pausing it does, deterministically.
+declared_bundle() {
+  cat <<EOF
+{"name": "ci-blast-$1", "scenario": {"nodes": $3, "latency_ms": 1},
+ "workflows": [{"name": "wave-$1",
+                "inputs": {"node": "string", "software_version": "string"},
+                "sequence": ["software_upgrade"]}],
+ "inventory": [{"name": "$2", "nf_type": "enb"}],
+ "campaigns": [{"workflow": "wave-$1", "assignments": [[0, 1]]}]}
+EOF
+}
+declared_bundle a smoke-enb-0 160 >"$WORK/decl-a.json"
+declared_bundle b smoke-enb-0 6 >"$WORK/decl-b.json"
+declared_bundle c smoke-gnb-9 6 >"$WORK/decl-c.json"
+
+AID=$(cli submit "$WORK/decl-a.json" | jq -r .id)
+PHASE=$(curl -s -X POST -H 'X-Cornet-Tenant: default' \
+  "http://$ADDR/v1/campaigns/$AID/pause" | jq -r .phase)
+[ "$PHASE" = paused ] || fail "campaign $AID is $PHASE, not paused"
+CODE=$(curl -s -o "$WORK/conflict.jsonl" -w '%{http_code}' -X POST \
+  -H 'X-Cornet-Tenant: default' --data-binary @"$WORK/decl-b.json" \
+  "http://$ADDR/v1/campaigns")
+[ "$CODE" = 409 ] || fail "interfering submission returned HTTP $CODE (want 409)"
+grep -q '"code":"CN0601"' "$WORK/conflict.jsonl" \
+  || fail "409 body carries no CN0601 diagnostic: $(cat "$WORK/conflict.jsonl")"
+CODE=$(curl -s -o "$WORK/disjoint.json" -w '%{http_code}' -X POST \
+  -H 'X-Cornet-Tenant: default' --data-binary @"$WORK/decl-c.json" \
+  "http://$ADDR/v1/campaigns")
+[ "$CODE" = 201 ] || fail "disjoint submission returned HTTP $CODE (want 201)"
+DID=$(jq -r .id "$WORK/disjoint.json")
+
+# Blast radii are owner-only.
+CODE=$(curl -s -o "$WORK/blast.json" -w '%{http_code}' \
+  -H 'X-Cornet-Tenant: default' "http://$ADDR/v1/campaigns/$AID/blast")
+[ "$CODE" = 200 ] || fail "GET blast for the owner returned HTTP $CODE"
+grep -q '"writes"' "$WORK/blast.json" || fail "blast body has no effect sets"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H 'X-Cornet-Tenant: intruder' "http://$ADDR/v1/campaigns/$AID/blast")
+[ "$CODE" = 403 ] || fail "GET blast for a foreign tenant returned HTTP $CODE (want 403)"
+
+curl -s -o /dev/null -X POST -H 'X-Cornet-Tenant: default' \
+  "http://$ADDR/v1/campaigns/$AID/resume"
+wait_terminal "$AID" >/dev/null
+wait_terminal "$DID" >/dev/null
+echo "   racing bundle refused with 409/CN0601, disjoint admitted as $DID, blast owner-only"
 
 echo "== kill-safety: SIGKILL mid-campaign, restart, resume =="
 cat >"$WORK/big.json" <<'EOF'
@@ -156,4 +209,4 @@ for _ in $(seq 1 100); do
 done
 [ -z "$PID" ] || fail "cornetd still running after shutdown"
 
-echo "daemon smoke OK: gate, completion, SIGKILL+resume ($RECOVERED blocks recovered, fingerprint $FP), streaming ingest ($DETS detections, verdict go), clean shutdown"
+echo "daemon smoke OK: gate, completion, interference 409/201, SIGKILL+resume ($RECOVERED blocks recovered, fingerprint $FP), streaming ingest ($DETS detections, verdict go), clean shutdown"

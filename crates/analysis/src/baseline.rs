@@ -3,19 +3,27 @@
 //! A brownfield deployment cannot fix every pre-existing finding at once.
 //! `cornet check --format json` output is a JSON-lines file; feeding it
 //! back via `--baseline <file>` suppresses exactly those accepted
-//! diagnostics (matched on code + anchor + message) so the gate trips only
-//! on *new* findings — the same ratchet pattern as clippy's allow-lists
-//! or eslint's baseline files.
+//! diagnostics so the gate trips only on *new* findings — the same
+//! ratchet pattern as clippy's allow-lists or eslint's baseline files.
+//!
+//! Matching is on [`Diagnostic::fingerprint`] — code + anchor,
+//! deliberately *not* the message — so a baseline keeps suppressing an
+//! accepted finding when a release rewords diagnostic text or the report
+//! is reordered. Because several distinct findings can share a
+//! fingerprint (same code at the same anchor, different details), the
+//! baseline is a multiset: each accepted entry buys suppression of one
+//! matching diagnostic, and any surplus beyond the accepted count still
+//! trips the gate.
 
 use crate::diag::{Diagnostic, Report};
 use cornet_types::json::{parse, JsonValue};
 use cornet_types::{CornetError, Result};
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 
-/// A set of previously accepted diagnostics.
+/// A multiset of previously accepted diagnostics, keyed by fingerprint.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Baseline {
-    keys: BTreeSet<String>,
+    counts: BTreeMap<String, usize>,
 }
 
 impl Baseline {
@@ -26,9 +34,11 @@ impl Baseline {
 
     /// Parse a JSON-lines baseline file body (the `--format json` output
     /// of a previous run). Blank lines are ignored; malformed lines are a
-    /// hard error so stale baselines fail loudly.
+    /// hard error so stale baselines fail loudly. The `message` field is
+    /// still required — a baseline file is a full diagnostic dump — but
+    /// does not participate in matching.
     pub fn from_jsonl(body: &str) -> Result<Baseline> {
-        let mut keys = BTreeSet::new();
+        let mut counts = BTreeMap::new();
         for (i, line) in body.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() {
@@ -47,41 +57,50 @@ impl Baseline {
                         ))
                     })
             };
-            keys.insert(format!(
-                "{}\u{1}{}\u{1}{}",
-                field("code")?,
-                field("where")?,
-                field("message")?
-            ));
+            field("message")?;
+            let key = format!("{}\u{1}{}", field("code")?, field("where")?);
+            *counts.entry(key).or_insert(0) += 1;
         }
-        Ok(Baseline { keys })
+        Ok(Baseline { counts })
     }
 
-    /// Record a diagnostic as accepted.
+    /// Record a diagnostic as accepted (one more suppression of its
+    /// fingerprint).
     pub fn accept(&mut self, d: &Diagnostic) {
-        self.keys.insert(d.fingerprint());
+        *self.counts.entry(d.fingerprint()).or_insert(0) += 1;
     }
 
-    /// Whether a diagnostic is suppressed by this baseline.
+    /// Whether at least one acceptance matches the diagnostic.
     pub fn contains(&self, d: &Diagnostic) -> bool {
-        self.keys.contains(&d.fingerprint())
+        self.counts.contains_key(&d.fingerprint())
     }
 
-    /// Number of accepted entries.
+    /// Number of accepted entries (multiset cardinality).
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.counts.values().sum()
     }
 
     /// Whether the baseline is empty.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.counts.is_empty()
     }
 
     /// Remove suppressed diagnostics from a report; returns how many were
-    /// dropped.
+    /// dropped. Each accepted entry suppresses at most one matching
+    /// diagnostic (earliest in report order first), so a *growing* count
+    /// of the same finding still surfaces the surplus.
     pub fn suppress(&self, report: &mut Report) -> usize {
+        let mut budget = self.counts.clone();
         let before = report.diagnostics.len();
-        report.diagnostics.retain(|d| !self.contains(d));
+        report
+            .diagnostics
+            .retain(|d| match budget.get_mut(&d.fingerprint()) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    false
+                }
+                _ => true,
+            });
         before - report.diagnostics.len()
     }
 }
@@ -126,12 +145,36 @@ mod tests {
     }
 
     #[test]
-    fn accept_and_contains() {
+    fn accept_matches_regardless_of_message() {
         let mut b = Baseline::new();
         let d = diag("x");
         assert!(!b.contains(&d));
         b.accept(&d);
         assert!(b.contains(&d));
-        assert!(!b.contains(&diag("y")));
+        // Same code + anchor, different message: same fingerprint.
+        assert!(b.contains(&diag("y")));
+        // Different anchor: not suppressed.
+        let other = Diagnostic::error(
+            Code("CN0101"),
+            SourceRef::Workflow {
+                workflow: "other".into(),
+            },
+            "x",
+        );
+        assert!(!b.contains(&other));
+    }
+
+    #[test]
+    fn surplus_findings_beyond_the_accepted_count_survive() {
+        let mut b = Baseline::new();
+        b.accept(&diag("accepted once"));
+        let mut report = Report::new();
+        report.push(diag("first"));
+        report.push(diag("second"));
+        report.push(diag("third"));
+        assert_eq!(b.suppress(&mut report), 1);
+        // Only one suppression was bought; the surplus still gates.
+        assert_eq!(report.diagnostics.len(), 2);
+        assert_eq!(report.diagnostics[0].message, "second");
     }
 }

@@ -15,8 +15,8 @@ use std::fmt;
 ///
 /// Ranges are allocated per concern: `CN01xx` structural, `CN02xx`
 /// dataflow, `CN03xx` resilience, `CN04xx` planning, `CN05xx`
-/// verification. Codes never change meaning once released; retired codes
-/// are not reused.
+/// verification, `CN06xx` interference. Codes never change meaning once
+/// released; retired codes are not reused.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
 pub struct Code(pub &'static str);
 
@@ -29,6 +29,7 @@ impl Code {
             Some("CN03") => "resilience",
             Some("CN04") => "planning",
             Some("CN05") => "verification",
+            Some("CN06") => "interference",
             _ => "other",
         }
     }
@@ -244,9 +245,12 @@ impl Diagnostic {
         out
     }
 
-    /// Identity used for baseline matching: code + anchor + message.
+    /// Identity used for baseline matching: code + anchor. Deliberately
+    /// message-independent, so accepted baselines survive message
+    /// rewording between releases; multiple identical (code, anchor)
+    /// findings are told apart by count in [`crate::Baseline`].
     pub fn fingerprint(&self) -> String {
-        format!("{}\u{1}{}\u{1}{}", self.code, self.source, self.message)
+        format!("{}\u{1}{}", self.code, self.source)
     }
 }
 
@@ -360,6 +364,72 @@ impl Report {
         }
         out
     }
+
+    /// SARIF 2.1.0 rendering (one run, logical locations), for code-review
+    /// tooling that ingests the standard static-analysis interchange
+    /// format. Like every other wire rendering here it is hand-rolled and
+    /// bit-stable: same report in, same bytes out.
+    pub fn render_sarif(&self) -> String {
+        let mut out = String::from(
+            "{\"version\":\"2.1.0\",\"$schema\":\
+             \"https://json.schemastore.org/sarif-2.1.0.json\",\
+             \"runs\":[{\"tool\":{\"driver\":{\"name\":\"cornet\",\
+             \"informationUri\":\"https://example.invalid/cornet\",\"rules\":[",
+        );
+        let mut rules: Vec<&Code> = Vec::new();
+        for d in &self.diagnostics {
+            if !rules.contains(&&d.code) {
+                rules.push(&d.code);
+            }
+        }
+        for (i, code) in rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"id\":");
+            json_string(&mut out, code.0);
+            out.push_str(",\"shortDescription\":{\"text\":");
+            json_string(&mut out, code.category());
+            out.push_str("}}");
+        }
+        out.push_str("]}},\"results\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"ruleId\":");
+            json_string(&mut out, d.code.0);
+            out.push_str(",\"level\":");
+            json_string(
+                &mut out,
+                match d.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                    Severity::Info => "note",
+                },
+            );
+            out.push_str(",\"message\":{\"text\":");
+            let text = match &d.hint {
+                Some(hint) => format!("{} (help: {hint})", d.message),
+                None => d.message.clone(),
+            };
+            json_string(&mut out, &text);
+            out.push_str(
+                "},\"locations\":[{\"logicalLocations\":[{\
+                          \"fullyQualifiedName\":",
+            );
+            json_string(&mut out, &d.source.to_string());
+            out.push_str("}]}]");
+            if !d.pass.is_empty() {
+                out.push_str(",\"properties\":{\"pass\":");
+                json_string(&mut out, &d.pass);
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}]}");
+        out
+    }
 }
 
 impl fmt::Display for Report {
@@ -417,6 +487,7 @@ mod tests {
         assert_eq!(Code("CN0301").category(), "resilience");
         assert_eq!(Code("CN0416").category(), "planning");
         assert_eq!(Code("CN0502").category(), "verification");
+        assert_eq!(Code("CN0601").category(), "interference");
         assert_eq!(Code("XX").category(), "other");
     }
 
@@ -442,6 +513,49 @@ mod tests {
         r.sort();
         let codes: Vec<&str> = r.iter().map(|d| d.code.0).collect();
         assert_eq!(codes, vec!["CN0101", "CN0202", "CN0205"]);
+    }
+
+    #[test]
+    fn sarif_rendering_parses_with_rules_results_and_levels() {
+        let mut r = Report::new();
+        r.push(sample());
+        r.push(Diagnostic::info(
+            Code("CN0605"),
+            SourceRef::Global,
+            "conservative assumption",
+        ));
+        let sarif = r.render_sarif();
+        let v = cornet_types::json::parse(&sarif).unwrap();
+        assert_eq!(v.get("version").unwrap().as_str(), Some("2.1.0"));
+        let run = &v.get("runs").unwrap().as_array().unwrap()[0];
+        let rules = run
+            .get("tool")
+            .unwrap()
+            .get("driver")
+            .unwrap()
+            .get("rules")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].get("id").unwrap().as_str(), Some("CN0101"));
+        let results = run.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("level").unwrap().as_str(), Some("error"));
+        assert_eq!(results[1].get("level").unwrap().as_str(), Some("note"));
+        let msg = results[0].get("message").unwrap().get("text").unwrap();
+        assert!(msg.as_str().unwrap().contains("help:"), "{sarif}");
+        // Bit-stable: rendering twice yields identical bytes.
+        assert_eq!(sarif, r.render_sarif());
+    }
+
+    #[test]
+    fn fingerprint_ignores_the_message() {
+        let a = Diagnostic::error(Code("CN0601"), SourceRef::Global, "one wording");
+        let b = Diagnostic::error(Code("CN0601"), SourceRef::Global, "another wording");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = Diagnostic::error(Code("CN0602"), SourceRef::Global, "one wording");
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //!
 //! Code ranges are allocated per concern: `CN01xx` structural workflow
 //! checks, `CN02xx` parameter dataflow, `CN03xx` resilience arithmetic,
-//! `CN04xx` schedule planning, `CN05xx` verification rules. The concrete
+//! `CN04xx` schedule planning, `CN05xx` verification rules, `CN06xx`
+//! cross-campaign interference. The concrete
 //! passes live next to the subsystems they analyze (`cornet-workflow`,
 //! `cornet-planner`, `cornet-orchestrator`, `cornet-verifier`); the
 //! full-bundle pipeline is assembled in `cornet-core` and fronted by the

@@ -1,0 +1,106 @@
+//! Properties of baseline suppression under report churn.
+//!
+//! A baseline accepted at release N must keep suppressing the same
+//! findings at release N+1 even though (a) passes emit diagnostics in a
+//! different order and (b) diagnostic messages get reworded. Fingerprints
+//! are code + anchor only, and the baseline is a count multiset, so both
+//! transformations must be invisible — while *new* findings (a fresh
+//! anchor, or more duplicates than were accepted) must still surface.
+
+use cornet_analysis::{Baseline, Code, Diagnostic, Report, SourceRef};
+use proptest::prelude::*;
+
+const CODES: [&str; 6] = ["CN0101", "CN0207", "CN0303", "CN0416", "CN0502", "CN0601"];
+
+/// Deterministic diagnostic whose identity (code + anchor) depends only on
+/// `(seed, i)` while its message also depends on `wording`.
+fn diag(seed: u64, i: u64, wording: u64) -> Diagnostic {
+    let mix = seed
+        .wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let code = Code(CODES[(mix % CODES.len() as u64) as usize]);
+    let source = if mix & 1 == 0 {
+        SourceRef::Workflow {
+            workflow: format!("wf{}", (mix >> 8) % 4),
+        }
+    } else {
+        SourceRef::Target {
+            node: ((mix >> 8) % 5) as u32,
+            slot: Some(((mix >> 16) % 3) as u32),
+        }
+    };
+    Diagnostic::error(
+        code,
+        source,
+        format!("finding {i} of seed {seed} (wording variant {wording})"),
+    )
+}
+
+proptest! {
+    #[test]
+    fn suppression_survives_reordering_and_rewording(
+        seed in any::<u64>(),
+        n in 1u64..12,
+        rot in 0u64..12,
+        wording in 1u64..1000,
+    ) {
+        // Accept release N's report verbatim, via the JSONL round trip the
+        // CLI uses (`--format json` output fed back as `--baseline`).
+        let mut accepted = Report::new();
+        for i in 0..n {
+            accepted.push(diag(seed, i, 0));
+        }
+        let baseline = Baseline::from_jsonl(&accepted.render_jsonl()).unwrap();
+        prop_assert_eq!(baseline.len(), n as usize);
+
+        // Release N+1 emits the same findings rotated and reworded.
+        let mut churned = Report::new();
+        for k in 0..n {
+            churned.push(diag(seed, (k + rot) % n, wording));
+        }
+        let dropped = baseline.suppress(&mut churned);
+        prop_assert_eq!(dropped, n as usize);
+        prop_assert!(
+            churned.is_clean(),
+            "survivors after suppression: {}",
+            churned.render_text()
+        );
+    }
+
+    #[test]
+    fn genuinely_new_findings_still_surface(
+        seed in any::<u64>(),
+        n in 1u64..10,
+        wording in 1u64..1000,
+    ) {
+        let mut accepted = Report::new();
+        for i in 0..n {
+            accepted.push(diag(seed, i, 0));
+        }
+        let baseline = Baseline::from_jsonl(&accepted.render_jsonl()).unwrap();
+
+        // One extra duplicate of an accepted finding: the count multiset
+        // only bought `n` suppressions, so exactly one survivor remains
+        // no matter how messages were reworded.
+        let mut churned = Report::new();
+        for i in 0..n {
+            churned.push(diag(seed, i, wording));
+        }
+        churned.push(diag(seed, 0, wording));
+        let dropped = baseline.suppress(&mut churned);
+        prop_assert_eq!(dropped, n as usize);
+        prop_assert_eq!(churned.diagnostics.len(), 1);
+
+        // A finding at a fresh anchor is never suppressed.
+        let mut fresh = Report::new();
+        fresh.push(Diagnostic::error(
+            Code("CN0601"),
+            SourceRef::Rule {
+                rule: format!("not-in-baseline-{seed}"),
+            },
+            "brand new",
+        ));
+        prop_assert_eq!(baseline.suppress(&mut fresh), 0);
+        prop_assert_eq!(fresh.diagnostics.len(), 1);
+    }
+}

@@ -1303,7 +1303,9 @@ fn bench_daemon_submit_latency(smoke: bool, min_reps: usize) -> Scenario {
     let submit_one = |manager: &std::sync::Arc<CampaignManager>, tenant: &str| -> String {
         match manager.submit(tenant, &spec).expect("submit succeeds") {
             SubmitOutcome::Accepted { id, .. } => id,
-            SubmitOutcome::Rejected { .. } => panic!("bench spec passes the gate"),
+            SubmitOutcome::Rejected { .. } | SubmitOutcome::Interfering { .. } => {
+                panic!("bench spec passes the gate")
+            }
         }
     };
     let wait_all = |manager: &std::sync::Arc<CampaignManager>, ids: &[(String, String)]| {

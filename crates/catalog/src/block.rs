@@ -87,6 +87,55 @@ pub enum RunnerKind {
     Native,
 }
 
+/// A dimension of per-node network state a building block can read or
+/// mutate.
+///
+/// The static effect system (CN06xx) tracks block effects as
+/// `(node scope × state dimension)` pairs: a software upgrade writes the
+/// node's *version*, a config push its *configuration*, traffic moves its
+/// *routing*, and checks read its *health*. Two campaigns interfere when
+/// their workflows touch the same dimension of the same node in
+/// overlapping windows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum StateDim {
+    /// Installed software version.
+    Version,
+    /// Applied configuration.
+    Config,
+    /// Traffic routing / carried load.
+    Routing,
+    /// Operational health and KPI readings.
+    Health,
+}
+
+impl StateDim {
+    /// All dimensions, used for conservative "can touch anything"
+    /// assumptions about unannotated mutating blocks.
+    pub const ALL: [StateDim; 4] = [
+        StateDim::Version,
+        StateDim::Config,
+        StateDim::Routing,
+        StateDim::Health,
+    ];
+
+    /// Lowercase label used in diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            StateDim::Version => "version",
+            StateDim::Config => "config",
+            StateDim::Routing => "routing",
+            StateDim::Health => "health",
+        }
+    }
+}
+
+impl fmt::Display for StateDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Catalog entry describing one building block.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BlockSpec {
@@ -111,6 +160,16 @@ pub struct BlockSpec {
     /// the `CN0306` replay-safety analysis.
     #[serde(default)]
     pub idempotent: bool,
+    /// State dimensions of the target node the block reads (health
+    /// checks, pre/post comparisons). Consumed by the CN06xx effect
+    /// system to detect read-write interference across campaigns.
+    #[serde(default)]
+    pub reads: Vec<StateDim>,
+    /// State dimensions of the target node the block writes. A mutating
+    /// block that declares no write dimensions is conservatively assumed
+    /// to write all of them.
+    #[serde(default)]
+    pub writes: Vec<StateDim>,
     /// Input parameters.
     pub inputs: Vec<ParamSpec>,
     /// Output parameters.
@@ -136,6 +195,8 @@ impl BlockSpec {
             nf_agnostic,
             mutates: false,
             idempotent: false,
+            reads: Vec::new(),
+            writes: Vec::new(),
             inputs: Vec::new(),
             outputs: Vec::new(),
             endpoint,
@@ -152,6 +213,20 @@ impl BlockSpec {
     /// converges to the same end state.
     pub fn idempotent(mut self) -> Self {
         self.idempotent = true;
+        self
+    }
+
+    /// Builder-style effect annotation: the block reads `dim` of its
+    /// target node.
+    pub fn reads_dim(mut self, dim: StateDim) -> Self {
+        self.reads.push(dim);
+        self
+    }
+
+    /// Builder-style effect annotation: the block writes `dim` of its
+    /// target node.
+    pub fn writes_dim(mut self, dim: StateDim) -> Self {
+        self.writes.push(dim);
         self
     }
 

@@ -5,7 +5,7 @@
 //! paper shows only names and functions); they are what the workflow
 //! designer's parameter-flow validation checks against.
 
-use crate::block::{BlockSpec, Phase};
+use crate::block::{BlockSpec, Phase, StateDim};
 use crate::registry::Catalog;
 use cornet_types::ParamType as T;
 
@@ -22,6 +22,7 @@ pub fn builtin_catalog() -> Catalog {
             "Verify live and operational status",
             false,
         )
+        .reads_dim(StateDim::Health)
         .input("node", T::String)
         .output("healthy", T::Bool)
         .output("status_detail", T::Map),
@@ -46,6 +47,7 @@ pub fn builtin_catalog() -> Catalog {
             false,
         )
         .mutating()
+        .writes_dim(StateDim::Routing)
         .input("node", T::String)
         .output("redirected", T::Bool),
     );
@@ -57,6 +59,7 @@ pub fn builtin_catalog() -> Catalog {
             false,
         )
         .mutating()
+        .writes_dim(StateDim::Version)
         .input("node", T::String)
         .input("software_version", T::String)
         .output("upgraded", T::Bool)
@@ -70,6 +73,7 @@ pub fn builtin_catalog() -> Catalog {
             false,
         )
         .mutating()
+        .writes_dim(StateDim::Config)
         .input("node", T::String)
         .input("config", T::Map)
         .output("applied", T::Bool)
@@ -82,6 +86,7 @@ pub fn builtin_catalog() -> Catalog {
             "Compare before and after the change",
             true,
         )
+        .reads_dim(StateDim::Health)
         .input("node", T::String)
         .output("passed", T::Bool)
         .output("report", T::Map),
@@ -94,6 +99,7 @@ pub fn builtin_catalog() -> Catalog {
             false,
         )
         .mutating()
+        .writes_dim(StateDim::Routing)
         .input("node", T::String)
         .output("restored", T::Bool),
     );
@@ -105,6 +111,7 @@ pub fn builtin_catalog() -> Catalog {
             false,
         )
         .mutating()
+        .writes_dim(StateDim::Version)
         .input("node", T::String)
         .input("previous_version", T::String)
         .output("rolled_back", T::Bool),
@@ -317,6 +324,36 @@ mod tests {
                 "traffic_restore",
             ]
         );
+    }
+
+    #[test]
+    fn every_mutating_block_declares_its_write_dimensions() {
+        // The CN06xx effect system falls back to "writes everything" for
+        // unannotated mutating blocks; the builtins must never need that.
+        let cat = builtin_catalog();
+        for b in cat.iter() {
+            assert_eq!(
+                b.mutates,
+                !b.writes.is_empty(),
+                "{}: mutates={} but writes {:?}",
+                b.name,
+                b.mutates,
+                b.writes
+            );
+        }
+        let dim = |name: &str| cat.get(name).unwrap().writes.clone();
+        assert_eq!(dim("software_upgrade"), [StateDim::Version]);
+        assert_eq!(dim("roll_back"), [StateDim::Version]);
+        assert_eq!(dim("config_change"), [StateDim::Config]);
+        assert_eq!(dim("traffic_redirect"), [StateDim::Routing]);
+        assert_eq!(dim("traffic_restore"), [StateDim::Routing]);
+        // The checks read health; analytics blocks touch no node state.
+        assert_eq!(cat.get("health_check").unwrap().reads, [StateDim::Health]);
+        assert_eq!(
+            cat.get("pre_post_comparison").unwrap().reads,
+            [StateDim::Health]
+        );
+        assert!(cat.get("optimization_solver").unwrap().reads.is_empty());
     }
 
     #[test]

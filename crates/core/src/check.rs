@@ -92,6 +92,9 @@ pub fn standard_driver() -> Driver<MopBundle> {
             analyze_campaigns(&b.campaigns, b.intent.as_ref(), report);
         },
     );
+    driver.register_fn("interference", |b: &MopBundle, report: &mut Report| {
+        crate::blast::analyze_interference(b, report);
+    });
     driver.register_fn("resilience", |b: &MopBundle, report: &mut Report| {
         if let Some(spec) = &b.resilience {
             cornet_orchestrator::analyze_resilience(spec, report);
@@ -495,6 +498,7 @@ mod tests {
                 "workflow",
                 "intent-lint",
                 "campaign-conflicts",
+                "interference",
                 "resilience",
                 "replay-safety",
                 "verification-rules"

@@ -14,6 +14,7 @@
 //! the pieces examples need.
 
 #![forbid(unsafe_code)]
+pub mod blast;
 pub mod check;
 pub mod cornet;
 pub mod executors;
@@ -21,6 +22,10 @@ pub mod native;
 pub mod reuse;
 pub mod rollout;
 
+pub use blast::{
+    analyze_interference, campaign_blasts, conflicts_between, conflicts_within, render_blast_text,
+    BlastConflict, CampaignBlast, NodeTouch,
+};
 pub use check::{check, gate, load_bundle, standard_driver, MopBundle};
 pub use cornet::Cornet;
 pub use executors::testbed_registry;

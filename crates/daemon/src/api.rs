@@ -10,6 +10,7 @@
 //! | POST   | `/v1/campaigns/{id}/resume`     | resume admissions                |
 //! | POST   | `/v1/campaigns/{id}/cancel`     | drain and close the campaign     |
 //! | GET    | `/v1/campaigns/{id}/events`     | journal events as JSONL (`?follow=1` streams) |
+//! | GET    | `/v1/campaigns/{id}/blast`      | declared blast radii (owner only) |
 //! | GET    | `/v1/quotas`                    | tenant quota + global pool usage |
 //! | POST   | `/v1/ingest`                    | stream KPI samples (JSONL) into the online verifier |
 //! | GET    | `/v1/ingest`                    | ingest counters, live detections, current verdicts |
@@ -18,7 +19,9 @@
 //! Every campaign route requires an `X-Cornet-Tenant` header; a tenant
 //! can only see and drive its own campaigns (403 otherwise). Submissions
 //! whose bundle fails the `cornet check` gate are refused with 422 and
-//! the diagnostics as JSONL.
+//! the diagnostics as JSONL; bundles whose declared campaigns' blast
+//! radii collide with a live campaign are refused with 409 and the
+//! CN06xx diagnostics as JSONL (foreign-tenant details redacted).
 
 use crate::http::{Handler, HttpServer, Reply, Request, Response};
 use crate::manager::{ApiError, CampaignManager, CampaignSnapshot, SubmitOutcome};
@@ -109,6 +112,9 @@ fn route(
                 Ok(SubmitOutcome::Rejected { report }) => {
                     full(Response::jsonl(422, report.render_jsonl()))
                 }
+                Ok(SubmitOutcome::Interfering { report }) => {
+                    full(Response::jsonl(409, report.render_jsonl()))
+                }
                 Err(e) => full(error_response(&e)),
             })
         }
@@ -134,6 +140,12 @@ fn route(
         }
         ("POST", ["campaigns", id, "cancel"]) => {
             with_tenant(&req, |tenant| reply_snapshot(manager.cancel(tenant, id)))
+        }
+        ("GET", ["campaigns", id, "blast"]) => {
+            with_tenant(&req, |tenant| match manager.blast(tenant, id) {
+                Ok(body) => full(Response::json(200, body)),
+                Err(e) => full(error_response(&e)),
+            })
         }
         ("GET", ["campaigns", id, "events"]) => with_tenant(&req, |tenant| {
             let from: usize = req.param("from").and_then(|v| v.parse().ok()).unwrap_or(0);

@@ -14,7 +14,8 @@
 
 use crate::quota::{QuotaBook, QuotaSnapshot};
 use crate::scenario::{report_fingerprint, JournalScenario};
-use cornet_analysis::Report;
+use cornet_analysis::{Code, Diagnostic, Report, SourceRef};
+use cornet_core::blast::{campaign_blasts, conflicts_between, BlastConflict, CampaignBlast};
 use cornet_core::{gate, load_bundle};
 use cornet_journal::{CampaignStore, FsyncPolicy, Journal, JournalEvent, Manifest};
 use cornet_obs::Tracer;
@@ -153,6 +154,12 @@ pub enum SubmitOutcome {
         /// The gate report with the refusing diagnostics.
         report: Report,
     },
+    /// The bundle passed the check gate but its declared campaigns'
+    /// blast radii collide with a live campaign; nothing was created.
+    Interfering {
+        /// Interference diagnostics (foreign-tenant details redacted).
+        report: Report,
+    },
 }
 
 /// Daemon-side configuration for a [`CampaignManager`].
@@ -201,6 +208,11 @@ struct Entry {
     events: Vec<String>,
     outcome: Option<CampaignResult>,
     error: Option<String>,
+    /// Blast radii of the bundle's declared campaigns, when it declared
+    /// any — the interference gate compares submissions against these
+    /// while the campaign is live. Recomputed from `spec.json` on
+    /// restart.
+    blast: Option<Vec<CampaignBlast>>,
 }
 
 impl Entry {
@@ -305,6 +317,13 @@ impl CampaignManager {
                 .store
                 .paths(&manifest.id)
                 .map_err(|e| ApiError::Internal(e.to_string()))?;
+            // Recompute declared blast radii from the persisted spec so
+            // the interference gate survives restarts.
+            let blast = std::fs::read_to_string(&paths.spec)
+                .ok()
+                .and_then(|body| load_bundle(&body).ok())
+                .filter(|b| !b.campaigns.is_empty())
+                .map(|b| campaign_blasts(&b));
             let mut entry = Entry {
                 scenario,
                 control: CampaignControl::new(),
@@ -316,6 +335,7 @@ impl CampaignManager {
                 events: Vec::new(),
                 outcome: None,
                 error: None,
+                blast,
                 manifest,
             };
             let events = if paths.journal.exists() {
@@ -381,9 +401,37 @@ impl CampaignManager {
                 return Ok(SubmitOutcome::Rejected { report });
             }
         };
+        // Declared-campaign bundles pass the interference gate: their
+        // blast radii must not collide with any live campaign's.
+        // Scenario-only submissions carry no declared campaigns and are
+        // exempt (nothing to compare).
+        let blast = if bundle.campaigns.is_empty() {
+            None
+        } else {
+            Some(campaign_blasts(&bundle))
+        };
         let mut state = self.lock();
         if !state.accepting {
             return Err(ApiError::Conflict("daemon is shutting down".into()));
+        }
+        if let Some(submitted) = &blast {
+            let mut conflicts = Report::new();
+            for entry in state.entries.values() {
+                if entry.phase.is_terminal() {
+                    continue;
+                }
+                let Some(live) = &entry.blast else { continue };
+                for c in conflicts_between(submitted, live) {
+                    conflicts.push(admission_conflict_diagnostic(&c, tenant, &entry.manifest));
+                }
+            }
+            if conflicts.has_errors() {
+                conflicts.sort();
+                self.config
+                    .tracer
+                    .incr(&format!("daemon.tenant.{tenant}.interfering"), 1);
+                return Ok(SubmitOutcome::Interfering { report: conflicts });
+            }
         }
         let id = self
             .store
@@ -418,6 +466,7 @@ impl CampaignManager {
                 events: Vec::new(),
                 outcome: None,
                 error: None,
+                blast,
             },
         );
         state.queue.push(id.clone());
@@ -444,6 +493,23 @@ impl CampaignManager {
     pub fn snapshot(&self, tenant: &str, id: &str) -> Result<CampaignSnapshot, ApiError> {
         let state = self.lock();
         owned_entry(&state, tenant, id).map(Entry::snapshot)
+    }
+
+    /// The declared blast radii of one campaign as a JSON document,
+    /// enforcing tenant ownership — a tenant may inspect only its own
+    /// blast radii, never reconstruct another tenant's from a 409.
+    pub fn blast(&self, tenant: &str, id: &str) -> Result<String, ApiError> {
+        let state = self.lock();
+        let entry = owned_entry(&state, tenant, id)?;
+        let mut out = format!("{{\"id\":\"{}\",\"campaigns\":[", entry.manifest.id);
+        for (i, b) in entry.blast.iter().flatten().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&b.render_json());
+        }
+        out.push_str("]}");
+        Ok(out)
     }
 
     /// Pause a queued or running campaign: no new instances are admitted;
@@ -850,6 +916,56 @@ impl CampaignManager {
     }
 }
 
+/// Render one admission-gate conflict as a diagnostic. Same-tenant
+/// conflicts name the live campaign; foreign-tenant conflicts are
+/// redacted to the contested node/dimension — the 409 body must not leak
+/// another tenant's campaign ids, names, or workflow names.
+fn admission_conflict_diagnostic(c: &BlastConflict, tenant: &str, live: &Manifest) -> Diagnostic {
+    let dims = c
+        .dims
+        .iter()
+        .map(|d| d.label())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let other = if live.tenant == tenant {
+        format!("your live campaign {} ('{}')", live.id, c.right)
+    } else {
+        "a live campaign of another tenant".to_string()
+    };
+    let source = SourceRef::Target {
+        node: c.node_id,
+        slot: Some(c.slot),
+    };
+    match c.code {
+        "CN0601" => Diagnostic::error(
+            Code("CN0601"),
+            source,
+            format!(
+                "write-write race: submitted campaign '{}' and {} both write {{{dims}}} of {} \
+                 in overlapping windows",
+                c.left, other, c.node
+            ),
+        )
+        .with_hint("wait for the live campaign to finish or reschedule into disjoint waves"),
+        "CN0602" => Diagnostic::warning(
+            Code("CN0602"),
+            source,
+            format!(
+                "backout-vs-mainline overlap: a backout would race {} over {{{dims}}} of {}",
+                other, c.node
+            ),
+        ),
+        _ => Diagnostic::warning(
+            Code("CN0604"),
+            source,
+            format!(
+                "read-write hazard: submitted campaign '{}' and {} contest {{{dims}}} of {}",
+                c.left, other, c.node
+            ),
+        ),
+    }
+}
+
 fn validate_tenant(tenant: &str) -> Result<(), ApiError> {
     if tenant.is_empty()
         || tenant.len() > 64
@@ -967,6 +1083,21 @@ mod tests {
 
     fn small_spec() -> String {
         r#"{"name": "mgr-test", "scenario": {"nodes": 4, "latency_ms": 1}}"#.into()
+    }
+
+    /// A bundle that *declares* a campaign: one workflow, one inventory
+    /// node, one [node, slot] assignment. Declared bundles go through the
+    /// interference gate; node identity across bundles is the inventory
+    /// name.
+    fn declared_spec(name: &str, wf: &str, node: &str, slot: u32) -> String {
+        format!(
+            r#"{{"name": "{name}", "scenario": {{"nodes": 2, "latency_ms": 50}},
+            "workflows": [{{"name": "{wf}",
+                            "inputs": {{"node": "string", "software_version": "string"}},
+                            "sequence": ["software_upgrade"]}}],
+            "inventory": [{{"name": "{node}", "nf_type": "enb"}}],
+            "campaigns": [{{"workflow": "{wf}", "assignments": [[0, {slot}]]}}]}}"#
+        )
     }
 
     fn wait_terminal(manager: &Arc<CampaignManager>, tenant: &str, id: &str) -> CampaignSnapshot {
@@ -1089,6 +1220,144 @@ mod tests {
             total_blocks - recovered_blocks,
             "resume re-executes exactly the un-journaled remainder"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interfering_submission_is_refused_while_disjoint_is_admitted() {
+        let dir = tmp_dir("interfere");
+        let manager = CampaignManager::start(config(&dir)).unwrap();
+        let SubmitOutcome::Accepted { id, .. } = manager
+            .submit("acme", &declared_spec("a", "up-a", "enb-0", 1))
+            .unwrap()
+        else {
+            panic!("first declared bundle admitted");
+        };
+        // Same node name, same slot, both write 'version': refused.
+        match manager
+            .submit("acme", &declared_spec("b", "up-b", "enb-0", 1))
+            .unwrap()
+        {
+            SubmitOutcome::Interfering { report } => {
+                assert!(report.has_errors());
+                assert!(report.iter().any(|d| d.code == Code("CN0601")));
+                assert!(
+                    report.render_jsonl().contains(&id),
+                    "same-tenant conflicts name the live campaign"
+                );
+            }
+            other => panic!("expected interference refusal, got {other:?}"),
+        }
+        assert_eq!(manager.list("acme").len(), 1, "nothing was created");
+        // Disjoint node: admitted alongside.
+        let SubmitOutcome::Accepted { id: disjoint, .. } = manager
+            .submit("acme", &declared_spec("c", "up-c", "gnb-9", 1))
+            .unwrap()
+        else {
+            panic!("disjoint declared bundle admitted");
+        };
+        wait_terminal(&manager, "acme", &id);
+        wait_terminal(&manager, "acme", &disjoint);
+        // Terminal campaigns no longer occupy their blast radius.
+        let SubmitOutcome::Accepted { id: retry, .. } = manager
+            .submit("acme", &declared_spec("b", "up-b", "enb-0", 1))
+            .unwrap()
+        else {
+            panic!("terminal campaigns must not block resubmission");
+        };
+        wait_terminal(&manager, "acme", &retry);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn admission_verdict_is_order_independent() {
+        for (first, second) in [("up-a", "up-b"), ("up-b", "up-a")] {
+            let dir = tmp_dir(&format!("order-{first}"));
+            let manager = CampaignManager::start(config(&dir)).unwrap();
+            let SubmitOutcome::Accepted { id, .. } = manager
+                .submit("acme", &declared_spec(first, first, "enb-0", 1))
+                .unwrap()
+            else {
+                panic!("first admitted");
+            };
+            // Whichever workflow arrives second, the pair's verdict is the
+            // same write-write race on the same node.
+            match manager
+                .submit("acme", &declared_spec(second, second, "enb-0", 1))
+                .unwrap()
+            {
+                SubmitOutcome::Interfering { report } => {
+                    let d = report
+                        .iter()
+                        .find(|d| d.code == Code("CN0601"))
+                        .expect("write-write race");
+                    assert!(d.message.contains("enb-0"), "{}", d.message);
+                    assert!(d.message.contains("version"), "{}", d.message);
+                }
+                other => panic!("expected interference, got {other:?}"),
+            }
+            wait_terminal(&manager, "acme", &id);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn foreign_tenant_conflicts_are_redacted_and_blast_is_owner_only() {
+        let dir = tmp_dir("redact");
+        let manager = CampaignManager::start(config(&dir)).unwrap();
+        let SubmitOutcome::Accepted { id, .. } = manager
+            .submit("acme", &declared_spec("a", "secret-flow", "enb-0", 1))
+            .unwrap()
+        else {
+            panic!("admitted");
+        };
+        // The owner inspects its blast radii; other tenants get 403.
+        let body = manager.blast("acme", &id).unwrap();
+        assert!(body.contains("\"writes\""), "{body}");
+        assert!(body.contains("secret-flow"), "{body}");
+        assert!(matches!(
+            manager.blast("rival", &id),
+            Err(ApiError::Forbidden(_))
+        ));
+        // A rival's conflicting submission is refused without revealing
+        // whose campaign it collided with.
+        match manager
+            .submit("rival", &declared_spec("b", "rival-flow", "enb-0", 1))
+            .unwrap()
+        {
+            SubmitOutcome::Interfering { report } => {
+                let jsonl = report.render_jsonl();
+                assert!(jsonl.contains("another tenant"), "{jsonl}");
+                assert!(!jsonl.contains(&id), "campaign id leaked: {jsonl}");
+                assert!(
+                    !jsonl.contains("secret-flow"),
+                    "workflow name leaked: {jsonl}"
+                );
+            }
+            other => panic!("expected interference, got {other:?}"),
+        }
+        wait_terminal(&manager, "acme", &id);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn blast_radii_are_recomputed_from_the_spec_on_restart() {
+        let dir = tmp_dir("blast-restart");
+        let manager = CampaignManager::start(config(&dir)).unwrap();
+        let SubmitOutcome::Accepted { id, .. } = manager
+            .submit("acme", &declared_spec("a", "up-a", "enb-0", 1))
+            .unwrap()
+        else {
+            panic!("admitted");
+        };
+        wait_terminal(&manager, "acme", &id);
+        manager.begin_shutdown();
+        assert!(manager.drain(Duration::from_secs(30)));
+        drop(manager);
+        let manager = CampaignManager::start(config(&dir)).unwrap();
+        let body = manager.blast("acme", &id).unwrap();
+        assert!(body.contains("enb-0"), "{body}");
+        assert!(body.contains("\"writes\""), "{body}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

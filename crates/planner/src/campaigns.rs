@@ -34,6 +34,37 @@ impl Campaign {
     }
 }
 
+/// One campaign's claim on a node: which campaign, in which wave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeClaim<'a> {
+    /// Index of the claiming campaign in the analyzed slice.
+    pub campaign: usize,
+    /// Workflow name of the claiming campaign.
+    pub workflow: &'a str,
+    /// Scheduled wave.
+    pub slot: Timeslot,
+}
+
+/// Index every campaign's assignments by node: node id → claims in
+/// campaign order. One linear walk over all assignments; downstream
+/// passes (the CN0416 wave check here, the CN06xx interference detector
+/// in `cornet-core`) then pair claims only *within* a node, so total
+/// work scales with per-node contention instead of the number of
+/// campaign pairs — the shape daemon-sized campaign sets need.
+pub fn index_by_node<'a>(campaigns: &'a [Campaign]) -> BTreeMap<u32, Vec<NodeClaim<'a>>> {
+    let mut index: BTreeMap<u32, Vec<NodeClaim<'a>>> = BTreeMap::new();
+    for (i, c) in campaigns.iter().enumerate() {
+        for (&node, &slot) in &c.schedule.assignments {
+            index.entry(node.0).or_default().push(NodeClaim {
+                campaign: i,
+                workflow: c.workflow.as_str(),
+                slot,
+            });
+        }
+    }
+    index
+}
+
 /// Detect nodes targeted by two campaigns in the same wave. Under a
 /// declared zero conflict tolerance (or when no intent declares otherwise
 /// — zero tolerance is the intent default) the collision violates a
@@ -41,43 +72,40 @@ impl Campaign {
 /// degrades to a warning.
 pub fn analyze_campaigns(campaigns: &[Campaign], intent: Option<&PlanIntent>, report: &mut Report) {
     let zero_tolerance = intent.is_none_or(|it| it.tolerance() == ConflictTolerance::Zero);
-    // (node, slot) → campaigns that scheduled it.
-    let mut waves: BTreeMap<(u32, Timeslot), Vec<&str>> = BTreeMap::new();
-    for c in campaigns {
-        for (&node, &slot) in &c.schedule.assignments {
-            waves
-                .entry((node.0, slot))
-                .or_default()
-                .push(c.workflow.as_str());
+    for (node, claims) in index_by_node(campaigns) {
+        // Group the node's claims by wave; only co-scheduled ones collide.
+        let mut waves: BTreeMap<Timeslot, Vec<&str>> = BTreeMap::new();
+        for claim in claims {
+            waves.entry(claim.slot).or_default().push(claim.workflow);
         }
-    }
-    for ((node, slot), names) in waves {
-        if names.len() < 2 {
-            continue;
+        for (slot, names) in waves {
+            if names.len() < 2 {
+                continue;
+            }
+            let diag = Diagnostic::new(
+                Code("CN0416"),
+                if zero_tolerance {
+                    cornet_analysis::Severity::Error
+                } else {
+                    cornet_analysis::Severity::Warning
+                },
+                SourceRef::Target {
+                    node,
+                    slot: Some(slot.0),
+                },
+                format!(
+                    "campaigns {} all target node #{node} in slot {} with no serializing constraint",
+                    names
+                        .iter()
+                        .map(|n| format!("'{n}'"))
+                        .collect::<Vec<_>>()
+                        .join(" and "),
+                    slot.0
+                ),
+            )
+            .with_hint("stagger the campaigns or relax conflict handling to minimize-conflicts");
+            report.push(diag);
         }
-        let diag = Diagnostic::new(
-            Code("CN0416"),
-            if zero_tolerance {
-                cornet_analysis::Severity::Error
-            } else {
-                cornet_analysis::Severity::Warning
-            },
-            SourceRef::Target {
-                node,
-                slot: Some(slot.0),
-            },
-            format!(
-                "campaigns {} all target node #{node} in slot {} with no serializing constraint",
-                names
-                    .iter()
-                    .map(|n| format!("'{n}'"))
-                    .collect::<Vec<_>>()
-                    .join(" and "),
-                slot.0
-            ),
-        )
-        .with_hint("stagger the campaigns or relax conflict handling to minimize-conflicts");
-        report.push(diag);
     }
 }
 
@@ -145,6 +173,26 @@ mod tests {
         assert_eq!(report.error_count(), 0);
         assert_eq!(report.warning_count(), 1);
         assert!(report.diagnostics[0].severity == Severity::Warning);
+    }
+
+    #[test]
+    fn node_index_groups_claims_in_campaign_order() {
+        let campaigns = [
+            Campaign::new("a", schedule(&[(1, 1), (2, 2)])),
+            Campaign::new("b", schedule(&[(1, 2), (4, 1)])),
+        ];
+        let index = index_by_node(&campaigns);
+        assert_eq!(index.keys().copied().collect::<Vec<_>>(), vec![1, 2, 4]);
+        let node1 = &index[&1];
+        assert_eq!(node1.len(), 2);
+        assert_eq!(
+            (node1[0].campaign, node1[0].workflow, node1[0].slot),
+            (0, "a", Timeslot(1))
+        );
+        assert_eq!(
+            (node1[1].campaign, node1[1].workflow, node1[1].slot),
+            (1, "b", Timeslot(2))
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod translate;
 pub mod warm;
 
 pub use backend::{BackendChoice, BackendResult, BackendRun, Budget, SolveContext, SolverBackend};
-pub use campaigns::{analyze_campaigns, Campaign};
+pub use campaigns::{analyze_campaigns, index_by_node, Campaign, NodeClaim};
 pub use heuristic::{heuristic_schedule, HeuristicConfig};
 pub use intent::{ConflictTolerance, ConstraintRule, PlanIntent};
 pub use lint::{

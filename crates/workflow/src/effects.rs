@@ -1,0 +1,266 @@
+//! Static effect inference for workflows (the CN06xx effect system).
+//!
+//! Every building block reads and writes certain *state dimensions* of
+//! its target node — version, config, routing, health ([`StateDim`]).
+//! This module lifts the per-block annotations from the catalog to
+//! whole-workflow effect summaries, propagated path-sensitively through
+//! the graph with the same may/must discipline as the dataflow analysis
+//! in [`crate::validate`]:
+//!
+//! * **may** effects — the union over all reachable paths: everything the
+//!   workflow *can* touch. Interference detection is sound against may
+//!   effects.
+//! * **must** writes — the intersection over all start→end paths:
+//!   everything the workflow writes *no matter which branches are taken*.
+//!   A decision that skips the upgrade keeps `version` out of the must
+//!   set even though it stays in may.
+//!
+//! A mutating block with no declared write dimensions is conservatively
+//! assumed to write every dimension; such blocks are reported in
+//! [`WorkflowEffects::assumed_blocks`] so the interference pass can
+//! explain conservative verdicts (CN0605). Backout subgraphs get their
+//! own summary: a backout races *other* campaigns' mainlines (CN0602).
+
+use crate::graph::{NodeKind, Workflow};
+use cornet_catalog::{BlockSpec, Catalog, StateDim};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Read/write effect sets of one block over its target node.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlockEffects {
+    /// Dimensions the block reads.
+    pub reads: BTreeSet<StateDim>,
+    /// Dimensions the block writes.
+    pub writes: BTreeSet<StateDim>,
+    /// Whether the write set is a conservative assumption (a mutating
+    /// block with no declared write dimensions).
+    pub assumed: bool,
+}
+
+/// Effect summary of one workflow (and, recursively, its backout flow).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkflowEffects {
+    /// Dimensions some path through the workflow may write.
+    pub may_writes: BTreeSet<StateDim>,
+    /// Dimensions every start→end path writes.
+    pub must_writes: BTreeSet<StateDim>,
+    /// Dimensions some path may read.
+    pub may_reads: BTreeSet<StateDim>,
+    /// Blocks whose write sets were conservatively assumed (mutating but
+    /// unannotated, or absent from the catalog).
+    pub assumed_blocks: Vec<String>,
+    /// Effect summary of the backout subgraph, when one is designated.
+    pub backout: Option<Box<WorkflowEffects>>,
+}
+
+impl WorkflowEffects {
+    /// Whether the summary relied on any conservative assumption.
+    pub fn is_assumed(&self) -> bool {
+        !self.assumed_blocks.is_empty() || self.backout.as_ref().is_some_and(|b| b.is_assumed())
+    }
+
+    /// May-write dimensions of the backout flow (empty without one).
+    pub fn backout_writes(&self) -> BTreeSet<StateDim> {
+        self.backout
+            .as_ref()
+            .map(|b| b.may_writes.clone())
+            .unwrap_or_default()
+    }
+}
+
+/// Effect sets of one catalog block: declared annotations when present,
+/// otherwise a conservative fallback (a mutating block with no declared
+/// writes is assumed to write every dimension; a non-mutating block with
+/// no declared reads is assumed effect-free).
+pub fn block_effects(spec: &BlockSpec) -> BlockEffects {
+    let mut eff = BlockEffects {
+        reads: spec.reads.iter().copied().collect(),
+        writes: spec.writes.iter().copied().collect(),
+        assumed: false,
+    };
+    if spec.mutates && eff.writes.is_empty() {
+        eff.writes.extend(StateDim::ALL);
+        eff.assumed = true;
+    }
+    eff
+}
+
+/// Conservative effects of a block absent from the catalog: it may do
+/// anything.
+fn unknown_block_effects() -> BlockEffects {
+    BlockEffects {
+        reads: StateDim::ALL.into_iter().collect(),
+        writes: StateDim::ALL.into_iter().collect(),
+        assumed: true,
+    }
+}
+
+/// Infer the effect summary of a workflow against a catalog.
+///
+/// Mirrors the may/must propagation of the dataflow analysis: may sets
+/// accumulate over every reachable node; must writes run a worklist
+/// intersection over in-edges (`None` = unvisited ⊤) and finish as the
+/// intersection over all end nodes. Workflows with no analyzable
+/// start/end structure degrade to may-only summaries (the structural
+/// pass reports those defects separately).
+pub fn workflow_effects(wf: &Workflow, catalog: &Catalog) -> WorkflowEffects {
+    let mut summary = WorkflowEffects::default();
+
+    let per_node: Vec<BlockEffects> = wf
+        .nodes
+        .iter()
+        .map(|n| match &n.kind {
+            NodeKind::Task { block } => catalog
+                .get(block)
+                .map(block_effects)
+                .unwrap_or_else(unknown_block_effects),
+            _ => BlockEffects::default(),
+        })
+        .collect();
+
+    let reachable = wf.reachable();
+    for (i, node) in wf.nodes.iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        summary
+            .may_writes
+            .extend(per_node[i].writes.iter().copied());
+        summary.may_reads.extend(per_node[i].reads.iter().copied());
+        if per_node[i].assumed {
+            if let NodeKind::Task { block } = &node.kind {
+                summary.assumed_blocks.push(block.clone());
+            }
+        }
+    }
+    summary.assumed_blocks.dedup();
+
+    // Must writes: worklist fixpoint, intersection over in-edges.
+    if let Some(start) = wf.start() {
+        let n = wf.nodes.len();
+        let mut must: Vec<Option<BTreeSet<StateDim>>> = vec![None; n];
+        must[start.index()] = Some(BTreeSet::new());
+        let mut queue = VecDeque::from([start]);
+        while let Some(cur) = queue.pop_front() {
+            let Some(mut after) = must[cur.index()].clone() else {
+                continue;
+            };
+            after.extend(per_node[cur.index()].writes.iter().copied());
+            for e in wf.out_edges(cur) {
+                let slot = &mut must[e.to.index()];
+                let changed = match slot {
+                    None => {
+                        *slot = Some(after.clone());
+                        true
+                    }
+                    Some(t) => {
+                        let before = t.len();
+                        t.retain(|d| after.contains(d));
+                        t.len() != before
+                    }
+                };
+                if changed {
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        let mut at_ends = wf
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::End && reachable[n.id.index()])
+            .filter_map(|n| must[n.id.index()].clone());
+        if let Some(first) = at_ends.next() {
+            summary.must_writes = at_ends.fold(first, |acc, s| &acc & &s);
+        }
+    }
+
+    if let Some(backout) = &wf.backout {
+        summary.backout = Some(Box::new(workflow_effects(backout, catalog)));
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designer::Designer;
+    use cornet_catalog::{builtin_catalog, BlockSpec, Phase};
+    use StateDim::*;
+
+    #[test]
+    fn upgrade_workflow_effects_match_its_blocks() {
+        let cat = builtin_catalog();
+        let mut wf = crate::builtin::software_upgrade_workflow(&cat);
+        let mut d = Designer::new(&cat, "backout");
+        let s = d.start();
+        let rb = d.task("roll_back").unwrap();
+        let e = d.end();
+        d.connect(s, rb).connect(rb, e);
+        wf.set_backout(d.build());
+
+        let eff = workflow_effects(&wf, &cat);
+        assert!(eff.may_writes.contains(&Version));
+        assert!(eff.may_reads.contains(&Health));
+        assert!(!eff.may_writes.contains(&Config));
+        assert!(eff.assumed_blocks.is_empty() && !eff.is_assumed());
+        assert_eq!(eff.backout_writes(), BTreeSet::from([Version]));
+    }
+
+    #[test]
+    fn branch_skipped_write_is_may_but_not_must() {
+        // start → health_check → healthy? ──true──→ software_upgrade → end
+        //                                └─false──────────────────────→ end
+        let cat = builtin_catalog();
+        let mut d = Designer::new(&cat, "conditional-upgrade");
+        d.input("node", cornet_types::ParamType::String);
+        d.input("software_version", cornet_types::ParamType::String);
+        let s = d.start();
+        let hc = d.task("health_check").unwrap();
+        let dec = d.decision("healthy");
+        let up = d.task("software_upgrade").unwrap();
+        let e = d.end();
+        d.connect(s, hc)
+            .connect(hc, dec)
+            .connect_if(dec, up, true)
+            .connect_if(dec, e, false)
+            .connect(up, e);
+        let eff = workflow_effects(&d.build(), &cat);
+        assert!(eff.may_writes.contains(&Version));
+        assert!(!eff.must_writes.contains(&Version), "{:?}", eff.must_writes);
+    }
+
+    #[test]
+    fn unconditional_write_is_must() {
+        let cat = builtin_catalog();
+        let mut d = Designer::new(&cat, "plain-config");
+        d.input("node", cornet_types::ParamType::String);
+        d.input("config", cornet_types::ParamType::Map);
+        let s = d.start();
+        let cc = d.task("config_change").unwrap();
+        let e = d.end();
+        d.connect(s, cc).connect(cc, e);
+        let eff = workflow_effects(&d.build(), &cat);
+        assert_eq!(eff.must_writes, BTreeSet::from([Config]));
+        assert_eq!(eff.may_writes, BTreeSet::from([Config]));
+    }
+
+    #[test]
+    fn unannotated_mutating_block_is_assumed_to_write_everything() {
+        let mut cat = builtin_catalog();
+        cat.register(
+            BlockSpec::new("mystery_mutator", Phase::DesignOrchestration, "?", true)
+                .mutating()
+                .input("node", cornet_types::ParamType::String),
+        );
+        let mut d = Designer::new(&cat, "mystery");
+        d.input("node", cornet_types::ParamType::String);
+        let s = d.start();
+        let m = d.task("mystery_mutator").unwrap();
+        let e = d.end();
+        d.connect(s, m).connect(m, e);
+        let eff = workflow_effects(&d.build(), &cat);
+        assert_eq!(eff.may_writes, StateDim::ALL.into_iter().collect());
+        assert_eq!(eff.assumed_blocks, vec!["mystery_mutator".to_string()]);
+        assert!(eff.is_assumed());
+    }
+}

@@ -20,11 +20,13 @@
 #![forbid(unsafe_code)]
 pub mod builtin;
 pub mod designer;
+pub mod effects;
 pub mod graph;
 pub mod validate;
 pub mod war;
 
 pub use designer::Designer;
+pub use effects::{block_effects, workflow_effects, BlockEffects, WorkflowEffects};
 pub use graph::{NodeId as WfNodeId, NodeKind, Workflow, WorkflowEdge, WorkflowNode};
 pub use validate::{analyze, validate, ValidationReport};
 pub use war::{WarArtifact, WarManifest};

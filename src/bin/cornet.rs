@@ -3,7 +3,9 @@
 //! ```text
 //! cornet catalog                      list the building-block catalog
 //! cornet workflows                    list & validate the built-in workflows
-//! cornet check <bundle.json> [--format json] [--deny warnings] [--baseline F]
+//! cornet check <bundle.json> [--format json|sarif] [--deny warnings] [--baseline F]
+//!              [--interference]   restrict to the CN06xx cross-campaign findings
+//! cornet blast <bundle.json>          print each campaign's inferred blast radius
 //! cornet lint  --intent F [--network SPEC]   lint a JSON intent
 //! cornet plan  --intent F [--network SPEC] [--backend B] [--emit-mzn F] [--trace F]
 //!              [--warm-from plan.json] [--save-plan plan.json]
@@ -37,13 +39,14 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cornet <catalog|workflows|check|lint|plan|run|resume|verify|demo|\n\
+        "usage: cornet <catalog|workflows|check|blast|lint|plan|run|resume|verify|demo|\n\
          \x20              submit|status|watch> [options]\n\
          \n\
          options:\n\
-           --format <f>        (check) text | json          (default text)\n\
+           --format <f>        (check) text | json | sarif  (default text)\n\
            --deny <class>      (check) also fail on warnings: --deny warnings\n\
            --baseline <file>   (check) suppress previously accepted findings\n\
+           --interference      (check) only report CN06xx cross-campaign findings\n\
            --intent <file>     JSON intent (Listing 1 format)\n\
            --network <spec>    ran:<nodes> | cloud:<vces>   (default ran:200)\n\
            --backend <b>       exact | greedy | heuristic | portfolio | sharded (default exact)\n\
@@ -191,7 +194,10 @@ fn cmd_check(path: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode {
     use cornet::core::{check, load_bundle};
 
     let Some(path) = path else {
-        eprintln!("usage: cornet check <bundle.json> [--format json] [--deny warnings] [--baseline <file>]");
+        eprintln!(
+            "usage: cornet check <bundle.json> [--format json|sarif] [--deny warnings] \
+             [--baseline <file>] [--interference]"
+        );
         return ExitCode::from(2);
     };
     let text = match std::fs::read_to_string(path) {
@@ -209,6 +215,11 @@ fn cmd_check(path: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode {
         }
     };
     let mut report = check(&bundle);
+    if flags.contains_key("interference") {
+        report
+            .diagnostics
+            .retain(|d| d.code.category() == "interference");
+    }
     if let Some(baseline_path) = flags.get("baseline") {
         let body = match std::fs::read_to_string(baseline_path) {
             Ok(b) => b,
@@ -233,6 +244,7 @@ fn cmd_check(path: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode {
     let deny_warnings = flags.get("deny").is_some_and(|d| d == "warnings");
     match flags.get("format").map(String::as_str).unwrap_or("text") {
         "json" => print!("{}", report.render_jsonl()),
+        "sarif" => println!("{}", report.render_sarif()),
         "text" => {
             if report.diagnostics.is_empty() {
                 println!(
@@ -246,7 +258,7 @@ fn cmd_check(path: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode {
             }
         }
         other => {
-            eprintln!("error: unknown --format {other:?} (want text or json)");
+            eprintln!("error: unknown --format {other:?} (want text, json, or sarif)");
             return ExitCode::from(2);
         }
     }
@@ -254,6 +266,58 @@ fn cmd_check(path: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// `cornet blast` — print each campaign's statically inferred blast
+/// radius (which state dimensions of which nodes it may touch, in which
+/// windows) and any cross-campaign interference. Exit 0 when no
+/// interference errors, 1 when the campaigns conflict, 2 on load errors.
+fn cmd_blast(path: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode {
+    use cornet::core::blast::{analyze_interference, campaign_blasts, render_blast_text};
+    use cornet::core::load_bundle;
+
+    let Some(path) = path else {
+        eprintln!("usage: cornet blast <bundle.json> [--format json]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let bundle = match load_bundle(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {path} is not a valid bundle: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let blasts = campaign_blasts(&bundle);
+    let mut report = cornet::analysis::Report::new();
+    analyze_interference(&bundle, &mut report);
+    report.sort();
+    if flags.get("format").map(String::as_str) == Some("json") {
+        for b in &blasts {
+            println!("{}", b.render_json());
+        }
+    } else {
+        if blasts.is_empty() {
+            println!("bundle declares no campaigns: nothing to blast-analyze");
+        } else {
+            print!("{}", render_blast_text(&blasts));
+        }
+        if !report.is_clean() {
+            println!("\ninterference findings:");
+            print!("{}", report.render_text());
+        }
+    }
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -1162,6 +1226,13 @@ fn cmd_submit(path: Option<&str>, flags: &BTreeMap<String, String>) -> ExitCode 
             }
             ExitCode::FAILURE
         }
+        Ok(resp) if resp.status == 409 => {
+            eprintln!("bundle refused: it interferes with a live campaign:");
+            for line in resp.body.lines().filter(|l| !l.trim().is_empty()) {
+                eprintln!("  {line}");
+            }
+            ExitCode::FAILURE
+        }
         Ok(resp) => {
             eprintln!("error: HTTP {}: {}", resp.status, resp.body.trim_end());
             ExitCode::FAILURE
@@ -1225,6 +1296,12 @@ fn main() -> ExitCode {
         "catalog" => cmd_catalog(),
         "workflows" => cmd_workflows(),
         "check" => cmd_check(
+            args.get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str),
+            &flags,
+        ),
+        "blast" => cmd_blast(
             args.get(1)
                 .filter(|a| !a.starts_with("--"))
                 .map(String::as_str),
